@@ -1,0 +1,17 @@
+//! The indoor-technique competitors of the paper's evaluation (§4.1):
+//!
+//! * [`DistMx`] — the full door-to-door distance matrix (§1.2.2): `O(1)`
+//!   door-pair distance retrieval, quadratic storage, very expensive
+//!   construction. Its query optimisation from §4.3.1 (skipping doors that
+//!   lead to no-through partitions) is toggleable; disabled it becomes the
+//!   paper's `DistMx--`.
+//! * [`DistAw`] — the distance-aware model of Lu, Cao & Jensen (ICDE'12):
+//!   Dijkstra-like expansion over the indoor graph for every query.
+//! * [`DistAwPlus`] — DistAw accelerated with the distance matrix for kNN
+//!   and range queries (the paper's `DistAw++`).
+
+mod distaw;
+mod distmx;
+
+pub use distaw::{DistAw, DistAwPlus};
+pub use distmx::DistMx;

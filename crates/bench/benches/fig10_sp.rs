@@ -1,0 +1,32 @@
+//! Fig. 10(a): shortest-path query time for every index (Men).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use indoor_bench::{build_suite, SuiteOptions};
+use indoor_synth::{presets, workload};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let venue = Arc::new(presets::menzies().build());
+    let suite = build_suite(&venue, &SuiteOptions::default());
+    let pairs = workload::query_pairs(&venue, 256, 10);
+
+    let mut g = c.benchmark_group("fig10_sp_men");
+    for (ix, _) in &suite {
+        g.bench_function(ix.name(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = &pairs[i % pairs.len()];
+                i += 1;
+                std::hint::black_box(ix.shortest_path(s, t))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fig. 11: kNN (k=5) and range (r=100 m) query time for every index
+//! (Men, 50 objects).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use indoor_bench::{build_suite, SuiteOptions};
+use indoor_synth::{presets, workload};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let venue = Arc::new(presets::menzies().build());
+    let objects = workload::place_objects(&venue, 50, 11);
+    let suite = build_suite(
+        &venue,
+        &SuiteOptions {
+            with_distaw_plus: true,
+            objects: Some(objects),
+            ..Default::default()
+        },
+    );
+    let points = workload::query_points(&venue, 256, 12);
+
+    let mut g = c.benchmark_group("fig11_knn_men");
+    for (ix, _) in &suite {
+        g.bench_function(ix.name(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &points[i % points.len()];
+                i += 1;
+                std::hint::black_box(ix.knn(q, 5))
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig11_range_men");
+    for (ix, _) in &suite {
+        g.bench_function(ix.name(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &points[i % points.len()];
+                i += 1;
+                std::hint::black_box(ix.range(q, 100.0))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

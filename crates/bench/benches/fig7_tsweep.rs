@@ -1,0 +1,49 @@
+//! Fig. 7: effect of the minimum degree `t` on VIP-tree construction and
+//! shortest-distance query time (bench-scale venue: MC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indoor_synth::{presets, workload};
+use std::sync::Arc;
+use vip_tree::{VipTree, VipTreeConfig};
+
+fn bench(c: &mut Criterion) {
+    let venue = Arc::new(presets::melbourne_central().build());
+    let pairs = workload::query_pairs(&venue, 256, 7);
+
+    let mut g = c.benchmark_group("fig7_build");
+    for t in [2usize, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let cfg = VipTreeConfig {
+                min_degree: t,
+                ..Default::default()
+            };
+            b.iter(|| VipTree::build(venue.clone(), &cfg).unwrap());
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig7_sd_query");
+    for t in [2usize, 10, 20] {
+        let cfg = VipTreeConfig {
+            min_degree: t,
+            ..Default::default()
+        };
+        let tree = VipTree::build(venue.clone(), &cfg).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = &pairs[i % pairs.len()];
+                i += 1;
+                std::hint::black_box(tree.shortest_distance_points(s, t))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

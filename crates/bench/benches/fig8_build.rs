@@ -1,0 +1,36 @@
+//! Fig. 8(a): construction time of every index (bench-scale venue: MC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use indoor_baselines::{DistAw, DistMx};
+use indoor_synth::presets;
+use std::sync::Arc;
+use vip_tree::{IpTree, VipTree, VipTreeConfig};
+
+fn bench(c: &mut Criterion) {
+    let venue = Arc::new(presets::melbourne_central().build());
+    let cfg = VipTreeConfig::default();
+
+    let mut g = c.benchmark_group("fig8_build_mc");
+    g.bench_function("IP-Tree", |b| {
+        b.iter(|| IpTree::build(venue.clone(), &cfg).unwrap())
+    });
+    g.bench_function("VIP-Tree", |b| {
+        b.iter(|| VipTree::build(venue.clone(), &cfg).unwrap())
+    });
+    g.bench_function("G-tree", |b| {
+        b.iter(|| gtree::GTree::build(venue.clone(), &gtree::GTreeConfig::default()))
+    });
+    g.bench_function("ROAD", |b| {
+        b.iter(|| road::Road::build(venue.clone(), &road::RoadConfig::default()))
+    });
+    g.bench_function("DistMx", |b| b.iter(|| DistMx::build(venue.clone())));
+    g.bench_function("DistAw", |b| b.iter(|| DistAw::new(venue.clone())));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

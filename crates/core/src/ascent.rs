@@ -1,0 +1,352 @@
+//! Algorithm 2 (`getDistances`) and Algorithm 3 (shortest distance) for
+//! the IP-tree (§3.1.1).
+//!
+//! The ascent starts at the source's leaf, computing the distance from the
+//! point to every access door of the leaf through the *superior doors* of
+//! its partition (Definition 2), then climbs parents: the distance to each
+//! access door of the parent is the minimum over the child's access doors
+//! of `dist(s, child_door) + matrix(child_door, parent_door)` (Lemma 1).
+//! Every step also records which child door achieved the minimum, so the
+//! shortest-path algorithm can replay the chain (the "thick arrows" of
+//! Fig. 5(b)).
+
+use crate::tree::{IpTree, NodeIdx};
+use indoor_graph::NO_VERTEX;
+use indoor_model::{DoorId, IndoorPath, IndoorPoint, QueryStats};
+
+/// How an access-door distance was obtained, for path replay.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Provenance {
+    /// Leaf level: entered the tree via this door of the source partition
+    /// (a superior door, possibly the access door itself).
+    Source { via: DoorId },
+    /// Minimum over the previous step's access doors; `idx` indexes that
+    /// step's access-door list. Covers the paper's "marked" doors too: an
+    /// access door inherited from the child is its own argmin with a
+    /// zero-cost matrix hop.
+    Child { idx: u16 },
+}
+
+/// Distances from the query point to the access doors of one node.
+#[derive(Debug, Clone)]
+pub(crate) struct AscentStep {
+    pub node: NodeIdx,
+    /// Aligned with `node.access_doors`.
+    pub dists: Vec<f64>,
+    pub prov: Vec<Provenance>,
+}
+
+/// The full ascent from `Leaf(p)` up to (and including) `target`.
+#[derive(Debug, Clone)]
+pub(crate) struct Ascent {
+    pub steps: Vec<AscentStep>,
+}
+
+impl Ascent {
+    pub fn last(&self) -> &AscentStep {
+        self.steps.last().expect("ascent has at least the leaf step")
+    }
+}
+
+impl IpTree {
+    /// Distance from a point to every door of its own partition's doors is
+    /// direct; to the leaf's access doors it goes through superior doors
+    /// (Eq. 1 restricted per Definition 2).
+    fn leaf_step(&self, p: &IndoorPoint, leaf: NodeIdx) -> AscentStep {
+        let venue = &*self.venue;
+        let node = self.node(leaf);
+        let part_doors = &venue.partition(p.partition).doors;
+        let sup = self.superior_doors(p.partition);
+
+        let mut dists = Vec::with_capacity(node.access_doors.len());
+        let mut prov = Vec::with_capacity(node.access_doors.len());
+        for &a in &node.access_doors {
+            if part_doors.binary_search(&a).is_ok() {
+                // Local access door: trivially direct.
+                dists.push(p.distance_to_door(venue, a));
+                prov.push(Provenance::Source { via: a });
+                continue;
+            }
+            let col_a = node
+                .matrix
+                .col_index(a)
+                .expect("access door must be a matrix column");
+            let mut best = f64::INFINITY;
+            let mut best_via = DoorId(0);
+            for &u in sup {
+                let Some(row_u) = node.matrix.row_index(u) else {
+                    continue;
+                };
+                let cand = p.distance_to_door(venue, u) + node.matrix.at(row_u, col_a);
+                if cand < best {
+                    best = cand;
+                    best_via = u;
+                }
+            }
+            dists.push(best);
+            prov.push(Provenance::Source { via: best_via });
+        }
+        AscentStep {
+            node: leaf,
+            dists,
+            prov,
+        }
+    }
+
+    /// Algorithm 2: distances from `p` to all access doors of every node
+    /// on the path from `Leaf(p)` up to `target` (inclusive).
+    pub(crate) fn ascend(&self, p: &IndoorPoint, target: NodeIdx) -> Ascent {
+        let leaf = self.leaf_of(p.partition);
+        let mut steps = vec![self.leaf_step(p, leaf)];
+        let mut cur = leaf;
+        while cur != target {
+            let parent = self.node(cur).parent;
+            debug_assert_ne!(parent, crate::NO_NODE, "target not an ancestor");
+            let pnode = self.node(parent);
+            let prev = steps.last().unwrap();
+            let child_ads = &self.node(cur).access_doors;
+
+            let mut dists = Vec::with_capacity(pnode.access_doors.len());
+            let mut prov = Vec::with_capacity(pnode.access_doors.len());
+            for &a in &pnode.access_doors {
+                // a ∈ B(parent) always; each child access door too.
+                let col = pnode
+                    .matrix
+                    .col_index(a)
+                    .expect("parent access door in parent matrix");
+                let mut best = f64::INFINITY;
+                let mut best_idx = 0u16;
+                for (bi, &b) in child_ads.iter().enumerate() {
+                    let row = pnode
+                        .matrix
+                        .row_index(b)
+                        .expect("child access door in parent matrix");
+                    let cand = prev.dists[bi] + pnode.matrix.at(row, col);
+                    if cand < best {
+                        best = cand;
+                        best_idx = bi as u16;
+                    }
+                }
+                dists.push(best);
+                prov.push(Provenance::Child { idx: best_idx });
+            }
+            steps.push(AscentStep {
+                node: parent,
+                dists,
+                prov,
+            });
+            cur = parent;
+        }
+        Ascent { steps }
+    }
+
+    /// Same-leaf (or same-partition) query: D2D expansion with virtual
+    /// endpoints, plus the direct in-partition candidate (§3.1.1).
+    /// Returns `(distance, door_sequence)`.
+    pub(crate) fn same_leaf_route(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+    ) -> Option<(f64, Vec<DoorId>)> {
+        let venue = &*self.venue;
+        let direct = s.direct_distance(venue, t);
+        let s_seeds = s.door_seeds(venue);
+        let t_seeds: Vec<(u32, f64)> = t.door_seeds(venue);
+
+        let mut engine = self.engine.lock().expect("engine poisoned");
+        let via = engine.point_to_point(venue.d2d(), &s_seeds, &t_seeds);
+
+        match (direct, via) {
+            (Some(d), Some((vd, _))) if d <= vd => Some((d, Vec::new())),
+            (Some(d), None) => Some((d, Vec::new())),
+            (_, Some((vd, exit_door))) => {
+                // Reconstruct s's door .. t's door from parent pointers.
+                let mut seq: Vec<DoorId> = Vec::new();
+                let mut cur = exit_door;
+                loop {
+                    seq.push(DoorId(cur));
+                    match engine.parent(cur) {
+                        Some(p) if p != NO_VERTEX => cur = p,
+                        _ => break,
+                    }
+                }
+                seq.reverse();
+                Some((vd, seq))
+            }
+            (None, None) => None,
+        }
+    }
+
+    /// Algorithm 3 / §3.1: indoor shortest distance between two points.
+    pub fn shortest_distance_points(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64> {
+        self.shortest_distance_with_stats(s, t, &mut QueryStats::default())
+    }
+
+    /// As [`Self::shortest_distance_points`], accumulating workload
+    /// counters (door pairs considered; Fig. 9(a)).
+    pub fn shortest_distance_with_stats(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        stats: &mut QueryStats,
+    ) -> Option<f64> {
+        stats.queries += 1;
+        let leaf_s = self.leaf_of(s.partition);
+        let leaf_t = self.leaf_of(t.partition);
+        if leaf_s == leaf_t {
+            return self.same_leaf_route(s, t).map(|(d, _)| d);
+        }
+        stats.door_pairs +=
+            (self.superior_doors(s.partition).len() * self.superior_doors(t.partition).len()) as u64;
+
+        let (d, _, _) = self.cross_leaf_distance(s, t, leaf_s, leaf_t)?;
+        Some(d)
+    }
+
+    /// Cross-leaf distance plus the minimising access-door pair and the
+    /// two ascents (for path recovery). `None` when unreachable.
+    pub(crate) fn cross_leaf_distance(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        leaf_s: NodeIdx,
+        leaf_t: NodeIdx,
+    ) -> Option<(f64, (usize, usize), (Ascent, Ascent))> {
+        let lca = self.lca(leaf_s, leaf_t);
+        let ns = self.child_towards(lca, leaf_s);
+        let nt = self.child_towards(lca, leaf_t);
+        let asc_s = self.ascend(s, ns);
+        let asc_t = self.ascend(t, nt);
+        let lca_node = self.node(lca);
+
+        let ads = &self.node(ns).access_doors;
+        let adt = &self.node(nt).access_doors;
+        let ds = &asc_s.last().dists;
+        let dt = &asc_t.last().dists;
+
+        let mut best = f64::INFINITY;
+        let mut best_pair = (usize::MAX, usize::MAX);
+        for (i, &di) in ads.iter().enumerate() {
+            if !ds[i].is_finite() {
+                continue;
+            }
+            let row = lca_node
+                .matrix
+                .row_index(di)
+                .expect("child AD in LCA matrix");
+            for (j, &dj) in adt.iter().enumerate() {
+                if !dt[j].is_finite() {
+                    continue;
+                }
+                let col = lca_node
+                    .matrix
+                    .col_index(dj)
+                    .expect("child AD in LCA matrix");
+                let cand = ds[i] + lca_node.matrix.at(row, col) + dt[j];
+                if cand < best {
+                    best = cand;
+                    best_pair = (i, j);
+                }
+            }
+        }
+        if !best.is_finite() {
+            return None;
+        }
+        Some((best, best_pair, (asc_s, asc_t)))
+    }
+
+    /// §3.2: shortest path between two points.
+    pub fn shortest_path_points(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
+        let leaf_s = self.leaf_of(s.partition);
+        let leaf_t = self.leaf_of(t.partition);
+        if leaf_s == leaf_t {
+            let (length, doors) = self.same_leaf_route(s, t)?;
+            return Some(IndoorPath {
+                source: *s,
+                target: *t,
+                doors,
+                length,
+            });
+        }
+        let (length, (i, j), (asc_s, asc_t)) =
+            self.cross_leaf_distance(s, t, leaf_s, leaf_t)?;
+        let doors = self.recover_cross_leaf_path(&asc_s, i, &asc_t, j);
+        Some(IndoorPath {
+            source: *s,
+            target: *t,
+            doors,
+            length,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::tree::VipTreeConfig;
+    use indoor_graph::DijkstraEngine;
+    use indoor_synth::{random_venue, workload};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    /// Ground truth: D2D Dijkstra with virtual endpoints + direct
+    /// same-partition candidate.
+    pub(crate) fn oracle_distance(
+        venue: &indoor_model::Venue,
+        engine: &mut DijkstraEngine,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+    ) -> Option<f64> {
+        let direct = s.direct_distance(venue, t);
+        let via = engine
+            .point_to_point(venue.d2d(), &s.door_seeds(venue), &t.door_seeds(venue))
+            .map(|(d, _)| d);
+        match (direct, via) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    #[test]
+    fn ascent_reaches_root_with_finite_distances() {
+        let venue = Arc::new(random_venue(5));
+        let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let pts = workload::query_points(&venue, 5, 1);
+        for p in &pts {
+            let asc = tree.ascend(p, tree.root());
+            assert_eq!(asc.last().node, tree.root());
+            // Connected venue: every access door reachable.
+            for (k, d) in asc.last().dists.iter().enumerate() {
+                assert!(
+                    d.is_finite() || tree.node(tree.root()).access_doors.is_empty(),
+                    "unreachable access door idx {k}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn shortest_distance_matches_dijkstra(seed in 0u64..3_000) {
+            let venue = Arc::new(random_venue(seed));
+            let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let mut engine = DijkstraEngine::new(venue.num_doors());
+            let pairs = workload::query_pairs(&venue, 25, seed ^ 0xA5);
+            for (s, t) in &pairs {
+                let want = oracle_distance(&venue, &mut engine, s, t);
+                let got = tree.shortest_distance_points(s, t);
+                match (want, got) {
+                    (Some(w), Some(g)) => prop_assert!(
+                        (w - g).abs() < 1e-6 * w.max(1.0),
+                        "seed {seed}: got {g}, want {w} for {s:?} -> {t:?}"
+                    ),
+                    (None, None) => {}
+                    _ => prop_assert!(false, "reachability mismatch {want:?} vs {got:?}"),
+                }
+            }
+        }
+    }
+}

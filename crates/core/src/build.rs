@@ -1,0 +1,390 @@
+//! IP-tree construction (§2.1.2): leaves → merged levels → matrices.
+
+use crate::leaf::assign_leaves;
+use crate::matrices::{build_inner_matrix, build_leaf_matrix, LevelGraph};
+use crate::merge::{create_next_level, ProtoNode};
+use crate::tree::{BuildError, DistMatrix, IpTree, Node, NodeIdx, VipTreeConfig, NO_NODE};
+use indoor_graph::DijkstraEngine;
+use indoor_model::{DoorId, Venue};
+use std::sync::Arc;
+
+/// Level-1 protos (one per leaf), the door → leaf-proto map, and the leaf
+/// partition lists. Shared with `merge` tests.
+pub(crate) fn leaf_protos(
+    venue: &Venue,
+) -> (
+    Vec<ProtoNode>,
+    Vec<[u32; 2]>,
+    Vec<Vec<indoor_model::PartitionId>>,
+) {
+    let assignment = assign_leaves(venue);
+    let n_leaves = assignment.leaf_partitions.len();
+
+    // door -> (<= 2) leaves.
+    let mut door_nodes = vec![[NO_NODE; 2]; venue.num_doors()];
+    for door in venue.doors() {
+        let mut slot = [NO_NODE; 2];
+        let mut k = 0;
+        for p in door.partition_ids() {
+            let leaf = assignment.leaf_of_partition[p.index()];
+            if !slot.contains(&leaf) {
+                slot[k] = leaf;
+                k += 1;
+            }
+        }
+        door_nodes[door.id.index()] = slot;
+    }
+
+    let mut protos = Vec::with_capacity(n_leaves);
+    for (leaf_idx, parts) in assignment.leaf_partitions.iter().enumerate() {
+        let mut doors: Vec<DoorId> = parts
+            .iter()
+            .flat_map(|p| venue.partition(*p).doors.iter().copied())
+            .collect();
+        doors.sort_unstable();
+        doors.dedup();
+        // A door of this leaf is an access door iff it is exterior or its
+        // two partitions lie in different leaves (`door_nodes` slots are
+        // deduplicated, so a second entry implies two distinct leaves).
+        let access: Vec<DoorId> = doors
+            .iter()
+            .copied()
+            .filter(|&d| {
+                let [_, b] = door_nodes[d.index()];
+                venue.door(d).is_exterior() || b != NO_NODE
+            })
+            .collect();
+        protos.push(ProtoNode {
+            access_doors: access,
+            members: vec![leaf_idx as u32],
+        });
+    }
+
+    (protos, door_nodes, assignment.leaf_partitions)
+}
+
+impl IpTree {
+    /// Build an IP-tree over a venue (§2.1.2).
+    pub fn build(venue: Arc<Venue>, config: &VipTreeConfig) -> Result<IpTree, BuildError> {
+        if config.min_degree < 2 {
+            return Err(BuildError::BadMinDegree(config.min_degree));
+        }
+        let t = config.min_degree;
+
+        // --- Steps 1 & 2: leaves, then merge until <= t nodes remain. ---
+        let (mut protos, mut door_nodes, leaf_partitions) = leaf_protos(&venue);
+        let leaf_level_protos = protos.clone();
+        let door_leaves: Vec<[NodeIdx; 2]> = door_nodes.clone();
+
+        // levels[0] = leaves; each entry records, per node of that level,
+        // the member indices into the previous level.
+        let mut level_members: Vec<Vec<Vec<u32>>> = Vec::new();
+        let mut level_access: Vec<Vec<Vec<DoorId>>> = Vec::new();
+        level_members.push((0..protos.len()).map(|i| vec![i as u32]).collect());
+        level_access.push(
+            leaf_level_protos
+                .iter()
+                .map(|p| p.access_doors.clone())
+                .collect(),
+        );
+
+        while protos.len() > t {
+            let out = create_next_level(&venue, &protos, &door_nodes, t);
+            if out.next.len() >= protos.len() {
+                break; // no progress possible (disconnected pathologies)
+            }
+            level_members.push(out.next.iter().map(|p| p.members.clone()).collect());
+            level_access.push(out.next.iter().map(|p| p.access_doors.clone()).collect());
+            protos = out.next;
+            door_nodes = out.door_nodes;
+        }
+        if protos.len() > 1 {
+            // Merge the <= t survivors into the root (§2.1.2: "all these
+            // nodes are merged to form the root node").
+            let members: Vec<u32> = (0..protos.len() as u32).collect();
+            let mut access: Vec<DoorId> = protos
+                .iter()
+                .flat_map(|p| p.access_doors.iter().copied())
+                .filter(|&d| venue.door(d).is_exterior())
+                .collect();
+            access.sort_unstable();
+            access.dedup();
+            level_members.push(vec![members]);
+            level_access.push(vec![access]);
+        }
+
+        // --- Materialise the node array, leaves first, level by level. ---
+        let n_leaves = leaf_partitions.len();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut level_first: Vec<usize> = Vec::new(); // node idx of first node per level
+        for (li, members_at_level) in level_members.iter().enumerate() {
+            level_first.push(nodes.len());
+            for (ni, members) in members_at_level.iter().enumerate() {
+                let (partitions, doors) = if li == 0 {
+                    let parts = leaf_partitions[ni].clone();
+                    let mut doors: Vec<DoorId> = parts
+                        .iter()
+                        .flat_map(|p| venue.partition(*p).doors.iter().copied())
+                        .collect();
+                    doors.sort_unstable();
+                    doors.dedup();
+                    (parts, doors)
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                let children: Vec<NodeIdx> = if li == 0 {
+                    Vec::new()
+                } else {
+                    members
+                        .iter()
+                        .map(|&m| (level_first[li - 1] + m as usize) as NodeIdx)
+                        .collect()
+                };
+                nodes.push(Node {
+                    parent: NO_NODE,
+                    children,
+                    level: (li + 1) as u32,
+                    access_doors: level_access[li][ni].clone(),
+                    partitions,
+                    doors,
+                    matrix: DistMatrix {
+                        rows: Vec::new(),
+                        cols: Vec::new(),
+                        dist: Box::new([]),
+                        next_hop: Box::new([]),
+                    },
+                });
+            }
+        }
+        let root = (nodes.len() - 1) as NodeIdx;
+        for idx in 0..nodes.len() {
+            for c in nodes[idx].children.clone() {
+                nodes[c as usize].parent = idx as NodeIdx;
+            }
+        }
+
+        // --- Per-door boundary flag: access door of at least one leaf. ---
+        let mut boundary = vec![false; venue.num_doors()];
+        for node in nodes.iter().take(n_leaves) {
+            for &d in &node.access_doors {
+                boundary[d.index()] = true;
+            }
+        }
+
+        // --- Step 3: leaf matrices (+ superior doors). ---
+        let mut engine = DijkstraEngine::new(venue.num_doors());
+        let mut superior: Vec<Vec<DoorId>> = vec![Vec::new(); venue.num_partitions()];
+        for li in 0..n_leaves {
+            let (doors, access, parts) = {
+                let n = &nodes[li];
+                (n.doors.clone(), n.access_doors.clone(), n.partitions.clone())
+            };
+            let mut hits: Vec<Vec<bool>> = parts
+                .iter()
+                .map(|p| vec![false; venue.partition(*p).doors.len()])
+                .collect();
+            let matrix = build_leaf_matrix(
+                &venue,
+                &mut engine,
+                &doors,
+                &access,
+                &boundary,
+                &parts,
+                &mut hits,
+            );
+            nodes[li].matrix = matrix;
+            // Local access doors are superior by definition; add the
+            // Dijkstra-evidenced ones.
+            for (pi, &p) in parts.iter().enumerate() {
+                let pdoors = &venue.partition(p).doors;
+                let mut sup: Vec<DoorId> = pdoors
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, d)| hits[pi][*i] || access.binary_search(d).is_ok())
+                    .map(|(_, d)| *d)
+                    .collect();
+                sup.sort_unstable();
+                sup.dedup();
+                // A partition always needs at least one candidate exit.
+                if sup.is_empty() {
+                    sup = pdoors.clone();
+                }
+                superior[p.index()] = sup;
+            }
+        }
+
+        // --- Step 4: non-leaf matrices, bottom-up via level graphs. ---
+        for li in 1..level_first.len() {
+            let prev_first = level_first[li - 1];
+            let prev_last = level_first[li];
+            let parts: Vec<(&Vec<DoorId>, &DistMatrix)> = (prev_first..prev_last)
+                .map(|i| (&nodes[i].access_doors, &nodes[i].matrix))
+                .collect();
+            let lg = LevelGraph::build_from_parts(venue.num_doors(), &parts);
+            drop(parts);
+            let mut lg_engine = DijkstraEngine::new(lg.vertex_door.len());
+
+            let this_last = if li + 1 < level_first.len() {
+                level_first[li + 1]
+            } else {
+                nodes.len()
+            };
+            for i in level_first[li]..this_last {
+                let mut border: Vec<DoorId> = nodes[i]
+                    .children
+                    .iter()
+                    .flat_map(|&c| nodes[c as usize].access_doors.iter().copied())
+                    .collect();
+                border.sort_unstable();
+                border.dedup();
+                nodes[i].matrix = build_inner_matrix(&lg, &mut lg_engine, &border);
+            }
+        }
+
+        // --- Partition -> leaf map. ---
+        let mut leaf_of_partition = vec![NO_NODE; venue.num_partitions()];
+        for (li, node) in nodes.iter().enumerate().take(n_leaves) {
+            for &p in &node.partitions {
+                leaf_of_partition[p.index()] = li as NodeIdx;
+            }
+        }
+
+        Ok(IpTree {
+            venue,
+            config: config.clone(),
+            nodes,
+            root,
+            leaf_of_partition,
+            door_leaves,
+            boundary,
+            superior,
+            decompose_fallbacks: std::sync::atomic::AtomicU64::new(0),
+            engine: std::sync::Mutex::new(engine),
+            objects: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_synth::random_venue;
+    use proptest::prelude::*;
+
+    fn build(seed: u64) -> IpTree {
+        let venue = Arc::new(random_venue(seed));
+        IpTree::build(venue, &VipTreeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn rejects_min_degree_below_two() {
+        let venue = Arc::new(random_venue(0));
+        let cfg = VipTreeConfig {
+            min_degree: 1,
+            ..Default::default()
+        };
+        assert!(IpTree::build(venue, &cfg).is_err());
+    }
+
+    #[test]
+    fn single_root_and_parent_links() {
+        let tree = build(3);
+        let root = tree.root();
+        assert_eq!(tree.node(root).parent, NO_NODE);
+        for idx in 0..tree.num_nodes() as NodeIdx {
+            if idx != root {
+                let p = tree.node(idx).parent;
+                assert_ne!(p, NO_NODE, "non-root node {idx} without parent");
+                assert!(tree.node(p).children.contains(&idx));
+            }
+            for &c in &tree.node(idx).children {
+                assert_eq!(tree.node(c).parent, idx);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(25))]
+        #[test]
+        fn structural_invariants(seed in 0u64..5_000) {
+            let venue = Arc::new(random_venue(seed));
+            let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+
+            // Access doors really lead outside their node: for each node,
+            // collect the partitions under it; an access door must be
+            // exterior or have a partition outside the set.
+            for idx in 0..tree.num_nodes() as NodeIdx {
+                let mut parts = std::collections::HashSet::new();
+                let mut stack = vec![idx];
+                while let Some(n) = stack.pop() {
+                    let node = tree.node(n);
+                    parts.extend(node.partitions.iter().copied());
+                    stack.extend(node.children.iter().copied());
+                }
+                let node = tree.node(idx);
+                for &d in &node.access_doors {
+                    let door = venue.door(d);
+                    let inside = door.partition_ids().any(|p| parts.contains(&p));
+                    let outside =
+                        door.is_exterior() || door.partition_ids().any(|p| !parts.contains(&p));
+                    prop_assert!(inside && outside,
+                        "door {d} is not a valid access door of node {idx}");
+                }
+                // Completeness: every door with one side in and one side out
+                // is listed.
+                if node.is_leaf() {
+                    for &d in &node.doors {
+                        let door = venue.door(d);
+                        let out = door.is_exterior()
+                            || door.partition_ids().any(|p| !parts.contains(&p));
+                        prop_assert_eq!(out, node.ad_index(d).is_some());
+                    }
+                }
+            }
+
+            // Leaf matrices equal ground-truth Dijkstra distances.
+            let mut engine = DijkstraEngine::new(venue.num_doors());
+            for idx in 0..tree.num_leaves() {
+                let node = tree.node(idx as NodeIdx);
+                for (c, &a) in node.matrix.cols.iter().enumerate() {
+                    engine.run(
+                        venue.d2d(),
+                        &[(a.0, 0.0)],
+                        indoor_graph::Termination::Exhaust,
+                    );
+                    for (r, &d) in node.matrix.rows.iter().enumerate() {
+                        let want = engine.settled_distance(d.0).unwrap_or(f64::INFINITY);
+                        let got = node.matrix.at(r, c);
+                        prop_assert!((got - want).abs() < 1e-9 || (got == want),
+                            "leaf {idx} dist({d},{a}): got {got} want {want}");
+                    }
+                }
+            }
+
+            // Non-leaf matrices also equal ground truth.
+            for idx in tree.num_leaves()..tree.num_nodes() {
+                let node = tree.node(idx as NodeIdx);
+                for (c, &a) in node.matrix.cols.iter().enumerate() {
+                    engine.run(
+                        venue.d2d(),
+                        &[(a.0, 0.0)],
+                        indoor_graph::Termination::Exhaust,
+                    );
+                    for (r, &d) in node.matrix.rows.iter().enumerate() {
+                        let want = engine.settled_distance(d.0).unwrap_or(f64::INFINITY);
+                        let got = node.matrix.at(r, c);
+                        prop_assert!((got - want).abs() < 1e-9 || (got == want),
+                            "node {idx} dist({d},{a}): got {got} want {want}");
+                    }
+                }
+            }
+
+            // Non-root nodes have >= t children (unless their level had no
+            // merge partners), root has <= ... at least 1 child when there
+            // are multiple leaves.
+            if tree.num_leaves() > 1 {
+                prop_assert!(!tree.node(tree.root()).children.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Spatial-keyword queries — the §1.3 "high adaptability" claim made
+//! concrete: "the proposed indexes can be used to answer spatial keyword
+//! queries in indoor space by integrating the inverted lists with the
+//! nodes of the tree, e.g., in a way similar to how R-tree is extended to
+//! IR-tree".
+//!
+//! [`KeywordObjects`] embeds labelled objects into an [`IpTree`]: each
+//! tree node carries the set of terms present in its subtree (the inverted
+//! list), so a keyword-constrained kNN prunes both by distance (Algorithm
+//! 5) and by term containment.
+
+use crate::objects::ObjectIndex;
+use crate::tree::{IpTree, NodeIdx, NO_NODE};
+use geometry::TotalF64;
+use indoor_model::{IndoorPoint, ObjectId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Interned term identifier.
+pub type TermId = u32;
+
+/// Labelled objects embedded in the tree with per-node inverted lists.
+#[derive(Debug)]
+pub struct KeywordObjects {
+    objects: ObjectIndex,
+    terms: HashMap<String, TermId>,
+    /// Sorted term ids per object.
+    object_terms: Vec<Vec<TermId>>,
+    /// Sorted term ids present in each node's subtree.
+    node_terms: Vec<Vec<TermId>>,
+}
+
+impl KeywordObjects {
+    /// Build from `(location, labels)` pairs.
+    pub fn build(tree: &IpTree, objects: &[(IndoorPoint, Vec<String>)]) -> KeywordObjects {
+        let points: Vec<IndoorPoint> = objects.iter().map(|(p, _)| *p).collect();
+        let oi = ObjectIndex::build(tree, &points);
+
+        let mut terms: HashMap<String, TermId> = HashMap::new();
+        let mut object_terms: Vec<Vec<TermId>> = Vec::with_capacity(objects.len());
+        for (_, labels) in objects {
+            let mut ids: Vec<TermId> = labels
+                .iter()
+                .map(|l| {
+                    let next = terms.len() as TermId;
+                    *terms.entry(l.clone()).or_insert(next)
+                })
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            object_terms.push(ids);
+        }
+
+        // Inverted lists: union object terms up every ancestor chain.
+        let mut node_terms: Vec<Vec<TermId>> = vec![Vec::new(); tree.num_nodes()];
+        for (i, (p, _)) in objects.iter().enumerate() {
+            let mut cur = tree.leaf_of(p.partition);
+            loop {
+                node_terms[cur as usize].extend_from_slice(&object_terms[i]);
+                let parent = tree.node(cur).parent;
+                if parent == NO_NODE {
+                    break;
+                }
+                cur = parent;
+            }
+        }
+        for t in &mut node_terms {
+            t.sort_unstable();
+            t.dedup();
+        }
+
+        KeywordObjects {
+            objects: oi,
+            terms,
+            object_terms,
+            node_terms,
+        }
+    }
+
+    /// Look up a term (queries with unknown terms return no results).
+    pub fn term(&self, label: &str) -> Option<TermId> {
+        self.terms.get(label).copied()
+    }
+
+    fn object_has(&self, o: ObjectId, term: TermId) -> bool {
+        self.object_terms[o.index()].binary_search(&term).is_ok()
+    }
+
+    fn subtree_has(&self, n: NodeIdx, term: TermId) -> bool {
+        self.node_terms[n as usize].binary_search(&term).is_ok()
+    }
+
+    /// The `k` nearest objects carrying `label`. Distance pruning follows
+    /// Algorithm 5; subtrees whose inverted list lacks the term are
+    /// skipped entirely.
+    pub fn knn_keyword(
+        &self,
+        tree: &IpTree,
+        q: &IndoorPoint,
+        k: usize,
+        label: &str,
+    ) -> Vec<(ObjectId, f64)> {
+        let Some(term) = self.term(label) else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let asc = tree.ascend(q, tree.root());
+        let anc: HashMap<NodeIdx, &crate::ascent::AscentStep> =
+            asc.steps.iter().map(|s| (s.node, s)).collect();
+
+        let mut best: BinaryHeap<(TotalF64, ObjectId)> = BinaryHeap::new();
+        let dk = |best: &BinaryHeap<(TotalF64, ObjectId)>| {
+            if best.len() < k {
+                f64::INFINITY
+            } else {
+                best.peek().unwrap().0 .0
+            }
+        };
+
+        let mut heap: BinaryHeap<Reverse<(TotalF64, NodeIdx, usize)>> = BinaryHeap::new();
+        let mut vecs: Vec<Vec<f64>> = vec![asc.last().dists.clone()];
+        heap.push(Reverse((TotalF64(0.0), tree.root(), 0)));
+        while let Some(Reverse((TotalF64(mind), node_idx, vid))) = heap.pop() {
+            if mind > dk(&best) {
+                break;
+            }
+            let node = tree.node(node_idx);
+            if node.is_leaf() {
+                self.scan_keyword_leaf(tree, q, node_idx, &vecs[vid], &anc, term, k, &mut best);
+                continue;
+            }
+            for &child in &node.children {
+                if !self.subtree_has(child, term) {
+                    continue; // inverted-list pruning
+                }
+                let (mind_c, cvec) = if let Some(step) = anc.get(&child) {
+                    (0.0, step.dists.clone())
+                } else {
+                    let (base_ads, base_vec): (&[indoor_model::DoorId], &[f64]) =
+                        if anc.contains_key(&node_idx) {
+                            let sib = tree.child_towards(node_idx, asc.steps[0].node);
+                            let sib_step = anc.get(&sib).expect("sibling on ascent");
+                            (&tree.node(sib).access_doors, &sib_step.dists)
+                        } else {
+                            (&node.access_doors, &vecs[vid])
+                        };
+                    let v = tree.derive_child_vec_pub(node_idx, child, base_ads, base_vec);
+                    let m = v.iter().copied().fold(f64::INFINITY, f64::min);
+                    (m, v)
+                };
+                if mind_c <= dk(&best) {
+                    vecs.push(cvec);
+                    heap.push(Reverse((TotalF64(mind_c), child, vecs.len() - 1)));
+                }
+            }
+        }
+
+        let mut out: Vec<(ObjectId, f64)> =
+            best.into_iter().map(|(TotalF64(d), o)| (o, d)).collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_keyword_leaf(
+        &self,
+        tree: &IpTree,
+        q: &IndoorPoint,
+        leaf: NodeIdx,
+        vec: &[f64],
+        anc: &HashMap<NodeIdx, &crate::ascent::AscentStep>,
+        term: TermId,
+        k: usize,
+        best: &mut BinaryHeap<(TotalF64, ObjectId)>,
+    ) {
+        let bound = if best.len() < k {
+            f64::INFINITY
+        } else {
+            best.peek().unwrap().0 .0
+        };
+        let mut emit = |o: ObjectId, d: f64| {
+            if !self.object_has(o, term) || !d.is_finite() {
+                return;
+            }
+            if best.len() < k || d < best.peek().unwrap().0 .0 {
+                best.push((TotalF64(d), o));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        };
+        tree.scan_leaf_pub(q, &self.objects, leaf, vec, anc, bound, &mut emit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::VipTreeConfig;
+    use indoor_synth::{random_venue, workload};
+    use std::sync::Arc;
+
+    fn label_for(i: usize) -> Vec<String> {
+        match i % 3 {
+            0 => vec!["washroom".into()],
+            1 => vec!["atm".into(), "kiosk".into()],
+            _ => vec!["kiosk".into()],
+        }
+    }
+
+    #[test]
+    fn keyword_knn_matches_filtered_brute_force() {
+        for seed in [3u64, 41, 777] {
+            let venue = Arc::new(random_venue(seed));
+            let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let points = workload::place_objects(&venue, 18, seed);
+            let labelled: Vec<(indoor_model::IndoorPoint, Vec<String>)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (*p, label_for(i)))
+                .collect();
+            let kw = KeywordObjects::build(&tree, &labelled);
+
+            // Unfiltered index for ground-truth distances.
+            let mut plain = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            plain.attach_objects(&points);
+
+            for q in workload::query_points(&venue, 6, seed ^ 0xE) {
+                for label in ["washroom", "atm", "kiosk", "missing"] {
+                    let got = kw.knn_keyword(&tree, &q, 3, label);
+                    // Brute force: all objects ranked, filtered by label.
+                    let all = plain.knn(&q, points.len());
+                    let want: Vec<(ObjectId, f64)> = all
+                        .into_iter()
+                        .filter(|(o, _)| {
+                            labelled[o.index()].1.iter().any(|l| l == label)
+                        })
+                        .take(3)
+                        .collect();
+                    assert_eq!(got.len(), want.len(), "label {label} seed {seed}");
+                    for (g, w) in got.iter().zip(&want) {
+                        assert!(
+                            (g.1 - w.1).abs() < 1e-9 * g.1.max(1.0),
+                            "label {label}: {got:?} vs {want:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_term_returns_empty() {
+        let venue = Arc::new(random_venue(5));
+        let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let kw = KeywordObjects::build(&tree, &[]);
+        let q = workload::query_points(&venue, 1, 1)[0];
+        assert!(kw.knn_keyword(&tree, &q, 3, "anything").is_empty());
+    }
+}

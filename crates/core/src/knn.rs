@@ -1,0 +1,441 @@
+//! Algorithm 5: k nearest neighbours and range queries (§3.4).
+//!
+//! Best-first branch-and-bound over the tree. `mindist(q, N)` is zero for
+//! nodes containing `q` (their access-door distances come from the query's
+//! ascent); for any other node it is derived incrementally from its
+//! parent's vector via the parent's matrix — Lemma 8 when the parent
+//! contains `q` (route through the sibling's access doors), Lemma 9
+//! otherwise. Leaves are scanned through the per-access-door sorted object
+//! lists with early termination at the current `d_k`.
+
+use crate::ascent::Ascent;
+use crate::objects::ObjectIndex;
+use crate::tree::{IpTree, NodeIdx};
+use geometry::TotalF64;
+use indoor_graph::Termination;
+use indoor_model::{IndoorPoint, ObjectId, QueryStats};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+impl IpTree {
+    /// Attach an object set, replacing any previous one (§3.4).
+    pub fn attach_objects(&mut self, objects: &[IndoorPoint]) {
+        let oi = ObjectIndex::build(self, objects);
+        self.objects = Some(oi);
+    }
+
+    /// The embedded object index, if any.
+    pub fn object_index(&self) -> Option<&ObjectIndex> {
+        self.objects.as_ref()
+    }
+
+    /// k nearest neighbours of `q` (ascending by distance). Empty when no
+    /// objects are attached.
+    pub fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
+        let asc = self.ascend(q, self.root());
+        self.knn_with_ascent(q, k, &asc, &mut QueryStats::default())
+    }
+
+    /// All objects within `radius` of `q` (ascending by distance).
+    pub fn range(&self, q: &IndoorPoint, radius: f64) -> Vec<(ObjectId, f64)> {
+        let asc = self.ascend(q, self.root());
+        self.range_with_ascent(q, radius, &asc, &mut QueryStats::default())
+    }
+
+    pub fn knn_with_stats(
+        &self,
+        q: &IndoorPoint,
+        k: usize,
+        stats: &mut QueryStats,
+    ) -> Vec<(ObjectId, f64)> {
+        let asc = self.ascend(q, self.root());
+        self.knn_with_ascent(q, k, &asc, stats)
+    }
+
+    pub fn range_with_stats(
+        &self,
+        q: &IndoorPoint,
+        radius: f64,
+        stats: &mut QueryStats,
+    ) -> Vec<(ObjectId, f64)> {
+        let asc = self.ascend(q, self.root());
+        self.range_with_ascent(q, radius, &asc, stats)
+    }
+
+    /// Algorithm 5 with a caller-provided ascent (the VIP-tree passes a
+    /// table-backed one).
+    pub(crate) fn knn_with_ascent(
+        &self,
+        q: &IndoorPoint,
+        k: usize,
+        asc: &Ascent,
+        stats: &mut QueryStats,
+    ) -> Vec<(ObjectId, f64)> {
+        stats.queries += 1;
+        let Some(oi) = &self.objects else {
+            return Vec::new();
+        };
+        if k == 0 || oi.objects.is_empty() {
+            return Vec::new();
+        }
+        // Current k-best as a max-heap: peek() is d_k.
+        let mut best: BinaryHeap<(TotalF64, ObjectId)> = BinaryHeap::with_capacity(k + 1);
+        let dk = |best: &BinaryHeap<(TotalF64, ObjectId)>| {
+            if best.len() < k {
+                f64::INFINITY
+            } else {
+                best.peek().unwrap().0 .0
+            }
+        };
+        let consider = |best: &mut BinaryHeap<(TotalF64, ObjectId)>, o: ObjectId, d: f64| {
+            if d.is_finite() && (best.len() < k || d < best.peek().unwrap().0 .0) {
+                best.push((TotalF64(d), o));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        };
+
+        let mut heap: BinaryHeap<Reverse<(TotalF64, NodeIdx, usize)>> = BinaryHeap::new();
+        let mut vecs: Vec<Vec<f64>> = Vec::new();
+        let anc: HashMap<NodeIdx, &crate::ascent::AscentStep> =
+            asc.steps.iter().map(|s| (s.node, s)).collect();
+
+        vecs.push(asc.last().dists.clone());
+        heap.push(Reverse((TotalF64(0.0), self.root(), 0)));
+
+        while let Some(Reverse((TotalF64(mind), node_idx, vec_id))) = heap.pop() {
+            if mind > dk(&best) {
+                break;
+            }
+            stats.nodes_visited += 1;
+            let node = self.node(node_idx);
+            if node.is_leaf() {
+                self.scan_leaf(q, oi, node_idx, &vecs[vec_id], &anc, dk(&best), &mut |o, d| {
+                    consider(&mut best, o, d)
+                });
+                continue;
+            }
+            for &child in &node.children {
+                if oi.subtree_count[child as usize] == 0 {
+                    continue;
+                }
+                if let Some(step) = anc.get(&child) {
+                    // Child contains q: mindist 0, vector from the ascent.
+                    vecs.push(step.dists.clone());
+                    heap.push(Reverse((TotalF64(0.0), child, vecs.len() - 1)));
+                    continue;
+                }
+                // Lemma 8/9: derive the child's vector from this node.
+                let (base_ads, base_vec): (&[indoor_model::DoorId], &[f64]) =
+                    if let Some(step) = anc.get(&node_idx) {
+                        // Node contains q: go through the sibling on q's path.
+                        let sib = self.child_towards(node_idx, asc.steps[0].node);
+                        debug_assert_ne!(sib, child);
+                        let sib_step = anc.get(&sib).expect("sibling on ascent path");
+                        let _ = step;
+                        (&self.node(sib).access_doors, &sib_step.dists)
+                    } else {
+                        (&node.access_doors, &vecs[vec_id])
+                    };
+                let cvec = self.derive_child_vec(node_idx, child, base_ads, base_vec);
+                let mind_c = cvec.iter().copied().fold(f64::INFINITY, f64::min);
+                if mind_c <= dk(&best) {
+                    vecs.push(cvec);
+                    heap.push(Reverse((TotalF64(mind_c), child, vecs.len() - 1)));
+                }
+            }
+        }
+
+        let mut out: Vec<(ObjectId, f64)> = best
+            .into_iter()
+            .map(|(TotalF64(d), o)| (o, d))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    pub(crate) fn range_with_ascent(
+        &self,
+        q: &IndoorPoint,
+        radius: f64,
+        asc: &Ascent,
+        stats: &mut QueryStats,
+    ) -> Vec<(ObjectId, f64)> {
+        stats.queries += 1;
+        let Some(oi) = &self.objects else {
+            return Vec::new();
+        };
+        let mut out: Vec<(ObjectId, f64)> = Vec::new();
+        let anc: HashMap<NodeIdx, &crate::ascent::AscentStep> =
+            asc.steps.iter().map(|s| (s.node, s)).collect();
+
+        // Plain DFS with the fixed bound (Algorithm 5 with d_k = r).
+        let mut stack: Vec<(NodeIdx, Vec<f64>)> = vec![(self.root(), asc.last().dists.clone())];
+        while let Some((node_idx, vec)) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = self.node(node_idx);
+            let contains_q = anc.contains_key(&node_idx);
+            let mind = if contains_q {
+                0.0
+            } else {
+                vec.iter().copied().fold(f64::INFINITY, f64::min)
+            };
+            if mind > radius {
+                continue;
+            }
+            if node.is_leaf() {
+                self.scan_leaf(q, oi, node_idx, &vec, &anc, radius, &mut |o, d| {
+                    if d <= radius {
+                        out.push((o, d));
+                    }
+                });
+                continue;
+            }
+            for &child in &node.children {
+                if oi.subtree_count[child as usize] == 0 {
+                    continue;
+                }
+                if let Some(step) = anc.get(&child) {
+                    stack.push((child, step.dists.clone()));
+                    continue;
+                }
+                let (base_ads, base_vec): (&[indoor_model::DoorId], &[f64]) = if contains_q {
+                    let sib = self.child_towards(node_idx, asc.steps[0].node);
+                    let sib_step = anc.get(&sib).expect("sibling on ascent path");
+                    (&self.node(sib).access_doors, &sib_step.dists)
+                } else {
+                    (&node.access_doors, &vec)
+                };
+                let cvec = self.derive_child_vec(node_idx, child, base_ads, base_vec);
+                stack.push((child, cvec));
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// dist(q, a') for a' ∈ AD(child) = min over base doors b of
+    /// `base_vec[b] + M_parent(b, a')` (Lemmas 8 & 9: both the sibling
+    /// case and the outside case route through a known door set whose
+    /// pairwise distances live in the parent's matrix).
+    fn derive_child_vec(
+        &self,
+        parent: NodeIdx,
+        child: NodeIdx,
+        base_ads: &[indoor_model::DoorId],
+        base_vec: &[f64],
+    ) -> Vec<f64> {
+        let pm = &self.node(parent).matrix;
+        let child_ads = &self.node(child).access_doors;
+        let mut out = Vec::with_capacity(child_ads.len());
+        for &a in child_ads {
+            let col = pm.col_index(a).expect("child AD in parent matrix");
+            let mut bestv = f64::INFINITY;
+            for (bi, &b) in base_ads.iter().enumerate() {
+                if !base_vec[bi].is_finite() {
+                    continue;
+                }
+                let row = pm.row_index(b).expect("base door in parent matrix");
+                let cand = base_vec[bi] + pm.at(row, col);
+                if cand < bestv {
+                    bestv = cand;
+                }
+            }
+            out.push(bestv);
+        }
+        out
+    }
+
+    /// Report candidate objects of one leaf through `emit(obj, exact_dist)`.
+    fn scan_leaf(
+        &self,
+        q: &IndoorPoint,
+        oi: &ObjectIndex,
+        leaf: NodeIdx,
+        vec: &[f64],
+        anc: &HashMap<NodeIdx, &crate::ascent::AscentStep>,
+        bound: f64,
+        emit: &mut dyn FnMut(ObjectId, f64),
+    ) {
+        let Some(data) = oi.leaf_data.get(&leaf) else {
+            return;
+        };
+        let venue = &*self.venue;
+        if anc.contains_key(&leaf) {
+            // q's own leaf: exact distances via one D2D expansion.
+            let node = self.node(leaf);
+            let targets: Vec<u32> = node.doors.iter().map(|d| d.0).collect();
+            let mut engine = self.engine.lock().expect("engine poisoned");
+            engine.run(
+                venue.d2d(),
+                &q.door_seeds(venue),
+                Termination::SettleAll(&targets),
+            );
+            for oid in &data.objs {
+                let o = oi.object(*oid);
+                let mut d = q.direct_distance(venue, o).unwrap_or(f64::INFINITY);
+                for &door in &venue.partition(o.partition).doors {
+                    if let Some(dd) = engine.settled_distance(door.0) {
+                        let cand = dd + o.distance_to_door(venue, door);
+                        if cand < d {
+                            d = cand;
+                        }
+                    }
+                }
+                emit(*oid, d);
+            }
+            return;
+        }
+
+        // Early-terminating scans over the per-access-door sorted lists;
+        // candidates then get their exact min over all access doors.
+        let n = data.objs.len();
+        let mut candidate = vec![false; n];
+        for (ad_idx, &dq) in vec.iter().enumerate() {
+            if !dq.is_finite() {
+                continue;
+            }
+            for &j in data.order_at(ad_idx) {
+                if dq + data.dist_at(ad_idx, j as usize) > bound {
+                    break;
+                }
+                candidate[j as usize] = true;
+            }
+        }
+        for (j, is_c) in candidate.iter().enumerate() {
+            if !is_c {
+                continue;
+            }
+            let mut d = f64::INFINITY;
+            for (ad_idx, &dq) in vec.iter().enumerate() {
+                let cand = dq + data.dist_at(ad_idx, j as usize);
+                if cand < d {
+                    d = cand;
+                }
+            }
+            emit(data.objs[j], d);
+        }
+    }
+
+    /// Crate-internal re-exports of the branch-and-bound building blocks
+    /// for the keyword extension (`keywords.rs`).
+    pub(crate) fn derive_child_vec_pub(
+        &self,
+        parent: NodeIdx,
+        child: NodeIdx,
+        base_ads: &[indoor_model::DoorId],
+        base_vec: &[f64],
+    ) -> Vec<f64> {
+        self.derive_child_vec(parent, child, base_ads, base_vec)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_leaf_pub(
+        &self,
+        q: &IndoorPoint,
+        oi: &ObjectIndex,
+        leaf: NodeIdx,
+        vec: &[f64],
+        anc: &HashMap<NodeIdx, &crate::ascent::AscentStep>,
+        bound: f64,
+        emit: &mut dyn FnMut(ObjectId, f64),
+    ) {
+        self.scan_leaf(q, oi, leaf, vec, anc, bound, emit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::VipTreeConfig;
+    use crate::{IpTree, VipTree};
+    use indoor_graph::DijkstraEngine;
+    use indoor_model::IndoorPoint;
+    use indoor_synth::{random_venue, workload};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    /// Brute force: oracle distance to every object, sorted.
+    fn brute_force(
+        venue: &indoor_model::Venue,
+        engine: &mut DijkstraEngine,
+        q: &IndoorPoint,
+        objects: &[IndoorPoint],
+    ) -> Vec<f64> {
+        let mut d: Vec<f64> = objects
+            .iter()
+            .filter_map(|o| crate::ascent::tests::oracle_distance(venue, engine, q, o))
+            .collect();
+        d.sort_by(f64::total_cmp);
+        d
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn knn_matches_brute_force(seed in 0u64..1_500, k in 1usize..8, n_obj in 1usize..30) {
+            let venue = Arc::new(random_venue(seed));
+            let mut tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let objects = workload::place_objects(&venue, n_obj, seed ^ 0x0B);
+            tree.attach_objects(&objects);
+            let mut engine = DijkstraEngine::new(venue.num_doors());
+
+            for q in workload::query_points(&venue, 6, seed ^ 0x5151) {
+                let got = tree.knn(&q, k);
+                let want = brute_force(&venue, &mut engine, &q, &objects);
+                let expect_len = k.min(want.len());
+                prop_assert_eq!(got.len(), expect_len, "seed {} q {:?}", seed, q);
+                for (i, (_, d)) in got.iter().enumerate() {
+                    prop_assert!((d - want[i]).abs() < 1e-6 * want[i].max(1.0),
+                        "seed {}: rank {} got {} want {}", seed, i, d, want[i]);
+                }
+                // Distances ascending.
+                for w in got.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].1 + 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn range_matches_brute_force(seed in 0u64..1_500, n_obj in 1usize..30) {
+            let venue = Arc::new(random_venue(seed));
+            let mut tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let objects = workload::place_objects(&venue, n_obj, seed ^ 0x0C);
+            tree.attach_objects(&objects);
+            let mut engine = DijkstraEngine::new(venue.num_doors());
+
+            for q in workload::query_points(&venue, 5, seed ^ 0xFEED) {
+                for radius in [10.0, 60.0, 300.0] {
+                    let got = tree.range(&q, radius);
+                    let want: Vec<f64> = brute_force(&venue, &mut engine, &q, &objects)
+                        .into_iter()
+                        .filter(|d| *d <= radius)
+                        .collect();
+                    prop_assert_eq!(got.len(), want.len(),
+                        "seed {} radius {}: got {:?} want {:?}", seed, radius, got, want);
+                    for (g, w) in got.iter().zip(&want) {
+                        prop_assert!((g.1 - w).abs() < 1e-6 * w.max(1.0));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn vip_knn_agrees_with_ip(seed in 0u64..800) {
+            let venue = Arc::new(random_venue(seed));
+            let mut ip = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let objects = workload::place_objects(&venue, 15, seed ^ 0x0D);
+            ip.attach_objects(&objects);
+            vip.attach_objects(&objects);
+            for q in workload::query_points(&venue, 4, seed ^ 0xB0B) {
+                let a = ip.knn(&q, 5);
+                let b = vip.knn(&q, 5);
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert!((x.1 - y.1).abs() < 1e-9 * x.1.max(1.0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Leaf creation (§2.1.2 step 1).
+//!
+//! Every hallway-class partition seeds its own leaf (rule ii: no leaf may
+//! contain two hallways). Remaining partitions are merged into adjacent
+//! leaves round by round, each partition choosing the leaf it shares the
+//! most doors with; ties prefer a leaf whose hallway is on the same floor
+//! (rule i), then the smallest leaf id (determinism). Partitions in
+//! hallway-free pockets that never touch a leaf are grouped into leaves by
+//! connected component.
+
+use indoor_model::{PartitionClass, PartitionId, Venue};
+
+/// Result of leaf assignment: for each partition, its leaf number, plus
+/// the per-leaf partition lists.
+pub(crate) struct LeafAssignment {
+    pub leaf_of_partition: Vec<u32>,
+    pub leaf_partitions: Vec<Vec<PartitionId>>,
+}
+
+const UNASSIGNED: u32 = u32::MAX;
+
+pub(crate) fn assign_leaves(venue: &Venue) -> LeafAssignment {
+    let np = venue.num_partitions();
+    let mut leaf_of: Vec<u32> = vec![UNASSIGNED; np];
+    let mut leaf_partitions: Vec<Vec<PartitionId>> = Vec::new();
+    // Level of the seeding hallway (for the same-floor tie-break); NONE for
+    // component leaves.
+    let mut leaf_level: Vec<Option<i32>> = Vec::new();
+
+    // 1. One leaf per hallway partition.
+    for p in venue.partitions() {
+        if venue.class(p.id) == PartitionClass::Hallway {
+            let leaf = leaf_partitions.len() as u32;
+            leaf_of[p.id.index()] = leaf;
+            leaf_partitions.push(vec![p.id]);
+            leaf_level.push(Some(p.level));
+        }
+    }
+
+    // 2. Rounds: every unassigned partition adjacent to >= 1 leaf picks the
+    // leaf with the most shared doors (rule i generalised to grown leaves).
+    loop {
+        let mut decisions: Vec<(PartitionId, u32)> = Vec::new();
+        for p in venue.partitions() {
+            if leaf_of[p.id.index()] != UNASSIGNED {
+                continue;
+            }
+            // Count doors shared with each adjacent leaf.
+            let mut best: Option<(u32, usize, bool)> = None; // (leaf, count, same_floor)
+            let mut counts: Vec<(u32, usize)> = Vec::new();
+            for &d in &p.doors {
+                if let Some(q) = venue.door(d).other_side(p.id) {
+                    let leaf = leaf_of[q.index()];
+                    if leaf != UNASSIGNED {
+                        match counts.iter_mut().find(|(l, _)| *l == leaf) {
+                            Some((_, c)) => *c += 1,
+                            None => counts.push((leaf, 1)),
+                        }
+                    }
+                }
+            }
+            for (leaf, count) in counts {
+                let same_floor = leaf_level[leaf as usize] == Some(p.level);
+                let better = match best {
+                    None => true,
+                    Some((bl, bc, bs)) => {
+                        count > bc
+                            || (count == bc && same_floor && !bs)
+                            || (count == bc && same_floor == bs && leaf < bl)
+                    }
+                };
+                if better {
+                    best = Some((leaf, count, same_floor));
+                }
+            }
+            if let Some((leaf, _, _)) = best {
+                decisions.push((p.id, leaf));
+            }
+        }
+        if decisions.is_empty() {
+            break;
+        }
+        for (p, leaf) in decisions {
+            leaf_of[p.index()] = leaf;
+            leaf_partitions[leaf as usize].push(p);
+        }
+    }
+
+    // 3. Hallway-free pockets: group leftover partitions into leaves by
+    // connected component over partition adjacency.
+    for start in venue.partitions() {
+        if leaf_of[start.id.index()] != UNASSIGNED {
+            continue;
+        }
+        let leaf = leaf_partitions.len() as u32;
+        leaf_partitions.push(Vec::new());
+        leaf_level.push(None);
+        let mut stack = vec![start.id];
+        leaf_of[start.id.index()] = leaf;
+        while let Some(p) = stack.pop() {
+            leaf_partitions[leaf as usize].push(p);
+            for &d in &venue.partition(p).doors {
+                if let Some(q) = venue.door(d).other_side(p) {
+                    if leaf_of[q.index()] == UNASSIGNED {
+                        leaf_of[q.index()] = leaf;
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+    }
+
+    LeafAssignment {
+        leaf_of_partition: leaf_of,
+        leaf_partitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_model::PartitionClass;
+    use indoor_synth::random_venue;
+    use proptest::prelude::*;
+
+    fn check_assignment(venue: &Venue) {
+        let a = assign_leaves(venue);
+        // Every partition in exactly one leaf; lists consistent.
+        let mut seen = vec![false; venue.num_partitions()];
+        for (leaf, parts) in a.leaf_partitions.iter().enumerate() {
+            assert!(!parts.is_empty(), "empty leaf {leaf}");
+            for p in parts {
+                assert!(!seen[p.index()], "partition {p} in two leaves");
+                seen[p.index()] = true;
+                assert_eq!(a.leaf_of_partition[p.index()], leaf as u32);
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "unassigned partition");
+
+        // Rule ii: at most one hallway-class partition per leaf.
+        for parts in &a.leaf_partitions {
+            let hallways = parts
+                .iter()
+                .filter(|p| venue.class(**p) == PartitionClass::Hallway)
+                .count();
+            assert!(hallways <= 1, "leaf with {hallways} hallways");
+        }
+
+        // Leaves are internally connected (partition adjacency).
+        for parts in &a.leaf_partitions {
+            let mut reach = vec![parts[0]];
+            let mut frontier = vec![parts[0]];
+            while let Some(p) = frontier.pop() {
+                for &d in &venue.partition(p).doors {
+                    if let Some(q) = venue.door(d).other_side(p) {
+                        if parts.contains(&q) && !reach.contains(&q) {
+                            reach.push(q);
+                            frontier.push(q);
+                        }
+                    }
+                }
+            }
+            assert_eq!(reach.len(), parts.len(), "disconnected leaf");
+        }
+    }
+
+    #[test]
+    fn paper_figure1_style_venue() {
+        // Two hallways with rooms: rooms must join their hallway's leaf.
+        let venue = indoor_synth::CampusSpec::single(indoor_synth::BuildingSpec {
+            levels: 2,
+            rooms_per_level: 10,
+            hallways_per_level: 1,
+            extra_door_frac: 0.0,
+            stairs_per_level: 1,
+            lifts: 0,
+            ..Default::default()
+        })
+        .build();
+        let a = assign_leaves(&venue);
+        // One leaf per hallway (2 levels x 1 corridor) — stairs join one of
+        // them, rooms join their corridor.
+        assert_eq!(a.leaf_partitions.len(), 2);
+        check_assignment(&venue);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn assignment_invariants_hold(seed in 0u64..10_000) {
+            let venue = random_venue(seed);
+            check_assignment(&venue);
+        }
+    }
+}

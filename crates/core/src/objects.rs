@@ -1,0 +1,191 @@
+//! Object embedding (§3.4 "Indexing Indoor Objects").
+//!
+//! Each object records a pointer to the leaf containing its partition;
+//! each leaf with objects keeps, per access door, the objects sorted by
+//! their distance from that door (enabling early-terminating scans), and
+//! every node carries its subtree object count (Algorithm 5 only descends
+//! into children that contain objects).
+
+use crate::tree::{IpTree, NodeIdx, NO_NODE};
+use indoor_model::{IndoorPoint, ObjectId};
+use std::collections::HashMap;
+
+/// Per-leaf object data.
+#[derive(Debug, Clone)]
+pub(crate) struct LeafObjects {
+    pub objs: Vec<ObjectId>,
+    /// Access-door-major distances: `dist[ad_idx * objs.len() + j]` is the
+    /// global indoor distance from access door `ad_idx` to `objs[j]`.
+    pub dist: Vec<f64>,
+    /// Access-door-major object orderings by ascending distance.
+    pub order: Vec<u32>,
+}
+
+impl LeafObjects {
+    #[inline]
+    pub fn dist_at(&self, ad_idx: usize, obj_idx: usize) -> f64 {
+        self.dist[ad_idx * self.objs.len() + obj_idx]
+    }
+
+    #[inline]
+    pub fn order_at(&self, ad_idx: usize) -> &[u32] {
+        let n = self.objs.len();
+        &self.order[ad_idx * n..(ad_idx + 1) * n]
+    }
+}
+
+/// The object index embedded into an IP/VIP-tree.
+#[derive(Debug, Clone)]
+pub struct ObjectIndex {
+    pub(crate) objects: Vec<IndoorPoint>,
+    pub(crate) leaf_data: HashMap<NodeIdx, LeafObjects>,
+    pub(crate) subtree_count: Vec<u32>,
+}
+
+impl ObjectIndex {
+    /// Precompute the per-leaf distance tables from the tree's leaf
+    /// matrices: `dist(a, o) = min over doors d of Partition(o) of
+    /// dist(a, d) + dist(d, o)`.
+    pub fn build(tree: &IpTree, objects: &[IndoorPoint]) -> ObjectIndex {
+        let venue = &*tree.venue;
+        let mut by_leaf: HashMap<NodeIdx, Vec<ObjectId>> = HashMap::new();
+        for (i, o) in objects.iter().enumerate() {
+            let leaf = tree.leaf_of(o.partition);
+            by_leaf.entry(leaf).or_default().push(ObjectId(i as u32));
+        }
+
+        let mut subtree_count = vec![0u32; tree.num_nodes()];
+        for (&leaf, objs) in &by_leaf {
+            let mut cur = leaf;
+            loop {
+                subtree_count[cur as usize] += objs.len() as u32;
+                let parent = tree.node(cur).parent;
+                if parent == NO_NODE {
+                    break;
+                }
+                cur = parent;
+            }
+        }
+
+        let mut leaf_data = HashMap::with_capacity(by_leaf.len());
+        for (leaf, objs) in by_leaf {
+            let node = tree.node(leaf);
+            let n_ads = node.access_doors.len();
+            let n = objs.len();
+            let mut dist = vec![f64::INFINITY; n_ads * n];
+            for (j, oid) in objs.iter().enumerate() {
+                let o = &objects[oid.index()];
+                for &d in &venue.partition(o.partition).doors {
+                    let row = node
+                        .matrix
+                        .row_index(d)
+                        .expect("partition door is a row of its leaf matrix");
+                    let exit = o.distance_to_door(venue, d);
+                    for ci in 0..n_ads {
+                        let cand = node.matrix.at(row, ci) + exit;
+                        let slot = &mut dist[ci * n + j];
+                        if cand < *slot {
+                            *slot = cand;
+                        }
+                    }
+                }
+            }
+            let mut order = Vec::with_capacity(n_ads * n);
+            for ad in 0..n_ads {
+                let mut idx: Vec<u32> = (0..n as u32).collect();
+                idx.sort_by(|&a, &b| {
+                    dist[ad * n + a as usize].total_cmp(&dist[ad * n + b as usize])
+                });
+                order.extend_from_slice(&idx);
+            }
+            leaf_data.insert(
+                leaf,
+                LeafObjects {
+                    objs,
+                    dist,
+                    order,
+                },
+            );
+        }
+
+        ObjectIndex {
+            objects: objects.to_vec(),
+            leaf_data,
+            subtree_count,
+        }
+    }
+
+    #[inline]
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    #[inline]
+    pub fn object(&self, id: ObjectId) -> &IndoorPoint {
+        &self.objects[id.index()]
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.objects.len() * std::mem::size_of::<IndoorPoint>()
+            + self
+                .leaf_data
+                .values()
+                .map(|l| l.objs.len() * 4 + l.dist.len() * 8 + l.order.len() * 4)
+                .sum::<usize>()
+            + self.subtree_count.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::VipTreeConfig;
+    use indoor_graph::{DijkstraEngine, Termination};
+    use indoor_synth::{random_venue, workload};
+    use std::sync::Arc;
+
+    #[test]
+    fn tables_match_dijkstra() {
+        let venue = Arc::new(random_venue(23));
+        let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let objects = workload::place_objects(&venue, 12, 5);
+        let oi = ObjectIndex::build(&tree, &objects);
+        assert_eq!(
+            oi.subtree_count[tree.root() as usize] as usize,
+            objects.len()
+        );
+
+        let mut engine = DijkstraEngine::new(venue.num_doors());
+        for (&leaf, data) in &oi.leaf_data {
+            let node = tree.node(leaf);
+            for (ad_idx, &a) in node.access_doors.iter().enumerate() {
+                engine.run(venue.d2d(), &[(a.0, 0.0)], Termination::Exhaust);
+                for (j, oid) in data.objs.iter().enumerate() {
+                    let o = &objects[oid.index()];
+                    let want = venue
+                        .partition(o.partition)
+                        .doors
+                        .iter()
+                        .map(|&d| {
+                            engine.settled_distance(d.0).unwrap_or(f64::INFINITY)
+                                + o.distance_to_door(&venue, d)
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    let got = data.dist_at(ad_idx, j);
+                    assert!(
+                        (got - want).abs() < 1e-9 || got == want,
+                        "dist({a}, o{j}) got {got} want {want}"
+                    );
+                }
+                // Order is ascending.
+                let ord = data.order_at(ad_idx);
+                for w in ord.windows(2) {
+                    assert!(
+                        data.dist_at(ad_idx, w[0] as usize)
+                            <= data.dist_at(ad_idx, w[1] as usize)
+                    );
+                }
+            }
+        }
+    }
+}

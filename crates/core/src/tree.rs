@@ -1,0 +1,298 @@
+use indoor_model::{DoorId, PartitionId, Venue};
+use std::sync::Arc;
+
+/// Index of a node within an [`IpTree`]'s node array.
+pub type NodeIdx = u32;
+
+/// Sentinel for "no node".
+pub const NO_NODE: NodeIdx = u32::MAX;
+
+/// Sentinel for "no door" in next-hop matrices.
+pub(crate) const NO_DOOR: u32 = u32::MAX;
+
+/// Construction parameters for [`IpTree`] and [`crate::VipTree`].
+#[derive(Debug, Clone)]
+pub struct VipTreeConfig {
+    /// Minimum degree `t` of Algorithm 1 — the minimum number of children
+    /// per non-root node. The paper evaluates t ∈ {2, 10, 20, 60, 100}
+    /// (Fig. 7) and uses t = 2 everywhere else.
+    pub min_degree: usize,
+    /// Disable the superior-door optimisation of §3.1.1 (ablation); all
+    /// doors of the source partition are considered instead.
+    pub use_superior_doors: bool,
+}
+
+impl Default for VipTreeConfig {
+    fn default() -> Self {
+        VipTreeConfig {
+            min_degree: 2,
+            use_superior_doors: true,
+        }
+    }
+}
+
+/// Errors during tree construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// `min_degree` must be at least 2.
+    BadMinDegree(usize),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::BadMinDegree(t) => write!(f, "min_degree must be >= 2, got {t}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A distance matrix attached to a tree node.
+///
+/// * Leaf nodes: `rows` = every door of the node, `cols` = its access
+///   doors; entry `(d, a)` stores the global shortest distance `dist(d, a)`
+///   and the next-hop door on the shortest path *from d to a* (§2.1.1).
+/// * Non-leaf nodes: `rows == cols` = the union of the children's access
+///   doors; entry `(di, dj)` stores `dist(di, dj)` and the first door of
+///   that set on the shortest path from `di` to `dj`.
+///
+/// `next_hop` uses [`NO_DOOR`] for NULL entries (final edges).
+#[derive(Debug, Clone)]
+pub struct DistMatrix {
+    pub rows: Vec<DoorId>,
+    pub cols: Vec<DoorId>,
+    pub dist: Box<[f64]>,
+    pub next_hop: Box<[u32]>,
+}
+
+impl DistMatrix {
+    #[inline]
+    pub fn row_index(&self, d: DoorId) -> Option<usize> {
+        self.rows.binary_search(&d).ok()
+    }
+
+    #[inline]
+    pub fn col_index(&self, d: DoorId) -> Option<usize> {
+        self.cols.binary_search(&d).ok()
+    }
+
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.dist[row * self.cols.len() + col]
+    }
+
+    #[inline]
+    pub fn hop_at(&self, row: usize, col: usize) -> Option<DoorId> {
+        match self.next_hop[row * self.cols.len() + col] {
+            NO_DOOR => None,
+            d => Some(DoorId(d)),
+        }
+    }
+
+    /// Distance between two doors if both are present (forward or, for
+    /// rectangular leaf matrices, transposed).
+    pub fn lookup_dist(&self, from: DoorId, to: DoorId) -> Option<f64> {
+        if let (Some(r), Some(c)) = (self.row_index(from), self.col_index(to)) {
+            return Some(self.at(r, c));
+        }
+        if let (Some(r), Some(c)) = (self.row_index(to), self.col_index(from)) {
+            return Some(self.at(r, c));
+        }
+        None
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.rows.len() * 4 + self.cols.len() * 4 + self.dist.len() * 8 + self.next_hop.len() * 4
+    }
+}
+
+/// One node of the IP-tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub parent: NodeIdx,
+    /// Children node indices; empty for leaves.
+    pub children: Vec<NodeIdx>,
+    /// 1 for leaves, increasing towards the root.
+    pub level: u32,
+    /// Access doors AD(N), sorted (§2.1.1 Definition 1).
+    pub access_doors: Vec<DoorId>,
+    /// Partitions contained in this leaf (empty for non-leaf nodes).
+    pub partitions: Vec<PartitionId>,
+    /// Every door of this leaf, sorted (empty for non-leaf nodes).
+    pub doors: Vec<DoorId>,
+    pub matrix: DistMatrix,
+}
+
+impl Node {
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Index of `d` in `access_doors`.
+    #[inline]
+    pub fn ad_index(&self, d: DoorId) -> Option<usize> {
+        self.access_doors.binary_search(&d).ok()
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Node>()
+            + self.children.len() * 4
+            + self.access_doors.len() * 4
+            + self.partitions.len() * 4
+            + self.doors.len() * 4
+            + self.matrix.size_bytes()
+    }
+}
+
+/// The Indoor Partitioning Tree (§2.1).
+///
+/// Beyond the node array, the tree keeps the lookup maps query processing
+/// needs: partition → leaf, door → (≤ 2) leaves, per-door boundary flags
+/// (is the door an access door of any leaf?), and per-partition superior
+/// doors (§3.1.1 Definition 2).
+#[derive(Debug)]
+pub struct IpTree {
+    pub(crate) venue: Arc<Venue>,
+    pub(crate) config: VipTreeConfig,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeIdx,
+    /// Leaf node containing each partition.
+    pub(crate) leaf_of_partition: Vec<NodeIdx>,
+    /// The (at most two, deduplicated) leaves containing each door.
+    pub(crate) door_leaves: Vec<[NodeIdx; 2]>,
+    /// Whether each door is an access door of at least one leaf.
+    pub(crate) boundary: Vec<bool>,
+    /// Superior doors per partition (Definition 2).
+    pub(crate) superior: Vec<Vec<DoorId>>,
+    /// Dijkstra fallbacks taken during path decomposition (expected 0; see
+    /// DESIGN.md on Algorithm 4 robustness).
+    pub(crate) decompose_fallbacks: std::sync::atomic::AtomicU64,
+    /// Reusable engine for same-leaf queries and decomposition fallbacks
+    /// (the paper also answers same-leaf queries with a D2D expansion).
+    pub(crate) engine: std::sync::Mutex<indoor_graph::DijkstraEngine>,
+    /// Embedded object set for kNN/range queries (§3.4), if attached.
+    pub(crate) objects: Option<crate::objects::ObjectIndex>,
+}
+
+impl IpTree {
+    #[inline]
+    pub fn venue(&self) -> &Arc<Venue> {
+        &self.venue
+    }
+
+    #[inline]
+    pub fn node(&self, idx: NodeIdx) -> &Node {
+        &self.nodes[idx as usize]
+    }
+
+    #[inline]
+    pub fn root(&self) -> NodeIdx {
+        self.root
+    }
+
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Height of the tree (root level; leaves are level 1).
+    pub fn height(&self) -> u32 {
+        self.node(self.root).level
+    }
+
+    #[inline]
+    pub fn leaf_of(&self, p: PartitionId) -> NodeIdx {
+        self.leaf_of_partition[p.index()]
+    }
+
+    /// Whether door `d` is an access door of at least one leaf (a
+    /// "boundary door"; §3.2's unqualified "access door").
+    #[inline]
+    pub fn is_boundary_door(&self, d: DoorId) -> bool {
+        self.boundary[d.index()]
+    }
+
+    /// Superior doors of a partition (Definition 2), or every door when
+    /// the optimisation is disabled.
+    pub fn superior_doors(&self, p: PartitionId) -> &[DoorId] {
+        if self.config.use_superior_doors {
+            &self.superior[p.index()]
+        } else {
+            &self.venue.partition(p).doors
+        }
+    }
+
+    /// Walk from `node` to the root, inclusive.
+    pub fn ancestors(&self, node: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
+        let mut cur = node;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let out = cur;
+            if cur == self.root {
+                done = true;
+            } else {
+                cur = self.nodes[cur as usize].parent;
+            }
+            Some(out)
+        })
+    }
+
+    /// Lowest common ancestor of two nodes (all leaves share one level, so
+    /// lock-step parent walking suffices).
+    pub fn lca(&self, a: NodeIdx, b: NodeIdx) -> NodeIdx {
+        let (mut a, mut b) = (a, b);
+        while self.node(a).level < self.node(b).level {
+            a = self.node(a).parent;
+        }
+        while self.node(b).level < self.node(a).level {
+            b = self.node(b).parent;
+        }
+        while a != b {
+            a = self.node(a).parent;
+            b = self.node(b).parent;
+        }
+        a
+    }
+
+    /// The child of `ancestor` on the path down to `descendant`
+    /// (`descendant` must be a strict descendant).
+    pub fn child_towards(&self, ancestor: NodeIdx, descendant: NodeIdx) -> NodeIdx {
+        let mut cur = descendant;
+        loop {
+            let parent = self.node(cur).parent;
+            if parent == ancestor {
+                return cur;
+            }
+            debug_assert_ne!(parent, NO_NODE, "descendant not under ancestor");
+            cur = parent;
+        }
+    }
+
+    /// Number of Dijkstra fallbacks taken by path decomposition so far.
+    pub fn decompose_fallback_count(&self) -> u64 {
+        self.decompose_fallbacks
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total bytes of index structure (Fig. 8(b)).
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.iter().map(Node::size_bytes).sum::<usize>()
+            + self.leaf_of_partition.len() * 4
+            + self.door_leaves.len() * 8
+            + self.boundary.len()
+            + self
+                .superior
+                .iter()
+                .map(|s| s.len() * 4 + std::mem::size_of::<Vec<DoorId>>())
+                .sum::<usize>()
+    }
+}

@@ -1,0 +1,498 @@
+//! VIP-Tree (§2.2, §3.1.2, §3.3): the IP-tree plus, for every door, the
+//! materialised distances (and minimising chains) to the access doors of
+//! all of its ancestor nodes.
+//!
+//! With the tables, `dist(s, d)` for an access door `d` of any ancestor is
+//! `min over superior doors u of Partition(s): dist(s, u) + table[u](d)` —
+//! two table lookups instead of an ascent, giving O(ρ²) shortest-distance
+//! and O(ρ² + w) expected shortest-path cost (Table 1).
+
+use crate::ascent::{Ascent, AscentStep, Provenance};
+use crate::objects::ObjectIndex;
+use crate::path::PartialEdge;
+use crate::tree::{BuildError, IpTree, NodeIdx, VipTreeConfig, NO_NODE};
+use indoor_model::{DoorId, IndoorPath, IndoorPoint, ObjectId, QueryStats, Venue};
+use std::sync::Arc;
+
+/// Sentinel argmin: the distance came straight from the leaf matrix row of
+/// the door (the chain bottoms out at the leaf level).
+const ARG_LEAF: u16 = u16::MAX;
+
+/// One ancestor row of a door's table.
+#[derive(Debug, Clone)]
+struct TableNode {
+    node: NodeIdx,
+    /// The node the minimisation ran over (child of `node` on the door's
+    /// chain); `NO_NODE` for the leaf row itself.
+    prev: NodeIdx,
+    /// Offset into `dists`/`args`.
+    offset: u32,
+}
+
+/// Materialised ancestor distances of one door.
+#[derive(Debug, Clone, Default)]
+struct DoorTable {
+    nodes: Vec<TableNode>,
+    /// Concatenated rows, aligned with each node's access-door list.
+    dists: Vec<f64>,
+    /// Argmin index into `prev`'s access-door list (`ARG_LEAF` for leaf
+    /// rows or entries lifted straight off the leaf matrix).
+    args: Vec<u16>,
+}
+
+impl DoorTable {
+    fn row(&self, node: NodeIdx) -> Option<(&TableNode, usize)> {
+        self.nodes
+            .iter()
+            .find(|t| t.node == node)
+            .map(|t| (t, t.offset as usize))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<TableNode>() + self.dists.len() * 8
+            + self.args.len() * 2
+    }
+}
+
+/// The VIP-tree: an [`IpTree`] plus per-door ancestor tables.
+#[derive(Debug)]
+pub struct VipTree {
+    ip: IpTree,
+    tables: Vec<DoorTable>,
+}
+
+impl VipTree {
+    /// Build the IP-tree, then materialise the per-door tables (§2.2).
+    pub fn build(venue: Arc<Venue>, config: &VipTreeConfig) -> Result<VipTree, BuildError> {
+        let ip = IpTree::build(venue, config)?;
+        Ok(Self::from_ip_tree(ip))
+    }
+
+    /// Materialise tables over an existing IP-tree.
+    pub fn from_ip_tree(ip: IpTree) -> VipTree {
+        let n_doors = ip.venue.num_doors();
+        let mut tables: Vec<DoorTable> = vec![DoorTable::default(); n_doors];
+
+        for d in 0..n_doors as u32 {
+            let door = DoorId(d);
+            let table = &mut tables[d as usize];
+            for leaf in ip.door_leaves[d as usize] {
+                if leaf == NO_NODE {
+                    continue;
+                }
+                // Leaf row: distances straight from the leaf matrix.
+                if table.row(leaf).is_none() {
+                    let node = ip.node(leaf);
+                    let offset = table.dists.len() as u32;
+                    let row = node
+                        .matrix
+                        .row_index(door)
+                        .expect("door is a row of its leaf matrix");
+                    for (ci, _) in node.access_doors.iter().enumerate() {
+                        table.dists.push(node.matrix.at(row, ci));
+                        table.args.push(ARG_LEAF);
+                    }
+                    table.nodes.push(TableNode {
+                        node: leaf,
+                        prev: NO_NODE,
+                        offset,
+                    });
+                }
+                // Ascend to the root, minimising over the previous level.
+                let mut cur = leaf;
+                loop {
+                    let parent = ip.node(cur).parent;
+                    if parent == NO_NODE {
+                        break;
+                    }
+                    if table.row(parent).is_some() {
+                        break; // shared upper chain already materialised
+                    }
+                    let (_, prev_off) = table.row(cur).expect("chain built bottom-up");
+                    let prev_dists: Vec<f64> = {
+                        let n = ip.node(cur).access_doors.len();
+                        table.dists[prev_off..prev_off + n].to_vec()
+                    };
+                    let pnode = ip.node(parent);
+                    let child_ads = &ip.node(cur).access_doors;
+                    let offset = table.dists.len() as u32;
+                    for &a in &pnode.access_doors {
+                        let col = pnode
+                            .matrix
+                            .col_index(a)
+                            .expect("parent AD in own matrix");
+                        let mut best = f64::INFINITY;
+                        let mut best_idx = ARG_LEAF;
+                        for (bi, &b) in child_ads.iter().enumerate() {
+                            let row = pnode
+                                .matrix
+                                .row_index(b)
+                                .expect("child AD in parent matrix");
+                            let cand = prev_dists[bi] + pnode.matrix.at(row, col);
+                            if cand < best {
+                                best = cand;
+                                best_idx = bi as u16;
+                            }
+                        }
+                        table.dists.push(best);
+                        table.args.push(best_idx);
+                    }
+                    table.nodes.push(TableNode {
+                        node: parent,
+                        prev: cur,
+                        offset,
+                    });
+                    cur = parent;
+                }
+            }
+        }
+
+        VipTree { ip, tables }
+    }
+
+    /// Access to the underlying IP-tree (shared kNN/range machinery,
+    /// statistics).
+    #[inline]
+    pub fn ip_tree(&self) -> &IpTree {
+        &self.ip
+    }
+
+    #[inline]
+    pub fn venue(&self) -> &Arc<Venue> {
+        self.ip.venue()
+    }
+
+    /// dist(door → access door `ad_idx` of ancestor `node`) from the
+    /// materialised table.
+    fn table_dist(&self, door: DoorId, node: NodeIdx, ad_idx: usize) -> f64 {
+        match self.tables[door.index()].row(node) {
+            Some((_, off)) => self.tables[door.index()].dists[off + ad_idx],
+            None => f64::INFINITY,
+        }
+    }
+
+    /// §3.1.2: shortest distance in O(ρ²) via table lookups.
+    pub fn shortest_distance_points(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64> {
+        self.shortest_distance_with_stats(s, t, &mut QueryStats::default())
+    }
+
+    pub fn shortest_distance_with_stats(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        stats: &mut QueryStats,
+    ) -> Option<f64> {
+        stats.queries += 1;
+        let ip = &self.ip;
+        let leaf_s = ip.leaf_of(s.partition);
+        let leaf_t = ip.leaf_of(t.partition);
+        if leaf_s == leaf_t {
+            return ip.same_leaf_route(s, t).map(|(d, _)| d);
+        }
+        stats.door_pairs += (ip.superior_doors(s.partition).len()
+            * ip.superior_doors(t.partition).len()) as u64;
+        self.cross_leaf(s, t, leaf_s, leaf_t).map(|r| r.dist)
+    }
+
+    /// §3.3: shortest path; the ascent chains come from the tables'
+    /// argmins, everything else matches the IP-tree path algorithm.
+    pub fn shortest_path_points(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
+        let ip = &self.ip;
+        let leaf_s = ip.leaf_of(s.partition);
+        let leaf_t = ip.leaf_of(t.partition);
+        if leaf_s == leaf_t {
+            let (length, doors) = ip.same_leaf_route(s, t)?;
+            return Some(IndoorPath {
+                source: *s,
+                target: *t,
+                doors,
+                length,
+            });
+        }
+        let r = self.cross_leaf(s, t, leaf_s, leaf_t)?;
+
+        // Source chain: s → via_s → ... → di; target chain reversed.
+        let mut seq: Vec<DoorId> = vec![r.via_s];
+        for e in self.table_chain(r.via_s, r.ns, r.i) {
+            let full = ip.expand(e.from, e.to, Some(e.ctx));
+            debug_assert_eq!(full.first(), seq.last());
+            seq.extend_from_slice(&full[1..]);
+        }
+        let di = ip.node(r.ns).access_doors[r.i];
+        let dj = ip.node(r.nt).access_doors[r.j];
+        if di != dj {
+            let lca = ip.node(r.ns).parent;
+            let full = ip.expand(di, dj, Some(lca));
+            debug_assert_eq!(full.first(), seq.last());
+            seq.extend_from_slice(&full[1..]);
+        }
+        let mut tail: Vec<DoorId> = vec![r.via_t];
+        for e in self.table_chain(r.via_t, r.nt, r.j) {
+            let full = ip.expand(e.from, e.to, Some(e.ctx));
+            debug_assert_eq!(full.first(), tail.last());
+            tail.extend_from_slice(&full[1..]);
+        }
+        tail.reverse();
+        debug_assert_eq!(tail.first(), Some(&dj));
+        seq.extend_from_slice(&tail[1..]);
+        seq.dedup();
+
+        Some(IndoorPath {
+            source: *s,
+            target: *t,
+            doors: seq,
+            length: r.dist,
+        })
+    }
+
+    /// The minimising chain `door → ... → access door ad_idx of node`,
+    /// as partial edges with their context nodes.
+    fn table_chain(&self, door: DoorId, node: NodeIdx, ad_idx: usize) -> Vec<PartialEdge> {
+        let ip = &self.ip;
+        let table = &self.tables[door.index()];
+        let mut edges: Vec<PartialEdge> = Vec::new();
+        let mut cur = node;
+        let mut idx = ad_idx;
+        loop {
+            let (tn, off) = table.row(cur).expect("chain node in table");
+            let cur_door = ip.node(cur).access_doors[idx];
+            match table.args[off + idx] {
+                ARG_LEAF => {
+                    // Leaf row: one edge door → cur_door in the leaf matrix.
+                    if door != cur_door {
+                        edges.push(PartialEdge {
+                            from: door,
+                            to: cur_door,
+                            ctx: cur,
+                        });
+                    }
+                    break;
+                }
+                arg => {
+                    let prev = tn.prev;
+                    let prev_door = ip.node(prev).access_doors[arg as usize];
+                    if prev_door != cur_door {
+                        edges.push(PartialEdge {
+                            from: prev_door,
+                            to: cur_door,
+                            ctx: cur,
+                        });
+                    }
+                    cur = prev;
+                    idx = arg as usize;
+                }
+            }
+        }
+        edges.reverse();
+        edges
+    }
+
+    fn cross_leaf(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        leaf_s: NodeIdx,
+        leaf_t: NodeIdx,
+    ) -> Option<CrossLeaf> {
+        let ip = &self.ip;
+        let venue = &*ip.venue;
+        let lca = ip.lca(leaf_s, leaf_t);
+        let ns = ip.child_towards(lca, leaf_s);
+        let nt = ip.child_towards(lca, leaf_t);
+        let lca_node = ip.node(lca);
+        let ads = &ip.node(ns).access_doors;
+        let adt = &ip.node(nt).access_doors;
+
+        // dist(s, di) for di ∈ AD(Ns) via the superior doors' tables; keep
+        // the argmin superior door for path recovery.
+        let side = |p: &IndoorPoint, n: NodeIdx, ads: &[DoorId]| {
+            let sup = ip.superior_doors(p.partition);
+            let mut dists = vec![f64::INFINITY; ads.len()];
+            let mut vias = vec![DoorId(0); ads.len()];
+            for (i, _) in ads.iter().enumerate() {
+                for &u in sup {
+                    let cand = p.distance_to_door(venue, u) + self.table_dist(u, n, i);
+                    if cand < dists[i] {
+                        dists[i] = cand;
+                        vias[i] = u;
+                    }
+                }
+            }
+            (dists, vias)
+        };
+        let (ds, vs) = side(s, ns, ads);
+        let (dt, vt) = side(t, nt, adt);
+
+        let mut best = f64::INFINITY;
+        let mut bi = usize::MAX;
+        let mut bj = usize::MAX;
+        for (i, &di) in ads.iter().enumerate() {
+            if !ds[i].is_finite() {
+                continue;
+            }
+            let row = lca_node.matrix.row_index(di).expect("AD in LCA matrix");
+            for (j, &dj) in adt.iter().enumerate() {
+                if !dt[j].is_finite() {
+                    continue;
+                }
+                let col = lca_node.matrix.col_index(dj).expect("AD in LCA matrix");
+                let cand = ds[i] + lca_node.matrix.at(row, col) + dt[j];
+                if cand < best {
+                    best = cand;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        if !best.is_finite() {
+            return None;
+        }
+        Some(CrossLeaf {
+            dist: best,
+            ns,
+            nt,
+            i: bi,
+            j: bj,
+            via_s: vs[bi],
+            via_t: vt[bj],
+        })
+    }
+
+    /// Emulates Algorithm 2 using the tables, for the shared kNN engine:
+    /// distances from `p` to the access doors of every ancestor of its
+    /// leaf.
+    pub(crate) fn ascend_via_tables(&self, p: &IndoorPoint, target: NodeIdx) -> Ascent {
+        let ip = &self.ip;
+        let venue = &*ip.venue;
+        let sup = ip.superior_doors(p.partition);
+        let mut steps = Vec::new();
+        let mut cur = ip.leaf_of(p.partition);
+        loop {
+            let node = ip.node(cur);
+            let mut dists = Vec::with_capacity(node.access_doors.len());
+            let mut prov = Vec::with_capacity(node.access_doors.len());
+            for (i, _) in node.access_doors.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                let mut via = DoorId(0);
+                for &u in sup {
+                    let cand = p.distance_to_door(venue, u) + self.table_dist(u, cur, i);
+                    if cand < best {
+                        best = cand;
+                        via = u;
+                    }
+                }
+                dists.push(best);
+                prov.push(Provenance::Source { via });
+            }
+            steps.push(AscentStep {
+                node: cur,
+                dists,
+                prov,
+            });
+            if cur == target {
+                break;
+            }
+            cur = node.parent;
+            debug_assert_ne!(cur, NO_NODE);
+        }
+        Ascent { steps }
+    }
+
+    /// Attach an object set (shared kNN/range machinery of §3.4).
+    pub fn attach_objects(&mut self, objects: &[IndoorPoint]) {
+        let oi = ObjectIndex::build(&self.ip, objects);
+        self.ip.objects = Some(oi);
+    }
+
+    /// Algorithm 5 with the table-backed ascent (the paper reports IP- and
+    /// VIP-tree kNN performing equally; both share the branch-and-bound).
+    pub fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
+        let asc = self.ascend_via_tables(q, self.ip.root());
+        self.ip
+            .knn_with_ascent(q, k, &asc, &mut QueryStats::default())
+    }
+
+    pub fn range(&self, q: &IndoorPoint, radius: f64) -> Vec<(ObjectId, f64)> {
+        let asc = self.ascend_via_tables(q, self.ip.root());
+        self.ip
+            .range_with_ascent(q, radius, &asc, &mut QueryStats::default())
+    }
+
+    /// Total index size: IP-tree plus the door tables (Fig. 8(b)).
+    pub fn size_bytes(&self) -> usize {
+        self.ip.size_bytes() + self.tables.iter().map(DoorTable::size_bytes).sum::<usize>()
+    }
+
+    pub fn decompose_fallback_count(&self) -> u64 {
+        self.ip.decompose_fallback_count()
+    }
+}
+
+impl indoor_model::ObjectQueries for VipTree {
+    fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
+        VipTree::knn(self, q, k)
+    }
+    fn range(&self, q: &IndoorPoint, radius: f64) -> Vec<(ObjectId, f64)> {
+        VipTree::range(self, q, radius)
+    }
+}
+
+struct CrossLeaf {
+    dist: f64,
+    ns: NodeIdx,
+    nt: NodeIdx,
+    i: usize,
+    j: usize,
+    via_s: DoorId,
+    via_t: DoorId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_graph::DijkstraEngine;
+    use indoor_synth::{random_venue, workload};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(15))]
+        #[test]
+        fn vip_matches_oracle_and_ip(seed in 0u64..2_000) {
+            let venue = Arc::new(random_venue(seed));
+            let vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let ip = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let mut engine = DijkstraEngine::new(venue.num_doors());
+            for (s, t) in workload::query_pairs(&venue, 20, seed ^ 0x77) {
+                let want = crate::ascent::tests::oracle_distance(&venue, &mut engine, &s, &t);
+                let got = vip.shortest_distance_points(&s, &t);
+                let ip_got = ip.shortest_distance_points(&s, &t);
+                match (want, got) {
+                    (Some(w), Some(g)) => {
+                        prop_assert!((w - g).abs() < 1e-6 * w.max(1.0),
+                            "seed {seed}: vip {g} oracle {w}");
+                        let ig = ip_got.unwrap();
+                        prop_assert!((ig - g).abs() < 1e-9 * g.max(1.0));
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(false, "reachability mismatch"),
+                }
+            }
+        }
+
+        #[test]
+        fn vip_paths_valid(seed in 0u64..1_500) {
+            let venue = Arc::new(random_venue(seed));
+            let vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            for (s, t) in workload::query_pairs(&venue, 15, seed ^ 0x3C) {
+                let Some(path) = vip.shortest_path_points(&s, &t) else { continue };
+                let recomputed = path
+                    .validate(&venue)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}: {path:?}"));
+                prop_assert!((recomputed - path.length).abs() < 1e-6 * recomputed.max(1.0));
+                let sd = vip.shortest_distance_points(&s, &t).unwrap();
+                prop_assert!((sd - path.length).abs() < 1e-9 * sd.max(1.0));
+            }
+            prop_assert_eq!(vip.decompose_fallback_count(), 0);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Edge cases the random-venue property tests are unlikely to hit.
+
+use geometry::{Point, Rect};
+use indoor_model::{IndoorPoint, PartitionKind, VenueBuilder};
+use indoor_synth::{random_venue, workload};
+use std::sync::Arc;
+use vip_tree::{IpTree, VipTree, VipTreeConfig};
+
+/// A venue that collapses to a single leaf (one hallway, a few rooms):
+/// every query takes the same-leaf path.
+#[test]
+fn single_leaf_venue() {
+    let mut b = VenueBuilder::new();
+    let hall = b.add_partition(PartitionKind::Hallway, Rect::new(0.0, 5.0, 30.0, 8.0, 0));
+    let mut rooms = Vec::new();
+    for i in 0..5 {
+        let x = i as f64 * 6.0;
+        let r = b.add_partition(PartitionKind::Room, Rect::new(x, 0.0, x + 5.0, 5.0, 0));
+        b.add_door(Point::new(x + 2.5, 5.0, 0), r, Some(hall));
+        rooms.push(r);
+    }
+    let venue = Arc::new(b.build().unwrap());
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    assert_eq!(tree.ip_tree().num_leaves(), 1);
+    assert_eq!(tree.ip_tree().height(), 1);
+
+    let s = IndoorPoint::new(rooms[0], Point::new(1.0, 1.0, 0));
+    let t = IndoorPoint::new(rooms[4], Point::new(27.0, 1.0, 0));
+    let d = tree.shortest_distance_points(&s, &t).unwrap();
+    let p = tree.shortest_path_points(&s, &t).unwrap();
+    assert!((p.length - d).abs() < 1e-9);
+    assert!((p.validate(&venue).unwrap() - d).abs() < 1e-9);
+    // Door-to-door via the hallway: 4 + straight-line across + 4-ish.
+    assert!(d > 20.0 && d < 40.0, "implausible distance {d}");
+}
+
+/// Two rooms, one door: the smallest legal venue.
+#[test]
+fn two_room_venue() {
+    let mut b = VenueBuilder::new();
+    let a = b.add_partition(PartitionKind::Room, Rect::new(0.0, 0.0, 5.0, 5.0, 0));
+    let c = b.add_partition(PartitionKind::Room, Rect::new(5.0, 0.0, 10.0, 5.0, 0));
+    b.add_door(Point::new(5.0, 2.5, 0), a, Some(c));
+    let venue = Arc::new(b.build().unwrap());
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+
+    let s = IndoorPoint::new(a, Point::new(1.0, 2.5, 0));
+    let t = IndoorPoint::new(c, Point::new(9.0, 2.5, 0));
+    let d = tree.shortest_distance_points(&s, &t).unwrap();
+    assert!((d - 8.0).abs() < 1e-9, "got {d}");
+    let p = tree.shortest_path_points(&s, &t).unwrap();
+    assert_eq!(p.doors.len(), 1);
+}
+
+/// Identical source and target.
+#[test]
+fn zero_length_queries() {
+    let venue = Arc::new(random_venue(42));
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let p = workload::query_points(&venue, 5, 1);
+    for q in &p {
+        let d = tree.shortest_distance_points(q, q).unwrap();
+        assert!(d.abs() < 1e-12, "self-distance {d}");
+        let path = tree.shortest_path_points(q, q).unwrap();
+        assert!(path.length.abs() < 1e-12);
+        assert!(path.doors.is_empty());
+    }
+}
+
+/// A query point sitting exactly on a door position.
+#[test]
+fn point_on_door_position() {
+    let venue = Arc::new(random_venue(7));
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let door = venue.door(indoor_model::DoorId(0));
+    let part = door.partitions[0].unwrap();
+    let s = IndoorPoint::new(part, door.position);
+    for t in workload::query_points(&venue, 10, 3) {
+        let d = tree.shortest_distance_points(&s, &t);
+        assert!(d.is_some());
+        if let Some(p) = tree.shortest_path_points(&s, &t) {
+            let len = p.validate(&venue).unwrap();
+            assert!((len - p.length).abs() < 1e-6 * len.max(1.0));
+        }
+    }
+}
+
+/// kNN corner parameters: k = 0, k > |O|, no objects attached.
+#[test]
+fn knn_corner_parameters() {
+    let venue = Arc::new(random_venue(13));
+    let mut tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let q = workload::query_points(&venue, 1, 2)[0];
+
+    assert!(tree.knn(&q, 5).is_empty(), "no objects attached yet");
+    assert!(tree.range(&q, 100.0).is_empty());
+
+    let objects = workload::place_objects(&venue, 3, 5);
+    tree.attach_objects(&objects);
+    assert!(tree.knn(&q, 0).is_empty());
+    assert_eq!(tree.knn(&q, 10).len(), 3, "k capped at object count");
+    assert!(tree.range(&q, 0.0).len() <= 3);
+    assert_eq!(tree.range(&q, f64::MAX).len(), 3);
+}
+
+/// Re-attaching objects replaces the old set.
+#[test]
+fn reattaching_objects_replaces() {
+    let venue = Arc::new(random_venue(21));
+    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let q = workload::query_points(&venue, 1, 2)[0];
+    tree.attach_objects(&workload::place_objects(&venue, 10, 1));
+    assert_eq!(tree.knn(&q, 20).len(), 10);
+    tree.attach_objects(&workload::place_objects(&venue, 4, 2));
+    assert_eq!(tree.knn(&q, 20).len(), 4);
+}
+
+/// Concurrent read queries over a shared tree (Send + Sync).
+#[test]
+fn concurrent_queries() {
+    let venue = Arc::new(random_venue(99));
+    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    tree.attach_objects(&workload::place_objects(&venue, 8, 3));
+    let tree = Arc::new(tree);
+    let pairs = workload::query_pairs(&venue, 64, 4);
+    let baseline: Vec<Option<f64>> = pairs
+        .iter()
+        .map(|(s, t)| tree.shortest_distance_points(s, t))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let tree = tree.clone();
+            let pairs = &pairs;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for ((s, t), want) in pairs.iter().zip(baseline) {
+                    let got = tree.shortest_distance_points(s, t);
+                    match (got, want) {
+                        (Some(a), Some(b)) => assert!((a - b).abs() < 1e-12),
+                        (None, None) => {}
+                        _ => panic!("nondeterministic result under concurrency"),
+                    }
+                    let _ = tree.knn(s, 3);
+                }
+            });
+        }
+    });
+}
+
+/// High minimum degree: tree degenerates towards a flat root.
+#[test]
+fn huge_min_degree_flattens_tree() {
+    let venue = Arc::new(random_venue(55));
+    let cfg = VipTreeConfig {
+        min_degree: 1000,
+        ..Default::default()
+    };
+    let tree = VipTree::build(venue.clone(), &cfg).unwrap();
+    assert!(tree.ip_tree().height() <= 2);
+    for (s, t) in workload::query_pairs(&venue, 20, 5) {
+        if let Some(p) = tree.shortest_path_points(&s, &t) {
+            let len = p.validate(&venue).unwrap();
+            assert!((len - p.length).abs() < 1e-6 * len.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Geometry primitives for indoor spaces.
+//!
+//! Indoor venues use a 2.5-D coordinate system (following the VIP-Tree paper,
+//! §4.1): the first two coordinates are planar metres, the third is a
+//! discrete floor level. Vertical distance between floors is expressed via
+//! [`FLOOR_HEIGHT`] when a metric distance spanning levels is needed (e.g.
+//! the walking length of a staircase).
+
+mod point;
+mod rect;
+mod total;
+
+pub use point::{Point, FLOOR_HEIGHT};
+pub use rect::Rect;
+pub use total::TotalF64;
+
+/// The machine-epsilon-scale tolerance used when comparing computed indoor
+/// distances (sums of Euclidean segment lengths accumulate rounding error).
+pub const DIST_EPS: f64 = 1e-6;
+
+/// Compare two distances for equality within [`DIST_EPS`] scaled by the
+/// magnitude of the values, suitable for validating alternative route
+/// computations against each other.
+#[inline]
+pub fn dist_approx_eq(a: f64, b: f64) -> bool {
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= DIST_EPS * scale
+}

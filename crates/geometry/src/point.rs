@@ -1,0 +1,124 @@
+use serde::{Deserialize, Serialize};
+
+/// Vertical distance in metres between consecutive floor levels.
+///
+/// Used when converting a level difference into a metric contribution, e.g.
+/// for the walking length of staircases produced by the synthetic venue
+/// generator. Real venues may override per-edge weights instead.
+pub const FLOOR_HEIGHT: f64 = 4.0;
+
+/// A position inside an indoor venue.
+///
+/// `x`/`y` are planar metres; `level` is the floor number (may be negative
+/// for basements). Two points on the same level are compared with plain
+/// Euclidean distance; across levels the vertical offset contributes
+/// `level_diff * FLOOR_HEIGHT` metres (as the hypotenuse component), which
+/// is only meaningful for partitions that span floors (stairs, lifts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+    pub level: i32,
+}
+
+impl Point {
+    #[inline]
+    pub const fn new(x: f64, y: f64, level: i32) -> Self {
+        Point { x, y, level }
+    }
+
+    /// Planar (same-floor) Euclidean distance, ignoring the level.
+    #[inline]
+    pub fn planar_distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Indoor metric distance: Euclidean over (x, y, level * FLOOR_HEIGHT).
+    ///
+    /// This is the default weight between two doors of the same partition
+    /// and between an interior point and a door of its partition.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dz = f64::from(self.level - other.level) * FLOOR_HEIGHT;
+        let dxy = self.planar_distance(other);
+        (dxy * dxy + dz * dz).sqrt()
+    }
+
+    /// Midpoint of two positions (levels are averaged towards `self`).
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point {
+            x: (self.x + other.x) / 2.0,
+            y: (self.y + other.y) / 2.0,
+            level: self.level,
+        }
+    }
+
+    /// Translate by a planar offset.
+    #[inline]
+    pub fn offset(&self, dx: f64, dy: f64) -> Point {
+        Point {
+            x: self.x + dx,
+            y: self.y + dy,
+            level: self.level,
+        }
+    }
+
+    /// Same point on a different floor.
+    #[inline]
+    pub fn at_level(&self, level: i32) -> Point {
+        Point { level, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn planar_distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0, 0);
+        let b = Point::new(3.0, 4.0, 0);
+        assert!((a.planar_distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_level_distance_includes_floor_height() {
+        let a = Point::new(0.0, 0.0, 0);
+        let b = Point::new(0.0, 3.0, 1);
+        let expected = (9.0 + FLOOR_HEIGHT * FLOOR_HEIGHT).sqrt();
+        assert!((a.distance(&b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_and_offset() {
+        let a = Point::new(0.0, 0.0, 2);
+        let b = Point::new(4.0, 8.0, 2);
+        let m = a.midpoint(&b);
+        assert_eq!((m.x, m.y, m.level), (2.0, 4.0, 2));
+        let o = a.offset(1.0, -1.0);
+        assert_eq!((o.x, o.y), (1.0, -1.0));
+        assert_eq!(a.at_level(5).level, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(ax in -1e3..1e3f64, ay in -1e3..1e3f64,
+                                 bx in -1e3..1e3f64, by in -1e3..1e3f64,
+                                 la in -3..30i32, lb in -3..30i32) {
+            let a = Point::new(ax, ay, la);
+            let b = Point::new(bx, by, lb);
+            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+            prop_assert!(a.distance(&b) >= 0.0);
+        }
+
+        #[test]
+        fn triangle_inequality(pts in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64, -3..30i32), 3)) {
+            let p: Vec<Point> = pts.iter().map(|&(x, y, l)| Point::new(x, y, l)).collect();
+            let (a, b, c) = (p[0], p[1], p[2]);
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned planar rectangle on a single floor level.
+///
+/// Partitions carry a `Rect` as their spatial extent; the synthetic venue
+/// generator uses it to place doors and random interior points, and query
+/// workload generation samples points uniformly inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+    pub level: i32,
+}
+
+impl Rect {
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64, level: i32) -> Self {
+        debug_assert!(min_x <= max_x && min_y <= max_y);
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+            level,
+        }
+    }
+
+    /// Degenerate rectangle containing a single point.
+    pub fn point(p: Point) -> Self {
+        Rect::new(p.x, p.y, p.x, p.y, p.level)
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+            self.level,
+        )
+    }
+
+    /// Whether `p` lies inside (or on the border of) this rectangle and on
+    /// the same level.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.level == self.level
+            && p.x >= self.min_x
+            && p.x <= self.max_x
+            && p.y >= self.min_y
+            && p.y <= self.max_y
+    }
+
+    /// Linear interpolation inside the rectangle; `u`, `v` in `[0, 1]`.
+    #[inline]
+    pub fn lerp(&self, u: f64, v: f64) -> Point {
+        Point::new(
+            self.min_x + u.clamp(0.0, 1.0) * self.width(),
+            self.min_y + v.clamp(0.0, 1.0) * self.height(),
+            self.level,
+        )
+    }
+
+    /// Smallest rectangle containing both inputs (level taken from `self`).
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+            level: self.level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_metrics() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0, 1);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.area(), 8.0);
+        let c = r.center();
+        assert_eq!((c.x, c.y, c.level), (2.0, 1.0, 1));
+    }
+
+    #[test]
+    fn containment_respects_level() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0, 1);
+        assert!(r.contains(&Point::new(1.0, 1.0, 1)));
+        assert!(!r.contains(&Point::new(1.0, 1.0, 0)));
+        assert!(!r.contains(&Point::new(5.0, 1.0, 1)));
+    }
+
+    #[test]
+    fn lerp_clamps() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0, 0);
+        let p = r.lerp(2.0, -1.0);
+        assert_eq!((p.x, p.y), (4.0, 0.0));
+        let q = r.lerp(0.5, 0.5);
+        assert_eq!((q.x, q.y), (2.0, 1.0));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0, 0);
+        let b = Rect::new(2.0, -1.0, 3.0, 0.5, 0);
+        let u = a.union(&b);
+        assert_eq!((u.min_x, u.min_y, u.max_x, u.max_y), (0.0, -1.0, 3.0, 1.0));
+    }
+}

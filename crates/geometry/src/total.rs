@@ -1,0 +1,61 @@
+use std::cmp::Ordering;
+
+/// A totally-ordered `f64` wrapper for use as a priority-queue key.
+///
+/// Distances produced by indoor routing are always finite and non-NaN, but
+/// `f64` itself is only `PartialOrd`; `TotalF64` provides the `Ord` instance
+/// the standard `BinaryHeap` needs, using IEEE-754 `total_cmp`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for TotalF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        TotalF64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(TotalF64(1.0) < TotalF64(2.0));
+        assert!(TotalF64(-1.0) < TotalF64(0.0));
+        assert_eq!(TotalF64(3.5), TotalF64(3.5));
+    }
+
+    #[test]
+    fn works_as_min_heap_key() {
+        let mut h = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0] {
+            h.push(Reverse(TotalF64(v)));
+        }
+        let popped: Vec<f64> = std::iter::from_fn(|| h.pop().map(|Reverse(TotalF64(v))| v)).collect();
+        assert_eq!(popped, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn infinity_sorts_last() {
+        assert!(TotalF64(f64::INFINITY) > TotalF64(1e300));
+    }
+}

@@ -1,0 +1,201 @@
+use indoor_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Split `vertices` into two balanced halves, minimising (heuristically)
+/// the number of cut edges. Returns a side flag per input position.
+///
+/// Method: BFS from a pseudo-peripheral vertex defines a growth order;
+/// the first half of the order seeds side 0; refinement passes then move
+/// boundary vertices with positive gain while keeping balance within 10%.
+pub fn bisect(graph: &CsrGraph, vertices: &[u32], seed: u64) -> Vec<bool> {
+    let n = vertices.len();
+    if n <= 1 {
+        return vec![false; n];
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Membership map (local index per vertex, u32::MAX = outside).
+    let mut local = vec![u32::MAX; graph.num_vertices()];
+    for (i, &v) in vertices.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+
+    // Pseudo-peripheral start: BFS twice from a random vertex.
+    let bfs_far = |start: u32, local: &[u32]| -> (u32, Vec<u32>) {
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::new();
+        seen[local[start as usize] as usize] = true;
+        q.push_back(start);
+        let mut last = start;
+        while let Some(v) = q.pop_front() {
+            order.push(v);
+            last = v;
+            for (u, _) in graph.neighbors(v) {
+                let li = local[u as usize];
+                if li != u32::MAX && !seen[li as usize] {
+                    seen[li as usize] = true;
+                    q.push_back(u);
+                }
+            }
+        }
+        // Disconnected remainders are appended in arbitrary order.
+        for (i, &v) in vertices.iter().enumerate() {
+            if !seen[i] {
+                order.push(v);
+                let _ = i;
+            }
+        }
+        (last, order)
+    };
+    let start0 = vertices[rng.gen_range(0..n)];
+    let (far, _) = bfs_far(start0, &local);
+    let (_, order) = bfs_far(far, &local);
+
+    let half = n / 2;
+    let mut side = vec![false; n];
+    for v in order.iter().take(half) {
+        side[local[*v as usize] as usize] = true; // side "0" = first half
+    }
+    // side[i] == true  => part A; false => part B.
+
+    // Refinement: a few passes of positive-gain boundary moves.
+    let mut sizes = [half, n - half];
+    let max_imbalance = (n / 10).max(1);
+    for _pass in 0..4 {
+        let mut moved = 0;
+        for (i, &v) in vertices.iter().enumerate() {
+            let my = side[i];
+            // gain = external - internal degree (within the subgraph).
+            let mut internal = 0i64;
+            let mut external = 0i64;
+            for (u, _) in graph.neighbors(v) {
+                let li = local[u as usize];
+                if li == u32::MAX {
+                    continue;
+                }
+                if side[li as usize] == my {
+                    internal += 1;
+                } else {
+                    external += 1;
+                }
+            }
+            let (from, to) = if my { (0, 1) } else { (1, 0) };
+            let balanced_after = sizes[from] > sizes[to].saturating_sub(max_imbalance)
+                && sizes[from] > 1;
+            if external > internal && balanced_after {
+                side[i] = !my;
+                sizes[from] -= 1;
+                sizes[to] += 1;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+
+    side
+}
+
+/// Partition `vertices` into (up to) `k` balanced parts by recursive
+/// bisection; returns a part id (`0..k`) per input position. Parts are
+/// non-empty whenever `vertices.len() >= k`.
+pub fn partition_k(graph: &CsrGraph, vertices: &[u32], k: usize, seed: u64) -> Vec<u32> {
+    let mut part = vec![0u32; vertices.len()];
+    if k <= 1 || vertices.len() <= 1 {
+        return part;
+    }
+    // (positions, first part id, parts wanted)
+    let mut stack: Vec<(Vec<u32>, u32, usize)> =
+        vec![((0..vertices.len() as u32).collect(), 0, k.min(vertices.len()))];
+    while let Some((positions, first, want)) = stack.pop() {
+        if want <= 1 || positions.len() <= 1 {
+            for &p in &positions {
+                part[p as usize] = first;
+            }
+            continue;
+        }
+        let verts: Vec<u32> = positions.iter().map(|&p| vertices[p as usize]).collect();
+        let side = bisect(graph, &verts, seed ^ (first as u64) << 17 ^ positions.len() as u64);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for (i, &p) in positions.iter().enumerate() {
+            if side[i] {
+                a.push(p);
+            } else {
+                b.push(p);
+            }
+        }
+        // Guard against degenerate splits.
+        if a.is_empty() || b.is_empty() {
+            let mid = positions.len() / 2;
+            a = positions[..mid].to_vec();
+            b = positions[mid..].to_vec();
+        }
+        let ka = want / 2 + want % 2;
+        let kb = want / 2;
+        stack.push((a, first, ka));
+        stack.push((b, first + ka as u32, kb));
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_graph::GraphBuilder;
+
+    /// Two 10-cliques joined by one edge: the obvious bisection.
+    fn dumbbell() -> CsrGraph {
+        let mut b = GraphBuilder::new(20);
+        for base in [0u32, 10] {
+            for i in 0..10 {
+                for j in i + 1..10 {
+                    b.add_edge(base + i, base + j, 1.0);
+                }
+            }
+        }
+        b.add_edge(0, 10, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn bisect_finds_the_bottleneck() {
+        let g = dumbbell();
+        let verts: Vec<u32> = (0..20).collect();
+        let side = bisect(&g, &verts, 7);
+        // All of clique 1 on one side, clique 2 on the other.
+        let first = side[0];
+        assert!(side[..10].iter().all(|&s| s == first));
+        assert!(side[10..].iter().all(|&s| s != first));
+    }
+
+    #[test]
+    fn partition_k_balanced_and_complete() {
+        let g = dumbbell();
+        let verts: Vec<u32> = (0..20).collect();
+        for k in [2usize, 3, 4, 5] {
+            let part = partition_k(&g, &verts, k, 3);
+            assert_eq!(part.len(), 20);
+            let mut counts = vec![0usize; k];
+            for &p in &part {
+                assert!((p as usize) < k);
+                counts[p as usize] += 1;
+            }
+            assert!(counts.iter().all(|&c| c > 0), "k={k}: empty part {counts:?}");
+            let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(mx - mn <= 20 / 2, "k={k}: imbalance {counts:?}");
+        }
+    }
+
+    #[test]
+    fn handles_tiny_inputs() {
+        let g = dumbbell();
+        assert_eq!(partition_k(&g, &[3], 4, 0), vec![0]);
+        assert_eq!(bisect(&g, &[], 0).len(), 0);
+        let two = partition_k(&g, &[1, 2], 2, 0);
+        assert_ne!(two[0], two[1]);
+    }
+}

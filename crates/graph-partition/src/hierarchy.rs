@@ -1,0 +1,240 @@
+use crate::partition_k;
+use indoor_graph::CsrGraph;
+
+/// Sentinel node id.
+pub const NO_H: u32 = u32::MAX;
+
+/// One node of a partition hierarchy.
+#[derive(Debug, Clone)]
+pub struct HNode {
+    pub parent: u32,
+    pub children: Vec<u32>,
+    /// Depth from the root (root = 0).
+    pub depth: u32,
+    /// Vertices of this region — kept for leaves only (interior nodes
+    /// would duplicate the whole graph per level).
+    pub vertices: Vec<u32>,
+    /// Vertices of this region with an edge leaving the region
+    /// (G-tree's "borders"; ROAD's Rnet border nodes).
+    pub borders: Vec<u32>,
+}
+
+impl HNode {
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A top-down partition hierarchy: the root covers the whole graph; each
+/// interior node is split into `fanout` children until a region has at
+/// most `max_leaf` vertices.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    pub nodes: Vec<HNode>,
+    pub root: u32,
+    pub leaf_of_vertex: Vec<u32>,
+}
+
+impl Hierarchy {
+    pub fn build(graph: &CsrGraph, fanout: usize, max_leaf: usize, seed: u64) -> Hierarchy {
+        assert!(fanout >= 2, "fanout must be >= 2");
+        assert!(max_leaf >= 1, "max_leaf must be >= 1");
+        let all: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+        let mut nodes: Vec<HNode> = vec![HNode {
+            parent: NO_H,
+            children: Vec::new(),
+            depth: 0,
+            vertices: all.clone(),
+            borders: Vec::new(),
+        }];
+        let mut leaf_of_vertex = vec![0u32; graph.num_vertices()];
+
+        let mut stack = vec![0u32];
+        while let Some(idx) = stack.pop() {
+            let verts = std::mem::take(&mut nodes[idx as usize].vertices);
+            if verts.len() <= max_leaf {
+                // Leaf: keep vertices, record ownership.
+                for &v in &verts {
+                    leaf_of_vertex[v as usize] = idx;
+                }
+                nodes[idx as usize].vertices = verts;
+                continue;
+            }
+            let part = partition_k(graph, &verts, fanout, seed ^ (idx as u64) << 7);
+            let k = part.iter().map(|p| p + 1).max().unwrap_or(1) as usize;
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); k];
+            for (i, &v) in verts.iter().enumerate() {
+                buckets[part[i] as usize].push(v);
+            }
+            let depth = nodes[idx as usize].depth + 1;
+            for bucket in buckets.into_iter().filter(|b| !b.is_empty()) {
+                let child = nodes.len() as u32;
+                nodes.push(HNode {
+                    parent: idx,
+                    children: Vec::new(),
+                    depth,
+                    vertices: bucket,
+                    borders: Vec::new(),
+                });
+                nodes[idx as usize].children.push(child);
+                stack.push(child);
+            }
+        }
+
+        let mut h = Hierarchy {
+            nodes,
+            root: 0,
+            leaf_of_vertex,
+        };
+        h.compute_borders(graph);
+        h
+    }
+
+    /// A vertex is a border of node `N` iff one of its graph edges leaves
+    /// the set of vertices under `N`. Membership tests use leaf ownership
+    /// plus ancestor walking, so no interior vertex lists are needed.
+    fn compute_borders(&mut self, graph: &CsrGraph) {
+        for v in 0..graph.num_vertices() as u32 {
+            let my_leaf = self.leaf_of_vertex[v as usize];
+            // Find the highest node for which v is a border: the chain of
+            // nodes for which some neighbour lies outside. Walk up from
+            // the leaf; at each node test neighbours.
+            let mut cur = my_leaf;
+            loop {
+                let outside = graph
+                    .neighbors(v)
+                    .any(|(u, _)| !self.contains(cur, self.leaf_of_vertex[u as usize]));
+                if outside {
+                    self.nodes[cur as usize].borders.push(v);
+                } else {
+                    break; // if no edge leaves `cur`, none leaves ancestors
+                }
+                let parent = self.nodes[cur as usize].parent;
+                if parent == NO_H {
+                    break;
+                }
+                cur = parent;
+            }
+        }
+        for n in &mut self.nodes {
+            n.borders.sort_unstable();
+            n.borders.dedup();
+        }
+    }
+
+    /// Is `leaf` equal to or a descendant of `node`?
+    pub fn contains(&self, node: u32, leaf: u32) -> bool {
+        let target_depth = self.nodes[node as usize].depth;
+        let mut cur = leaf;
+        while self.nodes[cur as usize].depth > target_depth {
+            cur = self.nodes[cur as usize].parent;
+        }
+        cur == node
+    }
+
+    /// The ancestor chain of a leaf, bottom-up (leaf first, root last).
+    pub fn chain(&self, leaf: u32) -> Vec<u32> {
+        let mut out = vec![leaf];
+        let mut cur = leaf;
+        while self.nodes[cur as usize].parent != NO_H {
+            cur = self.nodes[cur as usize].parent;
+            out.push(cur);
+        }
+        out
+    }
+
+    /// Child of `ancestor` on the path towards `leaf`.
+    pub fn child_towards(&self, ancestor: u32, leaf: u32) -> u32 {
+        let mut cur = leaf;
+        loop {
+            let p = self.nodes[cur as usize].parent;
+            if p == ancestor {
+                return cur;
+            }
+            debug_assert_ne!(p, NO_H);
+            cur = p;
+        }
+    }
+
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<HNode>()
+                    + (n.children.len() + n.vertices.len() + n.borders.len()) * 4
+            })
+            .sum::<usize>()
+            + self.leaf_of_vertex.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_graph::GraphBuilder;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_connected(seed: u64, n: usize, extra: usize) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n as u32 {
+            b.add_edge(rng.gen_range(0..v), v, rng.gen_range(0.5..5.0));
+        }
+        for _ in 0..extra {
+            b.add_edge(
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0.5..5.0),
+            );
+        }
+        b.build()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(25))]
+        #[test]
+        fn hierarchy_invariants(seed in 0u64..3_000, n in 2usize..120, extra in 0usize..80) {
+            let g = random_connected(seed, n, extra);
+            let h = Hierarchy::build(&g, 4, 8, seed);
+
+            // Every vertex in exactly one leaf.
+            let mut count = 0usize;
+            for node in &h.nodes {
+                if node.is_leaf() {
+                    prop_assert!(node.vertices.len() <= 8);
+                    count += node.vertices.len();
+                    for &v in &node.vertices {
+                        prop_assert!(h.contains(h.root, h.leaf_of_vertex[v as usize]));
+                    }
+                }
+            }
+            prop_assert_eq!(count, n);
+
+            // Border correctness: v is a border of N iff some edge leaves N.
+            for (i, node) in h.nodes.iter().enumerate() {
+                let i = i as u32;
+                for v in 0..n as u32 {
+                    let in_node = h.contains(i, h.leaf_of_vertex[v as usize]);
+                    let is_border = node.borders.binary_search(&v).is_ok();
+                    if !in_node {
+                        prop_assert!(!is_border);
+                        continue;
+                    }
+                    let crosses = g
+                        .neighbors(v)
+                        .any(|(u, _)| !h.contains(i, h.leaf_of_vertex[u as usize]));
+                    prop_assert_eq!(is_border, crosses, "node {} vertex {}", i, v);
+                }
+            }
+
+            // Root borders are empty (nothing outside the root).
+            prop_assert!(h.nodes[h.root as usize].borders.is_empty());
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Graph partitioning for the road-network competitors.
+//!
+//! G-tree uses the multilevel scheme of Karypis & Kumar (METIS) to
+//! decompose the road graph; ROAD hierarchically partitions into Rnets.
+//! This crate implements the required primitive from scratch: balanced
+//! `k`-way partitioning by recursive bisection, where each bisection grows
+//! a region by best-first search from a peripheral seed and then improves
+//! the cut with boundary-refinement passes (a lightweight
+//! Kernighan–Lin/Fiduccia–Mattheyses variant), plus the
+//! [`Hierarchy`] type both indexes build on.
+
+mod bisect;
+mod hierarchy;
+
+pub use bisect::{bisect, partition_k};
+pub use hierarchy::{HNode, Hierarchy, NO_H};

@@ -1,0 +1,283 @@
+//! G-tree kNN / range: best-first traversal with assembled border
+//! distances, mirroring the original paper's kNN algorithm.
+
+use crate::build::GTree;
+use crate::query::GAscent;
+use geometry::TotalF64;
+use indoor_graph::Termination;
+use indoor_model::{IndoorPoint, ObjectId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+impl GTree {
+    pub fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
+        self.object_query(q, Bound::Knn(k))
+    }
+
+    pub fn range(&self, q: &IndoorPoint, radius: f64) -> Vec<(ObjectId, f64)> {
+        self.object_query(q, Bound::Range(radius))
+    }
+
+    fn object_query(&self, q: &IndoorPoint, bound: Bound) -> Vec<(ObjectId, f64)> {
+        let Some(objs) = &self.objects else {
+            return Vec::new();
+        };
+        if objs.points.is_empty() || matches!(bound, Bound::Knn(0)) {
+            return Vec::new();
+        }
+        let venue = &*self.venue;
+        let seeds = q.door_seeds(venue);
+        let asc = self.ascend(&seeds);
+
+        // Candidate upper bounds per object (tightened as leaves emit).
+        let mut cand: HashMap<u32, f64> = HashMap::new();
+        let current_bound = |cand: &HashMap<u32, f64>| -> f64 {
+            match bound {
+                Bound::Range(r) => r,
+                Bound::Knn(k) => {
+                    if cand.len() < k {
+                        f64::INFINITY
+                    } else {
+                        let mut ds: Vec<f64> = cand.values().copied().collect();
+                        ds.sort_by(f64::total_cmp);
+                        ds[k - 1]
+                    }
+                }
+            }
+        };
+
+        // Best-first over nodes: (mindist, node, border-vector).
+        let mut heap: BinaryHeap<Reverse<(TotalF64, u32, usize)>> = BinaryHeap::new();
+        let mut vecs: Vec<Vec<f64>> = Vec::new();
+        let root = self.h.root;
+        vecs.push(asc.vecs[&root].dists.clone());
+        heap.push(Reverse((TotalF64(0.0), root, 0)));
+
+        while let Some(Reverse((TotalF64(mind), n, vid))) = heap.pop() {
+            if mind > current_bound(&cand) {
+                break;
+            }
+            let node = &self.h.nodes[n as usize];
+            if node.is_leaf() {
+                self.scan_leaf(q, &asc, n, &vecs[vid], &mut cand);
+                continue;
+            }
+            for &c in &node.children {
+                if objs.subtree_count[c as usize] == 0 {
+                    continue;
+                }
+                let cvec = self.derive_vec(n, c, &asc, &vecs[vid]);
+                let mind_c = if asc.vecs.contains_key(&c) {
+                    0.0 // child holds some of q's doors
+                } else {
+                    cvec.iter().copied().fold(f64::INFINITY, f64::min)
+                };
+                if mind_c <= current_bound(&cand) {
+                    vecs.push(cvec);
+                    heap.push(Reverse((TotalF64(mind_c), c, vecs.len() - 1)));
+                }
+            }
+        }
+
+        let mut out: Vec<(ObjectId, f64)> = cand
+            .into_iter()
+            .map(|(o, d)| (ObjectId(o), d))
+            .filter(|(_, d)| d.is_finite())
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        match bound {
+            Bound::Knn(k) => out.truncate(k),
+            Bound::Range(r) => out.retain(|(_, d)| *d <= r),
+        }
+        out
+    }
+
+    /// Exact border vector of `child`, derived from the parent's exact
+    /// vector `pvec`. A shortest route from `q` to a border of `child`
+    /// either
+    ///
+    /// * crosses the parent's own borders (entering the parent from
+    ///   outside) — covered by `pvec` + the parent matrix, or
+    /// * starts at one of q's doors inside the parent and crosses the
+    ///   borders of the chain child holding that door — covered by the
+    ///   ascent vectors of every chain child, or
+    /// * (when `child` itself holds q-doors) starts inside `child` —
+    ///   covered by `child`'s own ascent vector.
+    ///
+    /// Taking the elementwise minimum over all three keeps the vectors
+    /// exact for multi-leaf query points, which single-base derivations
+    /// (the plain Lemma 8/9 of the VIP-tree, where `q` touches exactly one
+    /// leaf) would not.
+    fn derive_vec(&self, parent: u32, child: u32, asc: &GAscent, pvec: &[f64]) -> Vec<f64> {
+        let m = &self.matrices[parent as usize];
+        let cborders = &self.h.nodes[child as usize].borders;
+        let mut out = vec![f64::INFINITY; cborders.len()];
+
+        let mut bases: Vec<(&[u32], Vec<f64>)> = Vec::new();
+        bases.push((&self.h.nodes[parent as usize].borders, pvec.to_vec()));
+        for &s in &self.h.nodes[parent as usize].children {
+            if s == child {
+                continue;
+            }
+            if let Some(nv) = asc.vecs.get(&s) {
+                bases.push((&self.h.nodes[s as usize].borders, nv.dists.clone()));
+            }
+        }
+
+        for (base_borders, base_vec) in bases {
+            for (bi, &b) in base_borders.iter().enumerate() {
+                if !base_vec[bi].is_finite() {
+                    continue;
+                }
+                let Some(ri) = m.row_index(b) else { continue };
+                for (ci_out, &cb) in cborders.iter().enumerate() {
+                    let Some(ci) = m.col_index(cb) else { continue };
+                    let cand = base_vec[bi] + m.at(ri, ci);
+                    if cand < out[ci_out] {
+                        out[ci_out] = cand;
+                    }
+                }
+            }
+        }
+        // Routes starting at q-doors inside `child` itself.
+        if let Some(own) = asc.vecs.get(&child) {
+            for (i, d) in own.dists.iter().enumerate() {
+                if *d < out[i] {
+                    out[i] = *d;
+                }
+            }
+        }
+        out
+    }
+
+    fn scan_leaf(
+        &self,
+        q: &IndoorPoint,
+        asc: &GAscent,
+        leaf: u32,
+        vec: &[f64],
+        cand: &mut HashMap<u32, f64>,
+    ) {
+        let venue = &*self.venue;
+        let objs = self.objects.as_ref().expect("objects attached");
+        let Some(table) = objs.leaf_tables.get(&leaf) else {
+            return;
+        };
+
+        if asc.leaves.contains(&leaf) {
+            // q touches this leaf: exact distances via one expansion from
+            // q's seeds (global graph, so routes leaving the leaf are
+            // covered) plus the same-partition direct candidate.
+            let m = &self.matrices[leaf as usize];
+            let mut engine = self.engine.lock().expect("engine poisoned");
+            engine.run(
+                venue.d2d(),
+                &q.door_seeds(venue),
+                Termination::SettleAll(&m.rows),
+            );
+            for &oid in &table.objs {
+                let o = &objs.points[oid as usize];
+                let mut d = q
+                    .direct_distance(venue, o)
+                    .unwrap_or(f64::INFINITY);
+                for &door in &venue.partition(o.partition).doors {
+                    if let Some(dd) = engine.settled_distance(door.0) {
+                        let c = dd + o.distance_to_door(venue, door);
+                        if c < d {
+                            d = c;
+                        }
+                    }
+                }
+                tighten(cand, oid, d);
+            }
+            return;
+        }
+
+        let n = table.objs.len();
+        for (j, &oid) in table.objs.iter().enumerate() {
+            let mut d = f64::INFINITY;
+            for (bi, &dq) in vec.iter().enumerate() {
+                if !dq.is_finite() {
+                    continue;
+                }
+                let c = dq + table.dist[bi * n + j];
+                if c < d {
+                    d = c;
+                }
+            }
+            tighten(cand, oid, d);
+        }
+    }
+}
+
+fn tighten(cand: &mut HashMap<u32, f64>, oid: u32, d: f64) {
+    let e = cand.entry(oid).or_insert(f64::INFINITY);
+    if d < *e {
+        *e = d;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Bound {
+    Knn(usize),
+    Range(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GTree, GTreeConfig};
+    use indoor_graph::DijkstraEngine;
+    use indoor_model::IndoorPoint;
+    use indoor_synth::{random_venue, workload};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn brute(
+        venue: &indoor_model::Venue,
+        engine: &mut DijkstraEngine,
+        q: &IndoorPoint,
+        objects: &[IndoorPoint],
+    ) -> Vec<f64> {
+        let mut out: Vec<f64> = objects
+            .iter()
+            .filter_map(|o| {
+                let direct = q.direct_distance(venue, o);
+                let via = engine
+                    .point_to_point(venue.d2d(), &q.door_seeds(venue), &o.door_seeds(venue))
+                    .map(|(d, _)| d);
+                match (direct, via) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            })
+            .collect();
+        out.sort_by(f64::total_cmp);
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn gtree_knn_range_match_brute_force(seed in 0u64..1_000, k in 1usize..6) {
+            let venue = Arc::new(random_venue(seed));
+            let mut tree = GTree::build(venue.clone(), &GTreeConfig { tau: 16, ..Default::default() });
+            let objects = workload::place_objects(&venue, 12, seed ^ 0x71);
+            tree.attach_objects(&objects);
+            let mut engine = DijkstraEngine::new(venue.num_doors());
+
+            for q in workload::query_points(&venue, 5, seed ^ 0x72) {
+                let want = brute(&venue, &mut engine, &q, &objects);
+                let got = tree.knn(&q, k);
+                prop_assert_eq!(got.len(), k.min(want.len()));
+                for (i, (_, d)) in got.iter().enumerate() {
+                    prop_assert!((d - want[i]).abs() < 1e-6 * want[i].max(1.0),
+                        "seed {}: rank {} got {} want {}", seed, i, d, want[i]);
+                }
+                let r = 150.0;
+                let got_r = tree.range(&q, r);
+                let want_r: Vec<&f64> = want.iter().filter(|d| **d <= r).collect();
+                prop_assert_eq!(got_r.len(), want_r.len(), "seed {}", seed);
+            }
+        }
+    }
+}

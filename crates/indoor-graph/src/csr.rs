@@ -1,0 +1,258 @@
+/// An immutable undirected weighted graph in compressed-sparse-row form.
+///
+/// Vertices are dense `u32` identifiers `0..num_vertices()`. Each undirected
+/// edge is stored twice (once per direction), which matches the edge-count
+/// convention of the VIP-Tree paper's Table 2 (the D2D graph sizes there
+/// count directed arcs).
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed arcs (twice the number of undirected edges).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Outgoing neighbours of `v` as parallel `(target, weight)` slices.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Weight of the arc `u -> v` if present (the minimum if parallel arcs
+    /// were merged at build time there is exactly one).
+    pub fn arc_weight(&self, u: u32, v: u32) -> Option<f64> {
+        self.neighbors(u)
+            .find_map(|(t, w)| if t == v { Some(w) } else { None })
+    }
+
+    /// Heap memory consumed by the graph structure itself.
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.targets.len() * 4 + self.weights.len() * 8
+    }
+
+    /// Maximum out-degree over all vertices (the paper highlights that
+    /// indoor D2D graphs reach out-degrees of ~400 versus 2-4 for roads).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Vertex ids of one connected component per entry, using BFS; used by
+    /// venue validation to detect unreachable areas.
+    pub fn connected_components(&self) -> Vec<Vec<u32>> {
+        let n = self.num_vertices();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n as u32 {
+            if seen[start as usize] {
+                continue;
+            }
+            seen[start as usize] = true;
+            queue.push_back(start);
+            let mut comp = vec![start];
+            while let Some(v) = queue.pop_front() {
+                for (t, _) in self.neighbors(v) {
+                    if !seen[t as usize] {
+                        seen[t as usize] = true;
+                        comp.push(t);
+                        queue.push_back(t);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+/// Incremental builder accumulating undirected edges, deduplicating
+/// parallel edges by keeping the minimum weight.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    /// (source, target, weight) triples; both directions inserted.
+    arcs: Vec<(u32, u32, f64)>,
+}
+
+impl GraphBuilder {
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Pre-size the arc buffer (`hint` is in undirected edges).
+    pub fn with_edge_capacity(num_vertices: usize, hint: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            arcs: Vec::with_capacity(hint * 2),
+        }
+    }
+
+    /// Add an undirected edge. Self-loops are ignored (they can never be on
+    /// a shortest path with non-negative weights).
+    pub fn add_edge(&mut self, u: u32, v: u32, w: f64) {
+        debug_assert!(w >= 0.0, "negative edge weight {w}");
+        debug_assert!((u as usize) < self.num_vertices && (v as usize) < self.num_vertices);
+        if u == v {
+            return;
+        }
+        self.arcs.push((u, v, w));
+        self.arcs.push((v, u, w));
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Finalise into CSR form: counting sort by source, then per-vertex sort
+    /// by target with parallel-edge deduplication (min weight wins).
+    pub fn build(mut self) -> CsrGraph {
+        let n = self.num_vertices;
+        let mut counts = vec![0u32; n + 1];
+        for &(u, _, _) in &self.arcs {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut offsets = counts.clone();
+        let mut targets = vec![0u32; self.arcs.len()];
+        let mut weights = vec![0f64; self.arcs.len()];
+        for &(u, v, w) in &self.arcs {
+            let slot = offsets[u as usize] as usize;
+            targets[slot] = v;
+            weights[slot] = w;
+            offsets[u as usize] += 1;
+        }
+        self.arcs.clear();
+        self.arcs.shrink_to_fit();
+
+        // Deduplicate parallel arcs per vertex, keeping the minimum weight.
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_targets = Vec::with_capacity(targets.len());
+        let mut out_weights = Vec::with_capacity(weights.len());
+        out_offsets.push(0u32);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for v in 0..n {
+            let start = if v == 0 { 0 } else { offsets[v - 1] as usize };
+            let end = offsets[v] as usize;
+            scratch.clear();
+            scratch.extend(targets[start..end].iter().copied().zip(weights[start..end].iter().copied()));
+            scratch.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            scratch.dedup_by(|next, kept| {
+                // `kept` precedes `next`; equal targets keep the first
+                // (smallest-weight) entry because of the sort order.
+                next.0 == kept.0
+            });
+            out_targets.extend(scratch.iter().map(|e| e.0));
+            out_weights.extend(scratch.iter().map(|e| e.1));
+            out_offsets.push(out_targets.len() as u32);
+        }
+
+        CsrGraph {
+            offsets: out_offsets,
+            targets: out_targets,
+            weights: out_weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(0, 2, 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 1.0), (2, 4.0)]);
+        assert_eq!(g.arc_weight(2, 1), Some(2.0));
+        assert_eq!(g.arc_weight(2, 2), None);
+    }
+
+    #[test]
+    fn parallel_edges_keep_minimum() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 5.0);
+        b.add_edge(0, 1, 3.0);
+        b.add_edge(1, 0, 7.0);
+        let g = b.build();
+        assert_eq!(g.num_arcs(), 2);
+        assert_eq!(g.arc_weight(0, 1), Some(3.0));
+        assert_eq!(g.arc_weight(1, 0), Some(3.0));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.num_arcs(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let b = GraphBuilder::new(4);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.connected_components().len(), 4);
+    }
+
+    #[test]
+    fn components_found() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build();
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = triangle();
+        assert_eq!(g.max_degree(), 2);
+    }
+}

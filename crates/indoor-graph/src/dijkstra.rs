@@ -1,0 +1,442 @@
+use crate::CsrGraph;
+use geometry::TotalF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel parent/vertex value meaning "none".
+pub const NO_VERTEX: u32 = u32::MAX;
+
+/// How a Dijkstra run decides it is finished.
+#[derive(Debug, Clone)]
+pub enum Termination<'a> {
+    /// Settle every reachable vertex.
+    Exhaust,
+    /// Stop once all listed vertices have been settled (or the frontier is
+    /// empty). Duplicates in the slice are permitted.
+    SettleAll(&'a [u32]),
+    /// Stop once the tentative frontier minimum exceeds the bound: every
+    /// vertex with distance <= bound is then settled.
+    Bound(f64),
+}
+
+/// Result summary of a search; distances/parents live in the engine and are
+/// read through [`DijkstraEngine::distance`] / [`DijkstraEngine::parent`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOutcome {
+    /// Vertices settled (popped with final distance).
+    pub settled: usize,
+    /// For `SettleAll`: how many of the requested targets were reached.
+    pub targets_reached: usize,
+}
+
+/// A reusable Dijkstra workspace over graphs of a fixed vertex count.
+///
+/// Index construction runs thousands of searches over the same D2D graph;
+/// allocating and zeroing `O(V)` state per search would dominate. The
+/// engine keeps distance/parent arrays across runs and invalidates them
+/// with a generation counter, so starting a new search is `O(1)`.
+#[derive(Debug)]
+pub struct DijkstraEngine {
+    dist: Vec<f64>,
+    parent: Vec<u32>,
+    /// Generation stamp per vertex; an entry is valid iff stamp == current.
+    stamp: Vec<u32>,
+    settled: Vec<bool>,
+    generation: u32,
+    heap: BinaryHeap<Reverse<(TotalF64, u32)>>,
+}
+
+impl DijkstraEngine {
+    pub fn new(num_vertices: usize) -> Self {
+        DijkstraEngine {
+            dist: vec![f64::INFINITY; num_vertices],
+            parent: vec![NO_VERTEX; num_vertices],
+            stamp: vec![0; num_vertices],
+            settled: vec![false; num_vertices],
+            generation: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn valid(&self, v: u32) -> bool {
+        self.stamp[v as usize] == self.generation
+    }
+
+    /// Distance of `v` from the source set in the most recent run, if it
+    /// was labelled (settled or still on the frontier when the run ended;
+    /// frontier labels are upper bounds, settled labels are exact).
+    #[inline]
+    pub fn distance(&self, v: u32) -> Option<f64> {
+        if self.valid(v) {
+            Some(self.dist[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Exact distance of `v` if it was settled in the most recent run.
+    #[inline]
+    pub fn settled_distance(&self, v: u32) -> Option<f64> {
+        if self.valid(v) && self.settled[v as usize] {
+            Some(self.dist[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Predecessor of `v` on its shortest path from the source set
+    /// (`NO_VERTEX` for sources).
+    #[inline]
+    pub fn parent(&self, v: u32) -> Option<u32> {
+        if self.valid(v) {
+            Some(self.parent[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The vertex sequence from a source to `v` (inclusive), following
+    /// parent pointers; `None` if `v` was not reached.
+    pub fn path_to(&self, v: u32) -> Option<Vec<u32>> {
+        if !self.valid(v) {
+            return None;
+        }
+        let mut seq = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            if p == NO_VERTEX {
+                break;
+            }
+            seq.push(p);
+            cur = p;
+        }
+        seq.reverse();
+        Some(seq)
+    }
+
+    /// Run Dijkstra from a set of `(vertex, initial_distance)` seeds.
+    ///
+    /// Multiple seeds implement "virtual source" searches: a query point is
+    /// seeded as its partition's doors with the point-to-door distances as
+    /// initial labels.
+    pub fn run(
+        &mut self,
+        graph: &CsrGraph,
+        seeds: &[(u32, f64)],
+        termination: Termination<'_>,
+    ) -> SearchOutcome {
+        debug_assert_eq!(graph.num_vertices(), self.dist.len());
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Extremely rare wrap: force-invalidate everything.
+            self.stamp.fill(u32::MAX);
+            self.generation = 1;
+        }
+        self.heap.clear();
+
+        for &(v, d) in seeds {
+            if !self.valid(v) || d < self.dist[v as usize] {
+                self.label(v, d, NO_VERTEX);
+                self.heap.push(Reverse((TotalF64(d), v)));
+            }
+        }
+
+        let mut remaining: usize = 0;
+        let mut pending: Vec<u32> = Vec::new();
+        if let Termination::SettleAll(targets) = &termination {
+            // Deduplicate target list via a temporary stamp-free scan.
+            pending = targets.to_vec();
+            pending.sort_unstable();
+            pending.dedup();
+            remaining = pending.len();
+        }
+
+        let mut settled_count = 0usize;
+        let mut targets_reached = 0usize;
+
+        while let Some(Reverse((TotalF64(d), v))) = self.heap.pop() {
+            if self.settled[v as usize] && self.valid(v) {
+                continue; // stale heap entry
+            }
+            if let Termination::Bound(bound) = termination {
+                if d > bound {
+                    break;
+                }
+            }
+            self.settled[v as usize] = true;
+            settled_count += 1;
+
+            if remaining > 0 && pending.binary_search(&v).is_ok() {
+                targets_reached += 1;
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+
+            for (t, w) in graph.neighbors(v) {
+                let nd = d + w;
+                if !self.valid(t) || nd < self.dist[t as usize] {
+                    self.label(t, nd, v);
+                    self.heap.push(Reverse((TotalF64(nd), t)));
+                }
+            }
+        }
+
+        SearchOutcome {
+            settled: settled_count,
+            targets_reached,
+        }
+    }
+
+    /// Dijkstra over an *implicit* graph: `neighbors(v, out)` fills `out`
+    /// with the `(target, weight)` arcs of `v` on demand. Used by ROAD,
+    /// whose search space (route-overlay shortcuts vs. original edges) is
+    /// decided per query. Vertex ids must stay below the engine's size.
+    pub fn run_dynamic(
+        &mut self,
+        seeds: &[(u32, f64)],
+        mut neighbors: impl FnMut(u32, &mut Vec<(u32, f64)>),
+        mut visit: impl FnMut(u32, f64) -> std::ops::ControlFlow<()>,
+    ) -> SearchOutcome {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(u32::MAX);
+            self.generation = 1;
+        }
+        self.heap.clear();
+        for &(v, d) in seeds {
+            if !self.valid(v) || d < self.dist[v as usize] {
+                self.label(v, d, NO_VERTEX);
+                self.heap.push(Reverse((TotalF64(d), v)));
+            }
+        }
+        let mut settled_count = 0usize;
+        let mut arcs: Vec<(u32, f64)> = Vec::new();
+        while let Some(Reverse((TotalF64(d), v))) = self.heap.pop() {
+            if self.settled[v as usize] && self.valid(v) {
+                continue;
+            }
+            self.settled[v as usize] = true;
+            settled_count += 1;
+            if visit(v, d).is_break() {
+                break;
+            }
+            arcs.clear();
+            neighbors(v, &mut arcs);
+            for &(t, w) in &arcs {
+                debug_assert!(w >= 0.0);
+                let nd = d + w;
+                if !self.valid(t) || nd < self.dist[t as usize] {
+                    self.label(t, nd, v);
+                    self.heap.push(Reverse((TotalF64(nd), t)));
+                }
+            }
+        }
+        SearchOutcome {
+            settled: settled_count,
+            targets_reached: 0,
+        }
+    }
+
+    /// Run Dijkstra invoking `visit(vertex, distance)` on every settle, in
+    /// ascending distance order; the search stops when the visitor returns
+    /// `ControlFlow::Break` (or the frontier empties). Used by
+    /// expansion-based competitors (the distance-aware model) whose
+    /// termination conditions depend on query state.
+    pub fn run_visit(
+        &mut self,
+        graph: &CsrGraph,
+        seeds: &[(u32, f64)],
+        mut visit: impl FnMut(u32, f64) -> std::ops::ControlFlow<()>,
+    ) -> SearchOutcome {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(u32::MAX);
+            self.generation = 1;
+        }
+        self.heap.clear();
+        for &(v, d) in seeds {
+            if !self.valid(v) || d < self.dist[v as usize] {
+                self.label(v, d, NO_VERTEX);
+                self.heap.push(Reverse((TotalF64(d), v)));
+            }
+        }
+        let mut settled_count = 0usize;
+        while let Some(Reverse((TotalF64(d), v))) = self.heap.pop() {
+            if self.settled[v as usize] && self.valid(v) {
+                continue;
+            }
+            self.settled[v as usize] = true;
+            settled_count += 1;
+            if visit(v, d).is_break() {
+                break;
+            }
+            for (t, w) in graph.neighbors(v) {
+                let nd = d + w;
+                if !self.valid(t) || nd < self.dist[t as usize] {
+                    self.label(t, nd, v);
+                    self.heap.push(Reverse((TotalF64(nd), t)));
+                }
+            }
+        }
+        SearchOutcome {
+            settled: settled_count,
+            targets_reached: 0,
+        }
+    }
+
+    /// Point-to-point search with early exit: returns the best
+    /// `dist(seed_s) + dist(seed_t)` combination, i.e. the shortest distance
+    /// between two virtual endpoints, and the meeting pattern
+    /// `(entry door of t side)` for path recovery.
+    ///
+    /// `t_seeds` are `(vertex, exit_cost)` pairs: reaching vertex `v` with
+    /// label `d` yields a candidate route of length `d + exit_cost`.
+    pub fn point_to_point(
+        &mut self,
+        graph: &CsrGraph,
+        s_seeds: &[(u32, f64)],
+        t_seeds: &[(u32, f64)],
+    ) -> Option<(f64, u32)> {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(u32::MAX);
+            self.generation = 1;
+        }
+        self.heap.clear();
+        for &(v, d) in s_seeds {
+            if !self.valid(v) || d < self.dist[v as usize] {
+                self.label(v, d, NO_VERTEX);
+                self.heap.push(Reverse((TotalF64(d), v)));
+            }
+        }
+
+        let mut best: Option<(f64, u32)> = None;
+        while let Some(Reverse((TotalF64(d), v))) = self.heap.pop() {
+            if self.settled[v as usize] && self.valid(v) {
+                continue;
+            }
+            if let Some((b, _)) = best {
+                if d >= b {
+                    break; // no frontier label can improve the answer
+                }
+            }
+            self.settled[v as usize] = true;
+            for &(tv, exit) in t_seeds {
+                if tv == v {
+                    let cand = d + exit;
+                    if best.map_or(true, |(b, _)| cand < b) {
+                        best = Some((cand, v));
+                    }
+                }
+            }
+            for (t, w) in graph.neighbors(v) {
+                let nd = d + w;
+                if !self.valid(t) || nd < self.dist[t as usize] {
+                    self.label(t, nd, v);
+                    self.heap.push(Reverse((TotalF64(nd), t)));
+                }
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn label(&mut self, v: u32, d: f64, parent: u32) {
+        self.dist[v as usize] = d;
+        self.parent[v as usize] = parent;
+        self.stamp[v as usize] = self.generation;
+        self.settled[v as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// 0 -1- 1 -1- 2 -1- 3, plus a 10.0 shortcut 0-3.
+    fn line_with_shortcut() -> CsrGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(0, 3, 10.0);
+        b.build()
+    }
+
+    #[test]
+    fn exhaustive_distances_and_paths() {
+        let g = line_with_shortcut();
+        let mut e = DijkstraEngine::new(4);
+        let out = e.run(&g, &[(0, 0.0)], Termination::Exhaust);
+        assert_eq!(out.settled, 4);
+        assert_eq!(e.settled_distance(3), Some(3.0));
+        assert_eq!(e.path_to(3).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn settle_all_terminates_early() {
+        let g = line_with_shortcut();
+        let mut e = DijkstraEngine::new(4);
+        let out = e.run(&g, &[(0, 0.0)], Termination::SettleAll(&[1]));
+        assert_eq!(out.targets_reached, 1);
+        assert!(out.settled <= 2);
+        assert_eq!(e.settled_distance(1), Some(1.0));
+    }
+
+    #[test]
+    fn bound_cuts_off() {
+        let g = line_with_shortcut();
+        let mut e = DijkstraEngine::new(4);
+        e.run(&g, &[(0, 0.0)], Termination::Bound(1.5));
+        assert_eq!(e.settled_distance(1), Some(1.0));
+        assert_eq!(e.settled_distance(3), None);
+    }
+
+    #[test]
+    fn multi_seed_virtual_source() {
+        let g = line_with_shortcut();
+        let mut e = DijkstraEngine::new(4);
+        e.run(&g, &[(0, 5.0), (2, 0.5)], Termination::Exhaust);
+        // Vertex 1 best reached from seed 2 (0.5 + 1.0) not seed 0 (5 + 1).
+        assert_eq!(e.settled_distance(1), Some(1.5));
+        assert_eq!(e.parent(1), Some(2));
+    }
+
+    #[test]
+    fn generation_reset_isolates_runs() {
+        let g = line_with_shortcut();
+        let mut e = DijkstraEngine::new(4);
+        e.run(&g, &[(0, 0.0)], Termination::Exhaust);
+        e.run(&g, &[(3, 0.0)], Termination::SettleAll(&[3]));
+        // Distances from the first run must not leak.
+        assert_eq!(e.settled_distance(0), None);
+        assert_eq!(e.settled_distance(3), Some(0.0));
+    }
+
+    #[test]
+    fn point_to_point_early_exit() {
+        let g = line_with_shortcut();
+        let mut e = DijkstraEngine::new(4);
+        let (d, via) = e
+            .point_to_point(&g, &[(0, 0.2)], &[(3, 0.3), (2, 5.0)])
+            .unwrap();
+        assert!((d - 3.5).abs() < 1e-12, "got {d}");
+        assert_eq!(via, 3);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let mut e = DijkstraEngine::new(3);
+        let out = e.run(&g, &[(0, 0.0)], Termination::SettleAll(&[2]));
+        assert_eq!(out.targets_reached, 0);
+        assert_eq!(e.distance(2), None);
+        assert!(e.point_to_point(&g, &[(0, 0.0)], &[(2, 0.0)]).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! Weighted-graph substrate shared by every index in this workspace.
+//!
+//! The indoor door-to-door (D2D) graph, the level-`l` graphs used to build
+//! IP/VIP-tree distance matrices, the border graphs of G-tree, and the
+//! hybrid overlay graph of ROAD are all instances of [`CsrGraph`]: a
+//! compact, immutable, undirected weighted graph in compressed-sparse-row
+//! form.
+//!
+//! Query processing is dominated by repeated Dijkstra searches, so the
+//! crate provides a reusable [`DijkstraEngine`] with epoch-based state
+//! reset (no `O(V)` clearing between runs) and several termination modes:
+//! exhaustive, settle-a-target-set, and distance-bounded.
+
+mod csr;
+mod dijkstra;
+mod oracle;
+
+pub use csr::{CsrGraph, GraphBuilder};
+pub use dijkstra::{DijkstraEngine, SearchOutcome, Termination, NO_VERTEX};
+pub use oracle::floyd_warshall;

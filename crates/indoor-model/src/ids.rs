@@ -1,0 +1,80 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                debug_assert!(v <= u32::MAX as usize);
+                $name(v as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a door; doubles as the vertex id in the D2D graph.
+    DoorId,
+    "d"
+);
+id_type!(
+    /// Identifier of an indoor partition (room, hallway, stair segment, ...).
+    PartitionId,
+    "P"
+);
+id_type!(
+    /// Identifier of a queryable object (e.g. a washroom) placed in a venue.
+    ObjectId,
+    "o"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(DoorId(3).to_string(), "d3");
+        assert_eq!(PartitionId(17).to_string(), "P17");
+        assert_eq!(ObjectId(0).to_string(), "o0");
+    }
+
+    #[test]
+    fn conversions() {
+        let d: DoorId = 5u32.into();
+        assert_eq!(d.index(), 5);
+        let p: PartitionId = 7usize.into();
+        assert_eq!(p, PartitionId(7));
+    }
+}

@@ -1,0 +1,43 @@
+//! The indoor space data model used throughout the workspace.
+//!
+//! Following §2 of the VIP-Tree paper, an indoor venue is a set of
+//! *partitions* (rooms, hallways, staircases, lifts, and — for campus
+//! datasets — the outdoor space between buildings) connected by *doors*.
+//! Each door belongs to one partition (an exterior door) or two partitions.
+//!
+//! From a venue two derived structures are built:
+//!
+//! * the **door-to-door (D2D) graph** \[Yang, Lu, Jensen 2010\]: one vertex
+//!   per door, an edge between every pair of doors sharing a partition,
+//!   weighted by the indoor distance between the doors;
+//! * the **accessibility-base (AB) graph** \[Lu, Cao, Jensen 2012\]: one
+//!   vertex per partition, one labelled edge per door connecting two
+//!   partitions.
+//!
+//! Partitions are classified (Definition in §2) by door count: a partition
+//! with one door is *no-through*, with more than `beta` doors a *hallway*,
+//! otherwise *general*.
+//!
+//! The crate also defines the query-facing vocabulary shared by every
+//! index: [`IndoorPoint`], [`IndoorPath`], and the [`IndoorIndex`] /
+//! [`ObjectQueries`] traits implemented by VIP/IP-tree, the baselines,
+//! G-tree and ROAD.
+
+mod builder;
+mod ids;
+mod path;
+mod point;
+mod query;
+mod serialize;
+mod venue;
+
+pub use builder::{ModelError, VenueBuilder};
+pub use ids::{DoorId, ObjectId, PartitionId};
+pub use path::IndoorPath;
+pub use point::IndoorPoint;
+pub use query::{IndoorIndex, ObjectQueries, QueryStats};
+pub use venue::{AbEdge, Door, Partition, PartitionClass, PartitionKind, Venue, VenueStats};
+
+/// Default hallway-classification threshold: a partition with more than
+/// `BETA` doors is a hallway (the paper uses β = 4).
+pub const BETA: usize = 4;

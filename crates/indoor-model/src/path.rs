@@ -1,0 +1,168 @@
+use crate::venue::Venue;
+use crate::{DoorId, IndoorPoint};
+use serde::{Deserialize, Serialize};
+
+/// A fully-expanded indoor route: the complete sequence of doors crossed
+/// between a source and a target point, plus its total length.
+///
+/// Every consecutive pair of doors in `doors` shares a partition (the path
+/// segment walks through that partition); the first door is a door of the
+/// source's partition, the last of the target's. For same-partition routes
+/// `doors` may be empty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndoorPath {
+    pub source: IndoorPoint,
+    pub target: IndoorPoint,
+    pub doors: Vec<DoorId>,
+    pub length: f64,
+}
+
+impl IndoorPath {
+    /// Number of doors crossed (`w` in the paper's complexity analysis).
+    pub fn num_doors(&self) -> usize {
+        self.doors.len()
+    }
+
+    /// Validate the structural invariants of the path against a venue and
+    /// recompute its length from segment distances; returns the recomputed
+    /// length. Used pervasively by tests: an index may only report a path
+    /// whose door sequence is walkable and whose segment sum matches the
+    /// reported length.
+    pub fn validate(&self, venue: &Venue) -> Result<f64, PathError> {
+        if self.doors.is_empty() {
+            if self.source.partition != self.target.partition {
+                return Err(PathError::DisconnectedEndpoints);
+            }
+            return Ok(self
+                .source
+                .direct_distance(venue, &self.target)
+                .expect("same partition"));
+        }
+
+        let first = self.doors[0];
+        if !venue
+            .partition(self.source.partition)
+            .doors
+            .contains(&first)
+        {
+            return Err(PathError::BadFirstDoor(first));
+        }
+        let last = *self.doors.last().unwrap();
+        if !venue.partition(self.target.partition).doors.contains(&last) {
+            return Err(PathError::BadLastDoor(last));
+        }
+
+        let mut length = self.source.distance_to_door(venue, first);
+        for w in self.doors.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            match venue.d2d().arc_weight(a.0, b.0) {
+                Some(wt) => length += wt,
+                None => return Err(PathError::NonAdjacentDoors(a, b)),
+            }
+        }
+        length += self.target.distance_to_door(venue, last);
+        Ok(length)
+    }
+}
+
+/// Structural violations detected by [`IndoorPath::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathError {
+    /// Empty door list but endpoints in different partitions.
+    DisconnectedEndpoints,
+    /// First door does not belong to the source partition.
+    BadFirstDoor(DoorId),
+    /// Last door does not belong to the target partition.
+    BadLastDoor(DoorId),
+    /// Two consecutive doors share no partition (no D2D edge).
+    NonAdjacentDoors(DoorId, DoorId),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::DisconnectedEndpoints => {
+                write!(f, "empty path between different partitions")
+            }
+            PathError::BadFirstDoor(d) => write!(f, "first door {d} not in source partition"),
+            PathError::BadLastDoor(d) => write!(f, "last door {d} not in target partition"),
+            PathError::NonAdjacentDoors(a, b) => {
+                write!(f, "doors {a} and {b} share no partition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitionKind, VenueBuilder};
+    use geometry::{Point, Rect};
+
+    #[test]
+    fn validates_and_measures_simple_route() {
+        let mut b = VenueBuilder::new();
+        let r1 = b.add_partition(PartitionKind::Room, Rect::new(0.0, 0.0, 5.0, 5.0, 0));
+        let r2 = b.add_partition(PartitionKind::Room, Rect::new(5.0, 0.0, 10.0, 5.0, 0));
+        let d = b.add_door(Point::new(5.0, 2.5, 0), r1, Some(r2));
+        let v = b.build().unwrap();
+
+        let s = IndoorPoint::new(r1, Point::new(2.0, 2.5, 0));
+        let t = IndoorPoint::new(r2, Point::new(8.0, 2.5, 0));
+        let path = IndoorPath {
+            source: s,
+            target: t,
+            doors: vec![d],
+            length: 6.0,
+        };
+        let len = path.validate(&v).unwrap();
+        assert!((len - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        let mut b = VenueBuilder::new();
+        let r1 = b.add_partition(PartitionKind::Room, Rect::new(0.0, 0.0, 5.0, 5.0, 0));
+        let r2 = b.add_partition(PartitionKind::Room, Rect::new(5.0, 0.0, 10.0, 5.0, 0));
+        let r3 = b.add_partition(PartitionKind::Room, Rect::new(10.0, 0.0, 15.0, 5.0, 0));
+        let d12 = b.add_door(Point::new(5.0, 2.5, 0), r1, Some(r2));
+        let d23 = b.add_door(Point::new(10.0, 2.5, 0), r2, Some(r3));
+        let ext = b.add_exterior_door(Point::new(0.0, 2.5, 0), r1);
+        let v = b.build().unwrap();
+
+        let s = IndoorPoint::new(r1, Point::new(2.0, 2.5, 0));
+        let t = IndoorPoint::new(r3, Point::new(12.0, 2.5, 0));
+
+        // Non-adjacent doors: ext and d23 share no partition.
+        let bad = IndoorPath {
+            source: s,
+            target: t,
+            doors: vec![ext, d23],
+            length: 0.0,
+        };
+        assert!(matches!(
+            bad.validate(&v),
+            Err(PathError::NonAdjacentDoors(_, _))
+        ));
+
+        // Wrong last door.
+        let bad2 = IndoorPath {
+            source: s,
+            target: t,
+            doors: vec![d12],
+            length: 0.0,
+        };
+        assert_eq!(bad2.validate(&v), Err(PathError::BadLastDoor(d12)));
+
+        // Empty doors across partitions.
+        let bad3 = IndoorPath {
+            source: s,
+            target: t,
+            doors: vec![],
+            length: 0.0,
+        };
+        assert_eq!(bad3.validate(&v), Err(PathError::DisconnectedEndpoints));
+    }
+}

@@ -1,0 +1,98 @@
+use crate::venue::Venue;
+use crate::{DoorId, PartitionId};
+use geometry::Point;
+use serde::{Deserialize, Serialize};
+
+/// A queryable indoor location: a position inside a known partition.
+///
+/// All query algorithms take source/target/query locations in this form;
+/// the partition is what links the metric position to the topology (its
+/// doors are the only exits). Resolving a raw coordinate to its partition
+/// is a (trivial) point-location step outside the scope of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndoorPoint {
+    pub partition: PartitionId,
+    pub position: Point,
+}
+
+impl IndoorPoint {
+    pub fn new(partition: PartitionId, position: Point) -> Self {
+        IndoorPoint {
+            partition,
+            position,
+        }
+    }
+
+    /// Distance from this point to a door of its own partition, under the
+    /// partition's weight policy (§3.1: "If d is a local access door of
+    /// Partition(s) then dist(s, d) can be trivially computed").
+    pub fn distance_to_door(&self, venue: &Venue, door: DoorId) -> f64 {
+        let p = venue.partition(self.partition);
+        debug_assert!(
+            p.doors.contains(&door),
+            "door {door} is not a door of partition {}",
+            self.partition
+        );
+        p.traversal_distance(&self.position, &venue.door(door).position)
+    }
+
+    /// `(door, distance)` seeds for virtual-source Dijkstra runs over the
+    /// D2D graph: each door of the containing partition, labelled with the
+    /// point-to-door distance.
+    pub fn door_seeds(&self, venue: &Venue) -> Vec<(u32, f64)> {
+        venue
+            .partition(self.partition)
+            .doors
+            .iter()
+            .map(|&d| (d.0, self.distance_to_door(venue, d)))
+            .collect()
+    }
+
+    /// Direct (same-partition) distance between two points, defined only
+    /// when both lie in the same partition.
+    pub fn direct_distance(&self, venue: &Venue, other: &IndoorPoint) -> Option<f64> {
+        if self.partition == other.partition {
+            let p = venue.partition(self.partition);
+            Some(p.traversal_distance(&self.position, &other.position))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitionKind, VenueBuilder};
+    use geometry::Rect;
+
+    fn one_room_venue() -> (Venue, PartitionId, DoorId, DoorId) {
+        let mut b = VenueBuilder::new();
+        let room = b.add_partition(PartitionKind::Room, Rect::new(0.0, 0.0, 10.0, 10.0, 0));
+        let other = b.add_partition(PartitionKind::Room, Rect::new(10.0, 0.0, 20.0, 10.0, 0));
+        let d1 = b.add_door(Point::new(10.0, 5.0, 0), room, Some(other));
+        let d2 = b.add_exterior_door(Point::new(0.0, 5.0, 0), room);
+        let v = b.build().unwrap();
+        (v, room, d1, d2)
+    }
+
+    #[test]
+    fn door_distances_are_euclidean() {
+        let (v, room, d1, d2) = one_room_venue();
+        let p = IndoorPoint::new(room, Point::new(4.0, 5.0, 0));
+        assert!((p.distance_to_door(&v, d1) - 6.0).abs() < 1e-12);
+        assert!((p.distance_to_door(&v, d2) - 4.0).abs() < 1e-12);
+        let seeds = p.door_seeds(&v);
+        assert_eq!(seeds.len(), 2);
+    }
+
+    #[test]
+    fn direct_distance_same_partition_only() {
+        let (v, room, _, _) = one_room_venue();
+        let a = IndoorPoint::new(room, Point::new(0.0, 0.0, 0));
+        let b2 = IndoorPoint::new(room, Point::new(3.0, 4.0, 0));
+        assert_eq!(a.direct_distance(&v, &b2), Some(5.0));
+        let c = IndoorPoint::new(PartitionId(1), Point::new(12.0, 5.0, 0));
+        assert_eq!(a.direct_distance(&v, &c), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Venue persistence as JSON.
+//!
+//! Only the declarative parts (partitions, doors, β) are serialised; the
+//! D2D graph is deterministic from those and is rebuilt on load. This keeps
+//! files small (the CL-2 D2D graph alone holds 13M arcs) and guarantees the
+//! loaded venue is internally consistent.
+
+use crate::builder::{ModelError, VenueBuilder};
+use crate::venue::{Door, Partition, Venue};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Schema wrapper for serialised venues.
+#[derive(Serialize, Deserialize)]
+struct VenueFile {
+    format: String,
+    beta: usize,
+    partitions: Vec<Partition>,
+    doors: Vec<Door>,
+}
+
+const FORMAT: &str = "indoor-venue/1";
+
+/// Failures while loading a serialised venue.
+#[derive(Debug)]
+pub enum LoadError {
+    Io(std::io::Error),
+    Json(serde_json::Error),
+    BadFormat(String),
+    Model(ModelError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Json(e) => write!(f, "json error: {e}"),
+            LoadError::BadFormat(s) => write!(f, "unsupported venue format {s:?}"),
+            LoadError::Model(e) => write!(f, "invalid venue: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl Venue {
+    /// Serialise to JSON.
+    pub fn save_json<W: Write>(&self, mut w: W) -> Result<(), LoadError> {
+        let file = VenueFile {
+            format: FORMAT.to_string(),
+            beta: self.beta,
+            partitions: self.partitions.clone(),
+            doors: self.doors.clone(),
+        };
+        serde_json::to_writer(&mut w, &file).map_err(LoadError::Json)
+    }
+
+    /// Load from JSON produced by [`Venue::save_json`], re-running full
+    /// validation and graph construction.
+    pub fn load_json<R: Read>(r: R) -> Result<Venue, LoadError> {
+        let file: VenueFile = serde_json::from_reader(r).map_err(LoadError::Json)?;
+        if file.format != FORMAT {
+            return Err(LoadError::BadFormat(file.format));
+        }
+        let mut b = VenueBuilder::new().with_beta(file.beta);
+        for p in &file.partitions {
+            let id = b.add_partition(p.kind, p.extent);
+            debug_assert_eq!(id, p.id, "partition ids must be dense and ordered");
+            if let Some(w) = p.fixed_traversal_weight {
+                b.set_fixed_traversal_weight(id, w);
+            }
+        }
+        for d in &file.doors {
+            match d.partitions {
+                [Some(a), second] => {
+                    let id = b.add_door(d.position, a, second);
+                    debug_assert_eq!(id, d.id, "door ids must be dense and ordered");
+                }
+                _ => {
+                    return Err(LoadError::BadFormat(
+                        "door without a first partition".to_string(),
+                    ))
+                }
+            }
+        }
+        b.build().map_err(LoadError::Model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{PartitionKind, Venue, VenueBuilder};
+    use geometry::{Point, Rect};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let mut b = VenueBuilder::new().with_beta(3);
+        let hall = b.add_partition(PartitionKind::Hallway, Rect::new(0.0, 5.0, 30.0, 8.0, 0));
+        for i in 0..4 {
+            let x = i as f64 * 6.0;
+            let r = b.add_partition(PartitionKind::Room, Rect::new(x, 0.0, x + 5.0, 5.0, 0));
+            b.add_door(Point::new(x + 2.5, 5.0, 0), r, Some(hall));
+        }
+        let lift = b.add_partition(PartitionKind::Lift, Rect::new(30.0, 5.0, 32.0, 8.0, 0));
+        b.set_fixed_traversal_weight(lift, 1.5);
+        b.add_door(Point::new(30.0, 6.5, 0), hall, Some(lift));
+        b.add_exterior_door(Point::new(31.0, 8.0, 1), lift);
+        let v = b.build().unwrap();
+
+        let mut buf = Vec::new();
+        v.save_json(&mut buf).unwrap();
+        let v2 = Venue::load_json(buf.as_slice()).unwrap();
+
+        assert_eq!(v.num_doors(), v2.num_doors());
+        assert_eq!(v.num_partitions(), v2.num_partitions());
+        assert_eq!(v.stats(), v2.stats());
+        assert_eq!(v.beta(), v2.beta());
+        // Edge weights survive (including the fixed lift weight).
+        for u in 0..v.num_doors() as u32 {
+            let a: Vec<_> = v.d2d().neighbors(u).collect();
+            let b2: Vec<_> = v2.d2d().neighbors(u).collect();
+            assert_eq!(a, b2);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_format() {
+        let json = r#"{"format":"bogus/9","beta":4,"partitions":[],"doors":[]}"#;
+        assert!(Venue::load_json(json.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+use geometry::{Point, Rect};
+use indoor_model::{PartitionId, PartitionKind, Venue, VenueBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one synthetic building.
+///
+/// Layout per level: `hallways_per_level` parallel corridors, each lined
+/// with rooms on both sides (one door each; a fraction gets a second door
+/// to the neighbouring room). Corridors on a level are joined by doors at
+/// both ends; consecutive levels are joined by staircases and lift
+/// segments attached to the first corridor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildingSpec {
+    pub levels: u32,
+    pub rooms_per_level: u32,
+    pub hallways_per_level: u32,
+    /// Fraction of rooms receiving a second door into the adjacent room.
+    pub extra_door_frac: f64,
+    /// Staircases between each pair of consecutive levels.
+    pub stairs_per_level: u32,
+    /// Lift shafts spanning all levels (each becomes `levels - 1` two-door
+    /// general partitions, §2).
+    pub lifts: u32,
+    /// Room width along the corridor, metres.
+    pub room_width: f64,
+    /// Room depth away from the corridor, metres.
+    pub room_depth: f64,
+    /// Corridor width, metres.
+    pub hall_width: f64,
+}
+
+impl Default for BuildingSpec {
+    fn default() -> Self {
+        BuildingSpec {
+            levels: 3,
+            rooms_per_level: 40,
+            hallways_per_level: 2,
+            extra_door_frac: 0.05,
+            stairs_per_level: 1,
+            lifts: 1,
+            room_width: 4.0,
+            room_depth: 5.0,
+            hall_width: 3.0,
+        }
+    }
+}
+
+impl BuildingSpec {
+    /// The §4.1 replication operator: "a replica ... is placed on top of
+    /// the original building", joined by the same stairwells.
+    pub fn replicate(&self, factor: u32) -> BuildingSpec {
+        BuildingSpec {
+            levels: self.levels * factor,
+            ..self.clone()
+        }
+    }
+}
+
+/// A campus: buildings placed on a grid, with entry doors connected
+/// through an `Outdoor` partition (inducing the paper's D2D edges between
+/// entry doors of different buildings). A single-building campus with
+/// `outdoor: false` produces exterior entry doors instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampusSpec {
+    pub buildings: Vec<BuildingSpec>,
+    /// Connect buildings through an outdoor partition; otherwise entry
+    /// doors are exterior.
+    pub outdoor: bool,
+    /// Seed for the small random choices (extra doors).
+    pub seed: u64,
+}
+
+impl CampusSpec {
+    pub fn single(building: BuildingSpec) -> Self {
+        CampusSpec {
+            buildings: vec![building],
+            outdoor: false,
+            seed: 0x1d008,
+        }
+    }
+
+    /// Replicate every building (the "-2" datasets of Table 2).
+    pub fn replicate(&self, factor: u32) -> CampusSpec {
+        CampusSpec {
+            buildings: self.buildings.iter().map(|b| b.replicate(factor)).collect(),
+            outdoor: self.outdoor,
+            seed: self.seed,
+        }
+    }
+
+    /// Generate the venue.
+    pub fn build(&self) -> Venue {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut vb = VenueBuilder::new();
+
+        // Campus-wide outdoor partition first, so building entries can
+        // reference it.
+        let outdoor = if self.outdoor {
+            let od = vb.add_partition(
+                PartitionKind::Outdoor,
+                Rect::new(-50.0, -50.0, 10_000.0, 10_000.0, 0),
+            );
+            Some(od)
+        } else {
+            None
+        };
+
+        let mut ox = 0.0f64;
+        for spec in &self.buildings {
+            let footprint = generate_building(&mut vb, spec, ox, 0.0, outdoor, &mut rng);
+            ox += footprint + 30.0; // 30 m outdoor gap between buildings
+        }
+
+        if let Some(od) = outdoor {
+            // A campus gate: exterior door of the outdoor space.
+            vb.add_exterior_door(Point::new(-50.0, 0.0, 0), od);
+        }
+
+        vb.build().expect("generated venue must be valid")
+    }
+}
+
+/// Emit one building into `vb`; returns its footprint width (for campus
+/// placement). `ox`/`oy` position the building; entry doors connect to
+/// `outdoor` if given, else they are exterior.
+fn generate_building(
+    vb: &mut VenueBuilder,
+    spec: &BuildingSpec,
+    ox: f64,
+    oy: f64,
+    outdoor: Option<PartitionId>,
+    rng: &mut StdRng,
+) -> f64 {
+    let h = spec.hallways_per_level.max(1);
+    let rooms_per_hall = spec.rooms_per_level.div_ceil(h);
+    let rooms_per_side = rooms_per_hall.div_ceil(2).max(1);
+    let corridor_len = rooms_per_side as f64 * spec.room_width;
+    let block_h = 2.0 * spec.room_depth + spec.hall_width + 2.0;
+
+    // hallway_ids[level][j] = corridor j on that level.
+    let mut hallway_ids: Vec<Vec<PartitionId>> = Vec::with_capacity(spec.levels as usize);
+
+    for level in 0..spec.levels as i32 {
+        let mut level_halls = Vec::with_capacity(h as usize);
+        let mut rooms_left = spec.rooms_per_level;
+        for j in 0..h {
+            let y0 = oy + j as f64 * block_h;
+            let hall_rect = Rect::new(
+                ox,
+                y0 + spec.room_depth,
+                ox + corridor_len,
+                y0 + spec.room_depth + spec.hall_width,
+                level,
+            );
+            let hall = vb.add_partition(PartitionKind::Hallway, hall_rect);
+            level_halls.push(hall);
+
+            // Rooms on both sides of the corridor.
+            let this_hall_rooms = rooms_left.min(rooms_per_hall);
+            rooms_left -= this_hall_rooms;
+            let mut prev_room: Option<(PartitionId, f64, bool)> = None;
+            for r in 0..this_hall_rooms {
+                let side_south = r % 2 == 0;
+                let i = (r / 2) as f64;
+                let (ry0, ry1, door_y) = if side_south {
+                    (y0, y0 + spec.room_depth, y0 + spec.room_depth)
+                } else {
+                    (
+                        y0 + spec.room_depth + spec.hall_width,
+                        y0 + 2.0 * spec.room_depth + spec.hall_width,
+                        y0 + spec.room_depth + spec.hall_width,
+                    )
+                };
+                let rx0 = ox + i * spec.room_width;
+                let room = vb.add_partition(
+                    PartitionKind::Room,
+                    Rect::new(rx0, ry0, rx0 + spec.room_width, ry1, level),
+                );
+                vb.add_door(
+                    Point::new(rx0 + spec.room_width / 2.0, door_y, level),
+                    room,
+                    Some(hall),
+                );
+                // Occasionally a second door into the previous room on the
+                // same side (makes it a 2-door general partition).
+                if let Some((prev, prev_x, prev_south)) = prev_room {
+                    if prev_south == side_south
+                        && (rx0 - prev_x).abs() <= spec.room_width + 1e-9
+                        && rng.gen_bool(spec.extra_door_frac)
+                    {
+                        let mid_y = (ry0 + ry1) / 2.0;
+                        vb.add_door(Point::new(rx0, mid_y, level), prev, Some(room));
+                    }
+                }
+                prev_room = Some((room, rx0, side_south));
+            }
+        }
+
+        // Join corridors of this level with doors at both ends. Corridor j
+        // is centred at y0(j) + room_depth + hall_width / 2.
+        let hall_center_y =
+            |j: usize| oy + j as f64 * block_h + spec.room_depth + spec.hall_width / 2.0;
+        for (j, w) in level_halls.windows(2).enumerate() {
+            let (a, b) = (w[0], w[1]);
+            let ymid = (hall_center_y(j) + hall_center_y(j + 1)) / 2.0;
+            vb.add_door(Point::new(ox, ymid, level), a, Some(b));
+            vb.add_door(Point::new(ox + corridor_len, ymid, level), a, Some(b));
+        }
+
+        hallway_ids.push(level_halls);
+    }
+
+    // Staircases between consecutive levels (attached near the west end of
+    // the first corridor, spread along x when several per level).
+    for level in 0..spec.levels.saturating_sub(1) as i32 {
+        for s in 0..spec.stairs_per_level {
+            let x = ox + 1.0 + s as f64 * 3.0;
+            let y = oy + spec.room_depth + spec.hall_width / 2.0;
+            let stair = vb.add_partition(
+                PartitionKind::Staircase,
+                Rect::new(x - 1.0, y - 1.0, x + 1.0, y + 1.0, level),
+            );
+            vb.add_door(
+                Point::new(x, y, level),
+                stair,
+                Some(hallway_ids[level as usize][0]),
+            );
+            vb.add_door(
+                Point::new(x, y, level + 1),
+                stair,
+                Some(hallway_ids[level as usize + 1][0]),
+            );
+        }
+    }
+
+    // Lift shafts spanning all levels: one general partition per
+    // consecutive-floor pair (§2).
+    for l in 0..spec.lifts {
+        let x = ox + corridor_len - 1.0 - l as f64 * 3.0;
+        let y = oy + spec.room_depth + spec.hall_width / 2.0;
+        for level in 0..spec.levels.saturating_sub(1) as i32 {
+            let seg = vb.add_partition(
+                PartitionKind::Lift,
+                Rect::new(x - 1.0, y - 1.0, x + 1.0, y + 1.0, level),
+            );
+            vb.add_door(
+                Point::new(x, y, level),
+                seg,
+                Some(hallway_ids[level as usize][0]),
+            );
+            vb.add_door(
+                Point::new(x, y, level + 1),
+                seg,
+                Some(hallway_ids[level as usize + 1][0]),
+            );
+        }
+    }
+
+    // Ground-floor entry at the west end of the first corridor.
+    let entry_pos = Point::new(ox, oy + spec.room_depth + spec.hall_width / 2.0, 0);
+    let ground_hall = hallway_ids[0][0];
+    match outdoor {
+        Some(od) => {
+            vb.add_door(entry_pos, ground_hall, Some(od));
+        }
+        None => {
+            vb.add_exterior_door(entry_pos, ground_hall);
+        }
+    }
+
+    corridor_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_model::PartitionClass;
+
+    #[test]
+    fn default_building_is_valid_and_connected() {
+        let venue = CampusSpec::single(BuildingSpec::default()).build();
+        let stats = venue.stats();
+        assert!(stats.doors > 100);
+        assert_eq!(stats.levels, 3);
+        // One connected component: every door reachable.
+        assert_eq!(venue.d2d().connected_components().len(), 1);
+    }
+
+    #[test]
+    fn corridors_are_hallway_class() {
+        let venue = CampusSpec::single(BuildingSpec::default()).build();
+        let hallways = venue
+            .partitions()
+            .iter()
+            .filter(|p| p.kind == PartitionKind::Hallway)
+            .count();
+        // 2 corridors x 3 levels
+        assert_eq!(hallways, 6);
+        for p in venue.partitions() {
+            if p.kind == PartitionKind::Hallway {
+                assert_eq!(venue.class(p.id), PartitionClass::Hallway);
+            }
+            if p.kind == PartitionKind::Staircase || p.kind == PartitionKind::Lift {
+                assert_eq!(p.num_doors(), 2, "stair/lift segments have two doors");
+                assert_eq!(venue.class(p.id), PartitionClass::General);
+            }
+        }
+    }
+
+    #[test]
+    fn replication_doubles_scale() {
+        let base = CampusSpec::single(BuildingSpec::default());
+        let v1 = base.build();
+        let v2 = base.replicate(2).build();
+        let (s1, s2) = (v1.stats(), v2.stats());
+        assert_eq!(s2.levels, 2 * s1.levels);
+        // Rooms double exactly; doors/edges double up to stairwell joins.
+        let ratio = s2.doors as f64 / s1.doors as f64;
+        assert!(ratio > 1.9 && ratio < 2.2, "door ratio {ratio}");
+        assert_eq!(v2.d2d().connected_components().len(), 1);
+    }
+
+    #[test]
+    fn campus_connects_buildings_via_outdoor() {
+        let campus = CampusSpec {
+            buildings: vec![BuildingSpec::default(), BuildingSpec::default()],
+            outdoor: true,
+            seed: 7,
+        };
+        let venue = campus.build();
+        assert_eq!(venue.d2d().connected_components().len(), 1);
+        let outdoor_parts = venue
+            .partitions()
+            .iter()
+            .filter(|p| p.kind == PartitionKind::Outdoor)
+            .count();
+        assert_eq!(outdoor_parts, 1);
+        // Outdoor partition holds one entry door per building + the gate.
+        let od = venue
+            .partitions()
+            .iter()
+            .find(|p| p.kind == PartitionKind::Outdoor)
+            .unwrap();
+        assert_eq!(od.num_doors(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = CampusSpec {
+            buildings: vec![BuildingSpec {
+                extra_door_frac: 0.5,
+                ..BuildingSpec::default()
+            }],
+            outdoor: false,
+            seed: 42,
+        };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.num_doors(), b.num_doors());
+        assert_eq!(a.stats(), b.stats());
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic indoor venue generation and query workloads.
+//!
+//! The paper evaluates on three real venues (Melbourne Central, the Menzies
+//! building, Monash Clayton campus) whose floor plans were manually
+//! digitised — data we do not have. Every algorithm under test, however,
+//! consumes only the *topology* (partition/door incidence) and *metric*
+//! (edge weights) of the indoor space, so this crate substitutes a
+//! parametric generator that reproduces the structural properties the
+//! paper's analysis identifies as performance-determining:
+//!
+//! * floor-per-floor hallways with large door counts (D2D out-degree up to
+//!   ~400, versus 2–4 in road networks),
+//! * rooms with one or two doors (no-through and general partitions),
+//! * staircases/lifts modelled as two-door general partitions per floor
+//!   pair (§2),
+//! * multi-building campuses connected through outdoor space,
+//! * replicated "-2" variants stacked vertically and joined by stairs
+//!   (§4.1).
+//!
+//! Presets in [`presets`] are calibrated so that door / partition / D2D
+//! edge counts track the paper's Table 2.
+
+mod building;
+pub mod presets;
+mod random;
+pub mod workload;
+
+pub use building::{BuildingSpec, CampusSpec};
+pub use random::{random_campus_spec, random_venue};

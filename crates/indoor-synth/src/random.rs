@@ -1,0 +1,77 @@
+//! Randomised small venues for property-based testing.
+
+use crate::building::{BuildingSpec, CampusSpec};
+use indoor_model::Venue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random small campus spec: 1–3 buildings, 1–4 levels, 3–25 rooms per
+/// level, varying corridor counts, extra-door fractions, stairs and lifts.
+///
+/// Every structural feature of the generator is exercised somewhere in the
+/// seed space: multi-hallway levels, no-lift buildings, outdoor campuses,
+/// heavy second-door venues (which create 2-door general rooms and cycles).
+pub fn random_campus_spec(seed: u64) -> CampusSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_buildings = rng.gen_range(1..=3);
+    let buildings = (0..n_buildings)
+        .map(|_| BuildingSpec {
+            levels: rng.gen_range(1..=4),
+            rooms_per_level: rng.gen_range(3..=25),
+            hallways_per_level: rng.gen_range(1..=3),
+            extra_door_frac: *[0.0, 0.1, 0.5].get(rng.gen_range(0..3)).unwrap(),
+            stairs_per_level: rng.gen_range(1..=2),
+            lifts: rng.gen_range(0..=1),
+            ..BuildingSpec::default()
+        })
+        .collect::<Vec<_>>();
+    CampusSpec {
+        outdoor: n_buildings > 1 || rng.gen_bool(0.3),
+        buildings,
+        seed: rng.gen(),
+    }
+}
+
+/// Convenience: build the random venue for `seed` directly.
+pub fn random_venue(seed: u64) -> Venue {
+    random_campus_spec(seed).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_venues_are_valid_and_connected(seed in 0u64..10_000) {
+            let venue = random_venue(seed);
+            prop_assert!(venue.num_doors() >= 2);
+            prop_assert_eq!(venue.d2d().connected_components().len(), 1,
+                "venue for seed {} is disconnected", seed);
+            // Every door references existing partitions and vice versa.
+            for door in venue.doors() {
+                for p in door.partition_ids() {
+                    prop_assert!(venue.partition(p).doors.contains(&door.id));
+                }
+            }
+            for part in venue.partitions() {
+                for &d in &part.doors {
+                    prop_assert!(venue.door(d).partition_ids().any(|p| p == part.id));
+                }
+            }
+        }
+
+        #[test]
+        fn d2d_weights_are_finite_nonnegative(seed in 0u64..2_000) {
+            let venue = random_venue(seed);
+            let g = venue.d2d();
+            for v in 0..g.num_vertices() as u32 {
+                for (_, w) in g.neighbors(v) {
+                    prop_assert!(w.is_finite() && w >= 0.0);
+                }
+            }
+        }
+    }
+}

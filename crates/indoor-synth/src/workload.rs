@@ -1,0 +1,134 @@
+//! Query workload generation (§4.1 of the paper).
+//!
+//! * 10,000 random source/target pairs for shortest distance/path,
+//! * 10,000 random query points for kNN/range,
+//! * object sets of 10/50/100/500 objects placed uniformly at random,
+//! * distance-quintile pair buckets (Q1–Q5) for Fig. 10(b).
+
+use indoor_model::{IndoorPoint, Venue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random point: uniform partition choice, then a uniform
+/// position inside the partition extent (matching "randomly generated in
+/// the indoor space", §4.1, under the convex-partition model).
+pub fn random_point(venue: &Venue, rng: &mut StdRng) -> IndoorPoint {
+    let pid = venue.partitions()[rng.gen_range(0..venue.num_partitions())].id;
+    random_point_in(venue, pid, rng)
+}
+
+/// A uniformly random point inside a given partition.
+pub fn random_point_in(
+    venue: &Venue,
+    pid: indoor_model::PartitionId,
+    rng: &mut StdRng,
+) -> IndoorPoint {
+    let ext = venue.partition(pid).extent;
+    IndoorPoint::new(pid, ext.lerp(rng.gen::<f64>(), rng.gen::<f64>()))
+}
+
+/// `n` random query points.
+pub fn query_points(venue: &Venue, n: usize, seed: u64) -> Vec<IndoorPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| random_point(venue, &mut rng)).collect()
+}
+
+/// `n` random source/target pairs.
+pub fn query_pairs(venue: &Venue, n: usize, seed: u64) -> Vec<(IndoorPoint, IndoorPoint)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (random_point(venue, &mut rng), random_point(venue, &mut rng)))
+        .collect()
+}
+
+/// `n` objects placed uniformly at random (the paper's synthetic object
+/// sets; washrooms in the real data).
+pub fn place_objects(venue: &Venue, n: usize, seed: u64) -> Vec<IndoorPoint> {
+    query_points(venue, n, seed ^ 0x0B7EC7)
+}
+
+/// Fig. 10(b) workload: the distance range `[0, dmax]` is split into five
+/// equal intervals Q1..Q5 and random pairs are bucketed by their true
+/// distance. `dmax` is estimated as the maximum distance over the sampled
+/// pairs (the paper takes the building diameter; the estimate converges to
+/// it for the sample sizes used).
+///
+/// `sd` is a shortest-distance oracle, typically a VIP-tree closure.
+/// Returns five buckets of up to `per_bucket` pairs each.
+pub fn distance_quintile_pairs(
+    venue: &Venue,
+    per_bucket: usize,
+    seed: u64,
+    mut sd: impl FnMut(&IndoorPoint, &IndoorPoint) -> Option<f64>,
+) -> [Vec<(IndoorPoint, IndoorPoint)>; 5] {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sample a pool, compute distances, derive dmax, then bucket.
+    let pool_size = per_bucket * 40;
+    let mut pool = Vec::with_capacity(pool_size);
+    let mut dmax = 0.0f64;
+    for _ in 0..pool_size {
+        let s = random_point(venue, &mut rng);
+        let t = random_point(venue, &mut rng);
+        if let Some(d) = sd(&s, &t) {
+            dmax = dmax.max(d);
+            pool.push((s, t, d));
+        }
+    }
+    let mut buckets: [Vec<(IndoorPoint, IndoorPoint)>; 5] = Default::default();
+    if dmax <= 0.0 {
+        return buckets;
+    }
+    for (s, t, d) in pool {
+        let q = ((d / dmax * 5.0).floor() as usize).min(4);
+        if buckets[q].len() < per_bucket {
+            buckets[q].push((s, t));
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_venue;
+
+    #[test]
+    fn points_lie_inside_their_partition() {
+        let venue = random_venue(11);
+        for p in query_points(&venue, 200, 3) {
+            let ext = venue.partition(p.partition).extent;
+            assert!(ext.contains(&p.position), "{p:?} outside {ext:?}");
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let venue = random_venue(11);
+        assert_eq!(query_pairs(&venue, 50, 9), query_pairs(&venue, 50, 9));
+        assert_eq!(place_objects(&venue, 10, 9), place_objects(&venue, 10, 9));
+        assert_ne!(query_points(&venue, 50, 1), query_points(&venue, 50, 2));
+    }
+
+    #[test]
+    fn quintiles_partition_by_distance() {
+        let venue = random_venue(11);
+        // Straight-line oracle is enough to test the bucketing logic.
+        let buckets = distance_quintile_pairs(&venue, 5, 17, |s, t| {
+            Some(s.position.distance(&t.position))
+        });
+        let mut last_max = 0.0;
+        for b in &buckets {
+            let mut bucket_max: f64 = 0.0;
+            for (s, t) in b {
+                let d = s.position.distance(&t.position);
+                bucket_max = bucket_max.max(d);
+                assert!(d >= last_max * 0.0); // distances non-negative
+            }
+            if bucket_max > 0.0 {
+                assert!(bucket_max >= last_max);
+                last_max = bucket_max;
+            }
+        }
+        assert!(buckets.iter().any(|b| !b.is_empty()));
+    }
+}

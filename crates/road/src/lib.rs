@@ -1,0 +1,43 @@
+//! ROAD (Lee, Lee, Zheng & Tian, TKDE 2012) adapted to indoor D2D graphs —
+//! the paper's second road-network competitor.
+//!
+//! ROAD hierarchically partitions the graph into *Rnets* and augments it
+//! with a **route overlay**: per Rnet, shortcuts between its border nodes
+//! carrying the within-Rnet shortest distance. A search from `s` expands
+//! the original edges only inside Rnets that (may) contain the target and
+//! *bypasses* every other Rnet by jumping border-to-border over its
+//! shortcuts; the **association directory** (per-Rnet object counts) plays
+//! the same role for kNN/range queries. On indoor graphs the high
+//! out-degree yields many borders per Rnet, so the overlay saves far less
+//! than on road networks — reproducing the gap the paper reports.
+
+mod build;
+mod query;
+
+pub use build::{Road, RoadConfig};
+
+use indoor_model::{IndoorIndex, IndoorPath, IndoorPoint, ObjectId, ObjectQueries};
+
+impl IndoorIndex for Road {
+    fn name(&self) -> &'static str {
+        "ROAD"
+    }
+    fn shortest_distance(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64> {
+        self.shortest_distance_points(s, t)
+    }
+    fn shortest_path(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
+        self.shortest_path_points(s, t)
+    }
+    fn index_size_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+impl ObjectQueries for Road {
+    fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
+        Road::knn(self, q, k)
+    }
+    fn range(&self, q: &IndoorPoint, radius: f64) -> Vec<(ObjectId, f64)> {
+        Road::range(self, q, radius)
+    }
+}

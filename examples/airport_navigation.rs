@@ -1,0 +1,80 @@
+//! Airport navigation (§1.1: "a passenger may want to find the shortest
+//! path to the boarding gate in an airport").
+//!
+//! Demonstrates travel-time edge weights (§2: distances "set to zero for a
+//! lift/escalator if the distance corresponds to the walking distance or
+//! to a non-zero value if the distance is the travel time"): the same
+//! terminal is queried with walking-distance weights and with a moving
+//! walkway modelled as a fast fixed-cost partition, changing the best
+//! route to the gate.
+//!
+//! ```sh
+//! cargo run --release --example airport_navigation
+//! ```
+
+use indoor_spatial::prelude::*;
+use std::sync::Arc;
+
+/// Build a two-concourse terminal. `walkway_cost`: traversal cost of the
+/// moving walkway connecting the concourses (None = ordinary corridor).
+fn terminal(walkway_cost: Option<f64>) -> (Venue, PartitionId, PartitionId, PartitionId) {
+    let mut b = VenueBuilder::new();
+    // Concourse A (x 0..40) and concourse B (x 60..100).
+    let conc_a = b.add_partition(PartitionKind::Hallway, Rect::new(0.0, 0.0, 40.0, 8.0, 0));
+    let conc_b = b.add_partition(PartitionKind::Hallway, Rect::new(60.0, 0.0, 100.0, 8.0, 0));
+    // A long connector corridor and a parallel moving walkway.
+    let connector = b.add_partition(PartitionKind::Hallway, Rect::new(40.0, 0.0, 60.0, 4.0, 0));
+    let walkway = b.add_partition(PartitionKind::Escalator, Rect::new(40.0, 4.0, 60.0, 8.0, 0));
+    if let Some(c) = walkway_cost {
+        b.set_fixed_traversal_weight(walkway, c);
+    }
+    b.add_door(Point::new(40.0, 2.0, 0), conc_a, Some(connector));
+    b.add_door(Point::new(60.0, 2.0, 0), connector, Some(conc_b));
+    b.add_door(Point::new(40.0, 6.0, 0), conc_a, Some(walkway));
+    b.add_door(Point::new(60.0, 6.0, 0), walkway, Some(conc_b));
+
+    // Gates along concourse B, security at concourse A.
+    let security = b.add_partition(PartitionKind::Room, Rect::new(0.0, 8.0, 10.0, 14.0, 0));
+    b.add_door(Point::new(5.0, 8.0, 0), security, Some(conc_a));
+    let mut gate42 = None;
+    for g in 0..6 {
+        let x = 62.0 + g as f64 * 6.0;
+        let gate = b.add_partition(PartitionKind::Room, Rect::new(x, 8.0, x + 5.0, 14.0, 0));
+        b.add_door(Point::new(x + 2.5, 8.0, 0), gate, Some(conc_b));
+        if g == 4 {
+            gate42 = Some(gate);
+        }
+    }
+    b.add_exterior_door(Point::new(0.0, 4.0, 0), conc_a);
+    (
+        b.build().expect("valid terminal"),
+        security,
+        gate42.expect("gate added"),
+        walkway,
+    )
+}
+
+fn main() {
+    for (label, cost) in [
+        ("walking distance everywhere", None),
+        ("moving walkway at 20% cost", Some(4.0)),
+    ] {
+        let (venue, security, gate, walkway) = terminal(cost);
+        let venue = Arc::new(venue);
+        let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
+
+        let passenger = IndoorPoint::new(security, Point::new(5.0, 11.0, 0));
+        let gate_desk = IndoorPoint::new(gate, Point::new(88.5, 11.0, 0));
+        let route = tree.shortest_path(&passenger, &gate_desk).expect("route");
+        let via_walkway = route
+            .doors
+            .iter()
+            .any(|d| venue.door(*d).partition_ids().any(|p| p == walkway));
+        println!(
+            "{label}: cost {:.1}, {} doors, via moving walkway: {via_walkway}",
+            route.length,
+            route.num_doors()
+        );
+        assert!((route.validate(&venue).unwrap() - route.length).abs() < 1e-9);
+    }
+}

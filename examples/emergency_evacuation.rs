@@ -1,0 +1,68 @@
+//! Emergency evacuation (the paper's §1.1 motivating scenario): "in an
+//! emergency, an indoor LBS can guide people to the nearby exit doors."
+//!
+//! Builds the 14-level Menzies preset, places occupants at random
+//! positions, and routes each to its nearest building exit, printing the
+//! evacuation distance distribution.
+//!
+//! ```sh
+//! cargo run --release --example emergency_evacuation
+//! ```
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{presets, workload};
+use std::sync::Arc;
+
+fn main() {
+    let venue = Arc::new(presets::menzies().build());
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
+
+    // Exit points: one just inside each exterior door.
+    let exits: Vec<IndoorPoint> = venue
+        .doors()
+        .iter()
+        .filter(|d| d.is_exterior())
+        .map(|d| {
+            let p = d.partitions[0].expect("exterior door has an inside");
+            IndoorPoint::new(p, d.position)
+        })
+        .collect();
+    println!("{} exit doors found", exits.len());
+
+    let occupants = workload::query_points(&venue, 500, 99);
+    let mut distances: Vec<f64> = Vec::new();
+    let mut longest: Option<(IndoorPoint, IndoorPath)> = None;
+    for person in &occupants {
+        // Nearest exit = min shortest distance over exit points.
+        let (exit, d) = exits
+            .iter()
+            .filter_map(|e| tree.shortest_distance(person, e).map(|d| (e, d)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("every occupant can evacuate");
+        distances.push(d);
+        if longest.as_ref().map_or(true, |(_, p)| d > p.length) {
+            longest = tree.shortest_path(person, exit).map(|p| (*person, p));
+        }
+    }
+
+    distances.sort_by(f64::total_cmp);
+    let pct = |q: f64| distances[((distances.len() - 1) as f64 * q) as usize];
+    println!(
+        "evacuation distance: median {:.0} m, p90 {:.0} m, max {:.0} m",
+        pct(0.5),
+        pct(0.9),
+        pct(1.0)
+    );
+
+    let (who, route) = longest.expect("non-empty building");
+    println!(
+        "worst-placed occupant (partition {}, level {}) escapes in {:.0} m crossing {} doors",
+        who.partition,
+        who.position.level,
+        route.length,
+        route.num_doors()
+    );
+    // The route is walkable: validate() recomputes its exact length.
+    let recomputed = route.validate(&venue).expect("valid route");
+    assert!((recomputed - route.length).abs() < 1e-6 * recomputed);
+}

@@ -1,0 +1,90 @@
+//! Shopping-centre directory (§1.1: "a disabled person may issue a query
+//! to find accessible toilets within 100 metres in a shopping mall").
+//!
+//! Uses the Melbourne Central preset with a small amenity set (the paper's
+//! default object workload: washrooms, |O| = 50 scaled down), answering
+//! kNN and range queries from a shopper's position, and compares the
+//! VIP-tree against the expansion-based DistAw baseline on the same
+//! queries.
+//!
+//! ```sh
+//! cargo run --release --example mall_directory
+//! ```
+
+use indoor_spatial::baselines::DistAw;
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{presets, workload};
+use indoor_spatial::vip::KeywordObjects;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let venue = Arc::new(presets::melbourne_central().build());
+    let amenities = workload::place_objects(&venue, 20, 4242);
+
+    let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
+    vip.attach_objects(&amenities);
+    let mut distaw = DistAw::new(venue.clone());
+    distaw.attach_objects(&amenities);
+
+    let shopper = workload::query_points(&venue, 1, 7)[0];
+    println!(
+        "shopper at partition {} level {}",
+        shopper.partition, shopper.position.level
+    );
+
+    // Nearest 3 amenities.
+    for (oid, d) in vip.knn(&shopper, 3) {
+        let o = &amenities[oid.index()];
+        println!(
+            "  amenity {oid}: {:.0} m away (partition {}, level {})",
+            d, o.partition, o.position.level
+        );
+    }
+
+    // Accessible amenities within 100 m (the paper's default range).
+    let within = ObjectQueries::range(&vip, &shopper, 100.0);
+    println!("  {} amenities within 100 m", within.len());
+
+    // Spatial-keyword query (§1.3 adaptability): nearest *washroom* only.
+    let labelled: Vec<(IndoorPoint, Vec<String>)> = amenities
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let label = if i % 2 == 0 { "washroom" } else { "atm" };
+            (*p, vec![label.to_string()])
+        })
+        .collect();
+    let kw = KeywordObjects::build(vip.ip_tree(), &labelled);
+    if let Some((oid, d)) = kw.knn_keyword(vip.ip_tree(), &shopper, 1, "washroom").first() {
+        println!("  nearest washroom: {oid} at {d:.0} m");
+    }
+
+    // Both engines agree; VIP answers from the index, DistAw by expansion.
+    let queries = workload::query_points(&venue, 400, 9);
+    for q in &queries {
+        let a = vip.knn(q, 5);
+        let b = ObjectQueries::knn(&distaw, q, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.1 - y.1).abs() < 1e-6 * x.1.max(1.0));
+        }
+    }
+    let t0 = Instant::now();
+    for q in &queries {
+        std::hint::black_box(vip.knn(q, 5));
+    }
+    let vip_time = t0.elapsed();
+    let t0 = Instant::now();
+    for q in &queries {
+        std::hint::black_box(ObjectQueries::knn(&distaw, q, 5));
+    }
+    let aw_time = t0.elapsed();
+    println!(
+        "kNN over {} queries: VIP-tree {:.1?}, DistAw {:.1?} (ratio {:.2})",
+        queries.len(),
+        vip_time,
+        aw_time,
+        aw_time.as_secs_f64() / vip_time.as_secs_f64()
+    );
+}

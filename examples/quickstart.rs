@@ -1,0 +1,57 @@
+//! Quickstart: model a small office floor by hand, index it with a
+//! VIP-tree, and run all four query types.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use indoor_spatial::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. Model the venue: one corridor, five offices, a copy room. ---
+    let mut b = VenueBuilder::new();
+    let corridor = b.add_partition(PartitionKind::Hallway, Rect::new(0.0, 5.0, 30.0, 8.0, 0));
+    let mut offices = Vec::new();
+    for i in 0..5 {
+        let x = i as f64 * 6.0;
+        let office = b.add_partition(PartitionKind::Room, Rect::new(x, 0.0, x + 5.0, 5.0, 0));
+        b.add_door(Point::new(x + 2.5, 5.0, 0), office, Some(corridor));
+        offices.push(office);
+    }
+    let copy_room = b.add_partition(PartitionKind::Room, Rect::new(0.0, 8.0, 5.0, 12.0, 0));
+    b.add_door(Point::new(2.5, 8.0, 0), copy_room, Some(corridor));
+    b.add_exterior_door(Point::new(30.0, 6.5, 0), corridor);
+    let venue = Arc::new(b.build().expect("valid venue"));
+    println!(
+        "venue: {} partitions, {} doors, {} D2D arcs",
+        venue.num_partitions(),
+        venue.num_doors(),
+        venue.d2d().num_arcs()
+    );
+
+    // --- 2. Build the index. ---
+    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
+
+    // --- 3. Shortest distance and path between two offices. ---
+    let alice = IndoorPoint::new(offices[0], Point::new(1.0, 1.0, 0));
+    let bob = IndoorPoint::new(offices[4], Point::new(27.0, 1.0, 0));
+    let d = tree.shortest_distance(&alice, &bob).expect("reachable");
+    let path = tree.shortest_path(&alice, &bob).expect("reachable");
+    println!("alice -> bob: {:.1} m through doors {:?}", d, path.doors);
+    assert!((path.length - d).abs() < 1e-9);
+
+    // --- 4. kNN and range: nearest copy room / printers. ---
+    let printers = vec![
+        IndoorPoint::new(copy_room, Point::new(1.0, 10.0, 0)),
+        IndoorPoint::new(offices[3], Point::new(20.0, 1.0, 0)),
+    ];
+    tree.attach_objects(&printers);
+    let nearest = tree.knn(&alice, 1);
+    println!(
+        "nearest printer to alice: {} at {:.1} m",
+        nearest[0].0, nearest[0].1
+    );
+    let within = tree.range(&alice, 15.0);
+    println!("printers within 15 m of alice: {}", within.len());
+}

@@ -1,0 +1,48 @@
+//! # indoor-spatial
+//!
+//! Facade crate for the VIP-Tree indoor spatial query suite (a from-scratch
+//! reproduction of *"VIP-Tree: An Effective Index for Indoor Spatial
+//! Queries"*, PVLDB 10(4), 2016).
+//!
+//! The workspace is organised as one crate per subsystem; this crate
+//! re-exports the public API so downstream users can depend on a single
+//! package:
+//!
+//! * [`model`] — indoor data model: doors, partitions, venues, D2D/AB graphs.
+//! * [`synth`] — synthetic venue generator, dataset presets, workloads.
+//! * [`vip`] — the paper's contribution: IP-Tree and VIP-Tree.
+//! * [`baselines`] — DistMx / DistAw competitors.
+//! * [`gtree`] / [`road`] — road-network competitors adapted to indoor graphs.
+//!
+//! ```
+//! use indoor_spatial::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let venue = Arc::new(indoor_spatial::synth::presets::melbourne_central().build());
+//! let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+//! let pairs = indoor_spatial::synth::workload::query_pairs(&venue, 1, 7);
+//! let (s, t) = pairs[0];
+//! let d = tree.shortest_distance(&s, &t);
+//! assert!(d.is_some());
+//! ```
+
+pub use geometry;
+pub use graph_partition;
+pub use indoor_graph as graph;
+pub use indoor_model as model;
+pub use indoor_synth as synth;
+
+pub use gtree;
+pub use indoor_baselines as baselines;
+pub use road;
+pub use vip_tree as vip;
+
+/// Commonly used items for quick-start programs.
+pub mod prelude {
+    pub use geometry::{Point, Rect};
+    pub use indoor_model::{
+        Door, DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectQueries, Partition,
+        PartitionClass, PartitionId, PartitionKind, Venue, VenueBuilder,
+    };
+    pub use vip_tree::{IpTree, VipTree, VipTreeConfig};
+}

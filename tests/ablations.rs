@@ -1,0 +1,138 @@
+//! Ablations for the design choices DESIGN.md calls out: each optimisation
+//! must change cost metrics, never answers.
+
+use indoor_spatial::baselines::DistMx;
+use indoor_spatial::model::QueryStats;
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{random_venue, workload};
+use std::sync::Arc;
+
+/// Superior-door optimisation (§3.1.1 Definition 2): disabling it falls
+/// back to scanning all doors of the source partition — same results.
+#[test]
+fn superior_doors_do_not_change_answers() {
+    for seed in [1u64, 77, 4096] {
+        let venue = Arc::new(random_venue(seed));
+        let with = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let without = VipTree::build(
+            venue.clone(),
+            &VipTreeConfig {
+                use_superior_doors: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut st_with = QueryStats::default();
+        let mut st_without = QueryStats::default();
+        for (s, t) in workload::query_pairs(&venue, 30, seed ^ 0x5) {
+            let a = with.shortest_distance_with_stats(&s, &t, &mut st_with);
+            let b = without.shortest_distance_with_stats(&s, &t, &mut st_without);
+            match (a, b) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9 * x.max(1.0)),
+                (None, None) => {}
+                _ => panic!("superior-door optimisation changed reachability"),
+            }
+        }
+        // The optimisation can only shrink the candidate door set.
+        assert!(st_with.door_pairs <= st_without.door_pairs);
+    }
+}
+
+/// Minimum degree t trades index size for kNN pruning (Fig. 7) — never
+/// correctness.
+#[test]
+fn min_degree_does_not_change_answers() {
+    let venue = Arc::new(random_venue(31337));
+    let objects = workload::place_objects(&venue, 12, 9);
+    let trees: Vec<VipTree> = [2usize, 4, 8]
+        .iter()
+        .map(|&t| {
+            let mut tree = VipTree::build(
+                venue.clone(),
+                &VipTreeConfig {
+                    min_degree: t,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            tree.attach_objects(&objects);
+            tree
+        })
+        .collect();
+
+    for (s, t) in workload::query_pairs(&venue, 25, 3) {
+        let ds: Vec<Option<f64>> = trees
+            .iter()
+            .map(|tr| tr.shortest_distance_points(&s, &t))
+            .collect();
+        for w in ds.windows(2) {
+            match (w[0], w[1]) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9 * a.max(1.0)),
+                (None, None) => {}
+                _ => panic!("t changed reachability"),
+            }
+        }
+    }
+    for q in workload::query_points(&venue, 10, 4) {
+        let rs: Vec<_> = trees.iter().map(|tr| tr.knn(&q, 3)).collect();
+        for w in rs.windows(2) {
+            assert_eq!(w[0].len(), w[1].len());
+            for (a, b) in w[0].iter().zip(&w[1]) {
+                assert!((a.1 - b.1).abs() < 1e-9 * a.1.max(1.0));
+            }
+        }
+    }
+}
+
+/// The DistMx no-through-door optimisation (§4.3.1) only reduces the pairs
+/// considered (Fig. 9(a)).
+#[test]
+fn distmx_optimisation_reduces_pairs_only() {
+    let venue = Arc::new(random_venue(5150));
+    let opt = DistMx::build(venue.clone());
+    let unopt = DistMx::build(venue.clone()).without_optimisation();
+    let mut st_o = QueryStats::default();
+    let mut st_u = QueryStats::default();
+    for (s, t) in workload::query_pairs(&venue, 50, 6) {
+        let a = opt.shortest_distance_with_stats(&s, &t, &mut st_o);
+        let b = unopt.shortest_distance_with_stats(&s, &t, &mut st_u);
+        assert_eq!(a.is_some(), b.is_some());
+        if let (Some(x), Some(y)) = (a, b) {
+            assert!((x - y).abs() < 1e-9 * x.max(1.0));
+        }
+    }
+    assert!(st_o.door_pairs <= st_u.door_pairs);
+    assert!(st_o.door_pairs > 0);
+}
+
+/// VIP-tree's materialised tables are a pure accelerator over the IP-tree
+/// ascent: identical answers, identical paths lengths.
+#[test]
+fn vip_is_pure_acceleration_of_ip() {
+    for seed in [8u64, 800, 80000] {
+        let venue = Arc::new(random_venue(seed));
+        let cfg = VipTreeConfig::default();
+        let ip = IpTree::build(venue.clone(), &cfg).unwrap();
+        let vip = VipTree::build(venue.clone(), &cfg).unwrap();
+        for (s, t) in workload::query_pairs(&venue, 25, seed) {
+            let a = ip.shortest_distance_points(&s, &t);
+            let b = vip.shortest_distance_points(&s, &t);
+            match (a, b) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9 * x.max(1.0)),
+                (None, None) => {}
+                _ => panic!("materialisation changed reachability"),
+            }
+            let pa = ip.shortest_path_points(&s, &t);
+            let pb = vip.shortest_path_points(&s, &t);
+            match (pa, pb) {
+                (Some(x), Some(y)) => {
+                    assert!((x.length - y.length).abs() < 1e-9 * x.length.max(1.0))
+                }
+                (None, None) => {}
+                _ => panic!("materialisation changed path reachability"),
+            }
+        }
+        // Materialisation costs memory.
+        assert!(vip.size_bytes() > ip.size_bytes());
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration: every index must return identical shortest
+//! distances, shortest-path lengths, kNN results and range results — on
+//! random venues and on the calibrated MC preset.
+
+use indoor_spatial::baselines::{DistAw, DistAwPlus, DistMx};
+use indoor_spatial::gtree::{GTree, GTreeConfig};
+use indoor_spatial::prelude::*;
+use indoor_spatial::road::{Road, RoadConfig};
+use indoor_spatial::synth::{presets, random_venue, workload};
+use std::sync::Arc;
+
+fn all_indexes(venue: &Arc<Venue>, objects: &[IndoorPoint]) -> Vec<Box<dyn IndoorIndexAndObjects>> {
+    let cfg = VipTreeConfig::default();
+    let mut vip = VipTree::build(venue.clone(), &cfg).unwrap();
+    vip.attach_objects(objects);
+    let mut ip = IpTree::build(venue.clone(), &cfg).unwrap();
+    ip.attach_objects(objects);
+    let mut aw = DistAw::new(venue.clone());
+    aw.attach_objects(objects);
+    let mut mx = DistMx::build(venue.clone());
+    mx.attach_objects(objects);
+    let mx = Arc::new(mx);
+    let mut awp = DistAwPlus::new(venue.clone(), mx.clone());
+    awp.attach_objects(objects);
+    let mut g = GTree::build(venue.clone(), &GTreeConfig::default());
+    g.attach_objects(objects);
+    let mut r = Road::build(venue.clone(), &RoadConfig::default());
+    r.attach_objects(objects);
+    vec![
+        Box::new(vip),
+        Box::new(ip),
+        Box::new(aw),
+        Box::new(ArcMx(mx)),
+        Box::new(awp),
+        Box::new(g),
+        Box::new(r),
+    ]
+}
+
+/// Object-safe union of the two query traits.
+trait IndoorIndexAndObjects {
+    fn name2(&self) -> &'static str;
+    fn sd(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64>;
+    fn sp(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath>;
+    fn knn2(&self, q: &IndoorPoint, k: usize) -> Vec<(indoor_spatial::model::ObjectId, f64)>;
+    fn range2(&self, q: &IndoorPoint, r: f64) -> Vec<(indoor_spatial::model::ObjectId, f64)>;
+}
+
+impl<T: IndoorIndex + ObjectQueries> IndoorIndexAndObjects for T {
+    fn name2(&self) -> &'static str {
+        self.name()
+    }
+    fn sd(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64> {
+        self.shortest_distance(s, t)
+    }
+    fn sp(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
+        self.shortest_path(s, t)
+    }
+    fn knn2(&self, q: &IndoorPoint, k: usize) -> Vec<(indoor_spatial::model::ObjectId, f64)> {
+        self.knn(q, k)
+    }
+    fn range2(&self, q: &IndoorPoint, r: f64) -> Vec<(indoor_spatial::model::ObjectId, f64)> {
+        self.range(q, r)
+    }
+}
+
+/// `Arc<DistMx>` wrapper so the matrix can be shared with DistAw++.
+struct ArcMx(Arc<DistMx>);
+impl IndoorIndexAndObjects for ArcMx {
+    fn name2(&self) -> &'static str {
+        self.0.name()
+    }
+    fn sd(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64> {
+        self.0.shortest_distance(s, t)
+    }
+    fn sp(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
+        self.0.shortest_path(s, t)
+    }
+    fn knn2(&self, q: &IndoorPoint, k: usize) -> Vec<(indoor_spatial::model::ObjectId, f64)> {
+        self.0.knn(q, k)
+    }
+    fn range2(&self, q: &IndoorPoint, r: f64) -> Vec<(indoor_spatial::model::ObjectId, f64)> {
+        self.0.range(q, r)
+    }
+}
+
+fn check_agreement(venue: Arc<Venue>, seed: u64, pairs: usize, points: usize) {
+    let objects = workload::place_objects(&venue, 15, seed ^ 0xAB);
+    let indexes = all_indexes(&venue, &objects);
+
+    for (s, t) in workload::query_pairs(&venue, pairs, seed) {
+        let mut reference: Option<f64> = None;
+        for ix in &indexes {
+            let d = ix.sd(&s, &t);
+            match (reference, d) {
+                (None, Some(v)) => reference = Some(v),
+                (Some(r), Some(v)) => assert!(
+                    (r - v).abs() < 1e-6 * r.max(1.0),
+                    "{} disagrees on SD: {v} vs {r}",
+                    ix.name2()
+                ),
+                (Some(_), None) => panic!("{} says unreachable", ix.name2()),
+                (None, None) => {}
+            }
+            // Path length must equal distance and be walkable.
+            if let Some(p) = ix.sp(&s, &t) {
+                let len = p
+                    .validate(&venue)
+                    .unwrap_or_else(|e| panic!("{}: invalid path: {e}", ix.name2()));
+                assert!(
+                    (len - p.length).abs() < 1e-6 * len.max(1.0),
+                    "{}: reported {} vs walked {len}",
+                    ix.name2(),
+                    p.length
+                );
+                if let Some(d) = d {
+                    assert!((p.length - d).abs() < 1e-9 * d.max(1.0));
+                }
+            }
+        }
+    }
+
+    for q in workload::query_points(&venue, points, seed ^ 0xCD) {
+        let knns: Vec<_> = indexes.iter().map(|ix| ix.knn2(&q, 4)).collect();
+        let ranges: Vec<_> = indexes.iter().map(|ix| ix.range2(&q, 120.0)).collect();
+        for (i, ix) in indexes.iter().enumerate().skip(1) {
+            assert_eq!(knns[0].len(), knns[i].len(), "{} kNN count", ix.name2());
+            for (a, b) in knns[0].iter().zip(&knns[i]) {
+                assert!(
+                    (a.1 - b.1).abs() < 1e-6 * a.1.max(1.0),
+                    "{} kNN distance mismatch",
+                    ix.name2()
+                );
+            }
+            assert_eq!(ranges[0].len(), ranges[i].len(), "{} range count", ix.name2());
+        }
+    }
+}
+
+#[test]
+fn agreement_on_random_venues() {
+    for seed in [3u64, 1234, 98765] {
+        check_agreement(Arc::new(random_venue(seed)), seed, 12, 5);
+    }
+}
+
+#[test]
+fn agreement_on_melbourne_central() {
+    let venue = Arc::new(presets::melbourne_central().build());
+    check_agreement(venue, 31, 20, 8);
+}

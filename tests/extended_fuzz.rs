@@ -1,0 +1,88 @@
+//! Extended randomised cross-validation, run on demand:
+//!
+//! ```sh
+//! cargo test --release --test extended_fuzz -- --ignored
+//! ```
+//!
+//! Sweeps many more venue seeds than the default suites, cross-checking
+//! the VIP-tree, IP-tree and both road-network competitors against the
+//! Dijkstra oracle for distances, paths, kNN and range — the closest thing
+//! to a soak test the repository has.
+
+use indoor_spatial::graph::DijkstraEngine;
+use indoor_spatial::gtree::{GTree, GTreeConfig};
+use indoor_spatial::prelude::*;
+use indoor_spatial::road::{Road, RoadConfig};
+use indoor_spatial::synth::{random_venue, workload};
+use std::sync::Arc;
+
+fn oracle(
+    venue: &Venue,
+    engine: &mut DijkstraEngine,
+    s: &IndoorPoint,
+    t: &IndoorPoint,
+) -> Option<f64> {
+    let direct = s.direct_distance(venue, t);
+    let via = engine
+        .point_to_point(venue.d2d(), &s.door_seeds(venue), &t.door_seeds(venue))
+        .map(|(d, _)| d);
+    match (direct, via) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+#[test]
+#[ignore = "soak test: ~200 venue seeds, run with --ignored"]
+fn soak_all_indexes_against_oracle() {
+    for seed in 0u64..200 {
+        let venue = Arc::new(random_venue(seed));
+        let mut engine = DijkstraEngine::new(venue.num_doors());
+
+        let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let g = GTree::build(venue.clone(), &GTreeConfig::default());
+        let r = Road::build(venue.clone(), &RoadConfig::default());
+
+        for (s, t) in workload::query_pairs(&venue, 25, seed ^ 0xF00D) {
+            let want = oracle(&venue, &mut engine, &s, &t);
+            for (name, got) in [
+                ("vip", vip.shortest_distance_points(&s, &t)),
+                ("gtree", g.shortest_distance_points(&s, &t)),
+                ("road", r.shortest_distance_points(&s, &t)),
+            ] {
+                match (want, got) {
+                    (Some(w), Some(v)) => assert!(
+                        (w - v).abs() < 1e-6 * w.max(1.0),
+                        "seed {seed} {name}: got {v} want {w}"
+                    ),
+                    (None, None) => {}
+                    _ => panic!("seed {seed} {name}: reachability mismatch"),
+                }
+            }
+            if let Some(p) = vip.shortest_path_points(&s, &t) {
+                let len = p.validate(&venue).unwrap();
+                assert!((len - p.length).abs() < 1e-6 * len.max(1.0), "seed {seed}");
+            }
+        }
+
+        let objects = workload::place_objects(&venue, 10, seed ^ 0xBEEF);
+        vip.attach_objects(&objects);
+        for q in workload::query_points(&venue, 5, seed ^ 0xCAFE) {
+            let got = vip.knn(&q, 4);
+            let mut want: Vec<f64> = objects
+                .iter()
+                .filter_map(|o| oracle(&venue, &mut engine, &q, o))
+                .collect();
+            want.sort_by(f64::total_cmp);
+            assert_eq!(got.len(), 4.min(want.len()), "seed {seed}");
+            for (i, (_, d)) in got.iter().enumerate() {
+                assert!(
+                    (d - want[i]).abs() < 1e-6 * want[i].max(1.0),
+                    "seed {seed} rank {i}: got {d} want {}",
+                    want[i]
+                );
+            }
+        }
+        assert_eq!(vip.decompose_fallback_count(), 0, "seed {seed}");
+    }
+}

@@ -1,0 +1,100 @@
+//! The indoor shortest-distance function returned by the indexes must be
+//! a proper metric (up to floating-point tolerance): non-negative, zero on
+//! identity, symmetric (the D2D graph is undirected), and satisfying the
+//! triangle inequality. Violations of any of these would indicate a
+//! corrupted matrix or a broken ascent, independently of the Dijkstra
+//! oracle checks in the per-crate suites.
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{random_venue, workload};
+use std::sync::Arc;
+
+fn build(seed: u64) -> (Arc<Venue>, VipTree) {
+    let venue = Arc::new(random_venue(seed));
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    (venue, tree)
+}
+
+#[test]
+fn non_negative_and_zero_on_identity() {
+    for seed in [2u64, 222, 22222] {
+        let (venue, tree) = build(seed);
+        for p in workload::query_points(&venue, 30, seed) {
+            let d = tree.shortest_distance_points(&p, &p).unwrap();
+            assert!(d.abs() < 1e-12, "d(p,p) = {d}");
+        }
+        for (s, t) in workload::query_pairs(&venue, 30, seed ^ 1) {
+            if let Some(d) = tree.shortest_distance_points(&s, &t) {
+                assert!(d >= 0.0, "negative distance {d}");
+                assert!(d.is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn symmetric() {
+    for seed in [5u64, 555, 55555] {
+        let (venue, tree) = build(seed);
+        for (s, t) in workload::query_pairs(&venue, 40, seed) {
+            let ab = tree.shortest_distance_points(&s, &t);
+            let ba = tree.shortest_distance_points(&t, &s);
+            match (ab, ba) {
+                (Some(x), Some(y)) => assert!(
+                    (x - y).abs() < 1e-6 * x.max(1.0),
+                    "asymmetry: {x} vs {y}"
+                ),
+                (None, None) => {}
+                _ => panic!("asymmetric reachability"),
+            }
+        }
+    }
+}
+
+#[test]
+fn triangle_inequality() {
+    for seed in [7u64, 777, 77777] {
+        let (venue, tree) = build(seed);
+        let pts = workload::query_points(&venue, 12, seed);
+        for a in &pts {
+            for b in &pts {
+                for c in &pts {
+                    let (ab, bc, ac) = (
+                        tree.shortest_distance_points(a, b),
+                        tree.shortest_distance_points(b, c),
+                        tree.shortest_distance_points(a, c),
+                    );
+                    if let (Some(ab), Some(bc), Some(ac)) = (ab, bc, ac) {
+                        assert!(
+                            ac <= ab + bc + 1e-6 * ac.max(1.0),
+                            "triangle violation: d(a,c)={ac} > d(a,b)={ab} + d(b,c)={bc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shortest-path door counts are consistent with the distance: a path
+/// crossing w doors has length at least the largest single segment and at
+/// most the sum of all edge weights along it (already checked by
+/// validate); here we additionally pin the w = 0 case to same-partition
+/// routes.
+#[test]
+fn zero_door_paths_are_same_partition() {
+    for seed in [9u64, 909] {
+        let (venue, tree) = build(seed);
+        for (s, t) in workload::query_pairs(&venue, 60, seed) {
+            if let Some(p) = tree.shortest_path_points(&s, &t) {
+                if p.doors.is_empty() {
+                    assert_eq!(
+                        s.partition, t.partition,
+                        "cross-partition route without doors"
+                    );
+                }
+                let _ = p.validate(&venue).unwrap();
+            }
+        }
+    }
+}

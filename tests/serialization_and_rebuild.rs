@@ -1,0 +1,40 @@
+//! A venue survives JSON round-tripping, and indexes built over the
+//! reloaded venue answer queries identically.
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{random_venue, workload};
+use std::sync::Arc;
+
+#[test]
+fn roundtrip_preserves_query_answers() {
+    let venue = Arc::new(random_venue(2024));
+    let mut buf = Vec::new();
+    venue.save_json(&mut buf).expect("serialise");
+    let reloaded = Arc::new(Venue::load_json(buf.as_slice()).expect("deserialise"));
+
+    assert_eq!(venue.stats(), reloaded.stats());
+
+    let cfg = VipTreeConfig::default();
+    let a = VipTree::build(venue.clone(), &cfg).unwrap();
+    let b = VipTree::build(reloaded.clone(), &cfg).unwrap();
+
+    for (s, t) in workload::query_pairs(&venue, 40, 5) {
+        let da = a.shortest_distance_points(&s, &t);
+        let db = b.shortest_distance_points(&s, &t);
+        match (da, db) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9 * x.max(1.0)),
+            (None, None) => {}
+            _ => panic!("reachability changed across serialisation"),
+        }
+    }
+}
+
+#[test]
+fn save_is_deterministic() {
+    let venue = random_venue(55);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    venue.save_json(&mut a).unwrap();
+    venue.save_json(&mut b).unwrap();
+    assert_eq!(a, b);
+}
