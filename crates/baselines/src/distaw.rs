@@ -11,8 +11,8 @@
 use crate::DistMx;
 use indoor_graph::{DijkstraEngine, NO_VERTEX};
 use indoor_model::{
-    DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectId, ObjectQueries, PartitionId,
-    QueryStats, Venue,
+    DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectId, ObjectQueries, PartitionId, QueryStats,
+    Venue,
 };
 use std::collections::HashMap;
 use std::ops::ControlFlow;

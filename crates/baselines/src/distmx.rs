@@ -8,8 +8,8 @@
 
 use indoor_graph::{DijkstraEngine, Termination, NO_VERTEX};
 use indoor_model::{
-    DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectId, ObjectQueries, PartitionId,
-    QueryStats, Venue,
+    DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectId, ObjectQueries, PartitionId, QueryStats,
+    Venue,
 };
 use std::sync::Arc;
 
@@ -114,9 +114,7 @@ impl DistMx {
                 return true;
             }
             match venue.door(d).other_side(p) {
-                Some(q) => {
-                    q == other || venue.class(q) != indoor_model::PartitionClass::NoThrough
-                }
+                Some(q) => q == other || venue.class(q) != indoor_model::PartitionClass::NoThrough,
                 None => false, // exterior dead end can never lead anywhere
             }
         })
@@ -124,11 +122,7 @@ impl DistMx {
 
     /// Shortest distance with the minimising door pair (for path
     /// recovery) and the number of door pairs inspected (Fig. 9(a)).
-    fn best_pair(
-        &self,
-        s: &IndoorPoint,
-        t: &IndoorPoint,
-    ) -> (f64, Option<(DoorId, DoorId)>, u64) {
+    fn best_pair(&self, s: &IndoorPoint, t: &IndoorPoint) -> (f64, Option<(DoorId, DoorId)>, u64) {
         let venue = &*self.venue;
         let mut best = s.direct_distance(venue, t).unwrap_or(f64::INFINITY);
         let mut best_pair = None;

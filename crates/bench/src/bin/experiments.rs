@@ -83,7 +83,11 @@ fn main() {
         fig9a(&args);
     }
     if run("fig9b") {
-        figure_query_times(&args, Kind::Distance, "Fig 9(b): shortest distance query time");
+        figure_query_times(
+            &args,
+            Kind::Distance,
+            "Fig 9(b): shortest distance query time",
+        );
     }
     if run("fig10a") {
         figure_query_times(&args, Kind::Path, "Fig 10(a): shortest path query time");
@@ -101,7 +105,11 @@ fn main() {
         fig11_venues(&args, ObjKind::Knn, "Fig 11(c): kNN query time per venue");
     }
     if run("fig11d") {
-        fig11_venues(&args, ObjKind::Range, "Fig 11(d): range query time per venue");
+        fig11_venues(
+            &args,
+            ObjKind::Range,
+            "Fig 11(d): range query time per venue",
+        );
     }
 }
 
@@ -342,7 +350,10 @@ fn fig10b(args: &Args) {
 
 // ---------------------------------------------------------------- Fig 11
 
-fn object_suite(venue: &Arc<indoor_model::Venue>, objects: Vec<IndoorPoint>) -> Vec<(AnyIndex, Duration)> {
+fn object_suite(
+    venue: &Arc<indoor_model::Venue>,
+    objects: Vec<IndoorPoint>,
+) -> Vec<(AnyIndex, Duration)> {
     build_suite(
         venue,
         &SuiteOptions {

@@ -271,7 +271,11 @@ mod tests {
                 objects: Some(objects),
             },
         );
-        assert!(suite.len() >= 7, "expected all competitors, got {}", suite.len());
+        assert!(
+            suite.len() >= 7,
+            "expected all competitors, got {}",
+            suite.len()
+        );
         let pairs = workload::query_pairs(&venue, 10, 5);
         for (s, t) in &pairs {
             let dists: Vec<Option<f64>> = suite

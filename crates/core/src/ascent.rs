@@ -44,7 +44,29 @@ pub(crate) struct Ascent {
 
 impl Ascent {
     pub fn last(&self) -> &AscentStep {
-        self.steps.last().expect("ascent has at least the leaf step")
+        self.steps
+            .last()
+            .expect("ascent has at least the leaf step")
+    }
+
+    /// The step for `node` if it lies on the ascent's root path, in O(1).
+    ///
+    /// Steps run from the leaf (level 1) upward one level at a time, so
+    /// `steps` *is* a level-indexed dense array: the step for a node at
+    /// level `l` can only sit at `steps[l - 1]`. This replaces the
+    /// `HashMap<NodeIdx, &AscentStep>` the branch-and-bound queries used
+    /// to build per query.
+    #[inline]
+    pub fn step_for(&self, tree: &IpTree, node: NodeIdx) -> Option<&AscentStep> {
+        let level = tree.node(node).level as usize;
+        debug_assert!(level >= 1);
+        self.steps.get(level - 1).filter(|s| s.node == node)
+    }
+
+    /// Whether `node` lies on the ascent's root path, in O(1).
+    #[inline]
+    pub fn on_path(&self, tree: &IpTree, node: NodeIdx) -> bool {
+        self.step_for(tree, node).is_some()
     }
 }
 
@@ -196,8 +218,8 @@ impl IpTree {
         if leaf_s == leaf_t {
             return self.same_leaf_route(s, t).map(|(d, _)| d);
         }
-        stats.door_pairs +=
-            (self.superior_doors(s.partition).len() * self.superior_doors(t.partition).len()) as u64;
+        stats.door_pairs += (self.superior_doors(s.partition).len()
+            * self.superior_doors(t.partition).len()) as u64;
 
         let (d, _, _) = self.cross_leaf_distance(s, t, leaf_s, leaf_t)?;
         Some(d)
@@ -205,6 +227,7 @@ impl IpTree {
 
     /// Cross-leaf distance plus the minimising access-door pair and the
     /// two ascents (for path recovery). `None` when unreachable.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn cross_leaf_distance(
         &self,
         s: &IndoorPoint,
@@ -268,8 +291,7 @@ impl IpTree {
                 length,
             });
         }
-        let (length, (i, j), (asc_s, asc_t)) =
-            self.cross_leaf_distance(s, t, leaf_s, leaf_t)?;
+        let (length, (i, j), (asc_s, asc_t)) = self.cross_leaf_distance(s, t, leaf_s, leaf_t)?;
         let doors = self.recover_cross_leaf_path(&asc_s, i, &asc_t, j);
         Some(IndoorPath {
             source: *s,

@@ -1,10 +1,17 @@
 //! IP-tree construction (§2.1.2): leaves → merged levels → matrices.
+//!
+//! The matrix phases (steps 3–4) fan out over worker threads — one
+//! checkout-pooled [`indoor_graph::DijkstraEngine`] per worker — while the
+//! structural phases (leaf assignment, merging) stay serial. Every
+//! parallel unit writes into a pre-assigned slot, so the built tree is
+//! bit-identical for any `VipTreeConfig::threads` (see DESIGN.md).
 
 use crate::leaf::assign_leaves;
 use crate::matrices::{build_inner_matrix, build_leaf_matrix, LevelGraph};
 use crate::merge::{create_next_level, ProtoNode};
 use crate::tree::{BuildError, DistMatrix, IpTree, Node, NodeIdx, VipTreeConfig, NO_NODE};
-use indoor_graph::DijkstraEngine;
+use indoor_graph::parallel::par_map_init;
+use indoor_graph::EnginePool;
 use indoor_model::{DoorId, Venue};
 use std::sync::Arc;
 
@@ -72,31 +79,29 @@ impl IpTree {
         let t = config.min_degree;
 
         // --- Steps 1 & 2: leaves, then merge until <= t nodes remain. ---
-        let (mut protos, mut door_nodes, leaf_partitions) = leaf_protos(&venue);
-        let leaf_level_protos = protos.clone();
-        let door_leaves: Vec<[NodeIdx; 2]> = door_nodes.clone();
+        // The leaf-level door → leaves map is stored in the tree as-is, and
+        // the merge loop borrows it for its first pass: no wholesale
+        // snapshot clones of the leaf protos or the door map are taken.
+        let (mut protos, door_leaves, leaf_partitions) = leaf_protos(&venue);
 
         // levels[0] = leaves; each entry records, per node of that level,
         // the member indices into the previous level.
         let mut level_members: Vec<Vec<Vec<u32>>> = Vec::new();
         let mut level_access: Vec<Vec<Vec<DoorId>>> = Vec::new();
         level_members.push((0..protos.len()).map(|i| vec![i as u32]).collect());
-        level_access.push(
-            leaf_level_protos
-                .iter()
-                .map(|p| p.access_doors.clone())
-                .collect(),
-        );
+        level_access.push(protos.iter().map(|p| p.access_doors.clone()).collect());
 
+        let mut door_nodes: Option<Vec<[NodeIdx; 2]>> = None;
         while protos.len() > t {
-            let out = create_next_level(&venue, &protos, &door_nodes, t);
+            let current_map = door_nodes.as_deref().unwrap_or(&door_leaves);
+            let out = create_next_level(&venue, &protos, current_map, t);
             if out.next.len() >= protos.len() {
                 break; // no progress possible (disconnected pathologies)
             }
             level_members.push(out.next.iter().map(|p| p.members.clone()).collect());
             level_access.push(out.next.iter().map(|p| p.access_doors.clone()).collect());
             protos = out.next;
-            door_nodes = out.door_nodes;
+            door_nodes = Some(out.door_nodes);
         }
         if protos.len() > 1 {
             // Merge the <= t survivors into the root (§2.1.2: "all these
@@ -171,31 +176,44 @@ impl IpTree {
             }
         }
 
-        // --- Step 3: leaf matrices (+ superior doors). ---
-        let mut engine = DijkstraEngine::new(venue.num_doors());
+        // --- Step 3: leaf matrices (+ superior doors), in parallel. ---
+        // Each leaf's Dijkstra fan-out is independent (it reads only the
+        // venue, the boundary flags, and its own door lists), so leaves map
+        // over the worker pool; the superior-door evidence is carried back
+        // per leaf and folded in leaf order afterwards, which keeps the
+        // result identical to the serial build.
+        let threads = config.threads;
+        let pool = EnginePool::new(venue.num_doors());
+        let leaf_indices: Vec<usize> = (0..n_leaves).collect();
+        let leaf_results: Vec<(DistMatrix, Vec<Vec<bool>>)> = par_map_init(
+            &leaf_indices,
+            threads,
+            || pool.checkout(),
+            |engine, _, &li| {
+                let node = &nodes[li];
+                let mut hits: Vec<Vec<bool>> = node
+                    .partitions
+                    .iter()
+                    .map(|p| vec![false; venue.partition(*p).doors.len()])
+                    .collect();
+                let matrix = build_leaf_matrix(
+                    &venue,
+                    engine,
+                    &node.doors,
+                    &node.access_doors,
+                    &boundary,
+                    &node.partitions,
+                    &mut hits,
+                );
+                (matrix, hits)
+            },
+        );
         let mut superior: Vec<Vec<DoorId>> = vec![Vec::new(); venue.num_partitions()];
-        for li in 0..n_leaves {
-            let (doors, access, parts) = {
-                let n = &nodes[li];
-                (n.doors.clone(), n.access_doors.clone(), n.partitions.clone())
-            };
-            let mut hits: Vec<Vec<bool>> = parts
-                .iter()
-                .map(|p| vec![false; venue.partition(*p).doors.len()])
-                .collect();
-            let matrix = build_leaf_matrix(
-                &venue,
-                &mut engine,
-                &doors,
-                &access,
-                &boundary,
-                &parts,
-                &mut hits,
-            );
-            nodes[li].matrix = matrix;
+        for (li, (matrix, hits)) in leaf_results.into_iter().enumerate() {
             // Local access doors are superior by definition; add the
             // Dijkstra-evidenced ones.
-            for (pi, &p) in parts.iter().enumerate() {
+            for (pi, &p) in nodes[li].partitions.iter().enumerate() {
+                let access = &nodes[li].access_doors;
                 let pdoors = &venue.partition(p).doors;
                 let mut sup: Vec<DoorId> = pdoors
                     .iter()
@@ -211,9 +229,13 @@ impl IpTree {
                 }
                 superior[p.index()] = sup;
             }
+            nodes[li].matrix = matrix;
         }
 
         // --- Step 4: non-leaf matrices, bottom-up via level graphs. ---
+        // Levels stay sequential (G_{l+1} is built from level-l matrices),
+        // but within one level every node's matrix is independent: compute
+        // them in parallel into per-node slots, then write back in order.
         for li in 1..level_first.len() {
             let prev_first = level_first[li - 1];
             let prev_last = level_first[li];
@@ -222,22 +244,33 @@ impl IpTree {
                 .collect();
             let lg = LevelGraph::build_from_parts(venue.num_doors(), &parts);
             drop(parts);
-            let mut lg_engine = DijkstraEngine::new(lg.vertex_door.len());
+            let lg_pool = EnginePool::new(lg.vertex_door.len());
 
             let this_last = if li + 1 < level_first.len() {
                 level_first[li + 1]
             } else {
                 nodes.len()
             };
-            for i in level_first[li]..this_last {
-                let mut border: Vec<DoorId> = nodes[i]
-                    .children
-                    .iter()
-                    .flat_map(|&c| nodes[c as usize].access_doors.iter().copied())
-                    .collect();
-                border.sort_unstable();
-                border.dedup();
-                nodes[i].matrix = build_inner_matrix(&lg, &mut lg_engine, &border);
+            let borders: Vec<Vec<DoorId>> = (level_first[li]..this_last)
+                .map(|i| {
+                    let mut border: Vec<DoorId> = nodes[i]
+                        .children
+                        .iter()
+                        .flat_map(|&c| nodes[c as usize].access_doors.iter().copied())
+                        .collect();
+                    border.sort_unstable();
+                    border.dedup();
+                    border
+                })
+                .collect();
+            let matrices = par_map_init(
+                &borders,
+                threads,
+                || lg_pool.checkout(),
+                |engine, _, border| build_inner_matrix(&lg, engine, border),
+            );
+            for (offset, matrix) in matrices.into_iter().enumerate() {
+                nodes[level_first[li] + offset].matrix = matrix;
             }
         }
 
@@ -259,7 +292,7 @@ impl IpTree {
             boundary,
             superior,
             decompose_fallbacks: std::sync::atomic::AtomicU64::new(0),
-            engine: std::sync::Mutex::new(engine),
+            engine: std::sync::Mutex::new(pool.into_engine()),
             objects: None,
         })
     }
@@ -268,6 +301,7 @@ impl IpTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use indoor_graph::DijkstraEngine;
     use indoor_synth::random_venue;
     use proptest::prelude::*;
 

@@ -9,6 +9,8 @@
 //! list), so a keyword-constrained kNN prunes both by distance (Algorithm
 //! 5) and by term containment.
 
+use crate::ascent::Ascent;
+use crate::knn::DistArena;
 use crate::objects::ObjectIndex;
 use crate::tree::{IpTree, NodeIdx, NO_NODE};
 use geometry::TotalF64;
@@ -107,8 +109,8 @@ impl KeywordObjects {
             return Vec::new();
         }
         let asc = tree.ascend(q, tree.root());
-        let anc: HashMap<NodeIdx, &crate::ascent::AscentStep> =
-            asc.steps.iter().map(|s| (s.node, s)).collect();
+        let (mut arena, step_handles) = DistArena::seeded(&asc);
+        let mut scratch: Vec<f64> = Vec::new();
 
         let mut best: BinaryHeap<(TotalF64, ObjectId)> = BinaryHeap::new();
         let dk = |best: &BinaryHeap<(TotalF64, ObjectId)>| {
@@ -119,40 +121,61 @@ impl KeywordObjects {
             }
         };
 
-        let mut heap: BinaryHeap<Reverse<(TotalF64, NodeIdx, usize)>> = BinaryHeap::new();
-        let mut vecs: Vec<Vec<f64>> = vec![asc.last().dists.clone()];
-        heap.push(Reverse((TotalF64(0.0), tree.root(), 0)));
-        while let Some(Reverse((TotalF64(mind), node_idx, vid))) = heap.pop() {
+        let mut heap: BinaryHeap<Reverse<(TotalF64, NodeIdx, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((
+            TotalF64(0.0),
+            tree.root(),
+            *step_handles.last().expect("ascent is non-empty"),
+        )));
+        while let Some(Reverse((TotalF64(mind), node_idx, handle))) = heap.pop() {
             if mind > dk(&best) {
                 break;
             }
             let node = tree.node(node_idx);
             if node.is_leaf() {
-                self.scan_keyword_leaf(tree, q, node_idx, &vecs[vid], &anc, term, k, &mut best);
+                self.scan_keyword_leaf(
+                    tree,
+                    q,
+                    node_idx,
+                    arena.get(handle),
+                    &asc,
+                    term,
+                    k,
+                    &mut best,
+                );
                 continue;
             }
+            let node_on_path = asc.on_path(tree, node_idx);
             for &child in &node.children {
                 if !self.subtree_has(child, term) {
                     continue; // inverted-list pruning
                 }
-                let (mind_c, cvec) = if let Some(step) = anc.get(&child) {
-                    (0.0, step.dists.clone())
+                if let Some(step) = asc.step_for(tree, child) {
+                    let h = step_handles[tree.node(step.node).level as usize - 1];
+                    heap.push(Reverse((TotalF64(0.0), child, h)));
+                    continue;
+                }
+                let (base_ads, base_handle) = if node_on_path {
+                    let sib = tree.child_towards(node_idx, asc.steps[0].node);
+                    debug_assert!(asc.on_path(tree, sib), "sibling on ascent");
+                    (
+                        &tree.node(sib).access_doors,
+                        step_handles[tree.node(sib).level as usize - 1],
+                    )
                 } else {
-                    let (base_ads, base_vec): (&[indoor_model::DoorId], &[f64]) =
-                        if anc.contains_key(&node_idx) {
-                            let sib = tree.child_towards(node_idx, asc.steps[0].node);
-                            let sib_step = anc.get(&sib).expect("sibling on ascent");
-                            (&tree.node(sib).access_doors, &sib_step.dists)
-                        } else {
-                            (&node.access_doors, &vecs[vid])
-                        };
-                    let v = tree.derive_child_vec_pub(node_idx, child, base_ads, base_vec);
-                    let m = v.iter().copied().fold(f64::INFINITY, f64::min);
-                    (m, v)
+                    (&node.access_doors, handle)
                 };
+                tree.derive_child_vec_into(
+                    node_idx,
+                    child,
+                    base_ads,
+                    arena.get(base_handle),
+                    &mut scratch,
+                );
+                let mind_c = scratch.iter().copied().fold(f64::INFINITY, f64::min);
                 if mind_c <= dk(&best) {
-                    vecs.push(cvec);
-                    heap.push(Reverse((TotalF64(mind_c), child, vecs.len() - 1)));
+                    let h = arena.push(&scratch);
+                    heap.push(Reverse((TotalF64(mind_c), child, h)));
                 }
             }
         }
@@ -170,7 +193,7 @@ impl KeywordObjects {
         q: &IndoorPoint,
         leaf: NodeIdx,
         vec: &[f64],
-        anc: &HashMap<NodeIdx, &crate::ascent::AscentStep>,
+        asc: &Ascent,
         term: TermId,
         k: usize,
         best: &mut BinaryHeap<(TotalF64, ObjectId)>,
@@ -191,7 +214,7 @@ impl KeywordObjects {
                 }
             }
         };
-        tree.scan_leaf_pub(q, &self.objects, leaf, vec, anc, bound, &mut emit);
+        tree.scan_leaf(q, &self.objects, leaf, vec, asc, bound, &mut emit);
     }
 }
 
@@ -234,9 +257,7 @@ mod tests {
                     let all = plain.knn(&q, points.len());
                     let want: Vec<(ObjectId, f64)> = all
                         .into_iter()
-                        .filter(|(o, _)| {
-                            labelled[o.index()].1.iter().any(|l| l == label)
-                        })
+                        .filter(|(o, _)| labelled[o.index()].1.iter().any(|l| l == label))
                         .take(3)
                         .collect();
                     assert_eq!(got.len(), want.len(), "label {label} seed {seed}");

@@ -7,6 +7,13 @@
 //! contains `q` (route through the sibling's access doors), Lemma 9
 //! otherwise. Leaves are scanned through the per-access-door sorted object
 //! lists with early termination at the current `d_k`.
+//!
+//! The traversal state is allocation-lean: every distance vector lives in
+//! one flat [`DistArena`] addressed by `u32` handles (heap/stack entries
+//! carry `(node, handle)`, never owned vectors), ascent lookups are O(1)
+//! level-indexed (see [`Ascent::step_for`]), and child vectors are
+//! computed into a reused scratch buffer before being appended to the
+//! arena.
 
 use crate::ascent::Ascent;
 use crate::objects::ObjectIndex;
@@ -15,7 +22,46 @@ use geometry::TotalF64;
 use indoor_graph::Termination;
 use indoor_model::{IndoorPoint, ObjectId, QueryStats};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+
+/// A bump arena of access-door distance vectors.
+///
+/// Branch-and-bound used to clone a `Vec<f64>` per visited node (ascent
+/// vectors were cloned wholesale on every push); the arena stores each
+/// vector once, contiguously, and hands out dense `u32` handles.
+#[derive(Debug, Default)]
+pub(crate) struct DistArena {
+    data: Vec<f64>,
+    spans: Vec<(u32, u32)>,
+}
+
+impl DistArena {
+    /// Arena pre-seeded with every ascent step's distance vector; the
+    /// returned handles are aligned with `asc.steps` (level − 1 indexing).
+    pub(crate) fn seeded(asc: &Ascent) -> (DistArena, Vec<u32>) {
+        let total: usize = asc.steps.iter().map(|s| s.dists.len()).sum();
+        let mut arena = DistArena {
+            data: Vec::with_capacity(total),
+            spans: Vec::with_capacity(asc.steps.len()),
+        };
+        let handles = asc.steps.iter().map(|s| arena.push(&s.dists)).collect();
+        (arena, handles)
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, v: &[f64]) -> u32 {
+        let start = self.data.len() as u32;
+        self.data.extend_from_slice(v);
+        self.spans.push((start, v.len() as u32));
+        (self.spans.len() - 1) as u32
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, handle: u32) -> &[f64] {
+        let (start, len) = self.spans[handle as usize];
+        &self.data[start as usize..(start + len) as usize]
+    }
+}
 
 impl IpTree {
     /// Attach an object set, replacing any previous one (§3.4).
@@ -96,61 +142,74 @@ impl IpTree {
             }
         };
 
-        let mut heap: BinaryHeap<Reverse<(TotalF64, NodeIdx, usize)>> = BinaryHeap::new();
-        let mut vecs: Vec<Vec<f64>> = Vec::new();
-        let anc: HashMap<NodeIdx, &crate::ascent::AscentStep> =
-            asc.steps.iter().map(|s| (s.node, s)).collect();
+        let (mut arena, step_handles) = DistArena::seeded(asc);
+        let mut scratch: Vec<f64> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(TotalF64, NodeIdx, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((
+            TotalF64(0.0),
+            self.root(),
+            *step_handles.last().expect("ascent is non-empty"),
+        )));
 
-        vecs.push(asc.last().dists.clone());
-        heap.push(Reverse((TotalF64(0.0), self.root(), 0)));
-
-        while let Some(Reverse((TotalF64(mind), node_idx, vec_id))) = heap.pop() {
+        while let Some(Reverse((TotalF64(mind), node_idx, handle))) = heap.pop() {
             if mind > dk(&best) {
                 break;
             }
             stats.nodes_visited += 1;
             let node = self.node(node_idx);
             if node.is_leaf() {
-                self.scan_leaf(q, oi, node_idx, &vecs[vec_id], &anc, dk(&best), &mut |o, d| {
-                    consider(&mut best, o, d)
-                });
+                self.scan_leaf(
+                    q,
+                    oi,
+                    node_idx,
+                    arena.get(handle),
+                    asc,
+                    dk(&best),
+                    &mut |o, d| consider(&mut best, o, d),
+                );
                 continue;
             }
+            let node_on_path = asc.on_path(self, node_idx);
             for &child in &node.children {
                 if oi.subtree_count[child as usize] == 0 {
                     continue;
                 }
-                if let Some(step) = anc.get(&child) {
+                if let Some(step) = asc.step_for(self, child) {
                     // Child contains q: mindist 0, vector from the ascent.
-                    vecs.push(step.dists.clone());
-                    heap.push(Reverse((TotalF64(0.0), child, vecs.len() - 1)));
+                    let h = step_handles[self.node(step.node).level as usize - 1];
+                    heap.push(Reverse((TotalF64(0.0), child, h)));
                     continue;
                 }
                 // Lemma 8/9: derive the child's vector from this node.
-                let (base_ads, base_vec): (&[indoor_model::DoorId], &[f64]) =
-                    if let Some(step) = anc.get(&node_idx) {
-                        // Node contains q: go through the sibling on q's path.
-                        let sib = self.child_towards(node_idx, asc.steps[0].node);
-                        debug_assert_ne!(sib, child);
-                        let sib_step = anc.get(&sib).expect("sibling on ascent path");
-                        let _ = step;
-                        (&self.node(sib).access_doors, &sib_step.dists)
-                    } else {
-                        (&node.access_doors, &vecs[vec_id])
-                    };
-                let cvec = self.derive_child_vec(node_idx, child, base_ads, base_vec);
-                let mind_c = cvec.iter().copied().fold(f64::INFINITY, f64::min);
+                let (base_ads, base_handle) = if node_on_path {
+                    // Node contains q: go through the sibling on q's path.
+                    let sib = self.child_towards(node_idx, asc.steps[0].node);
+                    debug_assert_ne!(sib, child);
+                    debug_assert!(asc.on_path(self, sib), "sibling on ascent path");
+                    (
+                        &self.node(sib).access_doors,
+                        step_handles[self.node(sib).level as usize - 1],
+                    )
+                } else {
+                    (&node.access_doors, handle)
+                };
+                self.derive_child_vec_into(
+                    node_idx,
+                    child,
+                    base_ads,
+                    arena.get(base_handle),
+                    &mut scratch,
+                );
+                let mind_c = scratch.iter().copied().fold(f64::INFINITY, f64::min);
                 if mind_c <= dk(&best) {
-                    vecs.push(cvec);
-                    heap.push(Reverse((TotalF64(mind_c), child, vecs.len() - 1)));
+                    let h = arena.push(&scratch);
+                    heap.push(Reverse((TotalF64(mind_c), child, h)));
                 }
             }
         }
 
-        let mut out: Vec<(ObjectId, f64)> = best
-            .into_iter()
-            .map(|(TotalF64(d), o)| (o, d))
-            .collect();
+        let mut out: Vec<(ObjectId, f64)> =
+            best.into_iter().map(|(TotalF64(d), o)| (o, d)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -167,48 +226,74 @@ impl IpTree {
             return Vec::new();
         };
         let mut out: Vec<(ObjectId, f64)> = Vec::new();
-        let anc: HashMap<NodeIdx, &crate::ascent::AscentStep> =
-            asc.steps.iter().map(|s| (s.node, s)).collect();
+        let (mut arena, step_handles) = DistArena::seeded(asc);
+        let mut scratch: Vec<f64> = Vec::new();
 
         // Plain DFS with the fixed bound (Algorithm 5 with d_k = r).
-        let mut stack: Vec<(NodeIdx, Vec<f64>)> = vec![(self.root(), asc.last().dists.clone())];
-        while let Some((node_idx, vec)) = stack.pop() {
+        let mut stack: Vec<(NodeIdx, u32)> = vec![(
+            self.root(),
+            *step_handles.last().expect("ascent is non-empty"),
+        )];
+        while let Some((node_idx, handle)) = stack.pop() {
             stats.nodes_visited += 1;
             let node = self.node(node_idx);
-            let contains_q = anc.contains_key(&node_idx);
+            let contains_q = asc.on_path(self, node_idx);
             let mind = if contains_q {
                 0.0
             } else {
-                vec.iter().copied().fold(f64::INFINITY, f64::min)
+                arena
+                    .get(handle)
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min)
             };
             if mind > radius {
                 continue;
             }
             if node.is_leaf() {
-                self.scan_leaf(q, oi, node_idx, &vec, &anc, radius, &mut |o, d| {
-                    if d <= radius {
-                        out.push((o, d));
-                    }
-                });
+                self.scan_leaf(
+                    q,
+                    oi,
+                    node_idx,
+                    arena.get(handle),
+                    asc,
+                    radius,
+                    &mut |o, d| {
+                        if d <= radius {
+                            out.push((o, d));
+                        }
+                    },
+                );
                 continue;
             }
             for &child in &node.children {
                 if oi.subtree_count[child as usize] == 0 {
                     continue;
                 }
-                if let Some(step) = anc.get(&child) {
-                    stack.push((child, step.dists.clone()));
+                if let Some(step) = asc.step_for(self, child) {
+                    let h = step_handles[self.node(step.node).level as usize - 1];
+                    stack.push((child, h));
                     continue;
                 }
-                let (base_ads, base_vec): (&[indoor_model::DoorId], &[f64]) = if contains_q {
+                let (base_ads, base_handle) = if contains_q {
                     let sib = self.child_towards(node_idx, asc.steps[0].node);
-                    let sib_step = anc.get(&sib).expect("sibling on ascent path");
-                    (&self.node(sib).access_doors, &sib_step.dists)
+                    debug_assert!(asc.on_path(self, sib), "sibling on ascent path");
+                    (
+                        &self.node(sib).access_doors,
+                        step_handles[self.node(sib).level as usize - 1],
+                    )
                 } else {
-                    (&node.access_doors, &vec)
+                    (&node.access_doors, handle)
                 };
-                let cvec = self.derive_child_vec(node_idx, child, base_ads, base_vec);
-                stack.push((child, cvec));
+                self.derive_child_vec_into(
+                    node_idx,
+                    child,
+                    base_ads,
+                    arena.get(base_handle),
+                    &mut scratch,
+                );
+                let h = arena.push(&scratch);
+                stack.push((child, h));
             }
         }
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -218,17 +303,20 @@ impl IpTree {
     /// dist(q, a') for a' ∈ AD(child) = min over base doors b of
     /// `base_vec[b] + M_parent(b, a')` (Lemmas 8 & 9: both the sibling
     /// case and the outside case route through a known door set whose
-    /// pairwise distances live in the parent's matrix).
-    fn derive_child_vec(
+    /// pairwise distances live in the parent's matrix). Writes into `out`
+    /// so callers can reuse one scratch buffer across the traversal.
+    pub(crate) fn derive_child_vec_into(
         &self,
         parent: NodeIdx,
         child: NodeIdx,
         base_ads: &[indoor_model::DoorId],
         base_vec: &[f64],
-    ) -> Vec<f64> {
+        out: &mut Vec<f64>,
+    ) {
         let pm = &self.node(parent).matrix;
         let child_ads = &self.node(child).access_doors;
-        let mut out = Vec::with_capacity(child_ads.len());
+        out.clear();
+        out.reserve(child_ads.len());
         for &a in child_ads {
             let col = pm.col_index(a).expect("child AD in parent matrix");
             let mut bestv = f64::INFINITY;
@@ -244,17 +332,17 @@ impl IpTree {
             }
             out.push(bestv);
         }
-        out
     }
 
     /// Report candidate objects of one leaf through `emit(obj, exact_dist)`.
-    fn scan_leaf(
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_leaf(
         &self,
         q: &IndoorPoint,
         oi: &ObjectIndex,
         leaf: NodeIdx,
         vec: &[f64],
-        anc: &HashMap<NodeIdx, &crate::ascent::AscentStep>,
+        asc: &Ascent,
         bound: f64,
         emit: &mut dyn FnMut(ObjectId, f64),
     ) {
@@ -262,7 +350,7 @@ impl IpTree {
             return;
         };
         let venue = &*self.venue;
-        if anc.contains_key(&leaf) {
+        if asc.on_path(self, leaf) {
             // q's own leaf: exact distances via one D2D expansion.
             let node = self.node(leaf);
             let targets: Vec<u32> = node.doors.iter().map(|d| d.0).collect();
@@ -309,39 +397,13 @@ impl IpTree {
             }
             let mut d = f64::INFINITY;
             for (ad_idx, &dq) in vec.iter().enumerate() {
-                let cand = dq + data.dist_at(ad_idx, j as usize);
+                let cand = dq + data.dist_at(ad_idx, j);
                 if cand < d {
                     d = cand;
                 }
             }
             emit(data.objs[j], d);
         }
-    }
-
-    /// Crate-internal re-exports of the branch-and-bound building blocks
-    /// for the keyword extension (`keywords.rs`).
-    pub(crate) fn derive_child_vec_pub(
-        &self,
-        parent: NodeIdx,
-        child: NodeIdx,
-        base_ads: &[indoor_model::DoorId],
-        base_vec: &[f64],
-    ) -> Vec<f64> {
-        self.derive_child_vec(parent, child, base_ads, base_vec)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn scan_leaf_pub(
-        &self,
-        q: &IndoorPoint,
-        oi: &ObjectIndex,
-        leaf: NodeIdx,
-        vec: &[f64],
-        anc: &HashMap<NodeIdx, &crate::ascent::AscentStep>,
-        bound: f64,
-        emit: &mut dyn FnMut(ObjectId, f64),
-    ) {
-        self.scan_leaf(q, oi, leaf, vec, anc, bound, emit)
     }
 }
 
@@ -354,6 +416,17 @@ mod tests {
     use indoor_synth::{random_venue, workload};
     use proptest::prelude::*;
     use std::sync::Arc;
+
+    #[test]
+    fn arena_handles_round_trip() {
+        let mut arena = super::DistArena::default();
+        let a = arena.push(&[1.0, 2.0]);
+        let b = arena.push(&[]);
+        let c = arena.push(&[3.0]);
+        assert_eq!(arena.get(a), &[1.0, 2.0]);
+        assert_eq!(arena.get(b), &[] as &[f64]);
+        assert_eq!(arena.get(c), &[3.0]);
+    }
 
     /// Brute force: oracle distance to every object, sorted.
     fn brute_force(

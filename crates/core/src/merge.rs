@@ -76,8 +76,16 @@ pub(crate) fn create_next_level(
     let door_roots = |groups: &mut GroupSet, d: DoorId| -> [u32; 2] {
         let [a, b] = door_nodes[d.index()];
         [
-            if a == NO_NODE { NO_NODE } else { groups.find(a) },
-            if b == NO_NODE { NO_NODE } else { groups.find(b) },
+            if a == NO_NODE {
+                NO_NODE
+            } else {
+                groups.find(a)
+            },
+            if b == NO_NODE {
+                NO_NODE
+            } else {
+                groups.find(b)
+            },
         ]
     };
 

@@ -98,14 +98,7 @@ impl ObjectIndex {
                 });
                 order.extend_from_slice(&idx);
             }
-            leaf_data.insert(
-                leaf,
-                LeafObjects {
-                    objs,
-                    dist,
-                    order,
-                },
-            );
+            leaf_data.insert(leaf, LeafObjects { objs, dist, order });
         }
 
         ObjectIndex {
@@ -181,8 +174,7 @@ mod tests {
                 let ord = data.order_at(ad_idx);
                 for w in ord.windows(2) {
                     assert!(
-                        data.dist_at(ad_idx, w[0] as usize)
-                            <= data.dist_at(ad_idx, w[1] as usize)
+                        data.dist_at(ad_idx, w[0] as usize) <= data.dist_at(ad_idx, w[1] as usize)
                     );
                 }
             }

@@ -57,8 +57,7 @@ impl IpTree {
                 }
                 Provenance::Child { idx: child_idx } => {
                     let child_step = &asc.steps[level - 1];
-                    let child_door =
-                        self.node(child_step.node).access_doors[child_idx as usize];
+                    let child_door = self.node(child_step.node).access_doors[child_idx as usize];
                     if child_door != door {
                         edges.push(PartialEdge {
                             from: child_door,
@@ -145,10 +144,7 @@ impl IpTree {
                 },
             };
             let node = self.node(node_idx);
-            let fwd = node
-                .matrix
-                .row_index(a)
-                .zip(node.matrix.col_index(b));
+            let fwd = node.matrix.row_index(a).zip(node.matrix.col_index(b));
             let Some((row, col)) = fwd else {
                 // Only the transposed entry exists (leaf matrices are
                 // door × access-door): expand the reverse and flip.

@@ -20,6 +20,13 @@ pub struct VipTreeConfig {
     /// Disable the superior-door optimisation of §3.1.1 (ablation); all
     /// doors of the source partition are considered instead.
     pub use_superior_doors: bool,
+    /// Worker threads for index construction (`0` = all available cores).
+    ///
+    /// Leaf matrices, per-level inner matrices, and the VIP per-door
+    /// ancestor tables fan out over this many workers; the built index is
+    /// bit-identical for every thread count (see DESIGN.md, "Parallel
+    /// build determinism").
+    pub threads: usize,
 }
 
 impl Default for VipTreeConfig {
@@ -27,7 +34,16 @@ impl Default for VipTreeConfig {
         VipTreeConfig {
             min_degree: 2,
             use_superior_doors: true,
+            threads: 0,
         }
+    }
+}
+
+impl VipTreeConfig {
+    /// Builder-style override of the construction thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 

@@ -49,7 +49,8 @@ impl DoorTable {
     }
 
     fn size_bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<TableNode>() + self.dists.len() * 8
+        self.nodes.len() * std::mem::size_of::<TableNode>()
+            + self.dists.len() * 8
             + self.args.len() * 2
     }
 }
@@ -69,85 +70,88 @@ impl VipTree {
     }
 
     /// Materialise tables over an existing IP-tree.
+    ///
+    /// Every door's table depends only on the finished IP-tree, so the
+    /// materialisation fans out over `ip.config.threads` workers (one
+    /// table per door, written into its own slot — bit-identical to the
+    /// serial pass for any thread count).
     pub fn from_ip_tree(ip: IpTree) -> VipTree {
         let n_doors = ip.venue.num_doors();
-        let mut tables: Vec<DoorTable> = vec![DoorTable::default(); n_doors];
+        let door_ids: Vec<u32> = (0..n_doors as u32).collect();
+        let tables: Vec<DoorTable> =
+            indoor_graph::parallel::par_map(&door_ids, ip.config.threads, |_, &d| {
+                Self::door_table(&ip, d)
+            });
+        VipTree { ip, tables }
+    }
 
-        for d in 0..n_doors as u32 {
-            let door = DoorId(d);
-            let table = &mut tables[d as usize];
-            for leaf in ip.door_leaves[d as usize] {
-                if leaf == NO_NODE {
-                    continue;
+    /// Build the ancestor table of one door (§2.2).
+    fn door_table(ip: &IpTree, d: u32) -> DoorTable {
+        let door = DoorId(d);
+        let mut table = DoorTable::default();
+        for leaf in ip.door_leaves[d as usize] {
+            if leaf == NO_NODE {
+                continue;
+            }
+            // Leaf row: distances straight from the leaf matrix.
+            if table.row(leaf).is_none() {
+                let node = ip.node(leaf);
+                let offset = table.dists.len() as u32;
+                let row = node
+                    .matrix
+                    .row_index(door)
+                    .expect("door is a row of its leaf matrix");
+                for (ci, _) in node.access_doors.iter().enumerate() {
+                    table.dists.push(node.matrix.at(row, ci));
+                    table.args.push(ARG_LEAF);
                 }
-                // Leaf row: distances straight from the leaf matrix.
-                if table.row(leaf).is_none() {
-                    let node = ip.node(leaf);
-                    let offset = table.dists.len() as u32;
-                    let row = node
-                        .matrix
-                        .row_index(door)
-                        .expect("door is a row of its leaf matrix");
-                    for (ci, _) in node.access_doors.iter().enumerate() {
-                        table.dists.push(node.matrix.at(row, ci));
-                        table.args.push(ARG_LEAF);
-                    }
-                    table.nodes.push(TableNode {
-                        node: leaf,
-                        prev: NO_NODE,
-                        offset,
-                    });
+                table.nodes.push(TableNode {
+                    node: leaf,
+                    prev: NO_NODE,
+                    offset,
+                });
+            }
+            // Ascend to the root, minimising over the previous level.
+            let mut cur = leaf;
+            loop {
+                let parent = ip.node(cur).parent;
+                if parent == NO_NODE {
+                    break;
                 }
-                // Ascend to the root, minimising over the previous level.
-                let mut cur = leaf;
-                loop {
-                    let parent = ip.node(cur).parent;
-                    if parent == NO_NODE {
-                        break;
-                    }
-                    if table.row(parent).is_some() {
-                        break; // shared upper chain already materialised
-                    }
-                    let (_, prev_off) = table.row(cur).expect("chain built bottom-up");
-                    let prev_dists: Vec<f64> = {
-                        let n = ip.node(cur).access_doors.len();
-                        table.dists[prev_off..prev_off + n].to_vec()
-                    };
-                    let pnode = ip.node(parent);
-                    let child_ads = &ip.node(cur).access_doors;
-                    let offset = table.dists.len() as u32;
-                    for &a in &pnode.access_doors {
-                        let col = pnode
+                if table.row(parent).is_some() {
+                    break; // shared upper chain already materialised
+                }
+                let (_, prev_off) = table.row(cur).expect("chain built bottom-up");
+                let pnode = ip.node(parent);
+                let child_ads = &ip.node(cur).access_doors;
+                let offset = table.dists.len() as u32;
+                for &a in &pnode.access_doors {
+                    let col = pnode.matrix.col_index(a).expect("parent AD in own matrix");
+                    let mut best = f64::INFINITY;
+                    let mut best_idx = ARG_LEAF;
+                    for (bi, &b) in child_ads.iter().enumerate() {
+                        let row = pnode
                             .matrix
-                            .col_index(a)
-                            .expect("parent AD in own matrix");
-                        let mut best = f64::INFINITY;
-                        let mut best_idx = ARG_LEAF;
-                        for (bi, &b) in child_ads.iter().enumerate() {
-                            let row = pnode
-                                .matrix
-                                .row_index(b)
-                                .expect("child AD in parent matrix");
-                            let cand = prev_dists[bi] + pnode.matrix.at(row, col);
-                            if cand < best {
-                                best = cand;
-                                best_idx = bi as u16;
-                            }
+                            .row_index(b)
+                            .expect("child AD in parent matrix");
+                        let cand = table.dists[prev_off + bi] + pnode.matrix.at(row, col);
+                        if cand < best {
+                            best = cand;
+                            best_idx = bi as u16;
                         }
-                        table.dists.push(best);
-                        table.args.push(best_idx);
                     }
-                    table.nodes.push(TableNode {
-                        node: parent,
-                        prev: cur,
-                        offset,
-                    });
-                    cur = parent;
+                    table.dists.push(best);
+                    table.args.push(best_idx);
                 }
+                table.nodes.push(TableNode {
+                    node: parent,
+                    prev: cur,
+                    offset,
+                });
+                cur = parent;
             }
         }
-
-        VipTree { ip, tables }
+        table
     }
 
     /// Access to the underlying IP-tree (shared kNN/range machinery,
@@ -189,8 +193,8 @@ impl VipTree {
         if leaf_s == leaf_t {
             return ip.same_leaf_route(s, t).map(|(d, _)| d);
         }
-        stats.door_pairs += (ip.superior_doors(s.partition).len()
-            * ip.superior_doors(t.partition).len()) as u64;
+        stats.door_pairs +=
+            (ip.superior_doors(s.partition).len() * ip.superior_doors(t.partition).len()) as u64;
         self.cross_leaf(s, t, leaf_s, leaf_t).map(|r| r.dist)
     }
 

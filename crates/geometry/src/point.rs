@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Vertical distance in metres between consecutive floor levels.
 ///
 /// Used when converting a level difference into a metric contribution, e.g.
@@ -14,7 +12,7 @@ pub const FLOOR_HEIGHT: f64 = 4.0;
 /// Euclidean distance; across levels the vertical offset contributes
 /// `level_diff * FLOOR_HEIGHT` metres (as the hypotenuse component), which
 /// is only meaningful for partitions that span floors (stairs, lifts).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     pub x: f64,
     pub y: f64,

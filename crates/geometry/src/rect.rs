@@ -1,12 +1,11 @@
 use crate::Point;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned planar rectangle on a single floor level.
 ///
 /// Partitions carry a `Rect` as their spatial extent; the synthetic venue
 /// generator uses it to place doors and random interior points, and query
 /// workload generation samples points uniformly inside it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     pub min_x: f64,
     pub min_y: f64,

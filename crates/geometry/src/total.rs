@@ -50,7 +50,8 @@ mod tests {
         for v in [3.0, 1.0, 2.0] {
             h.push(Reverse(TotalF64(v)));
         }
-        let popped: Vec<f64> = std::iter::from_fn(|| h.pop().map(|Reverse(TotalF64(v))| v)).collect();
+        let popped: Vec<f64> =
+            std::iter::from_fn(|| h.pop().map(|Reverse(TotalF64(v))| v)).collect();
         assert_eq!(popped, vec![1.0, 2.0, 3.0]);
     }
 

@@ -83,8 +83,8 @@ pub fn bisect(graph: &CsrGraph, vertices: &[u32], seed: u64) -> Vec<bool> {
                 }
             }
             let (from, to) = if my { (0, 1) } else { (1, 0) };
-            let balanced_after = sizes[from] > sizes[to].saturating_sub(max_imbalance)
-                && sizes[from] > 1;
+            let balanced_after =
+                sizes[from] > sizes[to].saturating_sub(max_imbalance) && sizes[from] > 1;
             if external > internal && balanced_after {
                 side[i] = !my;
                 sizes[from] -= 1;
@@ -109,8 +109,11 @@ pub fn partition_k(graph: &CsrGraph, vertices: &[u32], k: usize, seed: u64) -> V
         return part;
     }
     // (positions, first part id, parts wanted)
-    let mut stack: Vec<(Vec<u32>, u32, usize)> =
-        vec![((0..vertices.len() as u32).collect(), 0, k.min(vertices.len()))];
+    let mut stack: Vec<(Vec<u32>, u32, usize)> = vec![(
+        (0..vertices.len() as u32).collect(),
+        0,
+        k.min(vertices.len()),
+    )];
     while let Some((positions, first, want)) = stack.pop() {
         if want <= 1 || positions.len() <= 1 {
             for &p in &positions {
@@ -119,7 +122,11 @@ pub fn partition_k(graph: &CsrGraph, vertices: &[u32], k: usize, seed: u64) -> V
             continue;
         }
         let verts: Vec<u32> = positions.iter().map(|&p| vertices[p as usize]).collect();
-        let side = bisect(graph, &verts, seed ^ (first as u64) << 17 ^ positions.len() as u64);
+        let side = bisect(
+            graph,
+            &verts,
+            seed ^ (first as u64) << 17 ^ positions.len() as u64,
+        );
         let (mut a, mut b) = (Vec::new(), Vec::new());
         for (i, &p) in positions.iter().enumerate() {
             if side[i] {
@@ -184,7 +191,10 @@ mod tests {
                 assert!((p as usize) < k);
                 counts[p as usize] += 1;
             }
-            assert!(counts.iter().all(|&c| c > 0), "k={k}: empty part {counts:?}");
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "k={k}: empty part {counts:?}"
+            );
             let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
             assert!(mx - mn <= 20 / 2, "k={k}: imbalance {counts:?}");
         }

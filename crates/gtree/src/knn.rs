@@ -177,9 +177,7 @@ impl GTree {
             );
             for &oid in &table.objs {
                 let o = &objs.points[oid as usize];
-                let mut d = q
-                    .direct_distance(venue, o)
-                    .unwrap_or(f64::INFINITY);
+                let mut d = q.direct_distance(venue, o).unwrap_or(f64::INFINITY);
                 for &door in &venue.partition(o.partition).doors {
                     if let Some(dd) = engine.settled_distance(door.0) {
                         let c = dd + o.distance_to_door(venue, door);

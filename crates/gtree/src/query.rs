@@ -113,11 +113,7 @@ impl GTree {
     /// Cross-region distance: combine the two ascents at every common
     /// chain node through that node's matrix. Returns the best value and
     /// the meeting description for path recovery.
-    pub(crate) fn combine(
-        &self,
-        asc_s: &GAscent,
-        asc_t: &GAscent,
-    ) -> Option<(f64, Meeting)> {
+    pub(crate) fn combine(&self, asc_s: &GAscent, asc_t: &GAscent) -> Option<(f64, Meeting)> {
         let h = &self.h;
         let mut best = f64::INFINITY;
         let mut meeting = None;
@@ -130,12 +126,16 @@ impl GTree {
             // shared-leaf case is handled by the caller's Dijkstra).
             let node = &h.nodes[x as usize];
             for &cs in &node.children {
-                let Some(vs) = asc_s.vecs.get(&cs) else { continue };
+                let Some(vs) = asc_s.vecs.get(&cs) else {
+                    continue;
+                };
                 for &ct in &node.children {
                     if cs == ct {
                         continue;
                     }
-                    let Some(vt) = asc_t.vecs.get(&ct) else { continue };
+                    let Some(vt) = asc_t.vecs.get(&ct) else {
+                        continue;
+                    };
                     let bs = &h.nodes[cs as usize].borders;
                     let bt = &h.nodes[ct as usize].borders;
                     for (xi, &xv) in bs.iter().enumerate() {
@@ -367,11 +367,7 @@ impl GTree {
         self.fallbacks
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut engine = self.engine.lock().expect("engine poisoned");
-        engine.run(
-            self.venue.d2d(),
-            &[(a, 0.0)],
-            Termination::SettleAll(&[b]),
-        );
+        engine.run(self.venue.d2d(), &[(a, 0.0)], Termination::SettleAll(&[b]));
         let mut seq = Vec::new();
         let mut cur = b;
         loop {

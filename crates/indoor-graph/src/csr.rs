@@ -163,7 +163,12 @@ impl GraphBuilder {
             let start = if v == 0 { 0 } else { offsets[v - 1] as usize };
             let end = offsets[v] as usize;
             scratch.clear();
-            scratch.extend(targets[start..end].iter().copied().zip(weights[start..end].iter().copied()));
+            scratch.extend(
+                targets[start..end]
+                    .iter()
+                    .copied()
+                    .zip(weights[start..end].iter().copied()),
+            );
             scratch.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
             scratch.dedup_by(|next, kept| {
                 // `kept` precedes `next`; equal targets keep the first

@@ -327,7 +327,7 @@ impl DijkstraEngine {
             for &(tv, exit) in t_seeds {
                 if tv == v {
                     let cand = d + exit;
-                    if best.map_or(true, |(b, _)| cand < b) {
+                    if best.is_none_or(|(b, _)| cand < b) {
                         best = Some((cand, v));
                     }
                 }
@@ -349,6 +349,89 @@ impl DijkstraEngine {
         self.parent[v as usize] = parent;
         self.stamp[v as usize] = self.generation;
         self.settled[v as usize] = false;
+    }
+
+    /// Number of vertices this engine was sized for.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+/// A checkout pool of [`DijkstraEngine`]s for parallel build phases.
+///
+/// Allocating and zeroing the `O(V)` engine state once per *worker* rather
+/// than once per *task* is what keeps the parallel fan-out allocation-lean:
+/// a worker checks an engine out, runs any number of searches (the
+/// generation stamp isolates them), and returns it on drop for the next
+/// parallel phase over the same graph.
+#[derive(Debug)]
+pub struct EnginePool {
+    num_vertices: usize,
+    free: std::sync::Mutex<Vec<DijkstraEngine>>,
+}
+
+impl EnginePool {
+    /// An empty pool producing engines for graphs of `num_vertices`.
+    pub fn new(num_vertices: usize) -> EnginePool {
+        EnginePool {
+            num_vertices,
+            free: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check an engine out, creating one if none is free.
+    pub fn checkout(&self) -> PooledEngine<'_> {
+        let engine = self
+            .free
+            .lock()
+            .expect("engine pool poisoned")
+            .pop()
+            .unwrap_or_else(|| DijkstraEngine::new(self.num_vertices));
+        PooledEngine {
+            pool: self,
+            engine: Some(engine),
+        }
+    }
+
+    /// Take one engine out of the pool permanently (for long-lived owners
+    /// such as the built tree's query engine).
+    pub fn into_engine(self) -> DijkstraEngine {
+        self.free
+            .into_inner()
+            .expect("engine pool poisoned")
+            .pop()
+            .unwrap_or_else(|| DijkstraEngine::new(self.num_vertices))
+    }
+}
+
+/// RAII checkout from an [`EnginePool`]; derefs to [`DijkstraEngine`].
+#[derive(Debug)]
+pub struct PooledEngine<'a> {
+    pool: &'a EnginePool,
+    engine: Option<DijkstraEngine>,
+}
+
+impl std::ops::Deref for PooledEngine<'_> {
+    type Target = DijkstraEngine;
+    fn deref(&self) -> &DijkstraEngine {
+        self.engine.as_ref().expect("engine present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledEngine<'_> {
+    fn deref_mut(&mut self) -> &mut DijkstraEngine {
+        self.engine.as_mut().expect("engine present until drop")
+    }
+}
+
+impl Drop for PooledEngine<'_> {
+    fn drop(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(engine);
+            }
+        }
     }
 }
 
@@ -426,6 +509,24 @@ mod tests {
             .unwrap();
         assert!((d - 3.5).abs() < 1e-12, "got {d}");
         assert_eq!(via, 3);
+    }
+
+    #[test]
+    fn pool_reuses_engines_and_isolates_runs() {
+        let g = line_with_shortcut();
+        let pool = EnginePool::new(4);
+        {
+            let mut e = pool.checkout();
+            e.run(&g, &[(0, 0.0)], Termination::Exhaust);
+            assert_eq!(e.settled_distance(3), Some(3.0));
+        }
+        // The returned engine is reused; generation stamps isolate the runs.
+        let mut e = pool.checkout();
+        e.run(&g, &[(3, 0.0)], Termination::SettleAll(&[3]));
+        assert_eq!(e.settled_distance(0), None);
+        drop(e);
+        let owned = pool.into_engine();
+        assert_eq!(owned.num_vertices(), 4);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 mod csr;
 mod dijkstra;
 mod oracle;
+pub mod parallel;
 
 pub use csr::{CsrGraph, GraphBuilder};
-pub use dijkstra::{DijkstraEngine, SearchOutcome, Termination, NO_VERTEX};
+pub use dijkstra::{
+    DijkstraEngine, EnginePool, PooledEngine, SearchOutcome, Termination, NO_VERTEX,
+};
 pub use oracle::floyd_warshall;

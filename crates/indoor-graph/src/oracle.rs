@@ -4,6 +4,7 @@ use crate::CsrGraph;
 ///
 /// `O(V^3)` — strictly a test oracle for cross-validating Dijkstra, the
 /// tree distance matrices, and the baselines on small graphs.
+#[allow(clippy::needless_range_loop)] // index triples are the clearest form of F-W
 pub fn floyd_warshall(graph: &CsrGraph) -> Vec<Vec<f64>> {
     let n = graph.num_vertices();
     let mut dist = vec![vec![f64::INFINITY; n]; n];

@@ -1,0 +1,163 @@
+//! Deterministic parallel-map helpers for index construction.
+//!
+//! The registry-less build environment has no rayon, so this module
+//! provides the one primitive the builders need: map a slice through a
+//! function on `T` worker threads, each owning thread-local scratch state
+//! (typically a [`crate::DijkstraEngine`]), with results written into
+//! their input slots. Work is distributed by an atomic cursor (dynamic
+//! load balancing — leaf Dijkstra costs vary by orders of magnitude
+//! between a two-door room cluster and a 400-door hallway), while output
+//! placement is by index, so the result is **bit-identical regardless of
+//! thread count or scheduling** as long as `f` itself is a pure function
+//! of `(index, item)`.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a requested thread count: `0` means "all available cores".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Map `items` through `f` on up to `threads` workers (`0` = all cores).
+///
+/// `init` runs once per worker to create its scratch state; `f` receives
+/// `(&mut state, index, item)`. The output vector is ordered by input
+/// index. A panic in any worker propagates to the caller.
+pub fn par_map_init<I, O, S, FInit, F>(items: &[I], threads: usize, init: FInit, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    FInit: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &I) -> O + Sync,
+{
+    let threads = effective_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let worker_outputs: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel build worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: every output lands in its input slot, whatever
+    // worker produced it.
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for outputs in worker_outputs {
+        for (i, o) in outputs {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(o);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// As [`par_map_init`] for stateless maps.
+pub fn par_map<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    par_map_init(items, threads, || (), |(), i, item| f(i, item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1_000).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = par_map(&items, threads, |i, &x| x * 2 + i as u64);
+            assert_eq!(out.len(), items.len());
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, items[i] * 2 + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_bitwise() {
+        let items: Vec<f64> = (0..500).map(|i| i as f64 * 0.1).collect();
+        let serial = par_map(&items, 1, |i, &x| (x.sin() + i as f64).to_bits());
+        let parallel = par_map(&items, 7, |i, &x| (x.sin() + i as f64).to_bits());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_state_initialised_per_worker() {
+        // Each worker counts its own items; the total must cover the input.
+        let items: Vec<u32> = (0..257).collect();
+        let out = par_map_init(
+            &items,
+            4,
+            || 0usize,
+            |count, _, &x| {
+                *count += 1;
+                (x, *count)
+            },
+        );
+        assert_eq!(out.len(), 257);
+        let total_seen: usize = out.iter().filter(|(_, c)| *c == 1).count();
+        assert!((1..=4).contains(&total_seen), "workers {total_seen}");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel build worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, 2, |_, &x| {
+            assert!(x < 60, "boom");
+            x
+        });
+    }
+}

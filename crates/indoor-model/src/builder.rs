@@ -8,7 +8,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
     /// A door referenced a partition id that was never registered.
-    UnknownPartition { door: DoorId, partition: PartitionId },
+    UnknownPartition {
+        door: DoorId,
+        partition: PartitionId,
+    },
     /// A door listed the same partition on both sides.
     DoorSelfLoop { door: DoorId },
     /// A partition ended up with no doors, which would make it unreachable.

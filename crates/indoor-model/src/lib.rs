@@ -25,6 +25,7 @@
 
 mod builder;
 mod ids;
+pub mod json;
 mod path;
 mod point;
 mod query;

@@ -1,6 +1,5 @@
 use crate::venue::Venue;
 use crate::{DoorId, IndoorPoint};
-use serde::{Deserialize, Serialize};
 
 /// A fully-expanded indoor route: the complete sequence of doors crossed
 /// between a source and a target point, plus its total length.
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// segment walks through that partition); the first door is a door of the
 /// source's partition, the last of the target's. For same-partition routes
 /// `doors` may be empty.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndoorPath {
     pub source: IndoorPoint,
     pub target: IndoorPoint,

@@ -1,7 +1,6 @@
 use crate::venue::Venue;
 use crate::{DoorId, PartitionId};
 use geometry::Point;
-use serde::{Deserialize, Serialize};
 
 /// A queryable indoor location: a position inside a known partition.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// the partition is what links the metric position to the topology (its
 /// doors are the only exits). Resolving a raw coordinate to its partition
 /// is a (trivial) point-location step outside the scope of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndoorPoint {
     pub partition: PartitionId,
     pub position: Point,

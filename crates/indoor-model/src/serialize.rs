@@ -4,28 +4,30 @@
 //! D2D graph is deterministic from those and is rebuilt on load. This keeps
 //! files small (the CL-2 D2D graph alone holds 13M arcs) and guarantees the
 //! loaded venue is internally consistent.
+//!
+//! The document is read and written with the in-crate [`crate::json`]
+//! module (no external serialisation dependency); `f64` fields use
+//! shortest round-trip formatting, so save/load preserves every weight
+//! bit-for-bit. The format tag is `indoor-venue/2`: version 1 (serde)
+//! encoded extents/positions as field objects, version 2 as positional
+//! arrays, so v1 files are rejected by the format check rather than by
+//! an opaque parse error.
 
 use crate::builder::{ModelError, VenueBuilder};
-use crate::venue::{Door, Partition, Venue};
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Json};
+use crate::venue::{PartitionKind, Venue};
+use crate::{DoorId, PartitionId};
+use geometry::{Point, Rect};
+use std::fmt::Write as _;
 use std::io::{Read, Write};
 
-/// Schema wrapper for serialised venues.
-#[derive(Serialize, Deserialize)]
-struct VenueFile {
-    format: String,
-    beta: usize,
-    partitions: Vec<Partition>,
-    doors: Vec<Door>,
-}
-
-const FORMAT: &str = "indoor-venue/1";
+const FORMAT: &str = "indoor-venue/2";
 
 /// Failures while loading a serialised venue.
 #[derive(Debug)]
 pub enum LoadError {
     Io(std::io::Error),
-    Json(serde_json::Error),
+    Json(String),
     BadFormat(String),
     Model(ModelError),
 }
@@ -43,46 +45,198 @@ impl std::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+fn kind_name(kind: PartitionKind) -> &'static str {
+    match kind {
+        PartitionKind::Room => "Room",
+        PartitionKind::Hallway => "Hallway",
+        PartitionKind::Staircase => "Staircase",
+        PartitionKind::Lift => "Lift",
+        PartitionKind::Escalator => "Escalator",
+        PartitionKind::Outdoor => "Outdoor",
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<PartitionKind> {
+    Some(match name {
+        "Room" => PartitionKind::Room,
+        "Hallway" => PartitionKind::Hallway,
+        "Staircase" => PartitionKind::Staircase,
+        "Lift" => PartitionKind::Lift,
+        "Escalator" => PartitionKind::Escalator,
+        "Outdoor" => PartitionKind::Outdoor,
+        _ => return None,
+    })
+}
+
+fn bad(msg: impl Into<String>) -> LoadError {
+    LoadError::Json(msg.into())
+}
+
 impl Venue {
     /// Serialise to JSON.
     pub fn save_json<W: Write>(&self, mut w: W) -> Result<(), LoadError> {
-        let file = VenueFile {
-            format: FORMAT.to_string(),
-            beta: self.beta,
-            partitions: self.partitions.clone(),
-            doors: self.doors.clone(),
-        };
-        serde_json::to_writer(&mut w, &file).map_err(LoadError::Json)
+        let mut out = String::new();
+        out.push_str("{\"format\":");
+        json::write_str(&mut out, FORMAT);
+        let _ = write!(out, ",\"beta\":{}", self.beta);
+
+        out.push_str(",\"partitions\":[");
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"id\":{},\"kind\":", p.id.0);
+            json::write_str(&mut out, kind_name(p.kind));
+            out.push_str(",\"extent\":[");
+            for (j, v) in [
+                p.extent.min_x,
+                p.extent.min_y,
+                p.extent.max_x,
+                p.extent.max_y,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::write_f64(&mut out, v);
+            }
+            let _ = write!(out, ",{}]", p.extent.level);
+            match p.fixed_traversal_weight {
+                Some(wt) => {
+                    out.push_str(",\"fixed_traversal_weight\":");
+                    json::write_f64(&mut out, wt);
+                }
+                None => out.push_str(",\"fixed_traversal_weight\":null"),
+            }
+            out.push('}');
+        }
+        out.push(']');
+
+        out.push_str(",\"doors\":[");
+        for (i, d) in self.doors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"id\":{},\"position\":[", d.id.0);
+            json::write_f64(&mut out, d.position.x);
+            out.push(',');
+            json::write_f64(&mut out, d.position.y);
+            let _ = write!(out, ",{}]", d.position.level);
+            out.push_str(",\"partitions\":[");
+            match d.partitions {
+                [Some(a), Some(b)] => {
+                    let _ = write!(out, "{},{}", a.0, b.0);
+                }
+                [Some(a), None] => {
+                    let _ = write!(out, "{},null", a.0);
+                }
+                _ => return Err(bad("door without a first partition")),
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+
+        w.write_all(out.as_bytes()).map_err(LoadError::Io)
     }
 
     /// Load from JSON produced by [`Venue::save_json`], re-running full
     /// validation and graph construction.
-    pub fn load_json<R: Read>(r: R) -> Result<Venue, LoadError> {
-        let file: VenueFile = serde_json::from_reader(r).map_err(LoadError::Json)?;
-        if file.format != FORMAT {
-            return Err(LoadError::BadFormat(file.format));
+    pub fn load_json<R: Read>(mut r: R) -> Result<Venue, LoadError> {
+        let mut text = String::new();
+        r.read_to_string(&mut text).map_err(LoadError::Io)?;
+        let doc = json::parse(&text).map_err(LoadError::Json)?;
+
+        let format = doc
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing format"))?;
+        if format != FORMAT {
+            return Err(LoadError::BadFormat(format.to_string()));
         }
-        let mut b = VenueBuilder::new().with_beta(file.beta);
-        for p in &file.partitions {
-            let id = b.add_partition(p.kind, p.extent);
-            debug_assert_eq!(id, p.id, "partition ids must be dense and ordered");
-            if let Some(w) = p.fixed_traversal_weight {
-                b.set_fixed_traversal_weight(id, w);
+        let beta = doc
+            .get("beta")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("missing beta"))?;
+
+        let mut b = VenueBuilder::new().with_beta(beta);
+        for p in doc
+            .get("partitions")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing partitions"))?
+        {
+            let kind = p
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(kind_from_name)
+                .ok_or_else(|| bad("bad partition kind"))?;
+            let e = p
+                .get("extent")
+                .and_then(Json::as_arr)
+                .filter(|a| a.len() == 5)
+                .ok_or_else(|| bad("bad partition extent"))?;
+            let coords: Vec<f64> = e[..4]
+                .iter()
+                .map(|v| v.as_f64().ok_or_else(|| bad("bad extent coordinate")))
+                .collect::<Result<_, _>>()?;
+            let level = e[4].as_i32().ok_or_else(|| bad("bad extent level"))?;
+            let extent = Rect::new(coords[0], coords[1], coords[2], coords[3], level);
+            let id = b.add_partition(kind, extent);
+            let declared = p
+                .get("id")
+                .and_then(Json::as_u32)
+                .ok_or_else(|| bad("missing partition id"))?;
+            debug_assert_eq!(id, PartitionId(declared), "partition ids dense and ordered");
+            match p.get("fixed_traversal_weight") {
+                Some(Json::Null) | None => {}
+                Some(v) => {
+                    let wt = v.as_f64().ok_or_else(|| bad("bad traversal weight"))?;
+                    b.set_fixed_traversal_weight(id, wt);
+                }
             }
         }
-        for d in &file.doors {
-            match d.partitions {
-                [Some(a), second] => {
-                    let id = b.add_door(d.position, a, second);
-                    debug_assert_eq!(id, d.id, "door ids must be dense and ordered");
-                }
-                _ => {
-                    return Err(LoadError::BadFormat(
-                        "door without a first partition".to_string(),
-                    ))
-                }
-            }
+
+        for d in doc
+            .get("doors")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing doors"))?
+        {
+            let pos = d
+                .get("position")
+                .and_then(Json::as_arr)
+                .filter(|a| a.len() == 3)
+                .ok_or_else(|| bad("bad door position"))?;
+            let position = Point::new(
+                pos[0].as_f64().ok_or_else(|| bad("bad door x"))?,
+                pos[1].as_f64().ok_or_else(|| bad("bad door y"))?,
+                pos[2].as_i32().ok_or_else(|| bad("bad door level"))?,
+            );
+            let parts = d
+                .get("partitions")
+                .and_then(Json::as_arr)
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| bad("bad door partitions"))?;
+            let first = parts[0]
+                .as_u32()
+                .map(PartitionId)
+                .ok_or(LoadError::BadFormat(
+                    "door without a first partition".to_string(),
+                ))?;
+            let second = match &parts[1] {
+                Json::Null => None,
+                v => Some(PartitionId(
+                    v.as_u32().ok_or_else(|| bad("bad door partition"))?,
+                )),
+            };
+            let id = b.add_door(position, first, second);
+            let declared = d
+                .get("id")
+                .and_then(Json::as_u32)
+                .ok_or_else(|| bad("missing door id"))?;
+            debug_assert_eq!(id, DoorId(declared), "door ids dense and ordered");
         }
+
         b.build().map_err(LoadError::Model)
     }
 }
@@ -127,5 +281,31 @@ mod tests {
     fn rejects_unknown_format() {
         let json = r#"{"format":"bogus/9","beta":4,"partitions":[],"doors":[]}"#;
         assert!(Venue::load_json(json.as_bytes()).is_err());
+        // v1 files (serde object encoding) are rejected by the format tag,
+        // not by an opaque parse error.
+        let v1 = r#"{"format":"indoor-venue/1","beta":4,"partitions":[],"doors":[]}"#;
+        assert!(matches!(
+            Venue::load_json(v1.as_bytes()),
+            Err(super::LoadError::BadFormat(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_weight_round_trips_as_unset() {
+        let mut b = VenueBuilder::new();
+        let lift = b.add_partition(PartitionKind::Lift, Rect::new(0.0, 0.0, 2.0, 2.0, 0));
+        let hall = b.add_partition(PartitionKind::Hallway, Rect::new(2.0, 0.0, 10.0, 2.0, 0));
+        b.set_fixed_traversal_weight(lift, f64::INFINITY);
+        b.add_door(Point::new(2.0, 1.0, 0), lift, Some(hall));
+        b.add_exterior_door(Point::new(10.0, 1.0, 0), hall);
+        let v = b.build().unwrap();
+
+        let mut buf = Vec::new();
+        v.save_json(&mut buf).unwrap();
+        // The document stays valid JSON and reloads; the unrepresentable
+        // weight degrades to "unset" (metric distance) like serde_json's
+        // null, rather than corrupting the file.
+        let v2 = Venue::load_json(buf.as_slice()).unwrap();
+        assert_eq!(v2.partition(lift).fixed_traversal_weight, None);
     }
 }

@@ -1,13 +1,12 @@
 use crate::{DoorId, PartitionId};
 use geometry::{Point, Rect};
 use indoor_graph::CsrGraph;
-use serde::{Deserialize, Serialize};
 
 /// Declared role of a partition. Purely descriptive: query processing only
 /// ever looks at the derived [`PartitionClass`], but generators and
 /// examples use the kind for weight policies (lifts may use travel time)
 /// and for object placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartitionKind {
     Room,
     Hallway,
@@ -26,7 +25,7 @@ pub enum PartitionKind {
 
 /// Classification by door count (§2): exactly one door = no-through; more
 /// than β doors = hallway; otherwise general.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartitionClass {
     NoThrough,
     General,
@@ -34,7 +33,7 @@ pub enum PartitionClass {
 }
 
 /// A door connecting one partition to another (or to the venue exterior).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Door {
     pub id: DoorId,
     pub position: Point,
@@ -71,7 +70,7 @@ impl Door {
 /// outdoor space. Treated as convex free space: the distance between any
 /// two of its doors (and from interior points to its doors) is the direct
 /// indoor metric distance, unless a fixed traversal weight is set (lifts).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Partition {
     pub id: PartitionId,
     pub kind: PartitionKind,
@@ -107,7 +106,7 @@ impl Partition {
 
 /// An edge of the accessibility-base graph: two partitions joined by a
 /// door. Exterior doors do not produce AB edges.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AbEdge {
     pub from: PartitionId,
     pub to: PartitionId,
@@ -115,7 +114,7 @@ pub struct AbEdge {
 }
 
 /// Summary statistics in the shape of the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VenueStats {
     pub doors: usize,
     pub partitions: usize,

@@ -113,9 +113,8 @@ mod tests {
     fn quintiles_partition_by_distance() {
         let venue = random_venue(11);
         // Straight-line oracle is enough to test the bucketing logic.
-        let buckets = distance_quintile_pairs(&venue, 5, 17, |s, t| {
-            Some(s.position.distance(&t.position))
-        });
+        let buckets =
+            distance_quintile_pairs(&venue, 5, 17, |s, t| Some(s.position.distance(&t.position)));
         let mut last_max = 0.0;
         for b in &buckets {
             let mut bucket_max: f64 = 0.0;

@@ -192,7 +192,11 @@ impl Road {
 
     pub fn size_bytes(&self) -> usize {
         self.h.size_bytes()
-            + self.shortcuts.iter().map(Shortcuts::size_bytes).sum::<usize>()
+            + self
+                .shortcuts
+                .iter()
+                .map(Shortcuts::size_bytes)
+                .sum::<usize>()
     }
 }
 

@@ -62,10 +62,7 @@ impl Road {
                     }
                 }
                 for (u, w) in g.neighbors(v) {
-                    if !self
-                        .h
-                        .contains(r, self.h.leaf_of_vertex[u as usize])
-                    {
+                    if !self.h.contains(r, self.h.leaf_of_vertex[u as usize]) {
                         out.push((u, w));
                     }
                 }
@@ -114,7 +111,7 @@ impl Road {
                 for &(tv, exit) in &t_seeds {
                     if tv == v {
                         let cand = d + exit;
-                        if best.map_or(true, |(b, _)| cand < b) {
+                        if best.is_none_or(|(b, _)| cand < b) {
                             best = Some((cand, v));
                         }
                     }
@@ -160,9 +157,8 @@ impl Road {
             // A real edge step unless the pair sits in one bypassed Rnet
             // and the shortcut was strictly shorter than any direct edge.
             let r = self.maximal_bypassed(a, non_bypass);
-            let same_rnet = r.is_some_and(|r| {
-                self.h.contains(r, self.h.leaf_of_vertex[b as usize])
-            });
+            let same_rnet =
+                r.is_some_and(|r| self.h.contains(r, self.h.leaf_of_vertex[b as usize]));
             if !same_rnet {
                 debug_assert!(g.arc_weight(a, b).is_some());
                 out.push(b);
@@ -248,8 +244,7 @@ impl Road {
         let venue = &*self.venue;
         let seeds = q.door_seeds(venue);
         let protected = self.chain_set(&seeds);
-        let non_bypass =
-            |n: u32| protected.contains(&n) || objs.node_count[n as usize] > 0;
+        let non_bypass = |n: u32| protected.contains(&n) || objs.node_count[n as usize] > 0;
 
         let mut cand: HashMap<u32, f64> = HashMap::new();
         if let Some(local) = objs.by_partition.get(&q.partition) {
@@ -323,7 +318,7 @@ enum ObjBound {
 mod tests {
     use crate::{Road, RoadConfig};
     use indoor_graph::DijkstraEngine;
-    use indoor_model::{IndoorIndex, IndoorPoint, ObjectQueries, Venue};
+    use indoor_model::{IndoorIndex, IndoorPoint, Venue};
     use indoor_synth::{random_venue, workload};
     use proptest::prelude::*;
     use std::sync::Arc;

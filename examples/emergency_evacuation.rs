@@ -40,7 +40,7 @@ fn main() {
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("every occupant can evacuate");
         distances.push(d);
-        if longest.as_ref().map_or(true, |(_, p)| d > p.length) {
+        if longest.as_ref().is_none_or(|(_, p)| d > p.length) {
             longest = tree.shortest_path(person, exit).map(|p| (*person, p));
         }
     }

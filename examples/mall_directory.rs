@@ -56,7 +56,10 @@ fn main() {
         })
         .collect();
     let kw = KeywordObjects::build(vip.ip_tree(), &labelled);
-    if let Some((oid, d)) = kw.knn_keyword(vip.ip_tree(), &shopper, 1, "washroom").first() {
+    if let Some((oid, d)) = kw
+        .knn_keyword(vip.ip_tree(), &shopper, 1, "washroom")
+        .first()
+    {
         println!("  nearest washroom: {oid} at {d:.0} m");
     }
 

@@ -132,7 +132,12 @@ fn check_agreement(venue: Arc<Venue>, seed: u64, pairs: usize, points: usize) {
                     ix.name2()
                 );
             }
-            assert_eq!(ranges[0].len(), ranges[i].len(), "{} range count", ix.name2());
+            assert_eq!(
+                ranges[0].len(),
+                ranges[i].len(),
+                "{} range count",
+                ix.name2()
+            );
         }
     }
 }

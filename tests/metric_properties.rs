@@ -40,10 +40,9 @@ fn symmetric() {
             let ab = tree.shortest_distance_points(&s, &t);
             let ba = tree.shortest_distance_points(&t, &s);
             match (ab, ba) {
-                (Some(x), Some(y)) => assert!(
-                    (x - y).abs() < 1e-6 * x.max(1.0),
-                    "asymmetry: {x} vs {y}"
-                ),
+                (Some(x), Some(y)) => {
+                    assert!((x - y).abs() < 1e-6 * x.max(1.0), "asymmetry: {x} vs {y}")
+                }
                 (None, None) => {}
                 _ => panic!("asymmetric reachability"),
             }

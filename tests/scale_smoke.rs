@@ -31,8 +31,16 @@ fn menzies_2_correct_and_paper_shaped() {
     let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
 
     let stats = TreeStats::compute(tree.ip_tree());
-    assert!(stats.avg_access_doors < 6.0, "rho {}", stats.avg_access_doors);
-    assert!(stats.avg_superior_doors < 4.0, "alpha {}", stats.avg_superior_doors);
+    assert!(
+        stats.avg_access_doors < 6.0,
+        "rho {}",
+        stats.avg_access_doors
+    );
+    assert!(
+        stats.avg_superior_doors < 4.0,
+        "alpha {}",
+        stats.avg_superior_doors
+    );
     assert!(stats.avg_fanout < 8.0, "f {}", stats.avg_fanout);
 
     let mut engine = DijkstraEngine::new(venue.num_doors());

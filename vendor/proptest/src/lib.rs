@@ -1,0 +1,237 @@
+//! A minimal, dependency-free stand-in for the subset of `proptest` used by
+//! this workspace: the `proptest!` macro with `name in range` binders,
+//! `prop_assert!` / `prop_assert_eq!`, `ProptestConfig::with_cases`, range
+//! strategies over the primitive numeric types, tuple strategies, and
+//! `proptest::collection::vec`.
+//!
+//! The build container has no registry access, so the real crate cannot be
+//! fetched. Differences from upstream: cases are sampled uniformly (no
+//! bias towards boundaries) and there is no shrinking — a failing case
+//! prints its inputs instead. Sampling is deterministic per test name and
+//! case index, so failures reproduce exactly.
+
+use rand::{Rng, SeedableRng, StdRng};
+use std::ops::Range;
+
+/// Per-test deterministic source of randomness.
+pub struct TestRng {
+    pub(crate) inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeded from the fully-qualified test name and the case index, so a
+    /// failing case can be re-run bit-identically.
+    pub fn new(test_name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+/// Run-time configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        ProptestConfig { cases }
+    }
+}
+
+#[doc(hidden)]
+pub fn resolve_cases(cfg: &ProptestConfig) -> u64 {
+    u64::from(cfg.cases)
+}
+
+/// A value generator. Implemented for primitive ranges, tuples of
+/// strategies, and [`collection::vec`].
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Collection strategies (only `vec` with a fixed or ranged length).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specifier: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.inner.gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    pub fn vec<S: Strategy, L: IntoSizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest!`-compatible assertion: panics (no shrink phase to feed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `proptest!`-compatible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// The `proptest! { ... }` block: each `#[test] fn name(x in strategy, ...)`
+/// becomes a plain `#[test]` running `cases` sampled executions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::resolve_cases(&$cfg);
+                for case in 0..cases {
+                    let mut __rng = $crate::TestRng::new(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest shim: {} failed at case {case} with inputs {:?}",
+                            stringify!($name),
+                            ($(&$arg,)+)
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Everything a test module needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_respect_bounds(a in 0u64..100, b in -5..5i32, f in -1.0..1.0f64) {
+            prop_assert!(a < 100);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_strategy_generates_requested_len(n in 1usize..6) {
+            let mut rng = crate::TestRng::new("vec_strategy", n as u64);
+            let v = crate::Strategy::generate(
+                &crate::collection::vec((0u64..10, 0u64..10), n),
+                &mut rng,
+            );
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = crate::TestRng::new("x", 3);
+        let mut b = crate::TestRng::new("x", 3);
+        let s = 0u64..1_000_000;
+        assert_eq!(
+            crate::Strategy::generate(&s, &mut a),
+            crate::Strategy::generate(&s, &mut b)
+        );
+    }
+}
