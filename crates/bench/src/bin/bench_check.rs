@@ -1,0 +1,153 @@
+//! CI perf regression gate over `BENCH_query.json` trajectories.
+//!
+//! Compares a freshly measured JSON against the committed baseline:
+//!
+//! ```sh
+//! cargo run --release -p indoor-bench --bin bench_check -- \
+//!     --baseline BENCH_query.json --fresh /tmp/BENCH_query.json [--threshold 2.5]
+//! ```
+//!
+//! For every (dataset, query, threads) cell present in the baseline, the
+//! fresh median latency may be at most `threshold ×` the committed one.
+//! Exceeding it **fails (exit 1)** — but only when the two files agree on
+//! `host_cores`; CI runners with different core counts (or a laptop
+//! checking a CI-generated baseline) produce incomparable thread-scaling
+//! numbers, so a mismatch downgrades every violation to a warning. A cell
+//! that disappeared from the fresh run fails unconditionally: that is
+//! schema drift, not noise.
+
+use indoor_model::json::{self, Json};
+
+struct Cell {
+    dataset: String,
+    query: String,
+    threads: usize,
+    us_per_query: f64,
+}
+
+struct Bench {
+    host_cores: usize,
+    cells: Vec<Cell>,
+}
+
+fn load(path: &str) -> Bench {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    let host_cores = doc
+        .get("host_cores")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("{path}: missing host_cores"));
+    let cells = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{path}: missing results array"))
+        .iter()
+        .map(|row| Cell {
+            dataset: row
+                .get("dataset")
+                .and_then(Json::as_str)
+                .expect("row dataset")
+                .to_string(),
+            query: row
+                .get("query")
+                .and_then(Json::as_str)
+                .expect("row query")
+                .to_string(),
+            threads: row
+                .get("threads")
+                .and_then(Json::as_usize)
+                .expect("row threads"),
+            us_per_query: row
+                .get("us_per_query")
+                .and_then(Json::as_f64)
+                .expect("row us_per_query"),
+        })
+        .collect();
+    Bench { host_cores, cells }
+}
+
+fn main() {
+    let mut baseline_path = String::from("BENCH_query.json");
+    let mut fresh_path = String::new();
+    let mut threshold = 2.5f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = it.next().expect("missing baseline path"),
+            "--fresh" => fresh_path = it.next().expect("missing fresh path"),
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .expect("missing threshold")
+                    .parse()
+                    .expect("bad threshold")
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_check --baseline PATH --fresh PATH [--threshold X]");
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(!fresh_path.is_empty(), "--fresh PATH is required");
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    let comparable = baseline.host_cores == fresh.host_cores;
+    if !comparable {
+        println!(
+            "WARN: host_cores mismatch (baseline {}, fresh {}) — regressions reported as warnings only",
+            baseline.host_cores, fresh.host_cores
+        );
+    }
+
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    println!(
+        "{:<6} {:>14} {:>8} {:>12} {:>12} {:>7}",
+        "venue", "query", "threads", "base us", "fresh us", "ratio"
+    );
+    for base in &baseline.cells {
+        let Some(now) = fresh.cells.iter().find(|c| {
+            c.dataset == base.dataset && c.query == base.query && c.threads == base.threads
+        }) else {
+            println!(
+                "FAIL: cell ({}, {}, threads={}) missing from {fresh_path}",
+                base.dataset, base.query, base.threads
+            );
+            failures += 1;
+            continue;
+        };
+        let ratio = now.us_per_query / base.us_per_query;
+        let verdict = if ratio <= threshold {
+            "ok"
+        } else if comparable {
+            failures += 1;
+            "FAIL"
+        } else {
+            warnings += 1;
+            "warn"
+        };
+        println!(
+            "{:<6} {:>14} {:>8} {:>12.2} {:>12.2} {:>6.2}x {}",
+            base.dataset,
+            base.query,
+            base.threads,
+            base.us_per_query,
+            now.us_per_query,
+            ratio,
+            verdict
+        );
+    }
+
+    println!(
+        "checked {} cells against {baseline_path} (threshold {threshold}x): {failures} failures, {warnings} warnings",
+        baseline.cells.len()
+    );
+    if failures > 0 {
+        eprintln!(
+            "perf gate failed: median latency regressed more than {threshold}x on matching hardware"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Query-throughput benchmark: venue preset × query type × thread count.
+//!
+//! Writes `BENCH_query.json` at the workspace root so successive PRs have
+//! a machine-readable latency/throughput trajectory for the serving path
+//! (the paper's §4.3 query-cost axis, extended with multi-threaded batch
+//! execution). Run with:
+//!
+//! ```sh
+//! cargo run --release -p indoor-bench --bin query_bench -- [--reps N] [--out PATH]
+//! ```
+//!
+//! Each cell batches the whole workload through a `QueryEngine` and
+//! reports the **median over reps** of per-query latency (batch wall time
+//! divided by batch size). Batches are slot-indexed and deterministic, so
+//! every (venue, query) cell measures identical work at every thread
+//! count; `host_cores` is recorded because speedup saturates there, and
+//! the CI gate (`bench_check`) only hard-fails when it matches the
+//! committed baseline's.
+
+use indoor_synth::{presets, workload};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use vip_tree::{KeywordObjects, QueryEngine, VipTree, VipTreeConfig};
+
+const KNN_K: usize = 5;
+const RANGE_RADIUS: f64 = 150.0;
+const KEYWORD: &str = "cafe";
+const N_OBJECTS: usize = 200;
+const N_QUERIES: usize = 300;
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Row {
+    dataset: &'static str,
+    doors: usize,
+    query: &'static str,
+    threads: usize,
+    n_queries: usize,
+    us_per_query: f64,
+}
+
+fn label_for(i: usize) -> Vec<String> {
+    match i % 3 {
+        0 => vec![KEYWORD.into()],
+        1 => vec!["exit".into(), KEYWORD.into()],
+        _ => vec!["exit".into()],
+    }
+}
+
+/// Median over reps of (batch wall micros / batch size).
+///
+/// A batch of 300 cheap queries finishes in well under a millisecond, so
+/// one raw timing would be scheduler noise; each sample instead loops the
+/// batch until it covers ≥ [`MIN_SAMPLE_MS`] of wall time (calibrated
+/// from an untimed first run, which doubles as warm-up) — keeping even
+/// `--reps 1` CI smoke runs stable enough for the 2.5x regression gate.
+const MIN_SAMPLE_MS: f64 = 20.0;
+
+fn median_us(reps: usize, n: usize, mut run: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    run();
+    let once_ms = (t0.elapsed().as_secs_f64() * 1e3).max(1e-6);
+    let iters = ((MIN_SAMPLE_MS / once_ms).ceil() as usize).clamp(1, 1_000);
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                run();
+            }
+            t0.elapsed().as_secs_f64() * 1e6 / (n * iters) as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut reps = 5usize;
+    let mut out_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => reps = it.next().expect("missing reps").parse().expect("bad reps"),
+            "--out" => out_path = Some(it.next().expect("missing path")),
+            "--help" | "-h" => {
+                println!("usage: query_bench [--reps N] [--out PATH]");
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let reps = reps.max(1);
+    let out_path = out_path
+        .unwrap_or_else(|| format!("{}/../../BENCH_query.json", env!("CARGO_MANIFEST_DIR")));
+
+    let datasets = [
+        ("MC", presets::melbourne_central()),
+        ("MC-2", presets::melbourne_central_2()),
+        ("Men", presets::menzies()),
+    ];
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, spec) in datasets {
+        let venue = Arc::new(spec.build());
+        let doors = venue.stats().doors;
+        let objects = workload::place_objects(&venue, N_OBJECTS, 0xB0B);
+        let labelled: Vec<_> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, label_for(i)))
+            .collect();
+        let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
+        tree.attach_objects(&objects);
+        let kw = Arc::new(KeywordObjects::build(tree.ip_tree(), &labelled));
+        let tree = Arc::new(tree);
+
+        let points = workload::query_points(&venue, N_QUERIES, 0x9E);
+        let pairs = workload::query_pairs(&venue, N_QUERIES, 0x9F);
+        println!("== {name}: {doors} doors, {N_QUERIES} queries per type");
+
+        for &threads in &THREAD_COUNTS {
+            let engine = QueryEngine::for_vip(tree.clone())
+                .with_threads(threads)
+                .with_keywords(kw.clone());
+            // Warm-up pass: pool scratches/engines allocate outside the
+            // timed region, like a long-running server's steady state.
+            std::hint::black_box(engine.batch_knn(&points[..8.min(points.len())], KNN_K));
+
+            type Cell<'a> = (&'static str, Box<dyn FnMut() + 'a>);
+            let cells: [Cell; 4] = [
+                (
+                    "knn",
+                    Box::new(|| {
+                        std::hint::black_box(engine.batch_knn(&points, KNN_K));
+                    }),
+                ),
+                (
+                    "range",
+                    Box::new(|| {
+                        std::hint::black_box(engine.batch_range(&points, RANGE_RADIUS));
+                    }),
+                ),
+                (
+                    "keyword",
+                    Box::new(|| {
+                        std::hint::black_box(engine.batch_knn_keyword(&points, KNN_K, KEYWORD));
+                    }),
+                ),
+                (
+                    "shortest_path",
+                    Box::new(|| {
+                        std::hint::black_box(engine.batch_shortest_path(&pairs));
+                    }),
+                ),
+            ];
+            for (query, mut run) in cells {
+                let us = median_us(reps, N_QUERIES, &mut *run);
+                println!(
+                    "   {query:>13} threads={threads}: {us:9.2} us/query  ({:9.0} q/s)",
+                    1e6 / us
+                );
+                rows.push(Row {
+                    dataset: name,
+                    doors,
+                    query,
+                    threads,
+                    n_queries: N_QUERIES,
+                    us_per_query: us,
+                });
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"vip_tree_query\",\n");
+    let _ = writeln!(
+        json,
+        "  \"unit\": \"us/query (median of {reps} batch reps)\","
+    );
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    if let Ok(t) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        let _ = writeln!(json, "  \"generated_unix\": {},", t.as_secs());
+    }
+    json.push_str("  \"note\": \"batch results are slot-indexed and bit-identical to the serial loop (tests/concurrent_queries.rs); multi-thread speedup saturates at host_cores\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let serial_us = rows
+            .iter()
+            .find(|x| x.dataset == r.dataset && x.query == r.query && x.threads == 1)
+            .map(|x| x.us_per_query)
+            .unwrap_or(r.us_per_query);
+        let _ = write!(
+            json,
+            "    {{\"dataset\": \"{}\", \"doors\": {}, \"query\": \"{}\", \"threads\": {}, \"n_queries\": {}, \"us_per_query\": {:.3}, \"qps\": {:.0}, \"speedup_vs_serial\": {:.3}}}",
+            r.dataset,
+            r.doors,
+            r.query,
+            r.threads,
+            r.n_queries,
+            r.us_per_query,
+            1e6 / r.us_per_query,
+            serial_us / r.us_per_query,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, json).expect("write BENCH_query.json");
+    println!("wrote {out_path}");
+}

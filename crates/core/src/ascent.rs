@@ -37,14 +37,61 @@ pub(crate) struct AscentStep {
 }
 
 /// The full ascent from `Leaf(p)` up to (and including) `target`.
-#[derive(Debug, Clone)]
+///
+/// The step buffers — including every step's `dists`/`prov` vectors —
+/// survive [`Ascent::clear`], so a pooled [`crate::QueryScratch`] refills
+/// an ascent query after query without reallocating.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct Ascent {
-    pub steps: Vec<AscentStep>,
+    steps: Vec<AscentStep>,
+    /// Number of steps live for the current query; retired entries beyond
+    /// it keep their capacity for reuse.
+    live: usize,
 }
 
 impl Ascent {
+    /// Forget the recorded steps, keeping every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.live = 0;
+    }
+
+    /// The live steps, leaf (level 1) first.
+    #[inline]
+    pub fn steps(&self) -> &[AscentStep] {
+        &self.steps[..self.live]
+    }
+
+    /// Start a new step for `node`, reusing a retired slot's buffers when
+    /// one is available. Returns the (empty) step to fill.
+    pub(crate) fn push_step(&mut self, node: NodeIdx) -> &mut AscentStep {
+        if self.live == self.steps.len() {
+            self.steps.push(AscentStep {
+                node,
+                dists: Vec::new(),
+                prov: Vec::new(),
+            });
+        } else {
+            let s = &mut self.steps[self.live];
+            s.node = node;
+            s.dists.clear();
+            s.prov.clear();
+        }
+        self.live += 1;
+        &mut self.steps[self.live - 1]
+    }
+
+    /// As [`Ascent::push_step`], additionally handing back the previous
+    /// step so parent distances can be minimised over the child's without
+    /// fighting the borrow checker.
+    pub(crate) fn push_step_with_prev(&mut self, node: NodeIdx) -> (&mut AscentStep, &AscentStep) {
+        debug_assert!(self.live >= 1, "push_step_with_prev needs a leaf step");
+        self.push_step(node);
+        let (prev, cur) = self.steps.split_at_mut(self.live - 1);
+        (&mut cur[0], &prev[self.live - 2])
+    }
+
     pub fn last(&self) -> &AscentStep {
-        self.steps
+        self.steps()
             .last()
             .expect("ascent has at least the leaf step")
     }
@@ -60,7 +107,7 @@ impl Ascent {
     pub fn step_for(&self, tree: &IpTree, node: NodeIdx) -> Option<&AscentStep> {
         let level = tree.node(node).level as usize;
         debug_assert!(level >= 1);
-        self.steps.get(level - 1).filter(|s| s.node == node)
+        self.steps().get(level - 1).filter(|s| s.node == node)
     }
 
     /// Whether `node` lies on the ascent's root path, in O(1).
@@ -73,20 +120,19 @@ impl Ascent {
 impl IpTree {
     /// Distance from a point to every door of its own partition's doors is
     /// direct; to the leaf's access doors it goes through superior doors
-    /// (Eq. 1 restricted per Definition 2).
-    fn leaf_step(&self, p: &IndoorPoint, leaf: NodeIdx) -> AscentStep {
+    /// (Eq. 1 restricted per Definition 2). Appends the step to `asc`.
+    fn leaf_step_into(&self, p: &IndoorPoint, leaf: NodeIdx, asc: &mut Ascent) {
         let venue = &*self.venue;
         let node = self.node(leaf);
         let part_doors = &venue.partition(p.partition).doors;
         let sup = self.superior_doors(p.partition);
 
-        let mut dists = Vec::with_capacity(node.access_doors.len());
-        let mut prov = Vec::with_capacity(node.access_doors.len());
+        let step = asc.push_step(leaf);
         for &a in &node.access_doors {
             if part_doors.binary_search(&a).is_ok() {
                 // Local access door: trivially direct.
-                dists.push(p.distance_to_door(venue, a));
-                prov.push(Provenance::Source { via: a });
+                step.dists.push(p.distance_to_door(venue, a));
+                step.prov.push(Provenance::Source { via: a });
                 continue;
             }
             let col_a = node
@@ -105,31 +151,26 @@ impl IpTree {
                     best_via = u;
                 }
             }
-            dists.push(best);
-            prov.push(Provenance::Source { via: best_via });
-        }
-        AscentStep {
-            node: leaf,
-            dists,
-            prov,
+            step.dists.push(best);
+            step.prov.push(Provenance::Source { via: best_via });
         }
     }
 
     /// Algorithm 2: distances from `p` to all access doors of every node
-    /// on the path from `Leaf(p)` up to `target` (inclusive).
-    pub(crate) fn ascend(&self, p: &IndoorPoint, target: NodeIdx) -> Ascent {
+    /// on the path from `Leaf(p)` up to `target` (inclusive), written into
+    /// a reusable [`Ascent`] buffer.
+    pub(crate) fn ascend_into(&self, p: &IndoorPoint, target: NodeIdx, asc: &mut Ascent) {
+        asc.clear();
         let leaf = self.leaf_of(p.partition);
-        let mut steps = vec![self.leaf_step(p, leaf)];
+        self.leaf_step_into(p, leaf, asc);
         let mut cur = leaf;
         while cur != target {
             let parent = self.node(cur).parent;
             debug_assert_ne!(parent, crate::NO_NODE, "target not an ancestor");
             let pnode = self.node(parent);
-            let prev = steps.last().unwrap();
             let child_ads = &self.node(cur).access_doors;
 
-            let mut dists = Vec::with_capacity(pnode.access_doors.len());
-            let mut prov = Vec::with_capacity(pnode.access_doors.len());
+            let (step, prev) = asc.push_step_with_prev(parent);
             for &a in &pnode.access_doors {
                 // a ∈ B(parent) always; each child access door too.
                 let col = pnode
@@ -149,17 +190,19 @@ impl IpTree {
                         best_idx = bi as u16;
                     }
                 }
-                dists.push(best);
-                prov.push(Provenance::Child { idx: best_idx });
+                step.dists.push(best);
+                step.prov.push(Provenance::Child { idx: best_idx });
             }
-            steps.push(AscentStep {
-                node: parent,
-                dists,
-                prov,
-            });
             cur = parent;
         }
-        Ascent { steps }
+    }
+
+    /// As [`IpTree::ascend_into`] with a freshly allocated ascent.
+    #[cfg(test)]
+    pub(crate) fn ascend(&self, p: &IndoorPoint, target: NodeIdx) -> Ascent {
+        let mut asc = Ascent::default();
+        self.ascend_into(p, target, &mut asc);
+        asc
     }
 
     /// Same-leaf (or same-partition) query: D2D expansion with virtual
@@ -175,7 +218,7 @@ impl IpTree {
         let s_seeds = s.door_seeds(venue);
         let t_seeds: Vec<(u32, f64)> = t.door_seeds(venue);
 
-        let mut engine = self.engine.lock().expect("engine poisoned");
+        let mut engine = self.engines.checkout();
         let via = engine.point_to_point(venue.d2d(), &s_seeds, &t_seeds);
 
         match (direct, via) {
@@ -212,6 +255,28 @@ impl IpTree {
         t: &IndoorPoint,
         stats: &mut QueryStats,
     ) -> Option<f64> {
+        let mut scratch = self.scratch.checkout();
+        self.shortest_distance_stats(s, t, &mut scratch, stats)
+    }
+
+    /// As [`Self::shortest_distance_points`] with caller-owned scratch
+    /// state — the zero-allocation path batch serving uses.
+    pub fn shortest_distance_in(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        scratch: &mut crate::QueryScratch,
+    ) -> Option<f64> {
+        self.shortest_distance_stats(s, t, scratch, &mut QueryStats::default())
+    }
+
+    pub(crate) fn shortest_distance_stats(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        scratch: &mut crate::QueryScratch,
+        stats: &mut QueryStats,
+    ) -> Option<f64> {
         stats.queries += 1;
         let leaf_s = self.leaf_of(s.partition);
         let leaf_t = self.leaf_of(t.partition);
@@ -221,25 +286,29 @@ impl IpTree {
         stats.door_pairs += (self.superior_doors(s.partition).len()
             * self.superior_doors(t.partition).len()) as u64;
 
-        let (d, _, _) = self.cross_leaf_distance(s, t, leaf_s, leaf_t)?;
+        let crate::QueryScratch { asc_s, asc_t, .. } = scratch;
+        let (d, _) = self.cross_leaf_distance_into(s, t, leaf_s, leaf_t, asc_s, asc_t)?;
         Some(d)
     }
 
-    /// Cross-leaf distance plus the minimising access-door pair and the
-    /// two ascents (for path recovery). `None` when unreachable.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn cross_leaf_distance(
+    /// Cross-leaf distance plus the minimising access-door pair; the two
+    /// ascents are left in the caller's buffers for path recovery. `None`
+    /// when unreachable.
+    pub(crate) fn cross_leaf_distance_into(
         &self,
         s: &IndoorPoint,
         t: &IndoorPoint,
         leaf_s: NodeIdx,
         leaf_t: NodeIdx,
-    ) -> Option<(f64, (usize, usize), (Ascent, Ascent))> {
+        asc_s: &mut Ascent,
+        asc_t: &mut Ascent,
+    ) -> Option<(f64, (usize, usize))> {
         let lca = self.lca(leaf_s, leaf_t);
         let ns = self.child_towards(lca, leaf_s);
         let nt = self.child_towards(lca, leaf_t);
-        let asc_s = self.ascend(s, ns);
-        let asc_t = self.ascend(t, nt);
+        self.ascend_into(s, ns, asc_s);
+        self.ascend_into(t, nt, asc_t);
+        let (asc_s, asc_t) = (&*asc_s, &*asc_t);
         let lca_node = self.node(lca);
 
         let ads = &self.node(ns).access_doors;
@@ -275,11 +344,22 @@ impl IpTree {
         if !best.is_finite() {
             return None;
         }
-        Some((best, best_pair, (asc_s, asc_t)))
+        Some((best, best_pair))
     }
 
     /// §3.2: shortest path between two points.
     pub fn shortest_path_points(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
+        let mut scratch = self.scratch.checkout();
+        self.shortest_path_in(s, t, &mut scratch)
+    }
+
+    /// As [`Self::shortest_path_points`] with caller-owned scratch state.
+    pub fn shortest_path_in(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        scratch: &mut crate::QueryScratch,
+    ) -> Option<IndoorPath> {
         let leaf_s = self.leaf_of(s.partition);
         let leaf_t = self.leaf_of(t.partition);
         if leaf_s == leaf_t {
@@ -291,8 +371,9 @@ impl IpTree {
                 length,
             });
         }
-        let (length, (i, j), (asc_s, asc_t)) = self.cross_leaf_distance(s, t, leaf_s, leaf_t)?;
-        let doors = self.recover_cross_leaf_path(&asc_s, i, &asc_t, j);
+        let crate::QueryScratch { asc_s, asc_t, .. } = scratch;
+        let (length, (i, j)) = self.cross_leaf_distance_into(s, t, leaf_s, leaf_t, asc_s, asc_t)?;
+        let doors = self.recover_cross_leaf_path(asc_s, i, asc_t, j);
         Some(IndoorPath {
             source: *s,
             target: *t,

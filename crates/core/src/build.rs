@@ -292,7 +292,8 @@ impl IpTree {
             boundary,
             superior,
             decompose_fallbacks: std::sync::atomic::AtomicU64::new(0),
-            engine: std::sync::Mutex::new(pool.into_engine()),
+            engines: pool,
+            scratch: crate::exec::ScratchPool::new(),
             objects: None,
         })
     }

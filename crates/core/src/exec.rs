@@ -1,0 +1,478 @@
+//! Query-execution subsystem: reusable per-query scratch state, a
+//! checkout pool, and a concurrent batched [`QueryEngine`] facade.
+//!
+//! Every kNN/range/keyword/shortest-path call needs transient state — a
+//! [`DistArena`] of access-door vectors, branch-and-bound heaps, ascent
+//! buffers, a candidate-mark set. Allocating that from scratch per query
+//! caps single-thread throughput and shreds the allocator under
+//! concurrency, so it all lives in one [`QueryScratch`] that is checked
+//! out of a [`ScratchPool`] (same pattern as `indoor_graph::EnginePool`
+//! for Dijkstra state) and cleared in O(live data) between queries —
+//! the mark set clears by bumping an epoch counter, not by touching
+//! memory.
+//!
+//! [`QueryEngine`] fans batches of queries over
+//! [`indoor_graph::parallel::par_map_init`] worker threads, one scratch
+//! per worker, with slot-indexed output: result `i` of a batch is the
+//! answer to query `i`, bit-identical to running the queries serially in
+//! input order (see DESIGN.md, "Query scratch reuse and batch
+//! determinism").
+
+use crate::ascent::Ascent;
+use crate::keywords::KeywordObjects;
+use crate::knn::DistArena;
+use crate::tree::{IpTree, NodeIdx};
+use crate::vip::VipTree;
+use geometry::TotalF64;
+use indoor_graph::parallel::par_map_init;
+use indoor_model::{DoorId, IndoorPath, IndoorPoint, ObjectId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
+
+/// A set over `0..n` that clears in O(1) by bumping an epoch stamp.
+///
+/// `vec![false; n]` per leaf scan was the last per-query allocation in the
+/// kNN hot loop; this replaces it. An index is "marked" iff its stamp
+/// equals the current epoch, so `begin` only pays for memory on growth
+/// (and on the one-in-4-billion epoch wraparound, where stamps are
+/// re-zeroed to keep stale marks from resurfacing).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EpochMarks {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochMarks {
+    /// Start a new (empty) marking round over indices `0..n`.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    pub fn mark(&mut self, i: usize) {
+        self.stamp[i] = self.epoch;
+    }
+
+    #[inline]
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+}
+
+/// The per-query transient state of every tree query, owned and reused.
+///
+/// A scratch is plain state, not a guard: queries leave no observable
+/// residue in it — every query begins by clearing (epoch-bumping, for the
+/// marks) exactly the pieces it uses, so interleaving different query
+/// kinds through one scratch yields bit-identical answers to using a
+/// fresh scratch each time (`tests/scratch_reuse.rs` enforces this).
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Source-side ascent (also the only ascent for kNN/range/keyword).
+    pub(crate) asc_s: Ascent,
+    /// Target-side ascent for point-to-point queries.
+    pub(crate) asc_t: Ascent,
+    /// Flat arena of access-door distance vectors.
+    pub(crate) arena: DistArena,
+    /// Arena handles of the ascent steps, aligned with `asc_s.steps()`.
+    pub(crate) step_handles: Vec<u32>,
+    /// Buffer for derived child vectors before they enter the arena.
+    pub(crate) child_vec: Vec<f64>,
+    /// Best-first frontier of Algorithm 5.
+    pub(crate) heap: BinaryHeap<Reverse<(TotalF64, NodeIdx, u32)>>,
+    /// Current k-best max-heap (`peek()` is `d_k`).
+    pub(crate) best: BinaryHeap<(TotalF64, ObjectId)>,
+    /// DFS stack of range queries.
+    pub(crate) stack: Vec<(NodeIdx, u32)>,
+    /// Leaf-scan candidate marks, cleared by epoch.
+    pub(crate) marks: EpochMarks,
+    /// VIP cross-leaf side buffers: distances/argmin superior doors to the
+    /// source- and target-side access doors.
+    pub(crate) sd_s: Vec<f64>,
+    pub(crate) sd_t: Vec<f64>,
+    pub(crate) via_s: Vec<DoorId>,
+    pub(crate) via_t: Vec<DoorId>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow to the working-set size of the first
+    /// few queries and then stay warm.
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+}
+
+/// A checkout pool of [`QueryScratch`]es shared by concurrent callers.
+///
+/// Checkout pops a free scratch (or creates one — the pool grows to the
+/// peak concurrency and no further); drop returns it. Single-query APIs
+/// on [`IpTree`]/[`VipTree`] stay allocation-lean by checking out of the
+/// tree's embedded pool, so existing callers get the reuse for free.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<QueryScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// Check a scratch out, creating one if none is free.
+    pub fn checkout(&self) -> PooledScratch<'_> {
+        let scratch = self
+            .free
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledScratch {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+}
+
+/// RAII checkout from a [`ScratchPool`]; derefs to [`QueryScratch`].
+#[derive(Debug)]
+pub struct PooledScratch<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<QueryScratch>,
+}
+
+impl std::ops::Deref for PooledScratch<'_> {
+    type Target = QueryScratch;
+    fn deref(&self) -> &QueryScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut QueryScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(scratch);
+            }
+        }
+    }
+}
+
+/// Which index a [`QueryEngine`] serves.
+#[derive(Debug, Clone)]
+pub enum TreeHandle {
+    /// IP-tree backend (ascents walk matrices).
+    Ip(Arc<IpTree>),
+    /// VIP-tree backend (ascents are table lookups).
+    Vip(Arc<VipTree>),
+}
+
+impl TreeHandle {
+    /// The underlying IP-tree (the VIP-tree's interior one for `Vip`).
+    #[inline]
+    pub fn ip(&self) -> &IpTree {
+        match self {
+            TreeHandle::Ip(t) => t,
+            TreeHandle::Vip(t) => t.ip_tree(),
+        }
+    }
+}
+
+/// Concurrent batched query facade over a shared index.
+///
+/// Owns a [`ScratchPool`] and a thread count; every `batch_*` method fans
+/// its query slice over `threads` workers (0 = all cores), each holding
+/// one scratch for the whole batch, and returns results in input order —
+/// slot `i` is exactly what the corresponding single-query call returns.
+///
+/// ```
+/// use indoor_synth::{random_venue, workload};
+/// use std::sync::Arc;
+/// use vip_tree::{QueryEngine, VipTree, VipTreeConfig};
+///
+/// let venue = Arc::new(random_venue(9));
+/// let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+/// tree.attach_objects(&workload::place_objects(&venue, 12, 1));
+/// let engine = QueryEngine::for_vip(Arc::new(tree)).with_threads(2);
+/// let queries = workload::query_points(&venue, 8, 3);
+/// let answers = engine.batch_knn(&queries, 3);
+/// assert_eq!(answers.len(), queries.len());
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine {
+    tree: TreeHandle,
+    keywords: Option<Arc<KeywordObjects>>,
+    threads: usize,
+    pool: ScratchPool,
+}
+
+impl QueryEngine {
+    /// Serve queries from an IP-tree.
+    pub fn for_ip(tree: Arc<IpTree>) -> QueryEngine {
+        QueryEngine::new(TreeHandle::Ip(tree))
+    }
+
+    /// Serve queries from a VIP-tree.
+    pub fn for_vip(tree: Arc<VipTree>) -> QueryEngine {
+        QueryEngine::new(TreeHandle::Vip(tree))
+    }
+
+    /// Serve queries from either backend.
+    pub fn new(tree: TreeHandle) -> QueryEngine {
+        QueryEngine {
+            tree,
+            keywords: None,
+            threads: 0,
+            pool: ScratchPool::new(),
+        }
+    }
+
+    /// Worker threads for `batch_*` calls (0 = all available cores).
+    ///
+    /// Also pre-warms the tree's Dijkstra engine pool to that
+    /// concurrency, so the first batch's same-leaf queries find engines
+    /// ready instead of allocating them in-band.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self.tree
+            .ip()
+            .warm_engines(indoor_graph::parallel::effective_threads(threads));
+        self
+    }
+
+    /// Attach a keyword index for [`QueryEngine::batch_knn_keyword`].
+    pub fn with_keywords(mut self, keywords: Arc<KeywordObjects>) -> Self {
+        self.keywords = Some(keywords);
+        self
+    }
+
+    /// The backend handle.
+    #[inline]
+    pub fn tree(&self) -> &TreeHandle {
+        &self.tree
+    }
+
+    /// The effective worker count a batch call will use.
+    pub fn threads(&self) -> usize {
+        indoor_graph::parallel::effective_threads(self.threads)
+    }
+
+    fn knn_one(
+        &self,
+        scratch: &mut QueryScratch,
+        q: &IndoorPoint,
+        k: usize,
+    ) -> Vec<(ObjectId, f64)> {
+        match &self.tree {
+            TreeHandle::Ip(t) => t.knn_in(q, k, scratch),
+            TreeHandle::Vip(t) => t.knn_in(q, k, scratch),
+        }
+    }
+
+    fn range_one(
+        &self,
+        scratch: &mut QueryScratch,
+        q: &IndoorPoint,
+        radius: f64,
+    ) -> Vec<(ObjectId, f64)> {
+        match &self.tree {
+            TreeHandle::Ip(t) => t.range_in(q, radius, scratch),
+            TreeHandle::Vip(t) => t.range_in(q, radius, scratch),
+        }
+    }
+
+    fn distance_one(
+        &self,
+        scratch: &mut QueryScratch,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+    ) -> Option<f64> {
+        match &self.tree {
+            TreeHandle::Ip(tr) => tr.shortest_distance_in(s, t, scratch),
+            TreeHandle::Vip(tr) => tr.shortest_distance_in(s, t, scratch),
+        }
+    }
+
+    fn path_one(
+        &self,
+        scratch: &mut QueryScratch,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+    ) -> Option<IndoorPath> {
+        match &self.tree {
+            TreeHandle::Ip(tr) => tr.shortest_path_in(s, t, scratch),
+            TreeHandle::Vip(tr) => tr.shortest_path_in(s, t, scratch),
+        }
+    }
+
+    /// Single kNN through the pool.
+    pub fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
+        self.knn_one(&mut self.pool.checkout(), q, k)
+    }
+
+    /// Single range query through the pool.
+    pub fn range(&self, q: &IndoorPoint, radius: f64) -> Vec<(ObjectId, f64)> {
+        self.range_one(&mut self.pool.checkout(), q, radius)
+    }
+
+    /// Single shortest distance through the pool.
+    pub fn shortest_distance(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64> {
+        self.distance_one(&mut self.pool.checkout(), s, t)
+    }
+
+    /// Single shortest path through the pool.
+    pub fn shortest_path(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
+        self.path_one(&mut self.pool.checkout(), s, t)
+    }
+
+    /// k nearest neighbours of every query point; slot `i` answers
+    /// `queries[i]`, identical to the serial loop.
+    pub fn batch_knn(&self, queries: &[IndoorPoint], k: usize) -> Vec<Vec<(ObjectId, f64)>> {
+        par_map_init(
+            queries,
+            self.threads,
+            || self.pool.checkout(),
+            |scratch, _, q| self.knn_one(scratch, q, k),
+        )
+    }
+
+    /// Range query for every query point, in input order.
+    pub fn batch_range(&self, queries: &[IndoorPoint], radius: f64) -> Vec<Vec<(ObjectId, f64)>> {
+        par_map_init(
+            queries,
+            self.threads,
+            || self.pool.checkout(),
+            |scratch, _, q| self.range_one(scratch, q, radius),
+        )
+    }
+
+    /// Keyword-constrained kNN for every query point, in input order.
+    /// Every slot is empty when no keyword index is attached (mirroring
+    /// the unknown-term behaviour of `KeywordObjects::knn_keyword`).
+    pub fn batch_knn_keyword(
+        &self,
+        queries: &[IndoorPoint],
+        k: usize,
+        label: &str,
+    ) -> Vec<Vec<(ObjectId, f64)>> {
+        let Some(kw) = &self.keywords else {
+            return vec![Vec::new(); queries.len()];
+        };
+        par_map_init(
+            queries,
+            self.threads,
+            || self.pool.checkout(),
+            |scratch, _, q| kw.knn_keyword_in(self.tree.ip(), q, k, label, scratch),
+        )
+    }
+
+    /// Shortest distance for every pair, in input order.
+    pub fn batch_shortest_distance(
+        &self,
+        pairs: &[(IndoorPoint, IndoorPoint)],
+    ) -> Vec<Option<f64>> {
+        par_map_init(
+            pairs,
+            self.threads,
+            || self.pool.checkout(),
+            |scratch, _, (s, t)| self.distance_one(scratch, s, t),
+        )
+    }
+
+    /// Shortest path for every pair, in input order.
+    pub fn batch_shortest_path(
+        &self,
+        pairs: &[(IndoorPoint, IndoorPoint)],
+    ) -> Vec<Option<IndoorPath>> {
+        par_map_init(
+            pairs,
+            self.threads,
+            || self.pool.checkout(),
+            |scratch, _, (s, t)| self.path_one(scratch, s, t),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VipTreeConfig;
+    use indoor_synth::{random_venue, workload};
+
+    #[test]
+    fn epoch_marks_reset_without_touching_memory() {
+        let mut m = EpochMarks::default();
+        m.begin(4);
+        m.mark(1);
+        m.mark(3);
+        assert!(m.is_marked(1) && m.is_marked(3));
+        assert!(!m.is_marked(0) && !m.is_marked(2));
+        m.begin(2);
+        assert!(!m.is_marked(1), "stale mark survived epoch bump");
+        // Growth keeps old stamps unmarked.
+        m.begin(8);
+        assert!((0..8).all(|i| !m.is_marked(i)));
+    }
+
+    #[test]
+    fn epoch_marks_survive_wraparound() {
+        let mut m = EpochMarks {
+            stamp: vec![0; 3],
+            epoch: u32::MAX - 1,
+        };
+        m.begin(3); // epoch -> MAX
+        m.mark(0);
+        m.begin(3); // wraps: stamps re-zeroed, epoch 1
+        assert!(!m.is_marked(0), "mark leaked across wraparound");
+        m.mark(2);
+        assert!(m.is_marked(2));
+    }
+
+    #[test]
+    fn scratch_pool_reuses_returned_scratches() {
+        let pool = ScratchPool::new();
+        {
+            let mut s = pool.checkout();
+            s.child_vec.reserve(1024);
+        }
+        let s = pool.checkout();
+        assert!(
+            s.child_vec.capacity() >= 1024,
+            "checkout did not reuse the returned scratch"
+        );
+        assert!(pool.free.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn engine_single_queries_match_tree_apis() {
+        let venue = std::sync::Arc::new(random_venue(17));
+        let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        tree.attach_objects(&workload::place_objects(&venue, 14, 2));
+        let tree = Arc::new(tree);
+        let engine = QueryEngine::for_vip(tree.clone()).with_threads(1);
+        for q in workload::query_points(&venue, 5, 11) {
+            assert_eq!(engine.knn(&q, 4), tree.knn(&q, 4));
+            assert_eq!(engine.range(&q, 80.0), tree.range(&q, 80.0));
+        }
+        for (s, t) in workload::query_pairs(&venue, 5, 12) {
+            assert_eq!(
+                engine.shortest_distance(&s, &t),
+                tree.shortest_distance_points(&s, &t)
+            );
+        }
+    }
+}

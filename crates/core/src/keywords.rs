@@ -10,7 +10,7 @@
 //! 5) and by term containment.
 
 use crate::ascent::Ascent;
-use crate::knn::DistArena;
+use crate::exec::{EpochMarks, QueryScratch};
 use crate::objects::ObjectIndex;
 use crate::tree::{IpTree, NodeIdx, NO_NODE};
 use geometry::TotalF64;
@@ -102,17 +102,40 @@ impl KeywordObjects {
         k: usize,
         label: &str,
     ) -> Vec<(ObjectId, f64)> {
+        let mut scratch = tree.scratch.checkout();
+        self.knn_keyword_in(tree, q, k, label, &mut scratch)
+    }
+
+    /// As [`KeywordObjects::knn_keyword`] with caller-owned scratch state.
+    pub fn knn_keyword_in(
+        &self,
+        tree: &IpTree,
+        q: &IndoorPoint,
+        k: usize,
+        label: &str,
+        scratch: &mut QueryScratch,
+    ) -> Vec<(ObjectId, f64)> {
         let Some(term) = self.term(label) else {
             return Vec::new();
         };
         if k == 0 {
             return Vec::new();
         }
-        let asc = tree.ascend(q, tree.root());
-        let (mut arena, step_handles) = DistArena::seeded(&asc);
-        let mut scratch: Vec<f64> = Vec::new();
+        tree.ascend_into(q, tree.root(), &mut scratch.asc_s);
+        let QueryScratch {
+            asc_s,
+            arena,
+            step_handles,
+            child_vec,
+            heap,
+            best,
+            marks,
+            ..
+        } = scratch;
+        let asc = &*asc_s;
+        arena.seed(asc, step_handles);
 
-        let mut best: BinaryHeap<(TotalF64, ObjectId)> = BinaryHeap::new();
+        best.clear();
         let dk = |best: &BinaryHeap<(TotalF64, ObjectId)>| {
             if best.len() < k {
                 f64::INFINITY
@@ -121,14 +144,14 @@ impl KeywordObjects {
             }
         };
 
-        let mut heap: BinaryHeap<Reverse<(TotalF64, NodeIdx, u32)>> = BinaryHeap::new();
+        heap.clear();
         heap.push(Reverse((
             TotalF64(0.0),
             tree.root(),
             *step_handles.last().expect("ascent is non-empty"),
         )));
         while let Some(Reverse((TotalF64(mind), node_idx, handle))) = heap.pop() {
-            if mind > dk(&best) {
+            if mind > dk(best) {
                 break;
             }
             let node = tree.node(node_idx);
@@ -138,10 +161,11 @@ impl KeywordObjects {
                     q,
                     node_idx,
                     arena.get(handle),
-                    &asc,
+                    asc,
                     term,
                     k,
-                    &mut best,
+                    marks,
+                    best,
                 );
                 continue;
             }
@@ -156,7 +180,7 @@ impl KeywordObjects {
                     continue;
                 }
                 let (base_ads, base_handle) = if node_on_path {
-                    let sib = tree.child_towards(node_idx, asc.steps[0].node);
+                    let sib = tree.child_towards(node_idx, asc.steps()[0].node);
                     debug_assert!(asc.on_path(tree, sib), "sibling on ascent");
                     (
                         &tree.node(sib).access_doors,
@@ -170,18 +194,17 @@ impl KeywordObjects {
                     child,
                     base_ads,
                     arena.get(base_handle),
-                    &mut scratch,
+                    child_vec,
                 );
-                let mind_c = scratch.iter().copied().fold(f64::INFINITY, f64::min);
-                if mind_c <= dk(&best) {
-                    let h = arena.push(&scratch);
+                let mind_c = child_vec.iter().copied().fold(f64::INFINITY, f64::min);
+                if mind_c <= dk(best) {
+                    let h = arena.push(child_vec);
                     heap.push(Reverse((TotalF64(mind_c), child, h)));
                 }
             }
         }
 
-        let mut out: Vec<(ObjectId, f64)> =
-            best.into_iter().map(|(TotalF64(d), o)| (o, d)).collect();
+        let mut out: Vec<(ObjectId, f64)> = best.drain().map(|(TotalF64(d), o)| (o, d)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -196,6 +219,7 @@ impl KeywordObjects {
         asc: &Ascent,
         term: TermId,
         k: usize,
+        marks: &mut EpochMarks,
         best: &mut BinaryHeap<(TotalF64, ObjectId)>,
     ) {
         let bound = if best.len() < k {
@@ -214,7 +238,7 @@ impl KeywordObjects {
                 }
             }
         };
-        tree.scan_leaf(q, &self.objects, leaf, vec, asc, bound, &mut emit);
+        tree.scan_leaf(q, &self.objects, leaf, vec, asc, bound, marks, &mut emit);
     }
 }
 

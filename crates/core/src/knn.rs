@@ -16,6 +16,7 @@
 //! arena.
 
 use crate::ascent::Ascent;
+use crate::exec::{EpochMarks, QueryScratch};
 use crate::objects::ObjectIndex;
 use crate::tree::{IpTree, NodeIdx};
 use geometry::TotalF64;
@@ -36,16 +37,21 @@ pub(crate) struct DistArena {
 }
 
 impl DistArena {
-    /// Arena pre-seeded with every ascent step's distance vector; the
-    /// returned handles are aligned with `asc.steps` (level − 1 indexing).
-    pub(crate) fn seeded(asc: &Ascent) -> (DistArena, Vec<u32>) {
-        let total: usize = asc.steps.iter().map(|s| s.dists.len()).sum();
-        let mut arena = DistArena {
-            data: Vec::with_capacity(total),
-            spans: Vec::with_capacity(asc.steps.len()),
-        };
-        let handles = asc.steps.iter().map(|s| arena.push(&s.dists)).collect();
-        (arena, handles)
+    /// Drop every vector, keeping the allocation for the next query.
+    pub(crate) fn clear(&mut self) {
+        self.data.clear();
+        self.spans.clear();
+    }
+
+    /// Re-seed the arena with every ascent step's distance vector; the
+    /// handles written to `handles` are aligned with `asc.steps()`
+    /// (level − 1 indexing).
+    pub(crate) fn seed(&mut self, asc: &Ascent, handles: &mut Vec<u32>) {
+        self.clear();
+        handles.clear();
+        for s in asc.steps() {
+            handles.push(self.push(&s.dists));
+        }
     }
 
     #[inline]
@@ -78,14 +84,34 @@ impl IpTree {
     /// k nearest neighbours of `q` (ascending by distance). Empty when no
     /// objects are attached.
     pub fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
-        let asc = self.ascend(q, self.root());
-        self.knn_with_ascent(q, k, &asc, &mut QueryStats::default())
+        let mut scratch = self.scratch.checkout();
+        self.knn_in(q, k, &mut scratch)
     }
 
     /// All objects within `radius` of `q` (ascending by distance).
     pub fn range(&self, q: &IndoorPoint, radius: f64) -> Vec<(ObjectId, f64)> {
-        let asc = self.ascend(q, self.root());
-        self.range_with_ascent(q, radius, &asc, &mut QueryStats::default())
+        let mut scratch = self.scratch.checkout();
+        self.range_in(q, radius, &mut scratch)
+    }
+
+    /// As [`IpTree::knn`] with caller-owned scratch state.
+    pub fn knn_in(
+        &self,
+        q: &IndoorPoint,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> Vec<(ObjectId, f64)> {
+        self.knn_stats(q, k, scratch, &mut QueryStats::default())
+    }
+
+    /// As [`IpTree::range`] with caller-owned scratch state.
+    pub fn range_in(
+        &self,
+        q: &IndoorPoint,
+        radius: f64,
+        scratch: &mut QueryScratch,
+    ) -> Vec<(ObjectId, f64)> {
+        self.range_stats(q, radius, scratch, &mut QueryStats::default())
     }
 
     pub fn knn_with_stats(
@@ -94,8 +120,8 @@ impl IpTree {
         k: usize,
         stats: &mut QueryStats,
     ) -> Vec<(ObjectId, f64)> {
-        let asc = self.ascend(q, self.root());
-        self.knn_with_ascent(q, k, &asc, stats)
+        let mut scratch = self.scratch.checkout();
+        self.knn_stats(q, k, &mut scratch, stats)
     }
 
     pub fn range_with_stats(
@@ -104,17 +130,39 @@ impl IpTree {
         radius: f64,
         stats: &mut QueryStats,
     ) -> Vec<(ObjectId, f64)> {
-        let asc = self.ascend(q, self.root());
-        self.range_with_ascent(q, radius, &asc, stats)
+        let mut scratch = self.scratch.checkout();
+        self.range_stats(q, radius, &mut scratch, stats)
     }
 
-    /// Algorithm 5 with a caller-provided ascent (the VIP-tree passes a
-    /// table-backed one).
-    pub(crate) fn knn_with_ascent(
+    pub(crate) fn knn_stats(
         &self,
         q: &IndoorPoint,
         k: usize,
-        asc: &Ascent,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+    ) -> Vec<(ObjectId, f64)> {
+        self.ascend_into(q, self.root(), &mut scratch.asc_s);
+        self.knn_from_ascent(q, k, scratch, stats)
+    }
+
+    pub(crate) fn range_stats(
+        &self,
+        q: &IndoorPoint,
+        radius: f64,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+    ) -> Vec<(ObjectId, f64)> {
+        self.ascend_into(q, self.root(), &mut scratch.asc_s);
+        self.range_from_ascent(q, radius, scratch, stats)
+    }
+
+    /// Algorithm 5 over the ascent already recorded in `scratch.asc_s`
+    /// (the VIP-tree records a table-backed one).
+    pub(crate) fn knn_from_ascent(
+        &self,
+        q: &IndoorPoint,
+        k: usize,
+        scratch: &mut QueryScratch,
         stats: &mut QueryStats,
     ) -> Vec<(ObjectId, f64)> {
         stats.queries += 1;
@@ -124,8 +172,19 @@ impl IpTree {
         if k == 0 || oi.objects.is_empty() {
             return Vec::new();
         }
+        let QueryScratch {
+            asc_s,
+            arena,
+            step_handles,
+            child_vec,
+            heap,
+            best,
+            marks,
+            ..
+        } = scratch;
+        let asc = &*asc_s;
         // Current k-best as a max-heap: peek() is d_k.
-        let mut best: BinaryHeap<(TotalF64, ObjectId)> = BinaryHeap::with_capacity(k + 1);
+        best.clear();
         let dk = |best: &BinaryHeap<(TotalF64, ObjectId)>| {
             if best.len() < k {
                 f64::INFINITY
@@ -142,9 +201,8 @@ impl IpTree {
             }
         };
 
-        let (mut arena, step_handles) = DistArena::seeded(asc);
-        let mut scratch: Vec<f64> = Vec::new();
-        let mut heap: BinaryHeap<Reverse<(TotalF64, NodeIdx, u32)>> = BinaryHeap::new();
+        arena.seed(asc, step_handles);
+        heap.clear();
         heap.push(Reverse((
             TotalF64(0.0),
             self.root(),
@@ -152,7 +210,7 @@ impl IpTree {
         )));
 
         while let Some(Reverse((TotalF64(mind), node_idx, handle))) = heap.pop() {
-            if mind > dk(&best) {
+            if mind > dk(best) {
                 break;
             }
             stats.nodes_visited += 1;
@@ -164,8 +222,9 @@ impl IpTree {
                     node_idx,
                     arena.get(handle),
                     asc,
-                    dk(&best),
-                    &mut |o, d| consider(&mut best, o, d),
+                    dk(best),
+                    marks,
+                    &mut |o, d| consider(best, o, d),
                 );
                 continue;
             }
@@ -183,7 +242,7 @@ impl IpTree {
                 // Lemma 8/9: derive the child's vector from this node.
                 let (base_ads, base_handle) = if node_on_path {
                     // Node contains q: go through the sibling on q's path.
-                    let sib = self.child_towards(node_idx, asc.steps[0].node);
+                    let sib = self.child_towards(node_idx, asc.steps()[0].node);
                     debug_assert_ne!(sib, child);
                     debug_assert!(asc.on_path(self, sib), "sibling on ascent path");
                     (
@@ -198,42 +257,51 @@ impl IpTree {
                     child,
                     base_ads,
                     arena.get(base_handle),
-                    &mut scratch,
+                    child_vec,
                 );
-                let mind_c = scratch.iter().copied().fold(f64::INFINITY, f64::min);
-                if mind_c <= dk(&best) {
-                    let h = arena.push(&scratch);
+                let mind_c = child_vec.iter().copied().fold(f64::INFINITY, f64::min);
+                if mind_c <= dk(best) {
+                    let h = arena.push(child_vec);
                     heap.push(Reverse((TotalF64(mind_c), child, h)));
                 }
             }
         }
 
-        let mut out: Vec<(ObjectId, f64)> =
-            best.into_iter().map(|(TotalF64(d), o)| (o, d)).collect();
+        let mut out: Vec<(ObjectId, f64)> = best.drain().map(|(TotalF64(d), o)| (o, d)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
 
-    pub(crate) fn range_with_ascent(
+    pub(crate) fn range_from_ascent(
         &self,
         q: &IndoorPoint,
         radius: f64,
-        asc: &Ascent,
+        scratch: &mut QueryScratch,
         stats: &mut QueryStats,
     ) -> Vec<(ObjectId, f64)> {
         stats.queries += 1;
         let Some(oi) = &self.objects else {
             return Vec::new();
         };
+        let QueryScratch {
+            asc_s,
+            arena,
+            step_handles,
+            child_vec,
+            stack,
+            marks,
+            ..
+        } = scratch;
+        let asc = &*asc_s;
         let mut out: Vec<(ObjectId, f64)> = Vec::new();
-        let (mut arena, step_handles) = DistArena::seeded(asc);
-        let mut scratch: Vec<f64> = Vec::new();
+        arena.seed(asc, step_handles);
 
         // Plain DFS with the fixed bound (Algorithm 5 with d_k = r).
-        let mut stack: Vec<(NodeIdx, u32)> = vec![(
+        stack.clear();
+        stack.push((
             self.root(),
             *step_handles.last().expect("ascent is non-empty"),
-        )];
+        ));
         while let Some((node_idx, handle)) = stack.pop() {
             stats.nodes_visited += 1;
             let node = self.node(node_idx);
@@ -258,6 +326,7 @@ impl IpTree {
                     arena.get(handle),
                     asc,
                     radius,
+                    marks,
                     &mut |o, d| {
                         if d <= radius {
                             out.push((o, d));
@@ -276,7 +345,7 @@ impl IpTree {
                     continue;
                 }
                 let (base_ads, base_handle) = if contains_q {
-                    let sib = self.child_towards(node_idx, asc.steps[0].node);
+                    let sib = self.child_towards(node_idx, asc.steps()[0].node);
                     debug_assert!(asc.on_path(self, sib), "sibling on ascent path");
                     (
                         &self.node(sib).access_doors,
@@ -290,9 +359,9 @@ impl IpTree {
                     child,
                     base_ads,
                     arena.get(base_handle),
-                    &mut scratch,
+                    child_vec,
                 );
-                let h = arena.push(&scratch);
+                let h = arena.push(child_vec);
                 stack.push((child, h));
             }
         }
@@ -344,6 +413,7 @@ impl IpTree {
         vec: &[f64],
         asc: &Ascent,
         bound: f64,
+        marks: &mut EpochMarks,
         emit: &mut dyn FnMut(ObjectId, f64),
     ) {
         let Some(data) = oi.leaf_data.get(&leaf) else {
@@ -354,7 +424,7 @@ impl IpTree {
             // q's own leaf: exact distances via one D2D expansion.
             let node = self.node(leaf);
             let targets: Vec<u32> = node.doors.iter().map(|d| d.0).collect();
-            let mut engine = self.engine.lock().expect("engine poisoned");
+            let mut engine = self.engines.checkout();
             engine.run(
                 venue.d2d(),
                 &q.door_seeds(venue),
@@ -376,34 +446,7 @@ impl IpTree {
             return;
         }
 
-        // Early-terminating scans over the per-access-door sorted lists;
-        // candidates then get their exact min over all access doors.
-        let n = data.objs.len();
-        let mut candidate = vec![false; n];
-        for (ad_idx, &dq) in vec.iter().enumerate() {
-            if !dq.is_finite() {
-                continue;
-            }
-            for &j in data.order_at(ad_idx) {
-                if dq + data.dist_at(ad_idx, j as usize) > bound {
-                    break;
-                }
-                candidate[j as usize] = true;
-            }
-        }
-        for (j, is_c) in candidate.iter().enumerate() {
-            if !is_c {
-                continue;
-            }
-            let mut d = f64::INFINITY;
-            for (ad_idx, &dq) in vec.iter().enumerate() {
-                let cand = dq + data.dist_at(ad_idx, j);
-                if cand < d {
-                    d = cand;
-                }
-            }
-            emit(data.objs[j], d);
-        }
+        data.emit_candidates(vec, bound, marks, emit);
     }
 }
 

@@ -44,6 +44,7 @@
 
 mod ascent;
 mod build;
+mod exec;
 mod keywords;
 mod knn;
 mod leaf;
@@ -55,6 +56,7 @@ mod stats;
 mod tree;
 mod vip;
 
+pub use exec::{PooledScratch, QueryEngine, QueryScratch, ScratchPool, TreeHandle};
 pub use keywords::{KeywordObjects, TermId};
 pub use objects::ObjectIndex;
 pub use stats::TreeStats;

@@ -6,6 +6,7 @@
 //! every node carries its subtree object count (Algorithm 5 only descends
 //! into children that contain objects).
 
+use crate::exec::EpochMarks;
 use crate::tree::{IpTree, NodeIdx, NO_NODE};
 use indoor_model::{IndoorPoint, ObjectId};
 use std::collections::HashMap;
@@ -31,6 +32,46 @@ impl LeafObjects {
     pub fn order_at(&self, ad_idx: usize) -> &[u32] {
         let n = self.objs.len();
         &self.order[ad_idx * n..(ad_idx + 1) * n]
+    }
+
+    /// Early-terminating scans over the per-access-door sorted lists
+    /// (`vec[ad_idx]` is the query's distance to that access door);
+    /// candidates within `bound` are collected in `marks` — an
+    /// epoch-cleared set, so the scan allocates nothing — and emitted with
+    /// their exact distance (min over all access doors).
+    pub(crate) fn emit_candidates(
+        &self,
+        vec: &[f64],
+        bound: f64,
+        marks: &mut EpochMarks,
+        emit: &mut dyn FnMut(ObjectId, f64),
+    ) {
+        let n = self.objs.len();
+        marks.begin(n);
+        for (ad_idx, &dq) in vec.iter().enumerate() {
+            if !dq.is_finite() {
+                continue;
+            }
+            for &j in self.order_at(ad_idx) {
+                if dq + self.dist_at(ad_idx, j as usize) > bound {
+                    break;
+                }
+                marks.mark(j as usize);
+            }
+        }
+        for j in 0..n {
+            if !marks.is_marked(j) {
+                continue;
+            }
+            let mut d = f64::INFINITY;
+            for (ad_idx, &dq) in vec.iter().enumerate() {
+                let cand = dq + self.dist_at(ad_idx, j);
+                if cand < d {
+                    d = cand;
+                }
+            }
+            emit(self.objs[j], d);
+        }
     }
 }
 

@@ -38,11 +38,11 @@ impl IpTree {
         target_idx: usize,
     ) -> (DoorId, Vec<PartialEdge>) {
         let mut edges: Vec<PartialEdge> = Vec::new();
-        let mut level = asc.steps.len() - 1;
+        let mut level = asc.steps().len() - 1;
         let mut idx = target_idx;
         // Walk provenance downwards, emitting edges top-down, then reverse.
         let entry_door = loop {
-            let step = &asc.steps[level];
+            let step = &asc.steps()[level];
             let door = self.node(step.node).access_doors[idx];
             match step.prov[idx] {
                 Provenance::Source { via } => {
@@ -50,13 +50,13 @@ impl IpTree {
                         edges.push(PartialEdge {
                             from: via,
                             to: door,
-                            ctx: asc.steps[0].node, // the leaf's matrix
+                            ctx: asc.steps()[0].node, // the leaf's matrix
                         });
                     }
                     break via;
                 }
                 Provenance::Child { idx: child_idx } => {
-                    let child_step = &asc.steps[level - 1];
+                    let child_step = &asc.steps()[level - 1];
                     let child_door = self.node(child_step.node).access_doors[child_idx as usize];
                     if child_door != door {
                         edges.push(PartialEdge {
@@ -229,7 +229,7 @@ impl IpTree {
     fn dijkstra_expand(&self, a: DoorId, b: DoorId) -> Vec<DoorId> {
         self.decompose_fallbacks
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let mut engine = self.engine.lock().expect("engine poisoned");
+        let mut engine = self.engines.checkout();
         engine.run(
             self.venue.d2d(),
             &[(a.0, 0.0)],

@@ -185,9 +185,15 @@ pub struct IpTree {
     /// Dijkstra fallbacks taken during path decomposition (expected 0; see
     /// DESIGN.md on Algorithm 4 robustness).
     pub(crate) decompose_fallbacks: std::sync::atomic::AtomicU64,
-    /// Reusable engine for same-leaf queries and decomposition fallbacks
-    /// (the paper also answers same-leaf queries with a D2D expansion).
-    pub(crate) engine: std::sync::Mutex<indoor_graph::DijkstraEngine>,
+    /// Engine pool for same-leaf queries and decomposition fallbacks (the
+    /// paper also answers same-leaf queries with a D2D expansion). A pool
+    /// rather than one mutexed engine, so concurrent queries never
+    /// serialise on shared Dijkstra state.
+    pub(crate) engines: indoor_graph::EnginePool,
+    /// Scratch pool backing the single-query convenience APIs, so `knn`
+    /// et al. reuse transient state across calls without the caller
+    /// managing a [`crate::QueryScratch`].
+    pub(crate) scratch: crate::exec::ScratchPool,
     /// Embedded object set for kNN/range queries (§3.4), if attached.
     pub(crate) objects: Option<crate::objects::ObjectIndex>,
 }
@@ -291,6 +297,13 @@ impl IpTree {
             debug_assert_ne!(parent, NO_NODE, "descendant not under ancestor");
             cur = parent;
         }
+    }
+
+    /// Pre-populate the embedded Dijkstra engine pool for `n` concurrent
+    /// queriers, so a serving fleet's first wave of same-leaf queries
+    /// does not pay the `O(doors)` engine allocation in-band.
+    pub fn warm_engines(&self, n: usize) {
+        self.engines.warm(n);
     }
 
     /// Number of Dijkstra fallbacks taken by path decomposition so far.

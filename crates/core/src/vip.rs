@@ -7,7 +7,7 @@
 //! two table lookups instead of an ascent, giving O(ρ²) shortest-distance
 //! and O(ρ² + w) expected shortest-path cost (Table 1).
 
-use crate::ascent::{Ascent, AscentStep, Provenance};
+use crate::ascent::{Ascent, Provenance};
 use crate::objects::ObjectIndex;
 use crate::path::PartialEdge;
 use crate::tree::{BuildError, IpTree, NodeIdx, VipTreeConfig, NO_NODE};
@@ -186,6 +186,27 @@ impl VipTree {
         t: &IndoorPoint,
         stats: &mut QueryStats,
     ) -> Option<f64> {
+        let mut scratch = self.ip.scratch.checkout();
+        self.shortest_distance_stats(s, t, &mut scratch, stats)
+    }
+
+    /// As [`VipTree::shortest_distance_points`] with caller-owned scratch.
+    pub fn shortest_distance_in(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        scratch: &mut crate::QueryScratch,
+    ) -> Option<f64> {
+        self.shortest_distance_stats(s, t, scratch, &mut QueryStats::default())
+    }
+
+    pub(crate) fn shortest_distance_stats(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        scratch: &mut crate::QueryScratch,
+        stats: &mut QueryStats,
+    ) -> Option<f64> {
         stats.queries += 1;
         let ip = &self.ip;
         let leaf_s = ip.leaf_of(s.partition);
@@ -195,12 +216,24 @@ impl VipTree {
         }
         stats.door_pairs +=
             (ip.superior_doors(s.partition).len() * ip.superior_doors(t.partition).len()) as u64;
-        self.cross_leaf(s, t, leaf_s, leaf_t).map(|r| r.dist)
+        self.cross_leaf(s, t, leaf_s, leaf_t, scratch)
+            .map(|r| r.dist)
     }
 
     /// §3.3: shortest path; the ascent chains come from the tables'
     /// argmins, everything else matches the IP-tree path algorithm.
     pub fn shortest_path_points(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
+        let mut scratch = self.ip.scratch.checkout();
+        self.shortest_path_in(s, t, &mut scratch)
+    }
+
+    /// As [`VipTree::shortest_path_points`] with caller-owned scratch.
+    pub fn shortest_path_in(
+        &self,
+        s: &IndoorPoint,
+        t: &IndoorPoint,
+        scratch: &mut crate::QueryScratch,
+    ) -> Option<IndoorPath> {
         let ip = &self.ip;
         let leaf_s = ip.leaf_of(s.partition);
         let leaf_t = ip.leaf_of(t.partition);
@@ -213,7 +246,7 @@ impl VipTree {
                 length,
             });
         }
-        let r = self.cross_leaf(s, t, leaf_s, leaf_t)?;
+        let r = self.cross_leaf(s, t, leaf_s, leaf_t, scratch)?;
 
         // Source chain: s → via_s → ... → di; target chain reversed.
         let mut seq: Vec<DoorId> = vec![r.via_s];
@@ -297,6 +330,7 @@ impl VipTree {
         t: &IndoorPoint,
         leaf_s: NodeIdx,
         leaf_t: NodeIdx,
+        scratch: &mut crate::QueryScratch,
     ) -> Option<CrossLeaf> {
         let ip = &self.ip;
         let venue = &*ip.venue;
@@ -308,11 +342,18 @@ impl VipTree {
         let adt = &ip.node(nt).access_doors;
 
         // dist(s, di) for di ∈ AD(Ns) via the superior doors' tables; keep
-        // the argmin superior door for path recovery.
-        let side = |p: &IndoorPoint, n: NodeIdx, ads: &[DoorId]| {
+        // the argmin superior door for path recovery. The side buffers
+        // come from the scratch, cleared and refilled per query.
+        let side = |p: &IndoorPoint,
+                    n: NodeIdx,
+                    ads: &[DoorId],
+                    dists: &mut Vec<f64>,
+                    vias: &mut Vec<DoorId>| {
             let sup = ip.superior_doors(p.partition);
-            let mut dists = vec![f64::INFINITY; ads.len()];
-            let mut vias = vec![DoorId(0); ads.len()];
+            dists.clear();
+            dists.resize(ads.len(), f64::INFINITY);
+            vias.clear();
+            vias.resize(ads.len(), DoorId(0));
             for (i, _) in ads.iter().enumerate() {
                 for &u in sup {
                     let cand = p.distance_to_door(venue, u) + self.table_dist(u, n, i);
@@ -322,10 +363,16 @@ impl VipTree {
                     }
                 }
             }
-            (dists, vias)
         };
-        let (ds, vs) = side(s, ns, ads);
-        let (dt, vt) = side(t, nt, adt);
+        let crate::QueryScratch {
+            sd_s: ds,
+            sd_t: dt,
+            via_s: vs,
+            via_t: vt,
+            ..
+        } = scratch;
+        side(s, ns, ads, ds, vs);
+        side(t, nt, adt, dt, vt);
 
         let mut best = f64::INFINITY;
         let mut bi = usize::MAX;
@@ -364,17 +411,21 @@ impl VipTree {
 
     /// Emulates Algorithm 2 using the tables, for the shared kNN engine:
     /// distances from `p` to the access doors of every ancestor of its
-    /// leaf.
-    pub(crate) fn ascend_via_tables(&self, p: &IndoorPoint, target: NodeIdx) -> Ascent {
+    /// leaf, written into a reusable [`Ascent`] buffer.
+    pub(crate) fn ascend_via_tables_into(
+        &self,
+        p: &IndoorPoint,
+        target: NodeIdx,
+        asc: &mut Ascent,
+    ) {
         let ip = &self.ip;
         let venue = &*ip.venue;
         let sup = ip.superior_doors(p.partition);
-        let mut steps = Vec::new();
+        asc.clear();
         let mut cur = ip.leaf_of(p.partition);
         loop {
             let node = ip.node(cur);
-            let mut dists = Vec::with_capacity(node.access_doors.len());
-            let mut prov = Vec::with_capacity(node.access_doors.len());
+            let step = asc.push_step(cur);
             for (i, _) in node.access_doors.iter().enumerate() {
                 let mut best = f64::INFINITY;
                 let mut via = DoorId(0);
@@ -385,21 +436,15 @@ impl VipTree {
                         via = u;
                     }
                 }
-                dists.push(best);
-                prov.push(Provenance::Source { via });
+                step.dists.push(best);
+                step.prov.push(Provenance::Source { via });
             }
-            steps.push(AscentStep {
-                node: cur,
-                dists,
-                prov,
-            });
             if cur == target {
                 break;
             }
             cur = node.parent;
             debug_assert_ne!(cur, NO_NODE);
         }
-        Ascent { steps }
     }
 
     /// Attach an object set (shared kNN/range machinery of §3.4).
@@ -411,15 +456,37 @@ impl VipTree {
     /// Algorithm 5 with the table-backed ascent (the paper reports IP- and
     /// VIP-tree kNN performing equally; both share the branch-and-bound).
     pub fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
-        let asc = self.ascend_via_tables(q, self.ip.root());
-        self.ip
-            .knn_with_ascent(q, k, &asc, &mut QueryStats::default())
+        let mut scratch = self.ip.scratch.checkout();
+        self.knn_in(q, k, &mut scratch)
     }
 
     pub fn range(&self, q: &IndoorPoint, radius: f64) -> Vec<(ObjectId, f64)> {
-        let asc = self.ascend_via_tables(q, self.ip.root());
+        let mut scratch = self.ip.scratch.checkout();
+        self.range_in(q, radius, &mut scratch)
+    }
+
+    /// As [`VipTree::knn`] with caller-owned scratch state.
+    pub fn knn_in(
+        &self,
+        q: &IndoorPoint,
+        k: usize,
+        scratch: &mut crate::QueryScratch,
+    ) -> Vec<(ObjectId, f64)> {
+        self.ascend_via_tables_into(q, self.ip.root(), &mut scratch.asc_s);
         self.ip
-            .range_with_ascent(q, radius, &asc, &mut QueryStats::default())
+            .knn_from_ascent(q, k, scratch, &mut QueryStats::default())
+    }
+
+    /// As [`VipTree::range`] with caller-owned scratch state.
+    pub fn range_in(
+        &self,
+        q: &IndoorPoint,
+        radius: f64,
+        scratch: &mut crate::QueryScratch,
+    ) -> Vec<(ObjectId, f64)> {
+        self.ascend_via_tables_into(q, self.ip.root(), &mut scratch.asc_s);
+        self.ip
+            .range_from_ascent(q, radius, scratch, &mut QueryStats::default())
     }
 
     /// Total index size: IP-tree plus the door tables (Fig. 8(b)).

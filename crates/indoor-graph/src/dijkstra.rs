@@ -394,14 +394,14 @@ impl EnginePool {
         }
     }
 
-    /// Take one engine out of the pool permanently (for long-lived owners
-    /// such as the built tree's query engine).
-    pub fn into_engine(self) -> DijkstraEngine {
-        self.free
-            .into_inner()
-            .expect("engine pool poisoned")
-            .pop()
-            .unwrap_or_else(|| DijkstraEngine::new(self.num_vertices))
+    /// Pre-populate the pool with engines up to `n` free entries, so the
+    /// first wave of concurrent checkouts does not pay the `O(V)`
+    /// allocation inside a timed or latency-sensitive region.
+    pub fn warm(&self, n: usize) {
+        let mut free = self.free.lock().expect("engine pool poisoned");
+        while free.len() < n {
+            free.push(DijkstraEngine::new(self.num_vertices));
+        }
     }
 }
 
@@ -525,8 +525,11 @@ mod tests {
         e.run(&g, &[(3, 0.0)], Termination::SettleAll(&[3]));
         assert_eq!(e.settled_distance(0), None);
         drop(e);
-        let owned = pool.into_engine();
-        assert_eq!(owned.num_vertices(), 4);
+        // Warming tops the free list up without discarding returned engines.
+        pool.warm(3);
+        assert_eq!(pool.free.lock().unwrap().len(), 3);
+        pool.warm(1);
+        assert_eq!(pool.free.lock().unwrap().len(), 3, "warm never shrinks");
     }
 
     #[test]

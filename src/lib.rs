@@ -44,5 +44,5 @@ pub mod prelude {
         Door, DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectQueries, Partition,
         PartitionClass, PartitionId, PartitionKind, Venue, VenueBuilder,
     };
-    pub use vip_tree::{IpTree, VipTree, VipTreeConfig};
+    pub use vip_tree::{IpTree, QueryEngine, QueryScratch, VipTree, VipTreeConfig};
 }

@@ -1,0 +1,135 @@
+//! Scratch-reuse soundness: a single `QueryScratch` driven through an
+//! interleaving of every query kind must answer exactly like a fresh
+//! scratch per call. This is the test that catches stale-epoch marks,
+//! un-cleared heaps, and arena residue — the failure modes of reusing
+//! per-query state.
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{random_venue, workload};
+use indoor_spatial::vip::{KeywordObjects, QueryScratch};
+use std::sync::Arc;
+
+fn label_for(i: usize) -> Vec<String> {
+    match i % 3 {
+        0 => vec!["washroom".into()],
+        1 => vec!["atm".into(), "washroom".into()],
+        _ => vec!["atm".into()],
+    }
+}
+
+fn assert_same(
+    got: &[(indoor_spatial::model::ObjectId, f64)],
+    want: &[(indoor_spatial::model::ObjectId, f64)],
+    what: &str,
+) {
+    assert_eq!(got.len(), want.len(), "{what}: result count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.0, w.0, "{what}: object id");
+        assert_eq!(g.1.to_bits(), w.1.to_bits(), "{what}: distance bits");
+    }
+}
+
+#[test]
+fn one_scratch_interleaved_matches_fresh_scratch() {
+    for seed in [21u64, 555, 8080] {
+        let venue = Arc::new(random_venue(seed));
+        let objects = workload::place_objects(&venue, 24, seed ^ 0x77);
+        let labelled: Vec<(IndoorPoint, Vec<String>)> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, label_for(i)))
+            .collect();
+
+        let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        vip.attach_objects(&objects);
+        let mut ip = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        ip.attach_objects(&objects);
+        let kw = KeywordObjects::build(&ip, &labelled);
+
+        let points = workload::query_points(&venue, 12, seed ^ 0x88);
+        let pairs = workload::query_pairs(&venue, 12, seed ^ 0x99);
+
+        // ONE scratch for the whole interleaved workload.
+        let mut reused = QueryScratch::new();
+
+        for (i, q) in points.iter().enumerate() {
+            let (s, t) = &pairs[i];
+
+            let got = vip.knn_in(q, 1 + i % 6, &mut reused);
+            let want = vip.knn_in(q, 1 + i % 6, &mut QueryScratch::new());
+            assert_same(&got, &want, &format!("seed {seed}: vip kNN {i}"));
+
+            let got = ip.range_in(q, 40.0 + 25.0 * i as f64, &mut reused);
+            let want = ip.range_in(q, 40.0 + 25.0 * i as f64, &mut QueryScratch::new());
+            assert_same(&got, &want, &format!("seed {seed}: ip range {i}"));
+
+            let label = ["washroom", "atm", "missing"][i % 3];
+            let got = kw.knn_keyword_in(&ip, q, 3, label, &mut reused);
+            let want = kw.knn_keyword_in(&ip, q, 3, label, &mut QueryScratch::new());
+            assert_same(&got, &want, &format!("seed {seed}: keyword {i} ({label})"));
+
+            let got = vip.shortest_distance_in(s, t, &mut reused);
+            let want = vip.shortest_distance_in(s, t, &mut QueryScratch::new());
+            assert_eq!(
+                got.map(f64::to_bits),
+                want.map(f64::to_bits),
+                "seed {seed}: vip distance {i}"
+            );
+
+            let got = ip.shortest_path_in(s, t, &mut reused);
+            let want = ip.shortest_path_in(s, t, &mut QueryScratch::new());
+            assert_eq!(
+                got.as_ref().map(|p| &p.doors),
+                want.as_ref().map(|p| &p.doors),
+                "seed {seed}: ip path doors {i}"
+            );
+            assert_eq!(
+                got.map(|p| p.length.to_bits()),
+                want.map(|p| p.length.to_bits()),
+                "seed {seed}: ip path length {i}"
+            );
+        }
+    }
+}
+
+/// The kNN answer must not depend on which query kind warmed the scratch
+/// beforehand (arena/heap/mark residue from a *different* traversal
+/// shape is the classic stale-state bug).
+#[test]
+fn scratch_warmed_by_other_queries_is_clean() {
+    let venue = Arc::new(random_venue(99));
+    let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    vip.attach_objects(&workload::place_objects(&venue, 18, 5));
+    let points = workload::query_points(&venue, 6, 0xEE);
+    let pairs = workload::query_pairs(&venue, 6, 0xEF);
+
+    let fresh: Vec<_> = points
+        .iter()
+        .map(|q| vip.knn_in(q, 5, &mut QueryScratch::new()))
+        .collect();
+
+    // Warm a scratch differently before each kNN repetition.
+    for warm in 0..3 {
+        let mut s = QueryScratch::new();
+        for (i, q) in points.iter().enumerate() {
+            match warm {
+                0 => {
+                    vip.range_in(q, 500.0, &mut s);
+                }
+                1 => {
+                    let (a, b) = &pairs[i];
+                    vip.shortest_path_in(a, b, &mut s);
+                }
+                _ => {
+                    vip.knn_in(q, 1, &mut s);
+                }
+            }
+            let got = vip.knn_in(q, 5, &mut s);
+            assert_eq!(got.len(), fresh[i].len(), "warm {warm}: kNN {i} count");
+            for (g, w) in got.iter().zip(&fresh[i]) {
+                assert_eq!(g.0, w.0, "warm {warm}: kNN {i} object");
+                assert_eq!(g.1.to_bits(), w.1.to_bits(), "warm {warm}: kNN {i} dist");
+            }
+        }
+    }
+}
