@@ -7,14 +7,22 @@
 //!     --baseline BENCH_query.json --fresh /tmp/BENCH_query.json [--threshold 2.5]
 //! ```
 //!
-//! For every (dataset, query, threads) cell present in the baseline, the
-//! fresh median latency may be at most `threshold ×` the committed one.
-//! Exceeding it **fails (exit 1)** — but only when the two files agree on
-//! `host_cores`; CI runners with different core counts (or a laptop
-//! checking a CI-generated baseline) produce incomparable thread-scaling
-//! numbers, so a mismatch downgrades every violation to a warning. A cell
-//! that disappeared from the fresh run fails unconditionally: that is
-//! schema drift, not noise.
+//! For every (dataset, query, threads, venues) cell present in the
+//! baseline, the fresh median latency may be at most `threshold ×` the
+//! committed one. Exceeding it **fails (exit 1)** — but only when the two
+//! files agree on `host_cores`; CI runners with different core counts (or
+//! a laptop checking a CI-generated baseline) produce incomparable
+//! thread-scaling numbers, so a mismatch downgrades every violation to a
+//! warning. A cell that disappeared from the fresh run fails
+//! unconditionally: that is schema drift, not noise.
+//!
+//! The inverse direction is graded softer: a fresh cell **absent from the
+//! baseline** (a newly added workload, e.g. the `mixed` cells or the
+//! `SVC` venue-count axis on their first run) only warns — it cannot be
+//! gated before a baseline containing it is committed. Once the refreshed
+//! baseline lands, the cell joins the hard-fail set like any other
+//! (`venues` defaults to 1 for rows predating the axis, so old baselines
+//! stay readable).
 
 use indoor_model::json::{self, Json};
 
@@ -22,7 +30,24 @@ struct Cell {
     dataset: String,
     query: String,
     threads: usize,
+    venues: usize,
     us_per_query: f64,
+}
+
+impl Cell {
+    fn same_key(&self, other: &Cell) -> bool {
+        self.dataset == other.dataset
+            && self.query == other.query
+            && self.threads == other.threads
+            && self.venues == other.venues
+    }
+
+    fn key(&self) -> String {
+        format!(
+            "({}, {}, threads={}, venues={})",
+            self.dataset, self.query, self.threads, self.venues
+        )
+    }
 }
 
 struct Bench {
@@ -57,6 +82,7 @@ fn load(path: &str) -> Bench {
                 .get("threads")
                 .and_then(Json::as_usize)
                 .expect("row threads"),
+            venues: row.get("venues").and_then(Json::as_usize).unwrap_or(1),
             us_per_query: row
                 .get("us_per_query")
                 .and_then(Json::as_f64)
@@ -104,17 +130,12 @@ fn main() {
     let mut failures = 0usize;
     let mut warnings = 0usize;
     println!(
-        "{:<6} {:>14} {:>8} {:>12} {:>12} {:>7}",
-        "venue", "query", "threads", "base us", "fresh us", "ratio"
+        "{:<6} {:>14} {:>8} {:>7} {:>12} {:>12} {:>7}",
+        "venue", "query", "threads", "venues", "base us", "fresh us", "ratio"
     );
     for base in &baseline.cells {
-        let Some(now) = fresh.cells.iter().find(|c| {
-            c.dataset == base.dataset && c.query == base.query && c.threads == base.threads
-        }) else {
-            println!(
-                "FAIL: cell ({}, {}, threads={}) missing from {fresh_path}",
-                base.dataset, base.query, base.threads
-            );
+        let Some(now) = fresh.cells.iter().find(|c| c.same_key(base)) else {
+            println!("FAIL: cell {} missing from {fresh_path}", base.key());
             failures += 1;
             continue;
         };
@@ -129,15 +150,28 @@ fn main() {
             "warn"
         };
         println!(
-            "{:<6} {:>14} {:>8} {:>12.2} {:>12.2} {:>6.2}x {}",
+            "{:<6} {:>14} {:>8} {:>7} {:>12.2} {:>12.2} {:>6.2}x {}",
             base.dataset,
             base.query,
             base.threads,
+            base.venues,
             base.us_per_query,
             now.us_per_query,
             ratio,
             verdict
         );
+    }
+
+    // New workload cells are warn-only until a baseline containing them
+    // is committed; from then on the loop above hard-fails if they vanish.
+    for now in &fresh.cells {
+        if !baseline.cells.iter().any(|c| c.same_key(now)) {
+            println!(
+                "WARN: new cell {} not in {baseline_path} — ungated until the refreshed baseline is committed",
+                now.key()
+            );
+            warnings += 1;
+        }
     }
 
     println!(

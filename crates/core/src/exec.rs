@@ -25,7 +25,7 @@ use crate::tree::{IpTree, NodeIdx};
 use crate::vip::VipTree;
 use geometry::TotalF64;
 use indoor_graph::parallel::par_map_init;
-use indoor_model::{DoorId, IndoorPath, IndoorPoint, ObjectId};
+use indoor_model::{DoorId, IndoorPath, IndoorPoint, ObjectId, QueryRequest, QueryResponse};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::{Arc, Mutex};
@@ -194,10 +194,14 @@ impl TreeHandle {
 
 /// Concurrent batched query facade over a shared index.
 ///
-/// Owns a [`ScratchPool`] and a thread count; every `batch_*` method fans
-/// its query slice over `threads` workers (0 = all cores), each holding
-/// one scratch for the whole batch, and returns results in input order —
-/// slot `i` is exactly what the corresponding single-query call returns.
+/// Owns a [`ScratchPool`] and a thread count. The primitive surface is
+/// typed: [`QueryEngine::execute`] answers one
+/// [`QueryRequest`], and [`QueryEngine::execute_batch`] fans a
+/// *heterogeneous* request slice over `threads` workers (0 = all cores),
+/// each holding one scratch for the whole batch, returning responses in
+/// input order — slot `i` is exactly what the corresponding single-query
+/// call returns, bit for bit. The per-kind `batch_*` methods are thin
+/// wrappers that build the requests and unwrap the matching responses.
 ///
 /// ```
 /// use indoor_synth::{random_venue, workload};
@@ -254,7 +258,8 @@ impl QueryEngine {
         self
     }
 
-    /// Attach a keyword index for [`QueryEngine::batch_knn_keyword`].
+    /// Attach a keyword index for keyword-kNN requests
+    /// ([`QueryEngine::batch_knn_keyword`], `KnnKeyword` requests).
     pub fn with_keywords(mut self, keywords: Arc<KeywordObjects>) -> Self {
         self.keywords = Some(keywords);
         self
@@ -264,6 +269,19 @@ impl QueryEngine {
     #[inline]
     pub fn tree(&self) -> &TreeHandle {
         &self.tree
+    }
+
+    /// The attached keyword index, if any.
+    #[inline]
+    pub fn keywords(&self) -> Option<&Arc<KeywordObjects>> {
+        self.keywords.as_ref()
+    }
+
+    /// Deconstruct into the backend handle, releasing this engine's clone
+    /// of the tree `Arc` (used by the service layer to regain `&mut` access
+    /// to the tree for `attach_objects`).
+    pub fn into_tree(self) -> TreeHandle {
+        self.tree
     }
 
     /// The effective worker count a batch call will use.
@@ -319,6 +337,63 @@ impl QueryEngine {
         }
     }
 
+    fn keyword_one(
+        &self,
+        scratch: &mut QueryScratch,
+        q: &IndoorPoint,
+        k: usize,
+        label: &str,
+    ) -> Vec<(ObjectId, f64)> {
+        match &self.keywords {
+            Some(kw) => kw.knn_keyword_in(self.tree.ip(), q, k, label, scratch),
+            // Mirror `KeywordObjects::knn_keyword` on an unknown term: no
+            // keyword index means no object carries the keyword.
+            None => Vec::new(),
+        }
+    }
+
+    /// Answer one typed request on caller-owned scratch — the single
+    /// dispatch point every batch and per-kind call funnels through.
+    fn execute_in(&self, scratch: &mut QueryScratch, req: &QueryRequest) -> QueryResponse {
+        match req {
+            QueryRequest::Knn { q, k } => QueryResponse::Knn(self.knn_one(scratch, q, *k)),
+            QueryRequest::Range { q, radius } => {
+                QueryResponse::Range(self.range_one(scratch, q, *radius))
+            }
+            QueryRequest::KnnKeyword { q, k, keyword } => {
+                QueryResponse::KnnKeyword(self.keyword_one(scratch, q, *k, keyword))
+            }
+            QueryRequest::ShortestDistance { s, t } => {
+                QueryResponse::ShortestDistance(self.distance_one(scratch, s, t))
+            }
+            QueryRequest::ShortestPath { s, t } => {
+                QueryResponse::ShortestPath(self.path_one(scratch, s, t))
+            }
+        }
+    }
+
+    /// Answer one typed request through the pool.
+    pub fn execute(&self, req: &QueryRequest) -> QueryResponse {
+        self.execute_in(&mut self.pool.checkout(), req)
+    }
+
+    /// Answer a heterogeneous batch of typed requests; slot `i` answers
+    /// `reqs[i]`, bit-identical to the corresponding per-kind call (and to
+    /// a serial loop of [`QueryEngine::execute`]), for any thread count.
+    ///
+    /// This is the primitive the per-kind `batch_*` methods wrap: a mixed
+    /// workload — kNN directory lookups interleaved with evacuation-route
+    /// path queries — is one batch, fanned over `threads` workers with one
+    /// pooled scratch per worker.
+    pub fn execute_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        par_map_init(
+            reqs,
+            self.threads,
+            || self.pool.checkout(),
+            |scratch, _, req| self.execute_in(scratch, req),
+        )
+    }
+
     /// Single kNN through the pool.
     pub fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
         self.knn_one(&mut self.pool.checkout(), q, k)
@@ -340,24 +415,29 @@ impl QueryEngine {
     }
 
     /// k nearest neighbours of every query point; slot `i` answers
-    /// `queries[i]`, identical to the serial loop.
+    /// `queries[i]`, identical to the serial loop. Thin wrapper over
+    /// [`QueryEngine::execute_batch`], as are all `batch_*` methods.
     pub fn batch_knn(&self, queries: &[IndoorPoint], k: usize) -> Vec<Vec<(ObjectId, f64)>> {
-        par_map_init(
-            queries,
-            self.threads,
-            || self.pool.checkout(),
-            |scratch, _, q| self.knn_one(scratch, q, k),
-        )
+        let reqs: Vec<QueryRequest> = queries
+            .iter()
+            .map(|&q| QueryRequest::Knn { q, k })
+            .collect();
+        self.execute_batch(&reqs)
+            .into_iter()
+            .map(|r| r.into_objects().expect("kNN request yields objects"))
+            .collect()
     }
 
     /// Range query for every query point, in input order.
     pub fn batch_range(&self, queries: &[IndoorPoint], radius: f64) -> Vec<Vec<(ObjectId, f64)>> {
-        par_map_init(
-            queries,
-            self.threads,
-            || self.pool.checkout(),
-            |scratch, _, q| self.range_one(scratch, q, radius),
-        )
+        let reqs: Vec<QueryRequest> = queries
+            .iter()
+            .map(|&q| QueryRequest::Range { q, radius })
+            .collect();
+        self.execute_batch(&reqs)
+            .into_iter()
+            .map(|r| r.into_objects().expect("range request yields objects"))
+            .collect()
     }
 
     /// Keyword-constrained kNN for every query point, in input order.
@@ -369,15 +449,23 @@ impl QueryEngine {
         k: usize,
         label: &str,
     ) -> Vec<Vec<(ObjectId, f64)>> {
-        let Some(kw) = &self.keywords else {
+        if self.keywords.is_none() {
             return vec![Vec::new(); queries.len()];
-        };
-        par_map_init(
-            queries,
-            self.threads,
-            || self.pool.checkout(),
-            |scratch, _, q| kw.knn_keyword_in(self.tree.ip(), q, k, label, scratch),
-        )
+        }
+        // One shared allocation for the label; request clones are free.
+        let keyword: Arc<str> = Arc::from(label);
+        let reqs: Vec<QueryRequest> = queries
+            .iter()
+            .map(|&q| QueryRequest::KnnKeyword {
+                q,
+                k,
+                keyword: keyword.clone(),
+            })
+            .collect();
+        self.execute_batch(&reqs)
+            .into_iter()
+            .map(|r| r.into_objects().expect("keyword request yields objects"))
+            .collect()
     }
 
     /// Shortest distance for every pair, in input order.
@@ -385,12 +473,17 @@ impl QueryEngine {
         &self,
         pairs: &[(IndoorPoint, IndoorPoint)],
     ) -> Vec<Option<f64>> {
-        par_map_init(
-            pairs,
-            self.threads,
-            || self.pool.checkout(),
-            |scratch, _, (s, t)| self.distance_one(scratch, s, t),
-        )
+        let reqs: Vec<QueryRequest> = pairs
+            .iter()
+            .map(|&(s, t)| QueryRequest::ShortestDistance { s, t })
+            .collect();
+        self.execute_batch(&reqs)
+            .into_iter()
+            .map(|r| {
+                r.distance()
+                    .expect("shortest-distance request yields a distance")
+            })
+            .collect()
     }
 
     /// Shortest path for every pair, in input order.
@@ -398,12 +491,14 @@ impl QueryEngine {
         &self,
         pairs: &[(IndoorPoint, IndoorPoint)],
     ) -> Vec<Option<IndoorPath>> {
-        par_map_init(
-            pairs,
-            self.threads,
-            || self.pool.checkout(),
-            |scratch, _, (s, t)| self.path_one(scratch, s, t),
-        )
+        let reqs: Vec<QueryRequest> = pairs
+            .iter()
+            .map(|&(s, t)| QueryRequest::ShortestPath { s, t })
+            .collect();
+        self.execute_batch(&reqs)
+            .into_iter()
+            .map(|r| r.into_path().expect("shortest-path request yields a path"))
+            .collect()
     }
 }
 

@@ -52,6 +52,7 @@ mod matrices;
 mod merge;
 mod objects;
 mod path;
+mod service;
 mod stats;
 mod tree;
 mod vip;
@@ -59,9 +60,15 @@ mod vip;
 pub use exec::{PooledScratch, QueryEngine, QueryScratch, ScratchPool, TreeHandle};
 pub use keywords::{KeywordObjects, TermId};
 pub use objects::ObjectIndex;
+pub use service::{IndoorService, KindStats, ServiceError, ServiceStats, ShardConfig};
 pub use stats::TreeStats;
-pub use tree::{IpTree, NodeIdx, VipTreeConfig, NO_NODE};
+pub use tree::{BuildError, IpTree, NodeIdx, VipTreeConfig, NO_NODE};
 pub use vip::VipTree;
+
+// The typed request vocabulary lives in `indoor-model` (so every index
+// crate answers it); re-exported here because the engine and service
+// surfaces speak it.
+pub use indoor_model::{AnswerRequest, QueryKind, QueryRequest, QueryResponse, VenueId};
 
 use indoor_model::{IndoorIndex, IndoorPath, IndoorPoint, ObjectId, ObjectQueries};
 

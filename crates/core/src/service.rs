@@ -1,0 +1,594 @@
+//! Multi-venue serving front-end: a router of typed query requests over
+//! per-venue [`QueryEngine`] shards, fronted by an epoch-keyed result
+//! cache and per-query-kind counters.
+//!
+//! A deployment rarely serves one building: a campus directory answers
+//! kNN lookups for one venue while routing evacuation paths in another.
+//! [`IndoorService`] owns one shard per venue — each with its own
+//! `Arc<VipTree>`, [`ScratchPool`](crate::ScratchPool) and Dijkstra
+//! engine pool, so venues never contend — and routes every
+//! `(VenueId, QueryRequest)` to its shard.
+//!
+//! # Caching and invalidation
+//!
+//! Batch answers are deterministic (bit-identical to the serial loop), so
+//! responses are cached under the logical key `(shard epoch, request)`
+//! (stored as epoch-stamped entries so probes borrow the request instead
+//! of cloning it). The epoch bumps on every
+//! [`IndoorService::attach_objects`], which makes a stale hit
+//! *impossible by construction*: an entry only counts as a hit when its
+//! stamp equals the current epoch, and no entry written before the bump
+//! carries the new one. The bump also clears the map to bound memory —
+//! but correctness never depends on the clear (see DESIGN.md, "Typed
+//! requests, the service layer, and the epoch-keyed cache").
+//!
+//! # Concurrency
+//!
+//! The offline container bans tokio; batches fan out with hand-rolled
+//! primitives instead — one scoped worker thread per shard with work,
+//! results flowing back over an [`std::sync::mpsc`] channel tagged with
+//! their input slot, so output order is the input order regardless of
+//! shard scheduling.
+
+use crate::exec::{QueryEngine, TreeHandle};
+use crate::keywords::KeywordObjects;
+use crate::tree::{BuildError, VipTreeConfig};
+use crate::vip::VipTree;
+use indoor_model::{IndoorPoint, QueryKind, QueryRequest, QueryResponse, Venue, VenueId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cached answers are epoch-keyed: logically the cache maps
+/// `(shard epoch, request) → response`, stored as request → epoch-stamped
+/// response so probes can borrow the request (`map.get(req)`) instead of
+/// cloning it into a composite key. A stored entry only counts as a hit
+/// when its stamp equals the shard's current epoch — the epoch component
+/// is what makes invalidation structural rather than housekeeping.
+type Cache = HashMap<QueryRequest, (u64, QueryResponse)>;
+
+/// Per-venue construction parameters for [`IndoorService::add_venue`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardConfig {
+    /// Tree construction parameters.
+    pub tree: VipTreeConfig,
+    /// Worker threads for this shard's batch execution (0 = all cores).
+    pub threads: usize,
+    /// Objects to attach for kNN/range queries.
+    pub objects: Vec<IndoorPoint>,
+    /// Labelled objects for keyword-kNN. When non-empty, the shard builds
+    /// a [`KeywordObjects`] index and threads it through its engine
+    /// automatically — including across `attach_objects` rebuilds, so
+    /// keyword requests keep working without callers re-attaching it.
+    pub keywords: Vec<(IndoorPoint, Vec<String>)>,
+}
+
+/// Errors from routing requests to venue shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request named a venue id no shard is registered under.
+    UnknownVenue(VenueId),
+    /// `attach_objects` needs exclusive ownership of the venue's tree,
+    /// but a caller still holds a handle cloned out of
+    /// [`IndoorService::engine`] / [`QueryEngine::tree`]. The shard is
+    /// untouched and keeps serving; retry once the handle is dropped.
+    SharedIndex(VenueId),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownVenue(v) => write!(f, "no venue registered under id {v}"),
+            ServiceError::SharedIndex(v) => write!(
+                f,
+                "cannot attach objects to venue {v}: its tree handle is still shared"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One venue's serving state. `engine` is `Some` outside of
+/// `attach_objects`, which briefly takes it to regain `&mut` access to
+/// the tree (the engine holds the only `Arc` clone).
+#[derive(Debug)]
+struct Shard {
+    engine: Option<QueryEngine>,
+    keywords: Option<Arc<KeywordObjects>>,
+    threads: usize,
+    epoch: u64,
+    cache: Mutex<Cache>,
+}
+
+impl Shard {
+    #[inline]
+    fn engine(&self) -> &QueryEngine {
+        self.engine.as_ref().expect("shard engine present")
+    }
+
+    /// Build this shard's engine around a tree, re-threading the keyword
+    /// index automatically.
+    fn make_engine(&self, tree: Arc<VipTree>) -> QueryEngine {
+        let mut engine = QueryEngine::for_vip(tree).with_threads(self.threads);
+        if let Some(kw) = &self.keywords {
+            engine = engine.with_keywords(kw.clone());
+        }
+        engine
+    }
+}
+
+/// Lock-free per-kind counters; snapshot via [`IndoorService::stats`].
+#[derive(Debug, Default)]
+struct KindCounters {
+    queries: AtomicU64,
+    hits: AtomicU64,
+    latency_ns: AtomicU64,
+}
+
+/// Snapshot of one query kind's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindStats {
+    pub kind: QueryKind,
+    /// Requests answered (hits + misses).
+    pub queries: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Total serving latency. Batch misses apportion the batch's wall
+    /// time equally over its requests.
+    pub latency_ns: u64,
+}
+
+impl KindStats {
+    /// Fraction of requests served from cache (0 when none seen).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean serving latency in nanoseconds (0 when none seen).
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.latency_ns as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Point-in-time snapshot of a service's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Registered venue shards.
+    pub venues: usize,
+    /// Live result-cache entries summed over shards.
+    pub cached_entries: usize,
+    /// Per-kind counters, indexed by [`QueryKind::index`].
+    pub kinds: [KindStats; QueryKind::COUNT],
+}
+
+impl ServiceStats {
+    /// The counters of one query kind.
+    pub fn kind(&self, kind: QueryKind) -> &KindStats {
+        &self.kinds[kind.index()]
+    }
+
+    /// Requests answered across all kinds.
+    pub fn total_queries(&self) -> u64 {
+        self.kinds.iter().map(|k| k.queries).sum()
+    }
+
+    /// Cache hits across all kinds.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.kinds.iter().map(|k| k.cache_hits).sum()
+    }
+
+    /// Overall cache hit rate (0 when no requests seen).
+    pub fn hit_rate(&self) -> f64 {
+        let q = self.total_queries();
+        if q == 0 {
+            0.0
+        } else {
+            self.total_cache_hits() as f64 / q as f64
+        }
+    }
+}
+
+/// Multi-venue query service: routes typed requests to per-venue engine
+/// shards through an epoch-keyed result cache.
+///
+/// ```
+/// use indoor_synth::{random_venue, workload};
+/// use std::sync::Arc;
+/// use vip_tree::{IndoorService, ShardConfig};
+/// use indoor_model::QueryRequest;
+///
+/// let venue = Arc::new(random_venue(5));
+/// let mut service = IndoorService::new();
+/// let id = service
+///     .add_venue(
+///         venue.clone(),
+///         ShardConfig {
+///             objects: workload::place_objects(&venue, 10, 1),
+///             ..ShardConfig::default()
+///         },
+///     )
+///     .unwrap();
+/// let q = workload::query_points(&venue, 1, 2)[0];
+/// let req = QueryRequest::Knn { q, k: 3 };
+/// let first = service.execute(id, &req).unwrap();
+/// let second = service.execute(id, &req).unwrap(); // served from cache
+/// assert_eq!(first, second);
+/// assert_eq!(service.stats().total_cache_hits(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct IndoorService {
+    shards: Vec<Shard>,
+    counters: [KindCounters; QueryKind::COUNT],
+}
+
+impl IndoorService {
+    /// An empty service; add venues with [`IndoorService::add_venue`].
+    pub fn new() -> IndoorService {
+        IndoorService::default()
+    }
+
+    /// Build a VIP-tree shard for `venue` and register it, returning the
+    /// id requests route by. Objects and keyword objects from the config
+    /// are attached before the shard serves its first query.
+    pub fn add_venue(
+        &mut self,
+        venue: Arc<Venue>,
+        config: ShardConfig,
+    ) -> Result<VenueId, BuildError> {
+        let mut tree = VipTree::build(venue, &config.tree)?;
+        if !config.objects.is_empty() {
+            tree.attach_objects(&config.objects);
+        }
+        let keywords = if config.keywords.is_empty() {
+            None
+        } else {
+            Some(Arc::new(KeywordObjects::build(
+                tree.ip_tree(),
+                &config.keywords,
+            )))
+        };
+        let mut engine = QueryEngine::for_vip(Arc::new(tree)).with_threads(config.threads);
+        if let Some(kw) = &keywords {
+            engine = engine.with_keywords(kw.clone());
+        }
+        let id = VenueId::from(self.shards.len());
+        self.shards.push(Shard {
+            engine: Some(engine),
+            keywords,
+            threads: config.threads,
+            epoch: 0,
+            cache: Mutex::default(),
+        });
+        Ok(id)
+    }
+
+    /// Number of registered venues.
+    pub fn venue_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The ids of all registered venues.
+    pub fn venues(&self) -> impl Iterator<Item = VenueId> + '_ {
+        (0..self.shards.len()).map(VenueId::from)
+    }
+
+    /// A venue's query engine (for direct, uncached access).
+    pub fn engine(&self, venue: VenueId) -> Result<&QueryEngine, ServiceError> {
+        self.shard(venue).map(Shard::engine)
+    }
+
+    /// A venue's current cache epoch (bumped by every
+    /// [`IndoorService::attach_objects`]).
+    pub fn epoch(&self, venue: VenueId) -> Result<u64, ServiceError> {
+        self.shard(venue).map(|s| s.epoch)
+    }
+
+    fn shard(&self, venue: VenueId) -> Result<&Shard, ServiceError> {
+        self.shards
+            .get(venue.index())
+            .ok_or(ServiceError::UnknownVenue(venue))
+    }
+
+    /// Replace a venue's object set (§3.4 object workload churn).
+    ///
+    /// Rebuilds the shard's object index, bumps the cache epoch (making
+    /// every previously cached answer unreachable), and re-threads the
+    /// shard's keyword index through the fresh engine automatically.
+    ///
+    /// Requires exclusive ownership of the venue's tree: if a caller
+    /// still holds a handle cloned out of [`IndoorService::engine`],
+    /// this returns [`ServiceError::SharedIndex`] and the shard keeps
+    /// serving its current objects unchanged.
+    pub fn attach_objects(
+        &mut self,
+        venue: VenueId,
+        objects: &[IndoorPoint],
+    ) -> Result<(), ServiceError> {
+        let shard = self
+            .shards
+            .get_mut(venue.index())
+            .ok_or(ServiceError::UnknownVenue(venue))?;
+        let engine = shard.engine.take().expect("shard engine present");
+        let TreeHandle::Vip(tree) = engine.into_tree() else {
+            unreachable!("service shards are VIP-backed");
+        };
+        let mut tree = match Arc::try_unwrap(tree) {
+            Ok(tree) => tree,
+            Err(shared) => {
+                // A caller-held clone blocks `&mut` access; restore the
+                // shard untouched and report, rather than panic.
+                shard.engine = Some(shard.make_engine(shared));
+                return Err(ServiceError::SharedIndex(venue));
+            }
+        };
+        tree.attach_objects(objects);
+        shard.epoch += 1;
+        shard.cache.get_mut().expect("cache poisoned").clear();
+        shard.engine = Some(shard.make_engine(Arc::new(tree)));
+        Ok(())
+    }
+
+    fn record(&self, kind: QueryKind, hit: bool, elapsed: Duration) {
+        let c = &self.counters[kind.index()];
+        c.queries.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            c.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        c.latency_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Answer one request for one venue, through the cache.
+    pub fn execute(
+        &self,
+        venue: VenueId,
+        req: &QueryRequest,
+    ) -> Result<QueryResponse, ServiceError> {
+        let shard = self.shard(venue)?;
+        let t0 = Instant::now();
+        // Borrowed probe: no request clone (and no allocation) on a hit.
+        let hit = shard
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .get(req)
+            .and_then(|(epoch, resp)| (*epoch == shard.epoch).then(|| resp.clone()));
+        if let Some(resp) = hit {
+            self.record(req.kind(), true, t0.elapsed());
+            return Ok(resp);
+        }
+        let resp = shard.engine().execute(req);
+        shard
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(req.clone(), (shard.epoch, resp.clone()));
+        self.record(req.kind(), false, t0.elapsed());
+        Ok(resp)
+    }
+
+    /// Answer a heterogeneous multi-venue batch; slot `i` answers
+    /// `reqs[i]`, identical to calling [`IndoorService::execute`] per
+    /// slot (unknown venues answer `Err` without disturbing the rest).
+    ///
+    /// One scoped worker per venue shard with work; each answers its
+    /// slots (cache first, then one engine batch over the misses) and
+    /// streams `(slot, response)` back over an mpsc channel.
+    pub fn execute_batch(
+        &self,
+        reqs: &[(VenueId, QueryRequest)],
+    ) -> Vec<Result<QueryResponse, ServiceError>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut out: Vec<Option<Result<QueryResponse, ServiceError>>> = vec![None; reqs.len()];
+        for (slot, (venue, _)) in reqs.iter().enumerate() {
+            match by_shard.get_mut(venue.index()) {
+                Some(slots) => slots.push(slot),
+                None => out[slot] = Some(Err(ServiceError::UnknownVenue(*venue))),
+            }
+        }
+
+        let (tx, rx) = mpsc::channel::<(usize, QueryResponse)>();
+        std::thread::scope(|scope| {
+            for (shard, slots) in self.shards.iter().zip(&by_shard) {
+                if slots.is_empty() {
+                    continue;
+                }
+                let tx = tx.clone();
+                scope.spawn(move || self.serve_shard_slots(shard, slots, reqs, &tx));
+            }
+            drop(tx);
+            for (slot, resp) in rx {
+                debug_assert!(out[slot].is_none(), "slot answered twice");
+                out[slot] = Some(Ok(resp));
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every slot answered"))
+            .collect()
+    }
+
+    /// Worker body of [`IndoorService::execute_batch`] for one shard.
+    fn serve_shard_slots(
+        &self,
+        shard: &Shard,
+        slots: &[usize],
+        reqs: &[(VenueId, QueryRequest)],
+        tx: &mpsc::Sender<(usize, QueryResponse)>,
+    ) {
+        // Probe under the lock, but clone/record/send outside it so an
+        // all-hit batch doesn't starve concurrent `execute` callers.
+        let t0 = Instant::now();
+        let mut hits: Vec<(usize, QueryResponse)> = Vec::new();
+        let mut miss_slots: Vec<usize> = Vec::new();
+        {
+            let cache = shard.cache.lock().expect("cache poisoned");
+            for &slot in slots {
+                match cache
+                    .get(&reqs[slot].1)
+                    .and_then(|(epoch, resp)| (*epoch == shard.epoch).then_some(resp))
+                {
+                    Some(resp) => hits.push((slot, resp.clone())),
+                    None => miss_slots.push(slot),
+                }
+            }
+        }
+        if !hits.is_empty() {
+            // Apportion the probe loop's wall time equally over the hits.
+            let per_hit = t0.elapsed() / hits.len() as u32;
+            for (slot, resp) in hits {
+                self.record(reqs[slot].1.kind(), true, per_hit);
+                let _ = tx.send((slot, resp));
+            }
+        }
+        if miss_slots.is_empty() {
+            return;
+        }
+
+        // Duplicate requests in one cold batch (the kiosk-repeat workload
+        // the cache exists for) compute once and fan out to every slot.
+        let mut unique: Vec<QueryRequest> = Vec::with_capacity(miss_slots.len());
+        let mut slots_of: HashMap<&QueryRequest, Vec<usize>> = HashMap::new();
+        for &slot in &miss_slots {
+            let req = &reqs[slot].1;
+            match slots_of.entry(req) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    unique.push(req.clone());
+                    e.insert(vec![slot]);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(slot),
+            }
+        }
+        let t0 = Instant::now();
+        let resps = shard.engine().execute_batch(&unique);
+        // Apportion the batch's wall time equally over its requests.
+        let per_query = t0.elapsed() / miss_slots.len() as u32;
+        let mut cache = shard.cache.lock().expect("cache poisoned");
+        for (req, resp) in unique.iter().zip(resps) {
+            for &slot in &slots_of[req] {
+                self.record(req.kind(), false, per_query);
+                let _ = tx.send((slot, resp.clone()));
+            }
+            cache.insert(req.clone(), (shard.epoch, resp));
+        }
+    }
+
+    /// Snapshot the per-kind counters and cache occupancy.
+    pub fn stats(&self) -> ServiceStats {
+        let kinds = QueryKind::ALL.map(|kind| {
+            let c = &self.counters[kind.index()];
+            KindStats {
+                kind,
+                queries: c.queries.load(Ordering::Relaxed),
+                cache_hits: c.hits.load(Ordering::Relaxed),
+                latency_ns: c.latency_ns.load(Ordering::Relaxed),
+            }
+        });
+        ServiceStats {
+            venues: self.shards.len(),
+            cached_entries: self
+                .shards
+                .iter()
+                .map(|s| s.cache.lock().expect("cache poisoned").len())
+                .sum(),
+            kinds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_synth::{random_venue, workload};
+
+    fn service_with_one_venue(seed: u64) -> (IndoorService, VenueId, Arc<Venue>) {
+        let venue = Arc::new(random_venue(seed));
+        let mut service = IndoorService::new();
+        let id = service
+            .add_venue(
+                venue.clone(),
+                ShardConfig {
+                    threads: 1,
+                    objects: workload::place_objects(&venue, 12, seed ^ 0x7),
+                    ..ShardConfig::default()
+                },
+            )
+            .unwrap();
+        (service, id, venue)
+    }
+
+    #[test]
+    fn unknown_venue_is_an_error() {
+        let (service, id, venue) = service_with_one_venue(21);
+        let q = workload::query_points(&venue, 1, 3)[0];
+        let req = QueryRequest::Knn { q, k: 2 };
+        assert!(service.execute(id, &req).is_ok());
+        let bogus = VenueId(99);
+        assert_eq!(
+            service.execute(bogus, &req),
+            Err(ServiceError::UnknownVenue(bogus))
+        );
+        let batch = service.execute_batch(&[(bogus, req.clone()), (id, req)]);
+        assert_eq!(batch[0], Err(ServiceError::UnknownVenue(bogus)));
+        assert!(batch[1].is_ok());
+    }
+
+    #[test]
+    fn cache_hits_are_counted_per_kind() {
+        let (service, id, venue) = service_with_one_venue(22);
+        let q = workload::query_points(&venue, 1, 5)[0];
+        let knn = QueryRequest::Knn { q, k: 3 };
+        let range = QueryRequest::Range { q, radius: 70.0 };
+        for _ in 0..3 {
+            service.execute(id, &knn).unwrap();
+        }
+        service.execute(id, &range).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.kind(QueryKind::Knn).queries, 3);
+        assert_eq!(stats.kind(QueryKind::Knn).cache_hits, 2);
+        assert_eq!(stats.kind(QueryKind::Range).queries, 1);
+        assert_eq!(stats.kind(QueryKind::Range).cache_hits, 0);
+        assert_eq!(stats.cached_entries, 2);
+        assert!((stats.kind(QueryKind::Knn).hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.venues, 1);
+    }
+
+    #[test]
+    fn batch_matches_per_slot_execute() {
+        let (service, id, venue) = service_with_one_venue(23);
+        let points = workload::query_points(&venue, 6, 9);
+        let pairs = workload::query_pairs(&venue, 3, 10);
+        let mut reqs: Vec<(VenueId, QueryRequest)> = Vec::new();
+        for q in &points {
+            reqs.push((id, QueryRequest::Knn { q: *q, k: 2 }));
+            reqs.push((
+                id,
+                QueryRequest::Range {
+                    q: *q,
+                    radius: 90.0,
+                },
+            ));
+        }
+        for (s, t) in &pairs {
+            reqs.push((id, QueryRequest::ShortestDistance { s: *s, t: *t }));
+            reqs.push((id, QueryRequest::ShortestPath { s: *s, t: *t }));
+        }
+        let got = service.execute_batch(&reqs);
+        for (slot, (venue, req)) in reqs.iter().enumerate() {
+            assert_eq!(
+                got[slot].as_ref().unwrap(),
+                &service.execute(*venue, req).unwrap(),
+                "slot {slot}"
+            );
+        }
+    }
+}

@@ -67,6 +67,20 @@ impl Point {
     pub fn at_level(&self, level: i32) -> Point {
         Point { level, ..*self }
     }
+
+    /// The point's coordinates as a bit-pattern key `(x_bits, y_bits,
+    /// level)`.
+    ///
+    /// Two points have equal keys iff their coordinates are bitwise
+    /// identical — stricter than `==` (`-0.0` and `0.0` get distinct
+    /// keys) and reflexive where `==` is not (a NaN coordinate equals
+    /// itself). This is the canonical identity used to hash and compare
+    /// query requests (e.g. as result-cache keys), where "same bits in,
+    /// same bits out" is the invariant that matters.
+    #[inline]
+    pub fn key_bits(&self) -> (u64, u64, i32) {
+        (self.x.to_bits(), self.y.to_bits(), self.level)
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,12 @@ id_type!(
     ObjectId,
     "o"
 );
+id_type!(
+    /// Identifier of a venue served by a multi-venue service front-end;
+    /// routes typed query requests to the venue's index shard.
+    VenueId,
+    "V"
+);
 
 #[cfg(test)]
 mod tests {

@@ -19,9 +19,12 @@
 //! otherwise *general*.
 //!
 //! The crate also defines the query-facing vocabulary shared by every
-//! index: [`IndoorPoint`], [`IndoorPath`], and the [`IndoorIndex`] /
+//! index: [`IndoorPoint`], [`IndoorPath`], the [`IndoorIndex`] /
 //! [`ObjectQueries`] traits implemented by VIP/IP-tree, the baselines,
-//! G-tree and ROAD.
+//! G-tree and ROAD, and the typed [`QueryRequest`] / [`QueryResponse`]
+//! enums (hashable by f64 bit pattern — the canonical key of result
+//! caches and multi-venue routers) that every index answers through the
+//! blanket [`AnswerRequest`] impl.
 
 mod builder;
 mod ids;
@@ -29,14 +32,16 @@ pub mod json;
 mod path;
 mod point;
 mod query;
+mod request;
 mod serialize;
 mod venue;
 
 pub use builder::{ModelError, VenueBuilder};
-pub use ids::{DoorId, ObjectId, PartitionId};
+pub use ids::{DoorId, ObjectId, PartitionId, VenueId};
 pub use path::IndoorPath;
 pub use point::IndoorPoint;
 pub use query::{IndoorIndex, ObjectQueries, QueryStats};
+pub use request::{AnswerRequest, QueryKind, QueryRequest, QueryResponse};
 pub use venue::{AbEdge, Door, Partition, PartitionClass, PartitionKind, Venue, VenueStats};
 
 /// Default hallway-classification threshold: a partition with more than

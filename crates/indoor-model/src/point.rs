@@ -1,6 +1,7 @@
 use crate::venue::Venue;
 use crate::{DoorId, PartitionId};
 use geometry::Point;
+use std::hash::{Hash, Hasher};
 
 /// A queryable indoor location: a position inside a known partition.
 ///
@@ -47,6 +48,19 @@ impl IndoorPoint {
             .collect()
     }
 
+    /// Canonical bit-pattern identity `(partition, x_bits, y_bits, level)`
+    /// used to hash and compare typed query requests.
+    ///
+    /// Key equality is bitwise coordinate equality: stricter than `==`
+    /// for signed zeros (`-0.0` ≠ `0.0`) and reflexive for NaN, so a
+    /// request containing a NaN coordinate still equals itself as a
+    /// result-cache key. See DESIGN.md, "Request hashing rules".
+    #[inline]
+    pub fn key_bits(&self) -> (u32, u64, u64, i32) {
+        let (x, y, level) = self.position.key_bits();
+        (self.partition.0, x, y, level)
+    }
+
     /// Direct (same-partition) distance between two points, defined only
     /// when both lie in the same partition.
     pub fn direct_distance(&self, venue: &Venue, other: &IndoorPoint) -> Option<f64> {
@@ -56,6 +70,22 @@ impl IndoorPoint {
         } else {
             None
         }
+    }
+}
+
+/// Hashes the bit-pattern identity ([`IndoorPoint::key_bits`]).
+///
+/// `IndoorPoint` is deliberately **not** `Eq` (its `PartialEq` is plain
+/// `f64` equality); hash-consistent equality for hash-map keys is provided
+/// by the request types (`QueryRequest`), whose manual `PartialEq`/`Eq`
+/// compare `key_bits` and therefore agree with this hash.
+impl Hash for IndoorPoint {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let (p, x, y, level) = self.key_bits();
+        state.write_u32(p);
+        state.write_u64(x);
+        state.write_u64(y);
+        state.write_i32(level);
     }
 }
 

@@ -1,0 +1,381 @@
+//! Typed query requests and responses — the canonical vocabulary of the
+//! serving layer.
+//!
+//! The paper's experiments (and the indoor-query survey, arXiv:2010.03910)
+//! evaluate a fixed menu of query kinds: shortest distance, shortest path,
+//! kNN, range, and keyword-constrained kNN. [`QueryRequest`] captures that
+//! menu as one hashable enum so a realistic *mixed* workload — a mall
+//! directory serving kNN lookups interleaved with evacuation-route path
+//! queries — is a single `&[QueryRequest]` batch, and so caches, queues
+//! and multi-venue routers all key on the same type. [`QueryResponse`]
+//! mirrors it variant for variant, each carrying exactly what the
+//! corresponding per-kind API returns.
+//!
+//! # Identity
+//!
+//! Requests are `Eq + Hash` by **f64 bit pattern**: two requests are equal
+//! iff their coordinates, radii and parameters are bitwise identical.
+//! This is stricter than numeric equality (`-0.0` and `0.0` are distinct
+//! keys) and reflexive where `==` on floats is not (a NaN coordinate
+//! equals itself), which is exactly the contract a result cache needs —
+//! bit-identical input is guaranteed bit-identical output, nothing more.
+//! See DESIGN.md, "Request hashing rules".
+
+use crate::{IndoorIndex, IndoorPath, IndoorPoint, ObjectId, ObjectQueries};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The query kind of a request or response; indexes per-kind counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    Knn,
+    Range,
+    KnnKeyword,
+    ShortestDistance,
+    ShortestPath,
+}
+
+impl QueryKind {
+    /// Every kind, in [`QueryKind::index`] order.
+    pub const ALL: [QueryKind; Self::COUNT] = [
+        QueryKind::Knn,
+        QueryKind::Range,
+        QueryKind::KnnKeyword,
+        QueryKind::ShortestDistance,
+        QueryKind::ShortestPath,
+    ];
+
+    /// Number of query kinds (length of per-kind counter arrays).
+    pub const COUNT: usize = 5;
+
+    /// Dense index into per-kind arrays; inverse of `ALL[i]`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case label used by benchmark tables and stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::Knn => "knn",
+            QueryKind::Range => "range",
+            QueryKind::KnnKeyword => "keyword",
+            QueryKind::ShortestDistance => "shortest_distance",
+            QueryKind::ShortestPath => "shortest_path",
+        }
+    }
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One query of any supported kind, with its full parameters.
+///
+/// Hashable and comparable by bit pattern (see the module docs), so it can
+/// key result caches, dedup maps and request routers directly.
+#[derive(Debug, Clone)]
+pub enum QueryRequest {
+    /// `k` nearest objects to `q` (§3.4, Algorithm 5).
+    Knn { q: IndoorPoint, k: usize },
+    /// All objects within indoor distance `radius` of `q` (§3.4).
+    Range { q: IndoorPoint, radius: f64 },
+    /// `k` nearest objects to `q` carrying `keyword` (§1.3 adaptability).
+    ///
+    /// The keyword is an `Arc<str>` (hashing/comparing by content) so
+    /// cloning a request — batch wrappers fanning one label over many
+    /// queries, caches storing keys — never re-allocates the string.
+    KnnKeyword {
+        q: IndoorPoint,
+        k: usize,
+        keyword: Arc<str>,
+    },
+    /// Indoor shortest distance from `s` to `t` (§3.1).
+    ShortestDistance { s: IndoorPoint, t: IndoorPoint },
+    /// Full door-sequence shortest path from `s` to `t` (§3.2–3.3).
+    ShortestPath { s: IndoorPoint, t: IndoorPoint },
+}
+
+impl QueryRequest {
+    /// The request's kind (for per-kind dispatch and counters).
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            QueryRequest::Knn { .. } => QueryKind::Knn,
+            QueryRequest::Range { .. } => QueryKind::Range,
+            QueryRequest::KnnKeyword { .. } => QueryKind::KnnKeyword,
+            QueryRequest::ShortestDistance { .. } => QueryKind::ShortestDistance,
+            QueryRequest::ShortestPath { .. } => QueryKind::ShortestPath,
+        }
+    }
+}
+
+impl PartialEq for QueryRequest {
+    fn eq(&self, other: &QueryRequest) -> bool {
+        use QueryRequest::*;
+        match (self, other) {
+            (Knn { q: a, k: ka }, Knn { q: b, k: kb }) => ka == kb && a.key_bits() == b.key_bits(),
+            (Range { q: a, radius: ra }, Range { q: b, radius: rb }) => {
+                ra.to_bits() == rb.to_bits() && a.key_bits() == b.key_bits()
+            }
+            (
+                KnnKeyword {
+                    q: a,
+                    k: ka,
+                    keyword: wa,
+                },
+                KnnKeyword {
+                    q: b,
+                    k: kb,
+                    keyword: wb,
+                },
+            ) => ka == kb && wa == wb && a.key_bits() == b.key_bits(),
+            (ShortestDistance { s: sa, t: ta }, ShortestDistance { s: sb, t: tb })
+            | (ShortestPath { s: sa, t: ta }, ShortestPath { s: sb, t: tb }) => {
+                sa.key_bits() == sb.key_bits() && ta.key_bits() == tb.key_bits()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Reflexive by construction: equality is over bit patterns (`to_bits` /
+/// [`IndoorPoint::key_bits`]), never raw float comparison, so NaN-bearing
+/// requests still equal themselves.
+impl Eq for QueryRequest {}
+
+/// Consistent with [`PartialEq`]: hashes the variant discriminant plus the
+/// same bit patterns the equality compares.
+impl Hash for QueryRequest {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u8(self.kind().index() as u8);
+        match self {
+            QueryRequest::Knn { q, k } => {
+                q.hash(state);
+                state.write_usize(*k);
+            }
+            QueryRequest::Range { q, radius } => {
+                q.hash(state);
+                state.write_u64(radius.to_bits());
+            }
+            QueryRequest::KnnKeyword { q, k, keyword } => {
+                q.hash(state);
+                state.write_usize(*k);
+                keyword.hash(state);
+            }
+            QueryRequest::ShortestDistance { s, t } | QueryRequest::ShortestPath { s, t } => {
+                s.hash(state);
+                t.hash(state);
+            }
+        }
+    }
+}
+
+/// The answer to a [`QueryRequest`], variant-matched to the request kind.
+///
+/// Each variant carries exactly the type the corresponding per-kind API
+/// returns, so unwrapping a response is lossless — heterogeneous batch
+/// results are bit-identical to the per-kind batch calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    Knn(Vec<(ObjectId, f64)>),
+    Range(Vec<(ObjectId, f64)>),
+    KnnKeyword(Vec<(ObjectId, f64)>),
+    ShortestDistance(Option<f64>),
+    ShortestPath(Option<IndoorPath>),
+}
+
+impl QueryResponse {
+    /// The response's kind (matches the request it answers).
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            QueryResponse::Knn(_) => QueryKind::Knn,
+            QueryResponse::Range(_) => QueryKind::Range,
+            QueryResponse::KnnKeyword(_) => QueryKind::KnnKeyword,
+            QueryResponse::ShortestDistance(_) => QueryKind::ShortestDistance,
+            QueryResponse::ShortestPath(_) => QueryKind::ShortestPath,
+        }
+    }
+
+    /// The `(object, distance)` list of a kNN/range/keyword response.
+    pub fn objects(&self) -> Option<&[(ObjectId, f64)]> {
+        match self {
+            QueryResponse::Knn(v) | QueryResponse::Range(v) | QueryResponse::KnnKeyword(v) => {
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The distance of a shortest-distance response (`Some(None)` means
+    /// answered-but-unreachable).
+    pub fn distance(&self) -> Option<Option<f64>> {
+        match self {
+            QueryResponse::ShortestDistance(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The path of a shortest-path response.
+    pub fn path(&self) -> Option<Option<&IndoorPath>> {
+        match self {
+            QueryResponse::ShortestPath(p) => Some(p.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Consume into the object list (kNN/range/keyword responses).
+    pub fn into_objects(self) -> Option<Vec<(ObjectId, f64)>> {
+        match self {
+            QueryResponse::Knn(v) | QueryResponse::Range(v) | QueryResponse::KnnKeyword(v) => {
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Consume into the path (shortest-path responses).
+    pub fn into_path(self) -> Option<Option<IndoorPath>> {
+        match self {
+            QueryResponse::ShortestPath(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Answering typed requests through the classic two-trait query surface.
+///
+/// Blanket-implemented for every index that is both [`IndoorIndex`] and
+/// [`ObjectQueries`] (VIP/IP-tree, DistMx, DistAw, G-tree, ROAD), so the
+/// whole competitor suite answers the same typed request stream — the
+/// cross-index agreement tests run over this API. Keyword requests answer
+/// empty here: keyword search needs an inverted-list index (`vip-tree`'s
+/// `KeywordObjects`), which the plain trait surface does not expose; this
+/// mirrors a `QueryEngine` with no keyword index attached.
+pub trait AnswerRequest {
+    /// Answer one typed request.
+    fn answer(&self, req: &QueryRequest) -> QueryResponse;
+
+    /// Answer a heterogeneous batch serially; slot `i` answers `reqs[i]`.
+    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        reqs.iter().map(|r| self.answer(r)).collect()
+    }
+}
+
+impl<T: IndoorIndex + ObjectQueries> AnswerRequest for T {
+    fn answer(&self, req: &QueryRequest) -> QueryResponse {
+        match req {
+            QueryRequest::Knn { q, k } => QueryResponse::Knn(self.knn(q, *k)),
+            QueryRequest::Range { q, radius } => QueryResponse::Range(self.range(q, *radius)),
+            QueryRequest::KnnKeyword { .. } => QueryResponse::KnnKeyword(Vec::new()),
+            QueryRequest::ShortestDistance { s, t } => {
+                QueryResponse::ShortestDistance(self.shortest_distance(s, t))
+            }
+            QueryRequest::ShortestPath { s, t } => {
+                QueryResponse::ShortestPath(self.shortest_path(s, t))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartitionId;
+    use geometry::Point;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn pt(x: f64, y: f64) -> IndoorPoint {
+        IndoorPoint::new(PartitionId(3), Point::new(x, y, 0))
+    }
+
+    fn hash_of(r: &QueryRequest) -> u64 {
+        let mut h = DefaultHasher::new();
+        r.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn kind_roundtrip_and_labels() {
+        for (i, k) in QueryKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.label().is_empty());
+        }
+        let req = QueryRequest::Range {
+            q: pt(1.0, 2.0),
+            radius: 50.0,
+        };
+        assert_eq!(req.kind(), QueryKind::Range);
+        assert_eq!(QueryResponse::Range(Vec::new()).kind(), QueryKind::Range);
+    }
+
+    #[test]
+    fn equal_requests_hash_equal() {
+        let a = QueryRequest::Knn {
+            q: pt(4.0, 5.0),
+            k: 3,
+        };
+        let b = QueryRequest::Knn {
+            q: pt(4.0, 5.0),
+            k: 3,
+        };
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        let c = QueryRequest::Knn {
+            q: pt(4.0, 5.0),
+            k: 4,
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn same_fields_different_kind_are_distinct() {
+        let sd = QueryRequest::ShortestDistance {
+            s: pt(0.0, 0.0),
+            t: pt(1.0, 1.0),
+        };
+        let sp = QueryRequest::ShortestPath {
+            s: pt(0.0, 0.0),
+            t: pt(1.0, 1.0),
+        };
+        assert_ne!(sd, sp);
+        assert_ne!(hash_of(&sd), hash_of(&sp));
+    }
+
+    #[test]
+    fn nan_requests_are_reflexive_cache_keys() {
+        let a = QueryRequest::Range {
+            q: pt(f64::NAN, 2.0),
+            radius: f64::NAN,
+        };
+        assert_eq!(a, a.clone(), "bitwise identity must be reflexive");
+        assert_eq!(hash_of(&a), hash_of(&a.clone()));
+        // Signed zero: numerically equal, bitwise distinct.
+        let z = QueryRequest::Range {
+            q: pt(0.0, 2.0),
+            radius: 1.0,
+        };
+        let nz = QueryRequest::Range {
+            q: pt(-0.0, 2.0),
+            radius: 1.0,
+        };
+        assert_ne!(z, nz, "-0.0 and 0.0 are distinct keys");
+    }
+
+    #[test]
+    fn response_accessors_match_variants() {
+        let objs = vec![(ObjectId(1), 2.0)];
+        assert_eq!(QueryResponse::Knn(objs.clone()).objects(), Some(&objs[..]));
+        assert_eq!(QueryResponse::ShortestDistance(Some(1.0)).objects(), None);
+        assert_eq!(QueryResponse::ShortestDistance(None).distance(), Some(None));
+        assert_eq!(QueryResponse::ShortestPath(None).path(), Some(None));
+        assert_eq!(
+            QueryResponse::KnnKeyword(objs.clone()).into_objects(),
+            Some(objs)
+        );
+        assert_eq!(QueryResponse::ShortestPath(None).into_path(), Some(None));
+        assert_eq!(QueryResponse::Knn(Vec::new()).into_path(), None);
+    }
+}

@@ -5,7 +5,7 @@
 //! * object sets of 10/50/100/500 objects placed uniformly at random,
 //! * distance-quintile pair buckets (Q1–Q5) for Fig. 10(b).
 
-use indoor_model::{IndoorPoint, Venue};
+use indoor_model::{IndoorPoint, QueryRequest, Venue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,6 +45,72 @@ pub fn query_pairs(venue: &Venue, n: usize, seed: u64) -> Vec<(IndoorPoint, Indo
 /// sets; washrooms in the real data).
 pub fn place_objects(venue: &Venue, n: usize, seed: u64) -> Vec<IndoorPoint> {
     query_points(venue, n, seed ^ 0x0B7EC7)
+}
+
+/// The demo keyword labelling used by benches, tests and examples:
+/// object `i` carries `[keyword]`, `["exit", keyword]` or `["exit"]`
+/// cycling by `i % 3`, so two thirds of the objects match `keyword` and
+/// every venue has some objects a keyword query must skip.
+pub fn cycling_labels(objects: &[IndoorPoint], keyword: &str) -> Vec<(IndoorPoint, Vec<String>)> {
+    objects
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let labels = match i % 3 {
+                0 => vec![keyword.to_string()],
+                1 => vec!["exit".to_string(), keyword.to_string()],
+                _ => vec!["exit".to_string()],
+            };
+            (*p, labels)
+        })
+        .collect()
+}
+
+/// Seeded Fisher–Yates shuffle (deterministic per seed, like every other
+/// workload generator here).
+pub fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// A shuffled **heterogeneous** request batch: `n_per_kind` of each query
+/// kind (kNN, range, keyword-kNN, shortest distance, shortest path),
+/// interleaved by a seeded shuffle so no homogeneous run survives — the
+/// mixed mall-directory workload (kNN lookups between evacuation-route
+/// path queries) that the typed `QueryRequest` API exists to express.
+pub fn mixed_requests(
+    venue: &Venue,
+    n_per_kind: usize,
+    k: usize,
+    radius: f64,
+    keyword: &str,
+    seed: u64,
+) -> Vec<QueryRequest> {
+    let points = query_points(venue, n_per_kind, seed ^ 0x31);
+    let kw_points = query_points(venue, n_per_kind, seed ^ 0x32);
+    let pairs = query_pairs(venue, n_per_kind, seed ^ 0x33);
+    let keyword: std::sync::Arc<str> = keyword.into();
+    let mut reqs = Vec::with_capacity(n_per_kind * 5);
+    for q in &points {
+        reqs.push(QueryRequest::Knn { q: *q, k });
+        reqs.push(QueryRequest::Range { q: *q, radius });
+    }
+    for q in &kw_points {
+        reqs.push(QueryRequest::KnnKeyword {
+            q: *q,
+            k,
+            keyword: keyword.clone(),
+        });
+    }
+    for &(s, t) in &pairs {
+        reqs.push(QueryRequest::ShortestDistance { s, t });
+        reqs.push(QueryRequest::ShortestPath { s, t });
+    }
+    shuffle(&mut reqs, seed ^ 0x34);
+    reqs
 }
 
 /// Fig. 10(b) workload: the distance range `[0, dmax]` is split into five
@@ -107,6 +173,37 @@ mod tests {
         assert_eq!(query_pairs(&venue, 50, 9), query_pairs(&venue, 50, 9));
         assert_eq!(place_objects(&venue, 10, 9), place_objects(&venue, 10, 9));
         assert_ne!(query_points(&venue, 50, 1), query_points(&venue, 50, 2));
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        shuffle(&mut a, 7);
+        shuffle(&mut b, 7);
+        assert_eq!(a, b, "same seed, same order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>(), "permutation");
+        let mut c: Vec<usize> = (0..50).collect();
+        shuffle(&mut c, 8);
+        assert_ne!(a, c, "different seed, different order");
+    }
+
+    #[test]
+    fn mixed_requests_cover_every_kind() {
+        use indoor_model::QueryKind;
+        let venue = random_venue(11);
+        let reqs = mixed_requests(&venue, 4, 3, 90.0, "cafe", 5);
+        assert_eq!(reqs.len(), 20);
+        for kind in QueryKind::ALL {
+            assert_eq!(
+                reqs.iter().filter(|r| r.kind() == kind).count(),
+                4,
+                "kind {kind}"
+            );
+        }
+        assert_eq!(reqs, mixed_requests(&venue, 4, 3, 90.0, "cafe", 5));
     }
 
     #[test]

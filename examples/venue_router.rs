@@ -1,0 +1,103 @@
+//! Multi-venue serving: two buildings behind one `IndoorService`.
+//!
+//! A city-campus operator runs a directory service for Melbourne Central
+//! (shopping centre) and the Menzies building (offices) at once. Typed
+//! `QueryRequest`s route by `VenueId` to per-venue VIP-tree shards; the
+//! epoch-keyed result cache absorbs the repeats of a hot-spot workload,
+//! and `attach_objects` (overnight object churn) invalidates exactly the
+//! venue it touches.
+//!
+//! ```sh
+//! cargo run --release --example venue_router
+//! ```
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{presets, workload};
+use std::sync::Arc;
+
+const KEYWORD: &str = "cafe";
+
+fn main() {
+    let mall = Arc::new(presets::melbourne_central().build());
+    let offices = Arc::new(presets::menzies().build());
+
+    let mut service = IndoorService::new();
+    let mut add = |venue: &Arc<Venue>, name: &str| {
+        let objects = workload::place_objects(venue, 30, 7);
+        let keywords = workload::cycling_labels(&objects, KEYWORD);
+        let id = service
+            .add_venue(
+                venue.clone(),
+                ShardConfig {
+                    objects,
+                    keywords,
+                    ..ShardConfig::default()
+                },
+            )
+            .expect("build shard");
+        println!(
+            "registered {name} as {id}: {} partitions, {} doors",
+            venue.num_partitions(),
+            venue.stats().doors
+        );
+        id
+    };
+    let mall_id = add(&mall, "Melbourne Central");
+    let office_id = add(&offices, "Menzies");
+
+    // A hot-spot workload: a mixed request stream per venue, replayed 4x
+    // (directory kiosks repeat the same lookups all day).
+    let mut reqs: Vec<(VenueId, QueryRequest)> = Vec::new();
+    for req in workload::mixed_requests(&mall, 12, 3, 100.0, KEYWORD, 21) {
+        reqs.push((mall_id, req));
+    }
+    for req in workload::mixed_requests(&offices, 12, 3, 100.0, KEYWORD, 22) {
+        reqs.push((office_id, req));
+    }
+    workload::shuffle(&mut reqs, 23);
+
+    for round in 0..4 {
+        let answers = service.execute_batch(&reqs);
+        let ok = answers.iter().filter(|a| a.is_ok()).count();
+        println!("round {round}: {ok}/{} answered", answers.len());
+    }
+
+    // Overnight churn in the mall only: its cache resets, the offices'
+    // stays warm.
+    service
+        .attach_objects(mall_id, &workload::place_objects(&mall, 30, 8))
+        .expect("re-attach");
+    println!(
+        "mall objects replaced (epoch {} -> cache invalidated)",
+        service.epoch(mall_id).unwrap()
+    );
+    let answers = service.execute_batch(&reqs);
+    println!(
+        "post-churn round: {}/{} answered",
+        answers.iter().filter(|a| a.is_ok()).count(),
+        answers.len()
+    );
+
+    let stats = service.stats();
+    println!(
+        "\nserved {} requests over {} venues ({} distinct answers cached)",
+        stats.total_queries(),
+        stats.venues,
+        stats.cached_entries
+    );
+    println!(
+        "{:<18} {:>8} {:>6} {:>9} {:>12}",
+        "kind", "queries", "hits", "hit-rate", "mean-us"
+    );
+    for k in &stats.kinds {
+        println!(
+            "{:<18} {:>8} {:>6} {:>8.0}% {:>12.1}",
+            k.kind.label(),
+            k.queries,
+            k.cache_hits,
+            k.hit_rate() * 100.0,
+            k.mean_latency_ns() / 1e3
+        );
+    }
+    println!("overall cache hit-rate: {:.0}%", stats.hit_rate() * 100.0);
+}

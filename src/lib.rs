@@ -10,7 +10,9 @@
 //!
 //! * [`model`] — indoor data model: doors, partitions, venues, D2D/AB graphs.
 //! * [`synth`] — synthetic venue generator, dataset presets, workloads.
-//! * [`vip`] — the paper's contribution: IP-Tree and VIP-Tree.
+//! * [`vip`] — the paper's contribution: IP-Tree and VIP-Tree, plus the
+//!   serving layer (`QueryEngine` typed batches, multi-venue
+//!   `IndoorService` with epoch-keyed result caching).
 //! * [`baselines`] — DistMx / DistAw competitors.
 //! * [`gtree`] / [`road`] — road-network competitors adapted to indoor graphs.
 //!
@@ -41,8 +43,12 @@ pub use vip_tree as vip;
 pub mod prelude {
     pub use geometry::{Point, Rect};
     pub use indoor_model::{
-        Door, DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectQueries, Partition,
-        PartitionClass, PartitionId, PartitionKind, Venue, VenueBuilder,
+        AnswerRequest, Door, DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectQueries,
+        Partition, PartitionClass, PartitionId, PartitionKind, QueryKind, QueryRequest,
+        QueryResponse, Venue, VenueBuilder, VenueId,
     };
-    pub use vip_tree::{IpTree, QueryEngine, QueryScratch, VipTree, VipTreeConfig};
+    pub use vip_tree::{
+        IndoorService, IpTree, KindStats, QueryEngine, QueryScratch, ServiceError, ServiceStats,
+        ShardConfig, VipTree, VipTreeConfig,
+    };
 }

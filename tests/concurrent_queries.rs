@@ -11,14 +11,6 @@ use indoor_spatial::vip::{KeywordObjects, QueryEngine};
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn label_for(i: usize) -> Vec<String> {
-    match i % 3 {
-        0 => vec!["cafe".into()],
-        1 => vec!["exit".into(), "cafe".into()],
-        _ => vec!["exit".into()],
-    }
-}
-
 fn bits(r: &[(indoor_spatial::model::ObjectId, f64)]) -> Vec<(u32, u64)> {
     r.iter().map(|(o, d)| (o.0, d.to_bits())).collect()
 }
@@ -100,11 +92,7 @@ fn threads_hammering_shared_tree_match_serial() {
 fn batch_apis_match_serial_on_preset() {
     let venue = Arc::new(presets::melbourne_central().build());
     let objects = workload::place_objects(&venue, 60, 0xA1);
-    let labelled: Vec<(IndoorPoint, Vec<String>)> = objects
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (*p, label_for(i)))
-        .collect();
+    let labelled = workload::cycling_labels(&objects, "cafe");
     let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
     tree.attach_objects(&objects);
     let kw = Arc::new(KeywordObjects::build(tree.ip_tree(), &labelled));

@@ -1,6 +1,10 @@
-//! Cross-crate integration: every index must return identical shortest
-//! distances, shortest-path lengths, kNN results and range results — on
-//! random venues and on the calibrated MC preset.
+//! Cross-crate integration: every index answers the **same typed request
+//! stream** (`QueryRequest` batches via the blanket `AnswerRequest` impl)
+//! and must agree — identical shortest distances, shortest-path lengths,
+//! kNN results and range results — on random venues and on the calibrated
+//! MC preset. The VIP-tree additionally answers the stream through
+//! `QueryEngine::execute_batch`, which must match its trait-surface
+//! answers bit for bit (catching per-kind wrapper drift for free).
 
 use indoor_spatial::baselines::{DistAw, DistAwPlus, DistMx};
 use indoor_spatial::gtree::{GTree, GTreeConfig};
@@ -9,7 +13,33 @@ use indoor_spatial::road::{Road, RoadConfig};
 use indoor_spatial::synth::{presets, random_venue, workload};
 use std::sync::Arc;
 
-fn all_indexes(venue: &Arc<Venue>, objects: &[IndoorPoint]) -> Vec<Box<dyn IndoorIndexAndObjects>> {
+/// Object-safe answering surface: a name plus the typed request API.
+trait NamedAnswerer {
+    fn name2(&self) -> &'static str;
+    fn answer_all(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse>;
+}
+
+impl<T: IndoorIndex + ObjectQueries> NamedAnswerer for T {
+    fn name2(&self) -> &'static str {
+        self.name()
+    }
+    fn answer_all(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        self.answer_batch(reqs)
+    }
+}
+
+/// `Arc<DistMx>` wrapper so the matrix can be shared with DistAw++.
+struct ArcMx(Arc<DistMx>);
+impl NamedAnswerer for ArcMx {
+    fn name2(&self) -> &'static str {
+        self.0.name()
+    }
+    fn answer_all(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        self.0.answer_batch(reqs)
+    }
+}
+
+fn all_indexes(venue: &Arc<Venue>, objects: &[IndoorPoint]) -> Vec<Box<dyn NamedAnswerer>> {
     let cfg = VipTreeConfig::default();
     let mut vip = VipTree::build(venue.clone(), &cfg).unwrap();
     vip.attach_objects(objects);
@@ -37,107 +67,139 @@ fn all_indexes(venue: &Arc<Venue>, objects: &[IndoorPoint]) -> Vec<Box<dyn Indoo
     ]
 }
 
-/// Object-safe union of the two query traits.
-trait IndoorIndexAndObjects {
-    fn name2(&self) -> &'static str;
-    fn sd(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64>;
-    fn sp(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath>;
-    fn knn2(&self, q: &IndoorPoint, k: usize) -> Vec<(indoor_spatial::model::ObjectId, f64)>;
-    fn range2(&self, q: &IndoorPoint, r: f64) -> Vec<(indoor_spatial::model::ObjectId, f64)>;
-}
-
-impl<T: IndoorIndex + ObjectQueries> IndoorIndexAndObjects for T {
-    fn name2(&self) -> &'static str {
-        self.name()
+/// The mixed stream every index answers: per pair a shortest-distance and
+/// a shortest-path request, per point a kNN and a range request,
+/// interleaved so no index sees a homogeneous prefix.
+fn request_stream(venue: &Venue, pairs: usize, points: usize, seed: u64) -> Vec<QueryRequest> {
+    let mut reqs = Vec::new();
+    for (s, t) in workload::query_pairs(venue, pairs, seed) {
+        reqs.push(QueryRequest::ShortestDistance { s, t });
+        reqs.push(QueryRequest::ShortestPath { s, t });
     }
-    fn sd(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64> {
-        self.shortest_distance(s, t)
+    for q in workload::query_points(venue, points, seed ^ 0xCD) {
+        reqs.push(QueryRequest::Knn { q, k: 4 });
+        reqs.push(QueryRequest::Range { q, radius: 120.0 });
     }
-    fn sp(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
-        self.shortest_path(s, t)
-    }
-    fn knn2(&self, q: &IndoorPoint, k: usize) -> Vec<(indoor_spatial::model::ObjectId, f64)> {
-        self.knn(q, k)
-    }
-    fn range2(&self, q: &IndoorPoint, r: f64) -> Vec<(indoor_spatial::model::ObjectId, f64)> {
-        self.range(q, r)
-    }
-}
-
-/// `Arc<DistMx>` wrapper so the matrix can be shared with DistAw++.
-struct ArcMx(Arc<DistMx>);
-impl IndoorIndexAndObjects for ArcMx {
-    fn name2(&self) -> &'static str {
-        self.0.name()
-    }
-    fn sd(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<f64> {
-        self.0.shortest_distance(s, t)
-    }
-    fn sp(&self, s: &IndoorPoint, t: &IndoorPoint) -> Option<IndoorPath> {
-        self.0.shortest_path(s, t)
-    }
-    fn knn2(&self, q: &IndoorPoint, k: usize) -> Vec<(indoor_spatial::model::ObjectId, f64)> {
-        self.0.knn(q, k)
-    }
-    fn range2(&self, q: &IndoorPoint, r: f64) -> Vec<(indoor_spatial::model::ObjectId, f64)> {
-        self.0.range(q, r)
-    }
+    workload::shuffle(&mut reqs, seed ^ 0x515);
+    reqs
 }
 
 fn check_agreement(venue: Arc<Venue>, seed: u64, pairs: usize, points: usize) {
     let objects = workload::place_objects(&venue, 15, seed ^ 0xAB);
     let indexes = all_indexes(&venue, &objects);
+    let reqs = request_stream(&venue, pairs, points, seed);
 
-    for (s, t) in workload::query_pairs(&venue, pairs, seed) {
-        let mut reference: Option<f64> = None;
-        for ix in &indexes {
-            let d = ix.sd(&s, &t);
-            match (reference, d) {
-                (None, Some(v)) => reference = Some(v),
-                (Some(r), Some(v)) => assert!(
-                    (r - v).abs() < 1e-6 * r.max(1.0),
-                    "{} disagrees on SD: {v} vs {r}",
-                    ix.name2()
-                ),
-                (Some(_), None) => panic!("{} says unreachable", ix.name2()),
-                (None, None) => {}
-            }
-            // Path length must equal distance and be walkable.
-            if let Some(p) = ix.sp(&s, &t) {
-                let len = p
-                    .validate(&venue)
-                    .unwrap_or_else(|e| panic!("{}: invalid path: {e}", ix.name2()));
-                assert!(
-                    (len - p.length).abs() < 1e-6 * len.max(1.0),
-                    "{}: reported {} vs walked {len}",
-                    ix.name2(),
-                    p.length
-                );
-                if let Some(d) = d {
-                    assert!((p.length - d).abs() < 1e-9 * d.max(1.0));
+    let answers: Vec<Vec<QueryResponse>> = indexes.iter().map(|ix| ix.answer_all(&reqs)).collect();
+
+    // The VIP-tree engine must answer the same stream bit-identically to
+    // the trait surface (indexes[0] is the VIP-tree).
+    {
+        let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        vip.attach_objects(&objects);
+        let engine = QueryEngine::for_vip(Arc::new(vip)).with_threads(2);
+        let engine_answers = engine.execute_batch(&reqs);
+        assert_eq!(
+            engine_answers, answers[0],
+            "QueryEngine::execute_batch drifted from the trait surface"
+        );
+    }
+
+    // Per-index self-consistency, *including* the reference index: every
+    // reported path must be walkable with a matching length, and must
+    // agree with the same index's shortest-distance answer for the same
+    // pair (requests are Eq by bit pattern, so the SD slot of an SP slot
+    // is found by map lookup).
+    let sd_slot_of: std::collections::HashMap<&QueryRequest, usize> = reqs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.kind() == QueryKind::ShortestDistance)
+        .map(|(slot, r)| (r, slot))
+        .collect();
+    for (ix, ans) in indexes.iter().zip(&answers) {
+        for (slot, req) in reqs.iter().enumerate() {
+            let QueryResponse::ShortestPath(p_opt) = &ans[slot] else {
+                continue;
+            };
+            let QueryRequest::ShortestPath { s, t } = req else {
+                panic!("{}: SP response for non-SP request", ix.name2());
+            };
+            let sd_req = QueryRequest::ShortestDistance { s: *s, t: *t };
+            let QueryResponse::ShortestDistance(d) = &ans[sd_slot_of[&sd_req]] else {
+                panic!("{}: SD response missing", ix.name2());
+            };
+            match (p_opt, d) {
+                (Some(p), Some(d)) => {
+                    let len = p
+                        .validate(&venue)
+                        .unwrap_or_else(|e| panic!("{}: invalid path: {e}", ix.name2()));
+                    assert!(
+                        (len - p.length).abs() < 1e-6 * len.max(1.0),
+                        "{}: reported {} vs walked {len}",
+                        ix.name2(),
+                        p.length
+                    );
+                    assert!(
+                        (p.length - d).abs() < 1e-9 * d.max(1.0),
+                        "{}: SP length {} != own SD {d}",
+                        ix.name2(),
+                        p.length
+                    );
                 }
+                (None, None) => {}
+                _ => panic!("{}: SP and SD disagree on reachability", ix.name2()),
             }
         }
     }
 
-    for q in workload::query_points(&venue, points, seed ^ 0xCD) {
-        let knns: Vec<_> = indexes.iter().map(|ix| ix.knn2(&q, 4)).collect();
-        let ranges: Vec<_> = indexes.iter().map(|ix| ix.range2(&q, 120.0)).collect();
-        for (i, ix) in indexes.iter().enumerate().skip(1) {
-            assert_eq!(knns[0].len(), knns[i].len(), "{} kNN count", ix.name2());
-            for (a, b) in knns[0].iter().zip(&knns[i]) {
-                assert!(
-                    (a.1 - b.1).abs() < 1e-6 * a.1.max(1.0),
-                    "{} kNN distance mismatch",
-                    ix.name2()
-                );
-            }
+    for slot in 0..reqs.len() {
+        let reference = &answers[0][slot];
+        for (ix, ans) in indexes.iter().zip(&answers).skip(1) {
+            let got = &ans[slot];
             assert_eq!(
-                ranges[0].len(),
-                ranges[i].len(),
-                "{} range count",
+                got.kind(),
+                reference.kind(),
+                "{}: response kind drifted at slot {slot}",
                 ix.name2()
             );
+            match (reference, got) {
+                (QueryResponse::ShortestDistance(r), QueryResponse::ShortestDistance(v)) => {
+                    match (r, v) {
+                        (Some(r), Some(v)) => assert!(
+                            (r - v).abs() < 1e-6 * r.max(1.0),
+                            "{} disagrees on SD: {v} vs {r}",
+                            ix.name2()
+                        ),
+                        (Some(_), None) => panic!("{} says unreachable", ix.name2()),
+                        (None, Some(_)) => panic!("{} says reachable", ix.name2()),
+                        (None, None) => {}
+                    }
+                }
+                (QueryResponse::ShortestPath(r), QueryResponse::ShortestPath(v)) => match (r, v) {
+                    (Some(r), Some(v)) => assert!(
+                        (r.length - v.length).abs() < 1e-6 * r.length.max(1.0),
+                        "{} disagrees on SP length",
+                        ix.name2()
+                    ),
+                    (Some(_), None) | (None, Some(_)) => {
+                        panic!("{} disagrees on SP reachability", ix.name2())
+                    }
+                    (None, None) => {}
+                },
+                (QueryResponse::Knn(r), QueryResponse::Knn(v)) => {
+                    assert_eq!(r.len(), v.len(), "{} kNN count", ix.name2());
+                    for (a, b) in r.iter().zip(v) {
+                        assert!(
+                            (a.1 - b.1).abs() < 1e-6 * a.1.max(1.0),
+                            "{} kNN distance mismatch",
+                            ix.name2()
+                        );
+                    }
+                }
+                (QueryResponse::Range(r), QueryResponse::Range(v)) => {
+                    assert_eq!(r.len(), v.len(), "{} range count", ix.name2());
+                }
+                _ => unreachable!("kinds already matched"),
+            }
         }
     }
 }

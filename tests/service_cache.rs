@@ -1,0 +1,244 @@
+//! `IndoorService` contract: multi-venue routing, the epoch-keyed result
+//! cache (a cached answer is **never** served across an `attach_objects`
+//! epoch bump — the acceptance criterion), and automatic keyword-index
+//! threading through shard rebuilds.
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{presets, random_venue, workload};
+use indoor_spatial::vip::KeywordObjects;
+use std::sync::Arc;
+
+const KEYWORD: &str = "cafe";
+
+fn labelled(objects: &[IndoorPoint]) -> Vec<(IndoorPoint, Vec<String>)> {
+    workload::cycling_labels(objects, KEYWORD)
+}
+
+/// Cache hits after `attach_objects` are impossible: the answer always
+/// reflects the new object set, and the hit counter does not move on the
+/// first post-bump query.
+#[test]
+fn epoch_bump_invalidates_cache() {
+    let venue = Arc::new(random_venue(31));
+    let old_objects = workload::place_objects(&venue, 10, 1);
+    let new_objects = workload::place_objects(&venue, 10, 2);
+    assert_ne!(old_objects, new_objects);
+
+    let mut service = IndoorService::new();
+    let id = service
+        .add_venue(
+            venue.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: old_objects.clone(),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+
+    // Reference answers from plain trees over each object set.
+    let answers_for = |objects: &[IndoorPoint], q: &IndoorPoint| {
+        let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        tree.attach_objects(objects);
+        tree.knn(q, 4)
+    };
+
+    let queries = workload::query_points(&venue, 6, 3);
+    let reqs: Vec<QueryRequest> = queries
+        .iter()
+        .map(|&q| QueryRequest::Knn { q, k: 4 })
+        .collect();
+
+    // Warm the cache, then hit it once per request.
+    for req in &reqs {
+        service.execute(id, req).unwrap();
+        service.execute(id, req).unwrap();
+    }
+    let before = service.stats();
+    assert_eq!(before.kind(QueryKind::Knn).queries, 2 * reqs.len() as u64);
+    assert_eq!(before.kind(QueryKind::Knn).cache_hits, reqs.len() as u64);
+    assert_eq!(service.epoch(id).unwrap(), 0);
+
+    service.attach_objects(id, &new_objects).unwrap();
+    assert_eq!(service.epoch(id).unwrap(), 1);
+    assert_eq!(service.stats().cached_entries, 0, "bump clears the cache");
+
+    for (req, q) in reqs.iter().zip(&queries) {
+        let got = service.execute(id, req).unwrap();
+        let want = answers_for(&new_objects, q);
+        assert_eq!(
+            got,
+            QueryResponse::Knn(want),
+            "post-bump answer must reflect the new objects"
+        );
+    }
+    let after = service.stats();
+    assert_eq!(
+        after.kind(QueryKind::Knn).cache_hits,
+        before.kind(QueryKind::Knn).cache_hits,
+        "no cache hit may survive an epoch bump"
+    );
+
+    // The re-computed answers are cached again under the new epoch.
+    service.execute(id, &reqs[0]).unwrap();
+    assert_eq!(
+        service.stats().kind(QueryKind::Knn).cache_hits,
+        before.kind(QueryKind::Knn).cache_hits + 1
+    );
+}
+
+/// Regression (keyword threading): a shard built with keyword objects
+/// keeps answering keyword requests after `attach_objects` rebuilds its
+/// engine — the service re-threads the keyword index automatically, where
+/// a bare `QueryEngine` would have to be re-`with_keywords` by hand.
+#[test]
+fn keywords_survive_attach_objects_rebuild() {
+    let venue = Arc::new(random_venue(47));
+    let objects = workload::place_objects(&venue, 14, 5);
+    let kw_objects = labelled(&objects);
+
+    let mut service = IndoorService::new();
+    let id = service
+        .add_venue(
+            venue.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: objects.clone(),
+                keywords: kw_objects.clone(),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+
+    // Ground truth from a hand-assembled engine.
+    let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let kw = KeywordObjects::build(&tree, &kw_objects);
+
+    let q = workload::query_points(&venue, 1, 6)[0];
+    let req = QueryRequest::KnnKeyword {
+        q,
+        k: 3,
+        keyword: KEYWORD.into(),
+    };
+    let want = QueryResponse::KnnKeyword(kw.knn_keyword(&tree, &q, 3, KEYWORD));
+    assert_eq!(service.execute(id, &req).unwrap(), want);
+    assert_ne!(want, QueryResponse::KnnKeyword(Vec::new()));
+
+    // Rebuild the shard's engine; keyword answers must not regress to
+    // empty (the pre-fix failure mode: keywords dropped on rebuild).
+    service
+        .attach_objects(id, &workload::place_objects(&venue, 14, 9))
+        .unwrap();
+    assert_eq!(
+        service.execute(id, &req).unwrap(),
+        want,
+        "keyword index must be re-threaded through the rebuilt engine"
+    );
+}
+
+/// A caller-held tree handle blocks `attach_objects` recoverably: the
+/// call errors instead of panicking, the shard keeps serving its current
+/// objects, and dropping the handle unblocks the attach.
+#[test]
+fn shared_tree_handle_defers_attach() {
+    let venue = Arc::new(random_venue(53));
+    let objects = workload::place_objects(&venue, 8, 1);
+    let mut service = IndoorService::new();
+    let id = service
+        .add_venue(
+            venue.clone(),
+            ShardConfig {
+                threads: 1,
+                objects,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+
+    let q = workload::query_points(&venue, 1, 2)[0];
+    let req = QueryRequest::Knn { q, k: 3 };
+    let before = service.execute(id, &req).unwrap();
+
+    let held = service.engine(id).unwrap().tree().clone();
+    let err = service
+        .attach_objects(id, &workload::place_objects(&venue, 8, 2))
+        .unwrap_err();
+    assert_eq!(err, ServiceError::SharedIndex(id));
+    assert_eq!(service.epoch(id).unwrap(), 0, "no epoch bump on failure");
+    assert_eq!(
+        service.execute(id, &req).unwrap(),
+        before,
+        "shard keeps serving its current objects"
+    );
+
+    drop(held);
+    service
+        .attach_objects(id, &workload::place_objects(&venue, 8, 2))
+        .expect("attach succeeds once the handle is dropped");
+    assert_eq!(service.epoch(id).unwrap(), 1);
+}
+
+/// Multi-venue routing: a shuffled cross-venue batch answers every slot
+/// exactly as the venue's own engine would, and venues never bleed into
+/// each other (distinct object sets give distinct answers).
+#[test]
+fn multi_venue_batches_route_correctly() {
+    let venue_a = Arc::new(presets::melbourne_central().build());
+    let venue_b = Arc::new(random_venue(12));
+    let objects_a = workload::place_objects(&venue_a, 20, 1);
+    let objects_b = workload::place_objects(&venue_b, 20, 2);
+
+    let mut service = IndoorService::new();
+    let id_a = service
+        .add_venue(
+            venue_a.clone(),
+            ShardConfig {
+                threads: 2,
+                objects: objects_a.clone(),
+                keywords: labelled(&objects_a),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+    let id_b = service
+        .add_venue(
+            venue_b.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: objects_b.clone(),
+                keywords: labelled(&objects_b),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(service.venue_count(), 2);
+    assert_eq!(service.venues().collect::<Vec<_>>(), vec![id_a, id_b]);
+
+    let mut reqs: Vec<(VenueId, QueryRequest)> = Vec::new();
+    for req in workload::mixed_requests(&venue_a, 4, 3, 110.0, KEYWORD, 3) {
+        reqs.push((id_a, req));
+    }
+    for req in workload::mixed_requests(&venue_b, 4, 3, 110.0, KEYWORD, 4) {
+        reqs.push((id_b, req));
+    }
+    workload::shuffle(&mut reqs, 99);
+
+    let got = service.execute_batch(&reqs);
+    assert_eq!(got.len(), reqs.len());
+    for (slot, (venue, req)) in reqs.iter().enumerate() {
+        let want = service.engine(*venue).unwrap().execute(req);
+        assert_eq!(got[slot].as_ref().unwrap(), &want, "slot {slot}");
+    }
+
+    // Replaying the batch is answered fully from cache.
+    let stats0 = service.stats();
+    let replay = service.execute_batch(&reqs);
+    assert_eq!(replay, got);
+    let stats1 = service.stats();
+    assert_eq!(
+        stats1.total_cache_hits() - stats0.total_cache_hits(),
+        reqs.len() as u64,
+        "replay must be all hits"
+    );
+    assert!(stats1.hit_rate() > 0.0);
+}
