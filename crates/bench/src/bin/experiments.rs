@@ -183,7 +183,7 @@ fn fig7(args: &Args) {
             ..Default::default()
         };
         let t0 = Instant::now();
-        let mut vip = VipTree::build(venue.clone(), &cfg).unwrap();
+        let vip = VipTree::build(venue.clone(), &cfg).unwrap();
         let build = t0.elapsed();
         vip.attach_objects(&objects);
         let (sd_us, _) = time_queries(&pairs, args.pairs, BUDGET, |(s, t)| {

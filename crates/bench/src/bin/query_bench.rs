@@ -23,12 +23,13 @@
 //!   preset through `QueryEngine::execute_batch` (uncached);
 //! * `SVC` rows — the same total mixed workload split over `venues`
 //!   shards of an `IndoorService`, measuring steady-state serving with a
-//!   warm epoch-keyed result cache (the repeated-batch loop is exactly a
+//!   warm version-stamped result cache (the repeated-batch loop is exactly a
 //!   hot-spot workload, so after the warm-up every request is a hit).
 
-use indoor_model::{QueryRequest, VenueId};
+use indoor_model::{IndoorPoint, ObjectDelta, ObjectId, QueryRequest, VenueId};
 use indoor_synth::{presets, workload};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use vip_tree::{IndoorService, KeywordObjects, QueryEngine, ShardConfig, VipTree, VipTreeConfig};
@@ -42,6 +43,8 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 /// `IndoorService` sharding axis: the same total mixed workload split
 /// over this many venue shards.
 const VENUE_COUNTS: [usize; 3] = [1, 2, 4];
+/// Object deltas per `update_objects` batch in the churn cells.
+const DELTAS_PER_BATCH: usize = 64;
 
 struct Row {
     dataset: String,
@@ -119,7 +122,7 @@ fn main() {
         let doors = venue.stats().doors;
         let objects = workload::place_objects(&venue, N_OBJECTS, 0xB0B);
         let labelled = workload::cycling_labels(&objects, KEYWORD);
-        let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
+        let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
         tree.attach_objects(&objects);
         let kw = Arc::new(KeywordObjects::build(tree.ip_tree(), &labelled));
         let tree = Arc::new(tree);
@@ -198,9 +201,9 @@ fn main() {
     // Multi-venue serving axis: the same total mixed workload split over
     // `venue_count` IndoorService shards (presets cycled), measuring the
     // steady state of a hot-spot workload — after the untimed warm-up
-    // run, every request is answered from the epoch-keyed cache.
+    // run, every request is answered from the version-stamped cache.
     for &venue_count in &VENUE_COUNTS {
-        let mut service = IndoorService::new();
+        let service = IndoorService::new();
         let mut reqs: Vec<(VenueId, QueryRequest)> = Vec::new();
         let mut doors = 0usize;
         let per_venue_per_kind = (N_QUERIES / (5 * venue_count)).max(1);
@@ -261,6 +264,91 @@ fn main() {
         });
     }
 
+    // Churn axis: µs per object delta absorbed by one venue while a
+    // mixed query load hammers a *second* venue of the same preset on a
+    // concurrent thread — the live-service update workload
+    // (`IndoorService::update_objects`). `qps` for these rows reads as
+    // updates/sec.
+    for (name, spec) in [
+        ("MC", presets::melbourne_central()),
+        ("MC-2", presets::melbourne_central_2()),
+        ("Men", presets::menzies()),
+    ] {
+        let venue = Arc::new(spec.build());
+        let doors = venue.stats().doors * 2; // two shards of this preset
+        let objects = workload::place_objects(&venue, N_OBJECTS, 0xB0B);
+        let service = IndoorService::new();
+        let churn_id = service
+            .add_venue(
+                venue.clone(),
+                ShardConfig {
+                    threads: 1,
+                    objects: objects.clone(),
+                    ..ShardConfig::default()
+                },
+            )
+            .expect("churn shard");
+        let query_id = service
+            .add_venue(
+                venue.clone(),
+                ShardConfig {
+                    threads: 1,
+                    objects: workload::place_objects(&venue, N_OBJECTS, 0xB0C),
+                    ..ShardConfig::default()
+                },
+            )
+            .expect("query shard");
+        let reqs: Vec<(VenueId, QueryRequest)> =
+            workload::mixed_requests(&venue, N_QUERIES / 5, KNN_K, RANGE_RADIUS, KEYWORD, 0xA9)
+                .into_iter()
+                .map(|r| (query_id, r))
+                .collect();
+        // Two alternating all-moves batches (always valid, any order).
+        let alt = workload::place_objects(&venue, N_OBJECTS, 0xB0D);
+        let batch_for = |pool: &[IndoorPoint]| -> Vec<ObjectDelta> {
+            (0..DELTAS_PER_BATCH)
+                .map(|i| ObjectDelta::Move {
+                    id: ObjectId(i as u32),
+                    to: pool[i % pool.len()],
+                })
+                .collect()
+        };
+        let batches = [batch_for(&alt), batch_for(&objects)];
+        let stop = AtomicBool::new(false);
+        let us = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(service.execute_batch(&reqs));
+                }
+            });
+            let mut flip = 0usize;
+            let us = median_us(reps, DELTAS_PER_BATCH, || {
+                std::hint::black_box(
+                    service
+                        .update_objects(churn_id, &batches[flip % 2])
+                        .expect("churn deltas"),
+                );
+                flip += 1;
+            });
+            stop.store(true, Ordering::Relaxed);
+            us
+        });
+        println!(
+            "== {name} churn: {:9.2} us/delta ({:9.0} updates/s) under mixed load on a second venue",
+            us,
+            1e6 / us
+        );
+        rows.push(Row {
+            dataset: name.to_string(),
+            doors,
+            query: "churn",
+            threads: 1,
+            venues: 2,
+            n_queries: DELTAS_PER_BATCH,
+            us_per_query: us,
+        });
+    }
+
     let mut json = String::new();
     json.push_str("{\n  \"benchmark\": \"vip_tree_query\",\n");
     let _ = writeln!(
@@ -271,7 +359,7 @@ fn main() {
     if let Ok(t) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
         let _ = writeln!(json, "  \"generated_unix\": {},", t.as_secs());
     }
-    json.push_str("  \"note\": \"batch results are slot-indexed and bit-identical to the serial loop (tests/concurrent_queries.rs); multi-thread speedup saturates at host_cores; mixed cells run shuffled heterogeneous QueryRequest batches; SVC rows measure IndoorService steady-state serving with a warm epoch-keyed cache over `venues` shards (venue sets differ per count, so their speedup_vs_serial is fixed at 1.0)\",\n");
+    json.push_str("  \"note\": \"batch results are slot-indexed and bit-identical to the serial loop (tests/concurrent_queries.rs); multi-thread speedup saturates at host_cores; mixed cells run shuffled heterogeneous QueryRequest batches; SVC rows measure IndoorService steady-state serving with a warm version-stamped cache over `venues` shards (venue sets differ per count, so their speedup_vs_serial is fixed at 1.0); churn rows are us per ObjectDelta absorbed by update_objects on one venue while a mixed load hammers a second venue concurrently (qps = updates/sec, speedup fixed at 1.0)\",\n");
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         // SVC rows serve a *different* venue set per venue count, so no

@@ -145,11 +145,11 @@ pub fn build_suite(venue: &Arc<Venue>, opts: &SuiteOptions) -> Vec<(AnyIndex, Du
     let cfg = VipTreeConfig::default();
 
     let t0 = Instant::now();
-    let mut vip = VipTree::build(venue.clone(), &cfg).expect("vip build");
+    let vip = VipTree::build(venue.clone(), &cfg).expect("vip build");
     let t_vip = t0.elapsed();
 
     let t0 = Instant::now();
-    let mut ip = IpTree::build(venue.clone(), &cfg).expect("ip build");
+    let ip = IpTree::build(venue.clone(), &cfg).expect("ip build");
     let t_ip = t0.elapsed();
 
     let t0 = Instant::now();

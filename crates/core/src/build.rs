@@ -294,7 +294,9 @@ impl IpTree {
             decompose_fallbacks: std::sync::atomic::AtomicU64::new(0),
             engines: pool,
             scratch: crate::exec::ScratchPool::new(),
-            objects: None,
+            objects: std::sync::RwLock::new(None),
+            objects_update: std::sync::Mutex::new(()),
+            objects_gen: std::sync::atomic::AtomicU64::new(0),
         })
     }
 }

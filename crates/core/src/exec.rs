@@ -219,7 +219,18 @@ impl TreeHandle {
 #[derive(Debug)]
 pub struct QueryEngine {
     tree: TreeHandle,
-    keywords: Option<Arc<KeywordObjects>>,
+    /// Swappable under `&self` so a live service can absorb keyword-object
+    /// churn without rebuilding the engine. Snapshotted **once per
+    /// `execute`/`execute_batch` call** — a batch answers every slot from
+    /// one keyword snapshot, so a mid-batch swap can never mix pre- and
+    /// post-swap answers within a batch (and the per-query hot path pays
+    /// no lock).
+    keywords: std::sync::RwLock<Option<Arc<KeywordObjects>>>,
+    /// Keyword-snapshot generation: bumped (after the swap) by every
+    /// [`QueryEngine::set_keywords`], whoever calls it — the stamp result
+    /// caches key keyword answers by, so out-of-band swaps can never be
+    /// mistaken for the cached snapshot.
+    keywords_gen: std::sync::atomic::AtomicU64,
     threads: usize,
     pool: ScratchPool,
 }
@@ -239,7 +250,8 @@ impl QueryEngine {
     pub fn new(tree: TreeHandle) -> QueryEngine {
         QueryEngine {
             tree,
-            keywords: None,
+            keywords: std::sync::RwLock::new(None),
+            keywords_gen: std::sync::atomic::AtomicU64::new(0),
             threads: 0,
             pool: ScratchPool::new(),
         }
@@ -260,9 +272,24 @@ impl QueryEngine {
 
     /// Attach a keyword index for keyword-kNN requests
     /// ([`QueryEngine::batch_knn_keyword`], `KnnKeyword` requests).
-    pub fn with_keywords(mut self, keywords: Arc<KeywordObjects>) -> Self {
-        self.keywords = Some(keywords);
+    pub fn with_keywords(self, keywords: Arc<KeywordObjects>) -> Self {
+        self.set_keywords(Some(keywords));
         self
+    }
+
+    /// Swap (or detach) the keyword index on a live engine. In-flight
+    /// calls finish on the snapshot they captured at entry; the keyword
+    /// generation bumps *after* the swap, so a caller observing the new
+    /// generation is guaranteed to see the new index.
+    pub fn set_keywords(&self, keywords: Option<Arc<KeywordObjects>>) {
+        *self.keywords.write().expect("keywords lock") = keywords;
+        self.keywords_gen
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// The keyword-snapshot generation (see [`QueryEngine::set_keywords`]).
+    pub fn keywords_generation(&self) -> u64 {
+        self.keywords_gen.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// The backend handle.
@@ -271,15 +298,16 @@ impl QueryEngine {
         &self.tree
     }
 
-    /// The attached keyword index, if any.
+    /// The attached keyword index snapshot, if any.
     #[inline]
-    pub fn keywords(&self) -> Option<&Arc<KeywordObjects>> {
-        self.keywords.as_ref()
+    pub fn keywords(&self) -> Option<Arc<KeywordObjects>> {
+        self.keywords.read().expect("keywords lock").clone()
     }
 
     /// Deconstruct into the backend handle, releasing this engine's clone
-    /// of the tree `Arc` (used by the service layer to regain `&mut` access
-    /// to the tree for `attach_objects`).
+    /// of the tree `Arc`. (Object churn no longer needs this — attach and
+    /// delta application swap under `&self` — but callers that want to
+    /// retire an engine and keep its tree still do.)
     pub fn into_tree(self) -> TreeHandle {
         self.tree
     }
@@ -340,11 +368,12 @@ impl QueryEngine {
     fn keyword_one(
         &self,
         scratch: &mut QueryScratch,
+        keywords: Option<&Arc<KeywordObjects>>,
         q: &IndoorPoint,
         k: usize,
         label: &str,
     ) -> Vec<(ObjectId, f64)> {
-        match &self.keywords {
+        match keywords {
             Some(kw) => kw.knn_keyword_in(self.tree.ip(), q, k, label, scratch),
             // Mirror `KeywordObjects::knn_keyword` on an unknown term: no
             // keyword index means no object carries the keyword.
@@ -354,14 +383,21 @@ impl QueryEngine {
 
     /// Answer one typed request on caller-owned scratch — the single
     /// dispatch point every batch and per-kind call funnels through.
-    fn execute_in(&self, scratch: &mut QueryScratch, req: &QueryRequest) -> QueryResponse {
+    /// `keywords` is the caller's per-call snapshot (captured once, even
+    /// for a whole batch).
+    fn execute_in(
+        &self,
+        scratch: &mut QueryScratch,
+        keywords: Option<&Arc<KeywordObjects>>,
+        req: &QueryRequest,
+    ) -> QueryResponse {
         match req {
             QueryRequest::Knn { q, k } => QueryResponse::Knn(self.knn_one(scratch, q, *k)),
             QueryRequest::Range { q, radius } => {
                 QueryResponse::Range(self.range_one(scratch, q, *radius))
             }
             QueryRequest::KnnKeyword { q, k, keyword } => {
-                QueryResponse::KnnKeyword(self.keyword_one(scratch, q, *k, keyword))
+                QueryResponse::KnnKeyword(self.keyword_one(scratch, keywords, q, *k, keyword))
             }
             QueryRequest::ShortestDistance { s, t } => {
                 QueryResponse::ShortestDistance(self.distance_one(scratch, s, t))
@@ -374,7 +410,8 @@ impl QueryEngine {
 
     /// Answer one typed request through the pool.
     pub fn execute(&self, req: &QueryRequest) -> QueryResponse {
-        self.execute_in(&mut self.pool.checkout(), req)
+        let keywords = self.keywords();
+        self.execute_in(&mut self.pool.checkout(), keywords.as_ref(), req)
     }
 
     /// Answer a heterogeneous batch of typed requests; slot `i` answers
@@ -386,11 +423,14 @@ impl QueryEngine {
     /// path queries — is one batch, fanned over `threads` workers with one
     /// pooled scratch per worker.
     pub fn execute_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        // One keyword snapshot for the whole batch: every slot answers
+        // from the same index even if `set_keywords` swaps mid-batch.
+        let keywords = self.keywords();
         par_map_init(
             reqs,
             self.threads,
             || self.pool.checkout(),
-            |scratch, _, req| self.execute_in(scratch, req),
+            |scratch, _, req| self.execute_in(scratch, keywords.as_ref(), req),
         )
     }
 
@@ -449,7 +489,7 @@ impl QueryEngine {
         k: usize,
         label: &str,
     ) -> Vec<Vec<(ObjectId, f64)>> {
-        if self.keywords.is_none() {
+        if self.keywords().is_none() {
             return vec![Vec::new(); queries.len()];
         }
         // One shared allocation for the label; request clones are free.
@@ -555,7 +595,7 @@ mod tests {
     #[test]
     fn engine_single_queries_match_tree_apis() {
         let venue = std::sync::Arc::new(random_venue(17));
-        let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
         tree.attach_objects(&workload::place_objects(&venue, 14, 2));
         let tree = Arc::new(tree);
         let engine = QueryEngine::for_vip(tree.clone()).with_threads(1);

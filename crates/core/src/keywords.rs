@@ -11,36 +11,58 @@
 
 use crate::ascent::Ascent;
 use crate::exec::{EpochMarks, QueryScratch};
-use crate::objects::ObjectIndex;
+use crate::objects::{DeltaReport, ObjectIndex};
 use crate::tree::{IpTree, NodeIdx, NO_NODE};
 use geometry::TotalF64;
-use indoor_model::{IndoorPoint, ObjectId};
+use indoor_model::{DeltaError, IndoorPoint, ObjectDelta, ObjectId, ObjectUpdate};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Interned term identifier.
 pub type TermId = u32;
 
 /// Labelled objects embedded in the tree with per-node inverted lists.
-#[derive(Debug)]
+///
+/// The per-node lists are **counted** (term → number of live objects in
+/// the subtree carrying it) rather than plain sets, so a removal can
+/// decrement its terms along one ancestor chain instead of recounting the
+/// subtree — [`KeywordObjects::apply_delta`] re-threads the inverted
+/// lists for the touched objects only.
+#[derive(Debug, Clone)]
 pub struct KeywordObjects {
     objects: ObjectIndex,
     terms: HashMap<String, TermId>,
-    /// Sorted term ids per object.
+    /// Sorted term ids per object slot (stale in tombstoned slots).
     object_terms: Vec<Vec<TermId>>,
-    /// Sorted term ids present in each node's subtree.
-    node_terms: Vec<Vec<TermId>>,
+    /// Per node: term → live-object count in the subtree.
+    node_terms: Vec<HashMap<TermId, u32>>,
 }
 
 impl KeywordObjects {
-    /// Build from `(location, labels)` pairs.
+    /// Build from `(location, labels)` pairs (positional ids).
     pub fn build(tree: &IpTree, objects: &[(IndoorPoint, Vec<String>)]) -> KeywordObjects {
-        let points: Vec<IndoorPoint> = objects.iter().map(|(p, _)| *p).collect();
-        let oi = ObjectIndex::build(tree, &points);
+        let triples: Vec<(ObjectId, IndoorPoint, Vec<String>)> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, (p, l))| (ObjectId(i as u32), *p, l.clone()))
+            .collect();
+        Self::build_with_ids(tree, &triples)
+    }
 
+    /// As [`KeywordObjects::build`] with caller-assigned stable ids (ids
+    /// may have gaps — e.g. the live set surviving a delta history).
+    pub fn build_with_ids(
+        tree: &IpTree,
+        objects: &[(ObjectId, IndoorPoint, Vec<String>)],
+    ) -> KeywordObjects {
+        let pairs: Vec<(ObjectId, IndoorPoint)> =
+            objects.iter().map(|(id, p, _)| (*id, *p)).collect();
+        let oi = ObjectIndex::build_with_ids(tree, &pairs);
+
+        let slots = oi.num_objects();
         let mut terms: HashMap<String, TermId> = HashMap::new();
-        let mut object_terms: Vec<Vec<TermId>> = Vec::with_capacity(objects.len());
-        for (_, labels) in objects {
+        let mut object_terms: Vec<Vec<TermId>> = vec![Vec::new(); slots];
+        for (id, _, labels) in objects {
             let mut ids: Vec<TermId> = labels
                 .iter()
                 .map(|l| {
@@ -50,25 +72,15 @@ impl KeywordObjects {
                 .collect();
             ids.sort_unstable();
             ids.dedup();
-            object_terms.push(ids);
+            object_terms[id.index()] = ids;
         }
 
-        // Inverted lists: union object terms up every ancestor chain.
-        let mut node_terms: Vec<Vec<TermId>> = vec![Vec::new(); tree.num_nodes()];
-        for (i, (p, _)) in objects.iter().enumerate() {
-            let mut cur = tree.leaf_of(p.partition);
-            loop {
-                node_terms[cur as usize].extend_from_slice(&object_terms[i]);
-                let parent = tree.node(cur).parent;
-                if parent == NO_NODE {
-                    break;
-                }
-                cur = parent;
-            }
-        }
-        for t in &mut node_terms {
-            t.sort_unstable();
-            t.dedup();
+        // Counted inverted lists: each object's terms increment every
+        // ancestor of its leaf.
+        let mut node_terms: Vec<HashMap<TermId, u32>> = vec![HashMap::new(); tree.num_nodes()];
+        for (id, p, _) in objects {
+            let leaf = tree.leaf_of(p.partition);
+            adjust_term_counts(tree, &mut node_terms, leaf, &object_terms[id.index()], 1);
         }
 
         KeywordObjects {
@@ -77,6 +89,105 @@ impl KeywordObjects {
             object_terms,
             node_terms,
         }
+    }
+
+    /// Absorb labelled object deltas: the point deltas maintain the inner
+    /// [`ObjectIndex`] incrementally, and the inverted lists are adjusted
+    /// along the touched objects' ancestor chains only. `Insert` takes its
+    /// labels from the update; `Move` keeps the object's existing labels;
+    /// `Remove` needs none. Validation is atomic (an invalid batch leaves
+    /// the index untouched).
+    pub fn apply_delta(
+        &mut self,
+        tree: &IpTree,
+        updates: &[ObjectUpdate],
+    ) -> Result<DeltaReport, DeltaError> {
+        let deltas: Vec<ObjectDelta> = updates.iter().map(|u| u.delta).collect();
+        self.objects.validate(tree, &deltas)?;
+
+        let mut report = DeltaReport::default();
+        let mut touched: HashSet<NodeIdx> = HashSet::new();
+        for update in updates {
+            // Capture the pre-delta leaf for decrement paths.
+            let old_leaf = match update.delta {
+                ObjectDelta::Remove { id } | ObjectDelta::Move { id, .. } => {
+                    Some(tree.leaf_of(self.objects.object(id).partition))
+                }
+                ObjectDelta::Insert { .. } => None,
+            };
+            let one = self.objects.apply_delta(tree, &[update.delta])?;
+            report.inserts += one.inserts;
+            report.removes += one.removes;
+            report.moves += one.moves;
+            report.compactions += one.compactions;
+            match update.delta {
+                ObjectDelta::Insert { id, at } => {
+                    let mut ids: Vec<TermId> = update
+                        .labels
+                        .iter()
+                        .map(|l| {
+                            let next = self.terms.len() as TermId;
+                            *self.terms.entry(l.clone()).or_insert(next)
+                        })
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    if id.index() >= self.object_terms.len() {
+                        self.object_terms.resize(id.index() + 1, Vec::new());
+                    }
+                    self.object_terms[id.index()] = ids;
+                    let leaf = tree.leaf_of(at.partition);
+                    adjust_term_counts(
+                        tree,
+                        &mut self.node_terms,
+                        leaf,
+                        &self.object_terms[id.index()],
+                        1,
+                    );
+                    touched.insert(leaf);
+                }
+                ObjectDelta::Remove { id } => {
+                    let leaf = old_leaf.expect("remove captured its leaf");
+                    adjust_term_counts(
+                        tree,
+                        &mut self.node_terms,
+                        leaf,
+                        &self.object_terms[id.index()],
+                        -1,
+                    );
+                    touched.insert(leaf);
+                }
+                ObjectDelta::Move { id, to } => {
+                    let from_leaf = old_leaf.expect("move captured its leaf");
+                    let to_leaf = tree.leaf_of(to.partition);
+                    if from_leaf != to_leaf {
+                        adjust_term_counts(
+                            tree,
+                            &mut self.node_terms,
+                            from_leaf,
+                            &self.object_terms[id.index()],
+                            -1,
+                        );
+                        adjust_term_counts(
+                            tree,
+                            &mut self.node_terms,
+                            to_leaf,
+                            &self.object_terms[id.index()],
+                            1,
+                        );
+                    }
+                    touched.insert(from_leaf);
+                    touched.insert(to_leaf);
+                }
+            }
+        }
+        report.touched_leaves = touched.len();
+        Ok(report)
+    }
+
+    /// The inner object index (positions, live set, maintenance stats).
+    pub fn object_index(&self) -> &ObjectIndex {
+        &self.objects
     }
 
     /// Look up a term (queries with unknown terms return no results).
@@ -89,7 +200,7 @@ impl KeywordObjects {
     }
 
     fn subtree_has(&self, n: NodeIdx, term: TermId) -> bool {
-        self.node_terms[n as usize].binary_search(&term).is_ok()
+        self.node_terms[n as usize].contains_key(&term)
     }
 
     /// The `k` nearest objects carrying `label`. Distance pruning follows
@@ -231,7 +342,8 @@ impl KeywordObjects {
             if !self.object_has(o, term) || !d.is_finite() {
                 return;
             }
-            if best.len() < k || d < best.peek().unwrap().0 .0 {
+            // (distance, id) tie-break — see `IpTree::knn_from_ascent`.
+            if best.len() < k || (TotalF64(d), o) < *best.peek().unwrap() {
                 best.push((TotalF64(d), o));
                 if best.len() > k {
                     best.pop();
@@ -239,6 +351,34 @@ impl KeywordObjects {
             }
         };
         tree.scan_leaf(q, &self.objects, leaf, vec, asc, bound, marks, &mut emit);
+    }
+}
+
+/// Add `delta` to the counts of `terms` in `leaf` and every ancestor,
+/// dropping entries that reach zero (so `subtree_has` stays a plain
+/// membership probe).
+fn adjust_term_counts(
+    tree: &IpTree,
+    node_terms: &mut [HashMap<TermId, u32>],
+    leaf: NodeIdx,
+    terms: &[TermId],
+    delta: i64,
+) {
+    let mut cur = leaf;
+    loop {
+        let counts = &mut node_terms[cur as usize];
+        for &t in terms {
+            let c = counts.entry(t).or_insert(0);
+            *c = (*c as i64 + delta) as u32;
+            if *c == 0 {
+                counts.remove(&t);
+            }
+        }
+        let parent = tree.node(cur).parent;
+        if parent == NO_NODE {
+            break;
+        }
+        cur = parent;
     }
 }
 
@@ -271,7 +411,7 @@ mod tests {
             let kw = KeywordObjects::build(&tree, &labelled);
 
             // Unfiltered index for ground-truth distances.
-            let mut plain = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let plain = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
             plain.attach_objects(&points);
 
             for q in workload::query_points(&venue, 6, seed ^ 0xE) {

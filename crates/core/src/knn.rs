@@ -71,14 +71,74 @@ impl DistArena {
 
 impl IpTree {
     /// Attach an object set, replacing any previous one (§3.4).
-    pub fn attach_objects(&mut self, objects: &[IndoorPoint]) {
+    ///
+    /// Takes `&self`: the new index is built off to the side and swapped
+    /// in, so concurrent queries keep serving the previous snapshot until
+    /// the swap and the fresh one afterwards — never a torn state.
+    pub fn attach_objects(&self, objects: &[IndoorPoint]) {
         let oi = ObjectIndex::build(self, objects);
-        self.objects = Some(oi);
+        self.install_objects(oi);
     }
 
-    /// The embedded object index, if any.
-    pub fn object_index(&self) -> Option<&ObjectIndex> {
-        self.objects.as_ref()
+    /// Absorb a batch of object deltas (insert/remove/move) into the
+    /// attached object set — or into an empty one if none is attached.
+    ///
+    /// Copy-on-write: the current snapshot is cloned (a memcpy of the
+    /// buckets — no distance recomputation), the deltas are applied
+    /// incrementally to the clone ([`ObjectIndex::apply_delta`] touches
+    /// only the leaves the deltas land in), and the clone is swapped in.
+    /// Concurrent updaters are serialised by an internal mutex so no
+    /// delta batch is ever lost; concurrent queries are never blocked by
+    /// an in-progress update.
+    pub fn apply_object_deltas(
+        &self,
+        deltas: &[indoor_model::ObjectDelta],
+    ) -> Result<crate::objects::DeltaReport, indoor_model::DeltaError> {
+        let _serialise = self.objects_update.lock().expect("object update lock");
+        let current = self.objects.read().expect("objects lock").clone();
+        let mut next = match current {
+            Some(arc) => (*arc).clone(),
+            None => ObjectIndex::empty(self),
+        };
+        let report = next.apply_delta(self, deltas)?;
+        *self.objects.write().expect("objects lock") = Some(std::sync::Arc::new(next));
+        // Swap before bump: a reader observing the new generation is
+        // guaranteed to read (at least) the new snapshot.
+        self.objects_gen
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        Ok(report)
+    }
+
+    /// As [`IpTree::attach_objects`] with caller-assigned stable ids (ids
+    /// may have gaps — e.g. the live set surviving a delta history). The
+    /// from-scratch reference of the delta-vs-rebuild equivalence
+    /// contract (`tests/object_deltas.rs`).
+    pub fn attach_objects_with_ids(&self, objects: &[(ObjectId, IndoorPoint)]) {
+        self.install_objects(ObjectIndex::build_with_ids(self, objects));
+    }
+
+    /// Install a pre-built object index (swap; see
+    /// [`IpTree::attach_objects`]).
+    pub(crate) fn install_objects(&self, oi: ObjectIndex) {
+        let _serialise = self.objects_update.lock().expect("object update lock");
+        *self.objects.write().expect("objects lock") = Some(std::sync::Arc::new(oi));
+        self.objects_gen
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// The embedded object index snapshot, if any.
+    pub fn object_index(&self) -> Option<std::sync::Arc<ObjectIndex>> {
+        self.objects.read().expect("objects lock").clone()
+    }
+
+    /// The object-snapshot generation: bumped, *after* the swap, by every
+    /// object mutation — [`IpTree::attach_objects`],
+    /// [`IpTree::apply_object_deltas`], or anything else holding a tree
+    /// handle. Result caches key object answers by this stamp, so even
+    /// out-of-band mutation through a shared handle invalidates them
+    /// structurally.
+    pub fn objects_generation(&self) -> u64 {
+        self.objects_gen.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// k nearest neighbours of `q` (ascending by distance). Empty when no
@@ -166,10 +226,11 @@ impl IpTree {
         stats: &mut QueryStats,
     ) -> Vec<(ObjectId, f64)> {
         stats.queries += 1;
-        let Some(oi) = &self.objects else {
+        let Some(oi) = self.object_index() else {
             return Vec::new();
         };
-        if k == 0 || oi.objects.is_empty() {
+        let oi = &*oi;
+        if k == 0 || oi.num_live() == 0 {
             return Vec::new();
         }
         let QueryScratch {
@@ -192,8 +253,12 @@ impl IpTree {
                 best.peek().unwrap().0 .0
             }
         };
+        // Tie-break by (distance, id): the k-best set is the k smallest
+        // pairs, independent of leaf-scan encounter order — which makes
+        // answers byte-identical across physically different layouts of
+        // the same live object set (delta-maintained vs rebuilt).
         let consider = |best: &mut BinaryHeap<(TotalF64, ObjectId)>, o: ObjectId, d: f64| {
-            if d.is_finite() && (best.len() < k || d < best.peek().unwrap().0 .0) {
+            if d.is_finite() && (best.len() < k || (TotalF64(d), o) < *best.peek().unwrap()) {
                 best.push((TotalF64(d), o));
                 if best.len() > k {
                     best.pop();
@@ -280,9 +345,10 @@ impl IpTree {
         stats: &mut QueryStats,
     ) -> Vec<(ObjectId, f64)> {
         stats.queries += 1;
-        let Some(oi) = &self.objects else {
+        let Some(oi) = self.object_index() else {
             return Vec::new();
         };
+        let oi = &*oi;
         let QueryScratch {
             asc_s,
             arena,
@@ -430,7 +496,10 @@ impl IpTree {
                 &q.door_seeds(venue),
                 Termination::SettleAll(&targets),
             );
-            for oid in &data.objs {
+            for (slot, oid) in data.objs.iter().enumerate() {
+                if !data.live[slot] {
+                    continue; // tombstoned by a delta
+                }
                 let o = oi.object(*oid);
                 let mut d = q.direct_distance(venue, o).unwrap_or(f64::INFINITY);
                 for &door in &venue.partition(o.partition).doors {
@@ -491,7 +560,7 @@ mod tests {
         #[test]
         fn knn_matches_brute_force(seed in 0u64..1_500, k in 1usize..8, n_obj in 1usize..30) {
             let venue = Arc::new(random_venue(seed));
-            let mut tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
             let objects = workload::place_objects(&venue, n_obj, seed ^ 0x0B);
             tree.attach_objects(&objects);
             let mut engine = DijkstraEngine::new(venue.num_doors());
@@ -515,7 +584,7 @@ mod tests {
         #[test]
         fn range_matches_brute_force(seed in 0u64..1_500, n_obj in 1usize..30) {
             let venue = Arc::new(random_venue(seed));
-            let mut tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
             let objects = workload::place_objects(&venue, n_obj, seed ^ 0x0C);
             tree.attach_objects(&objects);
             let mut engine = DijkstraEngine::new(venue.num_doors());
@@ -539,8 +608,8 @@ mod tests {
         #[test]
         fn vip_knn_agrees_with_ip(seed in 0u64..800) {
             let venue = Arc::new(random_venue(seed));
-            let mut ip = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
-            let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let ip = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+            let vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
             let objects = workload::place_objects(&venue, 15, seed ^ 0x0D);
             ip.attach_objects(&objects);
             vip.attach_objects(&objects);

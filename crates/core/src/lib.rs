@@ -59,16 +59,21 @@ mod vip;
 
 pub use exec::{PooledScratch, QueryEngine, QueryScratch, ScratchPool, TreeHandle};
 pub use keywords::{KeywordObjects, TermId};
-pub use objects::ObjectIndex;
-pub use service::{IndoorService, KindStats, ServiceError, ServiceStats, ShardConfig};
+pub use objects::{DeltaReport, ObjectIndex, ObjectIndexStats};
+pub use service::{
+    IndoorService, KindStats, ServiceError, ServiceStats, ShardConfig, DEFAULT_CACHE_CAPACITY,
+};
 pub use stats::TreeStats;
 pub use tree::{BuildError, IpTree, NodeIdx, VipTreeConfig, NO_NODE};
 pub use vip::VipTree;
 
-// The typed request vocabulary lives in `indoor-model` (so every index
-// crate answers it); re-exported here because the engine and service
-// surfaces speak it.
-pub use indoor_model::{AnswerRequest, QueryKind, QueryRequest, QueryResponse, VenueId};
+// The typed request/delta vocabulary lives in `indoor-model` (so every
+// index crate answers it); re-exported here because the engine and
+// service surfaces speak it.
+pub use indoor_model::{
+    AnswerRequest, DeltaError, ObjectDelta, ObjectUpdate, QueryKind, QueryRequest, QueryResponse,
+    VenueId,
+};
 
 use indoor_model::{IndoorIndex, IndoorPath, IndoorPoint, ObjectId, ObjectQueries};
 

@@ -1,6 +1,6 @@
 //! Multi-venue serving front-end: a router of typed query requests over
-//! per-venue [`QueryEngine`] shards, fronted by an epoch-keyed result
-//! cache and per-query-kind counters.
+//! per-venue [`QueryEngine`] shards, fronted by a bounded, version-keyed
+//! result cache and per-query-kind counters.
 //!
 //! A deployment rarely serves one building: a campus directory answers
 //! kNN lookups for one venue while routing evacuation paths in another.
@@ -9,18 +9,42 @@
 //! engine pool, so venues never contend — and routes every
 //! `(VenueId, QueryRequest)` to its shard.
 //!
+//! # Live mutation under `&self`
+//!
+//! Every mutating entry point — [`IndoorService::add_venue`],
+//! [`IndoorService::remove_venue`], [`IndoorService::attach_objects`]
+//! (wholesale replacement) and [`IndoorService::update_objects`]
+//! (incremental [`ObjectDelta`] batches) — takes `&self`: the shard map
+//! sits behind an `RwLock` and each shard's serving state behind its own,
+//! so churn on one venue runs concurrently with `execute_batch` on every
+//! other (and only briefly gates new queries on its own). There is no
+//! service-wide pause and no "tree handle still shared" failure mode:
+//! object sets swap *inside* the shared tree (see
+//! [`IpTree::attach_objects`](crate::IpTree::attach_objects)), so
+//! in-flight queries finish on the snapshot they started with.
+//!
 //! # Caching and invalidation
 //!
 //! Batch answers are deterministic (bit-identical to the serial loop), so
-//! responses are cached under the logical key `(shard epoch, request)`
-//! (stored as epoch-stamped entries so probes borrow the request instead
-//! of cloning it). The epoch bumps on every
-//! [`IndoorService::attach_objects`], which makes a stale hit
+//! responses are cached under the logical key `(stamp, request)`. The
+//! stamp is the **data generation** of what the answer depends on: the
+//! tree's object-snapshot generation for kNN/range, the engine's
+//! keyword-snapshot generation for keyword-kNN, and a constant for
+//! shortest-distance/path answers (venue geometry is immutable while
+//! registered, so those survive object churn). A stale hit is
 //! *impossible by construction*: an entry only counts as a hit when its
-//! stamp equals the current epoch, and no entry written before the bump
-//! carries the new one. The bump also clears the map to bound memory —
-//! but correctness never depends on the clear (see DESIGN.md, "Typed
-//! requests, the service layer, and the epoch-keyed cache").
+//! stamp equals the current generation, every mutation path — including
+//! out-of-band swaps through a handle from [`IndoorService::engine`] —
+//! bumps the generation only **after** the new snapshot is swapped in,
+//! and queries capture their stamps before computing, so an answer is
+//! never stamped newer than the snapshot that produced it. The
+//! venue-level `epoch`/`version` counters are observability; rebuilds
+//! also clear the map, but deltas rely purely on stamps + eviction (see
+//! DESIGN.md, "Object deltas and the service version counter").
+//!
+//! The per-shard cache is **bounded**: a clock (second-chance) sweep
+//! evicts unreferenced entries once `cache_capacity` is reached, with
+//! eviction counts surfaced through [`ServiceStats`].
 //!
 //! # Concurrency
 //!
@@ -30,23 +54,123 @@
 //! their input slot, so output order is the input order regardless of
 //! shard scheduling.
 
-use crate::exec::{QueryEngine, TreeHandle};
+use crate::exec::QueryEngine;
 use crate::keywords::KeywordObjects;
+use crate::objects::{DeltaReport, ObjectIndex};
 use crate::tree::{BuildError, VipTreeConfig};
 use crate::vip::VipTree;
-use indoor_model::{IndoorPoint, QueryKind, QueryRequest, QueryResponse, Venue, VenueId};
+use indoor_model::{
+    DeltaError, IndoorPoint, ObjectDelta, ObjectUpdate, QueryKind, QueryRequest, QueryResponse,
+    Venue, VenueId,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-/// Cached answers are epoch-keyed: logically the cache maps
-/// `(shard epoch, request) → response`, stored as request → epoch-stamped
-/// response so probes can borrow the request (`map.get(req)`) instead of
-/// cloning it into a composite key. A stored entry only counts as a hit
-/// when its stamp equals the shard's current epoch — the epoch component
-/// is what makes invalidation structural rather than housekeeping.
-type Cache = HashMap<QueryRequest, (u64, QueryResponse)>;
+/// Default per-shard result-cache capacity (entries) when
+/// [`ShardConfig::cache_capacity`] is 0.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Stamp of answers that do not depend on the object set (shortest
+/// distance/path): venue geometry is immutable while registered, so these
+/// entries survive every object mutation.
+const STABLE_STAMP: u64 = u64::MAX;
+
+/// Bounded result cache with clock (second-chance) eviction.
+///
+/// Entries are stamped; a probe only hits when the entry's stamp equals
+/// the expected one, so version bumps invalidate structurally — dead
+/// entries are reclaimed by the clock sweep rather than an O(n) purge.
+#[derive(Debug)]
+struct ClockCache {
+    map: HashMap<QueryRequest, CacheEntry>,
+    /// Insertion ring the clock hand sweeps; always in sync with `map`.
+    ring: Vec<QueryRequest>,
+    hand: usize,
+    capacity: usize,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    stamp: u64,
+    referenced: bool,
+    resp: QueryResponse,
+}
+
+impl ClockCache {
+    fn new(capacity: usize) -> ClockCache {
+        ClockCache {
+            map: HashMap::new(),
+            ring: Vec::new(),
+            hand: 0,
+            capacity: capacity.max(1),
+            evictions: 0,
+        }
+    }
+
+    fn probe(&mut self, req: &QueryRequest, stamp: u64) -> Option<QueryResponse> {
+        let e = self.map.get_mut(req)?;
+        if e.stamp != stamp {
+            return None;
+        }
+        e.referenced = true;
+        Some(e.resp.clone())
+    }
+
+    fn insert(&mut self, req: QueryRequest, stamp: u64, resp: QueryResponse) {
+        if let Some(e) = self.map.get_mut(&req) {
+            // Re-insert under a fresh stamp revives the slot in place.
+            e.stamp = stamp;
+            e.resp = resp;
+            e.referenced = true;
+            return;
+        }
+        if self.ring.len() < self.capacity {
+            self.ring.push(req.clone());
+            self.map.insert(
+                req,
+                CacheEntry {
+                    stamp,
+                    referenced: false,
+                    resp,
+                },
+            );
+            return;
+        }
+        // Clock sweep: grant every referenced entry a second chance; the
+        // sweep terminates because it clears flags as it goes.
+        loop {
+            let victim = self.ring[self.hand].clone();
+            let e = self.map.get_mut(&victim).expect("ring key in map");
+            if e.referenced {
+                e.referenced = false;
+                self.hand = (self.hand + 1) % self.capacity;
+                continue;
+            }
+            self.map.remove(&victim);
+            self.ring[self.hand] = req.clone();
+            self.map.insert(
+                req,
+                CacheEntry {
+                    stamp,
+                    referenced: false,
+                    resp,
+                },
+            );
+            self.evictions += 1;
+            self.hand = (self.hand + 1) % self.capacity;
+            return;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.ring.clear();
+        self.hand = 0;
+    }
+}
 
 /// Per-venue construction parameters for [`IndoorService::add_venue`].
 #[derive(Debug, Clone, Default)]
@@ -59,63 +183,90 @@ pub struct ShardConfig {
     pub objects: Vec<IndoorPoint>,
     /// Labelled objects for keyword-kNN. When non-empty, the shard builds
     /// a [`KeywordObjects`] index and threads it through its engine
-    /// automatically — including across `attach_objects` rebuilds, so
-    /// keyword requests keep working without callers re-attaching it.
+    /// automatically; [`IndoorService::update_keyword_objects`] maintains
+    /// it incrementally afterwards.
     pub keywords: Vec<(IndoorPoint, Vec<String>)>,
+    /// Result-cache capacity in entries (0 = [`DEFAULT_CACHE_CAPACITY`]).
+    pub cache_capacity: usize,
 }
 
 /// Errors from routing requests to venue shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The request named a venue id no shard is registered under.
+    /// The request named a venue id no shard is registered under (never
+    /// registered, or removed).
     UnknownVenue(VenueId),
-    /// `attach_objects` needs exclusive ownership of the venue's tree,
-    /// but a caller still holds a handle cloned out of
-    /// [`IndoorService::engine`] / [`QueryEngine::tree`]. The shard is
-    /// untouched and keeps serving; retry once the handle is dropped.
-    SharedIndex(VenueId),
+    /// An object delta batch failed validation; the venue's object set is
+    /// untouched.
+    Delta(VenueId, DeltaError),
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::UnknownVenue(v) => write!(f, "no venue registered under id {v}"),
-            ServiceError::SharedIndex(v) => write!(
-                f,
-                "cannot attach objects to venue {v}: its tree handle is still shared"
-            ),
+            ServiceError::Delta(v, e) => write!(f, "object delta rejected for venue {v}: {e}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
-/// One venue's serving state. `engine` is `Some` outside of
-/// `attach_objects`, which briefly takes it to regain `&mut` access to
-/// the tree (the engine holds the only `Arc` clone).
+/// A shard's swappable serving state. Captured (engine + version) under
+/// one read-lock acquisition so answers are always stamped with the
+/// version of the snapshot that computed them.
+#[derive(Debug)]
+struct Serving {
+    engine: Arc<QueryEngine>,
+    /// Wholesale rebuild count (bumped by `attach_objects`) —
+    /// observability, mirrored from the pre-delta-era contract.
+    epoch: u64,
+    /// Object-mutation count (rebuilds, deltas and keyword updates
+    /// alike) — observability. Cache correctness keys on the *data*
+    /// generation counters ([`crate::IpTree::objects_generation`],
+    /// [`QueryEngine::keywords_generation`]), which bump on every swap no
+    /// matter who triggers it, so even out-of-band mutation through a
+    /// handle from [`IndoorService::engine`] invalidates structurally.
+    version: u64,
+}
+
+/// One venue's serving state.
 #[derive(Debug)]
 struct Shard {
-    engine: Option<QueryEngine>,
-    keywords: Option<Arc<KeywordObjects>>,
-    threads: usize,
-    epoch: u64,
-    cache: Mutex<Cache>,
+    serving: RwLock<Serving>,
+    cache: Mutex<ClockCache>,
 }
 
 impl Shard {
-    #[inline]
-    fn engine(&self) -> &QueryEngine {
-        self.engine.as_ref().expect("shard engine present")
+    /// The currently serving engine.
+    fn engine(&self) -> Arc<QueryEngine> {
+        self.serving.read().expect("serving lock").engine.clone()
+    }
+}
+
+/// The cache stamps of one serving moment: captured **before** probing
+/// or computing, so an answer is never stamped newer than the snapshot
+/// that produced it.
+#[derive(Clone, Copy)]
+struct Stamps {
+    objects: u64,
+    keywords: u64,
+}
+
+impl Stamps {
+    fn capture(engine: &QueryEngine) -> Stamps {
+        Stamps {
+            objects: engine.tree().ip().objects_generation(),
+            keywords: engine.keywords_generation(),
+        }
     }
 
-    /// Build this shard's engine around a tree, re-threading the keyword
-    /// index automatically.
-    fn make_engine(&self, tree: Arc<VipTree>) -> QueryEngine {
-        let mut engine = QueryEngine::for_vip(tree).with_threads(self.threads);
-        if let Some(kw) = &self.keywords {
-            engine = engine.with_keywords(kw.clone());
+    fn for_kind(&self, kind: QueryKind) -> u64 {
+        match kind {
+            QueryKind::ShortestDistance | QueryKind::ShortestPath => STABLE_STAMP,
+            QueryKind::Knn | QueryKind::Range => self.objects,
+            QueryKind::KnnKeyword => self.keywords,
         }
-        engine
     }
 }
 
@@ -165,8 +316,14 @@ impl KindStats {
 pub struct ServiceStats {
     /// Registered venue shards.
     pub venues: usize,
-    /// Live result-cache entries summed over shards.
+    /// Live result-cache entries summed over shards (includes entries
+    /// whose stamp has gone stale but which eviction has not reclaimed
+    /// yet).
     pub cached_entries: usize,
+    /// Result-cache capacity summed over shards.
+    pub cache_capacity: usize,
+    /// Clock-eviction count summed over shards.
+    pub evictions: u64,
     /// Per-kind counters, indexed by [`QueryKind::index`].
     pub kinds: [KindStats; QueryKind::COUNT],
 }
@@ -199,21 +356,23 @@ impl ServiceStats {
 }
 
 /// Multi-venue query service: routes typed requests to per-venue engine
-/// shards through an epoch-keyed result cache.
+/// shards through a bounded, version-keyed result cache. All mutating
+/// entry points take `&self` (see the module docs).
 ///
 /// ```
 /// use indoor_synth::{random_venue, workload};
 /// use std::sync::Arc;
 /// use vip_tree::{IndoorService, ShardConfig};
-/// use indoor_model::QueryRequest;
+/// use indoor_model::{ObjectDelta, ObjectId, QueryRequest};
 ///
 /// let venue = Arc::new(random_venue(5));
-/// let mut service = IndoorService::new();
+/// let objects = workload::place_objects(&venue, 10, 1);
+/// let service = IndoorService::new();
 /// let id = service
 ///     .add_venue(
 ///         venue.clone(),
 ///         ShardConfig {
-///             objects: workload::place_objects(&venue, 10, 1),
+///             objects: objects.clone(),
 ///             ..ShardConfig::default()
 ///         },
 ///     )
@@ -224,10 +383,18 @@ impl ServiceStats {
 /// let second = service.execute(id, &req).unwrap(); // served from cache
 /// assert_eq!(first, second);
 /// assert_eq!(service.stats().total_cache_hits(), 1);
+///
+/// // Live churn, no &mut: move one object, version bumps, cache misses.
+/// service
+///     .update_objects(id, &[ObjectDelta::Move { id: ObjectId(0), to: objects[1] }])
+///     .unwrap();
+/// assert_eq!(service.version(id).unwrap(), 1);
 /// ```
 #[derive(Debug, Default)]
 pub struct IndoorService {
-    shards: Vec<Shard>,
+    /// Slot = `VenueId`; removed venues leave a `None` (ids are never
+    /// reused, so a stale id can never alias a new venue).
+    shards: RwLock<Vec<Option<Arc<Shard>>>>,
     counters: [KindCounters; QueryKind::COUNT],
 }
 
@@ -239,103 +406,193 @@ impl IndoorService {
 
     /// Build a VIP-tree shard for `venue` and register it, returning the
     /// id requests route by. Objects and keyword objects from the config
-    /// are attached before the shard serves its first query.
-    pub fn add_venue(
-        &mut self,
-        venue: Arc<Venue>,
-        config: ShardConfig,
-    ) -> Result<VenueId, BuildError> {
-        let mut tree = VipTree::build(venue, &config.tree)?;
+    /// are attached before the shard serves its first query. The build
+    /// runs outside the shard-map lock, so a live service keeps serving
+    /// every existing venue while a new one is constructed.
+    pub fn add_venue(&self, venue: Arc<Venue>, config: ShardConfig) -> Result<VenueId, BuildError> {
+        let tree = VipTree::build(venue, &config.tree)?;
         if !config.objects.is_empty() {
             tree.attach_objects(&config.objects);
         }
-        let keywords = if config.keywords.is_empty() {
-            None
-        } else {
-            Some(Arc::new(KeywordObjects::build(
-                tree.ip_tree(),
-                &config.keywords,
-            )))
-        };
         let mut engine = QueryEngine::for_vip(Arc::new(tree)).with_threads(config.threads);
-        if let Some(kw) = &keywords {
-            engine = engine.with_keywords(kw.clone());
+        if !config.keywords.is_empty() {
+            let kw = KeywordObjects::build(engine.tree().ip(), &config.keywords);
+            engine = engine.with_keywords(Arc::new(kw));
         }
-        let id = VenueId::from(self.shards.len());
-        self.shards.push(Shard {
-            engine: Some(engine),
-            keywords,
-            threads: config.threads,
-            epoch: 0,
-            cache: Mutex::default(),
+        let capacity = if config.cache_capacity == 0 {
+            DEFAULT_CACHE_CAPACITY
+        } else {
+            config.cache_capacity
+        };
+        let shard = Arc::new(Shard {
+            serving: RwLock::new(Serving {
+                engine: Arc::new(engine),
+                epoch: 0,
+                version: 0,
+            }),
+            cache: Mutex::new(ClockCache::new(capacity)),
         });
+        let mut shards = self.shards.write().expect("shard map lock");
+        let id = VenueId::from(shards.len());
+        shards.push(Some(shard));
         Ok(id)
+    }
+
+    /// Unregister a venue. Its id is never reused; in-flight batches that
+    /// already routed to the shard finish normally.
+    pub fn remove_venue(&self, venue: VenueId) -> Result<(), ServiceError> {
+        let mut shards = self.shards.write().expect("shard map lock");
+        match shards.get_mut(venue.index()) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                Ok(())
+            }
+            _ => Err(ServiceError::UnknownVenue(venue)),
+        }
     }
 
     /// Number of registered venues.
     pub fn venue_count(&self) -> usize {
-        self.shards.len()
+        self.shards
+            .read()
+            .expect("shard map lock")
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
     }
 
     /// The ids of all registered venues.
-    pub fn venues(&self) -> impl Iterator<Item = VenueId> + '_ {
-        (0..self.shards.len()).map(VenueId::from)
+    pub fn venues(&self) -> Vec<VenueId> {
+        self.shards
+            .read()
+            .expect("shard map lock")
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| VenueId::from(i)))
+            .collect()
     }
 
-    /// A venue's query engine (for direct, uncached access).
-    pub fn engine(&self, venue: VenueId) -> Result<&QueryEngine, ServiceError> {
-        self.shard(venue).map(Shard::engine)
+    /// A venue's query engine (for direct, uncached access). Mutating the
+    /// underlying tree or keyword index through this handle is safe for
+    /// the cache — stamps derive from the data generation counters, which
+    /// bump on every swap — but prefer the service's typed entry points,
+    /// which also maintain the venue's epoch/version observability.
+    pub fn engine(&self, venue: VenueId) -> Result<Arc<QueryEngine>, ServiceError> {
+        Ok(self.shard(venue)?.engine())
     }
 
-    /// A venue's current cache epoch (bumped by every
+    /// A venue's rebuild epoch (bumped by every
     /// [`IndoorService::attach_objects`]).
     pub fn epoch(&self, venue: VenueId) -> Result<u64, ServiceError> {
-        self.shard(venue).map(|s| s.epoch)
+        Ok(self
+            .shard(venue)?
+            .serving
+            .read()
+            .expect("serving lock")
+            .epoch)
     }
 
-    fn shard(&self, venue: VenueId) -> Result<&Shard, ServiceError> {
+    /// A venue's object-set version (bumped by every object mutation:
+    /// rebuilds **and** delta batches).
+    pub fn version(&self, venue: VenueId) -> Result<u64, ServiceError> {
+        Ok(self
+            .shard(venue)?
+            .serving
+            .read()
+            .expect("serving lock")
+            .version)
+    }
+
+    fn shard(&self, venue: VenueId) -> Result<Arc<Shard>, ServiceError> {
         self.shards
+            .read()
+            .expect("shard map lock")
             .get(venue.index())
+            .and_then(|s| s.clone())
             .ok_or(ServiceError::UnknownVenue(venue))
     }
 
-    /// Replace a venue's object set (§3.4 object workload churn).
+    /// Replace a venue's object set wholesale (§3.4 overnight churn).
     ///
-    /// Rebuilds the shard's object index, bumps the cache epoch (making
-    /// every previously cached answer unreachable), and re-threads the
-    /// shard's keyword index through the fresh engine automatically.
-    ///
-    /// Requires exclusive ownership of the venue's tree: if a caller
-    /// still holds a handle cloned out of [`IndoorService::engine`],
-    /// this returns [`ServiceError::SharedIndex`] and the shard keeps
-    /// serving its current objects unchanged.
+    /// The replacement index is built outside every lock, swapped into
+    /// the shared tree, and the rebuild epoch + object version bump —
+    /// making every previously cached object answer unreachable. The
+    /// keyword index is untouched (it has its own object set; see
+    /// [`IndoorService::update_keyword_objects`]). Runs under `&self`:
+    /// concurrent queries finish on the snapshot they started with, and
+    /// other venues never notice.
     pub fn attach_objects(
-        &mut self,
+        &self,
         venue: VenueId,
         objects: &[IndoorPoint],
     ) -> Result<(), ServiceError> {
-        let shard = self
-            .shards
-            .get_mut(venue.index())
-            .ok_or(ServiceError::UnknownVenue(venue))?;
-        let engine = shard.engine.take().expect("shard engine present");
-        let TreeHandle::Vip(tree) = engine.into_tree() else {
-            unreachable!("service shards are VIP-backed");
-        };
-        let mut tree = match Arc::try_unwrap(tree) {
-            Ok(tree) => tree,
-            Err(shared) => {
-                // A caller-held clone blocks `&mut` access; restore the
-                // shard untouched and report, rather than panic.
-                shard.engine = Some(shard.make_engine(shared));
-                return Err(ServiceError::SharedIndex(venue));
-            }
-        };
-        tree.attach_objects(objects);
-        shard.epoch += 1;
-        shard.cache.get_mut().expect("cache poisoned").clear();
-        shard.engine = Some(shard.make_engine(Arc::new(tree)));
+        let shard = self.shard(venue)?;
+        let engine = shard.engine();
+        // Built outside every lock; `install_objects` swaps and bumps the
+        // tree's object generation — queries never stall on the build.
+        let oi = ObjectIndex::build(engine.tree().ip(), objects);
+        engine.tree().ip().install_objects(oi);
+        let mut s = shard.serving.write().expect("serving lock");
+        s.epoch += 1;
+        s.version += 1;
+        drop(s);
+        // Memory hygiene only — correctness is carried by the stamps.
+        shard.cache.lock().expect("cache poisoned").clear();
         Ok(())
+    }
+
+    /// Absorb an incremental object-delta batch into a venue (the
+    /// live-service churn path: insert/remove/move against stable ids).
+    ///
+    /// Only the leaves the deltas land in are touched
+    /// ([`ObjectIndex::apply_delta`]); the object version bumps (epoch —
+    /// the rebuild counter — does not), cached object answers go
+    /// structurally stale, and cached shortest-distance/path answers
+    /// survive untouched. Validation is atomic: an invalid batch leaves
+    /// the venue unchanged.
+    pub fn update_objects(
+        &self,
+        venue: VenueId,
+        deltas: &[ObjectDelta],
+    ) -> Result<DeltaReport, ServiceError> {
+        let shard = self.shard(venue)?;
+        // Applied outside the serving lock: the tree serialises updaters
+        // itself and its generation counter carries the cache stamps, so
+        // the copy-on-write clone never gates this venue's queries.
+        let report = shard
+            .engine()
+            .tree()
+            .ip()
+            .apply_object_deltas(deltas)
+            .map_err(|e| ServiceError::Delta(venue, e))?;
+        shard.serving.write().expect("serving lock").version += 1;
+        Ok(report)
+    }
+
+    /// Absorb labelled deltas into a venue's keyword index (building one
+    /// from empty if the venue has none), re-threading inverted lists for
+    /// the touched objects only. Bumps the object version like
+    /// [`IndoorService::update_objects`]. Keyword updaters are serialised
+    /// under the serving write lock (the keyword index has no tree-side
+    /// updater mutex), so concurrent keyword batches never lose deltas.
+    pub fn update_keyword_objects(
+        &self,
+        venue: VenueId,
+        updates: &[ObjectUpdate],
+    ) -> Result<DeltaReport, ServiceError> {
+        let shard = self.shard(venue)?;
+        let mut s = shard.serving.write().expect("serving lock");
+        let tree_ip = s.engine.tree().ip();
+        let mut kw = match s.engine.keywords() {
+            Some(kw) => (*kw).clone(),
+            None => KeywordObjects::build(tree_ip, &[]),
+        };
+        let report = kw
+            .apply_delta(tree_ip, updates)
+            .map_err(|e| ServiceError::Delta(venue, e))?;
+        s.engine.set_keywords(Some(Arc::new(kw)));
+        s.version += 1;
+        Ok(report)
     }
 
     fn record(&self, kind: QueryKind, hit: bool, elapsed: Duration) {
@@ -356,23 +613,26 @@ impl IndoorService {
     ) -> Result<QueryResponse, ServiceError> {
         let shard = self.shard(venue)?;
         let t0 = Instant::now();
+        let engine = shard.engine();
+        // Stamps captured before computing: the answer is never stamped
+        // newer than the snapshot that produced it (the stale-hit proof).
+        let stamp = Stamps::capture(&engine).for_kind(req.kind());
         // Borrowed probe: no request clone (and no allocation) on a hit.
         let hit = shard
             .cache
             .lock()
             .expect("cache poisoned")
-            .get(req)
-            .and_then(|(epoch, resp)| (*epoch == shard.epoch).then(|| resp.clone()));
+            .probe(req, stamp);
         if let Some(resp) = hit {
             self.record(req.kind(), true, t0.elapsed());
             return Ok(resp);
         }
-        let resp = shard.engine().execute(req);
+        let resp = engine.execute(req);
         shard
             .cache
             .lock()
             .expect("cache poisoned")
-            .insert(req.clone(), (shard.epoch, resp.clone()));
+            .insert(req.clone(), stamp, resp.clone());
         self.record(req.kind(), false, t0.elapsed());
         Ok(resp)
     }
@@ -388,18 +648,22 @@ impl IndoorService {
         &self,
         reqs: &[(VenueId, QueryRequest)],
     ) -> Vec<Result<QueryResponse, ServiceError>> {
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        // Snapshot the shard map once: venue removal mid-batch cannot
+        // strand a slot.
+        let shards: Vec<Option<Arc<Shard>>> = self.shards.read().expect("shard map lock").clone();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shards.len()];
         let mut out: Vec<Option<Result<QueryResponse, ServiceError>>> = vec![None; reqs.len()];
         for (slot, (venue, _)) in reqs.iter().enumerate() {
-            match by_shard.get_mut(venue.index()) {
-                Some(slots) => slots.push(slot),
+            match shards.get(venue.index()).and_then(|s| s.as_ref()) {
+                Some(_) => by_shard[venue.index()].push(slot),
                 None => out[slot] = Some(Err(ServiceError::UnknownVenue(*venue))),
             }
         }
 
         let (tx, rx) = mpsc::channel::<(usize, QueryResponse)>();
         std::thread::scope(|scope| {
-            for (shard, slots) in self.shards.iter().zip(&by_shard) {
+            for (shard, slots) in shards.iter().zip(&by_shard) {
+                let Some(shard) = shard else { continue };
                 if slots.is_empty() {
                     continue;
                 }
@@ -425,19 +689,21 @@ impl IndoorService {
         reqs: &[(VenueId, QueryRequest)],
         tx: &mpsc::Sender<(usize, QueryResponse)>,
     ) {
+        // One consistent snapshot for the whole batch share, stamps
+        // captured before any computation.
+        let engine = shard.engine();
+        let stamps = Stamps::capture(&engine);
         // Probe under the lock, but clone/record/send outside it so an
         // all-hit batch doesn't starve concurrent `execute` callers.
         let t0 = Instant::now();
         let mut hits: Vec<(usize, QueryResponse)> = Vec::new();
         let mut miss_slots: Vec<usize> = Vec::new();
         {
-            let cache = shard.cache.lock().expect("cache poisoned");
+            let mut cache = shard.cache.lock().expect("cache poisoned");
             for &slot in slots {
-                match cache
-                    .get(&reqs[slot].1)
-                    .and_then(|(epoch, resp)| (*epoch == shard.epoch).then_some(resp))
-                {
-                    Some(resp) => hits.push((slot, resp.clone())),
+                let req = &reqs[slot].1;
+                match cache.probe(req, stamps.for_kind(req.kind())) {
+                    Some(resp) => hits.push((slot, resp)),
                     None => miss_slots.push(slot),
                 }
             }
@@ -469,7 +735,7 @@ impl IndoorService {
             }
         }
         let t0 = Instant::now();
-        let resps = shard.engine().execute_batch(&unique);
+        let resps = engine.execute_batch(&unique);
         // Apportion the batch's wall time equally over its requests.
         let per_query = t0.elapsed() / miss_slots.len() as u32;
         let mut cache = shard.cache.lock().expect("cache poisoned");
@@ -478,7 +744,7 @@ impl IndoorService {
                 self.record(req.kind(), false, per_query);
                 let _ = tx.send((slot, resp.clone()));
             }
-            cache.insert(req.clone(), (shard.epoch, resp));
+            cache.insert(req.clone(), stamps.for_kind(req.kind()), resp);
         }
     }
 
@@ -493,13 +759,28 @@ impl IndoorService {
                 latency_ns: c.latency_ns.load(Ordering::Relaxed),
             }
         });
+        let shards: Vec<Arc<Shard>> = self
+            .shards
+            .read()
+            .expect("shard map lock")
+            .iter()
+            .flatten()
+            .cloned()
+            .collect();
+        let mut cached_entries = 0;
+        let mut cache_capacity = 0;
+        let mut evictions = 0;
+        for shard in &shards {
+            let cache = shard.cache.lock().expect("cache poisoned");
+            cached_entries += cache.map.len();
+            cache_capacity += cache.capacity;
+            evictions += cache.evictions;
+        }
         ServiceStats {
-            venues: self.shards.len(),
-            cached_entries: self
-                .shards
-                .iter()
-                .map(|s| s.cache.lock().expect("cache poisoned").len())
-                .sum(),
+            venues: shards.len(),
+            cached_entries,
+            cache_capacity,
+            evictions,
             kinds,
         }
     }
@@ -512,7 +793,7 @@ mod tests {
 
     fn service_with_one_venue(seed: u64) -> (IndoorService, VenueId, Arc<Venue>) {
         let venue = Arc::new(random_venue(seed));
-        let mut service = IndoorService::new();
+        let service = IndoorService::new();
         let id = service
             .add_venue(
                 venue.clone(),
@@ -558,6 +839,7 @@ mod tests {
         assert_eq!(stats.kind(QueryKind::Range).queries, 1);
         assert_eq!(stats.kind(QueryKind::Range).cache_hits, 0);
         assert_eq!(stats.cached_entries, 2);
+        assert_eq!(stats.cache_capacity, DEFAULT_CACHE_CAPACITY);
         assert!((stats.kind(QueryKind::Knn).hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(stats.venues, 1);
     }
@@ -590,5 +872,78 @@ mod tests {
                 "slot {slot}"
             );
         }
+    }
+
+    #[test]
+    fn remove_venue_stops_routing_and_keeps_ids_stable() {
+        let (service, id_a, venue) = service_with_one_venue(24);
+        let id_b = service
+            .add_venue(
+                Arc::new(random_venue(25)),
+                ShardConfig {
+                    threads: 1,
+                    ..ShardConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(service.venues(), vec![id_a, id_b]);
+
+        service.remove_venue(id_a).unwrap();
+        assert_eq!(service.venue_count(), 1);
+        assert_eq!(service.venues(), vec![id_b]);
+        let q = workload::query_points(&venue, 1, 3)[0];
+        let req = QueryRequest::Knn { q, k: 2 };
+        assert_eq!(
+            service.execute(id_a, &req),
+            Err(ServiceError::UnknownVenue(id_a))
+        );
+        assert_eq!(
+            service.remove_venue(id_a),
+            Err(ServiceError::UnknownVenue(id_a))
+        );
+        // Ids are never reused: a new venue gets a fresh slot.
+        let id_c = service
+            .add_venue(
+                Arc::new(random_venue(26)),
+                ShardConfig {
+                    threads: 1,
+                    ..ShardConfig::default()
+                },
+            )
+            .unwrap();
+        assert_ne!(id_c, id_a);
+        assert_eq!(service.venues(), vec![id_b, id_c]);
+    }
+
+    #[test]
+    fn clock_cache_evicts_and_counts() {
+        let mut cache = ClockCache::new(2);
+        let venue = random_venue(3);
+        let points = workload::query_points(&venue, 4, 1);
+        let reqs: Vec<QueryRequest> = points
+            .iter()
+            .map(|&q| QueryRequest::Knn { q, k: 1 })
+            .collect();
+        let resp = QueryResponse::Knn(Vec::new());
+        cache.insert(reqs[0].clone(), 0, resp.clone());
+        cache.insert(reqs[1].clone(), 0, resp.clone());
+        assert_eq!(cache.map.len(), 2);
+        assert_eq!(cache.evictions, 0);
+        // Reference req0 so the clock spares it and evicts req1.
+        assert!(cache.probe(&reqs[0], 0).is_some());
+        cache.insert(reqs[2].clone(), 0, resp.clone());
+        assert_eq!(cache.map.len(), 2);
+        assert_eq!(cache.evictions, 1);
+        assert!(
+            cache.probe(&reqs[0], 0).is_some(),
+            "referenced entry survives"
+        );
+        assert!(cache.probe(&reqs[1], 0).is_none(), "victim evicted");
+        assert!(cache.probe(&reqs[2], 0).is_some());
+        // Stale stamp: present but never a hit; re-insert revives in place.
+        assert!(cache.probe(&reqs[2], 1).is_none());
+        cache.insert(reqs[2].clone(), 1, resp);
+        assert_eq!(cache.map.len(), 2);
+        assert!(cache.probe(&reqs[2], 1).is_some());
     }
 }

@@ -195,7 +195,23 @@ pub struct IpTree {
     /// managing a [`crate::QueryScratch`].
     pub(crate) scratch: crate::exec::ScratchPool,
     /// Embedded object set for kNN/range queries (§3.4), if attached.
-    pub(crate) objects: Option<crate::objects::ObjectIndex>,
+    ///
+    /// Behind `RwLock<Arc<..>>` so object churn is a **swap**, not a tree
+    /// mutation: queries clone the `Arc` once at query start (and keep
+    /// serving the snapshot they started on), while
+    /// [`IpTree::attach_objects`] / [`IpTree::apply_object_deltas`] build
+    /// or patch a replacement off to the side and swap it in under `&self`
+    /// — which is what lets a live multi-venue service absorb churn with
+    /// no service-wide pause (see DESIGN.md, "Object deltas and the
+    /// service version counter").
+    pub(crate) objects: std::sync::RwLock<Option<std::sync::Arc<crate::objects::ObjectIndex>>>,
+    /// Serialises object-set mutations (attach/delta) so concurrent
+    /// updaters never lose each other's deltas; readers never take it.
+    pub(crate) objects_update: std::sync::Mutex<()>,
+    /// Object-snapshot generation: bumped (after the swap) by **every**
+    /// mutation of `objects`, whoever triggers it — the stamp result
+    /// caches key object answers by ([`IpTree::objects_generation`]).
+    pub(crate) objects_gen: std::sync::atomic::AtomicU64,
 }
 
 impl IpTree {

@@ -8,7 +8,6 @@
 //! and O(ρ² + w) expected shortest-path cost (Table 1).
 
 use crate::ascent::{Ascent, Provenance};
-use crate::objects::ObjectIndex;
 use crate::path::PartialEdge;
 use crate::tree::{BuildError, IpTree, NodeIdx, VipTreeConfig, NO_NODE};
 use indoor_model::{DoorId, IndoorPath, IndoorPoint, ObjectId, QueryStats, Venue};
@@ -447,10 +446,25 @@ impl VipTree {
         }
     }
 
-    /// Attach an object set (shared kNN/range machinery of §3.4).
-    pub fn attach_objects(&mut self, objects: &[IndoorPoint]) {
-        let oi = ObjectIndex::build(&self.ip, objects);
-        self.ip.objects = Some(oi);
+    /// Attach an object set (shared kNN/range machinery of §3.4). A swap
+    /// under `&self` — see [`IpTree::attach_objects`].
+    pub fn attach_objects(&self, objects: &[IndoorPoint]) {
+        self.ip.attach_objects(objects);
+    }
+
+    /// As [`VipTree::attach_objects`] with caller-assigned stable ids —
+    /// see [`IpTree::attach_objects_with_ids`].
+    pub fn attach_objects_with_ids(&self, objects: &[(ObjectId, IndoorPoint)]) {
+        self.ip.attach_objects_with_ids(objects);
+    }
+
+    /// Absorb a batch of object deltas incrementally — see
+    /// [`IpTree::apply_object_deltas`].
+    pub fn apply_object_deltas(
+        &self,
+        deltas: &[indoor_model::ObjectDelta],
+    ) -> Result<crate::objects::DeltaReport, indoor_model::DeltaError> {
+        self.ip.apply_object_deltas(deltas)
     }
 
     /// Algorithm 5 with the table-backed ascent (the paper reports IP- and

@@ -89,7 +89,7 @@ fn point_on_door_position() {
 #[test]
 fn knn_corner_parameters() {
     let venue = Arc::new(random_venue(13));
-    let mut tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
     let q = workload::query_points(&venue, 1, 2)[0];
 
     assert!(tree.knn(&q, 5).is_empty(), "no objects attached yet");
@@ -107,7 +107,7 @@ fn knn_corner_parameters() {
 #[test]
 fn reattaching_objects_replaces() {
     let venue = Arc::new(random_venue(21));
-    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
     let q = workload::query_points(&venue, 1, 2)[0];
     tree.attach_objects(&workload::place_objects(&venue, 10, 1));
     assert_eq!(tree.knn(&q, 20).len(), 10);
@@ -119,7 +119,7 @@ fn reattaching_objects_replaces() {
 #[test]
 fn concurrent_queries() {
     let venue = Arc::new(random_venue(99));
-    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
     tree.attach_objects(&workload::place_objects(&venue, 8, 3));
     let tree = Arc::new(tree);
     let pairs = workload::query_pairs(&venue, 64, 4);

@@ -1,0 +1,158 @@
+//! Object churn vocabulary: typed deltas against a venue's object set.
+//!
+//! The VIP-tree targets venues whose *tree* is static — walls do not move —
+//! but whose *objects* (shops, people, tagged assets) churn constantly; the
+//! indoor-query experimental study treats cheap object updates as the
+//! defining workload of indoor serving. [`ObjectDelta`] captures that
+//! workload as data: insert/remove/move against stable [`ObjectId`]s, so
+//! an update stream is a `&[ObjectDelta]` batch the same way a query
+//! stream is a `&[QueryRequest]` batch ([`crate::QueryRequest`]).
+//!
+//! # Identity
+//!
+//! Ids are **caller-assigned and stable**: an object keeps its id across
+//! moves, and a removed id may be re-inserted later (a tag that went out
+//! of range and came back). Indexes treat the id as a dense slot — ids
+//! should stay reasonably compact, like the positional ids `build`
+//! assigns.
+//!
+//! [`ObjectUpdate`] pairs a delta with the labels a keyword index needs on
+//! insert; plain distance indexes ignore the labels.
+
+use crate::{IndoorPoint, ObjectId, PartitionId};
+use std::fmt;
+
+/// One mutation of a venue's object set, keyed by stable [`ObjectId`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObjectDelta {
+    /// Place a new object at `at` under id `id` (the id must not be live;
+    /// re-using the id of a previously removed object is allowed).
+    Insert { id: ObjectId, at: IndoorPoint },
+    /// Remove the live object `id`.
+    Remove { id: ObjectId },
+    /// Relocate the live object `id` to `to` (same id, new position —
+    /// the tracked-asset update of moving-object workloads).
+    Move { id: ObjectId, to: IndoorPoint },
+}
+
+impl ObjectDelta {
+    /// The id the delta is keyed by.
+    #[inline]
+    pub fn id(&self) -> ObjectId {
+        match self {
+            ObjectDelta::Insert { id, .. }
+            | ObjectDelta::Remove { id }
+            | ObjectDelta::Move { id, .. } => *id,
+        }
+    }
+
+    /// The new position the delta establishes (`None` for removals).
+    #[inline]
+    pub fn position(&self) -> Option<IndoorPoint> {
+        match self {
+            ObjectDelta::Insert { at, .. } => Some(*at),
+            ObjectDelta::Move { to, .. } => Some(*to),
+            ObjectDelta::Remove { .. } => None,
+        }
+    }
+}
+
+/// A delta plus the labels a keyword (inverted-list) index needs.
+///
+/// `labels` are consumed by `Insert` (the new object's terms); `Move`
+/// keeps the object's existing labels and `Remove` needs none, so both
+/// ignore the field. Plain distance indexes ignore it entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectUpdate {
+    pub delta: ObjectDelta,
+    pub labels: Vec<String>,
+}
+
+impl ObjectUpdate {
+    /// An update with no labels (sufficient for remove/move, and for
+    /// inserts into label-free indexes).
+    pub fn unlabelled(delta: ObjectDelta) -> ObjectUpdate {
+        ObjectUpdate {
+            delta,
+            labels: Vec::new(),
+        }
+    }
+}
+
+impl From<ObjectDelta> for ObjectUpdate {
+    fn from(delta: ObjectDelta) -> ObjectUpdate {
+        ObjectUpdate::unlabelled(delta)
+    }
+}
+
+/// Why a delta batch was rejected. Validation is atomic: a batch
+/// containing any invalid delta is rejected wholesale and the index is
+/// left untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// `Insert` named an id that is currently live.
+    DuplicateId(ObjectId),
+    /// `Remove`/`Move` named an id that is not currently live.
+    UnknownId(ObjectId),
+    /// The delta's position names a partition the venue does not have.
+    BadPartition(ObjectId, PartitionId),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::DuplicateId(id) => write!(f, "insert of already-live object {id}"),
+            DeltaError::UnknownId(id) => write!(f, "remove/move of unknown object {id}"),
+            DeltaError::BadPartition(id, p) => {
+                write!(f, "object {id} placed in nonexistent partition {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Point;
+
+    fn pt() -> IndoorPoint {
+        IndoorPoint::new(PartitionId(2), Point::new(1.0, 2.0, 0))
+    }
+
+    #[test]
+    fn accessors() {
+        let ins = ObjectDelta::Insert {
+            id: ObjectId(4),
+            at: pt(),
+        };
+        assert_eq!(ins.id(), ObjectId(4));
+        assert_eq!(ins.position(), Some(pt()));
+        let rem = ObjectDelta::Remove { id: ObjectId(9) };
+        assert_eq!(rem.id(), ObjectId(9));
+        assert_eq!(rem.position(), None);
+        let mv = ObjectDelta::Move {
+            id: ObjectId(1),
+            to: pt(),
+        };
+        assert_eq!(mv.position(), Some(pt()));
+    }
+
+    #[test]
+    fn update_from_delta_is_unlabelled() {
+        let u: ObjectUpdate = ObjectDelta::Remove { id: ObjectId(0) }.into();
+        assert!(u.labels.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            DeltaError::DuplicateId(ObjectId(3)).to_string(),
+            "insert of already-live object o3"
+        );
+        assert!(DeltaError::BadPartition(ObjectId(1), PartitionId(7))
+            .to_string()
+            .contains("P7"));
+    }
+}

@@ -21,12 +21,14 @@
 //! The crate also defines the query-facing vocabulary shared by every
 //! index: [`IndoorPoint`], [`IndoorPath`], the [`IndoorIndex`] /
 //! [`ObjectQueries`] traits implemented by VIP/IP-tree, the baselines,
-//! G-tree and ROAD, and the typed [`QueryRequest`] / [`QueryResponse`]
+//! G-tree and ROAD, the typed [`QueryRequest`] / [`QueryResponse`]
 //! enums (hashable by f64 bit pattern — the canonical key of result
 //! caches and multi-venue routers) that every index answers through the
-//! blanket [`AnswerRequest`] impl.
+//! blanket [`AnswerRequest`] impl, and the object-churn vocabulary
+//! ([`ObjectDelta`] / [`ObjectUpdate`]) live services ingest.
 
 mod builder;
+mod delta;
 mod ids;
 pub mod json;
 mod path;
@@ -37,6 +39,7 @@ mod serialize;
 mod venue;
 
 pub use builder::{ModelError, VenueBuilder};
+pub use delta::{DeltaError, ObjectDelta, ObjectUpdate};
 pub use ids::{DoorId, ObjectId, PartitionId, VenueId};
 pub use path::IndoorPath;
 pub use point::IndoorPoint;

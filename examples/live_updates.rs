@@ -1,0 +1,151 @@
+//! Live object churn on a serving venue — the workload the VIP-tree
+//! paper targets: the *tree* is static (walls don't move) but the
+//! *objects* (shops, tagged assets, people) churn constantly.
+//!
+//! A facilities team relocates kiosks and registers pop-up stalls while
+//! the directory keeps serving: `update_objects` absorbs insert/remove/
+//! move deltas under `&self` — touching only the leaves the deltas land
+//! in — the version-stamped cache structurally invalidates object
+//! answers (and *keeps* cached evacuation paths, which don't depend on
+//! objects), and a second venue never notices.
+//!
+//! ```sh
+//! cargo run --release --example live_updates
+//! ```
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{presets, workload};
+use std::sync::Arc;
+
+fn main() {
+    let mall = Arc::new(presets::melbourne_central().build());
+    let offices = Arc::new(presets::menzies().build());
+    let kiosks = workload::place_objects(&mall, 24, 7);
+
+    let service = IndoorService::new();
+    let mall_id = service
+        .add_venue(
+            mall.clone(),
+            ShardConfig {
+                objects: kiosks.clone(),
+                ..ShardConfig::default()
+            },
+        )
+        .expect("mall shard");
+    let office_id = service
+        .add_venue(
+            offices.clone(),
+            ShardConfig {
+                objects: workload::place_objects(&offices, 12, 8),
+                ..ShardConfig::default()
+            },
+        )
+        .expect("office shard");
+    println!(
+        "serving {} venues: mall={mall_id} ({} doors), offices={office_id} ({} doors)",
+        service.venue_count(),
+        mall.stats().doors,
+        offices.stats().doors
+    );
+
+    // Warm both venues: a kNN lookup and an evacuation path per venue.
+    let q = workload::query_points(&mall, 1, 21)[0];
+    let (s, t) = workload::query_pairs(&mall, 1, 22)[0];
+    let knn = QueryRequest::Knn { q, k: 3 };
+    let path = QueryRequest::ShortestPath { s, t };
+    let office_q = workload::query_points(&offices, 1, 23)[0];
+    let office_knn = QueryRequest::Knn { q: office_q, k: 3 };
+    let before = service.execute(mall_id, &knn).expect("mall knn");
+    service.execute(mall_id, &path).expect("mall path");
+    let office_before = service.execute(office_id, &office_knn).expect("office knn");
+    println!(
+        "\nmall k=3 before churn: {:?}",
+        before
+            .objects()
+            .unwrap()
+            .iter()
+            .map(|(o, _)| o)
+            .collect::<Vec<_>>()
+    );
+
+    // The afternoon's churn, one typed batch: a pop-up stall opens next
+    // to the query point, kiosk o0 is carted to the far end, kiosk o1 is
+    // decommissioned.
+    let deltas = [
+        ObjectDelta::Insert {
+            id: ObjectId(100),
+            at: q,
+        },
+        ObjectDelta::Move {
+            id: ObjectId(0),
+            to: kiosks[23],
+        },
+        ObjectDelta::Remove { id: ObjectId(1) },
+    ];
+    let report = service.update_objects(mall_id, &deltas).expect("churn");
+    println!(
+        "\napplied {} deltas: {} inserts / {} moves / {} removes, touched {} of the tree's leaves ({} compactions)",
+        deltas.len(),
+        report.inserts,
+        report.moves,
+        report.removes,
+        report.touched_leaves,
+        report.compactions
+    );
+    println!(
+        "mall version {} (epoch {} — deltas are not rebuilds)",
+        service.version(mall_id).unwrap(),
+        service.epoch(mall_id).unwrap()
+    );
+
+    let after = service.execute(mall_id, &knn).expect("mall knn");
+    println!(
+        "mall k=3 after churn:  {:?}  (pop-up o100 surfaces instantly)",
+        after
+            .objects()
+            .unwrap()
+            .iter()
+            .map(|(o, _)| o)
+            .collect::<Vec<_>>()
+    );
+    assert_ne!(before, after);
+
+    // Cached path answers survive object churn; the office venue's cache
+    // was never touched at all.
+    service.execute(mall_id, &path).expect("mall path again");
+    service
+        .execute(office_id, &office_knn)
+        .expect("office again");
+    let stats = service.stats();
+    println!(
+        "\npath cache hit after churn: {} (geometry is object-independent)",
+        stats.kind(QueryKind::ShortestPath).cache_hits
+    );
+    println!(
+        "office cache hit after mall churn: {} (venues are isolated)",
+        stats.kind(QueryKind::Knn).cache_hits
+    );
+    assert_eq!(stats.kind(QueryKind::ShortestPath).cache_hits, 1);
+    assert_eq!(
+        service.execute(office_id, &office_knn).unwrap(),
+        office_before
+    );
+
+    // Index-level proof of incrementality.
+    let oi_stats = service
+        .engine(mall_id)
+        .unwrap()
+        .tree()
+        .ip()
+        .object_index()
+        .unwrap()
+        .index_stats();
+    println!(
+        "\nobject index: {} live objects in {} slots; {} leaf builds (all at attach), {} incremental touches, {} compactions",
+        oi_stats.live, oi_stats.slots, oi_stats.leaf_builds, oi_stats.leaf_touches, oi_stats.compactions
+    );
+    println!(
+        "cache: {}/{} entries, {} evictions",
+        stats.cached_entries, stats.cache_capacity, stats.evictions
+    );
+}

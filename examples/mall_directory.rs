@@ -22,7 +22,7 @@ fn main() {
     let venue = Arc::new(presets::melbourne_central().build());
     let amenities = workload::place_objects(&venue, 20, 4242);
 
-    let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
+    let vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
     vip.attach_objects(&amenities);
     let mut distaw = DistAw::new(venue.clone());
     distaw.attach_objects(&amenities);

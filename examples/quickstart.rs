@@ -31,7 +31,7 @@ fn main() {
     );
 
     // --- 2. Build the index. ---
-    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).expect("build");
 
     // --- 3. Shortest distance and path between two offices. ---
     let alice = IndoorPoint::new(offices[0], Point::new(1.0, 1.0, 0));

@@ -3,7 +3,7 @@
 //! A city-campus operator runs a directory service for Melbourne Central
 //! (shopping centre) and the Menzies building (offices) at once. Typed
 //! `QueryRequest`s route by `VenueId` to per-venue VIP-tree shards; the
-//! epoch-keyed result cache absorbs the repeats of a hot-spot workload,
+//! version-stamped result cache absorbs the repeats of a hot-spot workload,
 //! and `attach_objects` (overnight object churn) invalidates exactly the
 //! venue it touches.
 //!
@@ -21,8 +21,8 @@ fn main() {
     let mall = Arc::new(presets::melbourne_central().build());
     let offices = Arc::new(presets::menzies().build());
 
-    let mut service = IndoorService::new();
-    let mut add = |venue: &Arc<Venue>, name: &str| {
+    let service = IndoorService::new();
+    let add = |venue: &Arc<Venue>, name: &str| {
         let objects = workload::place_objects(venue, 30, 7);
         let keywords = workload::cycling_labels(&objects, KEYWORD);
         let id = service

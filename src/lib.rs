@@ -12,7 +12,8 @@
 //! * [`synth`] — synthetic venue generator, dataset presets, workloads.
 //! * [`vip`] — the paper's contribution: IP-Tree and VIP-Tree, plus the
 //!   serving layer (`QueryEngine` typed batches, multi-venue
-//!   `IndoorService` with epoch-keyed result caching).
+//!   `IndoorService` with a bounded version-stamped result cache and
+//!   `&self` live object churn via `ObjectDelta` batches).
 //! * [`baselines`] — DistMx / DistAw competitors.
 //! * [`gtree`] / [`road`] — road-network competitors adapted to indoor graphs.
 //!
@@ -43,12 +44,12 @@ pub use vip_tree as vip;
 pub mod prelude {
     pub use geometry::{Point, Rect};
     pub use indoor_model::{
-        AnswerRequest, Door, DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectQueries,
-        Partition, PartitionClass, PartitionId, PartitionKind, QueryKind, QueryRequest,
-        QueryResponse, Venue, VenueBuilder, VenueId,
+        AnswerRequest, DeltaError, Door, DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectDelta,
+        ObjectId, ObjectQueries, ObjectUpdate, Partition, PartitionClass, PartitionId,
+        PartitionKind, QueryKind, QueryRequest, QueryResponse, Venue, VenueBuilder, VenueId,
     };
     pub use vip_tree::{
-        IndoorService, IpTree, KindStats, QueryEngine, QueryScratch, ServiceError, ServiceStats,
-        ShardConfig, VipTree, VipTreeConfig,
+        DeltaReport, IndoorService, IpTree, KindStats, ObjectIndexStats, QueryEngine, QueryScratch,
+        ServiceError, ServiceStats, ShardConfig, VipTree, VipTreeConfig,
     };
 }

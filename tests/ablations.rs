@@ -47,7 +47,7 @@ fn min_degree_does_not_change_answers() {
     let trees: Vec<VipTree> = [2usize, 4, 8]
         .iter()
         .map(|&t| {
-            let mut tree = VipTree::build(
+            let tree = VipTree::build(
                 venue.clone(),
                 &VipTreeConfig {
                     min_degree: t,

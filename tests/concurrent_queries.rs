@@ -21,7 +21,7 @@ fn bits(r: &[(indoor_spatial::model::ObjectId, f64)]) -> Vec<(u32, u64)> {
 #[test]
 fn threads_hammering_shared_tree_match_serial() {
     let venue = Arc::new(random_venue(404));
-    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
     tree.attach_objects(&workload::place_objects(&venue, 30, 9));
     let tree = Arc::new(tree);
 
@@ -93,7 +93,7 @@ fn batch_apis_match_serial_on_preset() {
     let venue = Arc::new(presets::melbourne_central().build());
     let objects = workload::place_objects(&venue, 60, 0xA1);
     let labelled = workload::cycling_labels(&objects, "cafe");
-    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
     tree.attach_objects(&objects);
     let kw = Arc::new(KeywordObjects::build(tree.ip_tree(), &labelled));
     let tree = Arc::new(tree);
@@ -150,7 +150,7 @@ proptest! {
     #[test]
     fn batch_preserves_input_order(seed in 0u64..800, n_q in 1usize..30) {
         let venue = Arc::new(random_venue(seed));
-        let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
         tree.attach_objects(&workload::place_objects(&venue, 20, seed ^ 0x51));
         let tree = Arc::new(tree);
         let engine = QueryEngine::for_vip(tree.clone()).with_threads(4);

@@ -41,9 +41,9 @@ impl NamedAnswerer for ArcMx {
 
 fn all_indexes(venue: &Arc<Venue>, objects: &[IndoorPoint]) -> Vec<Box<dyn NamedAnswerer>> {
     let cfg = VipTreeConfig::default();
-    let mut vip = VipTree::build(venue.clone(), &cfg).unwrap();
+    let vip = VipTree::build(venue.clone(), &cfg).unwrap();
     vip.attach_objects(objects);
-    let mut ip = IpTree::build(venue.clone(), &cfg).unwrap();
+    let ip = IpTree::build(venue.clone(), &cfg).unwrap();
     ip.attach_objects(objects);
     let mut aw = DistAw::new(venue.clone());
     aw.attach_objects(objects);
@@ -94,7 +94,7 @@ fn check_agreement(venue: Arc<Venue>, seed: u64, pairs: usize, points: usize) {
     // The VIP-tree engine must answer the same stream bit-identically to
     // the trait surface (indexes[0] is the VIP-tree).
     {
-        let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
         vip.attach_objects(&objects);
         let engine = QueryEngine::for_vip(Arc::new(vip)).with_threads(2);
         let engine_answers = engine.execute_batch(&reqs);

@@ -39,7 +39,7 @@ fn soak_all_indexes_against_oracle() {
         let venue = Arc::new(random_venue(seed));
         let mut engine = DijkstraEngine::new(venue.num_doors());
 
-        let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
         let g = GTree::build(venue.clone(), &GTreeConfig::default());
         let r = Road::build(venue.clone(), &RoadConfig::default());
 

@@ -1,0 +1,373 @@
+//! Live-service churn contract: `&self` mutation entry points run
+//! concurrently with serving — hammering `update_objects` on one venue
+//! while querying another never disturbs the other venue's answers — and
+//! the version-stamped cache never serves a stale object answer while
+//! shortest-distance/path answers survive object churn untouched.
+//!
+//! This is the concurrency smoke the CI `cargo test -q` step relies on
+//! (see `.github/workflows/ci.yml`).
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{random_venue, workload};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One venue absorbs a sustained delta stream while two worker threads
+/// query the other; every concurrent answer must be byte-identical to the
+/// quiet-service answer, and the churned venue must land exactly on the
+/// rebuilt reference.
+#[test]
+fn churn_on_one_venue_while_querying_another() {
+    let venue_a = Arc::new(random_venue(61));
+    let venue_b = Arc::new(random_venue(62));
+    let objects_a = workload::place_objects(&venue_a, 20, 1);
+    let objects_b = workload::place_objects(&venue_b, 20, 2);
+
+    let service = IndoorService::new();
+    let id_a = service
+        .add_venue(
+            venue_a.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: objects_a.clone(),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+    let id_b = service
+        .add_venue(
+            venue_b.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: objects_b.clone(),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+
+    // Expected venue-B answers, computed before any churn starts.
+    let reqs_b: Vec<(VenueId, QueryRequest)> =
+        workload::mixed_requests(&venue_b, 4, 3, 120.0, "cafe", 9)
+            .into_iter()
+            .map(|r| (id_b, r))
+            .collect();
+    let want_b = service.execute_batch(&reqs_b);
+    assert!(want_b.iter().all(|r| r.is_ok()));
+
+    // Always-valid delta stream for venue A: move the same ids between
+    // two position pools, with an insert/remove pulse per round.
+    let alt = workload::place_objects(&venue_a, 20, 3);
+    const ROUNDS: usize = 40;
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let updater = scope.spawn(|| {
+            for round in 0..ROUNDS {
+                let pool = if round % 2 == 0 { &alt } else { &objects_a };
+                let mut deltas: Vec<ObjectDelta> = (0..8)
+                    .map(|i| ObjectDelta::Move {
+                        id: ObjectId(i),
+                        to: pool[i as usize],
+                    })
+                    .collect();
+                let pulse = ObjectId(100 + (round % 4) as u32);
+                if round % 8 < 4 {
+                    deltas.push(ObjectDelta::Insert {
+                        id: pulse,
+                        at: pool[10 + round % 4],
+                    });
+                } else {
+                    deltas.push(ObjectDelta::Remove { id: pulse });
+                }
+                service.update_objects(id_a, &deltas).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    let got = service.execute_batch(&reqs_b);
+                    assert_eq!(got, want_b, "venue B must never observe venue A's churn");
+                }
+            });
+        }
+        updater.join().unwrap();
+    });
+    assert_eq!(service.version(id_a).unwrap(), ROUNDS as u64);
+    assert_eq!(service.epoch(id_a).unwrap(), 0, "deltas are not rebuilds");
+    assert_eq!(service.version(id_b).unwrap(), 0);
+
+    // Venue A's final state equals a from-scratch rebuild of its live set.
+    let live = service
+        .engine(id_a)
+        .unwrap()
+        .tree()
+        .ip()
+        .object_index()
+        .unwrap()
+        .live_pairs();
+    let reference = VipTree::build(venue_a.clone(), &VipTreeConfig::default()).unwrap();
+    reference.attach_objects_with_ids(&live);
+    for q in workload::query_points(&venue_a, 6, 4) {
+        let req = QueryRequest::Knn { q, k: 4 };
+        assert_eq!(
+            service.execute(id_a, &req).unwrap(),
+            QueryResponse::Knn(reference.knn(&q, 4)),
+            "churned venue equals rebuilt reference"
+        );
+    }
+}
+
+/// Deltas bump the version (structurally invalidating object answers)
+/// but cached shortest-distance/path answers survive: venue geometry is
+/// immutable while registered.
+#[test]
+fn path_answers_survive_object_deltas() {
+    let venue = Arc::new(random_venue(71));
+    let objects = workload::place_objects(&venue, 12, 1);
+    let service = IndoorService::new();
+    let id = service
+        .add_venue(
+            venue.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: objects.clone(),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+
+    let q = workload::query_points(&venue, 1, 2)[0];
+    let (s, t) = workload::query_pairs(&venue, 1, 3)[0];
+    let knn = QueryRequest::Knn { q, k: 3 };
+    let sd = QueryRequest::ShortestDistance { s, t };
+    let sp = QueryRequest::ShortestPath { s, t };
+    for req in [&knn, &sd, &sp] {
+        service.execute(id, req).unwrap();
+    }
+    let before = service.stats();
+    assert_eq!(before.total_cache_hits(), 0);
+
+    service
+        .update_objects(
+            id,
+            &[ObjectDelta::Move {
+                id: ObjectId(0),
+                to: objects[1],
+            }],
+        )
+        .unwrap();
+    assert_eq!(service.version(id).unwrap(), 1);
+    assert_eq!(service.epoch(id).unwrap(), 0);
+
+    // Path queries hit (stable stamp); the object query recomputes.
+    service.execute(id, &sd).unwrap();
+    service.execute(id, &sp).unwrap();
+    let knn_after = service.execute(id, &knn).unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.kind(QueryKind::ShortestDistance).cache_hits, 1);
+    assert_eq!(stats.kind(QueryKind::ShortestPath).cache_hits, 1);
+    assert_eq!(
+        stats.kind(QueryKind::Knn).cache_hits,
+        0,
+        "no object answer may survive a delta"
+    );
+    // And the recomputed answer reflects the moved object.
+    let reference = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let mut live: Vec<(ObjectId, IndoorPoint)> = objects
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (ObjectId(i as u32), p))
+        .collect();
+    live[0].1 = objects[1];
+    reference.attach_objects_with_ids(&live);
+    assert_eq!(knn_after, QueryResponse::Knn(reference.knn(&q, 3)));
+}
+
+/// The per-shard cache is bounded: a request stream larger than the
+/// capacity evicts via the clock sweep, and the counters surface it.
+#[test]
+fn bounded_cache_evicts_under_pressure() {
+    let venue = Arc::new(random_venue(81));
+    let service = IndoorService::new();
+    let id = service
+        .add_venue(
+            venue.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: workload::place_objects(&venue, 10, 1),
+                cache_capacity: 8,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+
+    let points = workload::query_points(&venue, 30, 5);
+    for &q in &points {
+        service.execute(id, &QueryRequest::Knn { q, k: 2 }).unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.cache_capacity, 8);
+    assert!(stats.cached_entries <= 8, "capacity bound holds");
+    assert_eq!(
+        stats.evictions,
+        (points.len() - 8) as u64,
+        "every insert past capacity evicts exactly once"
+    );
+    // Recency still works at the bound: a just-inserted entry hits.
+    let last = QueryRequest::Knn {
+        q: points[29],
+        k: 2,
+    };
+    service.execute(id, &last).unwrap();
+    assert_eq!(service.stats().total_cache_hits(), 1);
+}
+
+/// Out-of-band churn through a held engine handle (bypassing the
+/// service's typed entry points entirely) still invalidates the cache:
+/// stamps derive from the tree's own object generation, which every
+/// mutation path bumps — the review-found bypass of the pre-generation
+/// design.
+#[test]
+fn out_of_band_mutation_never_serves_stale_cache() {
+    let venue = Arc::new(random_venue(87));
+    let objects = workload::place_objects(&venue, 10, 1);
+    let service = IndoorService::new();
+    let id = service
+        .add_venue(
+            venue.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: objects.clone(),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+    let q = workload::query_points(&venue, 1, 2)[0];
+    let req = QueryRequest::Knn { q, k: 3 };
+    service.execute(id, &req).unwrap();
+    service.execute(id, &req).unwrap();
+    assert_eq!(service.stats().total_cache_hits(), 1, "warm entry exists");
+
+    // Mutate behind the service's back, through the raw engine handle.
+    let engine = service.engine(id).unwrap();
+    engine
+        .tree()
+        .ip()
+        .apply_object_deltas(&[ObjectDelta::Remove { id: ObjectId(0) }])
+        .unwrap();
+    assert_eq!(service.version(id).unwrap(), 0, "service counters bypassed");
+
+    let after = service.execute(id, &req).unwrap();
+    assert_eq!(
+        service.stats().total_cache_hits(),
+        1,
+        "the pre-mutation entry must not hit"
+    );
+    let gone = ObjectId(0);
+    assert!(
+        after.objects().unwrap().iter().all(|&(o, _)| o != gone),
+        "answer reflects the out-of-band removal: {after:?}"
+    );
+    let reference = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let live: Vec<(ObjectId, IndoorPoint)> = objects
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, &p)| (ObjectId(i as u32), p))
+        .collect();
+    reference.attach_objects_with_ids(&live);
+    assert_eq!(after, QueryResponse::Knn(reference.knn(&q, 3)));
+}
+
+/// Service-level delta validation is atomic and typed.
+#[test]
+fn invalid_delta_batch_is_rejected_atomically() {
+    let venue = Arc::new(random_venue(91));
+    let objects = workload::place_objects(&venue, 6, 1);
+    let service = IndoorService::new();
+    let id = service
+        .add_venue(
+            venue.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: objects.clone(),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+    let q = workload::query_points(&venue, 1, 2)[0];
+    let req = QueryRequest::Knn { q, k: 3 };
+    let before = service.execute(id, &req).unwrap();
+
+    let bad = [
+        ObjectDelta::Remove { id: ObjectId(0) },
+        ObjectDelta::Remove { id: ObjectId(77) },
+    ];
+    assert_eq!(
+        service.update_objects(id, &bad),
+        Err(ServiceError::Delta(id, DeltaError::UnknownId(ObjectId(77))))
+    );
+    assert_eq!(service.version(id).unwrap(), 0, "no bump on rejection");
+    assert_eq!(
+        service.execute(id, &req).unwrap(),
+        before,
+        "rejected batch leaves the object set untouched"
+    );
+    assert_eq!(
+        service.update_objects(VenueId(9), &bad),
+        Err(ServiceError::UnknownVenue(VenueId(9)))
+    );
+}
+
+/// Keyword churn through the service: labelled updates maintain the
+/// inverted lists incrementally and bump the version.
+#[test]
+fn keyword_updates_flow_through_service() {
+    let venue = Arc::new(random_venue(95));
+    let objects = workload::place_objects(&venue, 9, 1);
+    let labelled = workload::cycling_labels(&objects, "cafe");
+    let service = IndoorService::new();
+    let id = service
+        .add_venue(
+            venue.clone(),
+            ShardConfig {
+                threads: 1,
+                objects: objects.clone(),
+                keywords: labelled.clone(),
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+
+    let q = workload::query_points(&venue, 1, 3)[0];
+    let req = QueryRequest::KnnKeyword {
+        q,
+        k: 3,
+        keyword: "cafe".into(),
+    };
+    service.execute(id, &req).unwrap();
+
+    // Insert a new cafe right at the query point: it must become a hit.
+    let new_pos = q;
+    let report = service
+        .update_keyword_objects(
+            id,
+            &[ObjectUpdate {
+                delta: ObjectDelta::Insert {
+                    id: ObjectId(50),
+                    at: new_pos,
+                },
+                labels: vec!["cafe".into()],
+            }],
+        )
+        .unwrap();
+    assert_eq!(report.inserts, 1);
+    assert_eq!(service.version(id).unwrap(), 1);
+
+    let got = service.execute(id, &req).unwrap();
+    let ids: Vec<ObjectId> = got.objects().unwrap().iter().map(|&(o, _)| o).collect();
+    assert!(
+        ids.contains(&ObjectId(50)),
+        "freshly inserted keyword object must surface: {ids:?}"
+    );
+}

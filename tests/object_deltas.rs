@@ -1,0 +1,283 @@
+//! Delta-vs-rebuild equivalence: any interleaving of insert/remove/move
+//! deltas followed by queries is **byte-identical** to a from-scratch
+//! index built over the surviving live set — across the IP-tree, the
+//! VIP-tree and the keyword index, on two venue presets — and delta
+//! application is provably incremental (the `leaf_builds` recompute
+//! counter never moves under deltas).
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{presets, workload};
+use indoor_spatial::vip::KeywordObjects;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, OnceLock};
+
+const LABELS: [&str; 3] = ["cafe", "atm", "exit"];
+
+struct Preset {
+    name: &'static str,
+    venue: Arc<Venue>,
+    /// Dedicated to this suite: delta streams are applied to these trees.
+    ip: IpTree,
+    vip: VipTree,
+    /// Rebuild targets for the from-scratch reference attach (per index
+    /// kind: IP and VIP ascents produce approximately — not bitwise —
+    /// equal distances, so byte-equality is asserted within each kind).
+    reference: VipTree,
+    reference_ip: IpTree,
+    /// Candidate object/query positions.
+    pool: Vec<IndoorPoint>,
+}
+
+fn presets() -> &'static Vec<Preset> {
+    static CELL: OnceLock<Vec<Preset>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        [
+            ("MC", presets::melbourne_central().build()),
+            ("Men", presets::menzies().build()),
+        ]
+        .into_iter()
+        .map(|(name, venue)| {
+            let venue = Arc::new(venue);
+            let cfg = VipTreeConfig::default();
+            Preset {
+                name,
+                ip: IpTree::build(venue.clone(), &cfg).unwrap(),
+                vip: VipTree::build(venue.clone(), &cfg).unwrap(),
+                reference: VipTree::build(venue.clone(), &cfg).unwrap(),
+                reference_ip: IpTree::build(venue.clone(), &cfg).unwrap(),
+                pool: workload::place_objects(&venue, 64, 0xDE17A),
+                venue,
+            }
+        })
+        .collect()
+    })
+}
+
+/// The model the index must agree with: live slots and their labels.
+#[derive(Default)]
+struct Model {
+    slots: Vec<Option<(IndoorPoint, Vec<String>)>>,
+}
+
+impl Model {
+    fn live_ids(&self) -> Vec<ObjectId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| ObjectId(i as u32))
+            .collect()
+    }
+
+    fn pairs(&self) -> Vec<(ObjectId, IndoorPoint)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|(p, _)| (ObjectId(i as u32), *p)))
+            .collect()
+    }
+
+    fn triples(&self) -> Vec<(ObjectId, IndoorPoint, Vec<String>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|(p, l)| (ObjectId(i as u32), *p, l.clone())))
+            .collect()
+    }
+
+    fn apply(&mut self, u: &ObjectUpdate) {
+        let id = u.delta.id().index();
+        if id >= self.slots.len() {
+            self.slots.resize(id + 1, None);
+        }
+        match &u.delta {
+            ObjectDelta::Insert { at, .. } => self.slots[id] = Some((*at, u.labels.clone())),
+            ObjectDelta::Remove { .. } => self.slots[id] = None,
+            ObjectDelta::Move { to, .. } => {
+                let labels = self.slots[id].as_ref().unwrap().1.clone();
+                self.slots[id] = Some((*to, labels));
+            }
+        }
+    }
+}
+
+/// A random but always-valid labelled delta batch against `model`.
+fn random_batch(model: &Model, pool: &[IndoorPoint], rng: &mut StdRng) -> Vec<ObjectUpdate> {
+    let n_ops = rng.gen_range(1..7);
+    let mut shadow: Vec<Option<bool>> = model.slots.iter().map(|s| Some(s.is_some())).collect();
+    let mut batch = Vec::new();
+    for _ in 0..n_ops {
+        let live: Vec<u32> = shadow
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Some(true))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let op = rng.gen_range(0..3u32);
+        let point = pool[rng.gen_range(0..pool.len())];
+        let delta = if live.is_empty() || op == 0 {
+            // Insert: fresh slot, or revive a dead one (stable-id reuse).
+            let dead: Vec<u32> = shadow
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Some(false))
+                .map(|(i, _)| i as u32)
+                .collect();
+            let id = if !dead.is_empty() && rng.gen_range(0..2u32) == 0 {
+                dead[rng.gen_range(0..dead.len())]
+            } else {
+                shadow.len() as u32
+            };
+            if id as usize >= shadow.len() {
+                shadow.resize(id as usize + 1, Some(false));
+            }
+            shadow[id as usize] = Some(true);
+            ObjectDelta::Insert {
+                id: ObjectId(id),
+                at: point,
+            }
+        } else if op == 1 {
+            let id = live[rng.gen_range(0..live.len())];
+            shadow[id as usize] = Some(false);
+            ObjectDelta::Remove { id: ObjectId(id) }
+        } else {
+            let id = live[rng.gen_range(0..live.len())];
+            ObjectDelta::Move {
+                id: ObjectId(id),
+                to: point,
+            }
+        };
+        let labels = vec![LABELS[rng.gen_range(0..LABELS.len())].to_string()];
+        batch.push(ObjectUpdate { delta, labels });
+    }
+    batch
+}
+
+/// Every query kind over the delta-maintained indexes, byte-compared
+/// against the from-scratch rebuild of the live set.
+fn assert_equivalent(p: &Preset, model: &Model, kw: &KeywordObjects, seed: u64) {
+    p.reference.attach_objects_with_ids(&model.pairs());
+    p.reference_ip.attach_objects_with_ids(&model.pairs());
+    let kw_ref = KeywordObjects::build_with_ids(&p.ip, &model.triples());
+    for q in workload::query_points(&p.venue, 4, seed ^ 0x51) {
+        for k in [1usize, 3, 8] {
+            let want = p.reference.knn(&q, k);
+            assert_eq!(p.vip.knn(&q, k), want, "{}: vip knn k={k}", p.name);
+            let want_ip = p.reference_ip.knn(&q, k);
+            assert_eq!(p.ip.knn(&q, k), want_ip, "{}: ip knn k={k}", p.name);
+        }
+        for radius in [40.0, 160.0] {
+            let want = p.reference.range(&q, radius);
+            assert_eq!(p.vip.range(&q, radius), want, "{}: vip range", p.name);
+            let want_ip = p.reference_ip.range(&q, radius);
+            assert_eq!(p.ip.range(&q, radius), want_ip, "{}: ip range", p.name);
+        }
+        for label in ["cafe", "atm", "exit", "missing"] {
+            assert_eq!(
+                kw.knn_keyword(&p.ip, &q, 3, label),
+                kw_ref.knn_keyword(&p.ip, &q, 3, label),
+                "{}: keyword '{label}'",
+                p.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+    #[test]
+    fn delta_interleavings_match_rebuild(seed in 0u64..100_000) {
+        for p in presets() {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+            let mut model = Model::default();
+
+            // Seed state: a dense positional set, like a cold build.
+            let n0 = rng.gen_range(4..14);
+            let start: Vec<ObjectUpdate> = (0..n0)
+                .map(|i| ObjectUpdate {
+                    delta: ObjectDelta::Insert {
+                        id: ObjectId(i as u32),
+                        at: p.pool[rng.gen_range(0..p.pool.len())],
+                    },
+                    labels: vec![LABELS[i % LABELS.len()].to_string()],
+                })
+                .collect();
+            let points: Vec<IndoorPoint> = start
+                .iter()
+                .map(|u| u.delta.position().unwrap())
+                .collect();
+            p.vip.attach_objects(&points);
+            p.ip.attach_objects(&points);
+            let labelled: Vec<(IndoorPoint, Vec<String>)> = start
+                .iter()
+                .map(|u| (u.delta.position().unwrap(), u.labels.clone()))
+                .collect();
+            let mut kw = KeywordObjects::build(&p.ip, &labelled);
+            for u in &start {
+                model.apply(u);
+            }
+
+            let builds_at_start = p
+                .vip
+                .ip_tree()
+                .object_index()
+                .unwrap()
+                .index_stats()
+                .leaf_builds;
+
+            for _ in 0..3 {
+                let batch = random_batch(&model, &p.pool, &mut rng);
+                let deltas: Vec<ObjectDelta> = batch.iter().map(|u| u.delta).collect();
+                p.vip.apply_object_deltas(&deltas).unwrap();
+                p.ip.apply_object_deltas(&deltas).unwrap();
+                kw.apply_delta(&p.ip, &batch).unwrap();
+                for u in &batch {
+                    model.apply(u);
+                }
+                assert_equivalent(p, &model, &kw, seed);
+            }
+
+            let stats = p.vip.ip_tree().object_index().unwrap().index_stats();
+            prop_assert_eq!(
+                stats.leaf_builds, builds_at_start,
+                "{}: deltas must never recompute leaf tables", p.name
+            );
+            prop_assert_eq!(stats.live, model.live_ids().len());
+        }
+    }
+}
+
+/// The acceptance criterion in isolation: a delta that lands in one leaf
+/// touches exactly that leaf and recomputes nothing. (Own tree — the
+/// shared preset trees belong to the proptest above, which churns their
+/// object sets.)
+#[test]
+fn single_leaf_delta_touches_one_leaf() {
+    let venue = Arc::new(presets::melbourne_central().build());
+    let vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let objects = workload::place_objects(&venue, 16, 7);
+    vip.attach_objects(&objects);
+    let before = vip.ip_tree().object_index().unwrap().index_stats();
+    assert!(before.leaf_builds > 1, "objects must span several leaves");
+
+    // Move one object within its own partition: one leaf, in and out.
+    let report = vip
+        .apply_object_deltas(&[ObjectDelta::Move {
+            id: ObjectId(5),
+            to: objects[5],
+        }])
+        .unwrap();
+    assert_eq!(report.touched_leaves, 1, "single-leaf delta");
+    let after = vip.ip_tree().object_index().unwrap().index_stats();
+    assert_eq!(
+        after.leaf_builds, before.leaf_builds,
+        "untouched leaves are not recomputed — no leaf is"
+    );
+    assert_eq!(
+        after.leaf_touches,
+        before.leaf_touches + 2,
+        "remove + insert"
+    );
+}

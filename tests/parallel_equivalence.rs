@@ -95,8 +95,8 @@ fn check_venue(venue: Arc<Venue>, label: &str) {
     }
 
     let objects = workload::place_objects(&venue, 25, 0xB0);
-    let mut knn_serial = VipTree::build(venue.clone(), &serial_cfg).unwrap();
-    let mut knn_parallel = VipTree::build(venue.clone(), &parallel_cfg).unwrap();
+    let knn_serial = VipTree::build(venue.clone(), &serial_cfg).unwrap();
+    let knn_parallel = VipTree::build(venue.clone(), &parallel_cfg).unwrap();
     knn_serial.attach_objects(&objects);
     knn_parallel.attach_objects(&objects);
     for q in workload::query_points(&venue, 10, 0x17) {

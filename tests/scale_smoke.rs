@@ -63,7 +63,7 @@ fn menzies_2_correct_and_paper_shaped() {
 #[test]
 fn clayton_lite_campus_correct() {
     let venue = Arc::new(presets::clayton_lite().build());
-    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
 
     let mut engine = DijkstraEngine::new(venue.num_doors());
     for (s, t) in workload::query_pairs(&venue, 30, 3) {

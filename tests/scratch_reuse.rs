@@ -40,9 +40,9 @@ fn one_scratch_interleaved_matches_fresh_scratch() {
             .map(|(i, p)| (*p, label_for(i)))
             .collect();
 
-        let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
         vip.attach_objects(&objects);
-        let mut ip = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let ip = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
         ip.attach_objects(&objects);
         let kw = KeywordObjects::build(&ip, &labelled);
 
@@ -98,7 +98,7 @@ fn one_scratch_interleaved_matches_fresh_scratch() {
 #[test]
 fn scratch_warmed_by_other_queries_is_clean() {
     let venue = Arc::new(random_venue(99));
-    let mut vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let vip = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
     vip.attach_objects(&workload::place_objects(&venue, 18, 5));
     let points = workload::query_points(&venue, 6, 0xEE);
     let pairs = workload::query_pairs(&venue, 6, 0xEF);

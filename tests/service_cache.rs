@@ -1,7 +1,7 @@
-//! `IndoorService` contract: multi-venue routing, the epoch-keyed result
-//! cache (a cached answer is **never** served across an `attach_objects`
-//! epoch bump — the acceptance criterion), and automatic keyword-index
-//! threading through shard rebuilds.
+//! `IndoorService` contract: multi-venue routing, the version-stamped
+//! result cache (a cached object answer is **never** served across an
+//! `attach_objects` bump — the acceptance criterion), and keyword
+//! indexes surviving object-set replacement.
 
 use indoor_spatial::prelude::*;
 use indoor_spatial::synth::{presets, random_venue, workload};
@@ -24,7 +24,7 @@ fn epoch_bump_invalidates_cache() {
     let new_objects = workload::place_objects(&venue, 10, 2);
     assert_ne!(old_objects, new_objects);
 
-    let mut service = IndoorService::new();
+    let service = IndoorService::new();
     let id = service
         .add_venue(
             venue.clone(),
@@ -38,7 +38,7 @@ fn epoch_bump_invalidates_cache() {
 
     // Reference answers from plain trees over each object set.
     let answers_for = |objects: &[IndoorPoint], q: &IndoorPoint| {
-        let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
         tree.attach_objects(objects);
         tree.knn(q, 4)
     };
@@ -97,7 +97,7 @@ fn keywords_survive_attach_objects_rebuild() {
     let objects = workload::place_objects(&venue, 14, 5);
     let kw_objects = labelled(&objects);
 
-    let mut service = IndoorService::new();
+    let service = IndoorService::new();
     let id = service
         .add_venue(
             venue.clone(),
@@ -136,14 +136,15 @@ fn keywords_survive_attach_objects_rebuild() {
     );
 }
 
-/// A caller-held tree handle blocks `attach_objects` recoverably: the
-/// call errors instead of panicking, the shard keeps serving its current
-/// objects, and dropping the handle unblocks the attach.
+/// A caller-held tree handle no longer blocks `attach_objects`: object
+/// sets swap *inside* the shared tree, so the attach succeeds under
+/// `&self` and the held handle observes the new objects (pre-refactor,
+/// this returned a `SharedIndex` error and deferred the churn).
 #[test]
-fn shared_tree_handle_defers_attach() {
+fn shared_tree_handle_observes_attach() {
     let venue = Arc::new(random_venue(53));
     let objects = workload::place_objects(&venue, 8, 1);
-    let mut service = IndoorService::new();
+    let service = IndoorService::new();
     let id = service
         .add_venue(
             venue.clone(),
@@ -160,22 +161,27 @@ fn shared_tree_handle_defers_attach() {
     let before = service.execute(id, &req).unwrap();
 
     let held = service.engine(id).unwrap().tree().clone();
-    let err = service
-        .attach_objects(id, &workload::place_objects(&venue, 8, 2))
-        .unwrap_err();
-    assert_eq!(err, ServiceError::SharedIndex(id));
-    assert_eq!(service.epoch(id).unwrap(), 0, "no epoch bump on failure");
+    let new_objects = workload::place_objects(&venue, 8, 2);
+    service
+        .attach_objects(id, &new_objects)
+        .expect("held handles never block the swap");
+    assert_eq!(service.epoch(id).unwrap(), 1);
+    assert_eq!(service.version(id).unwrap(), 1);
+
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    tree.attach_objects(&new_objects);
+    let want = tree.knn(&q, 3);
     assert_eq!(
         service.execute(id, &req).unwrap(),
-        before,
-        "shard keeps serving its current objects"
+        QueryResponse::Knn(want.clone()),
+        "post-swap answers reflect the new objects"
     );
-
-    drop(held);
-    service
-        .attach_objects(id, &workload::place_objects(&venue, 8, 2))
-        .expect("attach succeeds once the handle is dropped");
-    assert_eq!(service.epoch(id).unwrap(), 1);
+    assert_ne!(QueryResponse::Knn(want.clone()), before);
+    assert_eq!(
+        held.ip().knn(&q, 3),
+        want,
+        "the held handle observes the swapped object set"
+    );
 }
 
 /// Multi-venue routing: a shuffled cross-venue batch answers every slot
@@ -188,7 +194,7 @@ fn multi_venue_batches_route_correctly() {
     let objects_a = workload::place_objects(&venue_a, 20, 1);
     let objects_b = workload::place_objects(&venue_b, 20, 2);
 
-    let mut service = IndoorService::new();
+    let service = IndoorService::new();
     let id_a = service
         .add_venue(
             venue_a.clone(),
@@ -212,7 +218,7 @@ fn multi_venue_batches_route_correctly() {
         )
         .unwrap();
     assert_eq!(service.venue_count(), 2);
-    assert_eq!(service.venues().collect::<Vec<_>>(), vec![id_a, id_b]);
+    assert_eq!(service.venues(), vec![id_a, id_b]);
 
     let mut reqs: Vec<(VenueId, QueryRequest)> = Vec::new();
     for req in workload::mixed_requests(&venue_a, 4, 3, 110.0, KEYWORD, 3) {

@@ -16,7 +16,7 @@ const KEYWORD: &str = "cafe";
 fn engine_for(venue: &Arc<Venue>, seed: u64, threads: usize) -> QueryEngine {
     let objects = workload::place_objects(venue, 16, seed ^ 0x51);
     let labelled = workload::cycling_labels(&objects, KEYWORD);
-    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
     tree.attach_objects(&objects);
     let kw = Arc::new(KeywordObjects::build(tree.ip_tree(), &labelled));
     QueryEngine::for_vip(Arc::new(tree))
@@ -158,7 +158,7 @@ proptest! {
 #[test]
 fn keyword_requests_without_index_answer_empty() {
     let venue = Arc::new(random_venue(77));
-    let mut tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
     tree.attach_objects(&workload::place_objects(&venue, 10, 1));
     let engine = QueryEngine::for_vip(Arc::new(tree)).with_threads(1);
     let q = workload::query_points(&venue, 1, 2)[0];
