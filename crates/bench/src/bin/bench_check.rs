@@ -140,6 +140,9 @@ fn main() {
             continue;
         };
         let ratio = now.us_per_query / base.us_per_query;
+        // A warn line says *why* it is not a failure: incomparable
+        // thread-scaling hardware is the only downgrade path.
+        let mut context = String::new();
         let verdict = if ratio <= threshold {
             "ok"
         } else if comparable {
@@ -147,10 +150,14 @@ fn main() {
             "FAIL"
         } else {
             warnings += 1;
+            context = format!(
+                " (not a failure: host_cores {} in baseline vs {} here — thread scaling incomparable)",
+                baseline.host_cores, fresh.host_cores
+            );
             "warn"
         };
         println!(
-            "{:<6} {:>14} {:>8} {:>7} {:>12.2} {:>12.2} {:>6.2}x {}",
+            "{:<6} {:>14} {:>8} {:>7} {:>12.2} {:>12.2} {:>6.2}x {}{}",
             base.dataset,
             base.query,
             base.threads,
@@ -158,7 +165,8 @@ fn main() {
             base.us_per_query,
             now.us_per_query,
             ratio,
-            verdict
+            verdict,
+            context
         );
     }
 

@@ -24,7 +24,12 @@
 //! * `SVC` rows — the same total mixed workload split over `venues`
 //!   shards of an `IndoorService`, measuring steady-state serving with a
 //!   warm version-stamped result cache (the repeated-batch loop is exactly a
-//!   hot-spot workload, so after the warm-up every request is a hit).
+//!   hot-spot workload, so after the warm-up every request is a hit);
+//! * `persist_*` rows — the durability subsystem: `persist_save` (µs per
+//!   whole-service snapshot), `persist_open` (µs per warm restart from a
+//!   snapshot, tree rebuild included), and `persist_replay` (µs per
+//!   `ObjectDelta` of WAL-suffix replay, isolated by differencing a
+//!   suffix-laden open against a snapshot-only open).
 
 use indoor_model::{IndoorPoint, ObjectDelta, ObjectId, QueryRequest, VenueId};
 use indoor_synth::{presets, workload};
@@ -45,6 +50,9 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 const VENUE_COUNTS: [usize; 3] = [1, 2, 4];
 /// Object deltas per `update_objects` batch in the churn cells.
 const DELTAS_PER_BATCH: usize = 64;
+/// WAL batches appended for the `persist_replay` cell; sized so replay
+/// work dominates the (differenced-away) tree rebuild.
+const REPLAY_BATCHES: usize = 256;
 
 struct Row {
     dataset: String,
@@ -349,6 +357,106 @@ fn main() {
         });
     }
 
+    // Durability axis: snapshot save, warm open, and WAL-suffix replay
+    // per preset — the restart path a production service leans on
+    // (`persist_open` ms vs a cold rebuild is the point of snapshots).
+    for (name, spec) in [
+        ("MC", presets::melbourne_central()),
+        ("MC-2", presets::melbourne_central_2()),
+        ("Men", presets::menzies()),
+    ] {
+        let venue = Arc::new(spec.build());
+        let doors = venue.stats().doors;
+        let objects = workload::place_objects(&venue, N_OBJECTS, 0xB0B);
+        let labelled = workload::cycling_labels(&objects, KEYWORD);
+        let service = IndoorService::new();
+        let id = service
+            .add_venue(
+                venue.clone(),
+                ShardConfig {
+                    threads: 1,
+                    objects: objects.clone(),
+                    keywords: labelled,
+                    ..ShardConfig::default()
+                },
+            )
+            .expect("persist shard");
+        // Some churn first, so the snapshot captures a delta-maintained
+        // live set (gapped stable ids), not a pristine attach.
+        let alt = workload::place_objects(&venue, N_OBJECTS, 0xB0D);
+        let churn: Vec<ObjectDelta> = (0..DELTAS_PER_BATCH)
+            .map(|i| ObjectDelta::Move {
+                id: ObjectId(i as u32),
+                to: alt[i % alt.len()],
+            })
+            .collect();
+        service
+            .update_objects(id, &churn)
+            .expect("pre-persist churn");
+
+        let base =
+            std::env::temp_dir().join(format!("vip-bench-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+
+        // Save: a volatile service exports (no WAL rotation in the loop).
+        let save_dir = base.join("save");
+        let us_save = median_us(reps, 1, || {
+            std::hint::black_box(service.save_snapshot(&save_dir).expect("save"));
+        });
+
+        // Open: warm restart from a snapshot with an empty WAL.
+        let open_dir = base.join("open");
+        service.save_snapshot(&open_dir).expect("seed open dir");
+        let us_open = median_us(reps, 1, || {
+            std::hint::black_box(IndoorService::open(&open_dir).expect("open"));
+        });
+
+        // Replay: the same snapshot plus a WAL suffix of pure move
+        // deltas; per-delta cost is the differenced open time.
+        let replay_dir = base.join("replay");
+        service.save_snapshot(&replay_dir).expect("seed replay dir");
+        {
+            let durable = IndoorService::open(&replay_dir).expect("open for suffix");
+            for b in 0..REPLAY_BATCHES {
+                let deltas: Vec<ObjectDelta> = (0..DELTAS_PER_BATCH)
+                    .map(|i| ObjectDelta::Move {
+                        id: ObjectId(i as u32),
+                        to: alt[(b + i) % alt.len()],
+                    })
+                    .collect();
+                durable.update_objects(id, &deltas).expect("suffix batch");
+            }
+        }
+        let n_deltas = REPLAY_BATCHES * DELTAS_PER_BATCH;
+        let us_suffix_open = median_us(reps, 1, || {
+            std::hint::black_box(IndoorService::open(&replay_dir).expect("replay open"));
+        });
+        // Floor at 10ns/delta: the difference of two medians can jitter
+        // below zero when replay is nearly free.
+        let us_replay = ((us_suffix_open - us_open) / n_deltas as f64).max(0.01);
+        let _ = std::fs::remove_dir_all(&base);
+
+        println!(
+            "== {name} persist: save {:9.2} us, open {:9.2} us, replay {:6.3} us/delta ({} deltas)",
+            us_save, us_open, us_replay, n_deltas
+        );
+        for (query, n, us) in [
+            ("persist_save", 1usize, us_save),
+            ("persist_open", 1, us_open),
+            ("persist_replay", n_deltas, us_replay),
+        ] {
+            rows.push(Row {
+                dataset: name.to_string(),
+                doors,
+                query,
+                threads: 1,
+                venues: 1,
+                n_queries: n,
+                us_per_query: us,
+            });
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n  \"benchmark\": \"vip_tree_query\",\n");
     let _ = writeln!(
@@ -359,7 +467,7 @@ fn main() {
     if let Ok(t) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
         let _ = writeln!(json, "  \"generated_unix\": {},", t.as_secs());
     }
-    json.push_str("  \"note\": \"batch results are slot-indexed and bit-identical to the serial loop (tests/concurrent_queries.rs); multi-thread speedup saturates at host_cores; mixed cells run shuffled heterogeneous QueryRequest batches; SVC rows measure IndoorService steady-state serving with a warm version-stamped cache over `venues` shards (venue sets differ per count, so their speedup_vs_serial is fixed at 1.0); churn rows are us per ObjectDelta absorbed by update_objects on one venue while a mixed load hammers a second venue concurrently (qps = updates/sec, speedup fixed at 1.0)\",\n");
+    json.push_str("  \"note\": \"batch results are slot-indexed and bit-identical to the serial loop (tests/concurrent_queries.rs); multi-thread speedup saturates at host_cores; mixed cells run shuffled heterogeneous QueryRequest batches; SVC rows measure IndoorService steady-state serving with a warm version-stamped cache over `venues` shards (venue sets differ per count, so their speedup_vs_serial is fixed at 1.0); churn rows are us per ObjectDelta absorbed by update_objects on one venue while a mixed load hammers a second venue concurrently (qps = updates/sec, speedup fixed at 1.0); persist_save/persist_open are us per whole-service snapshot write / warm restart, persist_replay is us per ObjectDelta of WAL-suffix replay (differenced against a snapshot-only open, floored at 0.01)\",\n");
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         // SVC rows serve a *different* venue set per venue count, so no

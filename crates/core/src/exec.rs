@@ -317,6 +317,13 @@ impl QueryEngine {
         indoor_graph::parallel::effective_threads(self.threads)
     }
 
+    /// The raw configured thread count (0 = all cores at call time) — what
+    /// a snapshot persists, so a restored service keeps "use every core"
+    /// semantics instead of pinning the saving machine's core count.
+    pub(crate) fn configured_threads(&self) -> usize {
+        self.threads
+    }
+
     fn knn_one(
         &self,
         scratch: &mut QueryScratch,

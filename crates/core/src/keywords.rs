@@ -190,6 +190,30 @@ impl KeywordObjects {
         &self.objects
     }
 
+    /// The live `(id, position, labels)` set — the input a from-scratch
+    /// [`KeywordObjects::build_with_ids`] needs to reproduce this index
+    /// (the state a service snapshot persists). Labels come back sorted
+    /// by interned term id, which is deterministic for a given history;
+    /// label *sets* are preserved exactly (duplicates were dedup'd at
+    /// insert, which queries can't observe).
+    pub fn live_labelled(&self) -> Vec<(ObjectId, IndoorPoint, Vec<String>)> {
+        let mut label_of: Vec<&str> = vec![""; self.terms.len()];
+        for (label, &t) in &self.terms {
+            label_of[t as usize] = label;
+        }
+        self.objects
+            .live_pairs()
+            .into_iter()
+            .map(|(id, p)| {
+                let labels = self.object_terms[id.index()]
+                    .iter()
+                    .map(|&t| label_of[t as usize].to_string())
+                    .collect();
+                (id, p, labels)
+            })
+            .collect()
+    }
+
     /// Look up a term (queries with unknown terms return no results).
     pub fn term(&self, label: &str) -> Option<TermId> {
         self.terms.get(label).copied()

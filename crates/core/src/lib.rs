@@ -52,6 +52,7 @@ mod matrices;
 mod merge;
 mod objects;
 mod path;
+pub mod persist;
 mod service;
 mod stats;
 mod tree;
@@ -60,6 +61,7 @@ mod vip;
 pub use exec::{PooledScratch, QueryEngine, QueryScratch, ScratchPool, TreeHandle};
 pub use keywords::{KeywordObjects, TermId};
 pub use objects::{DeltaReport, ObjectIndex, ObjectIndexStats};
+pub use persist::{PersistError, RecoveryReport, SnapshotReport};
 pub use service::{
     IndoorService, KindStats, ServiceError, ServiceStats, ShardConfig, DEFAULT_CACHE_CAPACITY,
 };

@@ -1,0 +1,251 @@
+//! On-disk framing shared by snapshots and write-ahead logs.
+//!
+//! Both file kinds are built from the same primitive: a **CRC-framed
+//! section** `[len: u32][crc32: u32][payload: len bytes]`, preceded by an
+//! 8-byte magic + format-version header identifying the file kind. The
+//! payload bytes are the `indoor_model::wire` encoding of whatever the
+//! section carries; the CRC (over the payload only) is what lets recovery
+//! distinguish "valid record", "torn tail to truncate", and "corrupt
+//! file to refuse".
+//!
+//! Framing errors surface as [`PersistError`], which wraps the
+//! position-carrying [`LoadError`] of `indoor-model` as its `source` —
+//! a corrupt byte names its own offset all the way up the error chain.
+
+use crate::tree::BuildError;
+use indoor_model::wire::crc32;
+use indoor_model::{DeltaError, LoadError};
+use std::path::{Path, PathBuf};
+
+/// Snapshot file name inside a durability directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// Magic + format version of snapshot files. Bump the trailing byte on
+/// any layout change: old readers reject new files by tag, not by a
+/// decode error deep inside a section.
+pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"VIPSNAP\x01";
+
+/// Magic + format version of per-venue WAL files.
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"VIPWAL\x01\x00";
+
+/// Failures of the persistence subsystem (snapshot save/load, WAL
+/// append/replay). Decode-level failures keep the `indoor-model`
+/// [`LoadError`] — with its byte offset and expected/found context — as
+/// their [`std::error::Error::source`].
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem operation failed.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// A section or record payload failed to decode.
+    Load { path: PathBuf, source: LoadError },
+    /// Structural corruption the decoder could localise (bad magic, CRC
+    /// mismatch in a non-tail section, LSN sequence break).
+    Corrupt {
+        path: PathBuf,
+        offset: u64,
+        detail: String,
+    },
+    /// Rebuilding an index from recovered state failed.
+    Build(BuildError),
+    /// A WAL record failed to re-apply during recovery (only possible if
+    /// the log and snapshot disagree — journalled batches were validated
+    /// before being appended).
+    Replay {
+        path: PathBuf,
+        lsn: u64,
+        source: DeltaError,
+    },
+    /// Another live service already owns this durability directory
+    /// (advisory lock on its `.lock` file). Two writers interleaving
+    /// WAL appends would corrupt the history, so the second open fails
+    /// loudly instead.
+    Locked { path: PathBuf },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            PersistError::Load { path, source } => {
+                write!(f, "cannot decode {}: {source}", path.display())
+            }
+            PersistError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt file {} at byte {offset}: {detail}",
+                path.display()
+            ),
+            PersistError::Build(e) => write!(f, "cannot rebuild index from snapshot: {e}"),
+            PersistError::Replay { path, lsn, source } => write!(
+                f,
+                "WAL record {lsn} of {} failed to replay: {source}",
+                path.display()
+            ),
+            PersistError::Locked { path } => write!(
+                f,
+                "durability directory {} is locked by another live service",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Load { source, .. } => Some(source),
+            PersistError::Build(e) => Some(e),
+            PersistError::Replay { source, .. } => Some(source),
+            PersistError::Corrupt { .. } | PersistError::Locked { .. } => None,
+        }
+    }
+}
+
+impl PersistError {
+    pub(crate) fn io(path: &Path, source: std::io::Error) -> PersistError {
+        PersistError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    pub(crate) fn load(path: &Path, source: LoadError) -> PersistError {
+        PersistError::Load {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(path: &Path, offset: u64, detail: impl Into<String>) -> PersistError {
+        PersistError::Corrupt {
+            path: path.to_path_buf(),
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Append one CRC-framed section to `out`.
+pub(crate) fn write_section(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Outcome of reading one frame at the current position.
+#[derive(Debug)]
+pub(crate) enum FrameRead<'a> {
+    /// A complete, CRC-valid frame; the position now points past it.
+    Frame(&'a [u8]),
+    /// Clean end of buffer (position exactly at the end).
+    End,
+    /// The bytes from the current position on do not form a valid frame
+    /// (short header, short payload, or CRC mismatch) — a torn tail when
+    /// it is the last thing in a WAL, corruption anywhere else.
+    Torn,
+}
+
+/// Read the frame starting at `*pos`, advancing it on success.
+pub(crate) fn read_frame<'a>(buf: &'a [u8], pos: &mut usize) -> FrameRead<'a> {
+    if *pos == buf.len() {
+        return FrameRead::End;
+    }
+    if buf.len() - *pos < 8 {
+        return FrameRead::Torn;
+    }
+    let len = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[*pos + 4..*pos + 8].try_into().unwrap());
+    if buf.len() - *pos - 8 < len {
+        return FrameRead::Torn;
+    }
+    let payload = &buf[*pos + 8..*pos + 8 + len];
+    if crc32(payload) != crc {
+        return FrameRead::Torn;
+    }
+    *pos += 8 + len;
+    FrameRead::Frame(payload)
+}
+
+/// Validate an 8-byte magic header, advancing past it.
+pub(crate) fn read_magic(
+    buf: &[u8],
+    pos: &mut usize,
+    magic: &[u8; 8],
+    path: &Path,
+) -> Result<(), PersistError> {
+    if buf.len() < 8 || &buf[..8] != magic {
+        return Err(PersistError::corrupt(
+            path,
+            0,
+            format!(
+                "bad magic (expected {:?}, found {:?})",
+                String::from_utf8_lossy(magic),
+                String::from_utf8_lossy(&buf[..buf.len().min(8)])
+            ),
+        ));
+    }
+    *pos = 8;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_detect_tearing() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"hello");
+        write_section(&mut buf, b"");
+        write_section(&mut buf, b"world!");
+        let full = buf.clone();
+
+        let mut pos = 0;
+        assert!(matches!(
+            read_frame(&full, &mut pos),
+            FrameRead::Frame(b"hello")
+        ));
+        assert!(matches!(read_frame(&full, &mut pos), FrameRead::Frame(b"")));
+        assert!(matches!(
+            read_frame(&full, &mut pos),
+            FrameRead::Frame(b"world!")
+        ));
+        assert!(matches!(read_frame(&full, &mut pos), FrameRead::End));
+
+        // Any truncation of the last frame — header or payload — is Torn.
+        for cut in 1..(8 + 6) {
+            let torn = &full[..full.len() - cut];
+            let mut pos = 0;
+            assert!(matches!(read_frame(torn, &mut pos), FrameRead::Frame(_)));
+            assert!(matches!(read_frame(torn, &mut pos), FrameRead::Frame(_)));
+            assert!(
+                matches!(read_frame(torn, &mut pos), FrameRead::Torn),
+                "cut {cut}"
+            );
+        }
+
+        // A flipped payload byte fails the CRC.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        let mut pos = 0;
+        assert!(matches!(
+            read_frame(&flipped, &mut pos),
+            FrameRead::Frame(_)
+        ));
+        assert!(matches!(
+            read_frame(&flipped, &mut pos),
+            FrameRead::Frame(_)
+        ));
+        assert!(matches!(read_frame(&flipped, &mut pos), FrameRead::Torn));
+    }
+}

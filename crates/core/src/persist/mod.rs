@@ -1,0 +1,48 @@
+//! Durability subsystem: service snapshots + per-venue delta WALs with
+//! warm restart.
+//!
+//! PR 4 made the whole [`IndoorService`](crate::IndoorService) mutable
+//! while serving — but volatile: a restart lost every venue, live object
+//! set, keyword list and version counter, and index construction is the
+//! dominant cost at venue scale (Liu et al.'s experimental analysis of
+//! indoor queries), so a cold restart of a many-venue deployment is
+//! minutes of rebuild. This module makes restarts warm:
+//!
+//! * **Snapshots**: a versioned, CRC-sectioned binary file holding every
+//!   shard's rebuildable state —
+//!   [`IndoorService::save_snapshot`](crate::IndoorService::save_snapshot)
+//!   writes it concurrently with serving.
+//! * **WAL**: every mutation batch
+//!   (`update_objects`/`update_keyword_objects`/`attach_objects`/
+//!   `add_venue`/`remove_venue`) appends one CRC-framed record to a
+//!   per-venue append-only log, stamped with the shard's version counter
+//!   as its LSN.
+//! * **Recovery**:
+//!   [`IndoorService::open`](crate::IndoorService::open) = load snapshot,
+//!   replay each venue's WAL suffix (`LSN > version`), truncate torn
+//!   tails, serve. Snapshotting rotates the logs.
+//!
+//! The **LSN = version invariant** is what ties the two halves together:
+//! every mutation path holds its shard's journal lock across *apply +
+//! version bump + WAL append*, so the log order is the apply order, the
+//! snapshot's captured version is a cut point of that order, and "replay
+//! the suffix past the version" is exact — no record is lost, none is
+//! applied twice. Kill-and-recover equivalence (recovered answers
+//! byte-identical to a never-restarted service) is enforced by proptest
+//! in `tests/persistence.rs`; DESIGN.md §10 has the full argument.
+//!
+//! Durability is opt-in per service:
+//! [`IndoorService::new`](crate::IndoorService::new) stays
+//! volatile and journal-free; services from `open` journal every
+//! acknowledged mutation. WAL append failures on a durable service
+//! panic — a durable service must not silently acknowledge writes it
+//! cannot journal.
+
+mod format;
+mod recover;
+mod snapshot;
+pub(crate) mod wal;
+
+pub use format::{PersistError, SNAPSHOT_FILE};
+pub use recover::RecoveryReport;
+pub use snapshot::SnapshotReport;

@@ -1,0 +1,338 @@
+//! Warm restart: load the latest snapshot, replay each venue's WAL
+//! suffix, truncate torn tails, then serve.
+//!
+//! [`IndoorService::open`] is the inverse of
+//! [`IndoorService::save_snapshot`] plus the journal: every shard is
+//! rebuilt from its snapshot state (venue JSON → `Venue` → `VipTree`,
+//! object/keyword sets re-attached with their stable ids via
+//! `build_with_ids`), then the WAL records with `LSN > version` are
+//! re-applied **through the same code paths** the live service used
+//! (`apply_object_deltas`, keyword `apply_delta`, wholesale attach) — so
+//! the delta-vs-rebuild equivalence contract of `tests/object_deltas.rs`
+//! is exactly what makes a recovered service answer byte-identically to
+//! one that never went down (`tests/persistence.rs` proves it end to
+//! end). Restored `epoch`/`version` counters continue monotonically,
+//! which keeps future WAL LSNs and cache stamps well-ordered.
+
+use super::format::{PersistError, SNAPSHOT_FILE};
+use super::snapshot::{read_snapshot, SlotState};
+use super::wal::{self, OwnedWalRecord, WalEntry};
+use crate::exec::QueryEngine;
+use crate::keywords::KeywordObjects;
+use crate::service::{ClockCache, IndoorService, Serving, Shard, DEFAULT_CACHE_CAPACITY};
+use crate::vip::VipTree;
+use indoor_model::Venue;
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// What [`IndoorService::open`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Whether a snapshot file was present and loaded.
+    pub snapshot_loaded: bool,
+    /// Venues serving after recovery.
+    pub venues: usize,
+    /// WAL records re-applied past their snapshot states (lifecycle
+    /// records included).
+    pub replayed_records: usize,
+    /// WAL files whose torn final record was truncated.
+    pub truncated_tails: usize,
+}
+
+/// A shard being rebuilt: the engine plus its restored counters.
+struct Rebuilt {
+    engine: Arc<QueryEngine>,
+    epoch: u64,
+    version: u64,
+    cache_capacity: usize,
+}
+
+fn rebuild_from_state(state: &SlotState, path: &Path) -> Result<Rebuilt, PersistError> {
+    let venue =
+        Venue::load_json(state.venue_json.as_slice()).map_err(|e| PersistError::load(path, e))?;
+    let tree = VipTree::build(Arc::new(venue), &state.tree).map_err(PersistError::Build)?;
+    if let Some(objects) = &state.objects {
+        tree.attach_objects_with_ids(objects);
+    }
+    let engine = QueryEngine::for_vip(Arc::new(tree)).with_threads(state.engine_threads);
+    if let Some(keywords) = &state.keywords {
+        let kw = KeywordObjects::build_with_ids(engine.tree().ip(), keywords);
+        engine.set_keywords(Some(Arc::new(kw)));
+    }
+    Ok(Rebuilt {
+        engine: Arc::new(engine),
+        epoch: state.epoch,
+        version: state.version,
+        cache_capacity: state.cache_capacity,
+    })
+}
+
+fn rebuild_from_create(record: &OwnedWalRecord, path: &Path) -> Result<Rebuilt, PersistError> {
+    let OwnedWalRecord::Create {
+        tree: config,
+        engine_threads,
+        cache_capacity,
+        venue_json,
+        objects,
+        keywords,
+    } = record
+    else {
+        unreachable!("caller matched Create");
+    };
+    let venue = Venue::load_json(venue_json.as_slice()).map_err(|e| PersistError::load(path, e))?;
+    let tree = VipTree::build(Arc::new(venue), config).map_err(PersistError::Build)?;
+    // Mirror `add_venue`: positional attach only when non-empty, so a
+    // recovered never-attached tree still reports no object index.
+    if !objects.is_empty() {
+        tree.attach_objects(objects);
+    }
+    let engine = QueryEngine::for_vip(Arc::new(tree)).with_threads(*engine_threads);
+    if !keywords.is_empty() {
+        let kw = KeywordObjects::build(engine.tree().ip(), keywords);
+        engine.set_keywords(Some(Arc::new(kw)));
+    }
+    Ok(Rebuilt {
+        engine: Arc::new(engine),
+        epoch: 0,
+        version: 0,
+        cache_capacity: *cache_capacity,
+    })
+}
+
+/// Replay one venue's WAL suffix onto its rebuilt shard.
+fn replay(
+    slot: usize,
+    mut live: Option<Rebuilt>,
+    entries: &[WalEntry],
+    path: &Path,
+    report: &mut RecoveryReport,
+) -> Result<Option<Rebuilt>, PersistError> {
+    // Slots are never reused, so a log holds at most one lifecycle:
+    // Create … Remove (plus racing stragglers after the Remove). If the
+    // venue ends up removed, every mutation record in the log is moot —
+    // which also covers the crash window between a snapshot rename
+    // (recording the slot as empty) and the rotation step that deletes
+    // the removed venue's log: the leftover log's pre-Remove mutations
+    // must not read as corruption.
+    let ends_removed = entries
+        .iter()
+        .any(|e| matches!(e.record, OwnedWalRecord::Remove));
+    let mut removed = false;
+    for entry in entries {
+        match &entry.record {
+            OwnedWalRecord::Create { .. } => {
+                // Skipped when snapshot state already covers the venue (a
+                // log not rotated yet) — and when the log ends in Remove:
+                // building a tree only to drop it at the Remove record
+                // would waste the whole venue-construction cost.
+                if live.is_none() && !ends_removed {
+                    live = Some(rebuild_from_create(&entry.record, path)?);
+                    report.replayed_records += 1;
+                }
+                continue;
+            }
+            OwnedWalRecord::Remove => {
+                live = None;
+                removed = true;
+                report.replayed_records += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if removed || (live.is_none() && ends_removed) {
+            // Moot mutation: either it raced `remove_venue` and landed
+            // after the Remove record, or the snapshot already records
+            // the slot as empty and the log (not yet deleted by
+            // rotation) still ends in its Remove.
+            continue;
+        }
+        let Some(shard) = live.as_mut() else {
+            return Err(PersistError::corrupt(
+                path,
+                0,
+                format!(
+                    "mutation record LSN {} for absent venue slot {slot}",
+                    entry.lsn
+                ),
+            ));
+        };
+        if entry.lsn <= shard.version {
+            continue; // the snapshot already includes this record
+        }
+        if entry.lsn != shard.version + 1 {
+            return Err(PersistError::corrupt(
+                path,
+                0,
+                format!(
+                    "LSN gap in venue slot {slot}: record {} after version {}",
+                    entry.lsn, shard.version
+                ),
+            ));
+        }
+        match &entry.record {
+            OwnedWalRecord::Deltas(deltas) => {
+                shard
+                    .engine
+                    .tree()
+                    .ip()
+                    .apply_object_deltas(deltas)
+                    .map_err(|e| PersistError::Replay {
+                        path: path.to_path_buf(),
+                        lsn: entry.lsn,
+                        source: e,
+                    })?;
+            }
+            OwnedWalRecord::Attach(objects) => {
+                shard.engine.tree().ip().attach_objects(objects);
+                shard.epoch += 1;
+            }
+            OwnedWalRecord::KeywordUpdates(updates) => {
+                let ip = shard.engine.tree().ip();
+                let mut kw = match shard.engine.keywords() {
+                    Some(kw) => (*kw).clone(),
+                    None => KeywordObjects::build(ip, &[]),
+                };
+                kw.apply_delta(ip, updates)
+                    .map_err(|e| PersistError::Replay {
+                        path: path.to_path_buf(),
+                        lsn: entry.lsn,
+                        source: e,
+                    })?;
+                shard.engine.set_keywords(Some(Arc::new(kw)));
+            }
+            OwnedWalRecord::Create { .. } | OwnedWalRecord::Remove => unreachable!(),
+        }
+        shard.version = entry.lsn;
+        report.replayed_records += 1;
+    }
+    Ok(live)
+}
+
+impl IndoorService {
+    /// Open a durable service rooted at `dir` (created if missing):
+    /// load `snapshot.bin` if present, replay each venue's WAL suffix
+    /// (records with `LSN >` the snapshot's version), truncate torn
+    /// tails, and serve. The returned service journals every future
+    /// mutation into `dir`; [`IndoorService::save_snapshot`] into the
+    /// same `dir` rotates the logs.
+    ///
+    /// An empty or missing directory yields an empty durable service —
+    /// the natural way to *start* a durable deployment.
+    pub fn open(dir: impl AsRef<Path>) -> Result<IndoorService, PersistError> {
+        Self::open_with_report(dir).map(|(service, _)| service)
+    }
+
+    /// As [`IndoorService::open`], also returning what recovery found.
+    pub fn open_with_report(
+        dir: impl AsRef<Path>,
+    ) -> Result<(IndoorService, RecoveryReport), PersistError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, e))?;
+        // Single-writer exclusion: two live services appending to the
+        // same WALs would interleave LSNs into a history that matches
+        // neither. The advisory lock is held for the service's lifetime
+        // and released by the OS on drop or crash.
+        let lock_path = dir.join(".lock");
+        let dir_lock = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&lock_path)
+            .map_err(|e| PersistError::io(&lock_path, e))?;
+        dir_lock.try_lock().map_err(|e| match e {
+            std::fs::TryLockError::WouldBlock => PersistError::Locked {
+                path: dir.to_path_buf(),
+            },
+            std::fs::TryLockError::Error(e) => PersistError::io(&lock_path, e),
+        })?;
+        let mut report = RecoveryReport::default();
+
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let mut states: Vec<Option<SlotState>> = if snapshot_path.exists() {
+            report.snapshot_loaded = true;
+            read_snapshot(&snapshot_path)?
+        } else {
+            Vec::new()
+        };
+
+        // Venues created after the last snapshot live only in their WAL.
+        let mut max_slot = states.len();
+        for entry in std::fs::read_dir(dir).map_err(|e| PersistError::io(dir, e))? {
+            let entry = entry.map_err(|e| PersistError::io(dir, e))?;
+            if let Some(slot) = entry.file_name().to_str().and_then(wal::slot_of_wal_name) {
+                max_slot = max_slot.max(slot + 1);
+            }
+        }
+        states.resize_with(max_slot, || None);
+
+        let mut slots: Vec<Option<Arc<Shard>>> = Vec::with_capacity(states.len());
+        for (slot, state) in states.iter().enumerate() {
+            let path = wal::wal_path(dir, slot);
+            let entries = if path.exists() {
+                let (entries, truncated) = wal::read_and_repair(&path)?;
+                if truncated {
+                    report.truncated_tails += 1;
+                }
+                entries
+            } else {
+                Vec::new()
+            };
+
+            let rebuilt = state
+                .as_ref()
+                .map(|s| rebuild_from_state(s, &snapshot_path))
+                .transpose()?;
+            let rebuilt = replay(slot, rebuilt, &entries, &path, &mut report)?;
+
+            slots.push(rebuilt.map(|r| {
+                let capacity = if r.cache_capacity == 0 {
+                    DEFAULT_CACHE_CAPACITY
+                } else {
+                    r.cache_capacity
+                };
+                Arc::new(Shard {
+                    serving: RwLock::new(Serving {
+                        engine: r.engine,
+                        epoch: r.epoch,
+                        version: r.version,
+                    }),
+                    cache: Mutex::new(ClockCache::new(capacity)),
+                    journal: Mutex::new(None),
+                })
+            }));
+        }
+
+        // Every surviving slot journals from here on: reopen (or create)
+        // its log for appending. Slots that stay `None` keep no journal —
+        // their ids are burned, recorded by the snapshot's empty slot or
+        // the log's Remove record.
+        for (slot, shard) in slots.iter().enumerate() {
+            let Some(shard) = shard else { continue };
+            let path = wal::wal_path(dir, slot);
+            let wal = if path.exists() {
+                wal::VenueWal::open_append(dir, slot)?
+            } else {
+                // Snapshot-only venue (log rotated away, then deleted, or
+                // an exported snapshot opened in a fresh directory).
+                wal::VenueWal::create(dir, slot)?
+            };
+            *shard.journal.lock().expect("journal lock") = Some(wal);
+        }
+
+        report.venues = slots.iter().flatten().count();
+        let service = IndoorService {
+            shards: RwLock::new(slots),
+            counters: Default::default(),
+            persist_root: Some(dir.to_path_buf()),
+            persist_lock: Mutex::new(()),
+            _persist_dir_lock: Some(dir_lock),
+        };
+        Ok((service, report))
+    }
+
+    /// The durability directory this service journals into (`None` for a
+    /// volatile [`IndoorService::new`] service).
+    pub fn persist_root(&self) -> Option<&Path> {
+        self.persist_root.as_deref()
+    }
+}

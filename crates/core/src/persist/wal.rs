@@ -1,0 +1,354 @@
+//! Per-venue write-ahead log: one append-only file of CRC-framed,
+//! LSN-stamped mutation records.
+//!
+//! Every mutating [`IndoorService`](crate::IndoorService) entry point
+//! appends one record per acknowledged batch; the **LSN is the shard's
+//! version counter** after the batch (venue-lifecycle records use the
+//! reserved LSNs 0 for `Create` and `u64::MAX` for `Remove`). Recovery
+//! replays the suffix of each log past its snapshot's version — see
+//! `persist::recover` — and [`read_and_repair`] physically truncates a
+//! torn tail (a partially written final record) before replay, which is
+//! the crash-atomicity story: a record is either fully framed and
+//! CRC-valid, or it never happened.
+
+use super::format::{self, FrameRead, PersistError, WAL_MAGIC};
+use crate::tree::VipTreeConfig;
+use indoor_model::wire::{WireReader, WireWriter};
+use indoor_model::{IndoorPoint, LoadError, ObjectDelta, ObjectUpdate};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// LSN of a venue's `Create` record (before any mutation).
+pub(crate) const LSN_CREATE: u64 = 0;
+/// LSN of a venue's `Remove` record: sorts after every version, so a
+/// removal is replayed no matter when the last snapshot was taken.
+pub(crate) const LSN_REMOVE: u64 = u64::MAX;
+
+/// A mutation record, borrowed for appending.
+pub(crate) enum WalRecord<'a> {
+    /// Venue registered: everything needed to rebuild the shard from
+    /// nothing (`add_venue` semantics, config included).
+    Create {
+        tree: &'a VipTreeConfig,
+        engine_threads: usize,
+        cache_capacity: usize,
+        venue_json: &'a [u8],
+        objects: &'a [IndoorPoint],
+        keywords: &'a [(IndoorPoint, Vec<String>)],
+    },
+    /// An `update_objects` batch.
+    Deltas(&'a [ObjectDelta]),
+    /// An `update_keyword_objects` batch.
+    KeywordUpdates(&'a [ObjectUpdate]),
+    /// An `attach_objects` wholesale replacement (positional ids).
+    Attach(&'a [IndoorPoint]),
+    /// Venue unregistered.
+    Remove,
+}
+
+/// A decoded record (owned), as replayed by recovery.
+#[derive(Debug)]
+pub(crate) enum OwnedWalRecord {
+    Create {
+        tree: VipTreeConfig,
+        engine_threads: usize,
+        cache_capacity: usize,
+        venue_json: Vec<u8>,
+        objects: Vec<IndoorPoint>,
+        keywords: Vec<(IndoorPoint, Vec<String>)>,
+    },
+    Deltas(Vec<ObjectDelta>),
+    KeywordUpdates(Vec<ObjectUpdate>),
+    Attach(Vec<IndoorPoint>),
+    Remove,
+}
+
+/// One replayable log entry.
+#[derive(Debug)]
+pub(crate) struct WalEntry {
+    pub lsn: u64,
+    pub record: OwnedWalRecord,
+}
+
+const TAG_CREATE: u8 = 0;
+const TAG_DELTAS: u8 = 1;
+const TAG_KEYWORDS: u8 = 2;
+const TAG_ATTACH: u8 = 3;
+const TAG_REMOVE: u8 = 4;
+
+/// Tree-config wire layout, shared by WAL `Create` records and snapshot
+/// slots — one definition, so the two file kinds cannot drift apart.
+pub(crate) fn encode_config(w: &mut WireWriter, cfg: &VipTreeConfig) {
+    w.put_u32(cfg.min_degree as u32);
+    w.put_u8(cfg.use_superior_doors as u8);
+    w.put_u32(cfg.threads as u32);
+}
+
+pub(crate) fn decode_config(r: &mut WireReader<'_>) -> Result<VipTreeConfig, LoadError> {
+    Ok(VipTreeConfig {
+        min_degree: r.get_u32("tree min_degree")? as usize,
+        use_superior_doors: r.get_u8("tree use_superior_doors flag")? != 0,
+        threads: r.get_u32("tree build threads")? as usize,
+    })
+}
+
+/// Encode `record` (with its LSN) into a frame payload.
+pub(crate) fn encode_record(lsn: u64, record: &WalRecord<'_>) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(lsn);
+    match record {
+        WalRecord::Create {
+            tree,
+            engine_threads,
+            cache_capacity,
+            venue_json,
+            objects,
+            keywords,
+        } => {
+            w.put_u8(TAG_CREATE);
+            encode_config(&mut w, tree);
+            w.put_u32(*engine_threads as u32);
+            w.put_u64(*cache_capacity as u64);
+            w.put_bytes(venue_json);
+            w.put_points(objects);
+            w.put_u32(keywords.len() as u32);
+            for (p, labels) in *keywords {
+                w.put_point(p);
+                w.put_labels(labels);
+            }
+        }
+        WalRecord::Deltas(deltas) => {
+            w.put_u8(TAG_DELTAS);
+            w.put_u32(deltas.len() as u32);
+            for d in *deltas {
+                w.put_delta(d);
+            }
+        }
+        WalRecord::KeywordUpdates(updates) => {
+            w.put_u8(TAG_KEYWORDS);
+            w.put_u32(updates.len() as u32);
+            for u in *updates {
+                w.put_update(u);
+            }
+        }
+        WalRecord::Attach(objects) => {
+            w.put_u8(TAG_ATTACH);
+            w.put_points(objects);
+        }
+        WalRecord::Remove => w.put_u8(TAG_REMOVE),
+    }
+    w.into_bytes()
+}
+
+/// Decode one frame payload back into an entry.
+pub(crate) fn decode_record(payload: &[u8]) -> Result<WalEntry, LoadError> {
+    let mut r = WireReader::new(payload);
+    let lsn = r.get_u64("record LSN")?;
+    let record = match r.get_u8("record kind tag")? {
+        TAG_CREATE => {
+            let tree = decode_config(&mut r)?;
+            let engine_threads = r.get_u32("engine threads")? as usize;
+            let cache_capacity = r.get_u64("cache capacity")? as usize;
+            let venue_json = r.get_bytes("venue json")?.to_vec();
+            let objects = r.get_points()?;
+            let n = r.get_u32("keyword object count")? as usize;
+            let mut keywords = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                let p = r.get_point()?;
+                keywords.push((p, r.get_labels()?));
+            }
+            OwnedWalRecord::Create {
+                tree,
+                engine_threads,
+                cache_capacity,
+                venue_json,
+                objects,
+                keywords,
+            }
+        }
+        TAG_DELTAS => {
+            let n = r.get_u32("delta count")? as usize;
+            let mut deltas = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                deltas.push(r.get_delta()?);
+            }
+            OwnedWalRecord::Deltas(deltas)
+        }
+        TAG_KEYWORDS => {
+            let n = r.get_u32("update count")? as usize;
+            let mut updates = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                updates.push(r.get_update()?);
+            }
+            OwnedWalRecord::KeywordUpdates(updates)
+        }
+        TAG_ATTACH => OwnedWalRecord::Attach(r.get_points()?),
+        TAG_REMOVE => OwnedWalRecord::Remove,
+        other => {
+            return Err(LoadError::Wire {
+                offset: 8,
+                expected: "record kind tag 0..=4",
+                found: format!("tag {other}"),
+            })
+        }
+    };
+    r.finish("end of record")?;
+    Ok(WalEntry { lsn, record })
+}
+
+/// Append handle to one venue's log file.
+#[derive(Debug)]
+pub(crate) struct VenueWal {
+    path: PathBuf,
+    file: File,
+}
+
+/// `dir/venue-<slot>.wal`.
+pub(crate) fn wal_path(dir: &Path, slot: usize) -> PathBuf {
+    dir.join(format!("venue-{slot}.wal"))
+}
+
+/// Parse a `venue-<slot>.wal` file name back to its slot.
+pub(crate) fn slot_of_wal_name(name: &str) -> Option<usize> {
+    name.strip_prefix("venue-")?
+        .strip_suffix(".wal")?
+        .parse()
+        .ok()
+}
+
+impl VenueWal {
+    /// Create (truncating) the log for `slot` with a fresh magic header.
+    pub fn create(dir: &Path, slot: usize) -> Result<VenueWal, PersistError> {
+        let path = wal_path(dir, slot);
+        let mut file = File::create(&path).map_err(|e| PersistError::io(&path, e))?;
+        file.write_all(WAL_MAGIC)
+            .map_err(|e| PersistError::io(&path, e))?;
+        Ok(VenueWal { path, file })
+    }
+
+    /// Open an existing (already repaired) log for appending.
+    pub fn open_append(dir: &Path, slot: usize) -> Result<VenueWal, PersistError> {
+        let path = wal_path(dir, slot);
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| PersistError::io(&path, e))?;
+        Ok(VenueWal { path, file })
+    }
+
+    /// Append one record. The frame reaches the kernel in a single
+    /// `write_all`, so a **process** crash leaves at worst one torn tail
+    /// frame — exactly what [`read_and_repair`] truncates. There is no
+    /// fsync: an OS crash or power loss can drop page-cache tail records
+    /// even after the batch was acknowledged. A configurable
+    /// sync-on-append policy is the ROADMAP's "durability hardening"
+    /// item; until then the guarantee is process-crash durability.
+    pub fn append(&mut self, lsn: u64, record: &WalRecord<'_>) -> Result<(), PersistError> {
+        let payload = encode_record(lsn, record);
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        format::write_section(&mut frame, &payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| PersistError::io(&self.path, e))
+    }
+}
+
+/// Read every valid record of `path`, physically truncating a torn tail.
+/// Returns the entries plus whether a truncation happened.
+pub(crate) fn read_and_repair(path: &Path) -> Result<(Vec<WalEntry>, bool), PersistError> {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(|e| PersistError::io(path, e))?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)
+        .map_err(|e| PersistError::io(path, e))?;
+
+    // A file shorter than the magic is a torn *header* — a crash between
+    // creating the file and writing its 8 magic bytes (the same
+    // append-crash window the frame rule covers). The creation was never
+    // acknowledged, so repair by rewriting a clean header rather than
+    // refusing to open the whole service. A full-length but wrong magic
+    // stays an error: that is a different format, not a crash artefact.
+    if buf.len() < 8 {
+        file.set_len(0).map_err(|e| PersistError::io(path, e))?;
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| PersistError::io(path, e))?;
+        file.write_all(WAL_MAGIC)
+            .map_err(|e| PersistError::io(path, e))?;
+        return Ok((Vec::new(), true));
+    }
+    let mut pos = 0usize;
+    format::read_magic(&buf, &mut pos, WAL_MAGIC, path)?;
+    let mut entries = Vec::new();
+    let mut truncated = false;
+    loop {
+        let frame_start = pos;
+        match format::read_frame(&buf, &mut pos) {
+            FrameRead::Frame(payload) => {
+                let entry = decode_record(payload).map_err(|e| PersistError::load(path, e))?;
+                entries.push(entry);
+            }
+            FrameRead::End => break,
+            FrameRead::Torn => {
+                // Torn tail: drop the partial frame (and anything framed
+                // after it — frame boundaries past a bad frame are
+                // meaningless) so the next append starts clean.
+                file.set_len(frame_start as u64)
+                    .map_err(|e| PersistError::io(path, e))?;
+                truncated = true;
+                break;
+            }
+        }
+    }
+    Ok((entries, truncated))
+}
+
+/// Rewrite the log for `slot` keeping only entries with `lsn >
+/// keep_after` (plus nothing else — `Create` at LSN 0 and every record
+/// the snapshot already covers are dropped), returning a fresh append
+/// handle. Kept records are copied as their **raw, already-CRC-valid
+/// frame bytes** — only the 8-byte LSN prefix of each payload is
+/// decoded, so rotation of a long suffix is a memcpy and can never
+/// rewrite (or drift) a record's encoding. Atomic: written to a temp
+/// file and renamed over the old log.
+pub(crate) fn rotate(
+    dir: &Path,
+    slot: usize,
+    keep_after: u64,
+) -> Result<(VenueWal, usize), PersistError> {
+    let path = wal_path(dir, slot);
+    let buf = std::fs::read(&path).map_err(|e| PersistError::io(&path, e))?;
+    let mut pos = 0usize;
+    let mut out = Vec::from(WAL_MAGIC.as_slice());
+    let mut dropped = 0usize;
+    if buf.len() >= 8 {
+        format::read_magic(&buf, &mut pos, WAL_MAGIC, &path)?;
+        loop {
+            let frame_start = pos;
+            match format::read_frame(&buf, &mut pos) {
+                FrameRead::Frame(payload) => {
+                    let lsn = WireReader::new(payload)
+                        .get_u64("record LSN")
+                        .map_err(|e| PersistError::load(&path, e))?;
+                    if lsn > keep_after {
+                        out.extend_from_slice(&buf[frame_start..pos]);
+                    } else {
+                        dropped += 1;
+                    }
+                }
+                FrameRead::End => break,
+                // Live logs are clean (appends complete under the journal
+                // lock); drop a torn tail defensively, like recovery.
+                FrameRead::Torn => break,
+            }
+        }
+    }
+    let tmp = dir.join(format!("venue-{slot}.wal.tmp"));
+    std::fs::write(&tmp, &out).map_err(|e| PersistError::io(&tmp, e))?;
+    std::fs::rename(&tmp, &path).map_err(|e| PersistError::io(&path, e))?;
+    let wal = VenueWal::open_append(dir, slot)?;
+    Ok((wal, dropped))
+}

@@ -57,6 +57,7 @@
 use crate::exec::QueryEngine;
 use crate::keywords::KeywordObjects;
 use crate::objects::{DeltaReport, ObjectIndex};
+use crate::persist::wal::{VenueWal, WalRecord, LSN_CREATE, LSN_REMOVE};
 use crate::tree::{BuildError, VipTreeConfig};
 use crate::vip::VipTree;
 use indoor_model::{
@@ -64,6 +65,7 @@ use indoor_model::{
     Venue, VenueId,
 };
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -83,7 +85,7 @@ const STABLE_STAMP: u64 = u64::MAX;
 /// the expected one, so version bumps invalidate structurally — dead
 /// entries are reclaimed by the clock sweep rather than an O(n) purge.
 #[derive(Debug)]
-struct ClockCache {
+pub(crate) struct ClockCache {
     map: HashMap<QueryRequest, CacheEntry>,
     /// Insertion ring the clock hand sweeps; always in sync with `map`.
     ring: Vec<QueryRequest>,
@@ -100,7 +102,12 @@ struct CacheEntry {
 }
 
 impl ClockCache {
-    fn new(capacity: usize) -> ClockCache {
+    /// Configured capacity in entries (persisted by service snapshots).
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn new(capacity: usize) -> ClockCache {
         ClockCache {
             map: HashMap::new(),
             ring: Vec::new(),
@@ -216,30 +223,39 @@ impl std::error::Error for ServiceError {}
 /// one read-lock acquisition so answers are always stamped with the
 /// version of the snapshot that computed them.
 #[derive(Debug)]
-struct Serving {
-    engine: Arc<QueryEngine>,
+pub(crate) struct Serving {
+    pub(crate) engine: Arc<QueryEngine>,
     /// Wholesale rebuild count (bumped by `attach_objects`) —
     /// observability, mirrored from the pre-delta-era contract.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Object-mutation count (rebuilds, deltas and keyword updates
-    /// alike) — observability. Cache correctness keys on the *data*
-    /// generation counters ([`crate::IpTree::objects_generation`],
+    /// alike) — observability, and the **LSN** of the WAL record each
+    /// mutation appends on a durable service. Cache correctness keys on
+    /// the *data* generation counters
+    /// ([`crate::IpTree::objects_generation`],
     /// [`QueryEngine::keywords_generation`]), which bump on every swap no
     /// matter who triggers it, so even out-of-band mutation through a
     /// handle from [`IndoorService::engine`] invalidates structurally.
-    version: u64,
+    pub(crate) version: u64,
 }
 
 /// One venue's serving state.
 #[derive(Debug)]
-struct Shard {
-    serving: RwLock<Serving>,
-    cache: Mutex<ClockCache>,
+pub(crate) struct Shard {
+    pub(crate) serving: RwLock<Serving>,
+    pub(crate) cache: Mutex<ClockCache>,
+    /// The shard's WAL append handle (`None` on a volatile service) —
+    /// and, crucially, the **mutation-ordering lock**: every mutating
+    /// path holds it across *apply + version bump + WAL append*, so log
+    /// order is apply order (the LSN = version invariant), and a
+    /// snapshot capture under the same lock is a consistent cut of that
+    /// order. Queries never take it.
+    pub(crate) journal: Mutex<Option<VenueWal>>,
 }
 
 impl Shard {
     /// The currently serving engine.
-    fn engine(&self) -> Arc<QueryEngine> {
+    pub(crate) fn engine(&self) -> Arc<QueryEngine> {
         self.serving.read().expect("serving lock").engine.clone()
     }
 }
@@ -272,7 +288,7 @@ impl Stamps {
 
 /// Lock-free per-kind counters; snapshot via [`IndoorService::stats`].
 #[derive(Debug, Default)]
-struct KindCounters {
+pub(crate) struct KindCounters {
     queries: AtomicU64,
     hits: AtomicU64,
     latency_ns: AtomicU64,
@@ -394,8 +410,22 @@ impl ServiceStats {
 pub struct IndoorService {
     /// Slot = `VenueId`; removed venues leave a `None` (ids are never
     /// reused, so a stale id can never alias a new venue).
-    shards: RwLock<Vec<Option<Arc<Shard>>>>,
-    counters: [KindCounters; QueryKind::COUNT],
+    pub(crate) shards: RwLock<Vec<Option<Arc<Shard>>>>,
+    pub(crate) counters: [KindCounters; QueryKind::COUNT],
+    /// Durability directory ([`IndoorService::open`]); `None` for a
+    /// volatile service. When set, every mutation journals into
+    /// per-venue WALs under this directory.
+    pub(crate) persist_root: Option<PathBuf>,
+    /// Serialises whole-service persistence transitions: snapshot
+    /// save/rotation and durable venue registration (which publishes a
+    /// slot in two steps). Never taken by queries or per-venue mutations.
+    pub(crate) persist_lock: Mutex<()>,
+    /// OS advisory lock on the durability directory's `.lock` file, held
+    /// for the service's lifetime so a second `open` of the same
+    /// directory fails instead of interleaving WAL appends. Released by
+    /// the OS when the handle drops (so a crash never leaves a stale
+    /// lock).
+    pub(crate) _persist_dir_lock: Option<std::fs::File>,
 }
 
 impl IndoorService {
@@ -410,7 +440,7 @@ impl IndoorService {
     /// runs outside the shard-map lock, so a live service keeps serving
     /// every existing venue while a new one is constructed.
     pub fn add_venue(&self, venue: Arc<Venue>, config: ShardConfig) -> Result<VenueId, BuildError> {
-        let tree = VipTree::build(venue, &config.tree)?;
+        let tree = VipTree::build(venue.clone(), &config.tree)?;
         if !config.objects.is_empty() {
             tree.attach_objects(&config.objects);
         }
@@ -431,22 +461,77 @@ impl IndoorService {
                 version: 0,
             }),
             cache: Mutex::new(ClockCache::new(capacity)),
+            journal: Mutex::new(None),
         });
-        let mut shards = self.shards.write().expect("shard map lock");
-        let id = VenueId::from(shards.len());
-        shards.push(Some(shard));
+        let Some(root) = &self.persist_root else {
+            let mut shards = self.shards.write().expect("shard map lock");
+            let id = VenueId::from(shards.len());
+            shards.push(Some(shard));
+            return Ok(id);
+        };
+        // A durable service journals the venue's birth: everything needed
+        // to rebuild this shard if no snapshot ever covers it. The file
+        // I/O must not run under the shard-map write lock (it would stall
+        // query routing to *every* venue), so the slot is reserved first
+        // (pushed as `None` — unroutable, and burned if the journal write
+        // panics, consistent with ids never being reused) and the shard
+        // published after the Create record is durable. `persist_lock`
+        // excludes a concurrent `save_snapshot` from observing the
+        // reserved-but-unpublished slot and deleting the fresh log as a
+        // removed venue's.
+        let _persist = self.persist_lock.lock().expect("persist lock");
+        let mut venue_json = Vec::new();
+        venue
+            .save_json(&mut venue_json)
+            .expect("venue serialises to memory");
+        let id = {
+            let mut shards = self.shards.write().expect("shard map lock");
+            let id = VenueId::from(shards.len());
+            shards.push(None);
+            id
+        };
+        let mut wal = VenueWal::create(root, id.index()).expect("WAL create");
+        wal.append(
+            LSN_CREATE,
+            &WalRecord::Create {
+                tree: &config.tree,
+                engine_threads: config.threads,
+                cache_capacity: capacity,
+                venue_json: &venue_json,
+                objects: &config.objects,
+                keywords: &config.keywords,
+            },
+        )
+        .expect("WAL append");
+        *shard.journal.lock().expect("journal lock") = Some(wal);
+        self.shards.write().expect("shard map lock")[id.index()] = Some(shard);
         Ok(id)
     }
 
     /// Unregister a venue. Its id is never reused; in-flight batches that
-    /// already routed to the shard finish normally.
+    /// already routed to the shard finish normally. On a durable service
+    /// the removal is journalled (LSN `u64::MAX`, so it replays no matter
+    /// when the last snapshot was taken) and survives a restart.
     pub fn remove_venue(&self, venue: VenueId) -> Result<(), ServiceError> {
+        // Journal the removal before unrouting, and outside the map write
+        // lock (file I/O must not stall query routing). If a concurrent
+        // mutation wins the journal lock first, its record lands before
+        // the Remove; records that lose and land after it are skipped by
+        // replay (the venue is gone either way).
+        let shard = self.shard(venue)?;
+        let mut journal = shard.journal.lock().expect("journal lock");
+        if let Some(wal) = journal.as_mut() {
+            wal.append(LSN_REMOVE, &WalRecord::Remove)
+                .expect("WAL append");
+        }
+        drop(journal);
         let mut shards = self.shards.write().expect("shard map lock");
         match shards.get_mut(venue.index()) {
             Some(slot @ Some(_)) => {
                 *slot = None;
                 Ok(())
             }
+            // A racing remove_venue of the same id beat us to the slot.
             _ => Err(ServiceError::UnknownVenue(venue)),
         }
     }
@@ -477,6 +562,13 @@ impl IndoorService {
     /// the cache — stamps derive from the data generation counters, which
     /// bump on every swap — but prefer the service's typed entry points,
     /// which also maintain the venue's epoch/version observability.
+    ///
+    /// On a **durable** service ([`IndoorService::open`]) out-of-band
+    /// mutation through this handle additionally **bypasses the WAL**:
+    /// the change serves immediately but is not journalled, so it will
+    /// not survive a restart (and is silently shadowed by the next
+    /// snapshot). Durable services must churn through the service's own
+    /// mutation methods.
     pub fn engine(&self, venue: VenueId) -> Result<Arc<QueryEngine>, ServiceError> {
         Ok(self.shard(venue)?.engine())
     }
@@ -531,11 +623,19 @@ impl IndoorService {
         // Built outside every lock; `install_objects` swaps and bumps the
         // tree's object generation — queries never stall on the build.
         let oi = ObjectIndex::build(engine.tree().ip(), objects);
+        // Journal lock held across apply + bump + append: LSN = version.
+        let mut journal = shard.journal.lock().expect("journal lock");
         engine.tree().ip().install_objects(oi);
         let mut s = shard.serving.write().expect("serving lock");
         s.epoch += 1;
         s.version += 1;
+        let version = s.version;
         drop(s);
+        if let Some(wal) = journal.as_mut() {
+            wal.append(version, &WalRecord::Attach(objects))
+                .expect("WAL append");
+        }
+        drop(journal);
         // Memory hygiene only — correctness is carried by the stamps.
         shard.cache.lock().expect("cache poisoned").clear();
         Ok(())
@@ -556,16 +656,28 @@ impl IndoorService {
         deltas: &[ObjectDelta],
     ) -> Result<DeltaReport, ServiceError> {
         let shard = self.shard(venue)?;
-        // Applied outside the serving lock: the tree serialises updaters
-        // itself and its generation counter carries the cache stamps, so
-        // the copy-on-write clone never gates this venue's queries.
+        // Journal lock held across apply + bump + append so log order is
+        // apply order (LSN = version); a rejected batch journals nothing.
+        // Still applied outside the serving lock: the tree serialises
+        // updaters itself and its generation counter carries the cache
+        // stamps, so the copy-on-write clone never gates this venue's
+        // queries.
+        let mut journal = shard.journal.lock().expect("journal lock");
         let report = shard
             .engine()
             .tree()
             .ip()
             .apply_object_deltas(deltas)
             .map_err(|e| ServiceError::Delta(venue, e))?;
-        shard.serving.write().expect("serving lock").version += 1;
+        let version = {
+            let mut s = shard.serving.write().expect("serving lock");
+            s.version += 1;
+            s.version
+        };
+        if let Some(wal) = journal.as_mut() {
+            wal.append(version, &WalRecord::Deltas(deltas))
+                .expect("WAL append");
+        }
         Ok(report)
     }
 
@@ -581,6 +693,7 @@ impl IndoorService {
         updates: &[ObjectUpdate],
     ) -> Result<DeltaReport, ServiceError> {
         let shard = self.shard(venue)?;
+        let mut journal = shard.journal.lock().expect("journal lock");
         let mut s = shard.serving.write().expect("serving lock");
         let tree_ip = s.engine.tree().ip();
         let mut kw = match s.engine.keywords() {
@@ -592,6 +705,13 @@ impl IndoorService {
             .map_err(|e| ServiceError::Delta(venue, e))?;
         s.engine.set_keywords(Some(Arc::new(kw)));
         s.version += 1;
+        let version = s.version;
+        drop(s);
+        if let Some(wal) = journal.as_mut() {
+            wal.append(version, &WalRecord::KeywordUpdates(updates))
+                .expect("WAL append");
+        }
+        drop(journal);
         Ok(report)
     }
 

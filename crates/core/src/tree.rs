@@ -220,6 +220,13 @@ impl IpTree {
         &self.venue
     }
 
+    /// The construction parameters this tree was built with (persisted by
+    /// service snapshots so recovery rebuilds an identical tree).
+    #[inline]
+    pub fn build_config(&self) -> &VipTreeConfig {
+        &self.config
+    }
+
     #[inline]
     pub fn node(&self, idx: NodeIdx) -> &Node {
         &self.nodes[idx as usize]

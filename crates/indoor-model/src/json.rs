@@ -8,6 +8,34 @@
 
 use std::fmt::Write as _;
 
+/// A JSON syntax error: the byte offset it was detected at plus a short
+/// description. Carried (not stringified) so loaders can attach the
+/// position to their own error types — see
+/// `indoor_model::serialize::LoadError::Json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -77,16 +105,29 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Short description of the value's shape, for "expected X, found Y"
+    /// error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "a boolean",
+            Json::Num(_) => "a number",
+            Json::Str(_) => "a string",
+            Json::Arr(_) => "an array",
+            Json::Obj(_) => "an object",
+        }
+    }
 }
 
 /// Parse a complete JSON document (trailing whitespace allowed).
-pub fn parse(input: &str) -> Result<Json, String> {
+pub fn parse(input: &str) -> Result<Json, ParseError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing garbage at byte {pos}"));
+        return Err(ParseError::new(pos, "trailing garbage"));
     }
     Ok(value)
 }
@@ -97,20 +138,20 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
     skip_ws(b, pos);
     if *pos < b.len() && b[*pos] == c {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected {:?} at byte {}", c as char, *pos))
+        Err(ParseError::new(*pos, format!("expected {:?}", c as char)))
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     skip_ws(b, pos);
     match b.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
+        None => Err(ParseError::new(*pos, "unexpected end of input")),
         Some(b'{') => parse_obj(b, pos),
         Some(b'[') => parse_arr(b, pos),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
@@ -121,32 +162,33 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, ParseError> {
     if b[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {}", *pos))
+        Err(ParseError::new(*pos, "invalid literal"))
     }
 }
 
-fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     let start = *pos;
     while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    let text =
+        std::str::from_utf8(&b[start..*pos]).map_err(|e| ParseError::new(start, e.to_string()))?;
     text.parse::<f64>()
         .map(Json::Num)
-        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        .map_err(|_| ParseError::new(start, format!("invalid number {text:?}")))
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
     expect(b, pos, b'"')?;
     let mut out = String::new();
     loop {
         match b.get(*pos) {
-            None => return Err("unterminated string".to_string()),
+            None => return Err(ParseError::new(*pos, "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -163,23 +205,30 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| ParseError::new(*pos, "truncated \\u escape"))?;
                         let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            std::str::from_utf8(hex)
+                                .map_err(|e| ParseError::new(*pos, e.to_string()))?,
                             16,
                         )
-                        .map_err(|e| e.to_string())?;
-                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        .map_err(|e| ParseError::new(*pos, e.to_string()))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| ParseError::new(*pos, "invalid \\u escape"))?,
+                        );
                         *pos += 4;
                     }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                    _ => return Err(ParseError::new(*pos, "bad escape")),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one UTF-8 scalar (multi-byte sequences pass
                 // through unchanged).
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|e| ParseError::new(*pos, e.to_string()))?;
                 let ch = rest.chars().next().unwrap();
                 out.push(ch);
                 *pos += ch.len_utf8();
@@ -188,7 +237,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -205,12 +254,12 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            _ => return Err(ParseError::new(*pos, "expected ',' or ']'")),
         }
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     expect(b, pos, b'{')?;
     let mut fields = Vec::new();
     skip_ws(b, pos);
@@ -231,7 +280,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Obj(fields));
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            _ => return Err(ParseError::new(*pos, "expected ',' or '}'")),
         }
     }
 }

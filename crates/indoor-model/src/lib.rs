@@ -35,8 +35,9 @@ mod path;
 mod point;
 mod query;
 mod request;
-mod serialize;
+pub mod serialize;
 mod venue;
+pub mod wire;
 
 pub use builder::{ModelError, VenueBuilder};
 pub use delta::{DeltaError, ObjectDelta, ObjectUpdate};
@@ -45,6 +46,7 @@ pub use path::IndoorPath;
 pub use point::IndoorPoint;
 pub use query::{IndoorIndex, ObjectQueries, QueryStats};
 pub use request::{AnswerRequest, QueryKind, QueryRequest, QueryResponse};
+pub use serialize::LoadError;
 pub use venue::{AbEdge, Door, Partition, PartitionClass, PartitionKind, Venue, VenueStats};
 
 /// Default hallway-classification threshold: a partition with more than

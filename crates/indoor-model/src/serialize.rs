@@ -23,27 +23,94 @@ use std::io::{Read, Write};
 
 const FORMAT: &str = "indoor-venue/2";
 
-/// Failures while loading a serialised venue.
+/// Failures while loading serialised indoor data (JSON venues and the
+/// binary snapshot/WAL wire encoding alike).
+///
+/// Every variant carries position or context — the byte offset a syntax
+/// or wire error was detected at, or the document path plus
+/// expected/found shapes for validation failures — so a corrupt file
+/// names its own broken location instead of returning a bare tag. The
+/// persistence subsystem (`vip_tree::persist`) reuses this type as the
+/// `source` of its own errors.
 #[derive(Debug)]
 pub enum LoadError {
     Io(std::io::Error),
-    Json(String),
-    BadFormat(String),
+    /// JSON syntax error at a byte offset.
+    Json {
+        offset: usize,
+        message: String,
+    },
+    /// A well-formed document whose content failed validation: where in
+    /// the document, what shape was expected, and what was found.
+    Document {
+        context: String,
+        expected: &'static str,
+        found: String,
+    },
+    /// Unsupported format tag (a file from a different format version).
+    BadFormat {
+        expected: &'static str,
+        found: String,
+    },
+    /// Binary wire decode error at a byte offset (see
+    /// [`crate::wire::WireReader`]).
+    Wire {
+        offset: u64,
+        expected: &'static str,
+        found: String,
+    },
     Model(ModelError),
+}
+
+impl From<crate::json::ParseError> for LoadError {
+    fn from(e: crate::json::ParseError) -> LoadError {
+        LoadError::Json {
+            offset: e.offset,
+            message: e.message,
+        }
+    }
 }
 
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "io error: {e}"),
-            LoadError::Json(e) => write!(f, "json error: {e}"),
-            LoadError::BadFormat(s) => write!(f, "unsupported venue format {s:?}"),
+            LoadError::Json { offset, message } => {
+                write!(f, "json error at byte {offset}: {message}")
+            }
+            LoadError::Document {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "invalid document at {context}: expected {expected}, found {found}"
+            ),
+            LoadError::BadFormat { expected, found } => {
+                write!(f, "unsupported format {found:?} (expected {expected:?})")
+            }
+            LoadError::Wire {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "wire error at byte {offset}: expected {expected}, found {found}"
+            ),
             LoadError::Model(e) => write!(f, "invalid venue: {e}"),
         }
     }
 }
 
-impl std::error::Error for LoadError {}
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 fn kind_name(kind: PartitionKind) -> &'static str {
     match kind {
@@ -68,8 +135,17 @@ fn kind_from_name(name: &str) -> Option<PartitionKind> {
     })
 }
 
-fn bad(msg: impl Into<String>) -> LoadError {
-    LoadError::Json(msg.into())
+/// Validation failure at a named place in the document; `found` describes
+/// the shape actually present (or that the field is missing).
+fn doc(context: impl Into<String>, expected: &'static str, v: Option<&Json>) -> LoadError {
+    LoadError::Document {
+        context: context.into(),
+        expected,
+        found: match v {
+            None => "nothing (field missing)".to_string(),
+            Some(v) => v.type_name().to_string(),
+        },
+    }
 }
 
 impl Venue {
@@ -132,7 +208,13 @@ impl Venue {
                 [Some(a), None] => {
                     let _ = write!(out, "{},null", a.0);
                 }
-                _ => return Err(bad("door without a first partition")),
+                _ => {
+                    return Err(LoadError::Document {
+                        context: format!("doors[{i}].partitions"),
+                        expected: "a first partition",
+                        found: "none".to_string(),
+                    })
+                }
             }
             out.push_str("]}");
         }
@@ -146,94 +228,161 @@ impl Venue {
     pub fn load_json<R: Read>(mut r: R) -> Result<Venue, LoadError> {
         let mut text = String::new();
         r.read_to_string(&mut text).map_err(LoadError::Io)?;
-        let doc = json::parse(&text).map_err(LoadError::Json)?;
+        let doc_root = json::parse(&text)?;
 
-        let format = doc
+        let format = doc_root
             .get("format")
             .and_then(Json::as_str)
-            .ok_or_else(|| bad("missing format"))?;
+            .ok_or_else(|| doc("format", "a format string", doc_root.get("format")))?;
         if format != FORMAT {
-            return Err(LoadError::BadFormat(format.to_string()));
+            return Err(LoadError::BadFormat {
+                expected: FORMAT,
+                found: format.to_string(),
+            });
         }
-        let beta = doc
+        let beta = doc_root
             .get("beta")
             .and_then(Json::as_usize)
-            .ok_or_else(|| bad("missing beta"))?;
+            .ok_or_else(|| doc("beta", "a non-negative integer", doc_root.get("beta")))?;
 
         let mut b = VenueBuilder::new().with_beta(beta);
-        for p in doc
+        for (i, p) in doc_root
             .get("partitions")
             .and_then(Json::as_arr)
-            .ok_or_else(|| bad("missing partitions"))?
+            .ok_or_else(|| doc("partitions", "an array", doc_root.get("partitions")))?
+            .iter()
+            .enumerate()
         {
             let kind = p
                 .get("kind")
                 .and_then(Json::as_str)
                 .and_then(kind_from_name)
-                .ok_or_else(|| bad("bad partition kind"))?;
+                .ok_or_else(|| {
+                    doc(
+                        format!("partitions[{i}].kind"),
+                        "a known partition kind name",
+                        p.get("kind"),
+                    )
+                })?;
             let e = p
                 .get("extent")
                 .and_then(Json::as_arr)
                 .filter(|a| a.len() == 5)
-                .ok_or_else(|| bad("bad partition extent"))?;
+                .ok_or_else(|| {
+                    doc(
+                        format!("partitions[{i}].extent"),
+                        "an array of 5 numbers",
+                        p.get("extent"),
+                    )
+                })?;
             let coords: Vec<f64> = e[..4]
                 .iter()
-                .map(|v| v.as_f64().ok_or_else(|| bad("bad extent coordinate")))
+                .enumerate()
+                .map(|(j, v)| {
+                    v.as_f64().ok_or_else(|| {
+                        doc(
+                            format!("partitions[{i}].extent[{j}]"),
+                            "a coordinate",
+                            Some(v),
+                        )
+                    })
+                })
                 .collect::<Result<_, _>>()?;
-            let level = e[4].as_i32().ok_or_else(|| bad("bad extent level"))?;
+            let level = e[4].as_i32().ok_or_else(|| {
+                doc(
+                    format!("partitions[{i}].extent[4]"),
+                    "an integer level",
+                    Some(&e[4]),
+                )
+            })?;
             let extent = Rect::new(coords[0], coords[1], coords[2], coords[3], level);
             let id = b.add_partition(kind, extent);
             let declared = p
                 .get("id")
                 .and_then(Json::as_u32)
-                .ok_or_else(|| bad("missing partition id"))?;
+                .ok_or_else(|| doc(format!("partitions[{i}].id"), "an integer id", p.get("id")))?;
             debug_assert_eq!(id, PartitionId(declared), "partition ids dense and ordered");
             match p.get("fixed_traversal_weight") {
                 Some(Json::Null) | None => {}
                 Some(v) => {
-                    let wt = v.as_f64().ok_or_else(|| bad("bad traversal weight"))?;
+                    let wt = v.as_f64().ok_or_else(|| {
+                        doc(
+                            format!("partitions[{i}].fixed_traversal_weight"),
+                            "a number or null",
+                            Some(v),
+                        )
+                    })?;
                     b.set_fixed_traversal_weight(id, wt);
                 }
             }
         }
 
-        for d in doc
+        for (i, d) in doc_root
             .get("doors")
             .and_then(Json::as_arr)
-            .ok_or_else(|| bad("missing doors"))?
+            .ok_or_else(|| doc("doors", "an array", doc_root.get("doors")))?
+            .iter()
+            .enumerate()
         {
             let pos = d
                 .get("position")
                 .and_then(Json::as_arr)
                 .filter(|a| a.len() == 3)
-                .ok_or_else(|| bad("bad door position"))?;
+                .ok_or_else(|| {
+                    doc(
+                        format!("doors[{i}].position"),
+                        "an array [x, y, level]",
+                        d.get("position"),
+                    )
+                })?;
             let position = Point::new(
-                pos[0].as_f64().ok_or_else(|| bad("bad door x"))?,
-                pos[1].as_f64().ok_or_else(|| bad("bad door y"))?,
-                pos[2].as_i32().ok_or_else(|| bad("bad door level"))?,
+                pos[0].as_f64().ok_or_else(|| {
+                    doc(format!("doors[{i}].position[0]"), "a number", Some(&pos[0]))
+                })?,
+                pos[1].as_f64().ok_or_else(|| {
+                    doc(format!("doors[{i}].position[1]"), "a number", Some(&pos[1]))
+                })?,
+                pos[2].as_i32().ok_or_else(|| {
+                    doc(
+                        format!("doors[{i}].position[2]"),
+                        "an integer level",
+                        Some(&pos[2]),
+                    )
+                })?,
             );
             let parts = d
                 .get("partitions")
                 .and_then(Json::as_arr)
                 .filter(|a| a.len() == 2)
-                .ok_or_else(|| bad("bad door partitions"))?;
-            let first = parts[0]
-                .as_u32()
-                .map(PartitionId)
-                .ok_or(LoadError::BadFormat(
-                    "door without a first partition".to_string(),
-                ))?;
+                .ok_or_else(|| {
+                    doc(
+                        format!("doors[{i}].partitions"),
+                        "an array of 2 entries",
+                        d.get("partitions"),
+                    )
+                })?;
+            let first = parts[0].as_u32().map(PartitionId).ok_or_else(|| {
+                doc(
+                    format!("doors[{i}].partitions[0]"),
+                    "a partition id (first partition is mandatory)",
+                    Some(&parts[0]),
+                )
+            })?;
             let second = match &parts[1] {
                 Json::Null => None,
-                v => Some(PartitionId(
-                    v.as_u32().ok_or_else(|| bad("bad door partition"))?,
-                )),
+                v => Some(PartitionId(v.as_u32().ok_or_else(|| {
+                    doc(
+                        format!("doors[{i}].partitions[1]"),
+                        "a partition id or null",
+                        Some(v),
+                    )
+                })?)),
             };
             let id = b.add_door(position, first, second);
             let declared = d
                 .get("id")
                 .and_then(Json::as_u32)
-                .ok_or_else(|| bad("missing door id"))?;
+                .ok_or_else(|| doc(format!("doors[{i}].id"), "an integer id", d.get("id")))?;
             debug_assert_eq!(id, DoorId(declared), "door ids dense and ordered");
         }
 
@@ -284,10 +433,38 @@ mod tests {
         // v1 files (serde object encoding) are rejected by the format tag,
         // not by an opaque parse error.
         let v1 = r#"{"format":"indoor-venue/1","beta":4,"partitions":[],"doors":[]}"#;
-        assert!(matches!(
-            Venue::load_json(v1.as_bytes()),
-            Err(super::LoadError::BadFormat(_))
-        ));
+        match Venue::load_json(v1.as_bytes()) {
+            Err(super::LoadError::BadFormat { expected, found }) => {
+                assert_eq!(expected, super::FORMAT);
+                assert_eq!(found, "indoor-venue/1");
+            }
+            other => panic!("expected BadFormat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_errors_carry_position_and_context() {
+        // Syntax error: byte offset of the broken token.
+        let syntax = r#"{"format":"indoor-venue/2","beta":}"#;
+        match Venue::load_json(syntax.as_bytes()) {
+            Err(super::LoadError::Json { offset, .. }) => assert_eq!(offset, 34),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+        // Validation error: document path + expected/found shapes.
+        let bad_kind = r#"{"format":"indoor-venue/2","beta":4,
+            "partitions":[{"id":0,"kind":7,"extent":[0,0,1,1,0]}],"doors":[]}"#;
+        match Venue::load_json(bad_kind.as_bytes()) {
+            Err(super::LoadError::Document {
+                context,
+                expected,
+                found,
+            }) => {
+                assert_eq!(context, "partitions[0].kind");
+                assert_eq!(expected, "a known partition kind name");
+                assert_eq!(found, "a number");
+            }
+            other => panic!("expected Document error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Binary wire vocabulary for durable storage of the churn stream.
+//!
+//! The persistence subsystem (`vip_tree::persist`) journals object
+//! mutations and snapshots whole services to disk; this module owns the
+//! primitive encoding those files are made of — little-endian scalars,
+//! length-prefixed strings, and the record encode/decode of the churn
+//! types ([`ObjectDelta`] / [`ObjectUpdate`]) that ride the write-ahead
+//! log. Keeping the vocabulary here (next to the types it encodes) means
+//! every index crate can speak the same byte layout, and the encoding of
+//! a delta cannot drift from the definition of a delta.
+//!
+//! Decoding is position-tracked: every failure is a [`LoadError::Wire`]
+//! carrying the byte offset plus what was expected and what was found,
+//! so a corrupt record in a megabyte-long log names its own location.
+//!
+//! `f64` values are stored as raw IEEE-754 bit patterns — a snapshot
+//! reloads distances bit-for-bit, which is what makes "recovered service
+//! answers byte-identical" a testable contract rather than an epsilon
+//! comparison.
+
+use crate::serialize::LoadError;
+use crate::{IndoorPoint, ObjectDelta, ObjectId, ObjectUpdate, PartitionId};
+use geometry::Point;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
+/// framing every snapshot section and WAL record, computed without any
+/// external dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // 256-entry table built on first use; `OnceLock` keeps it `const`-free.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Append-only little-endian encoder over a plain `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Raw IEEE-754 bit pattern: reload is bit-for-bit, NaN included.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Length-prefixed (u32) raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed (u32) UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    pub fn put_point(&mut self, p: &IndoorPoint) {
+        self.put_u32(p.partition.0);
+        self.put_f64(p.position.x);
+        self.put_f64(p.position.y);
+        self.put_i32(p.position.level);
+    }
+
+    pub fn put_delta(&mut self, d: &ObjectDelta) {
+        match d {
+            ObjectDelta::Insert { id, at } => {
+                self.put_u8(0);
+                self.put_u32(id.0);
+                self.put_point(at);
+            }
+            ObjectDelta::Remove { id } => {
+                self.put_u8(1);
+                self.put_u32(id.0);
+            }
+            ObjectDelta::Move { id, to } => {
+                self.put_u8(2);
+                self.put_u32(id.0);
+                self.put_point(to);
+            }
+        }
+    }
+
+    /// Count-prefixed point list — the one definition every file kind
+    /// encodes object positions with.
+    pub fn put_points(&mut self, points: &[IndoorPoint]) {
+        self.put_u32(points.len() as u32);
+        for p in points {
+            self.put_point(p);
+        }
+    }
+
+    /// Count-prefixed label list (the keyword vocabulary attached to an
+    /// object) — the one definition every file kind encodes labels with.
+    pub fn put_labels(&mut self, labels: &[String]) {
+        self.put_u32(labels.len() as u32);
+        for l in labels {
+            self.put_str(l);
+        }
+    }
+
+    pub fn put_update(&mut self, u: &ObjectUpdate) {
+        self.put_delta(&u.delta);
+        self.put_labels(&u.labels);
+    }
+}
+
+/// Position-tracked little-endian decoder; every error names its byte
+/// offset and what was expected there.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// A decode failure at the current offset.
+    pub fn err(&self, expected: &'static str, found: impl Into<String>) -> LoadError {
+        LoadError::Wire {
+            offset: self.pos as u64,
+            expected,
+            found: found.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], LoadError> {
+        if self.remaining() < n {
+            return Err(self.err(
+                expected,
+                format!("only {} of {n} bytes left", self.remaining()),
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self, expected: &'static str) -> Result<u8, LoadError> {
+        Ok(self.take(1, expected)?[0])
+    }
+
+    pub fn get_u32(&mut self, expected: &'static str) -> Result<u32, LoadError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, expected)?.try_into().unwrap(),
+        ))
+    }
+
+    pub fn get_u64(&mut self, expected: &'static str) -> Result<u64, LoadError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, expected)?.try_into().unwrap(),
+        ))
+    }
+
+    pub fn get_i32(&mut self, expected: &'static str) -> Result<i32, LoadError> {
+        Ok(i32::from_le_bytes(
+            self.take(4, expected)?.try_into().unwrap(),
+        ))
+    }
+
+    pub fn get_f64(&mut self, expected: &'static str) -> Result<f64, LoadError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8, expected)?.try_into().unwrap(),
+        )))
+    }
+
+    /// Length-prefixed raw bytes; the length is sanity-checked against the
+    /// remaining buffer before allocation.
+    pub fn get_bytes(&mut self, expected: &'static str) -> Result<&'a [u8], LoadError> {
+        let len = self.get_u32(expected)? as usize;
+        if len > self.remaining() {
+            return Err(self.err(
+                expected,
+                format!("length prefix {len} exceeds remaining {}", self.remaining()),
+            ));
+        }
+        self.take(len, expected)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, expected: &'static str) -> Result<&'a str, LoadError> {
+        let start = self.pos;
+        let bytes = self.get_bytes(expected)?;
+        std::str::from_utf8(bytes).map_err(|e| LoadError::Wire {
+            offset: start as u64,
+            expected,
+            found: format!("invalid UTF-8 ({e})"),
+        })
+    }
+
+    pub fn get_point(&mut self) -> Result<IndoorPoint, LoadError> {
+        let partition = PartitionId(self.get_u32("point partition id")?);
+        let x = self.get_f64("point x")?;
+        let y = self.get_f64("point y")?;
+        let level = self.get_i32("point level")?;
+        Ok(IndoorPoint::new(partition, Point::new(x, y, level)))
+    }
+
+    pub fn get_delta(&mut self) -> Result<ObjectDelta, LoadError> {
+        let kind = self.get_u8("delta kind tag")?;
+        let id = ObjectId(self.get_u32("delta object id")?);
+        Ok(match kind {
+            0 => ObjectDelta::Insert {
+                id,
+                at: self.get_point()?,
+            },
+            1 => ObjectDelta::Remove { id },
+            2 => ObjectDelta::Move {
+                id,
+                to: self.get_point()?,
+            },
+            other => {
+                return Err(self.err("delta kind tag 0..=2", format!("tag {other}")));
+            }
+        })
+    }
+
+    /// Count-prefixed point list (see [`WireWriter::put_points`]). The
+    /// count is capped before allocation so a corrupt length prefix
+    /// cannot trigger a huge reserve.
+    pub fn get_points(&mut self) -> Result<Vec<IndoorPoint>, LoadError> {
+        let n = self.get_u32("point count")? as usize;
+        let mut points = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            points.push(self.get_point()?);
+        }
+        Ok(points)
+    }
+
+    /// Count-prefixed label list (see [`WireWriter::put_labels`]).
+    pub fn get_labels(&mut self) -> Result<Vec<String>, LoadError> {
+        let n = self.get_u32("label count")? as usize;
+        let mut labels = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            labels.push(self.get_str("label")?.to_string());
+        }
+        Ok(labels)
+    }
+
+    pub fn get_update(&mut self) -> Result<ObjectUpdate, LoadError> {
+        let delta = self.get_delta()?;
+        let labels = self.get_labels()?;
+        Ok(ObjectUpdate { delta, labels })
+    }
+
+    /// Assert the buffer is fully consumed (section payloads are
+    /// self-delimiting; leftover bytes mean a format mismatch).
+    pub fn finish(&self, expected: &'static str) -> Result<(), LoadError> {
+        if self.remaining() != 0 {
+            return Err(self.err(expected, format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i32(-3);
+        w.put_f64(f64::NAN);
+        w.put_str("café");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8("u8").unwrap(), 7);
+        assert_eq!(r.get_u32("u32").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("u64").unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i32("i32").unwrap(), -3);
+        // Bit-pattern round trip: NaN payload preserved.
+        assert_eq!(r.get_f64("f64").unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.get_str("str").unwrap(), "café");
+        r.finish("end").unwrap();
+    }
+
+    #[test]
+    fn deltas_and_updates_round_trip() {
+        let p = IndoorPoint::new(PartitionId(3), Point::new(1.5, -2.25, 1));
+        let cases = [
+            ObjectDelta::Insert {
+                id: ObjectId(9),
+                at: p,
+            },
+            ObjectDelta::Remove { id: ObjectId(0) },
+            ObjectDelta::Move {
+                id: ObjectId(4),
+                to: p,
+            },
+        ];
+        for d in cases {
+            let mut w = WireWriter::new();
+            w.put_delta(&d);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(r.get_delta().unwrap(), d);
+            r.finish("end").unwrap();
+        }
+        let u = ObjectUpdate {
+            delta: ObjectDelta::Insert {
+                id: ObjectId(2),
+                at: p,
+            },
+            labels: vec!["atm".into(), "café".into()],
+        };
+        let mut w = WireWriter::new();
+        w.put_update(&u);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_update().unwrap(), u);
+    }
+
+    #[test]
+    fn truncated_reads_name_offset_and_expectation() {
+        let mut w = WireWriter::new();
+        w.put_u32(5);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        r.get_u32("first").unwrap();
+        let err = r.get_u64("trailing counter").unwrap_err();
+        match err {
+            LoadError::Wire {
+                offset,
+                expected,
+                found,
+            } => {
+                assert_eq!(offset, 4);
+                assert_eq!(expected, "trailing counter");
+                assert!(found.contains("0 of 8"), "{found}");
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_delta_tag_is_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(9);
+        w.put_u32(1);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let err = r.get_delta().unwrap_err().to_string();
+        assert!(err.contains("tag 9"), "{err}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Warm restart: snapshot a serving multi-venue directory, kill it,
+//! reopen it, and keep answering byte-identically.
+//!
+//! Index construction dominates cost at venue scale, so a production
+//! service restarts from a **snapshot** (every venue's live object set,
+//! keyword lists and counters) plus each venue's **write-ahead log** (the
+//! churn acknowledged after the snapshot) instead of replaying the
+//! world. This example walks the whole durability lifecycle:
+//!
+//! 1. open a durable service, register a venue, serve and churn it;
+//! 2. snapshot mid-flight (rotating the WAL), churn some more (the WAL
+//!    suffix);
+//! 3. drop the service — the "crash" — and `IndoorService::open` again;
+//! 4. assert every query kind answers byte-identically to the answers
+//!    recorded before the crash, and that the version counters (the WAL
+//!    LSNs and cache-stamp anchors) survived monotonically.
+//!
+//! ```sh
+//! cargo run --release --example warm_restart
+//! ```
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{presets, workload};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("vip-warm-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. A durable service: everything acknowledged from here on is
+    // journalled under `dir`.
+    let mall = Arc::new(presets::melbourne_central().build());
+    let kiosks = workload::place_objects(&mall, 32, 7);
+    let labelled = workload::cycling_labels(&kiosks, "cafe");
+    let service = IndoorService::open(&dir).expect("open durability dir");
+    let id = service
+        .add_venue(
+            mall.clone(),
+            ShardConfig {
+                objects: kiosks.clone(),
+                keywords: labelled,
+                ..ShardConfig::default()
+            },
+        )
+        .expect("mall shard");
+    println!(
+        "serving {} doors from Melbourne Central (journalling into {})",
+        mall.stats().doors,
+        dir.display()
+    );
+
+    // Churn before the snapshot: relocate two kiosks, register a pop-up.
+    service
+        .update_objects(
+            id,
+            &[
+                ObjectDelta::Move {
+                    id: ObjectId(0),
+                    to: kiosks[5],
+                },
+                ObjectDelta::Move {
+                    id: ObjectId(1),
+                    to: kiosks[9],
+                },
+            ],
+        )
+        .expect("pre-snapshot churn");
+    service
+        .update_keyword_objects(
+            id,
+            &[ObjectUpdate {
+                delta: ObjectDelta::Insert {
+                    id: ObjectId(40),
+                    at: kiosks[11],
+                },
+                labels: vec!["espresso".into(), "cafe".into()],
+            }],
+        )
+        .expect("keyword churn");
+
+    // 2. Snapshot mid-flight (concurrent with serving), then keep
+    // churning: the two moves below live only in the WAL suffix.
+    let t0 = Instant::now();
+    let snap = service.save_snapshot(&dir).expect("snapshot");
+    println!(
+        "snapshot: {} venue(s), {} bytes, {} WAL records rotated away, {:.1} ms",
+        snap.venues,
+        snap.bytes,
+        snap.wal_records_dropped,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    service
+        .update_objects(
+            id,
+            &[
+                ObjectDelta::Remove { id: ObjectId(2) },
+                ObjectDelta::Insert {
+                    id: ObjectId(50),
+                    at: kiosks[13],
+                },
+            ],
+        )
+        .expect("post-snapshot churn");
+
+    // Record the pre-crash truth: one request per query kind.
+    let q = workload::query_points(&mall, 1, 21)[0];
+    let (s, t) = workload::query_pairs(&mall, 1, 22)[0];
+    let menu: Vec<QueryRequest> = vec![
+        QueryRequest::Knn { q, k: 3 },
+        QueryRequest::Range { q, radius: 120.0 },
+        QueryRequest::KnnKeyword {
+            q,
+            k: 2,
+            keyword: "espresso".into(),
+        },
+        QueryRequest::ShortestDistance { s, t },
+        QueryRequest::ShortestPath { s, t },
+    ];
+    let before: Vec<QueryResponse> = menu
+        .iter()
+        .map(|req| service.execute(id, req).expect("pre-crash answer"))
+        .collect();
+    let version_before = service.version(id).expect("version");
+    let epoch_before = service.epoch(id).expect("epoch");
+
+    // 3. Crash: drop the whole service. Nothing survives but the files.
+    drop(service);
+
+    let t0 = Instant::now();
+    let (revived, report) = IndoorService::open_with_report(&dir).expect("warm restart");
+    println!(
+        "warm restart in {:.1} ms: snapshot loaded: {}, {} WAL record(s) replayed, {} venue(s) serving",
+        t0.elapsed().as_secs_f64() * 1e3,
+        report.snapshot_loaded,
+        report.replayed_records,
+        report.venues
+    );
+
+    // 4. Byte-identical answers, surviving counters.
+    for (req, want) in menu.iter().zip(&before) {
+        let got = revived.execute(id, req).expect("post-restart answer");
+        assert_eq!(&got, want, "answer diverged across restart: {req:?}");
+    }
+    assert_eq!(
+        revived.version(id).expect("version"),
+        version_before,
+        "version counter (WAL LSN / cache-stamp anchor) must survive"
+    );
+    assert_eq!(revived.epoch(id).expect("epoch"), epoch_before);
+    println!(
+        "all {} query kinds byte-identical; version={} epoch={} survived the restart",
+        menu.len(),
+        version_before,
+        epoch_before
+    );
+
+    // The revived service is immediately durable again: the next churn
+    // batch journals at the next LSN.
+    revived
+        .update_objects(
+            id,
+            &[ObjectDelta::Move {
+                id: ObjectId(3),
+                to: kiosks[7],
+            }],
+        )
+        .expect("post-restart churn");
+    assert_eq!(revived.version(id).expect("version"), version_before + 1);
+    println!(
+        "post-restart churn journalled at LSN {}",
+        version_before + 1
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

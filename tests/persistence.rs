@@ -1,0 +1,504 @@
+//! Kill-and-recover equivalence for the durability subsystem.
+//!
+//! The contract under test: for **any** churn prefix, a snapshot plus
+//! WAL-suffix replay yields a service whose kNN / range / keyword /
+//! shortest-distance / shortest-path answers are byte-identical to a
+//! service that never went down — enforced by proptest over arbitrary
+//! delta interleavings with the snapshot taken at a random point — and a
+//! torn final WAL record (a crash mid-append) is truncated with recovery
+//! still succeeding on everything before it.
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{presets, random_venue, workload};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const LABELS: [&str; 3] = ["cafe", "atm", "exit"];
+
+/// Fresh scratch directory per call (no tempfile crate in the offline
+/// container): unique by pid + counter, removed by [`DirGuard`].
+fn scratch_dir(tag: &str) -> DirGuard {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vip-persist-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    DirGuard(dir)
+}
+
+struct DirGuard(PathBuf);
+
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Tracks which ids are live in one object set, to generate always-valid
+/// batches (mirrors `tests/object_deltas.rs`).
+#[derive(Default)]
+struct LiveSet {
+    live: Vec<bool>,
+}
+
+impl LiveSet {
+    fn seeded(n: usize) -> LiveSet {
+        LiveSet {
+            live: vec![true; n],
+        }
+    }
+
+    fn random_batch(&mut self, pool: &[IndoorPoint], rng: &mut StdRng) -> Vec<ObjectUpdate> {
+        let n_ops = rng.gen_range(1..6);
+        let mut batch = Vec::new();
+        for _ in 0..n_ops {
+            let live_ids: Vec<u32> = self
+                .live
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let op = rng.gen_range(0..3u32);
+            let point = pool[rng.gen_range(0..pool.len())];
+            let delta = if live_ids.is_empty() || op == 0 {
+                let id = self.live.iter().position(|l| !l).unwrap_or_else(|| {
+                    self.live.push(false);
+                    self.live.len() - 1
+                });
+                self.live[id] = true;
+                ObjectDelta::Insert {
+                    id: ObjectId(id as u32),
+                    at: point,
+                }
+            } else if op == 1 {
+                let id = live_ids[rng.gen_range(0..live_ids.len())];
+                self.live[id as usize] = false;
+                ObjectDelta::Remove { id: ObjectId(id) }
+            } else {
+                let id = live_ids[rng.gen_range(0..live_ids.len())];
+                ObjectDelta::Move {
+                    id: ObjectId(id),
+                    to: point,
+                }
+            };
+            batch.push(ObjectUpdate {
+                delta,
+                labels: vec![LABELS[rng.gen_range(0..LABELS.len())].to_string()],
+            });
+        }
+        batch
+    }
+}
+
+struct Fixture {
+    venue: Arc<Venue>,
+    pool: Vec<IndoorPoint>,
+    objects: Vec<IndoorPoint>,
+    keywords: Vec<(IndoorPoint, Vec<String>)>,
+}
+
+impl Fixture {
+    fn new(venue: Arc<Venue>, seed: u64) -> Fixture {
+        let pool = workload::place_objects(&venue, 48, seed ^ 0xF1);
+        let objects = workload::place_objects(&venue, 16, seed ^ 0xF2);
+        let keywords = workload::cycling_labels(&objects, "cafe");
+        Fixture {
+            venue,
+            pool,
+            objects,
+            keywords,
+        }
+    }
+
+    fn config(&self) -> ShardConfig {
+        ShardConfig {
+            threads: 1,
+            objects: self.objects.clone(),
+            keywords: self.keywords.clone(),
+            ..ShardConfig::default()
+        }
+    }
+}
+
+/// Every query kind, asserted byte-identical between two services.
+fn assert_same_answers(
+    recovered: &IndoorService,
+    reference: &IndoorService,
+    id: VenueId,
+    f: &Fixture,
+    seed: u64,
+    ctx: &str,
+) {
+    let mut reqs: Vec<QueryRequest> = Vec::new();
+    for q in workload::query_points(&f.venue, 4, seed ^ 0x77) {
+        for k in [1usize, 3] {
+            reqs.push(QueryRequest::Knn { q, k });
+        }
+        reqs.push(QueryRequest::Range { q, radius: 120.0 });
+        for label in ["cafe", "atm", "missing"] {
+            reqs.push(QueryRequest::KnnKeyword {
+                q,
+                k: 3,
+                keyword: label.into(),
+            });
+        }
+    }
+    for (s, t) in workload::query_pairs(&f.venue, 3, seed ^ 0x78) {
+        reqs.push(QueryRequest::ShortestDistance { s, t });
+        reqs.push(QueryRequest::ShortestPath { s, t });
+    }
+    for req in &reqs {
+        assert_eq!(
+            recovered.execute(id, req).unwrap(),
+            reference.execute(id, req).unwrap(),
+            "{ctx}: diverged on {req:?}"
+        );
+    }
+    assert_eq!(
+        recovered.version(id).unwrap(),
+        reference.version(id).unwrap(),
+        "{ctx}: version counters diverged"
+    );
+    assert_eq!(
+        recovered.epoch(id).unwrap(),
+        reference.epoch(id).unwrap(),
+        "{ctx}: epoch counters diverged"
+    );
+    // ObjectIndexStats sanity: the recovered live set matches, and the
+    // rebuild left no tombstone debt.
+    let rec = recovered.engine(id).unwrap();
+    let refc = reference.engine(id).unwrap();
+    let rec_stats = rec.tree().ip().object_index().unwrap().index_stats();
+    let ref_stats = refc.tree().ip().object_index().unwrap().index_stats();
+    assert_eq!(rec_stats.live, ref_stats.live, "{ctx}: live counts");
+    assert!(rec_stats.slots >= rec_stats.live);
+    let rec_kw = rec.keywords().unwrap().object_index().index_stats();
+    let ref_kw = refc.keywords().unwrap().object_index().index_stats();
+    assert_eq!(rec_kw.live, ref_kw.live, "{ctx}: keyword live counts");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn kill_and_recover_matches_uninterrupted_service(seed in 0u64..100_000) {
+        let guard = scratch_dir("prop");
+        let dir = &guard.0;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let f = Fixture::new(Arc::new(random_venue(seed % 97)), seed);
+
+        // Durable service under test + volatile never-restarted reference,
+        // fed identical churn.
+        let durable = IndoorService::open(dir).expect("open empty dir");
+        let reference = IndoorService::new();
+        let id = durable.add_venue(f.venue.clone(), f.config()).unwrap();
+        let ref_id = reference.add_venue(f.venue.clone(), f.config()).unwrap();
+        prop_assert_eq!(id, ref_id);
+
+        let mut objects = LiveSet::seeded(f.objects.len());
+        let mut kw_objects = LiveSet::seeded(f.keywords.len());
+        let rounds = rng.gen_range(2..6);
+        let snapshot_at = rng.gen_range(0..rounds);
+        for round in 0..rounds {
+            if round == snapshot_at {
+                let report = durable.save_snapshot(dir).expect("snapshot");
+                prop_assert_eq!(report.venues, 1);
+            }
+            // Plain object churn...
+            let deltas: Vec<ObjectDelta> = objects
+                .random_batch(&f.pool, &mut rng)
+                .into_iter()
+                .map(|u| u.delta)
+                .collect();
+            durable.update_objects(id, &deltas).unwrap();
+            reference.update_objects(id, &deltas).unwrap();
+            // ...and labelled keyword churn, interleaved.
+            let updates = kw_objects.random_batch(&f.pool, &mut rng);
+            durable.update_keyword_objects(id, &updates).unwrap();
+            reference.update_keyword_objects(id, &updates).unwrap();
+            // Occasionally a wholesale replacement (epoch bump).
+            if rng.gen_range(0..4u32) == 0 {
+                let fresh = workload::place_objects(&f.venue, 12, seed ^ round as u64);
+                durable.attach_objects(id, &fresh).unwrap();
+                reference.attach_objects(id, &fresh).unwrap();
+                objects = LiveSet::seeded(fresh.len());
+            }
+        }
+
+        // Kill (drop) and recover.
+        drop(durable);
+        let (recovered, report) = IndoorService::open_with_report(dir).expect("recover");
+        prop_assert!(report.venues == 1);
+        assert_same_answers(&recovered, &reference, id, &f, seed, "recovered");
+
+        // The recovered service keeps journaling: churn both again and
+        // restart once more — counters stayed monotone, nothing aliases.
+        let deltas: Vec<ObjectDelta> = objects
+            .random_batch(&f.pool, &mut rng)
+            .into_iter()
+            .map(|u| u.delta)
+            .collect();
+        recovered.update_objects(id, &deltas).unwrap();
+        reference.update_objects(id, &deltas).unwrap();
+        drop(recovered);
+        let recovered = IndoorService::open(dir).expect("second recover");
+        assert_same_answers(&recovered, &reference, id, &f, seed, "recovered twice");
+    }
+}
+
+/// A durability directory has exactly one live writer: a second `open`
+/// fails loudly instead of interleaving WAL appends, and dropping the
+/// owner releases the lock (it is advisory, so a crash cannot leave it
+/// stale).
+#[test]
+fn second_open_of_locked_directory_fails() {
+    let guard = scratch_dir("lock");
+    let dir = &guard.0;
+    let first = IndoorService::open(dir).unwrap();
+    match IndoorService::open(dir) {
+        Err(e) => assert!(
+            e.to_string().contains("locked by another live service"),
+            "unexpected error: {e}"
+        ),
+        Ok(_) => panic!("second open of a live durability directory must fail"),
+    }
+    drop(first);
+    IndoorService::open(dir).expect("lock released on drop");
+}
+
+/// A torn final record — a crash mid-append — is truncated and recovery
+/// succeeds with exactly the acknowledged prefix before it.
+#[test]
+fn torn_tail_is_truncated_and_recovery_succeeds() {
+    let guard = scratch_dir("torn");
+    let dir = &guard.0;
+    let f = Fixture::new(Arc::new(presets::melbourne_central().build()), 11);
+
+    let durable = IndoorService::open(dir).unwrap();
+    let reference = IndoorService::new();
+    let id = durable.add_venue(f.venue.clone(), f.config()).unwrap();
+    reference.add_venue(f.venue.clone(), f.config()).unwrap();
+
+    let batches: [Vec<ObjectDelta>; 3] = [
+        vec![ObjectDelta::Move {
+            id: ObjectId(0),
+            to: f.pool[0],
+        }],
+        vec![
+            ObjectDelta::Remove { id: ObjectId(1) },
+            ObjectDelta::Insert {
+                id: ObjectId(20),
+                at: f.pool[1],
+            },
+        ],
+        vec![ObjectDelta::Move {
+            id: ObjectId(2),
+            to: f.pool[2],
+        }],
+    ];
+    for batch in &batches {
+        durable.update_objects(id, batch).unwrap();
+    }
+    // The reference applies all but the final batch — the one about to be
+    // torn off the log.
+    reference.update_objects(id, &batches[0]).unwrap();
+    reference.update_objects(id, &batches[1]).unwrap();
+    drop(durable);
+
+    // Tear the last record mid-frame: chop a few bytes off the log tail.
+    let wal = dir.join("venue-0.wal");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+
+    let (recovered, report) = IndoorService::open_with_report(dir).expect("recover torn log");
+    assert_eq!(report.truncated_tails, 1, "torn tail must be truncated");
+    assert_eq!(report.venues, 1);
+    assert_same_answers(&recovered, &reference, id, &f, 11, "torn tail");
+
+    // The truncation is physical: reopening again finds a clean log.
+    drop(recovered);
+    let (_, report) = IndoorService::open_with_report(dir).unwrap();
+    assert_eq!(report.truncated_tails, 0, "repair persisted");
+}
+
+/// A crash between creating a WAL file and writing its magic header (a
+/// venue registration that was never acknowledged) must not brick the
+/// service: the torn header is repaired like a torn tail.
+#[test]
+fn torn_wal_header_is_repaired_not_fatal() {
+    let guard = scratch_dir("torn-header");
+    let dir = &guard.0;
+    let f = Fixture::new(Arc::new(random_venue(13)), 13);
+
+    let durable = IndoorService::open(dir).unwrap();
+    let id = durable.add_venue(f.venue.clone(), f.config()).unwrap();
+    drop(durable);
+
+    // Simulate the crash window of a second add_venue: the file exists
+    // but holds fewer bytes than the 8-byte magic.
+    std::fs::write(dir.join("venue-1.wal"), b"VIP").unwrap();
+
+    let (recovered, report) = IndoorService::open_with_report(dir).expect("repairable header");
+    assert_eq!(report.truncated_tails, 1);
+    assert_eq!(recovered.venues(), vec![id], "torn venue never existed");
+    // The burned slot is not reused.
+    let id_b = recovered
+        .add_venue(
+            f.venue.clone(),
+            ShardConfig {
+                threads: 1,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(id_b.index(), 2);
+}
+
+/// Crash window between a snapshot's rename and its deletion of a
+/// removed venue's WAL: the snapshot records the slot as empty while the
+/// log (Deltas … Remove, Create already rotated away) still exists. The
+/// leftover mutations are moot, not corruption.
+#[test]
+fn crash_between_snapshot_rename_and_wal_deletion_recovers() {
+    let guard = scratch_dir("crash-window");
+    let dir = &guard.0;
+    let f = Fixture::new(Arc::new(random_venue(23)), 23);
+
+    let durable = IndoorService::open(dir).unwrap();
+    let id = durable.add_venue(f.venue.clone(), f.config()).unwrap();
+    durable.save_snapshot(dir).unwrap(); // rotation drops the Create record
+    durable
+        .update_objects(
+            id,
+            &[ObjectDelta::Move {
+                id: ObjectId(0),
+                to: f.pool[0],
+            }],
+        )
+        .unwrap();
+    durable.remove_venue(id).unwrap();
+    let wal = dir.join("venue-0.wal");
+    let orphan_log = std::fs::read(&wal).unwrap();
+    durable.save_snapshot(dir).unwrap(); // records slot empty, deletes log
+    drop(durable);
+    // Simulate the crash: the deletion "never happened".
+    std::fs::write(&wal, &orphan_log).unwrap();
+
+    let (recovered, report) = IndoorService::open_with_report(dir).expect("window recoverable");
+    assert_eq!(report.venues, 0);
+    assert!(recovered.venues().is_empty());
+}
+
+/// Snapshotting rotates the WAL (covered records dropped) and preserves
+/// recovery exactly; removals survive restarts and ids are never reused.
+#[test]
+fn snapshot_rotates_wal_and_removal_survives_restart() {
+    let guard = scratch_dir("rotate");
+    let dir = &guard.0;
+    let f = Fixture::new(Arc::new(random_venue(7)), 7);
+
+    let durable = IndoorService::open(dir).unwrap();
+    let id_a = durable.add_venue(f.venue.clone(), f.config()).unwrap();
+    let id_b = durable
+        .add_venue(
+            f.venue.clone(),
+            ShardConfig {
+                threads: 1,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+    durable
+        .update_objects(
+            id_a,
+            &[ObjectDelta::Move {
+                id: ObjectId(0),
+                to: f.pool[0],
+            }],
+        )
+        .unwrap();
+    durable.remove_venue(id_b).unwrap();
+
+    // Rotation drops the records the snapshot covers: venue A's Create +
+    // one delta; venue B's log is deleted outright (slot empty in the
+    // snapshot).
+    let report = durable.save_snapshot(dir).unwrap();
+    assert_eq!(report.venues, 1);
+    assert_eq!(report.wal_records_dropped, 2);
+    assert!(
+        !dir.join("venue-1.wal").exists(),
+        "removed venue log deleted"
+    );
+
+    // Post-snapshot churn lands in the rotated log and replays on open.
+    durable
+        .update_objects(
+            id_a,
+            &[ObjectDelta::Move {
+                id: ObjectId(1),
+                to: f.pool[1],
+            }],
+        )
+        .unwrap();
+    assert_eq!(durable.version(id_a).unwrap(), 2);
+    drop(durable);
+
+    let recovered = IndoorService::open(dir).unwrap();
+    assert_eq!(recovered.venues(), vec![id_a], "removal survived restart");
+    assert_eq!(recovered.version(id_a).unwrap(), 2);
+    assert_eq!(
+        recovered.execute(id_a, &QueryRequest::Knn { q: f.pool[3], k: 2 }),
+        Ok(recovered
+            .engine(id_a)
+            .unwrap()
+            .execute(&QueryRequest::Knn { q: f.pool[3], k: 2 })),
+        "recovered shard serves"
+    );
+    // Ids burned by the removed venue are not reused after restart.
+    let id_c = recovered
+        .add_venue(
+            f.venue.clone(),
+            ShardConfig {
+                threads: 1,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+    assert_ne!(id_c, id_b);
+    assert_eq!(id_c.index(), 2);
+}
+
+/// A snapshot written by a volatile service is a portable export: opening
+/// it elsewhere yields an equivalent durable service.
+#[test]
+fn volatile_service_snapshot_exports_and_opens() {
+    let guard = scratch_dir("export");
+    let dir = &guard.0;
+    let f = Fixture::new(Arc::new(random_venue(19)), 19);
+
+    let volatile = IndoorService::new();
+    let id = volatile.add_venue(f.venue.clone(), f.config()).unwrap();
+    volatile
+        .update_objects(
+            id,
+            &[ObjectDelta::Insert {
+                id: ObjectId(30),
+                at: f.pool[5],
+            }],
+        )
+        .unwrap();
+    let report = volatile.save_snapshot(dir).unwrap();
+    assert_eq!(report.venues, 1);
+    assert_eq!(report.wal_records_dropped, 0, "no WAL to rotate");
+
+    let opened = IndoorService::open(dir).unwrap();
+    assert_same_answers(&opened, &volatile, id, &f, 19, "exported snapshot");
+    assert_eq!(opened.persist_root(), Some(dir.as_path()));
+}
