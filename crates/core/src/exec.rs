@@ -28,7 +28,8 @@ use indoor_graph::parallel::par_map_init;
 use indoor_model::{DoorId, IndoorPath, IndoorPoint, ObjectId, QueryRequest, QueryResponse};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A set over `0..n` that clears in O(1) by bumping an epoch stamp.
 ///
@@ -549,6 +550,116 @@ impl QueryEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitError {
+    /// `Shed` policy: the in-flight budget was full at arrival.
+    Overloaded { in_flight: usize, limit: usize },
+    /// `Block` policy: the budget stayed full for the whole timeout.
+    Timeout { in_flight: usize, limit: usize },
+}
+
+/// A bounded in-flight budget: queries take weighted permits, overload
+/// either sheds (fail fast) or blocks until capacity frees or a timeout
+/// expires. Purely a counter + condvar — admitted queries run with no
+/// further coordination, so the un-contended fast path is one mutex
+/// lock/unlock on each side.
+#[derive(Debug)]
+pub(crate) struct AdmissionGate {
+    limit: usize,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl AdmissionGate {
+    pub(crate) fn new(limit: usize) -> AdmissionGate {
+        AdmissionGate {
+            limit: limit.max(1),
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn limit(&self) -> usize {
+        self.limit
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        *self.in_flight.lock().expect("admission lock")
+    }
+
+    /// A weight heavier than the whole budget must still be admissible,
+    /// or an oversized batch would deadlock: it fits exactly when the
+    /// gate is idle.
+    fn admits(&self, cur: usize, weight: usize) -> bool {
+        cur == 0 || cur + weight <= self.limit
+    }
+
+    /// `Shed` policy: admit now or fail with the observed load.
+    pub(crate) fn try_admit(&self, weight: usize) -> Result<AdmissionPermit<'_>, AdmitError> {
+        let mut cur = self.in_flight.lock().expect("admission lock");
+        if self.admits(*cur, weight) {
+            *cur += weight;
+            Ok(AdmissionPermit { gate: self, weight })
+        } else {
+            Err(AdmitError::Overloaded {
+                in_flight: *cur,
+                limit: self.limit,
+            })
+        }
+    }
+
+    /// `Block` policy: wait up to `timeout` for capacity.
+    pub(crate) fn admit_within(
+        &self,
+        weight: usize,
+        timeout: Duration,
+    ) -> Result<AdmissionPermit<'_>, AdmitError> {
+        let deadline = Instant::now() + timeout;
+        let mut cur = self.in_flight.lock().expect("admission lock");
+        loop {
+            if self.admits(*cur, weight) {
+                *cur += weight;
+                return Ok(AdmissionPermit { gate: self, weight });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(AdmitError::Timeout {
+                    in_flight: *cur,
+                    limit: self.limit,
+                });
+            }
+            let (next, _timed_out) = self
+                .freed
+                .wait_timeout(cur, deadline - now)
+                .expect("admission lock");
+            cur = next;
+        }
+    }
+}
+
+/// RAII admission slot: frees its weight (and wakes blocked waiters) on
+/// drop, so every exit path of a query — success, panic unwind, early
+/// return — releases capacity.
+#[derive(Debug)]
+pub(crate) struct AdmissionPermit<'a> {
+    gate: &'a AdmissionGate,
+    weight: usize,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut cur = self.gate.in_flight.lock().expect("admission lock");
+        *cur = cur.saturating_sub(self.weight);
+        drop(cur);
+        self.gate.freed.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,5 +727,61 @@ mod tests {
                 tree.shortest_distance_points(&s, &t)
             );
         }
+    }
+
+    #[test]
+    fn admission_gate_sheds_at_the_limit_and_frees_on_drop() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_admit(1).unwrap();
+        let b = gate.try_admit(1).unwrap();
+        assert_eq!(
+            gate.try_admit(1).unwrap_err(),
+            AdmitError::Overloaded {
+                in_flight: 2,
+                limit: 2
+            }
+        );
+        drop(a);
+        let c = gate.try_admit(1).unwrap();
+        assert_eq!(gate.in_flight(), 2);
+        drop((b, c));
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn oversized_batch_admits_only_on_an_idle_gate() {
+        let gate = AdmissionGate::new(2);
+        // Heavier than the whole budget: fits exactly when idle.
+        let big = gate.try_admit(5).unwrap();
+        assert!(gate.try_admit(1).is_err());
+        drop(big);
+        let _one = gate.try_admit(1).unwrap();
+        // Now a 5-weight batch must wait (and here, time out).
+        assert_eq!(
+            gate.admit_within(5, Duration::from_millis(10)).unwrap_err(),
+            AdmitError::Timeout {
+                in_flight: 1,
+                limit: 2
+            }
+        );
+    }
+
+    #[test]
+    fn blocked_admission_wakes_when_capacity_frees() {
+        let gate = Arc::new(AdmissionGate::new(1));
+        let held = gate.try_admit(1).unwrap();
+        std::thread::scope(|scope| {
+            let waiter = {
+                let gate = Arc::clone(&gate);
+                scope.spawn(move || {
+                    gate.admit_within(1, Duration::from_secs(30))
+                        .map(drop)
+                })
+            };
+            std::thread::sleep(Duration::from_millis(20));
+            drop(held);
+            assert!(waiter.join().unwrap().is_ok());
+        });
+        assert_eq!(gate.in_flight(), 0);
     }
 }

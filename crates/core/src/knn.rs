@@ -69,6 +69,30 @@ impl DistArena {
     }
 }
 
+/// A validated-but-unpublished object delta batch from
+/// [`IpTree::prepare_object_deltas`]. Holds the tree's updater mutex, so
+/// no other delta batch can interleave between prepare and
+/// [`PreparedObjectDeltas::install`]; dropping it abandons the batch.
+pub(crate) struct PreparedObjectDeltas<'a> {
+    tree: &'a IpTree,
+    _guard: std::sync::MutexGuard<'a, ()>,
+    next: ObjectIndex,
+    report: crate::objects::DeltaReport,
+}
+
+impl PreparedObjectDeltas<'_> {
+    /// Publish the prepared snapshot (swap, then generation bump).
+    pub(crate) fn install(self) -> crate::objects::DeltaReport {
+        *self.tree.objects.write().expect("objects lock") = Some(std::sync::Arc::new(self.next));
+        // Swap before bump: a reader observing the new generation is
+        // guaranteed to read (at least) the new snapshot.
+        self.tree
+            .objects_gen
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        self.report
+    }
+}
+
 impl IpTree {
     /// Attach an object set, replacing any previous one (§3.4).
     ///
@@ -94,19 +118,35 @@ impl IpTree {
         &self,
         deltas: &[indoor_model::ObjectDelta],
     ) -> Result<crate::objects::DeltaReport, indoor_model::DeltaError> {
-        let _serialise = self.objects_update.lock().expect("object update lock");
+        Ok(self.prepare_object_deltas(deltas)?.install())
+    }
+
+    /// First half of [`IpTree::apply_object_deltas`]: validate and build
+    /// the next snapshot **without publishing it**. The returned guard
+    /// holds the updater mutex; `install` performs the swap, `drop`
+    /// abandons the prepared snapshot with the tree untouched.
+    ///
+    /// This split is what lets a durable service journal-before-apply: it
+    /// validates the batch, appends the WAL record, and only then
+    /// installs — a failed append discards the prepared state and the
+    /// tree never diverges from the log.
+    pub(crate) fn prepare_object_deltas<'a>(
+        &'a self,
+        deltas: &[indoor_model::ObjectDelta],
+    ) -> Result<PreparedObjectDeltas<'a>, indoor_model::DeltaError> {
+        let guard = self.objects_update.lock().expect("object update lock");
         let current = self.objects.read().expect("objects lock").clone();
         let mut next = match current {
             Some(arc) => (*arc).clone(),
             None => ObjectIndex::empty(self),
         };
         let report = next.apply_delta(self, deltas)?;
-        *self.objects.write().expect("objects lock") = Some(std::sync::Arc::new(next));
-        // Swap before bump: a reader observing the new generation is
-        // guaranteed to read (at least) the new snapshot.
-        self.objects_gen
-            .fetch_add(1, std::sync::atomic::Ordering::Release);
-        Ok(report)
+        Ok(PreparedObjectDeltas {
+            tree: self,
+            _guard: guard,
+            next,
+            report,
+        })
     }
 
     /// As [`IpTree::attach_objects`] with caller-assigned stable ids (ids

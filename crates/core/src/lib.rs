@@ -61,9 +61,13 @@ mod vip;
 pub use exec::{PooledScratch, QueryEngine, QueryScratch, ScratchPool, TreeHandle};
 pub use keywords::{KeywordObjects, TermId};
 pub use objects::{DeltaReport, ObjectIndex, ObjectIndexStats};
-pub use persist::{PersistError, RecoveryReport, SnapshotReport};
+pub use persist::{
+    CrashMode, FaultAt, FaultKind, FaultStorage, OsStorage, PersistError, RecoveryReport,
+    SnapshotReport, Storage, StorageFile,
+};
 pub use service::{
-    IndoorService, KindStats, ServiceError, ServiceStats, ShardConfig, DEFAULT_CACHE_CAPACITY,
+    AdmissionConfig, IndoorService, KindStats, OverloadPolicy, ServiceError, ServiceStats,
+    ShardConfig, DEFAULT_CACHE_CAPACITY,
 };
 pub use stats::TreeStats;
 pub use tree::{BuildError, IpTree, NodeIdx, VipTreeConfig, NO_NODE};

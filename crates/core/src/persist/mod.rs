@@ -34,15 +34,26 @@
 //! Durability is opt-in per service:
 //! [`IndoorService::new`](crate::IndoorService::new) stays
 //! volatile and journal-free; services from `open` journal every
-//! acknowledged mutation. WAL append failures on a durable service
-//! panic — a durable service must not silently acknowledge writes it
-//! cannot journal.
+//! acknowledged mutation. A WAL append failure on a durable service is
+//! a typed error (`ServiceError::Persist`) and the mutation is **not**
+//! applied — journal-before-apply, so memory never diverges from the
+//! log. If even the rollback of a partial append fails, the shard
+//! poisons itself into a read-only `Degraded` state rather than
+//! acknowledging writes it cannot journal.
+//!
+//! All file I/O goes through the [`storage::Storage`] trait:
+//! [`storage::OsStorage`] in production, the deterministic
+//! fault-injecting [`storage::FaultStorage`] under test. DESIGN.md §11
+//! states the fault model and the recover-or-reject invariant that
+//! `tests/fault_injection.rs` enforces.
 
 mod format;
 mod recover;
 mod snapshot;
+pub mod storage;
 pub(crate) mod wal;
 
 pub use format::{PersistError, SNAPSHOT_FILE};
 pub use recover::RecoveryReport;
 pub use snapshot::SnapshotReport;
+pub use storage::{CrashMode, FaultAt, FaultKind, FaultStorage, OsStorage, Storage, StorageFile};

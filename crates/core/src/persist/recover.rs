@@ -13,15 +13,23 @@
 //! one that never went down (`tests/persistence.rs` proves it end to
 //! end). Restored `epoch`/`version` counters continue monotonically,
 //! which keeps future WAL LSNs and cache stamps well-ordered.
+//!
+//! Recovery itself is **recover-or-reject**: every read goes through the
+//! service's [`Storage`], every structural anomaly beyond a torn tail is
+//! a typed [`PersistError`], and a recovery that fails mid-way (even one
+//! whose tail-truncation repair write fails — the "double fault" case)
+//! returns an error instead of a service built on a half-read history.
 
 use super::format::{PersistError, SNAPSHOT_FILE};
 use super::snapshot::{read_snapshot, SlotState};
+use super::storage::{OsStorage, Storage};
 use super::wal::{self, OwnedWalRecord, WalEntry};
 use crate::exec::QueryEngine;
 use crate::keywords::KeywordObjects;
-use crate::service::{ClockCache, IndoorService, Serving, Shard, DEFAULT_CACHE_CAPACITY};
+use crate::service::{AdmissionConfig, IndoorService, Shard};
 use crate::vip::VipTree;
 use indoor_model::Venue;
+use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -45,6 +53,7 @@ struct Rebuilt {
     epoch: u64,
     version: u64,
     cache_capacity: usize,
+    admission: AdmissionConfig,
 }
 
 fn rebuild_from_state(state: &SlotState, path: &Path) -> Result<Rebuilt, PersistError> {
@@ -64,6 +73,7 @@ fn rebuild_from_state(state: &SlotState, path: &Path) -> Result<Rebuilt, Persist
         epoch: state.epoch,
         version: state.version,
         cache_capacity: state.cache_capacity,
+        admission: state.admission,
     })
 }
 
@@ -72,6 +82,7 @@ fn rebuild_from_create(record: &OwnedWalRecord, path: &Path) -> Result<Rebuilt, 
         tree: config,
         engine_threads,
         cache_capacity,
+        admission,
         venue_json,
         objects,
         keywords,
@@ -96,6 +107,7 @@ fn rebuild_from_create(record: &OwnedWalRecord, path: &Path) -> Result<Rebuilt, 
         epoch: 0,
         version: 0,
         cache_capacity: *cache_capacity,
+        admission: *admission,
     })
 }
 
@@ -226,40 +238,54 @@ impl IndoorService {
     pub fn open_with_report(
         dir: impl AsRef<Path>,
     ) -> Result<(IndoorService, RecoveryReport), PersistError> {
+        Self::open_with_storage(dir, Arc::new(OsStorage))
+    }
+
+    /// As [`IndoorService::open_with_report`], with every byte of I/O —
+    /// recovery reads, repairs, and all future journalling — routed
+    /// through `storage`. This is the injection point the
+    /// fault-injection tests drive with
+    /// [`FaultStorage`](super::storage::FaultStorage); production code
+    /// wants [`IndoorService::open`].
+    pub fn open_with_storage(
+        dir: impl AsRef<Path>,
+        storage: Arc<dyn Storage>,
+    ) -> Result<(IndoorService, RecoveryReport), PersistError> {
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, e))?;
+        storage
+            .create_dir_all(dir)
+            .map_err(|e| PersistError::io(dir, e))?;
         // Single-writer exclusion: two live services appending to the
         // same WALs would interleave LSNs into a history that matches
         // neither. The advisory lock is held for the service's lifetime
         // and released by the OS on drop or crash.
         let lock_path = dir.join(".lock");
-        let dir_lock = std::fs::OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(false)
-            .open(&lock_path)
-            .map_err(|e| PersistError::io(&lock_path, e))?;
-        dir_lock.try_lock().map_err(|e| match e {
-            std::fs::TryLockError::WouldBlock => PersistError::Locked {
-                path: dir.to_path_buf(),
-            },
-            std::fs::TryLockError::Error(e) => PersistError::io(&lock_path, e),
+        let dir_lock = storage.lock(&lock_path).map_err(|e| {
+            if e.kind() == io::ErrorKind::WouldBlock {
+                PersistError::Locked {
+                    path: dir.to_path_buf(),
+                }
+            } else {
+                PersistError::io(&lock_path, e)
+            }
         })?;
         let mut report = RecoveryReport::default();
 
         let snapshot_path = dir.join(SNAPSHOT_FILE);
-        let mut states: Vec<Option<SlotState>> = if snapshot_path.exists() {
+        let mut states: Vec<Option<SlotState>> = if storage.exists(&snapshot_path) {
             report.snapshot_loaded = true;
-            read_snapshot(&snapshot_path)?
+            read_snapshot(&storage, &snapshot_path)?
         } else {
             Vec::new()
         };
 
         // Venues created after the last snapshot live only in their WAL.
         let mut max_slot = states.len();
-        for entry in std::fs::read_dir(dir).map_err(|e| PersistError::io(dir, e))? {
-            let entry = entry.map_err(|e| PersistError::io(dir, e))?;
-            if let Some(slot) = entry.file_name().to_str().and_then(wal::slot_of_wal_name) {
+        for name in storage
+            .read_dir_names(dir)
+            .map_err(|e| PersistError::io(dir, e))?
+        {
+            if let Some(slot) = wal::slot_of_wal_name(&name) {
                 max_slot = max_slot.max(slot + 1);
             }
         }
@@ -268,8 +294,8 @@ impl IndoorService {
         let mut slots: Vec<Option<Arc<Shard>>> = Vec::with_capacity(states.len());
         for (slot, state) in states.iter().enumerate() {
             let path = wal::wal_path(dir, slot);
-            let entries = if path.exists() {
-                let (entries, truncated) = wal::read_and_repair(&path)?;
+            let entries = if storage.exists(&path) {
+                let (entries, truncated) = wal::read_and_repair(&storage, &path)?;
                 if truncated {
                     report.truncated_tails += 1;
                 }
@@ -285,20 +311,13 @@ impl IndoorService {
             let rebuilt = replay(slot, rebuilt, &entries, &path, &mut report)?;
 
             slots.push(rebuilt.map(|r| {
-                let capacity = if r.cache_capacity == 0 {
-                    DEFAULT_CACHE_CAPACITY
-                } else {
-                    r.cache_capacity
-                };
-                Arc::new(Shard {
-                    serving: RwLock::new(Serving {
-                        engine: r.engine,
-                        epoch: r.epoch,
-                        version: r.version,
-                    }),
-                    cache: Mutex::new(ClockCache::new(capacity)),
-                    journal: Mutex::new(None),
-                })
+                Arc::new(Shard::new(
+                    r.engine,
+                    r.epoch,
+                    r.version,
+                    r.cache_capacity,
+                    r.admission,
+                ))
             }));
         }
 
@@ -309,12 +328,12 @@ impl IndoorService {
         for (slot, shard) in slots.iter().enumerate() {
             let Some(shard) = shard else { continue };
             let path = wal::wal_path(dir, slot);
-            let wal = if path.exists() {
-                wal::VenueWal::open_append(dir, slot)?
+            let wal = if storage.exists(&path) {
+                wal::VenueWal::open_append(&storage, dir, slot)?
             } else {
                 // Snapshot-only venue (log rotated away, then deleted, or
                 // an exported snapshot opened in a fresh directory).
-                wal::VenueWal::create(dir, slot)?
+                wal::VenueWal::create(&storage, dir, slot)?
             };
             *shard.journal.lock().expect("journal lock") = Some(wal);
         }
@@ -323,6 +342,7 @@ impl IndoorService {
         let service = IndoorService {
             shards: RwLock::new(slots),
             counters: Default::default(),
+            storage,
             persist_root: Some(dir.to_path_buf()),
             persist_lock: Mutex::new(()),
             _persist_dir_lock: Some(dir_lock),

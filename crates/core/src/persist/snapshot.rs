@@ -4,26 +4,36 @@
 //! A snapshot stores, per shard slot: the venue document (the JSON
 //! `indoor-venue/2` encoding, embedded as one byte section — trees are
 //! deterministic from the venue, so matrices are *rebuilt* on load, which
-//! is what keeps snapshots small), the tree/engine/cache configuration,
-//! the live object set with its stable [`ObjectId`]s, the live labelled
-//! keyword set, and the `epoch`/`version` counters. Empty slots (removed
-//! venues) are stored too — [`VenueId`](indoor_model::VenueId)s are
-//! never reused, and that invariant must survive a restart.
+//! is what keeps snapshots small), the tree/engine/cache/admission
+//! configuration, the live object set with its stable [`ObjectId`]s, the
+//! live labelled keyword set, and the `epoch`/`version` counters. Empty
+//! slots (removed venues) are stored too —
+//! [`VenueId`](indoor_model::VenueId)s are never reused, and that
+//! invariant must survive a restart.
 //!
 //! # Consistency
 //!
 //! [`IndoorService::save_snapshot`] captures each shard under that
 //! shard's journal lock — the lock every mutation path holds across
-//! *apply + version bump + WAL append* — so a captured `(state, version)`
+//! *WAL append + apply + version bump* — so a captured `(state, version)`
 //! pair is always mutually consistent and the WAL suffix with
 //! `LSN > version` is exactly the mutations the snapshot missed.
 //! Queries never take the journal lock: snapshotting is concurrent with
 //! serving. Serialisation happens *after* the locks drop, from immutable
 //! `Arc` snapshots.
+//!
+//! # Crash durability
+//!
+//! The file is written to a temp name, fsynced, renamed over
+//! `snapshot.bin`, and the directory is fsynced — so a completed
+//! `save_snapshot` survives power loss, and an interrupted one leaves
+//! the previous snapshot intact (rename without the directory sync is
+//! not crash-durable on ext4; see DESIGN.md §11).
 
 use super::format::{self, PersistError, SNAPSHOT_FILE, SNAPSHOT_MAGIC};
-use super::wal;
-use crate::service::{IndoorService, Shard};
+use super::storage::Storage;
+use super::wal::{self, RotateFailure};
+use crate::service::{AdmissionConfig, IndoorService, Shard};
 use crate::tree::VipTreeConfig;
 use indoor_model::wire::{WireReader, WireWriter};
 use indoor_model::{IndoorPoint, LoadError, ObjectId};
@@ -49,6 +59,7 @@ pub(crate) struct SlotState {
     pub tree: VipTreeConfig,
     pub engine_threads: usize,
     pub cache_capacity: usize,
+    pub admission: AdmissionConfig,
     pub venue_json: Vec<u8>,
     /// `None` when the tree never had an object set attached.
     pub objects: Option<Vec<(ObjectId, IndoorPoint)>>,
@@ -71,6 +82,7 @@ fn encode_slot(state: Option<&SlotState>) -> Vec<u8> {
     wal::encode_config(&mut w, &s.tree);
     w.put_u32(s.engine_threads as u32);
     w.put_u64(s.cache_capacity as u64);
+    wal::encode_admission(&mut w, &s.admission);
     w.put_bytes(&s.venue_json);
     match &s.objects {
         None => w.put_u8(0),
@@ -119,6 +131,7 @@ fn decode_slot(payload: &[u8]) -> Result<Option<SlotState>, LoadError> {
     let tree = wal::decode_config(&mut r)?;
     let engine_threads = r.get_u32("engine threads")? as usize;
     let cache_capacity = r.get_u64("cache capacity")? as usize;
+    let admission = wal::decode_admission(&mut r)?;
     let venue_json = r.get_bytes("venue json")?.to_vec();
     let objects = match r.get_u8("objects presence flag")? {
         0 => None,
@@ -152,6 +165,7 @@ fn decode_slot(payload: &[u8]) -> Result<Option<SlotState>, LoadError> {
         tree,
         engine_threads,
         cache_capacity,
+        admission,
         venue_json,
         objects,
         keywords,
@@ -159,8 +173,11 @@ fn decode_slot(payload: &[u8]) -> Result<Option<SlotState>, LoadError> {
 }
 
 /// Read a snapshot file back into per-slot states.
-pub(crate) fn read_snapshot(path: &Path) -> Result<Vec<Option<SlotState>>, PersistError> {
-    let buf = std::fs::read(path).map_err(|e| PersistError::io(path, e))?;
+pub(crate) fn read_snapshot(
+    storage: &Arc<dyn Storage>,
+    path: &Path,
+) -> Result<Vec<Option<SlotState>>, PersistError> {
+    let buf = storage.read(path).map_err(|e| PersistError::io(path, e))?;
     let mut pos = 0usize;
     format::read_magic(&buf, &mut pos, SNAPSHOT_MAGIC, path)?;
     if buf.len() < pos + 4 {
@@ -206,6 +223,7 @@ struct ShardCapture {
     epoch: u64,
     version: u64,
     cache_capacity: usize,
+    admission: AdmissionConfig,
     objects: Option<Arc<crate::objects::ObjectIndex>>,
     keywords: Option<Arc<crate::keywords::KeywordObjects>>,
 }
@@ -228,6 +246,7 @@ impl ShardCapture {
             epoch,
             version,
             cache_capacity,
+            admission: shard.admission_config(),
             objects,
             keywords,
         }
@@ -247,6 +266,7 @@ impl ShardCapture {
             tree: ip.build_config().clone(),
             engine_threads: self.engine.configured_threads(),
             cache_capacity: self.cache_capacity,
+            admission: self.admission,
             venue_json,
             objects: self.objects.map(|oi| oi.live_pairs()),
             keywords: self.keywords.map(|kw| kw.live_labelled()),
@@ -266,16 +286,20 @@ impl IndoorService {
     /// venue's WAL: records the snapshot covers (`LSN <= version`) are
     /// dropped, and logs of removed venues are deleted. Snapshotting
     /// into any *other* directory is a pure export and leaves the WALs
-    /// alone. The file is written to a temp name and renamed, so a crash
-    /// mid-save leaves the previous snapshot intact.
+    /// alone. The file is written to a temp name, fsynced, renamed and
+    /// the directory fsynced, so a completed save survives power loss
+    /// and a crash mid-save leaves the previous snapshot intact.
     pub fn save_snapshot(&self, dir: impl AsRef<Path>) -> Result<SnapshotReport, PersistError> {
         let dir = dir.as_ref();
+        let storage = self.storage.clone();
         // One snapshot at a time: two racing saves would fight over the
         // temp file and could rotate a WAL past a version the winning
         // (staler) snapshot does not cover. Also excludes a durable
         // `add_venue` mid-publication (reserved slot, unpublished shard).
         let _persist = self.persist_lock.lock().expect("persist lock");
-        std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, e))?;
+        storage
+            .create_dir_all(dir)
+            .map_err(|e| PersistError::io(dir, e))?;
 
         // Stable slot view: concurrent add_venue appends land in the next
         // snapshot; concurrent remove_venue journals a Remove record that
@@ -308,8 +332,18 @@ impl IndoorService {
         let bytes = out.len();
         let tmp = dir.join("snapshot.tmp");
         let path = dir.join(SNAPSHOT_FILE);
-        std::fs::write(&tmp, &out).map_err(|e| PersistError::io(&tmp, e))?;
-        std::fs::rename(&tmp, &path).map_err(|e| PersistError::io(&path, e))?;
+        storage
+            .write(&tmp, &out)
+            .map_err(|e| PersistError::io(&tmp, e))?;
+        storage
+            .sync_file(&tmp)
+            .map_err(|e| PersistError::io(&tmp, e))?;
+        storage
+            .rename(&tmp, &path)
+            .map_err(|e| PersistError::io(&path, e))?;
+        storage
+            .sync_dir(dir)
+            .map_err(|e| PersistError::io(dir, e))?;
 
         // Rotation only applies when this snapshot is the one recovery
         // would actually load before these WALs.
@@ -324,17 +358,42 @@ impl IndoorService {
                     (Some(shard), Some(state)) => {
                         let mut journal = shard.journal.lock().expect("journal lock");
                         if journal.is_some() {
-                            let (fresh, dropped) = wal::rotate(dir, slot, state.version)?;
-                            *journal = Some(fresh);
-                            wal_records_dropped += dropped;
+                            match wal::rotate(&storage, dir, slot, state.version) {
+                                Ok((fresh, dropped)) => {
+                                    *journal = Some(fresh);
+                                    wal_records_dropped += dropped;
+                                }
+                                // The old log (and the held append
+                                // handle) are still valid — rotation
+                                // simply didn't happen this round.
+                                Err(RotateFailure::Safe(e)) => return Err(e),
+                                // The rename landed but the handle could
+                                // not be refreshed: appends through it
+                                // would be lost. Stop journalling on this
+                                // shard rather than acknowledging writes
+                                // into an unlinked file.
+                                Err(f @ RotateFailure::HandleInvalidated(_)) => {
+                                    shard.degrade(format!(
+                                        "WAL rotation of slot {slot} failed after rename; \
+                                         append handle may target the unlinked old log"
+                                    ));
+                                    return Err(f.into_error());
+                                }
+                            }
                         }
                     }
                     _ => {
                         // Removed venue: the snapshot records the empty
-                        // slot, so its log (if any) is spent.
+                        // slot, so its log (if any) is spent. The dir
+                        // sync makes the deletion crash-durable.
                         let path = wal::wal_path(dir, slot);
-                        if path.exists() {
-                            std::fs::remove_file(&path).map_err(|e| PersistError::io(&path, e))?;
+                        if storage.exists(&path) {
+                            storage
+                                .remove_file(&path)
+                                .map_err(|e| PersistError::io(&path, e))?;
+                            storage
+                                .sync_dir(dir)
+                                .map_err(|e| PersistError::io(dir, e))?;
                         }
                     }
                 }

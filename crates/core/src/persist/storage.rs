@@ -1,0 +1,820 @@
+//! The storage abstraction under the durability subsystem, plus a
+//! deterministic fault-injection implementation for crash-consistency
+//! testing.
+//!
+//! Every filesystem touch of `persist/` — snapshot writes, WAL appends,
+//! renames, directory syncs, advisory locks — goes through the
+//! [`Storage`] trait. Production uses [`OsStorage`] (thin `std::fs`
+//! calls); tests use [`FaultStorage`], an in-memory filesystem that
+//! injects scripted failpoints (ENOSPC after N bytes, torn writes, sync
+//! failures, crash-before/after an operation) from a deterministic
+//! schedule and can then simulate either a **process crash** (page cache
+//! survives) or a **power loss** (only explicitly synced file content and
+//! explicitly synced directory entries survive).
+//!
+//! The split matters because the two crash models bound different
+//! guarantees: WAL appends are acknowledged without fsync (process-crash
+//! durability — see `VenueWal::append` in `persist::wal`),
+//! while snapshots are written tmp → `sync_file` → `rename` →
+//! [`Storage::sync_dir`] and therefore survive power loss. DESIGN.md §11
+//! states the full contract; `tests/fault_injection.rs` enforces it.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Debug;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An append-cursor file handle (the only write mode `persist/` uses:
+/// WAL logs are append-only, everything else is whole-file
+/// [`Storage::write`]).
+pub trait StorageFile: Send + Debug {
+    /// Append `bytes` at the current end of file.
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Push buffered bytes to the OS (page cache) — *not* durable.
+    fn flush(&mut self) -> io::Result<()>;
+    /// fsync: make previously written content durable.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A held advisory lock; released on drop.
+pub trait StorageLock: Send + Sync + Debug {}
+
+/// Filesystem surface of the durability subsystem. Implementations must
+/// be shareable across threads ([`Arc<dyn Storage>`]).
+///
+/// Contract highlights (what recovery is allowed to assume):
+///
+/// * [`Storage::write`] replaces content non-atomically — callers that
+///   need atomic replacement write a temp name, [`Storage::sync_file`]
+///   it, [`Storage::rename`] over the target, then
+///   [`Storage::sync_dir`] the parent.
+/// * [`Storage::rename`] is atomic in the *volatile* namespace; the new
+///   directory entry is durable only after [`Storage::sync_dir`].
+/// * [`Storage::lock`] returns `ErrorKind::WouldBlock` when another live
+///   handle holds the lock; the lock dies with its handle (or the
+///   process), never staying stale across a crash.
+pub trait Storage: Send + Sync + Debug {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create/truncate `path` and write `bytes` (not atomic, not synced).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Create/truncate `path`, returning an append handle.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Open an existing file for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Truncate `path` to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Atomically rename `from` over `to` (volatile namespace).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and its ancestors.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// File names (not paths) of the entries directly under `path`.
+    fn read_dir_names(&self, path: &Path) -> io::Result<Vec<String>>;
+    /// Whether a file or directory exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+    /// Current length of the file at `path`.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// fsync a file's content by path.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// fsync a directory: make its current entries (names created,
+    /// renamed or removed under it) durable. Rename without this is not
+    /// crash-durable on ext4.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Take the advisory lock file at `path`.
+    fn lock(&self, path: &Path) -> io::Result<Box<dyn StorageLock>>;
+}
+
+// ---------------------------------------------------------------------------
+// OsStorage
+// ---------------------------------------------------------------------------
+
+/// Production [`Storage`]: direct `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsStorage;
+
+#[derive(Debug)]
+struct OsFile(std::fs::File);
+
+impl StorageFile for OsFile {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.0.write_all(bytes)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        use std::io::Write;
+        self.0.flush()
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+/// Advisory lock backed by [`std::fs::File::try_lock`]; the OS releases
+/// it when the handle drops (so a crash never leaves a stale lock).
+#[derive(Debug)]
+struct OsLock(#[allow(dead_code)] std::fs::File);
+
+impl StorageLock for OsLock {}
+
+impl Storage for OsStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(OsFile(std::fs::File::create(path)?)))
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(OsFile(
+            std::fs::OpenOptions::new().append(true).open(path)?,
+        )))
+    }
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(len)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn read_dir_names(&self, path: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is the POSIX way
+        // to make its entries durable (ext4 requires it after rename).
+        std::fs::File::open(path)?.sync_all()
+    }
+    fn lock(&self, path: &Path) -> io::Result<Box<dyn StorageLock>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        file.try_lock().map_err(|e| match e {
+            std::fs::TryLockError::WouldBlock => io::Error::from(io::ErrorKind::WouldBlock),
+            std::fs::TryLockError::Error(e) => e,
+        })?;
+        Ok(Box::new(OsLock(file)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultStorage
+// ---------------------------------------------------------------------------
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write persists only `keep` bytes, then fails with
+    /// `StorageFull`. **Not** a crash: the caller sees the error and
+    /// later operations succeed (the rollback path is live).
+    Enospc { keep: usize },
+    /// Torn write: `keep` bytes land, then the process crashes — the
+    /// operation errors and every subsequent operation fails until
+    /// [`FaultStorage::crash`] resets.
+    TornWrite { keep: usize },
+    /// The sync/flush fails with an I/O error; not a crash, and nothing
+    /// becomes durable.
+    SyncFail,
+    /// Crash before the operation takes any effect (e.g.
+    /// crash-before-rename).
+    CrashBefore,
+    /// The operation completes in the volatile namespace, then the
+    /// process crashes (e.g. crash-after-rename-before-dir-sync).
+    CrashAfter,
+}
+
+/// Which crash semantics [`FaultStorage::crash`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Process crash: the page cache survives — every volatile write is
+    /// still there on reopen.
+    Process,
+    /// Power loss: only synced file content under directory entries made
+    /// durable by [`Storage::sync_dir`] survives.
+    Power,
+}
+
+/// Where an armed failpoint fires.
+#[derive(Debug, Clone)]
+pub enum FaultAt {
+    /// The `n`-th fault-eligible operation (mutating or syncing; reads
+    /// are exempt), counted from 0 by [`FaultStorage::ops`].
+    Op(u64),
+    /// The first eligible operation whose primary path contains this
+    /// substring (e.g. `"venue-0.wal.tmp"` for a rotation's temp write).
+    PathContains(String),
+}
+
+#[derive(Debug, Clone)]
+struct ArmedFault {
+    at: FaultAt,
+    kind: FaultKind,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Inode {
+    data: Vec<u8>,
+    /// Content as of the last fsync of this inode (what power loss
+    /// reverts to).
+    synced: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct MemFs {
+    next_inode: u64,
+    inodes: HashMap<u64, Inode>,
+    /// Volatile namespace: directory entry → inode.
+    files: HashMap<PathBuf, u64>,
+    /// Durable namespace: entries as of the last `sync_dir` of their
+    /// parent directory.
+    durable: HashMap<PathBuf, u64>,
+    dirs: HashSet<PathBuf>,
+    /// Held advisory locks (path → unique token).
+    locked: HashMap<PathBuf, u64>,
+    next_lock_token: u64,
+    ops: u64,
+    plan: Vec<ArmedFault>,
+    crashed: bool,
+}
+
+fn eio(msg: &str) -> io::Error {
+    io::Error::other(msg.to_string())
+}
+
+impl MemFs {
+    fn inode_of(&self, path: &Path) -> io::Result<u64> {
+        self.files
+            .get(path)
+            .copied()
+            .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))
+    }
+
+    fn new_inode(&mut self) -> u64 {
+        let id = self.next_inode;
+        self.next_inode += 1;
+        self.inodes.insert(id, Inode::default());
+        id
+    }
+
+    /// Gate every fault-eligible operation: fail hard after a crash,
+    /// advance the op counter, and fire the first matching armed fault
+    /// (one-shot). Returns the fault to apply, if any.
+    fn enter_op(&mut self, path: &Path) -> io::Result<Option<FaultKind>> {
+        if self.crashed {
+            return Err(eio("simulated crash: storage is down"));
+        }
+        let op = self.ops;
+        self.ops += 1;
+        let hit = self.plan.iter().position(|f| match &f.at {
+            FaultAt::Op(n) => *n == op,
+            FaultAt::PathContains(s) => path.to_string_lossy().contains(s.as_str()),
+        });
+        Ok(hit.map(|i| self.plan.remove(i).kind))
+    }
+}
+
+/// Deterministic in-memory [`Storage`] with scripted failpoints. Clone
+/// handles share the same filesystem, so a test can keep one for
+/// [`FaultStorage::set_fault`] / [`FaultStorage::crash`] while the
+/// service owns another as its `Arc<dyn Storage>`.
+#[derive(Debug, Default, Clone)]
+pub struct FaultStorage {
+    fs: Arc<Mutex<MemFs>>,
+}
+
+impl FaultStorage {
+    /// An empty in-memory filesystem with no faults armed.
+    pub fn new() -> FaultStorage {
+        FaultStorage::default()
+    }
+
+    /// Arm a one-shot failpoint. Multiple armed faults fire
+    /// independently, each at its own matching operation.
+    pub fn set_fault(&self, at: FaultAt, kind: FaultKind) {
+        self.fs
+            .lock()
+            .expect("fault fs lock")
+            .plan
+            .push(ArmedFault { at, kind });
+    }
+
+    /// Fault-eligible operations performed so far (the schedule domain
+    /// for [`FaultAt::Op`]).
+    pub fn ops(&self) -> u64 {
+        self.fs.lock().expect("fault fs lock").ops
+    }
+
+    /// Whether a crash-kind fault has fired (every operation now fails).
+    pub fn crashed(&self) -> bool {
+        self.fs.lock().expect("fault fs lock").crashed
+    }
+
+    /// Simulate the machine coming back up: release every advisory lock,
+    /// clear armed faults and the crashed flag, and — under
+    /// [`CrashMode::Power`] — revert the filesystem to its durable image
+    /// (synced directory entries pointing at synced content).
+    pub fn crash(&self, mode: CrashMode) {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        fs.locked.clear();
+        fs.plan.clear();
+        fs.crashed = false;
+        if mode == CrashMode::Power {
+            fs.files = fs.durable.clone();
+            let live: HashSet<u64> = fs.files.values().copied().collect();
+            for (id, inode) in fs.inodes.iter_mut() {
+                if live.contains(id) {
+                    inode.data = inode.synced.clone();
+                }
+            }
+        }
+    }
+
+    /// The volatile content of `path` (test observability; bypasses the
+    /// fault schedule and the crashed flag).
+    pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
+        let fs = self.fs.lock().expect("fault fs lock");
+        let id = fs.files.get(path)?;
+        Some(fs.inodes[id].data.clone())
+    }
+}
+
+/// Apply a write-shaped fault: land `keep` bytes of `bytes` via `apply`,
+/// then return the fault's error (setting `crashed` for crash kinds).
+fn faulted_write(
+    fs: &mut MemFs,
+    kind: FaultKind,
+    bytes: &[u8],
+    mut apply: impl FnMut(&mut MemFs, &[u8]),
+) -> io::Result<()> {
+    match kind {
+        FaultKind::Enospc { keep } => {
+            apply(fs, &bytes[..keep.min(bytes.len())]);
+            Err(io::Error::from(io::ErrorKind::StorageFull))
+        }
+        FaultKind::TornWrite { keep } => {
+            apply(fs, &bytes[..keep.min(bytes.len())]);
+            fs.crashed = true;
+            Err(eio("simulated crash: torn write"))
+        }
+        FaultKind::SyncFail => Err(eio("simulated sync failure")),
+        FaultKind::CrashBefore => {
+            fs.crashed = true;
+            Err(eio("simulated crash before write"))
+        }
+        FaultKind::CrashAfter => {
+            apply(fs, bytes);
+            fs.crashed = true;
+            Err(eio("simulated crash after write"))
+        }
+    }
+}
+
+/// Apply a non-write fault (rename, remove, truncate, create …): the
+/// operation either happens fully (`CrashAfter`) or not at all.
+fn faulted_op(fs: &mut MemFs, kind: FaultKind, apply: impl FnOnce(&mut MemFs)) -> io::Result<()> {
+    match kind {
+        FaultKind::Enospc { .. } => Err(io::Error::from(io::ErrorKind::StorageFull)),
+        FaultKind::SyncFail => Err(eio("simulated I/O failure")),
+        FaultKind::TornWrite { .. } | FaultKind::CrashBefore => {
+            fs.crashed = true;
+            Err(eio("simulated crash before operation"))
+        }
+        FaultKind::CrashAfter => {
+            apply(fs);
+            fs.crashed = true;
+            Err(eio("simulated crash after operation"))
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    fs: Arc<Mutex<MemFs>>,
+    path: PathBuf,
+}
+
+impl StorageFile for FaultFile {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        let fault = fs.enter_op(&self.path)?;
+        let id = fs.inode_of(&self.path)?;
+        let append = |fs: &mut MemFs, b: &[u8]| {
+            fs.inodes
+                .get_mut(&id)
+                .expect("inode")
+                .data
+                .extend_from_slice(b)
+        };
+        match fault {
+            None => {
+                append(&mut fs, bytes);
+                Ok(())
+            }
+            Some(kind) => faulted_write(&mut fs, kind, bytes, append),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        match fs.enter_op(&self.path)? {
+            None => Ok(()),
+            Some(kind) => faulted_op(&mut fs, kind, |_| {}),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        let fault = fs.enter_op(&self.path)?;
+        let id = fs.inode_of(&self.path)?;
+        let sync = |fs: &mut MemFs| {
+            let inode = fs.inodes.get_mut(&id).expect("inode");
+            inode.synced = inode.data.clone();
+        };
+        match fault {
+            None => {
+                sync(&mut fs);
+                Ok(())
+            }
+            Some(kind) => faulted_op(&mut fs, kind, sync),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultLock {
+    fs: Arc<Mutex<MemFs>>,
+    path: PathBuf,
+    token: u64,
+}
+
+impl StorageLock for FaultLock {}
+
+impl Drop for FaultLock {
+    fn drop(&mut self) {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        // Only release if this handle still owns the lock — a crash()
+        // may already have cleared it and a reopened service re-taken it.
+        if fs.locked.get(&self.path) == Some(&self.token) {
+            fs.locked.remove(&self.path);
+        }
+    }
+}
+
+impl Storage for FaultStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let fs = self.fs.lock().expect("fault fs lock");
+        if fs.crashed {
+            return Err(eio("simulated crash: storage is down"));
+        }
+        let id = fs.inode_of(path)?;
+        Ok(fs.inodes[&id].data.clone())
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        let fault = fs.enter_op(path)?;
+        // create/truncate allocates a fresh inode, like O_CREAT|O_TRUNC
+        // replacing via a new file: the durable entry (if any) keeps
+        // pointing at the old inode until the parent dir is synced.
+        let write = |fs: &mut MemFs, b: &[u8]| {
+            let id = fs.new_inode();
+            fs.inodes.get_mut(&id).expect("inode").data = b.to_vec();
+            fs.files.insert(path.to_path_buf(), id);
+        };
+        match fault {
+            None => {
+                write(&mut fs, bytes);
+                Ok(())
+            }
+            Some(kind) => faulted_write(&mut fs, kind, bytes, write),
+        }
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        let fault = fs.enter_op(path)?;
+        let create = |fs: &mut MemFs| {
+            let id = fs.new_inode();
+            fs.files.insert(path.to_path_buf(), id);
+        };
+        match fault {
+            None => create(&mut fs),
+            Some(kind) => faulted_op(&mut fs, kind, create)?,
+        }
+        Ok(Box::new(FaultFile {
+            fs: self.fs.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let fs = self.fs.lock().expect("fault fs lock");
+        if fs.crashed {
+            return Err(eio("simulated crash: storage is down"));
+        }
+        fs.inode_of(path)?;
+        Ok(Box::new(FaultFile {
+            fs: self.fs.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        let fault = fs.enter_op(path)?;
+        let id = fs.inode_of(path)?;
+        let truncate = |fs: &mut MemFs| {
+            fs.inodes
+                .get_mut(&id)
+                .expect("inode")
+                .data
+                .truncate(len as usize);
+        };
+        match fault {
+            None => {
+                truncate(&mut fs);
+                Ok(())
+            }
+            Some(kind) => faulted_op(&mut fs, kind, truncate),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        let fault = fs.enter_op(to)?;
+        let id = fs.inode_of(from)?;
+        let from = from.to_path_buf();
+        let to = to.to_path_buf();
+        let rename = move |fs: &mut MemFs| {
+            fs.files.remove(&from);
+            fs.files.insert(to.clone(), id);
+        };
+        match fault {
+            None => {
+                rename(&mut fs);
+                Ok(())
+            }
+            Some(kind) => faulted_op(&mut fs, kind, rename),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        let fault = fs.enter_op(path)?;
+        fs.inode_of(path)?;
+        let path = path.to_path_buf();
+        let remove = move |fs: &mut MemFs| {
+            fs.files.remove(&path);
+        };
+        match fault {
+            None => {
+                remove(&mut fs);
+                Ok(())
+            }
+            Some(kind) => faulted_op(&mut fs, kind, remove),
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        if fs.crashed {
+            return Err(eio("simulated crash: storage is down"));
+        }
+        // Directory creation is modelled as immediately durable — the
+        // torture harness targets file-level crash consistency.
+        let mut p = Some(path);
+        while let Some(cur) = p {
+            fs.dirs.insert(cur.to_path_buf());
+            p = cur.parent();
+        }
+        Ok(())
+    }
+
+    fn read_dir_names(&self, path: &Path) -> io::Result<Vec<String>> {
+        let fs = self.fs.lock().expect("fault fs lock");
+        if fs.crashed {
+            return Err(eio("simulated crash: storage is down"));
+        }
+        let mut names: Vec<String> = fs
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(path))
+            .filter_map(|p| p.file_name()?.to_str().map(str::to_string))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let fs = self.fs.lock().expect("fault fs lock");
+        fs.files.contains_key(path) || fs.dirs.contains(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        let fs = self.fs.lock().expect("fault fs lock");
+        let id = fs.inode_of(path)?;
+        Ok(fs.inodes[&id].data.len() as u64)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        let fault = fs.enter_op(path)?;
+        let id = fs.inode_of(path)?;
+        let sync = |fs: &mut MemFs| {
+            let inode = fs.inodes.get_mut(&id).expect("inode");
+            inode.synced = inode.data.clone();
+        };
+        match fault {
+            None => {
+                sync(&mut fs);
+                Ok(())
+            }
+            Some(kind) => faulted_op(&mut fs, kind, sync),
+        }
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        let fault = fs.enter_op(path)?;
+        let path = path.to_path_buf();
+        let sync = move |fs: &mut MemFs| {
+            // Durable entries under `path` become exactly the volatile
+            // ones; entries under other directories are untouched.
+            fs.durable.retain(|p, _| p.parent() != Some(&path));
+            let adds: Vec<(PathBuf, u64)> = fs
+                .files
+                .iter()
+                .filter(|(p, _)| p.parent() == Some(path.as_path()))
+                .map(|(p, id)| (p.clone(), *id))
+                .collect();
+            fs.durable.extend(adds);
+        };
+        match fault {
+            None => {
+                sync(&mut fs);
+                Ok(())
+            }
+            Some(kind) => faulted_op(&mut fs, kind, sync),
+        }
+    }
+
+    fn lock(&self, path: &Path) -> io::Result<Box<dyn StorageLock>> {
+        let mut fs = self.fs.lock().expect("fault fs lock");
+        if fs.crashed {
+            return Err(eio("simulated crash: storage is down"));
+        }
+        if fs.locked.contains_key(path) {
+            return Err(io::Error::from(io::ErrorKind::WouldBlock));
+        }
+        let token = fs.next_lock_token;
+        fs.next_lock_token += 1;
+        fs.locked.insert(path.to_path_buf(), token);
+        if !fs.files.contains_key(path) {
+            let id = fs.new_inode();
+            fs.files.insert(path.to_path_buf(), id);
+        }
+        Ok(Box::new(FaultLock {
+            fs: self.fs.clone(),
+            path: path.to_path_buf(),
+            token,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn enospc_lands_partial_bytes_without_crashing() {
+        let s = FaultStorage::new();
+        s.create_dir_all(&p("/d")).unwrap();
+        let mut f = s.create(&p("/d/a")).unwrap();
+        f.write_all(b"hello").unwrap();
+        s.set_fault(FaultAt::Op(s.ops()), FaultKind::Enospc { keep: 2 });
+        let err = f.write_all(b"world").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(!s.crashed());
+        assert_eq!(s.peek(&p("/d/a")).unwrap(), b"hellowo");
+        // Rollback path stays live: truncate back, keep appending.
+        s.truncate(&p("/d/a"), 5).unwrap();
+        f.write_all(b"!").unwrap();
+        assert_eq!(s.peek(&p("/d/a")).unwrap(), b"hello!");
+    }
+
+    #[test]
+    fn torn_write_crashes_and_blocks_every_later_op() {
+        let s = FaultStorage::new();
+        s.create_dir_all(&p("/d")).unwrap();
+        let mut f = s.create(&p("/d/a")).unwrap();
+        s.set_fault(FaultAt::Op(s.ops()), FaultKind::TornWrite { keep: 3 });
+        f.write_all(b"abcdef").unwrap_err();
+        assert!(s.crashed());
+        assert!(s.write(&p("/d/b"), b"x").is_err());
+        assert!(s.read(&p("/d/a")).is_err());
+        // Process crash keeps the torn bytes.
+        s.crash(CrashMode::Process);
+        assert_eq!(s.read(&p("/d/a")).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn power_loss_reverts_to_synced_entries_and_content() {
+        let s = FaultStorage::new();
+        let d = p("/d");
+        s.create_dir_all(&d).unwrap();
+        // a: synced content + synced entry → survives.
+        s.write(&d.join("a"), b"AAAA").unwrap();
+        s.sync_file(&d.join("a")).unwrap();
+        s.sync_dir(&d).unwrap();
+        // b: written after the dir sync → entry not durable → gone.
+        s.write(&d.join("b"), b"BBBB").unwrap();
+        // a gets more (unsynced) content via a fresh inode (write =
+        // create/truncate): power loss reverts to the synced inode.
+        s.write(&d.join("a"), b"AAAA-more").unwrap();
+        s.crash(CrashMode::Power);
+        assert_eq!(s.read(&d.join("a")).unwrap(), b"AAAA");
+        assert!(!s.exists(&d.join("b")));
+    }
+
+    #[test]
+    fn rename_without_dir_sync_is_not_power_durable() {
+        let s = FaultStorage::new();
+        let d = p("/d");
+        s.create_dir_all(&d).unwrap();
+        s.write(&d.join("t"), b"old").unwrap();
+        s.sync_file(&d.join("t")).unwrap();
+        s.rename(&d.join("t"), &d.join("f")).unwrap();
+        // No sync_dir: the rename is volatile-only.
+        s.crash(CrashMode::Power);
+        assert!(!s.exists(&d.join("f")), "unsynced rename must roll back");
+        // With the sync, it sticks.
+        s.write(&d.join("t"), b"new").unwrap();
+        s.sync_file(&d.join("t")).unwrap();
+        s.rename(&d.join("t"), &d.join("f")).unwrap();
+        s.sync_dir(&d).unwrap();
+        s.crash(CrashMode::Power);
+        assert_eq!(s.read(&d.join("f")).unwrap(), b"new");
+    }
+
+    #[test]
+    fn crash_after_rename_applies_the_rename_then_fails() {
+        let s = FaultStorage::new();
+        let d = p("/d");
+        s.create_dir_all(&d).unwrap();
+        s.write(&d.join("t"), b"v").unwrap();
+        s.set_fault(FaultAt::PathContains("final".into()), FaultKind::CrashAfter);
+        s.rename(&d.join("t"), &d.join("final")).unwrap_err();
+        assert!(s.crashed());
+        s.crash(CrashMode::Process);
+        assert_eq!(s.read(&d.join("final")).unwrap(), b"v");
+    }
+
+    #[test]
+    fn locks_exclude_and_release_on_crash() {
+        let s = FaultStorage::new();
+        s.create_dir_all(&p("/d")).unwrap();
+        let held = s.lock(&p("/d/.lock")).unwrap();
+        let err = s.lock(&p("/d/.lock")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        s.crash(CrashMode::Process);
+        let reheld = s.lock(&p("/d/.lock")).unwrap();
+        // The pre-crash handle's drop must not free the new owner's lock.
+        drop(held);
+        assert!(s.lock(&p("/d/.lock")).is_err());
+        drop(reheld);
+        assert!(s.lock(&p("/d/.lock")).is_ok());
+    }
+}

@@ -10,14 +10,21 @@
 //! torn tail (a partially written final record) before replay, which is
 //! the crash-atomicity story: a record is either fully framed and
 //! CRC-valid, or it never happened.
+//!
+//! All file I/O routes through the [`Storage`] abstraction, so the same
+//! code paths run against the OS filesystem in production and against
+//! the fault-injecting in-memory filesystem in
+//! `tests/fault_injection.rs`.
 
 use super::format::{self, FrameRead, PersistError, WAL_MAGIC};
+use super::storage::{Storage, StorageFile};
+use crate::service::{AdmissionConfig, OverloadPolicy};
 use crate::tree::VipTreeConfig;
 use indoor_model::wire::{WireReader, WireWriter};
 use indoor_model::{IndoorPoint, LoadError, ObjectDelta, ObjectUpdate};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// LSN of a venue's `Create` record (before any mutation).
 pub(crate) const LSN_CREATE: u64 = 0;
@@ -33,6 +40,7 @@ pub(crate) enum WalRecord<'a> {
         tree: &'a VipTreeConfig,
         engine_threads: usize,
         cache_capacity: usize,
+        admission: &'a AdmissionConfig,
         venue_json: &'a [u8],
         objects: &'a [IndoorPoint],
         keywords: &'a [(IndoorPoint, Vec<String>)],
@@ -54,6 +62,7 @@ pub(crate) enum OwnedWalRecord {
         tree: VipTreeConfig,
         engine_threads: usize,
         cache_capacity: usize,
+        admission: AdmissionConfig,
         venue_json: Vec<u8>,
         objects: Vec<IndoorPoint>,
         keywords: Vec<(IndoorPoint, Vec<String>)>,
@@ -77,6 +86,9 @@ const TAG_KEYWORDS: u8 = 2;
 const TAG_ATTACH: u8 = 3;
 const TAG_REMOVE: u8 = 4;
 
+const POLICY_SHED: u8 = 0;
+const POLICY_BLOCK: u8 = 1;
+
 /// Tree-config wire layout, shared by WAL `Create` records and snapshot
 /// slots — one definition, so the two file kinds cannot drift apart.
 pub(crate) fn encode_config(w: &mut WireWriter, cfg: &VipTreeConfig) {
@@ -93,6 +105,44 @@ pub(crate) fn decode_config(r: &mut WireReader<'_>) -> Result<VipTreeConfig, Loa
     })
 }
 
+/// Admission-control wire layout, shared like [`encode_config`].
+pub(crate) fn encode_admission(w: &mut WireWriter, a: &AdmissionConfig) {
+    w.put_u64(a.max_in_flight as u64);
+    match a.policy {
+        OverloadPolicy::Shed => {
+            w.put_u8(POLICY_SHED);
+            w.put_u64(0);
+        }
+        OverloadPolicy::Block { timeout } => {
+            w.put_u8(POLICY_BLOCK);
+            w.put_u64(timeout.as_millis() as u64);
+        }
+    }
+}
+
+pub(crate) fn decode_admission(r: &mut WireReader<'_>) -> Result<AdmissionConfig, LoadError> {
+    let max_in_flight = r.get_u64("admission max_in_flight")? as usize;
+    let tag = r.get_u8("admission policy tag")?;
+    let timeout_ms = r.get_u64("admission block timeout ms")?;
+    let policy = match tag {
+        POLICY_SHED => OverloadPolicy::Shed,
+        POLICY_BLOCK => OverloadPolicy::Block {
+            timeout: Duration::from_millis(timeout_ms),
+        },
+        other => {
+            return Err(LoadError::Wire {
+                offset: 0,
+                expected: "admission policy tag 0 or 1",
+                found: format!("tag {other}"),
+            })
+        }
+    };
+    Ok(AdmissionConfig {
+        max_in_flight,
+        policy,
+    })
+}
+
 /// Encode `record` (with its LSN) into a frame payload.
 pub(crate) fn encode_record(lsn: u64, record: &WalRecord<'_>) -> Vec<u8> {
     let mut w = WireWriter::new();
@@ -102,6 +152,7 @@ pub(crate) fn encode_record(lsn: u64, record: &WalRecord<'_>) -> Vec<u8> {
             tree,
             engine_threads,
             cache_capacity,
+            admission,
             venue_json,
             objects,
             keywords,
@@ -110,6 +161,7 @@ pub(crate) fn encode_record(lsn: u64, record: &WalRecord<'_>) -> Vec<u8> {
             encode_config(&mut w, tree);
             w.put_u32(*engine_threads as u32);
             w.put_u64(*cache_capacity as u64);
+            encode_admission(&mut w, admission);
             w.put_bytes(venue_json);
             w.put_points(objects);
             w.put_u32(keywords.len() as u32);
@@ -150,6 +202,7 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<WalEntry, LoadError> {
             let tree = decode_config(&mut r)?;
             let engine_threads = r.get_u32("engine threads")? as usize;
             let cache_capacity = r.get_u64("cache capacity")? as usize;
+            let admission = decode_admission(&mut r)?;
             let venue_json = r.get_bytes("venue json")?.to_vec();
             let objects = r.get_points()?;
             let n = r.get_u32("keyword object count")? as usize;
@@ -162,6 +215,7 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<WalEntry, LoadError> {
                 tree,
                 engine_threads,
                 cache_capacity,
+                admission,
                 venue_json,
                 objects,
                 keywords,
@@ -201,7 +255,15 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<WalEntry, LoadError> {
 #[derive(Debug)]
 pub(crate) struct VenueWal {
     path: PathBuf,
-    file: File,
+    file: Box<dyn StorageFile>,
+    /// Length of the clean record boundary: past bytes of every fully
+    /// acknowledged frame. A failed append truncates back to this, so a
+    /// partial frame never stays in a *live* log.
+    len: u64,
+    storage: Arc<dyn Storage>,
+    /// Set when a failed append could not be rolled back — the log tail
+    /// is in an unknown state and further appends must be refused.
+    poisoned: bool,
 }
 
 /// `dir/venue-<slot>.wal`.
@@ -218,23 +280,53 @@ pub(crate) fn slot_of_wal_name(name: &str) -> Option<usize> {
 }
 
 impl VenueWal {
-    /// Create (truncating) the log for `slot` with a fresh magic header.
-    pub fn create(dir: &Path, slot: usize) -> Result<VenueWal, PersistError> {
+    /// Create (truncating) the log for `slot` with a fresh magic header,
+    /// then fsync `dir` so the new file *name* is crash-durable (the
+    /// header content follows the append durability policy).
+    pub fn create(
+        storage: &Arc<dyn Storage>,
+        dir: &Path,
+        slot: usize,
+    ) -> Result<VenueWal, PersistError> {
         let path = wal_path(dir, slot);
-        let mut file = File::create(&path).map_err(|e| PersistError::io(&path, e))?;
-        file.write_all(WAL_MAGIC)
+        let mut file = storage
+            .create(&path)
             .map_err(|e| PersistError::io(&path, e))?;
-        Ok(VenueWal { path, file })
+        file.write_all(WAL_MAGIC)
+            .and_then(|_| file.flush())
+            .map_err(|e| PersistError::io(&path, e))?;
+        storage
+            .sync_dir(dir)
+            .map_err(|e| PersistError::io(dir, e))?;
+        Ok(VenueWal {
+            path,
+            file,
+            len: WAL_MAGIC.len() as u64,
+            storage: storage.clone(),
+            poisoned: false,
+        })
     }
 
     /// Open an existing (already repaired) log for appending.
-    pub fn open_append(dir: &Path, slot: usize) -> Result<VenueWal, PersistError> {
+    pub fn open_append(
+        storage: &Arc<dyn Storage>,
+        dir: &Path,
+        slot: usize,
+    ) -> Result<VenueWal, PersistError> {
         let path = wal_path(dir, slot);
-        let file = OpenOptions::new()
-            .append(true)
-            .open(&path)
+        let len = storage
+            .file_len(&path)
             .map_err(|e| PersistError::io(&path, e))?;
-        Ok(VenueWal { path, file })
+        let file = storage
+            .open_append(&path)
+            .map_err(|e| PersistError::io(&path, e))?;
+        Ok(VenueWal {
+            path,
+            file,
+            len,
+            storage: storage.clone(),
+            poisoned: false,
+        })
     }
 
     /// Append one record. The frame reaches the kernel in a single
@@ -244,27 +336,49 @@ impl VenueWal {
     /// even after the batch was acknowledged. A configurable
     /// sync-on-append policy is the ROADMAP's "durability hardening"
     /// item; until then the guarantee is process-crash durability.
+    ///
+    /// On failure the partial frame is truncated away, so the log stays
+    /// on a clean record boundary and the *next* append is well-formed.
+    /// If that rollback itself fails, the handle is **poisoned**: the
+    /// tail is unknowable and every further append is refused (the
+    /// service surfaces this as a `Degraded` shard).
     pub fn append(&mut self, lsn: u64, record: &WalRecord<'_>) -> Result<(), PersistError> {
+        if self.poisoned {
+            return Err(PersistError::io(
+                &self.path,
+                std::io::Error::other("journal poisoned by an earlier unrolled-back append"),
+            ));
+        }
         let payload = encode_record(lsn, record);
         let mut frame = Vec::with_capacity(payload.len() + 8);
         format::write_section(&mut frame, &payload);
-        self.file
-            .write_all(&frame)
-            .map_err(|e| PersistError::io(&self.path, e))
+        match self.file.write_all(&frame).and_then(|_| self.file.flush()) {
+            Ok(()) => {
+                self.len += frame.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                if self.storage.truncate(&self.path, self.len).is_err() {
+                    self.poisoned = true;
+                }
+                Err(PersistError::io(&self.path, e))
+            }
+        }
+    }
+
+    /// Whether a failed rollback left the tail in an unknown state.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 }
 
 /// Read every valid record of `path`, physically truncating a torn tail.
 /// Returns the entries plus whether a truncation happened.
-pub(crate) fn read_and_repair(path: &Path) -> Result<(Vec<WalEntry>, bool), PersistError> {
-    let mut file = OpenOptions::new()
-        .read(true)
-        .write(true)
-        .open(path)
-        .map_err(|e| PersistError::io(path, e))?;
-    let mut buf = Vec::new();
-    file.read_to_end(&mut buf)
-        .map_err(|e| PersistError::io(path, e))?;
+pub(crate) fn read_and_repair(
+    storage: &Arc<dyn Storage>,
+    path: &Path,
+) -> Result<(Vec<WalEntry>, bool), PersistError> {
+    let buf = storage.read(path).map_err(|e| PersistError::io(path, e))?;
 
     // A file shorter than the magic is a torn *header* — a crash between
     // creating the file and writing its 8 magic bytes (the same
@@ -273,10 +387,8 @@ pub(crate) fn read_and_repair(path: &Path) -> Result<(Vec<WalEntry>, bool), Pers
     // refusing to open the whole service. A full-length but wrong magic
     // stays an error: that is a different format, not a crash artefact.
     if buf.len() < 8 {
-        file.set_len(0).map_err(|e| PersistError::io(path, e))?;
-        file.seek(SeekFrom::Start(0))
-            .map_err(|e| PersistError::io(path, e))?;
-        file.write_all(WAL_MAGIC)
+        storage
+            .write(path, WAL_MAGIC)
             .map_err(|e| PersistError::io(path, e))?;
         return Ok((Vec::new(), true));
     }
@@ -296,7 +408,8 @@ pub(crate) fn read_and_repair(path: &Path) -> Result<(Vec<WalEntry>, bool), Pers
                 // Torn tail: drop the partial frame (and anything framed
                 // after it — frame boundaries past a bad frame are
                 // meaningless) so the next append starts clean.
-                file.set_len(frame_start as u64)
+                storage
+                    .truncate(path, frame_start as u64)
                     .map_err(|e| PersistError::io(path, e))?;
                 truncated = true;
                 break;
@@ -306,33 +419,57 @@ pub(crate) fn read_and_repair(path: &Path) -> Result<(Vec<WalEntry>, bool), Pers
     Ok((entries, truncated))
 }
 
+/// Why a [`rotate`] failed, split by blast radius.
+pub(crate) enum RotateFailure {
+    /// Failure before the rename: the old log and the caller's append
+    /// handle are both still valid — the rotation simply didn't happen.
+    Safe(PersistError),
+    /// Failure after the rename took effect: the caller's append handle
+    /// may point at the *replaced* (unlinked) log, so acknowledging
+    /// further appends through it would silently lose them. The caller
+    /// must stop journalling through that handle (degrade the shard).
+    HandleInvalidated(PersistError),
+}
+
+impl RotateFailure {
+    pub(crate) fn into_error(self) -> PersistError {
+        match self {
+            RotateFailure::Safe(e) | RotateFailure::HandleInvalidated(e) => e,
+        }
+    }
+}
+
 /// Rewrite the log for `slot` keeping only entries with `lsn >
 /// keep_after` (plus nothing else — `Create` at LSN 0 and every record
 /// the snapshot already covers are dropped), returning a fresh append
 /// handle. Kept records are copied as their **raw, already-CRC-valid
 /// frame bytes** — only the 8-byte LSN prefix of each payload is
 /// decoded, so rotation of a long suffix is a memcpy and can never
-/// rewrite (or drift) a record's encoding. Atomic: written to a temp
-/// file and renamed over the old log.
+/// rewrite (or drift) a record's encoding. Atomic and crash-durable:
+/// written to a temp file, fsynced, renamed over the old log, parent
+/// directory fsynced.
 pub(crate) fn rotate(
+    storage: &Arc<dyn Storage>,
     dir: &Path,
     slot: usize,
     keep_after: u64,
-) -> Result<(VenueWal, usize), PersistError> {
+) -> Result<(VenueWal, usize), RotateFailure> {
     let path = wal_path(dir, slot);
-    let buf = std::fs::read(&path).map_err(|e| PersistError::io(&path, e))?;
+    let buf = storage
+        .read(&path)
+        .map_err(|e| RotateFailure::Safe(PersistError::io(&path, e)))?;
     let mut pos = 0usize;
     let mut out = Vec::from(WAL_MAGIC.as_slice());
     let mut dropped = 0usize;
     if buf.len() >= 8 {
-        format::read_magic(&buf, &mut pos, WAL_MAGIC, &path)?;
+        format::read_magic(&buf, &mut pos, WAL_MAGIC, &path).map_err(RotateFailure::Safe)?;
         loop {
             let frame_start = pos;
             match format::read_frame(&buf, &mut pos) {
                 FrameRead::Frame(payload) => {
                     let lsn = WireReader::new(payload)
                         .get_u64("record LSN")
-                        .map_err(|e| PersistError::load(&path, e))?;
+                        .map_err(|e| RotateFailure::Safe(PersistError::load(&path, e)))?;
                     if lsn > keep_after {
                         out.extend_from_slice(&buf[frame_start..pos]);
                     } else {
@@ -347,8 +484,21 @@ pub(crate) fn rotate(
         }
     }
     let tmp = dir.join(format!("venue-{slot}.wal.tmp"));
-    std::fs::write(&tmp, &out).map_err(|e| PersistError::io(&tmp, e))?;
-    std::fs::rename(&tmp, &path).map_err(|e| PersistError::io(&path, e))?;
-    let wal = VenueWal::open_append(dir, slot)?;
+    storage
+        .write(&tmp, &out)
+        .map_err(|e| RotateFailure::Safe(PersistError::io(&tmp, e)))?;
+    storage
+        .sync_file(&tmp)
+        .map_err(|e| RotateFailure::Safe(PersistError::io(&tmp, e)))?;
+    storage
+        .rename(&tmp, &path)
+        .map_err(|e| RotateFailure::Safe(PersistError::io(&path, e)))?;
+    // Past the rename, the old append handle may point at the unlinked
+    // pre-rotation log — failures from here invalidate it.
+    storage
+        .sync_dir(dir)
+        .map_err(|e| RotateFailure::HandleInvalidated(PersistError::io(dir, e)))?;
+    let wal =
+        VenueWal::open_append(storage, dir, slot).map_err(RotateFailure::HandleInvalidated)?;
     Ok((wal, dropped))
 }

@@ -1,6 +1,7 @@
 //! Multi-venue serving front-end: a router of typed query requests over
 //! per-venue [`QueryEngine`] shards, fronted by a bounded, version-keyed
-//! result cache and per-query-kind counters.
+//! result cache, per-query-kind counters, and per-shard admission
+//! control.
 //!
 //! A deployment rarely serves one building: a campus directory answers
 //! kNN lookups for one venue while routing evacuation paths in another.
@@ -46,6 +47,31 @@
 //! evicts unreferenced entries once `cache_capacity` is reached, with
 //! eviction counts surfaced through [`ServiceStats`].
 //!
+//! # Durability and degradation
+//!
+//! On a durable service ([`IndoorService::open`]) every mutation is
+//! **journal-before-apply**: the WAL record at `LSN = version + 1` is
+//! written first, and only on success does the in-memory snapshot swap
+//! and the version bump. A failed append therefore leaves the shard
+//! exactly as it was — surfaced as [`ServiceError::Persist`] — and
+//! memory can never run ahead of the log. If even the rollback of a
+//! partial append fails (the log's tail is in an unknown state), the
+//! shard poisons itself: reads keep serving the last good snapshot, but
+//! every further mutation fails with [`ServiceError::Degraded`] rather
+//! than acknowledging writes the log does not hold. DESIGN.md §11 states
+//! the full fault model.
+//!
+//! # Overload admission
+//!
+//! Each shard optionally bounds its in-flight queries
+//! ([`AdmissionConfig`]): beyond `max_in_flight`, arrivals are shed
+//! ([`ServiceError::Overloaded`]) or parked up to a deadline
+//! ([`OverloadPolicy::Block`], failing with [`ServiceError::Timeout`]).
+//! Batches admit with the weight of their slot share, so a saturated
+//! shard sheds whole batch shares instead of admitting unbounded work.
+//! Shed/timeout counts and live occupancy surface through
+//! [`ServiceStats`].
+//!
 //! # Concurrency
 //!
 //! The offline container bans tokio; batches fan out with hand-rolled
@@ -54,10 +80,12 @@
 //! their input slot, so output order is the input order regardless of
 //! shard scheduling.
 
-use crate::exec::QueryEngine;
+use crate::exec::{AdmissionGate, AdmissionPermit, AdmitError, QueryEngine};
 use crate::keywords::KeywordObjects;
 use crate::objects::{DeltaReport, ObjectIndex};
-use crate::persist::wal::{VenueWal, WalRecord, LSN_CREATE, LSN_REMOVE};
+use crate::persist::storage::{OsStorage, Storage, StorageLock};
+use crate::persist::wal::{self, VenueWal, WalRecord, LSN_CREATE, LSN_REMOVE};
+use crate::persist::PersistError;
 use crate::tree::{BuildError, VipTreeConfig};
 use crate::vip::VipTree;
 use indoor_model::{
@@ -179,6 +207,41 @@ impl ClockCache {
     }
 }
 
+/// What a shard does with arrivals beyond its in-flight budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Fail fast with [`ServiceError::Overloaded`] — the caller retries,
+    /// degrades, or routes elsewhere. The right default for latency-bound
+    /// front-ends: a shed request costs microseconds, a queued one costs
+    /// the whole backlog.
+    Shed,
+    /// Park the arrival until capacity frees, up to `timeout`; then fail
+    /// with [`ServiceError::Timeout`]. For callers that prefer bounded
+    /// waiting over retry loops.
+    Block { timeout: Duration },
+}
+
+/// Per-venue admission control: a bound on concurrently executing
+/// queries (batch shares weigh their slot count) plus the overload
+/// policy. Persisted with the venue on a durable service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum in-flight query weight; **0 = unbounded** (no gate at
+    /// all — the un-gated fast path is exactly the pre-admission code).
+    pub max_in_flight: usize,
+    /// What to do at the bound.
+    pub policy: OverloadPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_in_flight: 0,
+            policy: OverloadPolicy::Shed,
+        }
+    }
+}
+
 /// Per-venue construction parameters for [`IndoorService::add_venue`].
 #[derive(Debug, Clone, Default)]
 pub struct ShardConfig {
@@ -195,10 +258,12 @@ pub struct ShardConfig {
     pub keywords: Vec<(IndoorPoint, Vec<String>)>,
     /// Result-cache capacity in entries (0 = [`DEFAULT_CACHE_CAPACITY`]).
     pub cache_capacity: usize,
+    /// In-flight query budget and overload policy (default: unbounded).
+    pub admission: AdmissionConfig,
 }
 
 /// Errors from routing requests to venue shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum ServiceError {
     /// The request named a venue id no shard is registered under (never
     /// registered, or removed).
@@ -206,6 +271,32 @@ pub enum ServiceError {
     /// An object delta batch failed validation; the venue's object set is
     /// untouched.
     Delta(VenueId, DeltaError),
+    /// Venue index construction failed ([`IndoorService::add_venue`]).
+    Build(BuildError),
+    /// A durable mutation could not be journalled; it was **not**
+    /// applied — the venue still serves its previous state
+    /// (journal-before-apply).
+    Persist(VenueId, Arc<PersistError>),
+    /// The shard's journal is in an unknown state (a failed append could
+    /// not be rolled back, or a WAL rotation broke its append handle):
+    /// the venue serves reads from its last good snapshot but refuses
+    /// every mutation. Recover by restarting ([`IndoorService::open`]
+    /// replays the verified log).
+    Degraded(VenueId, Arc<str>),
+    /// Shed at admission: the venue's in-flight budget was full
+    /// ([`OverloadPolicy::Shed`]). The query did not execute.
+    Overloaded {
+        venue: VenueId,
+        in_flight: usize,
+        limit: usize,
+    },
+    /// The venue's in-flight budget stayed full for the whole
+    /// [`OverloadPolicy::Block`] timeout. The query did not execute.
+    Timeout {
+        venue: VenueId,
+        in_flight: usize,
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -213,11 +304,82 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownVenue(v) => write!(f, "no venue registered under id {v}"),
             ServiceError::Delta(v, e) => write!(f, "object delta rejected for venue {v}: {e}"),
+            ServiceError::Build(e) => write!(f, "cannot build venue index: {e}"),
+            ServiceError::Persist(v, e) => {
+                write!(f, "durable mutation of venue {v} not journalled: {e}")
+            }
+            ServiceError::Degraded(v, reason) => {
+                write!(f, "venue {v} is degraded (read-only): {reason}")
+            }
+            ServiceError::Overloaded {
+                venue,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "venue {venue} overloaded: {in_flight} in flight at limit {limit}, request shed"
+            ),
+            ServiceError::Timeout {
+                venue,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "venue {venue} admission timed out: {in_flight} in flight at limit {limit}"
+            ),
         }
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Persist(_, e) => Some(e.as_ref()),
+            ServiceError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for ServiceError {
+    fn eq(&self, other: &ServiceError) -> bool {
+        use ServiceError::*;
+        match (self, other) {
+            (UnknownVenue(a), UnknownVenue(b)) => a == b,
+            (Delta(v, e), Delta(w, f)) => v == w && e == f,
+            (Build(a), Build(b)) => a == b,
+            // PersistError is not PartialEq (it wraps io::Error); the
+            // rendered message is the observable identity.
+            (Persist(v, e), Persist(w, f)) => v == w && e.to_string() == f.to_string(),
+            (Degraded(v, r), Degraded(w, s)) => v == w && r == s,
+            (
+                Overloaded {
+                    venue: v,
+                    in_flight: i,
+                    limit: l,
+                },
+                Overloaded {
+                    venue: w,
+                    in_flight: j,
+                    limit: m,
+                },
+            ) => v == w && i == j && l == m,
+            (
+                Timeout {
+                    venue: v,
+                    in_flight: i,
+                    limit: l,
+                },
+                Timeout {
+                    venue: w,
+                    in_flight: j,
+                    limit: m,
+                },
+            ) => v == w && i == j && l == m,
+            _ => false,
+        }
+    }
+}
 
 /// A shard's swappable serving state. Captured (engine + version) under
 /// one read-lock acquisition so answers are always stamped with the
@@ -239,6 +401,17 @@ pub(crate) struct Serving {
     pub(crate) version: u64,
 }
 
+/// A shard's admission state: the optional gate plus shed/timeout tallies.
+#[derive(Debug)]
+struct AdmissionControl {
+    config: AdmissionConfig,
+    /// `None` when `max_in_flight` is 0 — unbounded shards pay zero
+    /// admission cost.
+    gate: Option<AdmissionGate>,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+}
+
 /// One venue's serving state.
 #[derive(Debug)]
 pub(crate) struct Shard {
@@ -246,17 +419,139 @@ pub(crate) struct Shard {
     pub(crate) cache: Mutex<ClockCache>,
     /// The shard's WAL append handle (`None` on a volatile service) —
     /// and, crucially, the **mutation-ordering lock**: every mutating
-    /// path holds it across *apply + version bump + WAL append*, so log
+    /// path holds it across *WAL append + apply + version bump*, so log
     /// order is apply order (the LSN = version invariant), and a
     /// snapshot capture under the same lock is a consistent cut of that
     /// order. Queries never take it.
     pub(crate) journal: Mutex<Option<VenueWal>>,
+    /// `Some(reason)` once the shard has entered read-only degraded mode
+    /// (its journal can no longer be trusted). Sticky until restart.
+    degraded: Mutex<Option<Arc<str>>>,
+    admission: AdmissionControl,
 }
 
 impl Shard {
+    pub(crate) fn new(
+        engine: Arc<QueryEngine>,
+        epoch: u64,
+        version: u64,
+        cache_capacity: usize,
+        admission: AdmissionConfig,
+    ) -> Shard {
+        let capacity = if cache_capacity == 0 {
+            DEFAULT_CACHE_CAPACITY
+        } else {
+            cache_capacity
+        };
+        Shard {
+            serving: RwLock::new(Serving {
+                engine,
+                epoch,
+                version,
+            }),
+            cache: Mutex::new(ClockCache::new(capacity)),
+            journal: Mutex::new(None),
+            degraded: Mutex::new(None),
+            admission: AdmissionControl {
+                gate: (admission.max_in_flight > 0)
+                    .then(|| AdmissionGate::new(admission.max_in_flight)),
+                config: admission,
+                shed: AtomicU64::new(0),
+                timeouts: AtomicU64::new(0),
+            },
+        }
+    }
+
     /// The currently serving engine.
     pub(crate) fn engine(&self) -> Arc<QueryEngine> {
         self.serving.read().expect("serving lock").engine.clone()
+    }
+
+    /// This shard's admission configuration (persisted by snapshots).
+    pub(crate) fn admission_config(&self) -> AdmissionConfig {
+        self.admission.config
+    }
+
+    /// Enter read-only degraded mode. Sticky: the first reason wins and
+    /// later failures do not overwrite it.
+    pub(crate) fn degrade(&self, reason: impl Into<String>) {
+        let mut d = self.degraded.lock().expect("degraded lock");
+        if d.is_none() {
+            *d = Some(Arc::from(reason.into()));
+        }
+    }
+
+    pub(crate) fn degraded_reason(&self) -> Option<Arc<str>> {
+        self.degraded.lock().expect("degraded lock").clone()
+    }
+
+    /// Take an admission permit of `weight`, or the typed overload error.
+    /// `Ok(None)` means the shard is unbounded.
+    fn admit(
+        &self,
+        venue: VenueId,
+        weight: usize,
+    ) -> Result<Option<AdmissionPermit<'_>>, ServiceError> {
+        let Some(gate) = &self.admission.gate else {
+            return Ok(None);
+        };
+        let attempt = match self.admission.config.policy {
+            OverloadPolicy::Shed => gate.try_admit(weight),
+            OverloadPolicy::Block { timeout } => gate.admit_within(weight, timeout),
+        };
+        attempt.map(Some).map_err(|e| match e {
+            AdmitError::Overloaded { in_flight, limit } => {
+                self.admission.shed.fetch_add(1, Ordering::Relaxed);
+                ServiceError::Overloaded {
+                    venue,
+                    in_flight,
+                    limit,
+                }
+            }
+            AdmitError::Timeout { in_flight, limit } => {
+                self.admission.timeouts.fetch_add(1, Ordering::Relaxed);
+                ServiceError::Timeout {
+                    venue,
+                    in_flight,
+                    limit,
+                }
+            }
+        })
+    }
+}
+
+/// Refuse mutations on a degraded shard (reads stay open).
+fn ensure_writable(shard: &Shard, venue: VenueId) -> Result<(), ServiceError> {
+    match shard.degraded_reason() {
+        Some(reason) => Err(ServiceError::Degraded(venue, reason)),
+        None => Ok(()),
+    }
+}
+
+/// Append one record to the shard's journal (no-op when volatile). On
+/// failure the caller's mutation **must not** be applied; if the append's
+/// own rollback also failed the journal is poisoned and the shard drops
+/// into degraded mode here.
+fn journal_append(
+    shard: &Shard,
+    journal: &mut Option<VenueWal>,
+    venue: VenueId,
+    lsn: u64,
+    record: &WalRecord<'_>,
+) -> Result<(), ServiceError> {
+    let Some(wal) = journal.as_mut() else {
+        return Ok(());
+    };
+    match wal.append(lsn, record) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            if wal.poisoned() {
+                shard.degrade(format!(
+                    "WAL append of LSN {lsn} failed and its rollback failed: {e}"
+                ));
+            }
+            Err(ServiceError::Persist(venue, Arc::new(e)))
+        }
     }
 }
 
@@ -340,6 +635,18 @@ pub struct ServiceStats {
     pub cache_capacity: usize,
     /// Clock-eviction count summed over shards.
     pub evictions: u64,
+    /// In-flight query weight currently admitted, summed over bounded
+    /// shards (unbounded shards report 0 — they do not track occupancy).
+    pub in_flight: usize,
+    /// Admission capacity summed over bounded shards.
+    pub admission_capacity: usize,
+    /// Requests shed at admission ([`OverloadPolicy::Shed`]).
+    pub shed: u64,
+    /// Requests that timed out waiting for admission
+    /// ([`OverloadPolicy::Block`]).
+    pub admission_timeouts: u64,
+    /// Venues in read-only degraded mode.
+    pub degraded_venues: usize,
     /// Per-kind counters, indexed by [`QueryKind::index`].
     pub kinds: [KindStats; QueryKind::COUNT],
 }
@@ -406,12 +713,16 @@ impl ServiceStats {
 ///     .unwrap();
 /// assert_eq!(service.version(id).unwrap(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IndoorService {
     /// Slot = `VenueId`; removed venues leave a `None` (ids are never
     /// reused, so a stale id can never alias a new venue).
     pub(crate) shards: RwLock<Vec<Option<Arc<Shard>>>>,
     pub(crate) counters: [KindCounters; QueryKind::COUNT],
+    /// Every byte of persistence I/O routes through here —
+    /// [`OsStorage`] in production, a fault-injecting test double in the
+    /// crash-consistency tests.
+    pub(crate) storage: Arc<dyn Storage>,
     /// Durability directory ([`IndoorService::open`]); `None` for a
     /// volatile service. When set, every mutation journals into
     /// per-venue WALs under this directory.
@@ -420,12 +731,24 @@ pub struct IndoorService {
     /// save/rotation and durable venue registration (which publishes a
     /// slot in two steps). Never taken by queries or per-venue mutations.
     pub(crate) persist_lock: Mutex<()>,
-    /// OS advisory lock on the durability directory's `.lock` file, held
+    /// Advisory lock on the durability directory's `.lock` file, held
     /// for the service's lifetime so a second `open` of the same
-    /// directory fails instead of interleaving WAL appends. Released by
-    /// the OS when the handle drops (so a crash never leaves a stale
-    /// lock).
-    pub(crate) _persist_dir_lock: Option<std::fs::File>,
+    /// directory fails instead of interleaving WAL appends. Released
+    /// when the handle drops (so a crash never leaves a stale lock).
+    pub(crate) _persist_dir_lock: Option<Box<dyn StorageLock>>,
+}
+
+impl Default for IndoorService {
+    fn default() -> IndoorService {
+        IndoorService {
+            shards: RwLock::default(),
+            counters: Default::default(),
+            storage: Arc::new(OsStorage),
+            persist_root: None,
+            persist_lock: Mutex::new(()),
+            _persist_dir_lock: None,
+        }
+    }
 }
 
 impl IndoorService {
@@ -439,8 +762,17 @@ impl IndoorService {
     /// are attached before the shard serves its first query. The build
     /// runs outside the shard-map lock, so a live service keeps serving
     /// every existing venue while a new one is constructed.
-    pub fn add_venue(&self, venue: Arc<Venue>, config: ShardConfig) -> Result<VenueId, BuildError> {
-        let tree = VipTree::build(venue.clone(), &config.tree)?;
+    ///
+    /// On a durable service the venue's birth is journalled before the
+    /// shard is published; a journalling failure returns
+    /// [`ServiceError::Persist`] with the venue unregistered (its
+    /// reserved id stays burned — ids are never reused).
+    pub fn add_venue(
+        &self,
+        venue: Arc<Venue>,
+        config: ShardConfig,
+    ) -> Result<VenueId, ServiceError> {
+        let tree = VipTree::build(venue.clone(), &config.tree).map_err(ServiceError::Build)?;
         if !config.objects.is_empty() {
             tree.attach_objects(&config.objects);
         }
@@ -454,15 +786,13 @@ impl IndoorService {
         } else {
             config.cache_capacity
         };
-        let shard = Arc::new(Shard {
-            serving: RwLock::new(Serving {
-                engine: Arc::new(engine),
-                epoch: 0,
-                version: 0,
-            }),
-            cache: Mutex::new(ClockCache::new(capacity)),
-            journal: Mutex::new(None),
-        });
+        let shard = Arc::new(Shard::new(
+            Arc::new(engine),
+            0,
+            0,
+            capacity,
+            config.admission,
+        ));
         let Some(root) = &self.persist_root else {
             let mut shards = self.shards.write().expect("shard map lock");
             let id = VenueId::from(shards.len());
@@ -473,12 +803,12 @@ impl IndoorService {
         // to rebuild this shard if no snapshot ever covers it. The file
         // I/O must not run under the shard-map write lock (it would stall
         // query routing to *every* venue), so the slot is reserved first
-        // (pushed as `None` — unroutable, and burned if the journal write
-        // panics, consistent with ids never being reused) and the shard
-        // published after the Create record is durable. `persist_lock`
-        // excludes a concurrent `save_snapshot` from observing the
-        // reserved-but-unpublished slot and deleting the fresh log as a
-        // removed venue's.
+        // (pushed as `None` — unroutable, and burned if journalling
+        // fails, consistent with ids never being reused) and the shard
+        // published only after the Create record is written.
+        // `persist_lock` excludes a concurrent `save_snapshot` from
+        // observing the reserved-but-unpublished slot and deleting the
+        // fresh log as a removed venue's.
         let _persist = self.persist_lock.lock().expect("persist lock");
         let mut venue_json = Vec::new();
         venue
@@ -490,19 +820,31 @@ impl IndoorService {
             shards.push(None);
             id
         };
-        let mut wal = VenueWal::create(root, id.index()).expect("WAL create");
-        wal.append(
-            LSN_CREATE,
-            &WalRecord::Create {
-                tree: &config.tree,
-                engine_threads: config.threads,
-                cache_capacity: capacity,
-                venue_json: &venue_json,
-                objects: &config.objects,
-                keywords: &config.keywords,
-            },
-        )
-        .expect("WAL append");
+        let record = WalRecord::Create {
+            tree: &config.tree,
+            engine_threads: config.threads,
+            cache_capacity: capacity,
+            admission: &config.admission,
+            venue_json: &venue_json,
+            objects: &config.objects,
+            keywords: &config.keywords,
+        };
+        let created = VenueWal::create(&self.storage, root, id.index())
+            .and_then(|mut wal| wal.append(LSN_CREATE, &record).map(|()| wal));
+        let wal = match created {
+            Ok(wal) => wal,
+            Err(e) => {
+                // Best-effort cleanup of the partial log: recovery would
+                // treat a magic-only or torn-tailed log as an empty slot
+                // anyway, this just keeps the directory tidy.
+                let path = wal::wal_path(root, id.index());
+                if self.storage.exists(&path) {
+                    let _ = self.storage.remove_file(&path);
+                    let _ = self.storage.sync_dir(root);
+                }
+                return Err(ServiceError::Persist(id, Arc::new(e)));
+            }
+        };
         *shard.journal.lock().expect("journal lock") = Some(wal);
         self.shards.write().expect("shard map lock")[id.index()] = Some(shard);
         Ok(id)
@@ -511,7 +853,8 @@ impl IndoorService {
     /// Unregister a venue. Its id is never reused; in-flight batches that
     /// already routed to the shard finish normally. On a durable service
     /// the removal is journalled (LSN `u64::MAX`, so it replays no matter
-    /// when the last snapshot was taken) and survives a restart.
+    /// when the last snapshot was taken) and survives a restart — and a
+    /// journalling failure leaves the venue registered and serving.
     pub fn remove_venue(&self, venue: VenueId) -> Result<(), ServiceError> {
         // Journal the removal before unrouting, and outside the map write
         // lock (file I/O must not stall query routing). If a concurrent
@@ -520,10 +863,8 @@ impl IndoorService {
         // replay (the venue is gone either way).
         let shard = self.shard(venue)?;
         let mut journal = shard.journal.lock().expect("journal lock");
-        if let Some(wal) = journal.as_mut() {
-            wal.append(LSN_REMOVE, &WalRecord::Remove)
-                .expect("WAL append");
-        }
+        ensure_writable(&shard, venue)?;
+        journal_append(&shard, &mut journal, venue, LSN_REMOVE, &WalRecord::Remove)?;
         drop(journal);
         let mut shards = self.shards.write().expect("shard map lock");
         match shards.get_mut(venue.index()) {
@@ -595,6 +936,14 @@ impl IndoorService {
             .version)
     }
 
+    /// Why a venue is read-only, if it is. `None` = serving mutations
+    /// normally. A degraded venue keeps answering queries from its last
+    /// good snapshot; restart the service to recover it from the
+    /// verified log.
+    pub fn degraded(&self, venue: VenueId) -> Result<Option<String>, ServiceError> {
+        Ok(self.shard(venue)?.degraded_reason().map(|r| r.to_string()))
+    }
+
     fn shard(&self, venue: VenueId) -> Result<Arc<Shard>, ServiceError> {
         self.shards
             .read()
@@ -606,13 +955,13 @@ impl IndoorService {
 
     /// Replace a venue's object set wholesale (§3.4 overnight churn).
     ///
-    /// The replacement index is built outside every lock, swapped into
-    /// the shared tree, and the rebuild epoch + object version bump —
-    /// making every previously cached object answer unreachable. The
-    /// keyword index is untouched (it has its own object set; see
-    /// [`IndoorService::update_keyword_objects`]). Runs under `&self`:
-    /// concurrent queries finish on the snapshot they started with, and
-    /// other venues never notice.
+    /// The replacement index is built outside every lock, journalled,
+    /// swapped into the shared tree, and the rebuild epoch + object
+    /// version bump — making every previously cached object answer
+    /// unreachable. The keyword index is untouched (it has its own
+    /// object set; see [`IndoorService::update_keyword_objects`]). Runs
+    /// under `&self`: concurrent queries finish on the snapshot they
+    /// started with, and other venues never notice.
     pub fn attach_objects(
         &self,
         venue: VenueId,
@@ -623,18 +972,23 @@ impl IndoorService {
         // Built outside every lock; `install_objects` swaps and bumps the
         // tree's object generation — queries never stall on the build.
         let oi = ObjectIndex::build(engine.tree().ip(), objects);
-        // Journal lock held across apply + bump + append: LSN = version.
+        // Journal lock held across append + apply + bump: LSN = version,
+        // and journal-before-apply — a failed append changes nothing.
         let mut journal = shard.journal.lock().expect("journal lock");
+        ensure_writable(&shard, venue)?;
+        let lsn = shard.serving.read().expect("serving lock").version + 1;
+        journal_append(
+            &shard,
+            &mut journal,
+            venue,
+            lsn,
+            &WalRecord::Attach(objects),
+        )?;
         engine.tree().ip().install_objects(oi);
         let mut s = shard.serving.write().expect("serving lock");
         s.epoch += 1;
-        s.version += 1;
-        let version = s.version;
+        s.version = lsn;
         drop(s);
-        if let Some(wal) = journal.as_mut() {
-            wal.append(version, &WalRecord::Attach(objects))
-                .expect("WAL append");
-        }
         drop(journal);
         // Memory hygiene only — correctness is carried by the stamps.
         shard.cache.lock().expect("cache poisoned").clear();
@@ -649,35 +1003,33 @@ impl IndoorService {
     /// the rebuild counter — does not), cached object answers go
     /// structurally stale, and cached shortest-distance/path answers
     /// survive untouched. Validation is atomic: an invalid batch leaves
-    /// the venue unchanged.
+    /// the venue unchanged — and so does a batch whose WAL record fails
+    /// to journal (the prepared snapshot is discarded unpublished).
     pub fn update_objects(
         &self,
         venue: VenueId,
         deltas: &[ObjectDelta],
     ) -> Result<DeltaReport, ServiceError> {
         let shard = self.shard(venue)?;
-        // Journal lock held across apply + bump + append so log order is
-        // apply order (LSN = version); a rejected batch journals nothing.
-        // Still applied outside the serving lock: the tree serialises
-        // updaters itself and its generation counter carries the cache
-        // stamps, so the copy-on-write clone never gates this venue's
-        // queries.
+        // Journal lock held across append + apply + bump so log order is
+        // apply order (LSN = version); a rejected batch journals nothing,
+        // an unjournalled batch applies nothing. Still applied outside
+        // the serving lock: the tree serialises updaters itself and its
+        // generation counter carries the cache stamps, so the
+        // copy-on-write clone never gates this venue's queries.
         let mut journal = shard.journal.lock().expect("journal lock");
-        let report = shard
-            .engine()
+        ensure_writable(&shard, venue)?;
+        let engine = shard.engine();
+        let prepared = engine
             .tree()
             .ip()
-            .apply_object_deltas(deltas)
+            .prepare_object_deltas(deltas)
             .map_err(|e| ServiceError::Delta(venue, e))?;
-        let version = {
-            let mut s = shard.serving.write().expect("serving lock");
-            s.version += 1;
-            s.version
-        };
-        if let Some(wal) = journal.as_mut() {
-            wal.append(version, &WalRecord::Deltas(deltas))
-                .expect("WAL append");
-        }
+        let lsn = shard.serving.read().expect("serving lock").version + 1;
+        journal_append(&shard, &mut journal, venue, lsn, &WalRecord::Deltas(deltas))?;
+        let report = prepared.install();
+        shard.serving.write().expect("serving lock").version = lsn;
+        drop(journal);
         Ok(report)
     }
 
@@ -685,8 +1037,8 @@ impl IndoorService {
     /// from empty if the venue has none), re-threading inverted lists for
     /// the touched objects only. Bumps the object version like
     /// [`IndoorService::update_objects`]. Keyword updaters are serialised
-    /// under the serving write lock (the keyword index has no tree-side
-    /// updater mutex), so concurrent keyword batches never lose deltas.
+    /// under the journal lock (the keyword index has no tree-side updater
+    /// mutex), so concurrent keyword batches never lose deltas.
     pub fn update_keyword_objects(
         &self,
         venue: VenueId,
@@ -694,23 +1046,26 @@ impl IndoorService {
     ) -> Result<DeltaReport, ServiceError> {
         let shard = self.shard(venue)?;
         let mut journal = shard.journal.lock().expect("journal lock");
-        let mut s = shard.serving.write().expect("serving lock");
-        let tree_ip = s.engine.tree().ip();
-        let mut kw = match s.engine.keywords() {
+        ensure_writable(&shard, venue)?;
+        let engine = shard.engine();
+        let tree_ip = engine.tree().ip();
+        let mut kw = match engine.keywords() {
             Some(kw) => (*kw).clone(),
             None => KeywordObjects::build(tree_ip, &[]),
         };
         let report = kw
             .apply_delta(tree_ip, updates)
             .map_err(|e| ServiceError::Delta(venue, e))?;
-        s.engine.set_keywords(Some(Arc::new(kw)));
-        s.version += 1;
-        let version = s.version;
-        drop(s);
-        if let Some(wal) = journal.as_mut() {
-            wal.append(version, &WalRecord::KeywordUpdates(updates))
-                .expect("WAL append");
-        }
+        let lsn = shard.serving.read().expect("serving lock").version + 1;
+        journal_append(
+            &shard,
+            &mut journal,
+            venue,
+            lsn,
+            &WalRecord::KeywordUpdates(updates),
+        )?;
+        engine.set_keywords(Some(Arc::new(kw)));
+        shard.serving.write().expect("serving lock").version = lsn;
         drop(journal);
         Ok(report)
     }
@@ -725,13 +1080,18 @@ impl IndoorService {
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    /// Answer one request for one venue, through the cache.
+    /// Answer one request for one venue, through the admission gate and
+    /// the cache. A shed or timed-out request returns the typed overload
+    /// error without executing (cache probes count as execution: a hit
+    /// still takes a permit — admission bounds *work started*, and probe
+    /// cost is work).
     pub fn execute(
         &self,
         venue: VenueId,
         req: &QueryRequest,
     ) -> Result<QueryResponse, ServiceError> {
         let shard = self.shard(venue)?;
+        let _permit = shard.admit(venue, 1)?;
         let t0 = Instant::now();
         let engine = shard.engine();
         // Stamps captured before computing: the answer is never stamped
@@ -759,11 +1119,14 @@ impl IndoorService {
 
     /// Answer a heterogeneous multi-venue batch; slot `i` answers
     /// `reqs[i]`, identical to calling [`IndoorService::execute`] per
-    /// slot (unknown venues answer `Err` without disturbing the rest).
+    /// slot (unknown venues answer `Err` without disturbing the rest,
+    /// and a saturated venue sheds its whole batch share — every slot
+    /// routed to it answers the overload error).
     ///
-    /// One scoped worker per venue shard with work; each answers its
-    /// slots (cache first, then one engine batch over the misses) and
-    /// streams `(slot, response)` back over an mpsc channel.
+    /// One scoped worker per venue shard with work; each admits its slot
+    /// share's weight, answers its slots (cache first, then one engine
+    /// batch over the misses) and streams `(slot, result)` back over an
+    /// mpsc channel.
     pub fn execute_batch(
         &self,
         reqs: &[(VenueId, QueryRequest)],
@@ -780,20 +1143,21 @@ impl IndoorService {
             }
         }
 
-        let (tx, rx) = mpsc::channel::<(usize, QueryResponse)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<QueryResponse, ServiceError>)>();
         std::thread::scope(|scope| {
-            for (shard, slots) in shards.iter().zip(&by_shard) {
+            for (index, (shard, slots)) in shards.iter().zip(&by_shard).enumerate() {
                 let Some(shard) = shard else { continue };
                 if slots.is_empty() {
                     continue;
                 }
+                let venue = VenueId::from(index);
                 let tx = tx.clone();
-                scope.spawn(move || self.serve_shard_slots(shard, slots, reqs, &tx));
+                scope.spawn(move || self.serve_shard_slots(shard, venue, slots, reqs, &tx));
             }
             drop(tx);
             for (slot, resp) in rx {
                 debug_assert!(out[slot].is_none(), "slot answered twice");
-                out[slot] = Some(Ok(resp));
+                out[slot] = Some(resp);
             }
         });
         out.into_iter()
@@ -805,10 +1169,24 @@ impl IndoorService {
     fn serve_shard_slots(
         &self,
         shard: &Shard,
+        venue: VenueId,
         slots: &[usize],
         reqs: &[(VenueId, QueryRequest)],
-        tx: &mpsc::Sender<(usize, QueryResponse)>,
+        tx: &mpsc::Sender<(usize, Result<QueryResponse, ServiceError>)>,
     ) {
+        // The whole slot share admits as one unit (weight = slot count):
+        // a saturated shard rejects the share up front instead of
+        // starting unbounded work. Oversized shares still admit on an
+        // idle gate, so `max_in_flight` never deadlocks a big batch.
+        let _permit = match shard.admit(venue, slots.len()) {
+            Ok(permit) => permit,
+            Err(e) => {
+                for &slot in slots {
+                    let _ = tx.send((slot, Err(e.clone())));
+                }
+                return;
+            }
+        };
         // One consistent snapshot for the whole batch share, stamps
         // captured before any computation.
         let engine = shard.engine();
@@ -833,7 +1211,7 @@ impl IndoorService {
             let per_hit = t0.elapsed() / hits.len() as u32;
             for (slot, resp) in hits {
                 self.record(reqs[slot].1.kind(), true, per_hit);
-                let _ = tx.send((slot, resp));
+                let _ = tx.send((slot, Ok(resp)));
             }
         }
         if miss_slots.is_empty() {
@@ -862,13 +1240,14 @@ impl IndoorService {
         for (req, resp) in unique.iter().zip(resps) {
             for &slot in &slots_of[req] {
                 self.record(req.kind(), false, per_query);
-                let _ = tx.send((slot, resp.clone()));
+                let _ = tx.send((slot, Ok(resp.clone())));
             }
             cache.insert(req.clone(), stamps.for_kind(req.kind()), resp);
         }
     }
 
-    /// Snapshot the per-kind counters and cache occupancy.
+    /// Snapshot the per-kind counters, cache occupancy, admission gauges
+    /// and degradation state.
     pub fn stats(&self) -> ServiceStats {
         let kinds = QueryKind::ALL.map(|kind| {
             let c = &self.counters[kind.index()];
@@ -890,17 +1269,37 @@ impl IndoorService {
         let mut cached_entries = 0;
         let mut cache_capacity = 0;
         let mut evictions = 0;
+        let mut in_flight = 0;
+        let mut admission_capacity = 0;
+        let mut shed = 0;
+        let mut admission_timeouts = 0;
+        let mut degraded_venues = 0;
         for shard in &shards {
             let cache = shard.cache.lock().expect("cache poisoned");
             cached_entries += cache.map.len();
             cache_capacity += cache.capacity;
             evictions += cache.evictions;
+            drop(cache);
+            if let Some(gate) = &shard.admission.gate {
+                in_flight += gate.in_flight();
+                admission_capacity += gate.limit();
+            }
+            shed += shard.admission.shed.load(Ordering::Relaxed);
+            admission_timeouts += shard.admission.timeouts.load(Ordering::Relaxed);
+            if shard.degraded_reason().is_some() {
+                degraded_venues += 1;
+            }
         }
         ServiceStats {
             venues: shards.len(),
             cached_entries,
             cache_capacity,
             evictions,
+            in_flight,
+            admission_capacity,
+            shed,
+            admission_timeouts,
+            degraded_venues,
             kinds,
         }
     }
@@ -962,6 +1361,9 @@ mod tests {
         assert_eq!(stats.cache_capacity, DEFAULT_CACHE_CAPACITY);
         assert!((stats.kind(QueryKind::Knn).hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(stats.venues, 1);
+        // Unbounded shard: no admission gauges.
+        assert_eq!(stats.admission_capacity, 0);
+        assert_eq!(stats.shed, 0);
     }
 
     #[test]
@@ -1065,5 +1467,119 @@ mod tests {
         cache.insert(reqs[2].clone(), 1, resp);
         assert_eq!(cache.map.len(), 2);
         assert!(cache.probe(&reqs[2], 1).is_some());
+    }
+
+    #[test]
+    fn saturated_shard_sheds_with_typed_error_and_counts() {
+        let venue = Arc::new(random_venue(31));
+        let service = IndoorService::new();
+        let id = service
+            .add_venue(
+                venue.clone(),
+                ShardConfig {
+                    threads: 1,
+                    objects: workload::place_objects(&venue, 8, 5),
+                    admission: AdmissionConfig {
+                        max_in_flight: 1,
+                        policy: OverloadPolicy::Shed,
+                    },
+                    ..ShardConfig::default()
+                },
+            )
+            .unwrap();
+        let q = workload::query_points(&venue, 1, 7)[0];
+        let req = QueryRequest::Knn { q, k: 2 };
+        // Saturate the budget from outside, as a concurrent query would.
+        let shard = service.shard(id).unwrap();
+        let held = shard.admit(id, 1).unwrap();
+        assert_eq!(
+            service.execute(id, &req),
+            Err(ServiceError::Overloaded {
+                venue: id,
+                in_flight: 1,
+                limit: 1
+            })
+        );
+        // A batch sheds its whole share with the same typed error.
+        let batch = service.execute_batch(&[(id, req.clone()), (id, req.clone())]);
+        assert!(matches!(batch[0], Err(ServiceError::Overloaded { .. })));
+        assert!(matches!(batch[1], Err(ServiceError::Overloaded { .. })));
+        let stats = service.stats();
+        assert_eq!(stats.shed, 2); // one execute + one batch share
+        assert_eq!(stats.in_flight, 1);
+        assert_eq!(stats.admission_capacity, 1);
+        drop(held);
+        assert!(service.execute(id, &req).is_ok());
+        assert_eq!(service.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn block_policy_times_out_with_typed_error() {
+        let venue = Arc::new(random_venue(32));
+        let service = IndoorService::new();
+        let id = service
+            .add_venue(
+                venue.clone(),
+                ShardConfig {
+                    threads: 1,
+                    admission: AdmissionConfig {
+                        max_in_flight: 1,
+                        policy: OverloadPolicy::Block {
+                            timeout: Duration::from_millis(5),
+                        },
+                    },
+                    ..ShardConfig::default()
+                },
+            )
+            .unwrap();
+        let (s, t) = workload::query_pairs(&venue, 1, 8)[0];
+        let shard = service.shard(id).unwrap();
+        let held = shard.admit(id, 1).unwrap();
+        assert_eq!(
+            service.execute(id, &QueryRequest::ShortestDistance { s, t }),
+            Err(ServiceError::Timeout {
+                venue: id,
+                in_flight: 1,
+                limit: 1
+            })
+        );
+        assert_eq!(service.stats().admission_timeouts, 1);
+        drop(held);
+        assert!(service
+            .execute(id, &QueryRequest::ShortestDistance { s, t })
+            .is_ok());
+    }
+
+    #[test]
+    fn degraded_shard_serves_reads_and_refuses_mutations() {
+        let (service, id, venue) = service_with_one_venue(33);
+        let q = workload::query_points(&venue, 1, 4)[0];
+        let req = QueryRequest::Knn { q, k: 2 };
+        let before = service.execute(id, &req).unwrap();
+        service.shard(id).unwrap().degrade("test-induced degrade");
+        assert_eq!(
+            service.degraded(id).unwrap().as_deref(),
+            Some("test-induced degrade")
+        );
+        // Reads keep serving the last good snapshot...
+        assert_eq!(service.execute(id, &req).unwrap(), before);
+        // ...every mutation path is refused with the typed error...
+        let err = service.update_objects(id, &[]).unwrap_err();
+        assert!(matches!(err, ServiceError::Degraded(v, _) if v == id));
+        assert!(matches!(
+            service.attach_objects(id, &[]),
+            Err(ServiceError::Degraded(..))
+        ));
+        assert!(matches!(
+            service.update_keyword_objects(id, &[]),
+            Err(ServiceError::Degraded(..))
+        ));
+        assert!(matches!(
+            service.remove_venue(id),
+            Err(ServiceError::Degraded(..))
+        ));
+        // ...the version never moved, and stats surface the state.
+        assert_eq!(service.version(id).unwrap(), 0);
+        assert_eq!(service.stats().degraded_venues, 1);
     }
 }

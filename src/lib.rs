@@ -49,8 +49,8 @@ pub mod prelude {
         PartitionKind, QueryKind, QueryRequest, QueryResponse, Venue, VenueBuilder, VenueId,
     };
     pub use vip_tree::{
-        DeltaReport, IndoorService, IpTree, KindStats, ObjectIndexStats, PersistError, QueryEngine,
-        QueryScratch, RecoveryReport, ServiceError, ServiceStats, ShardConfig, SnapshotReport,
-        VipTree, VipTreeConfig,
+        AdmissionConfig, DeltaReport, IndoorService, IpTree, KindStats, ObjectIndexStats,
+        OverloadPolicy, PersistError, QueryEngine, QueryScratch, RecoveryReport, ServiceError,
+        ServiceStats, ShardConfig, SnapshotReport, VipTree, VipTreeConfig,
     };
 }

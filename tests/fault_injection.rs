@@ -1,0 +1,500 @@
+//! Crash-consistency torture: every I/O step of a mutation script fails,
+//! in every failure mode, and recovery must **recover-or-reject**.
+//!
+//! The harness dry-runs a deterministic churn script against a clean
+//! in-memory [`FaultStorage`] to count its fault-eligible storage
+//! operations, then replays the script once per operation index `k` with
+//! a one-shot fault armed at step `k` — cycling through ENOSPC (partial
+//! write, no crash), torn write (partial bytes + crash), crash-before,
+//! crash-after, and sync failure — followed by a process-crash or
+//! power-loss restart. After each restart the recovered service must be
+//! byte-identical (all five query kinds, version, epoch) to a volatile
+//! reference service that applied exactly the journalled prefix of the
+//! acknowledged history:
+//!
+//! * **process crash**: every acknowledged mutation survives (appends are
+//!   flushed), plus at most the one mutation that crashed mid-append;
+//! * **power loss**: at least the last completed snapshot survives
+//!   (snapshots are fsynced end-to-end), never more than acknowledged;
+//! * **either way**: never a reordered, gapped, or silently corrupt
+//!   state — structural damage beyond a torn tail is a typed
+//!   [`PersistError`], enforced here by recovery succeeding once the
+//!   storage is healthy again.
+//!
+//! Along the way the script asserts the journal-before-apply invariant
+//! live: a mutation that fails to journal leaves the version counter and
+//! the served answers untouched (no memory/log divergence), and a shard
+//! whose log cannot be rolled back degrades to read-only instead of
+//! acknowledging unjournalled writes.
+//!
+//! The currently running schedule is written to
+//! `target/fault-torture/last-schedule.txt` before each run, so a failing
+//! CI job uploads the exact `(seed, step, kind, mode)` to reproduce.
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{random_venue, workload};
+use indoor_spatial::vip::{CrashMode, FaultAt, FaultKind, FaultStorage, Storage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const LABELS: [&str; 3] = ["cafe", "atm", "exit"];
+
+/// Valid-by-construction delta batches (mirrors `tests/persistence.rs`).
+#[derive(Default)]
+struct LiveSet {
+    live: Vec<bool>,
+}
+
+impl LiveSet {
+    fn seeded(n: usize) -> LiveSet {
+        LiveSet {
+            live: vec![true; n],
+        }
+    }
+
+    fn random_batch(&mut self, pool: &[IndoorPoint], rng: &mut StdRng) -> Vec<ObjectUpdate> {
+        let n_ops = rng.gen_range(1..5);
+        let mut batch = Vec::new();
+        for _ in 0..n_ops {
+            let live_ids: Vec<u32> = self
+                .live
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let op = rng.gen_range(0..3u32);
+            let point = pool[rng.gen_range(0..pool.len())];
+            let delta = if live_ids.is_empty() || op == 0 {
+                let id = self.live.iter().position(|l| !l).unwrap_or_else(|| {
+                    self.live.push(false);
+                    self.live.len() - 1
+                });
+                self.live[id] = true;
+                ObjectDelta::Insert {
+                    id: ObjectId(id as u32),
+                    at: point,
+                }
+            } else if op == 1 {
+                let id = live_ids[rng.gen_range(0..live_ids.len())];
+                self.live[id as usize] = false;
+                ObjectDelta::Remove { id: ObjectId(id) }
+            } else {
+                let id = live_ids[rng.gen_range(0..live_ids.len())];
+                ObjectDelta::Move {
+                    id: ObjectId(id),
+                    to: point,
+                }
+            };
+            batch.push(ObjectUpdate {
+                delta,
+                labels: vec![LABELS[rng.gen_range(0..LABELS.len())].to_string()],
+            });
+        }
+        batch
+    }
+}
+
+struct Fixture {
+    venue: Arc<Venue>,
+    pool: Vec<IndoorPoint>,
+    objects: Vec<IndoorPoint>,
+    keywords: Vec<(IndoorPoint, Vec<String>)>,
+}
+
+impl Fixture {
+    fn new(venue: Arc<Venue>, seed: u64) -> Fixture {
+        let pool = workload::place_objects(&venue, 24, seed ^ 0xF1);
+        let objects = workload::place_objects(&venue, 8, seed ^ 0xF2);
+        let keywords = workload::cycling_labels(&objects, "cafe");
+        Fixture {
+            venue,
+            pool,
+            objects,
+            keywords,
+        }
+    }
+
+    fn config(&self) -> ShardConfig {
+        ShardConfig {
+            threads: 1,
+            objects: self.objects.clone(),
+            keywords: self.keywords.clone(),
+            ..ShardConfig::default()
+        }
+    }
+}
+
+/// One scripted step after venue registration.
+#[derive(Debug, Clone)]
+enum Op {
+    Snapshot,
+    Deltas(Vec<ObjectDelta>),
+    Keywords(Vec<ObjectUpdate>),
+    Attach(Vec<IndoorPoint>),
+}
+
+/// The deterministic churn script for one seed: interleaved delta,
+/// keyword, attach and snapshot steps.
+fn script(f: &Fixture, seed: u64) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x70_57_0C);
+    let mut objects = LiveSet::seeded(f.objects.len());
+    let mut kw_objects = LiveSet::seeded(f.keywords.len());
+    let mut ops = Vec::new();
+    for round in 0u64..3 {
+        if round == 1 {
+            ops.push(Op::Snapshot);
+        }
+        let deltas: Vec<ObjectDelta> = objects
+            .random_batch(&f.pool, &mut rng)
+            .into_iter()
+            .map(|u| u.delta)
+            .collect();
+        ops.push(Op::Deltas(deltas));
+        ops.push(Op::Keywords(kw_objects.random_batch(&f.pool, &mut rng)));
+    }
+    // One wholesale replacement last (fresh positional ids, epoch bump).
+    ops.push(Op::Attach(workload::place_objects(
+        &f.venue,
+        6,
+        seed ^ 0xA7,
+    )));
+    ops
+}
+
+/// Apply one mutation op to a service, returning the service's verdict.
+fn apply(service: &IndoorService, id: VenueId, op: &Op) -> Result<(), ServiceError> {
+    match op {
+        Op::Snapshot => unreachable!("snapshots are not mutations"),
+        Op::Deltas(d) => service.update_objects(id, d).map(|_| ()),
+        Op::Keywords(u) => service.update_keyword_objects(id, u).map(|_| ()),
+        Op::Attach(o) => service.attach_objects(id, o),
+    }
+}
+
+/// What one faulted run acknowledged before the crash.
+struct RunOutcome {
+    /// `add_venue` returned `Ok`.
+    venue_acked: bool,
+    /// `add_venue` returned `Err` — the Create record may or may not
+    /// have landed, so a recovered venue with zero mutations is legal.
+    venue_ambiguous: bool,
+    /// Mutations acknowledged `Ok`, in order.
+    acked: Vec<Op>,
+    /// The mutation that failed with the storage crashed mid-append: its
+    /// record may or may not be in the log.
+    pending: Option<Op>,
+    /// Version covered by the last acknowledged snapshot (the power-loss
+    /// durability floor).
+    snapshot_floor: u64,
+}
+
+/// Every query kind, asserted byte-identical between two services.
+fn assert_same_answers(
+    recovered: &IndoorService,
+    reference: &IndoorService,
+    id: VenueId,
+    f: &Fixture,
+    ctx: &str,
+) {
+    let mut reqs: Vec<QueryRequest> = Vec::new();
+    for q in workload::query_points(&f.venue, 3, 0x77) {
+        reqs.push(QueryRequest::Knn { q, k: 3 });
+        reqs.push(QueryRequest::Range { q, radius: 120.0 });
+        for label in ["cafe", "atm", "missing"] {
+            reqs.push(QueryRequest::KnnKeyword {
+                q,
+                k: 2,
+                keyword: label.into(),
+            });
+        }
+    }
+    for (s, t) in workload::query_pairs(&f.venue, 2, 0x78) {
+        reqs.push(QueryRequest::ShortestDistance { s, t });
+        reqs.push(QueryRequest::ShortestPath { s, t });
+    }
+    for req in &reqs {
+        assert_eq!(
+            recovered.execute(id, req).unwrap(),
+            reference.execute(id, req).unwrap(),
+            "{ctx}: diverged on {req:?}"
+        );
+    }
+    assert_eq!(
+        recovered.version(id).unwrap(),
+        reference.version(id).unwrap(),
+        "{ctx}: version counters diverged"
+    );
+    assert_eq!(
+        recovered.epoch(id).unwrap(),
+        reference.epoch(id).unwrap(),
+        "{ctx}: epoch counters diverged"
+    );
+}
+
+/// Record the schedule about to run, so a failing CI job can upload it.
+fn log_schedule(line: &str) {
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("fault-torture");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Ok(mut file) = std::fs::File::create(dir.join("last-schedule.txt")) {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+/// Run the script with a one-shot fault armed at storage op `k`, then
+/// crash with `mode`. Stops at the first crash-flavoured error; plain
+/// I/O errors (ENOSPC, sync failure) continue the script, exercising the
+/// rollback path under later traffic.
+fn run_faulted(
+    f: &Fixture,
+    ops: &[Op],
+    storage: &FaultStorage,
+    k: u64,
+    kind: FaultKind,
+    mode: CrashMode,
+) -> RunOutcome {
+    let dir = PathBuf::from("/durable");
+    storage.set_fault(FaultAt::Op(k), kind);
+    let shared: Arc<dyn Storage> = Arc::new(storage.clone());
+
+    let mut out = RunOutcome {
+        venue_acked: false,
+        venue_ambiguous: false,
+        acked: Vec::new(),
+        pending: None,
+        snapshot_floor: 0,
+    };
+    let service = match IndoorService::open_with_storage(&dir, shared) {
+        Ok((opened, _)) => Some(opened),
+        // The fault fired inside the initial open (only possible when a
+        // previous run left state — here the fs is fresh, so this is a
+        // reject, which trivially satisfies recover-or-reject).
+        Err(_) => None,
+    };
+    if let Some(service) = service {
+        run_script(f, ops, storage, k, kind, &service, &mut out);
+        // The machine dies (even if no crash fault fired: a run that
+        // survived an ENOSPC still has to recover from the end-state).
+        storage.crash(mode);
+        drop(service);
+    } else {
+        storage.crash(mode);
+    }
+    out
+}
+
+/// The scripted session between open and the crash.
+fn run_script(
+    f: &Fixture,
+    ops: &[Op],
+    storage: &FaultStorage,
+    k: u64,
+    kind: FaultKind,
+    service: &IndoorService,
+    out: &mut RunOutcome,
+) {
+    let dir = PathBuf::from("/durable");
+    let id = match service.add_venue(f.venue.clone(), f.config()) {
+        Ok(id) => {
+            out.venue_acked = true;
+            id
+        }
+        Err(_) => {
+            out.venue_ambiguous = true;
+            return;
+        }
+    };
+    for op in ops {
+        if let Op::Snapshot = op {
+            if service.save_snapshot(&dir).is_ok() {
+                out.snapshot_floor = service.version(id).unwrap();
+            } else if storage.crashed() {
+                break;
+            }
+            continue;
+        }
+        match apply(service, id, op) {
+            Ok(()) => {
+                out.acked.push(op.clone());
+                // Journal-before-apply: an acknowledged mutation bumped
+                // the version by exactly one.
+                assert_eq!(
+                    service.version(id).unwrap(),
+                    out.acked.len() as u64,
+                    "acked mutation count and version diverged (k={k}, {kind:?})"
+                );
+            }
+            Err(_) if storage.crashed() => {
+                // Crashed mid-append: the record may or may not have
+                // landed, but it was NOT acknowledged.
+                out.pending = Some(op.clone());
+                break;
+            }
+            Err(_) => {
+                // Plain I/O failure (or a degraded shard refusing work):
+                // the mutation must not have moved the version, and the
+                // shard keeps serving reads.
+                assert_eq!(
+                    service.version(id).unwrap(),
+                    out.acked.len() as u64,
+                    "failed mutation moved the version (k={k}, {kind:?})"
+                );
+                let q = f.pool[0];
+                service
+                    .execute(id, &QueryRequest::Knn { q, k: 1 })
+                    .expect("failed mutation must not take down reads");
+            }
+        }
+    }
+}
+
+/// Reopen after the crash and check the recover-or-reject contract.
+fn verify_recovery(f: &Fixture, storage: &FaultStorage, out: &RunOutcome, mode: CrashMode, k: u64) {
+    let dir = PathBuf::from("/durable");
+    let shared: Arc<dyn Storage> = Arc::new(storage.clone());
+    // With the storage healthy again, recovery must succeed — every
+    // fault in the schedule leaves at worst a torn tail, never damage
+    // recovery refuses (refusals are reserved for real corruption, see
+    // the double-fault tests in tests/persistence.rs).
+    let (recovered, _report) = IndoorService::open_with_storage(&dir, shared)
+        .unwrap_or_else(|e| panic!("recovery rejected a recoverable history (k={k}): {e}"));
+
+    let venues = recovered.venues();
+    if venues.is_empty() {
+        assert!(
+            !out.venue_acked || mode == CrashMode::Power,
+            "process crash lost an acknowledged venue (k={k})"
+        );
+        return;
+    }
+    assert!(
+        out.venue_acked || out.venue_ambiguous,
+        "recovered a venue that was never registered (k={k})"
+    );
+    let id = venues[0];
+    let v = recovered.version(id).unwrap();
+    let upper = (out.acked.len() + out.pending.iter().count()) as u64;
+    assert!(
+        v <= upper,
+        "recovered version {v} exceeds acknowledged history {upper} (k={k})"
+    );
+    if out.venue_acked && mode == CrashMode::Process {
+        assert!(
+            v >= out.acked.len() as u64,
+            "process crash lost acknowledged mutations: {v} < {} (k={k})",
+            out.acked.len()
+        );
+    }
+    if mode == CrashMode::Power {
+        assert!(
+            v >= out.snapshot_floor,
+            "power loss fell below the snapshot floor: {v} < {} (k={k})",
+            out.snapshot_floor
+        );
+    }
+
+    // The recovered state must be byte-identical to a never-persisted
+    // service that applied exactly the first `v` journalled mutations.
+    let reference = IndoorService::new();
+    let ref_id = reference.add_venue(f.venue.clone(), f.config()).unwrap();
+    assert_eq!(ref_id, id);
+    let history = out.acked.iter().chain(out.pending.iter());
+    for op in history.take(v as usize) {
+        apply(&reference, ref_id, op).expect("journalled prefix replays");
+    }
+    assert_same_answers(&recovered, &reference, id, f, &format!("k={k} {mode:?}"));
+}
+
+/// Count the script's fault-eligible storage operations on a clean run.
+fn dry_run_ops(f: &Fixture, ops: &[Op]) -> u64 {
+    let storage = FaultStorage::new();
+    let shared: Arc<dyn Storage> = Arc::new(storage.clone());
+    let (service, _) = IndoorService::open_with_storage("/durable", shared).unwrap();
+    let id = service.add_venue(f.venue.clone(), f.config()).unwrap();
+    for op in ops {
+        match op {
+            Op::Snapshot => {
+                service.save_snapshot("/durable").unwrap();
+            }
+            _ => apply(&service, id, op).unwrap(),
+        }
+    }
+    storage.ops()
+}
+
+/// Sweep every `stride`-th fault point of the seed's script, across the
+/// kind cycle and both crash modes.
+fn torture_sweep(seed: u64, stride: u64) {
+    let f = Fixture::new(Arc::new(random_venue(seed % 23)), seed);
+    let ops = script(&f, seed);
+    let total = dry_run_ops(&f, &ops);
+    assert!(total > 10, "script too short to torture ({total} ops)");
+
+    let kinds = |k: u64| match k % 5 {
+        0 => FaultKind::Enospc {
+            keep: (k % 7) as usize,
+        },
+        1 => FaultKind::TornWrite {
+            keep: (k % 5) as usize,
+        },
+        2 => FaultKind::CrashBefore,
+        3 => FaultKind::CrashAfter,
+        _ => FaultKind::SyncFail,
+    };
+    for k in (0..total).step_by(stride as usize) {
+        let kind = kinds(k);
+        let modes: &[CrashMode] = if k % 3 == 0 {
+            &[CrashMode::Process, CrashMode::Power]
+        } else {
+            &[CrashMode::Process]
+        };
+        for &mode in modes {
+            log_schedule(&format!(
+                "seed={seed} step={k}/{total} kind={kind:?} mode={mode:?}"
+            ));
+            let storage = FaultStorage::new();
+            let out = run_faulted(&f, &ops, &storage, k, kind, mode);
+            verify_recovery(&f, &storage, &out, mode, k);
+        }
+    }
+}
+
+/// The fixed-seed sweep CI always runs: every fault point of one script.
+#[test]
+fn every_fault_point_recovers_or_rejects() {
+    torture_sweep(0xF0_17, 1);
+    log_schedule("fixed sweep: all clear");
+}
+
+/// A short randomized burst on top of the fixed sweep. Deterministic by
+/// default; CI sets `FAULT_TORTURE_BURST` (sweep count) and the seed
+/// derives from the clock — printed, and recorded in the schedule file,
+/// so a failure is reproducible via `FAULT_TORTURE_SEED`.
+#[test]
+fn randomized_torture_burst() {
+    let burst: u64 = std::env::var("FAULT_TORTURE_BURST")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let seed: u64 = match std::env::var("FAULT_TORTURE_SEED") {
+        Ok(s) => s.parse().expect("FAULT_TORTURE_SEED must be a u64"),
+        Err(_) if std::env::var("FAULT_TORTURE_BURST").is_ok() => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_secs(),
+        Err(_) => 0xB00_7ED,
+    };
+    println!(
+        "fault torture burst: seed={seed} sweeps={burst} (rerun with FAULT_TORTURE_SEED={seed})"
+    );
+    for i in 0..burst {
+        // Stride 3 keeps the burst short; the fixed sweep covers density.
+        torture_sweep(seed.wrapping_add(i), 3);
+    }
+    log_schedule("randomized burst: all clear");
+}

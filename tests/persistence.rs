@@ -10,6 +10,7 @@
 
 use indoor_spatial::prelude::*;
 use indoor_spatial::synth::{presets, random_venue, workload};
+use indoor_spatial::vip::{CrashMode, FaultAt, FaultKind, FaultStorage, Storage};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -501,4 +502,150 @@ fn volatile_service_snapshot_exports_and_opens() {
     let opened = IndoorService::open(dir).unwrap();
     assert_same_answers(&opened, &volatile, id, &f, 19, "exported snapshot");
     assert_eq!(opened.persist_root(), Some(dir.as_path()));
+}
+
+/// Shorthand: a durable service on an in-memory fault-injected disk.
+fn open_faulted(
+    storage: &FaultStorage,
+    dir: &std::path::Path,
+) -> Result<IndoorService, PersistError> {
+    let shared: Arc<dyn Storage> = Arc::new(storage.clone());
+    IndoorService::open_with_storage(dir, shared).map(|(s, _)| s)
+}
+
+fn move_delta(f: &Fixture, slot: usize) -> [ObjectDelta; 1] {
+    [ObjectDelta::Move {
+        id: ObjectId(0),
+        to: f.pool[slot],
+    }]
+}
+
+/// ENOSPC in the middle of WAL rotation: the snapshot file itself landed,
+/// but the rotated log could not be written. The old log stays the source
+/// of truth — the shard keeps accepting (and journalling) mutations, and
+/// a restart recovers the full history.
+#[test]
+fn enospc_mid_rotation_keeps_old_wal_authoritative() {
+    let dir = PathBuf::from("/enospc-rotation");
+    let f = Fixture::new(Arc::new(random_venue(31)), 31);
+    let storage = FaultStorage::new();
+
+    let durable = open_faulted(&storage, &dir).unwrap();
+    let id = durable.add_venue(f.venue.clone(), f.config()).unwrap();
+    durable.update_objects(id, &move_delta(&f, 0)).unwrap();
+
+    // The disk fills exactly when rotation writes the replacement log.
+    storage.set_fault(
+        FaultAt::PathContains("venue-0.wal.tmp".into()),
+        FaultKind::Enospc { keep: 0 },
+    );
+    let err = durable.save_snapshot(&dir).unwrap_err();
+    assert!(
+        matches!(err, PersistError::Io { .. }),
+        "typed I/O error: {err}"
+    );
+    assert!(!storage.crashed(), "ENOSPC is an error, not a crash");
+
+    // Rotation failed on the safe side of the rename: the append handle
+    // is still valid and the shard is NOT degraded.
+    assert_eq!(durable.degraded(id), Ok(None));
+    assert_eq!(durable.version(id), Ok(1));
+    durable.update_objects(id, &move_delta(&f, 1)).unwrap();
+    assert_eq!(durable.version(id), Ok(2));
+    drop(durable);
+
+    // Restart: whichever of {fresh snapshot + suffix, old log} recovery
+    // stitches together, the history must be complete.
+    let recovered = open_faulted(&storage, &dir).unwrap();
+    let reference = IndoorService::new();
+    let ref_id = reference.add_venue(f.venue.clone(), f.config()).unwrap();
+    reference
+        .update_objects(ref_id, &move_delta(&f, 0))
+        .unwrap();
+    reference
+        .update_objects(ref_id, &move_delta(&f, 1))
+        .unwrap();
+    assert_same_answers(&recovered, &reference, id, &f, 31, "enospc rotation");
+}
+
+/// Double fault: recovery of an already-damaged log is itself interrupted.
+/// The first open must fail with a typed error (never a panic or a
+/// silently half-repaired service); a clean retry then succeeds.
+#[test]
+fn fault_during_recovery_of_torn_log_rejects_then_recovers() {
+    let dir = PathBuf::from("/double-fault");
+    let f = Fixture::new(Arc::new(random_venue(37)), 37);
+    let storage = FaultStorage::new();
+
+    let durable = open_faulted(&storage, &dir).unwrap();
+    let id = durable.add_venue(f.venue.clone(), f.config()).unwrap();
+    durable.update_objects(id, &move_delta(&f, 2)).unwrap();
+    drop(durable);
+
+    // Fault one: a torn append — a frame header promising more bytes
+    // than the file holds.
+    let wal = dir.join("venue-0.wal");
+    let mut bytes = Storage::read(&storage, &wal).unwrap();
+    bytes.extend_from_slice(&[0xFF; 12]);
+    Storage::write(&storage, &wal, &bytes).unwrap();
+
+    // Fault two: the disk fills when recovery truncates the torn tail.
+    storage.set_fault(
+        FaultAt::PathContains("venue-0.wal".into()),
+        FaultKind::Enospc { keep: 0 },
+    );
+    let err = open_faulted(&storage, &dir).unwrap_err();
+    assert!(
+        matches!(err, PersistError::Io { .. }),
+        "typed reject: {err}"
+    );
+
+    // The one-shot fault is consumed; the retry repairs and recovers.
+    let recovered = open_faulted(&storage, &dir).unwrap();
+    assert_eq!(recovered.version(id), Ok(1));
+    let reference = IndoorService::new();
+    let ref_id = reference.add_venue(f.venue.clone(), f.config()).unwrap();
+    reference
+        .update_objects(ref_id, &move_delta(&f, 2))
+        .unwrap();
+    assert_same_answers(&recovered, &reference, id, &f, 37, "double fault");
+}
+
+/// Power loss between the snapshot's rename and the parent-directory
+/// fsync: the rename is not yet durable, so the machine comes back with
+/// the PREVIOUS snapshot — a consistent old state, never a mix. (This is
+/// the window the post-rename `sync_dir` closes; the test pins the
+/// failure semantics when power dies inside it.)
+#[test]
+fn power_loss_between_snapshot_rename_and_dir_sync_restores_old_state() {
+    let dir = PathBuf::from("/rename-window");
+    let f = Fixture::new(Arc::new(random_venue(41)), 41);
+    let storage = FaultStorage::new();
+
+    let durable = open_faulted(&storage, &dir).unwrap();
+    let id = durable.add_venue(f.venue.clone(), f.config()).unwrap();
+    durable.update_objects(id, &move_delta(&f, 3)).unwrap();
+    durable.save_snapshot(&dir).unwrap(); // snapshot #1: fully durable at v1
+    durable.update_objects(id, &move_delta(&f, 4)).unwrap();
+
+    // Snapshot #2's rename completes, then power dies before sync_dir.
+    storage.set_fault(
+        FaultAt::PathContains("snapshot.bin".into()),
+        FaultKind::CrashAfter,
+    );
+    durable.save_snapshot(&dir).unwrap_err();
+    assert!(storage.crashed());
+    storage.crash(CrashMode::Power);
+    drop(durable);
+
+    // The volatile rename (and the unsynced v2 append) evaporated: the
+    // machine is back on snapshot #1, exactly version 1.
+    let recovered = open_faulted(&storage, &dir).unwrap();
+    assert_eq!(recovered.version(id), Ok(1));
+    let reference = IndoorService::new();
+    let ref_id = reference.add_venue(f.venue.clone(), f.config()).unwrap();
+    reference
+        .update_objects(ref_id, &move_delta(&f, 3))
+        .unwrap();
+    assert_same_answers(&recovered, &reference, id, &f, 41, "rename window");
 }
