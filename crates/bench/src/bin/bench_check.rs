@@ -12,9 +12,10 @@
 //! committed one. Exceeding it **fails (exit 1)** — but only when the two
 //! files agree on `host_cores`; CI runners with different core counts (or
 //! a laptop checking a CI-generated baseline) produce incomparable
-//! thread-scaling numbers, so a mismatch downgrades every violation to a
-//! warning. A cell that disappeared from the fresh run fails
-//! unconditionally: that is schema drift, not noise.
+//! thread-scaling numbers, so a mismatch downgrades ratio violations to
+//! warnings. A cell that disappeared from the fresh run fails
+//! unconditionally with a refresh hint: that is schema drift (a renamed
+//! or deleted workload gating nothing), not hardware noise.
 //!
 //! The inverse direction is graded softer: a fresh cell **absent from the
 //! baseline** (a newly added workload, e.g. the `mixed` cells or the
@@ -23,36 +24,16 @@
 //! baseline lands, the cell joins the hard-fail set like any other
 //! (`venues` defaults to 1 for rows predating the axis, so old baselines
 //! stay readable).
+//!
+//! The matching/grading policy itself lives in [`indoor_bench::gate`],
+//! shared with `scenario_check`.
 
+use indoor_bench::gate;
 use indoor_model::json::{self, Json};
-
-struct Cell {
-    dataset: String,
-    query: String,
-    threads: usize,
-    venues: usize,
-    us_per_query: f64,
-}
-
-impl Cell {
-    fn same_key(&self, other: &Cell) -> bool {
-        self.dataset == other.dataset
-            && self.query == other.query
-            && self.threads == other.threads
-            && self.venues == other.venues
-    }
-
-    fn key(&self) -> String {
-        format!(
-            "({}, {}, threads={}, venues={})",
-            self.dataset, self.query, self.threads, self.venues
-        )
-    }
-}
 
 struct Bench {
     host_cores: usize,
-    cells: Vec<Cell>,
+    cells: Vec<gate::Cell>,
 }
 
 fn load(path: &str) -> Bench {
@@ -67,26 +48,25 @@ fn load(path: &str) -> Bench {
         .and_then(Json::as_arr)
         .unwrap_or_else(|| panic!("{path}: missing results array"))
         .iter()
-        .map(|row| Cell {
-            dataset: row
+        .map(|row| {
+            let dataset = row
                 .get("dataset")
                 .and_then(Json::as_str)
-                .expect("row dataset")
-                .to_string(),
-            query: row
-                .get("query")
-                .and_then(Json::as_str)
-                .expect("row query")
-                .to_string(),
-            threads: row
+                .expect("row dataset");
+            let query = row.get("query").and_then(Json::as_str).expect("row query");
+            let threads = row
                 .get("threads")
                 .and_then(Json::as_usize)
-                .expect("row threads"),
-            venues: row.get("venues").and_then(Json::as_usize).unwrap_or(1),
-            us_per_query: row
+                .expect("row threads");
+            let venues = row.get("venues").and_then(Json::as_usize).unwrap_or(1);
+            let us = row
                 .get("us_per_query")
                 .and_then(Json::as_f64)
-                .expect("row us_per_query"),
+                .expect("row us_per_query");
+            gate::Cell::new(
+                format!("({dataset}, {query}, threads={threads}, venues={venues})"),
+                us,
+            )
         })
         .collect();
     Bench { host_cores, cells }
@@ -122,73 +102,42 @@ fn main() {
     let comparable = baseline.host_cores == fresh.host_cores;
     if !comparable {
         println!(
-            "WARN: host_cores mismatch (baseline {}, fresh {}) — regressions reported as warnings only",
+            "WARN: host_cores mismatch (baseline {}, fresh {}) — ratio regressions reported as warnings only",
             baseline.host_cores, fresh.host_cores
         );
     }
 
-    let mut failures = 0usize;
-    let mut warnings = 0usize;
-    println!(
-        "{:<6} {:>14} {:>8} {:>7} {:>12} {:>12} {:>7}",
-        "venue", "query", "threads", "venues", "base us", "fresh us", "ratio"
-    );
-    for base in &baseline.cells {
-        let Some(now) = fresh.cells.iter().find(|c| c.same_key(base)) else {
-            println!("FAIL: cell {} missing from {fresh_path}", base.key());
-            failures += 1;
-            continue;
-        };
-        let ratio = now.us_per_query / base.us_per_query;
-        // A warn line says *why* it is not a failure: incomparable
-        // thread-scaling hardware is the only downgrade path.
-        let mut context = String::new();
-        let verdict = if ratio <= threshold {
-            "ok"
-        } else if comparable {
-            failures += 1;
-            "FAIL"
-        } else {
-            warnings += 1;
-            context = format!(
-                " (not a failure: host_cores {} in baseline vs {} here — thread scaling incomparable)",
+    let out = gate::compare(
+        &baseline.cells,
+        &fresh.cells,
+        &gate::GateConfig {
+            threshold,
+            comparable,
+            incomparable_reason: format!(
+                "host_cores {} in baseline vs {} here — thread scaling incomparable",
                 baseline.host_cores, fresh.host_cores
-            );
-            "warn"
-        };
-        println!(
-            "{:<6} {:>14} {:>8} {:>7} {:>12.2} {:>12.2} {:>6.2}x {}{}",
-            base.dataset,
-            base.query,
-            base.threads,
-            base.venues,
-            base.us_per_query,
-            now.us_per_query,
-            ratio,
-            verdict,
-            context
-        );
-    }
-
-    // New workload cells are warn-only until a baseline containing them
-    // is committed; from then on the loop above hard-fails if they vanish.
-    for now in &fresh.cells {
-        if !baseline.cells.iter().any(|c| c.same_key(now)) {
-            println!(
-                "WARN: new cell {} not in {baseline_path} — ungated until the refreshed baseline is committed",
-                now.key()
-            );
-            warnings += 1;
-        }
-    }
-
-    println!(
-        "checked {} cells against {baseline_path} (threshold {threshold}x): {failures} failures, {warnings} warnings",
-        baseline.cells.len()
+            ),
+            refresh_hint:
+                "regenerate with `cargo run --release -p indoor-bench --bin query_bench` \
+                           and commit the refreshed BENCH_query.json"
+                    .to_string(),
+            // Above query_bench's 0.01 us/delta clamp: a `persist_replay`
+            // baseline that differenced to ~zero cannot ratio-gate.
+            noise_floor: 0.05,
+        },
     );
-    if failures > 0 {
+    for line in &out.lines {
+        println!("{line}");
+    }
+    println!(
+        "checked {} cells against {baseline_path} (threshold {threshold}x): {} failures, {} warnings",
+        baseline.cells.len(),
+        out.failures,
+        out.warnings
+    );
+    if out.failures > 0 {
         eprintln!(
-            "perf gate failed: median latency regressed more than {threshold}x on matching hardware"
+            "perf gate failed: stale baseline cell or >{threshold}x median-latency regression on matching hardware"
         );
         std::process::exit(1);
     }

@@ -1,0 +1,201 @@
+//! The shared regression-gate engine behind `bench_check` and
+//! `scenario_check`.
+//!
+//! Both CI gates do the same thing — compare a freshly measured set of
+//! keyed metric cells against a committed baseline and grade each cell —
+//! with the same policy:
+//!
+//! * **baseline cell missing from the fresh run** → hard failure with a
+//!   refresh hint. A renamed or deleted cell is schema drift; silently
+//!   passing it would leave a stale baseline gating nothing.
+//! * **ratio above threshold** → hard failure when the two runs are
+//!   comparable, a warning (with the stated reason) when they are not
+//!   (e.g. different `host_cores` — thread-scaling numbers from
+//!   different hardware cannot be compared).
+//! * **fresh cell missing from the baseline** → warning only. A new
+//!   workload cannot be gated before a baseline containing it is
+//!   committed; once it lands, the cell joins the hard-fail set.
+//! * **baseline below the noise floor** → warning only. A baseline cell
+//!   clamped at its bench's measurement floor (differenced metrics
+//!   jitter to ~zero) turns every finite fresh value into an unbounded
+//!   ratio; such cells are reported but never ratio-gated.
+//!
+//! The binaries keep their own JSON schemas and map rows into
+//! [`Cell`]s; everything after that — matching, grading, output lines,
+//! exit decision — is this module, so a policy fix lands in both gates
+//! at once and is unit-testable without spawning processes.
+
+/// One keyed metric cell: `key` identifies the workload cell across
+/// runs, `value` is the metric under comparison (lower is better —
+/// microseconds of latency in both current gates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    pub key: String,
+    pub value: f64,
+}
+
+impl Cell {
+    pub fn new(key: impl Into<String>, value: f64) -> Cell {
+        Cell {
+            key: key.into(),
+            value,
+        }
+    }
+}
+
+/// Gate policy knobs.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Fresh/baseline ratio above which a comparable cell fails.
+    pub threshold: f64,
+    /// Whether ratio violations are hard failures (`false` downgrades
+    /// them to warnings with `incomparable_reason` appended).
+    pub comparable: bool,
+    /// Why ratio violations are not failures when `comparable` is false.
+    pub incomparable_reason: String,
+    /// Appended to the missing-cell failure: how to refresh the
+    /// committed baseline when a cell was renamed or removed on purpose.
+    pub refresh_hint: String,
+    /// Baseline values below this are **not ratio-gated** (warn only): a
+    /// baseline at or under its bench's clamp floor — e.g. a differenced
+    /// metric that jittered to ~zero when the baseline was committed —
+    /// makes every finite fresh measurement an unbounded "regression".
+    /// `0.0` disables the floor.
+    pub noise_floor: f64,
+}
+
+/// The graded outcome: printable lines plus the failure/warning tally.
+/// The process exit decision is `failures > 0`.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    pub lines: Vec<String>,
+    pub failures: usize,
+    pub warnings: usize,
+}
+
+/// Grade `fresh` against `baseline` under `cfg` (see the module docs for
+/// the policy).
+pub fn compare(baseline: &[Cell], fresh: &[Cell], cfg: &GateConfig) -> Outcome {
+    let mut out = Outcome::default();
+    for base in baseline {
+        let Some(now) = fresh.iter().find(|c| c.key == base.key) else {
+            out.failures += 1;
+            out.lines.push(format!(
+                "FAIL: baseline cell {} missing from the fresh run — stale baseline; \
+                 if the cell was renamed or removed intentionally, {}",
+                base.key, cfg.refresh_hint
+            ));
+            continue;
+        };
+        if base.value < cfg.noise_floor {
+            out.warnings += 1;
+            out.lines.push(format!(
+                "warn  {} base {:.2} below the {:.2} noise floor — not ratio-gated (fresh {:.2})",
+                base.key, base.value, cfg.noise_floor, now.value
+            ));
+            continue;
+        }
+        let ratio = now.value / base.value;
+        if ratio <= cfg.threshold {
+            out.lines.push(format!(
+                "ok    {} base {:.2} fresh {:.2} ({ratio:.2}x)",
+                base.key, base.value, now.value
+            ));
+        } else if cfg.comparable {
+            out.failures += 1;
+            out.lines.push(format!(
+                "FAIL  {} base {:.2} fresh {:.2} ({ratio:.2}x > {:.2}x)",
+                base.key, base.value, now.value, cfg.threshold
+            ));
+        } else {
+            out.warnings += 1;
+            out.lines.push(format!(
+                "warn  {} base {:.2} fresh {:.2} ({ratio:.2}x > {:.2}x; not a failure: {})",
+                base.key, base.value, now.value, cfg.threshold, cfg.incomparable_reason
+            ));
+        }
+    }
+    for now in fresh {
+        if !baseline.iter().any(|c| c.key == now.key) {
+            out.warnings += 1;
+            out.lines.push(format!(
+                "WARN: new cell {} not in the baseline — ungated until the refreshed \
+                 baseline is committed",
+                now.key
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(comparable: bool) -> GateConfig {
+        GateConfig {
+            threshold: 2.0,
+            comparable,
+            incomparable_reason: "host_cores differ".into(),
+            refresh_hint: "rerun the bench and commit the refreshed JSON".into(),
+            noise_floor: 0.0,
+        }
+    }
+
+    #[test]
+    fn matching_cells_within_threshold_pass() {
+        let base = [Cell::new("a", 10.0), Cell::new("b", 5.0)];
+        let fresh = [Cell::new("a", 12.0), Cell::new("b", 9.9)];
+        let out = compare(&base, &fresh, &cfg(true));
+        assert_eq!((out.failures, out.warnings), (0, 0));
+        assert!(out.lines.iter().all(|l| l.starts_with("ok")));
+    }
+
+    #[test]
+    fn regression_fails_only_when_comparable() {
+        let base = [Cell::new("a", 10.0)];
+        let fresh = [Cell::new("a", 30.0)];
+        let hard = compare(&base, &fresh, &cfg(true));
+        assert_eq!((hard.failures, hard.warnings), (1, 0));
+        let soft = compare(&base, &fresh, &cfg(false));
+        assert_eq!((soft.failures, soft.warnings), (0, 1));
+        assert!(soft.lines[0].contains("host_cores differ"));
+    }
+
+    #[test]
+    fn stale_baseline_cell_is_a_hard_error_with_refresh_hint() {
+        let base = [Cell::new("gone", 10.0)];
+        let out = compare(&base, &[], &cfg(true));
+        assert_eq!(out.failures, 1);
+        assert!(out.lines[0].contains("stale baseline"));
+        assert!(out.lines[0].contains("rerun the bench"));
+        // Incomparable hardware does NOT excuse a missing cell: schema
+        // drift is host-independent.
+        let out = compare(&base, &[], &cfg(false));
+        assert_eq!(out.failures, 1);
+    }
+
+    #[test]
+    fn floored_baseline_warns_instead_of_ratio_gating() {
+        // A baseline clamped at a bench's 0.01 measurement floor must
+        // not turn an ordinary fresh measurement into a 900x "failure".
+        let base = [Cell::new("diffed", 0.01), Cell::new("real", 10.0)];
+        let fresh = [Cell::new("diffed", 9.53), Cell::new("real", 11.0)];
+        let mut c = cfg(true);
+        c.noise_floor = 0.05;
+        let out = compare(&base, &fresh, &c);
+        assert_eq!((out.failures, out.warnings), (0, 1));
+        assert!(out.lines[0].contains("noise floor"), "{:?}", out.lines);
+        // Disabled floor: the same comparison is a hard failure again.
+        c.noise_floor = 0.0;
+        assert_eq!(compare(&base, &fresh, &c).failures, 1);
+    }
+
+    #[test]
+    fn fresh_only_cell_warns_until_baseline_refresh() {
+        let fresh = [Cell::new("new", 1.0)];
+        let out = compare(&[], &fresh, &cfg(true));
+        assert_eq!((out.failures, out.warnings), (0, 1));
+        assert!(out.lines[0].contains("ungated"));
+    }
+}

@@ -773,10 +773,7 @@ mod tests {
         std::thread::scope(|scope| {
             let waiter = {
                 let gate = Arc::clone(&gate);
-                scope.spawn(move || {
-                    gate.admit_within(1, Duration::from_secs(30))
-                        .map(drop)
-                })
+                scope.spawn(move || gate.admit_within(1, Duration::from_secs(30)).map(drop))
             };
             std::thread::sleep(Duration::from_millis(20));
             drop(held);

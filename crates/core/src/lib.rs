@@ -67,7 +67,7 @@ pub use persist::{
 };
 pub use service::{
     AdmissionConfig, IndoorService, KindStats, OverloadPolicy, ServiceError, ServiceStats,
-    ShardConfig, DEFAULT_CACHE_CAPACITY,
+    ShardConfig, ShardStats, DEFAULT_CACHE_CAPACITY,
 };
 pub use stats::TreeStats;
 pub use tree::{BuildError, IpTree, NodeIdx, VipTreeConfig, NO_NODE};

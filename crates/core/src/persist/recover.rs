@@ -342,6 +342,7 @@ impl IndoorService {
         let service = IndoorService {
             shards: RwLock::new(slots),
             counters: Default::default(),
+            deltas_absorbed: Default::default(),
             storage,
             persist_root: Some(dir.to_path_buf()),
             persist_lock: Mutex::new(()),

@@ -647,6 +647,11 @@ pub struct ServiceStats {
     pub admission_timeouts: u64,
     /// Venues in read-only degraded mode.
     pub degraded_venues: usize,
+    /// Individual object deltas absorbed across all venues (batch sizes
+    /// summed over [`IndoorService::update_objects`] and
+    /// [`IndoorService::update_keyword_objects`]; rejected batches count
+    /// nothing).
+    pub deltas_absorbed: u64,
     /// Per-kind counters, indexed by [`QueryKind::index`].
     pub kinds: [KindStats; QueryKind::COUNT],
 }
@@ -676,6 +681,35 @@ impl ServiceStats {
             self.total_cache_hits() as f64 / q as f64
         }
     }
+}
+
+/// Point-in-time snapshot of **one** venue shard, from
+/// [`IndoorService::venue_stats`] — the per-venue view the scenario lab
+/// reads to tell a flash-crowd victim from its idle neighbours (the
+/// aggregate [`ServiceStats`] sums these over shards).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    pub venue: VenueId,
+    /// Rebuild epoch (bumps on [`IndoorService::attach_objects`]).
+    pub epoch: u64,
+    /// Object-set version (bumps on every object mutation).
+    pub version: u64,
+    /// Live result-cache entries (including stale-but-unevicted ones).
+    pub cached_entries: usize,
+    /// Result-cache capacity.
+    pub cache_capacity: usize,
+    /// Clock-eviction count.
+    pub evictions: u64,
+    /// Admitted in-flight query weight (0 on an unbounded shard).
+    pub in_flight: usize,
+    /// Admission capacity (0 = unbounded).
+    pub admission_capacity: usize,
+    /// Requests shed at this shard's gate.
+    pub shed: u64,
+    /// Requests that timed out waiting at this shard's gate.
+    pub admission_timeouts: u64,
+    /// Why the shard is read-only, if it is.
+    pub degraded: Option<String>,
 }
 
 /// Multi-venue query service: routes typed requests to per-venue engine
@@ -719,6 +753,11 @@ pub struct IndoorService {
     /// reused, so a stale id can never alias a new venue).
     pub(crate) shards: RwLock<Vec<Option<Arc<Shard>>>>,
     pub(crate) counters: [KindCounters; QueryKind::COUNT],
+    /// Individual deltas absorbed service-wide (see
+    /// [`ServiceStats::deltas_absorbed`]). Service-level, not per-shard:
+    /// it survives venue removal, so throughput accounting never loses
+    /// history when a venue retires mid-run.
+    pub(crate) deltas_absorbed: AtomicU64,
     /// Every byte of persistence I/O routes through here —
     /// [`OsStorage`] in production, a fault-injecting test double in the
     /// crash-consistency tests.
@@ -743,6 +782,7 @@ impl Default for IndoorService {
         IndoorService {
             shards: RwLock::default(),
             counters: Default::default(),
+            deltas_absorbed: AtomicU64::new(0),
             storage: Arc::new(OsStorage),
             persist_root: None,
             persist_lock: Mutex::new(()),
@@ -1030,6 +1070,8 @@ impl IndoorService {
         let report = prepared.install();
         shard.serving.write().expect("serving lock").version = lsn;
         drop(journal);
+        self.deltas_absorbed
+            .fetch_add(deltas.len() as u64, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -1067,6 +1109,8 @@ impl IndoorService {
         engine.set_keywords(Some(Arc::new(kw)));
         shard.serving.write().expect("serving lock").version = lsn;
         drop(journal);
+        self.deltas_absorbed
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -1300,14 +1344,50 @@ impl IndoorService {
             shed,
             admission_timeouts,
             degraded_venues,
+            deltas_absorbed: self.deltas_absorbed.load(Ordering::Relaxed),
             kinds,
         }
+    }
+
+    /// Snapshot **one** venue's serving state — version/epoch, cache
+    /// occupancy, admission gauges, degradation. The per-venue complement
+    /// of the service-wide [`IndoorService::stats`]; the scenario lab
+    /// reads it to attribute shed/timeout counts to the flash-crowd venue
+    /// rather than the whole fleet.
+    pub fn venue_stats(&self, venue: VenueId) -> Result<ShardStats, ServiceError> {
+        let shard = self.shard(venue)?;
+        let (epoch, version) = {
+            let s = shard.serving.read().expect("serving lock");
+            (s.epoch, s.version)
+        };
+        let (cached_entries, cache_capacity, evictions) = {
+            let cache = shard.cache.lock().expect("cache poisoned");
+            (cache.map.len(), cache.capacity, cache.evictions)
+        };
+        let (in_flight, admission_capacity) = match &shard.admission.gate {
+            Some(gate) => (gate.in_flight(), gate.limit()),
+            None => (0, 0),
+        };
+        Ok(ShardStats {
+            venue,
+            epoch,
+            version,
+            cached_entries,
+            cache_capacity,
+            evictions,
+            in_flight,
+            admission_capacity,
+            shed: shard.admission.shed.load(Ordering::Relaxed),
+            admission_timeouts: shard.admission.timeouts.load(Ordering::Relaxed),
+            degraded: shard.degraded_reason().map(|r| r.to_string()),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use indoor_model::ObjectId;
     use indoor_synth::{random_venue, workload};
 
     fn service_with_one_venue(seed: u64) -> (IndoorService, VenueId, Arc<Venue>) {
@@ -1581,5 +1661,106 @@ mod tests {
         // ...the version never moved, and stats surface the state.
         assert_eq!(service.version(id).unwrap(), 0);
         assert_eq!(service.stats().degraded_venues, 1);
+    }
+
+    #[test]
+    fn deltas_absorbed_counts_batch_sizes_not_batches() {
+        let (service, id, venue) = service_with_one_venue(41);
+        assert_eq!(service.stats().deltas_absorbed, 0);
+        let spots = workload::place_objects(&venue, 4, 9);
+        service
+            .update_objects(
+                id,
+                &[
+                    ObjectDelta::Move {
+                        id: ObjectId(0),
+                        to: spots[0],
+                    },
+                    ObjectDelta::Move {
+                        id: ObjectId(1),
+                        to: spots[1],
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(service.stats().deltas_absorbed, 2);
+        // A rejected batch absorbs nothing.
+        let bad = [ObjectDelta::Remove {
+            id: ObjectId(9_999),
+        }];
+        assert!(service.update_objects(id, &bad).is_err());
+        assert_eq!(service.stats().deltas_absorbed, 2);
+        // Keyword updates count through the same gauge...
+        service
+            .update_keyword_objects(
+                id,
+                &[ObjectUpdate {
+                    delta: ObjectDelta::Insert {
+                        id: ObjectId(0),
+                        at: spots[2],
+                    },
+                    labels: vec!["cafe".into()],
+                }],
+            )
+            .unwrap();
+        assert_eq!(service.stats().deltas_absorbed, 3);
+        // ...and the history survives venue removal.
+        service.remove_venue(id).unwrap();
+        assert_eq!(service.stats().deltas_absorbed, 3);
+    }
+
+    #[test]
+    fn venue_stats_snapshots_one_shard() {
+        let venue = Arc::new(random_venue(42));
+        let service = IndoorService::new();
+        let id = service
+            .add_venue(
+                venue.clone(),
+                ShardConfig {
+                    threads: 1,
+                    objects: workload::place_objects(&venue, 8, 5),
+                    admission: AdmissionConfig {
+                        max_in_flight: 2,
+                        policy: OverloadPolicy::Shed,
+                    },
+                    ..ShardConfig::default()
+                },
+            )
+            .unwrap();
+        let s = service.venue_stats(id).unwrap();
+        assert_eq!(s.venue, id);
+        assert_eq!((s.epoch, s.version), (0, 0));
+        assert_eq!(s.admission_capacity, 2);
+        assert_eq!((s.in_flight, s.shed, s.admission_timeouts), (0, 0, 0));
+        assert_eq!(s.degraded, None);
+
+        let q = workload::query_points(&venue, 1, 6)[0];
+        service.execute(id, &QueryRequest::Knn { q, k: 2 }).unwrap();
+        service
+            .update_objects(
+                id,
+                &[ObjectDelta::Move {
+                    id: ObjectId(0),
+                    to: workload::place_objects(&venue, 1, 11)[0],
+                }],
+            )
+            .unwrap();
+        let s = service.venue_stats(id).unwrap();
+        assert_eq!(s.cached_entries, 1);
+        assert_eq!((s.epoch, s.version), (0, 1));
+
+        // Per-venue attribution: the saturated venue shows the shed, a
+        // second venue stays clean, an unknown id is the typed error.
+        let shard = service.shard(id).unwrap();
+        let held = shard.admit(id, 2).unwrap();
+        assert!(service.execute(id, &QueryRequest::Knn { q, k: 2 }).is_err());
+        drop(held);
+        assert_eq!(service.venue_stats(id).unwrap().shed, 1);
+        let (other_service, other, _) = service_with_one_venue(43);
+        assert_eq!(other_service.venue_stats(other).unwrap().shed, 0);
+        assert!(matches!(
+            service.venue_stats(VenueId::from(7u32)),
+            Err(ServiceError::UnknownVenue(_))
+        ));
     }
 }

@@ -35,6 +35,7 @@ mod path;
 mod point;
 mod query;
 mod request;
+pub mod scenario;
 pub mod serialize;
 mod venue;
 pub mod wire;
@@ -46,6 +47,11 @@ pub use path::IndoorPath;
 pub use point::IndoorPoint;
 pub use query::{IndoorIndex, ObjectQueries, QueryStats};
 pub use request::{AnswerRequest, QueryKind, QueryRequest, QueryResponse};
+pub use scenario::{
+    fingerprint_stream, AdmissionSpec, ArrivalCurve, ChurnSpec, KeywordSkew, OverloadSpec,
+    QueryMix, ScenarioEvent, ScenarioStreamError, StreamFingerprint, TickEvents, VenueAction,
+    VenueEvent, WorkloadProfile,
+};
 pub use serialize::LoadError;
 pub use venue::{AbEdge, Door, Partition, PartitionClass, PartitionKind, Venue, VenueStats};
 

@@ -1,0 +1,92 @@
+//! The scenario-matrix benchmark: compile, validate and replay the six
+//! standard adversarial profiles across the competitor suite and the
+//! full `IndoorService` stack, then emit `BENCH_scenarios.json` and the
+//! human-readable crossover matrix.
+//!
+//! ```sh
+//! cargo run --release -p indoor-scenarios --bin scenario_bench -- \
+//!     [--seed N] [--out PATH] [--matrix-out PATH] [--workers N]
+//! ```
+//!
+//! The seed defaults to 42 (the committed baseline's), can be overridden
+//! by `SCENARIO_SEED`, and is printed so any CI run is reproducible
+//! verbatim. Before measuring, every profile is compiled at two thread
+//! counts and the stream fingerprints are asserted identical — the
+//! bit-determinism contract `scenario_check` later gates across runs.
+//! Overload profiles hard-assert that shed/timeout counters were
+//! actually exercised (`run_matrix` panics otherwise), so a plausible
+//! but idle baseline cannot be committed.
+
+use indoor_model::fingerprint_stream;
+use indoor_scenarios::{
+    compile, report, run_matrix, standard_profiles, standard_world, RunOptions,
+};
+
+fn main() {
+    let mut seed: u64 = std::env::var("SCENARIO_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let mut out_path = format!("{}/../../BENCH_scenarios.json", env!("CARGO_MANIFEST_DIR"));
+    let mut matrix_path: Option<String> = None;
+    let mut workers = RunOptions::default().workers;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("missing seed").parse().expect("bad seed"),
+            "--out" => out_path = it.next().expect("missing out path"),
+            "--matrix-out" => matrix_path = Some(it.next().expect("missing matrix path")),
+            "--workers" => {
+                workers = it
+                    .next()
+                    .expect("missing workers")
+                    .parse()
+                    .expect("bad workers")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: scenario_bench [--seed N] [--out PATH] [--matrix-out PATH] [--workers N]"
+                );
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    println!("scenario_bench seed={seed} workers={workers} (rerun with SCENARIO_SEED={seed})");
+
+    // Determinism pre-flight: identical seeds must reproduce identical
+    // event streams regardless of compile parallelism.
+    let world = standard_world();
+    for sp in standard_profiles() {
+        let a = fingerprint_stream(&compile(&sp.profile, &world, seed, 1));
+        let b = fingerprint_stream(&compile(&sp.profile, &world, seed, 4));
+        assert_eq!(
+            a, b,
+            "profile {} compiled differently at 1 vs 4 threads",
+            sp.profile.name
+        );
+        println!("  {:<16} fingerprint 0x{a:016x}", sp.profile.name);
+    }
+
+    let opts = RunOptions {
+        workers,
+        ..RunOptions::default()
+    };
+    let out = run_matrix(seed, 2, &opts);
+
+    let json = report::render_json(seed, opts.workers, &out.digests, &out.cells);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!(
+        "\nwrote {} ({} profiles x {} cells)",
+        out_path,
+        out.digests.len(),
+        out.cells.len()
+    );
+
+    let matrix = report::crossover_matrix(&out.cells);
+    println!("\n{matrix}");
+    if let Some(path) = matrix_path {
+        std::fs::write(&path, &matrix).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

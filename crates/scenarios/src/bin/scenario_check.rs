@@ -1,0 +1,202 @@
+//! CI regression gate over `BENCH_scenarios.json`.
+//!
+//! ```sh
+//! cargo run --release -p indoor-scenarios --bin scenario_check -- \
+//!     --baseline BENCH_scenarios.json --fresh /tmp/BENCH_scenarios.json [--threshold 3.0]
+//! ```
+//!
+//! Two layers of checking:
+//!
+//! 1. **Determinism.** When the two files were generated from the same
+//!    seed, every baseline profile must reappear in the fresh run with a
+//!    bit-identical stream fingerprint. A mismatch means the workload
+//!    compiler's output changed — either a nondeterminism bug or an
+//!    intentional vocabulary change, and both demand attention (fix the
+//!    bug, or refresh the committed baseline). A missing profile is the
+//!    same hard failure. Different seeds skip the fingerprint layer
+//!    (streams legitimately differ) but the cell gate still applies.
+//! 2. **Latency.** Every (profile, index) cell is gated on fresh p50 at
+//!    most `threshold ×` the baseline through [`indoor_bench::gate`] —
+//!    the same engine as `bench_check`, with the same policy: stale
+//!    baseline cells are hard errors, `host_cores` mismatches downgrade
+//!    ratio violations to warnings, fresh-only cells warn until a
+//!    refreshed baseline is committed.
+
+use indoor_bench::gate;
+use indoor_model::json::{self, Json};
+
+const REFRESH_HINT: &str = "regenerate with `cargo run --release -p indoor-scenarios --bin \
+                            scenario_bench` and commit the refreshed BENCH_scenarios.json";
+
+struct Scenarios {
+    seed: u64,
+    host_cores: usize,
+    /// (profile name, stream fingerprint) pairs.
+    fingerprints: Vec<(String, u64)>,
+    cells: Vec<gate::Cell>,
+}
+
+fn parse_fingerprint(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+fn load(path: &str) -> Scenarios {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    let seed = doc
+        .get("seed")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("{path}: missing seed")) as u64;
+    let host_cores = doc
+        .get("host_cores")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("{path}: missing host_cores"));
+    let fingerprints = doc
+        .get("profiles")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{path}: missing profiles array"))
+        .iter()
+        .map(|row| {
+            let name = row
+                .get("name")
+                .and_then(Json::as_str)
+                .expect("profile name");
+            let fp = row
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .and_then(parse_fingerprint)
+                .unwrap_or_else(|| panic!("{path}: profile {name}: bad fingerprint"));
+            (name.to_string(), fp)
+        })
+        .collect();
+    let cells = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{path}: missing results array"))
+        .iter()
+        .map(|row| {
+            let profile = row
+                .get("profile")
+                .and_then(Json::as_str)
+                .expect("row profile");
+            let index = row.get("index").and_then(Json::as_str).expect("row index");
+            let us = row
+                .get("p50_us")
+                .and_then(Json::as_f64)
+                .expect("row p50_us");
+            gate::Cell::new(format!("({profile}, {index})"), us)
+        })
+        .collect();
+    Scenarios {
+        seed,
+        host_cores,
+        fingerprints,
+        cells,
+    }
+}
+
+fn main() {
+    let mut baseline_path = String::from("BENCH_scenarios.json");
+    let mut fresh_path = String::new();
+    let mut threshold = 3.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = it.next().expect("missing baseline path"),
+            "--fresh" => fresh_path = it.next().expect("missing fresh path"),
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .expect("missing threshold")
+                    .parse()
+                    .expect("bad threshold")
+            }
+            "--help" | "-h" => {
+                println!("usage: scenario_check --baseline PATH --fresh PATH [--threshold X]");
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(!fresh_path.is_empty(), "--fresh PATH is required");
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+
+    // Layer 1: bit-determinism of the compiled streams.
+    let mut failures = 0usize;
+    if baseline.seed == fresh.seed {
+        for (name, base_fp) in &baseline.fingerprints {
+            match fresh.fingerprints.iter().find(|(n, _)| n == name) {
+                None => {
+                    failures += 1;
+                    println!(
+                        "FAIL: baseline profile {name} missing from the fresh run — stale \
+                         baseline; if the profile was renamed or removed intentionally, \
+                         {REFRESH_HINT}"
+                    );
+                }
+                Some((_, fp)) if fp != base_fp => {
+                    failures += 1;
+                    println!(
+                        "FAIL: profile {name} fingerprint 0x{fp:016x} != baseline 0x{base_fp:016x} \
+                         at the same seed {} — the workload compiler is nondeterministic or its \
+                         vocabulary changed; if intentional, {REFRESH_HINT}",
+                        baseline.seed
+                    );
+                }
+                Some((_, fp)) => {
+                    println!("ok    profile {name} fingerprint 0x{fp:016x} reproduced");
+                }
+            }
+        }
+    } else {
+        println!(
+            "WARN: seeds differ (baseline {}, fresh {}) — fingerprint determinism not checked",
+            baseline.seed, fresh.seed
+        );
+    }
+
+    // Layer 2: p50 latency per (profile, index) cell.
+    let comparable = baseline.host_cores == fresh.host_cores;
+    if !comparable {
+        println!(
+            "WARN: host_cores mismatch (baseline {}, fresh {}) — ratio regressions reported as warnings only",
+            baseline.host_cores, fresh.host_cores
+        );
+    }
+    let out = gate::compare(
+        &baseline.cells,
+        &fresh.cells,
+        &gate::GateConfig {
+            threshold,
+            comparable,
+            incomparable_reason: format!(
+                "host_cores {} in baseline vs {} here — contention profile incomparable",
+                baseline.host_cores, fresh.host_cores
+            ),
+            refresh_hint: REFRESH_HINT.to_string(),
+            // Sub-50ns p50s (keyword dispatch on bare indexes) sit at
+            // timer resolution; don't ratio-gate a floored baseline.
+            noise_floor: 0.05,
+        },
+    );
+    for line in &out.lines {
+        println!("{line}");
+    }
+    let failures = failures + out.failures;
+    println!(
+        "checked {} fingerprints + {} cells against {baseline_path} (threshold {threshold}x): \
+         {failures} failures, {} warnings",
+        baseline.fingerprints.len(),
+        baseline.cells.len(),
+        out.warnings
+    );
+    if failures > 0 {
+        eprintln!(
+            "scenario gate failed: fingerprint drift, stale baseline cell, or >{threshold}x \
+             p50 regression on matching hardware"
+        );
+        std::process::exit(1);
+    }
+}

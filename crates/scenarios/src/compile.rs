@@ -1,0 +1,646 @@
+//! Profile → event-stream compiler.
+//!
+//! [`compile`] lowers a [`WorkloadProfile`] into a concrete
+//! [`TickEvents`] stream against a [`ScenarioWorld`] (one venue per
+//! slot). The compilation is **bit-deterministic for a fixed seed at any
+//! thread count**, which is what lets CI gate on a single stream
+//! fingerprint:
+//!
+//! * Phase 1 (serial): the *stateful* plan — venue lifecycle, the churn
+//!   batches (whose validity depends on every prior delta: you cannot
+//!   remove an object you already removed), and the per-tick alive-slot
+//!   sets.
+//! * Phase 2 (parallel over ticks): the *stateless* query events. Each
+//!   tick draws from its own RNG seeded by `(seed, tick)`, so the result
+//!   is independent of how ticks are distributed over workers
+//!   ([`par_map_init`] is slot-indexed, not arrival-ordered).
+//!
+//! [`validate_stream`] is the independent re-simulation the proptests
+//! run: every generated stream must pass it before it is allowed near a
+//! service — slot ids in range, no query to a dead venue, and every
+//! delta batch applicable without a `DeltaError` to the object set its
+//! prior deltas imply.
+
+use crate::zipf::Zipf;
+use indoor_graph::parallel::par_map_init;
+use indoor_model::scenario::ScenarioStreamError;
+use indoor_model::{
+    IndoorPoint, KeywordSkew, ObjectDelta, ObjectId, ObjectUpdate, QueryKind, QueryRequest,
+    ScenarioEvent, TickEvents, Venue, VenueAction, WorkloadProfile,
+};
+use indoor_synth::workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Never let churn drain a slot's object set below this: kNN over an
+/// empty set is a different workload, not a harder one.
+const MIN_LIVE: usize = 8;
+
+/// The venues behind the profile's slots: slot `i` serves
+/// `venues[i]`. Venue add/remove events re-register the same venue —
+/// the *world* is fixed, the *service membership* churns.
+#[derive(Clone)]
+pub struct ScenarioWorld {
+    venues: Vec<Arc<Venue>>,
+}
+
+impl ScenarioWorld {
+    pub fn new(venues: Vec<Arc<Venue>>) -> ScenarioWorld {
+        assert!(!venues.is_empty(), "world needs at least one venue");
+        ScenarioWorld { venues }
+    }
+
+    pub fn slots(&self) -> u32 {
+        self.venues.len() as u32
+    }
+
+    pub fn venue(&self, slot: u32) -> &Arc<Venue> {
+        &self.venues[slot as usize]
+    }
+
+    /// The initial object set of `slot` — ids `0..n` at seeded
+    /// positions. The compiler's churn liveness model and the runner's
+    /// `ShardConfig::objects` both start from exactly this set, which is
+    /// what makes generated delta streams valid by construction.
+    pub fn base_objects(&self, slot: u32, n: u32, seed: u64) -> Vec<IndoorPoint> {
+        workload::place_objects(
+            self.venue(slot),
+            n as usize,
+            mix(seed, 0xB0B5 ^ u64::from(slot)),
+        )
+    }
+}
+
+/// Derive an independent RNG seed from `(seed, salt)` (SplitMix64-style
+/// odd-constant spread; `StdRng::seed_from_u64` hashes again on top).
+fn mix(seed: u64, salt: u64) -> u64 {
+    seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// How many events tick `tick` carries for `slot` under the profile's
+/// arrival shape: with a `hot_slot`, the curve applies to that slot only
+/// and everyone else holds base load — the flash-crowd victim vs. its
+/// neighbours.
+fn tick_count(profile: &WorkloadProfile, base: u32, tick: u32, slot: u32) -> u32 {
+    let level = match profile.hot_slot {
+        Some(hot) if hot != slot => 1.0,
+        _ => profile.arrival.level(tick, profile.ticks),
+    };
+    (f64::from(base) * level + 0.5) as u32
+}
+
+/// One slot's churn liveness model (phase 1 state).
+struct LiveSet {
+    live: Vec<u32>,
+    next_id: u32,
+}
+
+impl LiveSet {
+    fn new(n: u32) -> LiveSet {
+        LiveSet {
+            live: (0..n).collect(),
+            next_id: n,
+        }
+    }
+}
+
+/// Generate one churn batch against `set`, advancing it. When `zipf` is
+/// `Some`, the batch is a *keyword* batch: every update labelled, and —
+/// because a keyword object set only ever grows or moves here — no
+/// removes (the plain set absorbs the removals; see the module docs of
+/// the runner for how batches route).
+fn churn_batch(
+    set: &mut LiveSet,
+    venue: &Venue,
+    count: u32,
+    insert_pct: u32,
+    remove_pct: u32,
+    zipf: Option<(&Zipf, &KeywordSkew)>,
+    rng: &mut StdRng,
+) -> Vec<ObjectUpdate> {
+    let mut updates = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let roll: u32 = rng.gen_range(0..100);
+        let labels = |rng: &mut StdRng| match zipf {
+            Some((z, _)) => vec![KeywordSkew::label(z.sample(rng))],
+            None => Vec::new(),
+        };
+        let delta = if roll < insert_pct {
+            let id = ObjectId(set.next_id);
+            set.next_id += 1;
+            set.live.push(id.0);
+            ObjectDelta::Insert {
+                id,
+                at: workload::random_point(venue, rng),
+            }
+        } else if roll < insert_pct + remove_pct && set.live.len() > MIN_LIVE && zipf.is_none() {
+            let idx = rng.gen_range(0..set.live.len());
+            ObjectDelta::Remove {
+                id: ObjectId(set.live.swap_remove(idx)),
+            }
+        } else {
+            let idx = rng.gen_range(0..set.live.len());
+            ObjectDelta::Move {
+                id: ObjectId(set.live[idx]),
+                to: workload::random_point(venue, rng),
+            }
+        };
+        updates.push(ObjectUpdate {
+            delta,
+            labels: labels(rng),
+        });
+    }
+    updates
+}
+
+/// Lower `profile` to its event stream. `threads` parallelises query
+/// generation only — the output is bit-identical for any value
+/// (`fingerprint_stream` proves it in the proptests).
+pub fn compile(
+    profile: &WorkloadProfile,
+    world: &ScenarioWorld,
+    seed: u64,
+    threads: usize,
+) -> Vec<TickEvents> {
+    assert!(
+        profile.max_slot() < world.slots(),
+        "profile {} references slot {} but the world has {}",
+        profile.name,
+        profile.max_slot(),
+        world.slots()
+    );
+    let kw = profile
+        .keywords
+        .as_ref()
+        .map(|skew| (Zipf::for_skew(skew), *skew));
+    assert!(
+        profile.mix.weights[QueryKind::KnnKeyword.index()] == 0 || kw.is_some(),
+        "profile {} mixes keyword queries without a KeywordSkew",
+        profile.name
+    );
+
+    // ---- Phase 1: serial stateful plan ------------------------------
+    let mut alive: Vec<bool> = (0..world.slots())
+        .map(|s| s < profile.initial_slots)
+        .collect();
+    // Per-slot churn liveness; keyword set tracked separately (the two
+    // object sets are independent indexes and diverge under churn).
+    let mut plain_sets: Vec<LiveSet> = (0..world.slots())
+        .map(|_| LiveSet::new(profile.objects_per_venue))
+        .collect();
+    let mut kw_sets: Vec<LiveSet> = (0..world.slots())
+        .map(|_| LiveSet::new(profile.objects_per_venue))
+        .collect();
+    let mut churn_rng = StdRng::seed_from_u64(mix(seed, 0xC0FF_EE00));
+
+    let mut lifecycle: Vec<Vec<ScenarioEvent>> = vec![Vec::new(); profile.ticks as usize];
+    for ev in &profile.venue_events {
+        if ev.tick >= profile.ticks {
+            continue;
+        }
+        let out = &mut lifecycle[ev.tick as usize];
+        match ev.action {
+            VenueAction::Add { slot } if !alive[slot as usize] => {
+                alive[slot as usize] = true;
+                // A re-added slot starts from fresh base objects (the
+                // runner attaches them on add), so its liveness resets.
+                plain_sets[slot as usize] = LiveSet::new(profile.objects_per_venue);
+                kw_sets[slot as usize] = LiveSet::new(profile.objects_per_venue);
+                out.push(ScenarioEvent::AddVenue { slot });
+            }
+            VenueAction::Remove { slot } if alive[slot as usize] => {
+                alive[slot as usize] = false;
+                out.push(ScenarioEvent::RemoveVenue { slot });
+            }
+            // No-op transitions (double add/remove) are dropped at
+            // compile time so every emitted event changes state.
+            _ => {}
+        }
+    }
+
+    // Alive-slot sets and churn batches, resolved per tick in order.
+    let mut alive_at: Vec<Vec<u32>> = Vec::with_capacity(profile.ticks as usize);
+    let mut updates_at: Vec<Vec<ScenarioEvent>> = Vec::with_capacity(profile.ticks as usize);
+    {
+        // Replay the lifecycle serially so tick t's plan sees every
+        // add/remove with tick ≤ t.
+        let mut alive_now: Vec<bool> = (0..world.slots())
+            .map(|s| s < profile.initial_slots)
+            .collect();
+        for tick in 0..profile.ticks {
+            for ev in &lifecycle[tick as usize] {
+                match ev {
+                    ScenarioEvent::AddVenue { slot } => alive_now[*slot as usize] = true,
+                    ScenarioEvent::RemoveVenue { slot } => alive_now[*slot as usize] = false,
+                    _ => unreachable!("lifecycle holds venue events only"),
+                }
+            }
+            alive_at.push(
+                (0..world.slots())
+                    .filter(|&s| alive_now[s as usize])
+                    .collect(),
+            );
+
+            let mut tick_updates = Vec::new();
+            if let Some(churn) = &profile.churn {
+                let slot = profile.churn_slot;
+                if alive_now[slot as usize] {
+                    let count = (f64::from(churn.base_per_tick)
+                        * churn.curve.level(tick, profile.ticks)
+                        + 0.5) as u32;
+                    if count > 0 {
+                        // Keyword batches interleave with plain ones when
+                        // the profile carries a vocabulary, exercising
+                        // both maintenance paths under one stream.
+                        let keyworded = kw.is_some() && churn_rng.gen_bool(0.34);
+                        let (set, zipf) = if keyworded {
+                            let (z, s) = kw.as_ref().unwrap();
+                            (&mut kw_sets[slot as usize], Some((z, s)))
+                        } else {
+                            (&mut plain_sets[slot as usize], None)
+                        };
+                        let updates = churn_batch(
+                            set,
+                            world.venue(slot),
+                            count,
+                            churn.insert_pct,
+                            churn.remove_pct,
+                            zipf,
+                            &mut churn_rng,
+                        );
+                        tick_updates.push(ScenarioEvent::Updates { slot, updates });
+                    }
+                }
+            }
+            updates_at.push(tick_updates);
+        }
+    }
+
+    // Per-slot hot pools for the kiosk-repeat share of traffic.
+    let hot_pools: Vec<Vec<IndoorPoint>> = (0..world.slots())
+        .map(|slot| {
+            workload::query_points(
+                world.venue(slot),
+                profile.hot_set.max(1) as usize,
+                mix(seed, 0x407 ^ u64::from(slot)),
+            )
+        })
+        .collect();
+
+    // ---- Phase 2: parallel stateless query generation ---------------
+    let ticks: Vec<u32> = (0..profile.ticks).collect();
+    let queries_at: Vec<Vec<ScenarioEvent>> = par_map_init(
+        &ticks,
+        threads,
+        || (),
+        |_, _, &tick| {
+            let mut rng = StdRng::seed_from_u64(mix(seed, 0x7100 ^ u64::from(tick)));
+            let mut events = Vec::new();
+            for &slot in &alive_at[tick as usize] {
+                let venue = world.venue(slot);
+                let pool = &hot_pools[slot as usize];
+                let count = tick_count(profile, profile.queries_per_tick, tick, slot);
+                for _ in 0..count {
+                    let point = |rng: &mut StdRng| {
+                        if profile.repeat_pct > 0 && rng.gen_range(0u32..100) < profile.repeat_pct {
+                            pool[rng.gen_range(0..pool.len())]
+                        } else {
+                            workload::random_point(venue, rng)
+                        }
+                    };
+                    let roll = rng.gen_range(0..profile.mix.total());
+                    let req = match profile.mix.kind_for(roll) {
+                        QueryKind::Knn => QueryRequest::Knn {
+                            q: point(&mut rng),
+                            k: profile.knn_k as usize,
+                        },
+                        QueryKind::Range => QueryRequest::Range {
+                            q: point(&mut rng),
+                            radius: profile.range_radius,
+                        },
+                        QueryKind::KnnKeyword => {
+                            let (z, _) = kw.as_ref().expect("mix checked above");
+                            QueryRequest::KnnKeyword {
+                                q: point(&mut rng),
+                                k: profile.knn_k as usize,
+                                keyword: KeywordSkew::label(z.sample(&mut rng)).into(),
+                            }
+                        }
+                        QueryKind::ShortestDistance => QueryRequest::ShortestDistance {
+                            s: point(&mut rng),
+                            t: point(&mut rng),
+                        },
+                        QueryKind::ShortestPath => QueryRequest::ShortestPath {
+                            s: point(&mut rng),
+                            t: point(&mut rng),
+                        },
+                    };
+                    events.push(ScenarioEvent::Query { slot, req });
+                }
+            }
+            events
+        },
+    );
+
+    // ---- Assembly: lifecycle, then queries, then updates ------------
+    ticks
+        .into_iter()
+        .map(|tick| {
+            let mut events = std::mem::take(&mut lifecycle[tick as usize]);
+            events.extend(queries_at[tick as usize].iter().cloned());
+            events.extend(updates_at[tick as usize].iter().cloned());
+            TickEvents { tick, events }
+        })
+        .collect()
+}
+
+/// Independently re-simulate `stream` and reject anything a service
+/// would have to reject: out-of-range or dead slots, points outside a
+/// slot's venue, delta batches that would raise a `DeltaError`, mixed
+/// plain/keyword batches, unordered ticks.
+pub fn validate_stream(
+    profile: &WorkloadProfile,
+    world: &ScenarioWorld,
+    stream: &[TickEvents],
+) -> Result<(), ScenarioStreamError> {
+    let slots = world.slots();
+    let mut alive: Vec<bool> = (0..slots).map(|s| s < profile.initial_slots).collect();
+    let mut plain: Vec<HashSet<u32>> = (0..slots)
+        .map(|_| (0..profile.objects_per_venue).collect())
+        .collect();
+    let mut kws: Vec<HashSet<u32>> = (0..slots)
+        .map(|_| (0..profile.objects_per_venue).collect())
+        .collect();
+    let mut last_tick: Option<u32> = None;
+
+    let check_slot = |tick: u32, slot: u32| {
+        if slot >= slots {
+            Err(ScenarioStreamError::SlotOutOfRange { tick, slot, slots })
+        } else {
+            Ok(())
+        }
+    };
+    let check_point = |tick: u32, slot: u32, p: &IndoorPoint| {
+        if p.partition.index() >= world.venue(slot).num_partitions() {
+            Err(ScenarioStreamError::BadPartition { tick, slot })
+        } else {
+            Ok(())
+        }
+    };
+
+    for te in stream {
+        let tick = te.tick;
+        if let Some(prev) = last_tick {
+            if tick <= prev {
+                return Err(ScenarioStreamError::UnorderedTicks { tick });
+            }
+        }
+        last_tick = Some(tick);
+        for ev in &te.events {
+            match ev {
+                ScenarioEvent::AddVenue { slot } => {
+                    check_slot(tick, *slot)?;
+                    if alive[*slot as usize] {
+                        return Err(ScenarioStreamError::InvalidDelta {
+                            tick,
+                            slot: *slot,
+                            detail: "add of an already-alive slot".into(),
+                        });
+                    }
+                    alive[*slot as usize] = true;
+                    plain[*slot as usize] = (0..profile.objects_per_venue).collect();
+                    kws[*slot as usize] = (0..profile.objects_per_venue).collect();
+                }
+                ScenarioEvent::RemoveVenue { slot } => {
+                    check_slot(tick, *slot)?;
+                    if !alive[*slot as usize] {
+                        return Err(ScenarioStreamError::SlotNotAlive { tick, slot: *slot });
+                    }
+                    alive[*slot as usize] = false;
+                }
+                ScenarioEvent::Query { slot, req } => {
+                    check_slot(tick, *slot)?;
+                    if !alive[*slot as usize] {
+                        return Err(ScenarioStreamError::SlotNotAlive { tick, slot: *slot });
+                    }
+                    match req {
+                        QueryRequest::Knn { q, .. }
+                        | QueryRequest::Range { q, .. }
+                        | QueryRequest::KnnKeyword { q, .. } => check_point(tick, *slot, q)?,
+                        QueryRequest::ShortestDistance { s, t }
+                        | QueryRequest::ShortestPath { s, t } => {
+                            check_point(tick, *slot, s)?;
+                            check_point(tick, *slot, t)?;
+                        }
+                    }
+                }
+                ScenarioEvent::Updates { slot, updates } => {
+                    check_slot(tick, *slot)?;
+                    if !alive[*slot as usize] {
+                        return Err(ScenarioStreamError::SlotNotAlive { tick, slot: *slot });
+                    }
+                    let labelled = updates.iter().filter(|u| !u.labels.is_empty()).count();
+                    if labelled != 0 && labelled != updates.len() {
+                        return Err(ScenarioStreamError::InvalidDelta {
+                            tick,
+                            slot: *slot,
+                            detail: "batch mixes labelled and unlabelled updates".into(),
+                        });
+                    }
+                    let set = if labelled == 0 {
+                        &mut plain[*slot as usize]
+                    } else {
+                        &mut kws[*slot as usize]
+                    };
+                    for u in updates {
+                        let bad = |detail: String| ScenarioStreamError::InvalidDelta {
+                            tick,
+                            slot: *slot,
+                            detail,
+                        };
+                        match &u.delta {
+                            ObjectDelta::Insert { id, at } => {
+                                check_point(tick, *slot, at)?;
+                                if !set.insert(id.0) {
+                                    return Err(bad(format!("duplicate insert of {id}")));
+                                }
+                            }
+                            ObjectDelta::Remove { id } => {
+                                if !set.remove(&id.0) {
+                                    return Err(bad(format!("remove of unknown {id}")));
+                                }
+                            }
+                            ObjectDelta::Move { id, to } => {
+                                check_point(tick, *slot, to)?;
+                                if !set.contains(&id.0) {
+                                    return Err(bad(format!("move of unknown {id}")));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_model::{fingerprint_stream, ArrivalCurve, ChurnSpec, QueryMix, VenueEvent};
+    use indoor_synth::random_venue;
+
+    fn small_world(slots: u32) -> ScenarioWorld {
+        ScenarioWorld::new(
+            (0..slots)
+                .map(|s| Arc::new(random_venue(60 + u64::from(s))))
+                .collect(),
+        )
+    }
+
+    fn churny_profile() -> WorkloadProfile {
+        let mut p = WorkloadProfile::base("churny");
+        p.ticks = 12;
+        p.queries_per_tick = 16;
+        p.initial_slots = 2;
+        p.keywords = Some(KeywordSkew {
+            vocabulary: 8,
+            exponent: 1,
+        });
+        p.mix = QueryMix::uniform();
+        p.churn = Some(ChurnSpec {
+            base_per_tick: 20,
+            curve: ArrivalCurve::Spike {
+                start: 4,
+                len: 3,
+                magnify: 5,
+            },
+            insert_pct: 30,
+            remove_pct: 30,
+        });
+        p.repeat_pct = 25;
+        p.venue_events = vec![
+            VenueEvent {
+                tick: 3,
+                action: VenueAction::Remove { slot: 1 },
+            },
+            VenueEvent {
+                tick: 8,
+                action: VenueAction::Add { slot: 1 },
+            },
+        ];
+        p
+    }
+
+    #[test]
+    fn compile_is_thread_count_invariant() {
+        let world = small_world(2);
+        let p = churny_profile();
+        let a = compile(&p, &world, 99, 1);
+        let b = compile(&p, &world, 99, 3);
+        assert_eq!(fingerprint_stream(&a), fingerprint_stream(&b));
+        assert_eq!(a, b);
+        // A different seed is a different stream.
+        let c = compile(&p, &world, 100, 1);
+        assert_ne!(fingerprint_stream(&a), fingerprint_stream(&c));
+    }
+
+    #[test]
+    fn compiled_stream_validates_and_exercises_every_event_kind() {
+        let world = small_world(2);
+        let p = churny_profile();
+        let stream = compile(&p, &world, 7, 2);
+        validate_stream(&p, &world, &stream).expect("stream valid");
+        let queries: usize = stream.iter().map(TickEvents::queries).sum();
+        let deltas: usize = stream.iter().map(TickEvents::deltas).sum();
+        assert!(queries > 0 && deltas > 0);
+        let lifecycle = stream
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| {
+                matches!(
+                    e,
+                    ScenarioEvent::AddVenue { .. } | ScenarioEvent::RemoveVenue { .. }
+                )
+            })
+            .count();
+        assert_eq!(lifecycle, 2, "one remove + one re-add");
+        // Both maintenance paths appear: labelled and plain batches.
+        let (mut plain_batches, mut kw_batches) = (0, 0);
+        for ev in stream.iter().flat_map(|t| &t.events) {
+            if let ScenarioEvent::Updates { updates, .. } = ev {
+                if updates.iter().all(|u| u.labels.is_empty()) {
+                    plain_batches += 1;
+                } else {
+                    kw_batches += 1;
+                }
+            }
+        }
+        assert!(plain_batches > 0 && kw_batches > 0);
+    }
+
+    #[test]
+    fn spike_concentrates_load_on_the_hot_slot() {
+        let world = small_world(2);
+        let mut p = WorkloadProfile::base("flash");
+        p.ticks = 10;
+        p.queries_per_tick = 10;
+        p.initial_slots = 2;
+        p.arrival = ArrivalCurve::Spike {
+            start: 5,
+            len: 2,
+            magnify: 10,
+        };
+        p.hot_slot = Some(1);
+        let stream = compile(&p, &world, 5, 1);
+        validate_stream(&p, &world, &stream).unwrap();
+        let count = |tick: usize, slot: u32| {
+            stream[tick]
+                .events
+                .iter()
+                .filter(|e| matches!(e, ScenarioEvent::Query { slot: s, .. } if *s == slot))
+                .count()
+        };
+        assert_eq!(count(4, 1), 10, "base load before the spike");
+        assert_eq!(count(5, 1), 100, "10x at the hot slot");
+        assert_eq!(count(5, 0), 10, "neighbour unaffected");
+    }
+
+    #[test]
+    fn validator_rejects_corrupted_streams() {
+        let world = small_world(1);
+        let p = WorkloadProfile::base("tiny");
+        let mut stream = compile(&p, &world, 1, 1);
+        // Duplicate insert of a base id.
+        stream[0].events.push(ScenarioEvent::Updates {
+            slot: 0,
+            updates: vec![ObjectUpdate {
+                delta: ObjectDelta::Insert {
+                    id: ObjectId(0),
+                    at: world.base_objects(0, 1, 1)[0],
+                },
+                labels: Vec::new(),
+            }],
+        });
+        assert!(matches!(
+            validate_stream(&p, &world, &stream),
+            Err(ScenarioStreamError::InvalidDelta { .. })
+        ));
+        // Query to an out-of-range slot.
+        let mut stream = compile(&p, &world, 1, 1);
+        stream[0].events.push(ScenarioEvent::Query {
+            slot: 9,
+            req: QueryRequest::Knn {
+                q: world.base_objects(0, 1, 1)[0],
+                k: 1,
+            },
+        });
+        assert!(matches!(
+            validate_stream(&p, &world, &stream),
+            Err(ScenarioStreamError::SlotOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! Machine- and human-readable outputs of a matrix run.
+//!
+//! [`render_json`] emits the `BENCH_scenarios.json` schema consumed by
+//! `scenario_check`:
+//!
+//! ```json
+//! {
+//!   "suite": "scenario-matrix",
+//!   "seed": 42,
+//!   "host_cores": 1,
+//!   "workers": 4,
+//!   "profiles": [ {"name": "...", "fingerprint": "0x...", ...} ],
+//!   "results":  [ {"profile": "...", "index": "...", "p50_us": ...} ]
+//! }
+//! ```
+//!
+//! Fingerprints are hex **strings**, not numbers — a u64 does not
+//! round-trip through f64 JSON parsing. [`crossover_matrix`] renders the
+//! comparative table (which index wins where, and what overload did to
+//! the service cells).
+
+use crate::run::CellMetrics;
+use std::fmt::Write as _;
+
+/// Identity of one compiled profile stream: size plus the order- and
+/// content-sensitive fingerprint `scenario_check` compares exactly when
+/// seeds match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileDigest {
+    pub name: String,
+    pub fingerprint: u64,
+    pub ticks: u32,
+    pub queries: usize,
+    pub deltas: usize,
+}
+
+/// Render the committed JSON document.
+pub fn render_json(
+    seed: u64,
+    workers: usize,
+    digests: &[ProfileDigest],
+    cells: &[CellMetrics],
+) -> String {
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"suite\": \"scenario-matrix\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(s, "  \"workers\": {workers},");
+    s.push_str("  \"profiles\": [\n");
+    for (i, d) in digests.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"fingerprint\": \"0x{:016x}\", \"ticks\": {}, \"queries\": {}, \"deltas\": {}}}",
+            d.name, d.fingerprint, d.ticks, d.queries, d.deltas
+        );
+        s.push_str(if i + 1 < digests.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"profile\": \"{}\", \"index\": \"{}\", \"requests\": {}, \"answered\": {}, \
+             \"dropped\": {}, \"shed\": {}, \"timeouts\": {}, \"p50_us\": {:.3}, \
+             \"p99_us\": {:.3}, \"qps\": {:.1}, \"cache_hit_rate\": {:.4}, \"deltas\": {}, \
+             \"deltas_per_sec\": {:.1}, \"wall_ms\": {:.2}}}",
+            c.profile,
+            c.index,
+            c.requests,
+            c.answered,
+            c.dropped,
+            c.shed,
+            c.timeouts,
+            c.p50_us,
+            c.p99_us,
+            c.qps,
+            c.cache_hit_rate,
+            c.deltas,
+            c.deltas_per_sec,
+            c.wall_ms
+        );
+        s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Render the human-readable crossover matrix: p50 latency per
+/// (profile × index) with the per-profile winner starred, then the
+/// service-cell detail lines (throughput, overload, cache, churn).
+pub fn crossover_matrix(cells: &[CellMetrics]) -> String {
+    let mut profiles: Vec<&str> = Vec::new();
+    let mut indexes: Vec<&str> = Vec::new();
+    for c in cells {
+        if !profiles.contains(&c.profile.as_str()) {
+            profiles.push(&c.profile);
+        }
+        if !indexes.contains(&c.index.as_str()) {
+            indexes.push(&c.index);
+        }
+    }
+    let cell = |p: &str, ix: &str| {
+        cells
+            .iter()
+            .find(|c| c.profile == p && c.index == ix)
+            .map(|c| c.p50_us)
+    };
+
+    let mut s = String::new();
+    s.push_str("Crossover matrix — p50 us per request (* = fastest for the profile)\n\n");
+    let _ = write!(s, "{:<16}", "profile");
+    for ix in &indexes {
+        let _ = write!(s, "{ix:>12}");
+    }
+    s.push('\n');
+    for p in &profiles {
+        let best = indexes
+            .iter()
+            .filter_map(|ix| cell(p, ix))
+            .fold(f64::INFINITY, f64::min);
+        let _ = write!(s, "{p:<16}");
+        for ix in &indexes {
+            match cell(p, ix) {
+                Some(us) => {
+                    let star = if us == best { "*" } else { "" };
+                    let _ = write!(s, "{:>12}", format!("{us:.1}{star}"));
+                }
+                None => {
+                    let _ = write!(s, "{:>12}", "-");
+                }
+            }
+        }
+        s.push('\n');
+    }
+
+    s.push_str("\nService cells (end-to-end: admission + cache + churn)\n\n");
+    let _ = writeln!(
+        s,
+        "{:<16} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>11}",
+        "profile", "qps", "p99 us", "shed", "timeout", "dropped", "hit rate", "deltas/s"
+    );
+    for c in cells.iter().filter(|c| c.index == "SVC") {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>9.0} {:>8.1} {:>8} {:>8} {:>8} {:>8.1}% {:>11.0}",
+            c.profile,
+            c.qps,
+            c.p99_us,
+            c.shed,
+            c.timeouts,
+            c.dropped,
+            c.cache_hit_rate * 100.0,
+            c.deltas_per_sec
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_model::json::{self, Json};
+
+    fn cell(profile: &str, index: &str, p50: f64) -> CellMetrics {
+        CellMetrics {
+            profile: profile.into(),
+            index: index.into(),
+            requests: 10,
+            answered: 10,
+            dropped: 0,
+            shed: 1,
+            timeouts: 2,
+            p50_us: p50,
+            p99_us: p50 * 3.0,
+            qps: 1000.0,
+            cache_hit_rate: 0.25,
+            deltas: 5,
+            deltas_per_sec: 50.0,
+            wall_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_vendored_parser() {
+        let digests = [ProfileDigest {
+            name: "diurnal".into(),
+            fingerprint: 0xdead_beef_cafe_f00d,
+            ticks: 32,
+            queries: 1536,
+            deltas: 0,
+        }];
+        let cells = [cell("diurnal", "SVC", 21.5), cell("diurnal", "VIP", 14.0)];
+        let text = render_json(42, 4, &digests, &cells);
+        let doc = json::parse(&text).expect("parses");
+        assert_eq!(doc.get("seed").and_then(Json::as_usize), Some(42));
+        let profiles = doc.get("profiles").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            profiles[0].get("fingerprint").and_then(Json::as_str),
+            Some("0xdeadbeefcafef00d")
+        );
+        let results = doc.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].get("index").and_then(Json::as_str), Some("VIP"));
+        assert!(results[0].get("p50_us").and_then(Json::as_f64).unwrap() > 21.0);
+    }
+
+    #[test]
+    fn crossover_stars_the_winner_and_details_service_cells() {
+        let cells = [
+            cell("diurnal", "SVC", 21.5),
+            cell("diurnal", "VIP", 14.0),
+            cell("diurnal", "GT", 19.0),
+        ];
+        let m = crossover_matrix(&cells);
+        assert!(m.contains("14.0*"), "winner starred:\n{m}");
+        assert!(!m.contains("19.0*"), "loser unstarred:\n{m}");
+        assert!(m.contains("Service cells"), "{m}");
+        assert!(m.contains("25.0%"), "hit rate rendered:\n{m}");
+    }
+}

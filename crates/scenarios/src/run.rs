@@ -1,0 +1,397 @@
+//! Stream runners: replay a compiled scenario against the full
+//! [`IndoorService`] stack or query-only against one bare index.
+//!
+//! [`run_service`] is the end-to-end cell: per-venue shards behind
+//! admission gates, the result cache, WAL-less volatile mutation paths,
+//! and `opts.workers` concurrent client threads per tick with
+//! bounded-retry backoff on overload — the closed-loop client a real
+//! front-end would be. Updates of a tick apply **concurrently** with its
+//! queries (that overlap is the point of the churn profiles).
+//!
+//! [`run_index`] is the comparative cell: the same stream's slot-0
+//! queries replayed serially through [`AnyIndex::answer`] — no cache, no
+//! admission, no churn (updates are skipped; every competitor index is
+//! an immutable snapshot). Keyword queries answer empty on plain
+//! indexes, so `zipf_keyword` rows for bare indexes measure dispatch
+//! cost only; the service row is the real keyword comparison.
+
+use crate::compile::ScenarioWorld;
+use indoor_bench::AnyIndex;
+use indoor_model::OverloadSpec;
+use indoor_model::{
+    KeywordSkew, ObjectDelta, QueryRequest, ScenarioEvent, TickEvents, VenueId, WorkloadProfile,
+};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use vip_tree::{AdmissionConfig, IndoorService, OverloadPolicy, ServiceError, ShardConfig};
+
+/// Client behaviour of [`run_service`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Concurrent query workers per tick.
+    pub workers: usize,
+    /// Retries after an `Overloaded`/`Timeout` rejection before the
+    /// request is dropped.
+    pub retries: u32,
+    /// Sleep between retries (a closed-loop client's think time).
+    pub backoff: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            workers: 4,
+            retries: 64,
+            backoff: Duration::from_micros(20),
+        }
+    }
+}
+
+/// One (profile × index) cell of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    pub profile: String,
+    pub index: String,
+    /// Query events replayed.
+    pub requests: u64,
+    /// Requests that got an answer (possibly after retries).
+    pub answered: u64,
+    /// Requests dropped after exhausting retries.
+    pub dropped: u64,
+    /// Overload rejections observed at the admission gate (each retry
+    /// that bounces counts — this is gate pressure, not request count).
+    pub shed: u64,
+    /// Admission timeouts observed (Block policy).
+    pub timeouts: u64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    /// Answered queries per wall-clock second.
+    pub qps: f64,
+    /// Result-cache hit rate over the run (0 for bare indexes).
+    pub cache_hit_rate: f64,
+    /// Object deltas absorbed (0 for bare indexes — updates skipped).
+    pub deltas: u64,
+    pub deltas_per_sec: f64,
+    pub wall_ms: f64,
+}
+
+fn percentile(sorted_us: &[f64], pct: usize) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    sorted_us[(sorted_us.len() - 1) * pct / 100]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    profile: &WorkloadProfile,
+    index: &str,
+    mut lat_us: Vec<f64>,
+    wall: Duration,
+    answered: u64,
+    dropped: u64,
+    shed: u64,
+    timeouts: u64,
+    cache_hit_rate: f64,
+    deltas: u64,
+) -> CellMetrics {
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let secs = wall.as_secs_f64().max(1e-9);
+    CellMetrics {
+        profile: profile.name.clone(),
+        index: index.to_string(),
+        requests: answered + dropped,
+        answered,
+        dropped,
+        shed,
+        timeouts,
+        p50_us: percentile(&lat_us, 50),
+        p99_us: percentile(&lat_us, 99),
+        qps: answered as f64 / secs,
+        cache_hit_rate,
+        deltas,
+        deltas_per_sec: if deltas > 0 {
+            deltas as f64 / secs
+        } else {
+            0.0
+        },
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+/// Base keyword labels: object `i` carries `kw{i % vocabulary}` — every
+/// vocabulary rank is represented, matching the Zipf draws of the
+/// compiled keyword queries.
+fn labelled_base(
+    objects: &[indoor_model::IndoorPoint],
+    vocabulary: u32,
+) -> Vec<(indoor_model::IndoorPoint, Vec<String>)> {
+    objects
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, vec![KeywordSkew::label(i as u32 % vocabulary)]))
+        .collect()
+}
+
+fn admission_for(profile: &WorkloadProfile, slot: u32) -> AdmissionConfig {
+    profile
+        .admission
+        .iter()
+        .find(|a| a.slot == slot)
+        .map(|a| AdmissionConfig {
+            max_in_flight: a.max_in_flight as usize,
+            policy: match a.policy {
+                OverloadSpec::Shed => OverloadPolicy::Shed,
+                OverloadSpec::Block { timeout_micros } => OverloadPolicy::Block {
+                    timeout: Duration::from_micros(timeout_micros),
+                },
+            },
+        })
+        .unwrap_or_default()
+}
+
+fn register_slot(
+    service: &IndoorService,
+    world: &ScenarioWorld,
+    profile: &WorkloadProfile,
+    slot: u32,
+    seed: u64,
+) -> VenueId {
+    let objects = world.base_objects(slot, profile.objects_per_venue, seed);
+    let keywords = match &profile.keywords {
+        Some(skew) => labelled_base(&objects, skew.vocabulary),
+        None => Vec::new(),
+    };
+    service
+        .add_venue(
+            world.venue(slot).clone(),
+            ShardConfig {
+                threads: 1,
+                objects,
+                keywords,
+                admission: admission_for(profile, slot),
+                ..ShardConfig::default()
+            },
+        )
+        .expect("scenario venue build")
+}
+
+/// Replay `stream` end-to-end through a fresh volatile [`IndoorService`]
+/// built from the world's slots (objects + keyword labels + admission
+/// gates from the profile). Returns the `SVC` cell.
+pub fn run_service(
+    profile: &WorkloadProfile,
+    world: &ScenarioWorld,
+    stream: &[TickEvents],
+    seed: u64,
+    opts: &RunOptions,
+) -> CellMetrics {
+    let service = IndoorService::new();
+    let mut slot_ids: Vec<Option<VenueId>> = vec![None; world.slots() as usize];
+    for slot in 0..profile.initial_slots {
+        slot_ids[slot as usize] = Some(register_slot(&service, world, profile, slot, seed));
+    }
+
+    let lat = Mutex::new(Vec::<f64>::new());
+    let answered_dropped = Mutex::new((0u64, 0u64));
+    let mut deltas_applied = 0u64;
+    let t0 = Instant::now();
+    for te in stream {
+        // Lifecycle first, serially: the compiler ordered each tick as
+        // adds/removes, then queries, then updates.
+        let mut queries: Vec<(VenueId, &QueryRequest)> = Vec::new();
+        let mut updates: Vec<(VenueId, &ScenarioEvent)> = Vec::new();
+        for ev in &te.events {
+            match ev {
+                ScenarioEvent::AddVenue { slot } => {
+                    slot_ids[*slot as usize] =
+                        Some(register_slot(&service, world, profile, *slot, seed));
+                }
+                ScenarioEvent::RemoveVenue { slot } => {
+                    let id = slot_ids[*slot as usize]
+                        .take()
+                        .expect("remove of live slot");
+                    service.remove_venue(id).expect("remove venue");
+                }
+                ScenarioEvent::Query { slot, req } => {
+                    queries.push((slot_ids[*slot as usize].expect("query to live slot"), req));
+                }
+                ScenarioEvent::Updates { slot, .. } => {
+                    updates.push((slot_ids[*slot as usize].expect("update to live slot"), ev));
+                }
+            }
+        }
+
+        // Queries fan out over workers; updates apply concurrently on
+        // this thread — churn vs. serving overlap is what the storm
+        // profiles measure.
+        let workers = opts.workers.max(1);
+        let chunk = queries.len().div_ceil(workers).max(1);
+        let (service_ref, lat_ref, ad_ref) = (&service, &lat, &answered_dropped);
+        std::thread::scope(|scope| {
+            for part in queries.chunks(chunk) {
+                scope.spawn(move || {
+                    let mut local_lat = Vec::with_capacity(part.len());
+                    let (mut ok, mut gone) = (0u64, 0u64);
+                    for (venue, req) in part {
+                        let t = Instant::now();
+                        let mut attempts = 0;
+                        loop {
+                            match service_ref.execute(*venue, req) {
+                                Ok(_) => {
+                                    local_lat.push(t.elapsed().as_secs_f64() * 1e6);
+                                    ok += 1;
+                                    break;
+                                }
+                                Err(
+                                    ServiceError::Overloaded { .. } | ServiceError::Timeout { .. },
+                                ) if attempts < opts.retries => {
+                                    attempts += 1;
+                                    std::thread::sleep(opts.backoff);
+                                }
+                                Err(_) => {
+                                    gone += 1;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    lat_ref.lock().unwrap().extend(local_lat);
+                    let mut ad = ad_ref.lock().unwrap();
+                    ad.0 += ok;
+                    ad.1 += gone;
+                });
+            }
+            for (venue, ev) in &updates {
+                let ScenarioEvent::Updates { updates, .. } = ev else {
+                    unreachable!("filtered above");
+                };
+                if updates.iter().all(|u| u.labels.is_empty()) {
+                    let deltas: Vec<ObjectDelta> = updates.iter().map(|u| u.delta).collect();
+                    service
+                        .update_objects(*venue, &deltas)
+                        .expect("valid plain batch");
+                } else {
+                    service
+                        .update_keyword_objects(*venue, updates)
+                        .expect("valid keyword batch");
+                }
+                deltas_applied += updates.len() as u64;
+            }
+        });
+    }
+    let wall = t0.elapsed();
+
+    let stats = service.stats();
+    let (answered, dropped) = *answered_dropped.lock().unwrap();
+    finish(
+        profile,
+        "SVC",
+        lat.into_inner().unwrap(),
+        wall,
+        answered,
+        dropped,
+        stats.shed,
+        stats.admission_timeouts,
+        stats.hit_rate(),
+        stats.deltas_absorbed,
+    )
+}
+
+/// Replay the stream's slot-0 queries serially through one bare index.
+pub fn run_index(
+    profile: &WorkloadProfile,
+    index: &AnyIndex,
+    stream: &[TickEvents],
+) -> CellMetrics {
+    let mut lat = Vec::new();
+    let t0 = Instant::now();
+    for te in stream {
+        for ev in &te.events {
+            if let ScenarioEvent::Query { slot: 0, req } = ev {
+                let t = Instant::now();
+                std::hint::black_box(index.answer(req));
+                lat.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    let answered = lat.len() as u64;
+    finish(profile, index.name(), lat, wall, answered, 0, 0, 0, 0.0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, validate_stream};
+    use indoor_bench::{build_suite, SuiteOptions};
+    use indoor_model::{AdmissionSpec, ArrivalCurve};
+    use indoor_synth::random_venue;
+    use std::sync::Arc;
+
+    #[test]
+    fn service_run_answers_everything_on_an_unbounded_shard() {
+        let world = ScenarioWorld::new(vec![Arc::new(random_venue(70))]);
+        let mut p = WorkloadProfile::base("smoke");
+        p.ticks = 4;
+        p.queries_per_tick = 8;
+        let stream = compile(&p, &world, 3, 1);
+        validate_stream(&p, &world, &stream).unwrap();
+        let m = run_service(&p, &world, &stream, 3, &RunOptions::default());
+        assert_eq!(m.index, "SVC");
+        assert_eq!(m.requests, 32);
+        assert_eq!(m.answered, 32);
+        assert_eq!((m.dropped, m.shed, m.timeouts), (0, 0, 0));
+        assert!(m.p50_us > 0.0 && m.p99_us >= m.p50_us);
+        assert!(m.qps > 0.0);
+    }
+
+    #[test]
+    fn overloaded_spike_sheds_but_retries_answer() {
+        let world = ScenarioWorld::new(vec![Arc::new(random_venue(71))]);
+        let mut p = WorkloadProfile::base("spiky");
+        p.ticks = 6;
+        p.queries_per_tick = 40;
+        p.arrival = ArrivalCurve::Spike {
+            start: 2,
+            len: 2,
+            magnify: 6,
+        };
+        p.hot_slot = Some(0);
+        p.admission = vec![AdmissionSpec {
+            slot: 0,
+            max_in_flight: 1,
+            policy: OverloadSpec::Shed,
+        }];
+        let stream = compile(&p, &world, 9, 1);
+        let m = run_service(&p, &world, &stream, 9, &RunOptions::default());
+        assert!(m.shed > 0, "gate never pushed back: {m:?}");
+        assert!(
+            m.answered + m.dropped == m.requests,
+            "request accounting: {m:?}"
+        );
+        assert!(m.answered > 0);
+    }
+
+    #[test]
+    fn index_run_replays_slot_zero_queries() {
+        let world = ScenarioWorld::new(vec![Arc::new(random_venue(72))]);
+        let mut p = WorkloadProfile::base("bare");
+        p.ticks = 3;
+        p.queries_per_tick = 6;
+        let stream = compile(&p, &world, 4, 1);
+        let suite = build_suite(
+            world.venue(0),
+            &SuiteOptions {
+                objects: Some(world.base_objects(0, p.objects_per_venue, 4)),
+                ..SuiteOptions::default()
+            },
+        );
+        for (index, _) in &suite {
+            let m = run_index(&p, index, &stream);
+            assert_eq!(m.requests, 18, "{}", index.name());
+            assert_eq!(m.answered, 18);
+            assert_eq!(m.deltas, 0);
+        }
+    }
+}

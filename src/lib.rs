@@ -44,13 +44,15 @@ pub use vip_tree as vip;
 pub mod prelude {
     pub use geometry::{Point, Rect};
     pub use indoor_model::{
-        AnswerRequest, DeltaError, Door, DoorId, IndoorIndex, IndoorPath, IndoorPoint, ObjectDelta,
-        ObjectId, ObjectQueries, ObjectUpdate, Partition, PartitionClass, PartitionId,
-        PartitionKind, QueryKind, QueryRequest, QueryResponse, Venue, VenueBuilder, VenueId,
+        fingerprint_stream, AnswerRequest, ArrivalCurve, ChurnSpec, DeltaError, Door, DoorId,
+        IndoorIndex, IndoorPath, IndoorPoint, KeywordSkew, ObjectDelta, ObjectId, ObjectQueries,
+        ObjectUpdate, Partition, PartitionClass, PartitionId, PartitionKind, QueryKind, QueryMix,
+        QueryRequest, QueryResponse, ScenarioEvent, TickEvents, Venue, VenueBuilder, VenueId,
+        WorkloadProfile,
     };
     pub use vip_tree::{
         AdmissionConfig, DeltaReport, IndoorService, IpTree, KindStats, ObjectIndexStats,
         OverloadPolicy, PersistError, QueryEngine, QueryScratch, RecoveryReport, ServiceError,
-        ServiceStats, ShardConfig, SnapshotReport, VipTree, VipTreeConfig,
+        ServiceStats, ShardConfig, ShardStats, SnapshotReport, VipTree, VipTreeConfig,
     };
 }
