@@ -53,6 +53,8 @@ mod merge;
 mod objects;
 mod path;
 pub mod persist;
+mod repl;
+mod retry;
 mod service;
 mod stats;
 mod tree;
@@ -65,9 +67,11 @@ pub use persist::{
     CrashMode, FaultAt, FaultKind, FaultStorage, OsStorage, PersistError, RecoveryReport,
     SnapshotReport, Storage, StorageFile,
 };
+pub use repl::{WalEntry, WalSubscription};
+pub use retry::RetryPolicy;
 pub use service::{
     AdmissionConfig, IndoorService, KindStats, OverloadPolicy, ServiceError, ServiceStats,
-    ShardConfig, ShardStats, DEFAULT_CACHE_CAPACITY,
+    ShardConfig, ShardStats, SyncPolicy, DEFAULT_CACHE_CAPACITY,
 };
 pub use stats::TreeStats;
 pub use tree::{BuildError, IpTree, NodeIdx, VipTreeConfig, NO_NODE};

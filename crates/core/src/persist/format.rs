@@ -23,10 +23,10 @@ pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// Magic + format version of snapshot files. Bump the trailing byte on
 /// any layout change: old readers reject new files by tag, not by a
 /// decode error deep inside a section.
-pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"VIPSNAP\x02";
+pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"VIPSNAP\x03";
 
 /// Magic + format version of per-venue WAL files.
-pub(crate) const WAL_MAGIC: &[u8; 8] = b"VIPWAL\x02\x00";
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"VIPWAL\x03\x00";
 
 /// Failures of the persistence subsystem (snapshot save/load, WAL
 /// append/replay). Decode-level failures keep the `indoor-model`

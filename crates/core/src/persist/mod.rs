@@ -54,6 +54,7 @@ pub mod storage;
 pub(crate) mod wal;
 
 pub use format::{PersistError, SNAPSHOT_FILE};
+pub(crate) use recover::rebuild_from_create;
 pub use recover::RecoveryReport;
 pub use snapshot::SnapshotReport;
 pub use storage::{CrashMode, FaultAt, FaultKind, FaultStorage, OsStorage, Storage, StorageFile};

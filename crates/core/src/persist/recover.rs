@@ -26,7 +26,7 @@ use super::storage::{OsStorage, Storage};
 use super::wal::{self, OwnedWalRecord, WalEntry};
 use crate::exec::QueryEngine;
 use crate::keywords::KeywordObjects;
-use crate::service::{AdmissionConfig, IndoorService, Shard};
+use crate::service::{AdmissionConfig, IndoorService, Shard, SyncPolicy};
 use crate::vip::VipTree;
 use indoor_model::Venue;
 use std::io;
@@ -47,13 +47,17 @@ pub struct RecoveryReport {
     pub truncated_tails: usize,
 }
 
-/// A shard being rebuilt: the engine plus its restored counters.
-struct Rebuilt {
-    engine: Arc<QueryEngine>,
-    epoch: u64,
-    version: u64,
-    cache_capacity: usize,
-    admission: AdmissionConfig,
+/// A shard being rebuilt: the engine plus its restored counters. Also
+/// the follower-side bootstrap unit of replication (`crate::repl`
+/// rebuilds a replica shard from a shipped `Create` record through
+/// exactly this path).
+pub(crate) struct Rebuilt {
+    pub(crate) engine: Arc<QueryEngine>,
+    pub(crate) epoch: u64,
+    pub(crate) version: u64,
+    pub(crate) cache_capacity: usize,
+    pub(crate) admission: AdmissionConfig,
+    pub(crate) sync: SyncPolicy,
 }
 
 fn rebuild_from_state(state: &SlotState, path: &Path) -> Result<Rebuilt, PersistError> {
@@ -74,15 +78,20 @@ fn rebuild_from_state(state: &SlotState, path: &Path) -> Result<Rebuilt, Persist
         version: state.version,
         cache_capacity: state.cache_capacity,
         admission: state.admission,
+        sync: state.sync,
     })
 }
 
-fn rebuild_from_create(record: &OwnedWalRecord, path: &Path) -> Result<Rebuilt, PersistError> {
+pub(crate) fn rebuild_from_create(
+    record: &OwnedWalRecord,
+    path: &Path,
+) -> Result<Rebuilt, PersistError> {
     let OwnedWalRecord::Create {
         tree: config,
         engine_threads,
         cache_capacity,
         admission,
+        sync,
         venue_json,
         objects,
         keywords,
@@ -108,6 +117,7 @@ fn rebuild_from_create(record: &OwnedWalRecord, path: &Path) -> Result<Rebuilt, 
         version: 0,
         cache_capacity: *cache_capacity,
         admission: *admission,
+        sync: *sync,
     })
 }
 
@@ -317,6 +327,7 @@ impl IndoorService {
                     r.version,
                     r.cache_capacity,
                     r.admission,
+                    r.sync,
                 ))
             }));
         }
@@ -328,12 +339,13 @@ impl IndoorService {
         for (slot, shard) in slots.iter().enumerate() {
             let Some(shard) = shard else { continue };
             let path = wal::wal_path(dir, slot);
+            let policy = shard.sync_policy();
             let wal = if storage.exists(&path) {
-                wal::VenueWal::open_append(&storage, dir, slot)?
+                wal::VenueWal::open_append(&storage, dir, slot, policy)?
             } else {
                 // Snapshot-only venue (log rotated away, then deleted, or
                 // an exported snapshot opened in a fresh directory).
-                wal::VenueWal::create(&storage, dir, slot)?
+                wal::VenueWal::create(&storage, dir, slot, policy)?
             };
             *shard.journal.lock().expect("journal lock") = Some(wal);
         }

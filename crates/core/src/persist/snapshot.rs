@@ -33,7 +33,7 @@
 use super::format::{self, PersistError, SNAPSHOT_FILE, SNAPSHOT_MAGIC};
 use super::storage::Storage;
 use super::wal::{self, RotateFailure};
-use crate::service::{AdmissionConfig, IndoorService, Shard};
+use crate::service::{AdmissionConfig, IndoorService, Shard, SyncPolicy};
 use crate::tree::VipTreeConfig;
 use indoor_model::wire::{WireReader, WireWriter};
 use indoor_model::{IndoorPoint, LoadError, ObjectId};
@@ -60,6 +60,7 @@ pub(crate) struct SlotState {
     pub engine_threads: usize,
     pub cache_capacity: usize,
     pub admission: AdmissionConfig,
+    pub sync: SyncPolicy,
     pub venue_json: Vec<u8>,
     /// `None` when the tree never had an object set attached.
     pub objects: Option<Vec<(ObjectId, IndoorPoint)>>,
@@ -83,6 +84,7 @@ fn encode_slot(state: Option<&SlotState>) -> Vec<u8> {
     w.put_u32(s.engine_threads as u32);
     w.put_u64(s.cache_capacity as u64);
     wal::encode_admission(&mut w, &s.admission);
+    wal::encode_sync(&mut w, &s.sync);
     w.put_bytes(&s.venue_json);
     match &s.objects {
         None => w.put_u8(0),
@@ -132,6 +134,7 @@ fn decode_slot(payload: &[u8]) -> Result<Option<SlotState>, LoadError> {
     let engine_threads = r.get_u32("engine threads")? as usize;
     let cache_capacity = r.get_u64("cache capacity")? as usize;
     let admission = wal::decode_admission(&mut r)?;
+    let sync = wal::decode_sync(&mut r)?;
     let venue_json = r.get_bytes("venue json")?.to_vec();
     let objects = match r.get_u8("objects presence flag")? {
         0 => None,
@@ -166,6 +169,7 @@ fn decode_slot(payload: &[u8]) -> Result<Option<SlotState>, LoadError> {
         engine_threads,
         cache_capacity,
         admission,
+        sync,
         venue_json,
         objects,
         keywords,
@@ -224,6 +228,7 @@ struct ShardCapture {
     version: u64,
     cache_capacity: usize,
     admission: AdmissionConfig,
+    sync: SyncPolicy,
     objects: Option<Arc<crate::objects::ObjectIndex>>,
     keywords: Option<Arc<crate::keywords::KeywordObjects>>,
 }
@@ -247,6 +252,7 @@ impl ShardCapture {
             version,
             cache_capacity,
             admission: shard.admission_config(),
+            sync: shard.sync_policy(),
             objects,
             keywords,
         }
@@ -267,6 +273,7 @@ impl ShardCapture {
             engine_threads: self.engine.configured_threads(),
             cache_capacity: self.cache_capacity,
             admission: self.admission,
+            sync: self.sync,
             venue_json,
             objects: self.objects.map(|oi| oi.live_pairs()),
             keywords: self.keywords.map(|kw| kw.live_labelled()),
@@ -358,7 +365,7 @@ impl IndoorService {
                     (Some(shard), Some(state)) => {
                         let mut journal = shard.journal.lock().expect("journal lock");
                         if journal.is_some() {
-                            match wal::rotate(&storage, dir, slot, state.version) {
+                            match wal::rotate(&storage, dir, slot, state.version, state.sync) {
                                 Ok((fresh, dropped)) => {
                                     *journal = Some(fresh);
                                     wal_records_dropped += dropped;

@@ -18,13 +18,13 @@
 
 use super::format::{self, FrameRead, PersistError, WAL_MAGIC};
 use super::storage::{Storage, StorageFile};
-use crate::service::{AdmissionConfig, OverloadPolicy};
+use crate::service::{AdmissionConfig, OverloadPolicy, SyncPolicy};
 use crate::tree::VipTreeConfig;
 use indoor_model::wire::{WireReader, WireWriter};
 use indoor_model::{IndoorPoint, LoadError, ObjectDelta, ObjectUpdate};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// LSN of a venue's `Create` record (before any mutation).
 pub(crate) const LSN_CREATE: u64 = 0;
@@ -41,6 +41,7 @@ pub(crate) enum WalRecord<'a> {
         engine_threads: usize,
         cache_capacity: usize,
         admission: &'a AdmissionConfig,
+        sync: SyncPolicy,
         venue_json: &'a [u8],
         objects: &'a [IndoorPoint],
         keywords: &'a [(IndoorPoint, Vec<String>)],
@@ -63,6 +64,7 @@ pub(crate) enum OwnedWalRecord {
         engine_threads: usize,
         cache_capacity: usize,
         admission: AdmissionConfig,
+        sync: SyncPolicy,
         venue_json: Vec<u8>,
         objects: Vec<IndoorPoint>,
         keywords: Vec<(IndoorPoint, Vec<String>)>,
@@ -120,6 +122,54 @@ pub(crate) fn encode_admission(w: &mut WireWriter, a: &AdmissionConfig) {
     }
 }
 
+const SYNC_NEVER: u8 = 0;
+const SYNC_PER_APPEND: u8 = 1;
+const SYNC_GROUP_COMMIT: u8 = 2;
+const SYNC_EVERY_N: u8 = 3;
+
+/// Sync-policy wire layout (tag + one u64 parameter), shared by WAL
+/// `Create` records and snapshot slots like [`encode_config`].
+pub(crate) fn encode_sync(w: &mut WireWriter, s: &SyncPolicy) {
+    match s {
+        SyncPolicy::Never => {
+            w.put_u8(SYNC_NEVER);
+            w.put_u64(0);
+        }
+        SyncPolicy::PerAppend => {
+            w.put_u8(SYNC_PER_APPEND);
+            w.put_u64(0);
+        }
+        SyncPolicy::GroupCommit { max_delay } => {
+            w.put_u8(SYNC_GROUP_COMMIT);
+            w.put_u64(max_delay.as_micros() as u64);
+        }
+        SyncPolicy::EveryN { n } => {
+            w.put_u8(SYNC_EVERY_N);
+            w.put_u64(*n as u64);
+        }
+    }
+}
+
+pub(crate) fn decode_sync(r: &mut WireReader<'_>) -> Result<SyncPolicy, LoadError> {
+    let tag = r.get_u8("sync policy tag")?;
+    let param = r.get_u64("sync policy parameter")?;
+    Ok(match tag {
+        SYNC_NEVER => SyncPolicy::Never,
+        SYNC_PER_APPEND => SyncPolicy::PerAppend,
+        SYNC_GROUP_COMMIT => SyncPolicy::GroupCommit {
+            max_delay: Duration::from_micros(param),
+        },
+        SYNC_EVERY_N => SyncPolicy::EveryN { n: param as u32 },
+        other => {
+            return Err(LoadError::Wire {
+                offset: 0,
+                expected: "sync policy tag 0..=3",
+                found: format!("tag {other}"),
+            })
+        }
+    })
+}
+
 pub(crate) fn decode_admission(r: &mut WireReader<'_>) -> Result<AdmissionConfig, LoadError> {
     let max_in_flight = r.get_u64("admission max_in_flight")? as usize;
     let tag = r.get_u8("admission policy tag")?;
@@ -153,6 +203,7 @@ pub(crate) fn encode_record(lsn: u64, record: &WalRecord<'_>) -> Vec<u8> {
             engine_threads,
             cache_capacity,
             admission,
+            sync,
             venue_json,
             objects,
             keywords,
@@ -162,6 +213,7 @@ pub(crate) fn encode_record(lsn: u64, record: &WalRecord<'_>) -> Vec<u8> {
             w.put_u32(*engine_threads as u32);
             w.put_u64(*cache_capacity as u64);
             encode_admission(&mut w, admission);
+            encode_sync(&mut w, sync);
             w.put_bytes(venue_json);
             w.put_points(objects);
             w.put_u32(keywords.len() as u32);
@@ -203,6 +255,7 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<WalEntry, LoadError> {
             let engine_threads = r.get_u32("engine threads")? as usize;
             let cache_capacity = r.get_u64("cache capacity")? as usize;
             let admission = decode_admission(&mut r)?;
+            let sync = decode_sync(&mut r)?;
             let venue_json = r.get_bytes("venue json")?.to_vec();
             let objects = r.get_points()?;
             let n = r.get_u32("keyword object count")? as usize;
@@ -216,6 +269,7 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<WalEntry, LoadError> {
                 engine_threads,
                 cache_capacity,
                 admission,
+                sync,
                 venue_json,
                 objects,
                 keywords,
@@ -264,6 +318,12 @@ pub(crate) struct VenueWal {
     /// Set when a failed append could not be rolled back — the log tail
     /// is in an unknown state and further appends must be refused.
     poisoned: bool,
+    /// When acknowledged appends are fsynced (see [`SyncPolicy`]).
+    policy: SyncPolicy,
+    /// Acked appends since the last fsync ([`SyncPolicy::EveryN`]).
+    appends_since_sync: u32,
+    /// When the last fsync happened ([`SyncPolicy::GroupCommit`]).
+    last_sync: Instant,
 }
 
 /// `dir/venue-<slot>.wal`.
@@ -287,6 +347,7 @@ impl VenueWal {
         storage: &Arc<dyn Storage>,
         dir: &Path,
         slot: usize,
+        policy: SyncPolicy,
     ) -> Result<VenueWal, PersistError> {
         let path = wal_path(dir, slot);
         let mut file = storage
@@ -304,6 +365,9 @@ impl VenueWal {
             len: WAL_MAGIC.len() as u64,
             storage: storage.clone(),
             poisoned: false,
+            policy,
+            appends_since_sync: 0,
+            last_sync: Instant::now(),
         })
     }
 
@@ -312,6 +376,7 @@ impl VenueWal {
         storage: &Arc<dyn Storage>,
         dir: &Path,
         slot: usize,
+        policy: SyncPolicy,
     ) -> Result<VenueWal, PersistError> {
         let path = wal_path(dir, slot);
         let len = storage
@@ -326,22 +391,28 @@ impl VenueWal {
             len,
             storage: storage.clone(),
             poisoned: false,
+            policy,
+            appends_since_sync: 0,
+            last_sync: Instant::now(),
         })
     }
 
     /// Append one record. The frame reaches the kernel in a single
     /// `write_all`, so a **process** crash leaves at worst one torn tail
-    /// frame — exactly what [`read_and_repair`] truncates. There is no
-    /// fsync: an OS crash or power loss can drop page-cache tail records
-    /// even after the batch was acknowledged. A configurable
-    /// sync-on-append policy is the ROADMAP's "durability hardening"
-    /// item; until then the guarantee is process-crash durability.
+    /// frame — exactly what [`read_and_repair`] truncates. Whether the
+    /// record is also fsynced before the append is acknowledged — power-
+    /// crash durability — is the handle's [`SyncPolicy`]: `PerAppend`
+    /// syncs every record, `EveryN`/`GroupCommit` amortise the sync over
+    /// a bounded window of acked records, `Never` (the default) leaves
+    /// tail records in the page cache.
     ///
-    /// On failure the partial frame is truncated away, so the log stays
-    /// on a clean record boundary and the *next* append is well-formed.
-    /// If that rollback itself fails, the handle is **poisoned**: the
-    /// tail is unknowable and every further append is refused (the
-    /// service surfaces this as a `Degraded` shard).
+    /// On failure — a short write *or* a failed due fsync — the frame is
+    /// truncated away, so the log stays on a clean record boundary and
+    /// the *next* append is well-formed (the mutation was never
+    /// acknowledged either way). If that rollback itself fails, the
+    /// handle is **poisoned**: the tail is unknowable and every further
+    /// append is refused (the service surfaces this as a `Degraded`
+    /// shard).
     pub fn append(&mut self, lsn: u64, record: &WalRecord<'_>) -> Result<(), PersistError> {
         if self.poisoned {
             return Err(PersistError::io(
@@ -352,7 +423,19 @@ impl VenueWal {
         let payload = encode_record(lsn, record);
         let mut frame = Vec::with_capacity(payload.len() + 8);
         format::write_section(&mut frame, &payload);
-        match self.file.write_all(&frame).and_then(|_| self.file.flush()) {
+        let written = self
+            .file
+            .write_all(&frame)
+            .and_then(|_| self.file.flush())
+            .and_then(|_| {
+                if self.sync_due() {
+                    self.file.sync()?;
+                    self.appends_since_sync = 0;
+                    self.last_sync = Instant::now();
+                }
+                Ok(())
+            });
+        match written {
             Ok(()) => {
                 self.len += frame.len() as u64;
                 Ok(())
@@ -366,10 +449,53 @@ impl VenueWal {
         }
     }
 
+    /// Whether this append must fsync before being acknowledged. Counter
+    /// updates for `EveryN` happen here (the sync itself resets them).
+    fn sync_due(&mut self) -> bool {
+        match self.policy {
+            SyncPolicy::Never => false,
+            SyncPolicy::PerAppend => true,
+            SyncPolicy::EveryN { n } => {
+                self.appends_since_sync += 1;
+                self.appends_since_sync >= n.max(1)
+            }
+            SyncPolicy::GroupCommit { max_delay } => self.last_sync.elapsed() >= max_delay,
+        }
+    }
+
     /// Whether a failed rollback left the tail in an unknown state.
     pub fn poisoned(&self) -> bool {
         self.poisoned
     }
+}
+
+/// Read the raw frame payloads of `path` with `LSN >= from_lsn`, in log
+/// order, **without** decoding the records (replication ships the bytes
+/// verbatim, so a follower applies exactly what the leader journalled).
+/// A torn tail is skipped, not repaired: the caller holds the journal
+/// lock of a live log, so a torn final frame can only be a concurrent
+/// crash artefact that recovery will repair on restart.
+pub(crate) fn read_raw_suffix(
+    storage: &Arc<dyn Storage>,
+    path: &Path,
+    from_lsn: u64,
+) -> Result<Vec<crate::repl::WalEntry>, PersistError> {
+    let buf = storage.read(path).map_err(|e| PersistError::io(path, e))?;
+    if buf.len() < 8 {
+        return Ok(Vec::new());
+    }
+    let mut pos = 0usize;
+    format::read_magic(&buf, &mut pos, WAL_MAGIC, path)?;
+    let mut out = Vec::new();
+    while let FrameRead::Frame(payload) = format::read_frame(&buf, &mut pos) {
+        let lsn = WireReader::new(payload)
+            .get_u64("record LSN")
+            .map_err(|e| PersistError::load(path, e))?;
+        if lsn >= from_lsn {
+            out.push((lsn, Arc::from(payload)));
+        }
+    }
+    Ok(out)
 }
 
 /// Read every valid record of `path`, physically truncating a torn tail.
@@ -453,6 +579,7 @@ pub(crate) fn rotate(
     dir: &Path,
     slot: usize,
     keep_after: u64,
+    policy: SyncPolicy,
 ) -> Result<(VenueWal, usize), RotateFailure> {
     let path = wal_path(dir, slot);
     let buf = storage
@@ -498,7 +625,7 @@ pub(crate) fn rotate(
     storage
         .sync_dir(dir)
         .map_err(|e| RotateFailure::HandleInvalidated(PersistError::io(dir, e)))?;
-    let wal =
-        VenueWal::open_append(storage, dir, slot).map_err(RotateFailure::HandleInvalidated)?;
+    let wal = VenueWal::open_append(storage, dir, slot, policy)
+        .map_err(RotateFailure::HandleInvalidated)?;
     Ok((wal, dropped))
 }

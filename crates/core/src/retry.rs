@@ -1,0 +1,151 @@
+//! Bounded retry with capped exponential backoff — the one overload
+//! client policy shared by every front-end.
+//!
+//! Both the scenario lab's closed-loop clients and the network client
+//! face the same situation: [`ServiceError::Overloaded`] /
+//! [`ServiceError::Timeout`] (or their wire mirrors) are *transient*
+//! rejections — the correct reaction is to back off and retry a bounded
+//! number of times, then drop. Duplicating that loop invites the two
+//! callers to drift (different caps, different growth, different
+//! fairness); [`RetryPolicy::run`] is the single implementation.
+//!
+//! [`ServiceError::Overloaded`]: crate::ServiceError::Overloaded
+//! [`ServiceError::Timeout`]: crate::ServiceError::Timeout
+
+use std::time::Duration;
+
+/// How a client reacts to transient rejections: up to `retries`
+/// re-attempts, sleeping `backoff` before the first and doubling up to
+/// `max_backoff` between subsequent ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first try (0 = fail fast).
+    pub retries: u32,
+    /// Sleep before the first retry. `Duration::ZERO` spins (test use).
+    pub backoff: Duration,
+    /// Cap on the doubling backoff. Values below `backoff` clamp to it.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// A patient closed-loop client: 64 retries from 20 µs doubling to a
+    /// 1 ms cap — it outwaits bursts but gives up inside ~70 ms when a
+    /// shard stays saturated.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            retries: 64,
+            backoff: Duration::from_micros(20),
+            max_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every rejection surfaces immediately.
+    pub const fn fail_fast() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Run `op`, retrying errors `retryable` accepts under this policy.
+    /// Returns the first success, the first non-retryable error, or —
+    /// after the budget is spent — the last retryable error.
+    pub fn run<T, E>(
+        &self,
+        retryable: impl Fn(&E) -> bool,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        let mut wait = self.backoff;
+        let cap = self.max_backoff.max(self.backoff);
+        let mut remaining = self.retries;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if remaining > 0 && retryable(&e) => {
+                    remaining -= 1;
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    wait = (wait * 2).min(cap);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant() -> RetryPolicy {
+        RetryPolicy {
+            retries: 5,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn succeeds_after_transient_rejections() {
+        let mut calls = 0;
+        let out: Result<u32, &str> = instant().run(
+            |_| true,
+            || {
+                calls += 1;
+                if calls < 4 {
+                    Err("busy")
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn exhausts_budget_then_returns_last_error() {
+        let mut calls = 0;
+        let out: Result<(), &str> = instant().run(
+            |_| true,
+            || {
+                calls += 1;
+                Err("busy")
+            },
+        );
+        assert_eq!(out, Err("busy"));
+        assert_eq!(calls, 6, "first try + 5 retries");
+    }
+
+    #[test]
+    fn non_retryable_errors_surface_immediately() {
+        let mut calls = 0;
+        let out: Result<(), &str> = instant().run(
+            |e| *e == "busy",
+            || {
+                calls += 1;
+                Err("gone")
+            },
+        );
+        assert_eq!(out, Err("gone"));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn fail_fast_never_retries() {
+        let mut calls = 0;
+        let out: Result<(), &str> = RetryPolicy::fail_fast().run(
+            |_| true,
+            || {
+                calls += 1;
+                Err("busy")
+            },
+        );
+        assert_eq!(out, Err("busy"));
+        assert_eq!(calls, 1);
+    }
+}

@@ -89,8 +89,8 @@ use crate::persist::PersistError;
 use crate::tree::{BuildError, VipTreeConfig};
 use crate::vip::VipTree;
 use indoor_model::{
-    DeltaError, IndoorPoint, ObjectDelta, ObjectUpdate, QueryKind, QueryRequest, QueryResponse,
-    Venue, VenueId,
+    wire, DeltaError, IndoorPoint, ObjectDelta, ObjectUpdate, QueryKind, QueryRequest,
+    QueryResponse, Venue, VenueId,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -200,7 +200,7 @@ impl ClockCache {
         }
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.map.clear();
         self.ring.clear();
         self.hand = 0;
@@ -242,6 +242,34 @@ impl Default for AdmissionConfig {
     }
 }
 
+/// When an acknowledged WAL append becomes **power-crash** durable.
+///
+/// Every policy already guarantees process-crash durability (each record
+/// reaches the kernel in one `write_all` before the mutation is
+/// acknowledged); the policy decides when `fsync` pushes it past the
+/// page cache. Persisted with the venue, applied to every append of its
+/// journal. See DESIGN.md §13 for the ack-durability contract per
+/// variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Never fsync on append (the pre-policy behaviour and the default):
+    /// an OS crash or power loss may drop acknowledged tail records —
+    /// recovery falls back to the last synced state.
+    #[default]
+    Never,
+    /// fsync before acknowledging every append: an acked write survives
+    /// power loss. The strongest — and slowest — contract.
+    PerAppend,
+    /// fsync on the first append at least `max_delay` after the previous
+    /// sync: bounds the power-loss exposure window to roughly
+    /// `max_delay` of acknowledged writes without paying a sync per
+    /// append. `max_delay` of zero degenerates to [`SyncPolicy::PerAppend`].
+    GroupCommit { max_delay: Duration },
+    /// fsync every `n`-th append (`n` of 0 behaves as 1): at most `n - 1`
+    /// acknowledged records are exposed to power loss.
+    EveryN { n: u32 },
+}
+
 /// Per-venue construction parameters for [`IndoorService::add_venue`].
 #[derive(Debug, Clone, Default)]
 pub struct ShardConfig {
@@ -260,6 +288,57 @@ pub struct ShardConfig {
     pub cache_capacity: usize,
     /// In-flight query budget and overload policy (default: unbounded).
     pub admission: AdmissionConfig,
+    /// When acknowledged WAL appends become power-crash durable
+    /// (default: [`SyncPolicy::Never`]). Ignored on a volatile service.
+    pub sync: SyncPolicy,
+}
+
+impl ShardConfig {
+    /// Serialise to the WAL `Create` record's field encoding — the
+    /// canonical opaque-bytes form venue-admin wire frames carry, so the
+    /// network layer never mirrors this struct field by field.
+    pub fn encode_wire(&self) -> Vec<u8> {
+        let mut w = wire::WireWriter::new();
+        wal::encode_config(&mut w, &self.tree);
+        w.put_u32(self.threads as u32);
+        w.put_u64(self.cache_capacity as u64);
+        wal::encode_admission(&mut w, &self.admission);
+        wal::encode_sync(&mut w, &self.sync);
+        w.put_points(&self.objects);
+        w.put_u32(self.keywords.len() as u32);
+        for (p, labels) in &self.keywords {
+            w.put_point(p);
+            w.put_labels(labels);
+        }
+        w.into_bytes()
+    }
+
+    /// Inverse of [`ShardConfig::encode_wire`]; rejects trailing bytes.
+    pub fn decode_wire(bytes: &[u8]) -> Result<ShardConfig, indoor_model::LoadError> {
+        let mut r = wire::WireReader::new(bytes);
+        let tree = wal::decode_config(&mut r)?;
+        let threads = r.get_u32("engine threads")? as usize;
+        let cache_capacity = r.get_u64("cache capacity")? as usize;
+        let admission = wal::decode_admission(&mut r)?;
+        let sync = wal::decode_sync(&mut r)?;
+        let objects = r.get_points()?;
+        let n = r.get_u32("keyword object count")? as usize;
+        let mut keywords = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            let p = r.get_point()?;
+            keywords.push((p, r.get_labels()?));
+        }
+        r.finish("end of shard config")?;
+        Ok(ShardConfig {
+            tree,
+            threads,
+            objects,
+            keywords,
+            cache_capacity,
+            admission,
+            sync,
+        })
+    }
 }
 
 /// Errors from routing requests to venue shards.
@@ -297,6 +376,12 @@ pub enum ServiceError {
         in_flight: usize,
         limit: usize,
     },
+    /// A replication request could not be served or applied: the
+    /// requested WAL suffix was rotated away, the subscription target is
+    /// volatile, or a shipped record does not extend the replica's
+    /// history contiguously. See [`IndoorService::wal_subscribe`] and
+    /// [`IndoorService::apply_replicated`].
+    Replication(VenueId, Arc<str>),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -327,6 +412,9 @@ impl std::fmt::Display for ServiceError {
                 f,
                 "venue {venue} admission timed out: {in_flight} in flight at limit {limit}"
             ),
+            ServiceError::Replication(v, detail) => {
+                write!(f, "replication of venue {v} failed: {detail}")
+            }
         }
     }
 }
@@ -376,6 +464,7 @@ impl PartialEq for ServiceError {
                     limit: m,
                 },
             ) => v == w && i == j && l == m,
+            (Replication(v, d), Replication(w, e)) => v == w && d == e,
             _ => false,
         }
     }
@@ -428,6 +517,16 @@ pub(crate) struct Shard {
     /// (its journal can no longer be trusted). Sticky until restart.
     degraded: Mutex<Option<Arc<str>>>,
     admission: AdmissionControl,
+    /// The journal's append-durability policy (persisted with the venue).
+    sync: SyncPolicy,
+    /// Live replication subscribers: every successful journal append is
+    /// published here (under the journal lock, so subscribers see exactly
+    /// the log order). Closed receivers are pruned lazily on publish.
+    pub(crate) repl_taps: Mutex<Vec<std::sync::mpsc::Sender<crate::repl::WalEntry>>>,
+    /// On a **follower** shard: the leader's version as last reported by
+    /// the replication stream (0 on a leader). `venue_stats` surfaces
+    /// `leader_version - version` as the follower's lag.
+    pub(crate) leader_version: AtomicU64,
 }
 
 impl Shard {
@@ -437,6 +536,7 @@ impl Shard {
         version: u64,
         cache_capacity: usize,
         admission: AdmissionConfig,
+        sync: SyncPolicy,
     ) -> Shard {
         let capacity = if cache_capacity == 0 {
             DEFAULT_CACHE_CAPACITY
@@ -459,6 +559,9 @@ impl Shard {
                 shed: AtomicU64::new(0),
                 timeouts: AtomicU64::new(0),
             },
+            sync,
+            repl_taps: Mutex::new(Vec::new()),
+            leader_version: AtomicU64::new(0),
         }
     }
 
@@ -470,6 +573,11 @@ impl Shard {
     /// This shard's admission configuration (persisted by snapshots).
     pub(crate) fn admission_config(&self) -> AdmissionConfig {
         self.admission.config
+    }
+
+    /// This shard's append-durability policy (persisted by snapshots).
+    pub(crate) fn sync_policy(&self) -> SyncPolicy {
+        self.sync
     }
 
     /// Enter read-only degraded mode. Sticky: the first reason wins and
@@ -543,7 +651,19 @@ fn journal_append(
         return Ok(());
     };
     match wal.append(lsn, record) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            // Publish to live replication subscribers. Still under the
+            // journal lock (the caller holds it across append + apply),
+            // so taps observe exactly the log order with no gaps between
+            // a subscriber's suffix fetch and its live tail. The payload
+            // is re-encoded once and shared.
+            let mut taps = shard.repl_taps.lock().expect("repl taps lock");
+            if !taps.is_empty() {
+                let payload: Arc<[u8]> = wal::encode_record(lsn, record).into();
+                taps.retain(|tap| tap.send((lsn, payload.clone())).is_ok());
+            }
+            Ok(())
+        }
         Err(e) => {
             if wal.poisoned() {
                 shard.degrade(format!(
@@ -708,6 +828,10 @@ pub struct ShardStats {
     pub shed: u64,
     /// Requests that timed out waiting at this shard's gate.
     pub admission_timeouts: u64,
+    /// On a replication **follower**: applied-LSN gap behind the leader
+    /// (`leader version − local version` at the last stream report).
+    /// Always 0 on a leader and on venues never fed by a follower.
+    pub replication_lag: u64,
     /// Why the shard is read-only, if it is.
     pub degraded: Option<String>,
 }
@@ -832,6 +956,7 @@ impl IndoorService {
             0,
             capacity,
             config.admission,
+            config.sync,
         ));
         let Some(root) = &self.persist_root else {
             let mut shards = self.shards.write().expect("shard map lock");
@@ -865,11 +990,12 @@ impl IndoorService {
             engine_threads: config.threads,
             cache_capacity: capacity,
             admission: &config.admission,
+            sync: config.sync,
             venue_json: &venue_json,
             objects: &config.objects,
             keywords: &config.keywords,
         };
-        let created = VenueWal::create(&self.storage, root, id.index())
+        let created = VenueWal::create(&self.storage, root, id.index(), config.sync)
             .and_then(|mut wal| wal.append(LSN_CREATE, &record).map(|()| wal));
         let wal = match created {
             Ok(wal) => wal,
@@ -915,6 +1041,13 @@ impl IndoorService {
             // A racing remove_venue of the same id beat us to the slot.
             _ => Err(ServiceError::UnknownVenue(venue)),
         }
+    }
+
+    /// Whether this service journals mutations (it was opened from a
+    /// persist directory). Replication leaders must be durable — a
+    /// volatile service has no WAL to ship — and followers volatile.
+    pub fn is_durable(&self) -> bool {
+        self.persist_root.is_some()
     }
 
     /// Number of registered venues.
@@ -984,7 +1117,7 @@ impl IndoorService {
         Ok(self.shard(venue)?.degraded_reason().map(|r| r.to_string()))
     }
 
-    fn shard(&self, venue: VenueId) -> Result<Arc<Shard>, ServiceError> {
+    pub(crate) fn shard(&self, venue: VenueId) -> Result<Arc<Shard>, ServiceError> {
         self.shards
             .read()
             .expect("shard map lock")
@@ -1379,6 +1512,10 @@ impl IndoorService {
             admission_capacity,
             shed: shard.admission.shed.load(Ordering::Relaxed),
             admission_timeouts: shard.admission.timeouts.load(Ordering::Relaxed),
+            replication_lag: shard
+                .leader_version
+                .load(Ordering::Acquire)
+                .saturating_sub(version),
             degraded: shard.degraded_reason().map(|r| r.to_string()),
         })
     }

@@ -29,6 +29,7 @@
 
 mod builder;
 mod delta;
+pub mod frames;
 mod ids;
 pub mod json;
 mod path;

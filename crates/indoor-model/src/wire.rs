@@ -19,8 +19,12 @@
 //! comparison.
 
 use crate::serialize::LoadError;
-use crate::{IndoorPoint, ObjectDelta, ObjectId, ObjectUpdate, PartitionId};
+use crate::{
+    DoorId, IndoorPath, IndoorPoint, ObjectDelta, ObjectId, ObjectUpdate, PartitionId,
+    QueryRequest, QueryResponse,
+};
 use geometry::Point;
+use std::sync::Arc;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
 /// framing every snapshot section and WAL record, computed without any
@@ -153,6 +157,81 @@ impl WireWriter {
     pub fn put_update(&mut self, u: &ObjectUpdate) {
         self.put_delta(&u.delta);
         self.put_labels(&u.labels);
+    }
+
+    /// A typed query request, tagged by [`crate::QueryKind::index`]. `k` rides as
+    /// a `u64` so the layout is identical across 32/64-bit hosts.
+    pub fn put_request(&mut self, req: &QueryRequest) {
+        self.put_u8(req.kind().index() as u8);
+        match req {
+            QueryRequest::Knn { q, k } => {
+                self.put_point(q);
+                self.put_u64(*k as u64);
+            }
+            QueryRequest::Range { q, radius } => {
+                self.put_point(q);
+                self.put_f64(*radius);
+            }
+            QueryRequest::KnnKeyword { q, k, keyword } => {
+                self.put_point(q);
+                self.put_u64(*k as u64);
+                self.put_str(keyword);
+            }
+            QueryRequest::ShortestDistance { s, t } | QueryRequest::ShortestPath { s, t } => {
+                self.put_point(s);
+                self.put_point(t);
+            }
+        }
+    }
+
+    /// A fully-expanded route (see [`IndoorPath`]): endpoints, door
+    /// sequence, and the length as a raw bit pattern.
+    pub fn put_path(&mut self, p: &IndoorPath) {
+        self.put_point(&p.source);
+        self.put_point(&p.target);
+        self.put_u32(p.doors.len() as u32);
+        for d in &p.doors {
+            self.put_u32(d.0);
+        }
+        self.put_f64(p.length);
+    }
+
+    /// Count-prefixed `(object, distance)` list — the payload of every
+    /// kNN/range/keyword response.
+    pub fn put_scored(&mut self, objs: &[(ObjectId, f64)]) {
+        self.put_u32(objs.len() as u32);
+        for (id, d) in objs {
+            self.put_u32(id.0);
+            self.put_f64(*d);
+        }
+    }
+
+    /// A typed query response, tagged like its request. Distances and
+    /// paths ride as bit patterns, so a response decoded off the wire is
+    /// byte-identical to the in-process answer — the loopback e2e contract.
+    pub fn put_response(&mut self, resp: &QueryResponse) {
+        self.put_u8(resp.kind().index() as u8);
+        match resp {
+            QueryResponse::Knn(objs)
+            | QueryResponse::Range(objs)
+            | QueryResponse::KnnKeyword(objs) => {
+                self.put_scored(objs);
+            }
+            QueryResponse::ShortestDistance(d) => match d {
+                Some(d) => {
+                    self.put_u8(1);
+                    self.put_f64(*d);
+                }
+                None => self.put_u8(0),
+            },
+            QueryResponse::ShortestPath(p) => match p {
+                Some(p) => {
+                    self.put_u8(1);
+                    self.put_path(p);
+                }
+                None => self.put_u8(0),
+            },
+        }
     }
 }
 
@@ -307,6 +386,94 @@ impl<'a> WireReader<'a> {
         Ok(ObjectUpdate { delta, labels })
     }
 
+    /// Decode a typed query request (see [`WireWriter::put_request`]).
+    pub fn get_request(&mut self) -> Result<QueryRequest, LoadError> {
+        let tag = self.get_u8("request kind tag")?;
+        Ok(match tag {
+            0 => QueryRequest::Knn {
+                q: self.get_point()?,
+                k: self.get_u64("knn k")? as usize,
+            },
+            1 => QueryRequest::Range {
+                q: self.get_point()?,
+                radius: self.get_f64("range radius")?,
+            },
+            2 => QueryRequest::KnnKeyword {
+                q: self.get_point()?,
+                k: self.get_u64("keyword knn k")? as usize,
+                keyword: Arc::from(self.get_str("keyword")?),
+            },
+            3 => QueryRequest::ShortestDistance {
+                s: self.get_point()?,
+                t: self.get_point()?,
+            },
+            4 => QueryRequest::ShortestPath {
+                s: self.get_point()?,
+                t: self.get_point()?,
+            },
+            other => {
+                return Err(self.err("request kind tag 0..=4", format!("tag {other}")));
+            }
+        })
+    }
+
+    /// Decode a route (see [`WireWriter::put_path`]).
+    pub fn get_path(&mut self) -> Result<IndoorPath, LoadError> {
+        let source = self.get_point()?;
+        let target = self.get_point()?;
+        let n = self.get_u32("path door count")? as usize;
+        let mut doors = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            doors.push(DoorId(self.get_u32("path door id")?));
+        }
+        let length = self.get_f64("path length")?;
+        Ok(IndoorPath {
+            source,
+            target,
+            doors,
+            length,
+        })
+    }
+
+    /// Decode a `(object, distance)` list (see [`WireWriter::put_scored`]).
+    pub fn get_scored(&mut self) -> Result<Vec<(ObjectId, f64)>, LoadError> {
+        let n = self.get_u32("scored object count")? as usize;
+        let mut objs = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            let id = ObjectId(self.get_u32("scored object id")?);
+            let d = self.get_f64("scored object distance")?;
+            objs.push((id, d));
+        }
+        Ok(objs)
+    }
+
+    /// Decode a typed query response (see [`WireWriter::put_response`]).
+    pub fn get_response(&mut self) -> Result<QueryResponse, LoadError> {
+        let tag = self.get_u8("response kind tag")?;
+        Ok(match tag {
+            0 => QueryResponse::Knn(self.get_scored()?),
+            1 => QueryResponse::Range(self.get_scored()?),
+            2 => QueryResponse::KnnKeyword(self.get_scored()?),
+            3 => QueryResponse::ShortestDistance(match self.get_u8("distance presence flag")? {
+                0 => None,
+                1 => Some(self.get_f64("shortest distance")?),
+                other => {
+                    return Err(self.err("distance presence flag 0/1", format!("flag {other}")));
+                }
+            }),
+            4 => QueryResponse::ShortestPath(match self.get_u8("path presence flag")? {
+                0 => None,
+                1 => Some(self.get_path()?),
+                other => {
+                    return Err(self.err("path presence flag 0/1", format!("flag {other}")));
+                }
+            }),
+            other => {
+                return Err(self.err("response kind tag 0..=4", format!("tag {other}")));
+            }
+        })
+    }
+
     /// Assert the buffer is fully consumed (section payloads are
     /// self-delimiting; leftover bytes mean a format mismatch).
     pub fn finish(&self, expected: &'static str) -> Result<(), LoadError> {
@@ -405,6 +572,75 @@ mod tests {
             }
             other => panic!("wrong variant: {other}"),
         }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let p = IndoorPoint::new(PartitionId(1), Point::new(3.5, -0.0, 2));
+        let q = IndoorPoint::new(PartitionId(7), Point::new(f64::NAN, 9.0, -1));
+        let cases = [
+            QueryRequest::Knn { q: p, k: 5 },
+            QueryRequest::Range {
+                q,
+                radius: f64::INFINITY,
+            },
+            QueryRequest::KnnKeyword {
+                q: p,
+                k: 0,
+                keyword: Arc::from("café"),
+            },
+            QueryRequest::ShortestDistance { s: p, t: q },
+            QueryRequest::ShortestPath { s: q, t: p },
+        ];
+        for req in cases {
+            let mut w = WireWriter::new();
+            w.put_request(&req);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            // QueryRequest equality is by bit pattern, so NaN coordinates
+            // still compare equal after the round trip.
+            assert_eq!(r.get_request().unwrap(), req);
+            r.finish("end").unwrap();
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let p = IndoorPoint::new(PartitionId(1), Point::new(3.5, 4.5, 0));
+        let path = IndoorPath {
+            source: p,
+            target: IndoorPoint::new(PartitionId(2), Point::new(8.0, 1.0, 0)),
+            doors: vec![DoorId(3), DoorId(9)],
+            length: 12.75,
+        };
+        let cases = [
+            QueryResponse::Knn(vec![(ObjectId(1), 2.5), (ObjectId(4), f64::MAX)]),
+            QueryResponse::Range(Vec::new()),
+            QueryResponse::KnnKeyword(vec![(ObjectId(0), 0.0)]),
+            QueryResponse::ShortestDistance(Some(7.25)),
+            QueryResponse::ShortestDistance(None),
+            QueryResponse::ShortestPath(Some(path)),
+            QueryResponse::ShortestPath(None),
+        ];
+        for resp in cases {
+            let mut w = WireWriter::new();
+            w.put_response(&resp);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(r.get_response().unwrap(), resp);
+            r.finish("end").unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_request_and_response_tags_are_rejected() {
+        let mut r = WireReader::new(&[5u8]);
+        assert!(r.get_request().unwrap_err().to_string().contains("tag 5"));
+        let mut r = WireReader::new(&[9u8]);
+        assert!(r.get_response().unwrap_err().to_string().contains("tag 9"));
+        // Bad presence flag on a shortest-distance response.
+        let mut r = WireReader::new(&[3u8, 7u8]);
+        assert!(r.get_response().unwrap_err().to_string().contains("flag 7"));
     }
 
     #[test]

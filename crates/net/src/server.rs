@@ -1,0 +1,473 @@
+//! The blocking-thread TCP server.
+//!
+//! One accept thread polls a non-blocking listener; each accepted
+//! connection gets its own thread. A connection thread alternates
+//! between draining the socket into its [`FrameDecoder`] and serving
+//! every frame that drain completed — which is where pipelining pays:
+//! all query frames a client had in flight at drain time coalesce into
+//! **one** [`IndoorService::execute_batch`] call, so a depth-`d`
+//! pipeline gets batch execution without any client-side batching API.
+//!
+//! Backpressure is typed, not transport-level: an admission rejection
+//! ([`ServiceError::Overloaded`] / [`ServiceError::Timeout`]) becomes a
+//! [`WireError`] reply for exactly the rejected requests; the connection
+//! itself never drops. A *framing* error, by contrast, poisons the
+//! decoder (byte boundaries are untrustworthy from then on), and the
+//! contract is a clean connection close — the client observes EOF, never
+//! a panic and never a garbage reply.
+//!
+//! A [`Frame::Replicate`] subscription flips the connection into a
+//! one-way WAL stream: `ReplHead`, the on-disk backlog, then live
+//! appends as the leader journals them (see `vip_tree::wal_subscribe`
+//! for the no-gap/no-duplicate cut argument). The stream ends with
+//! `ReplEnd` on server shutdown or venue removal.
+//!
+//! [`ServiceError::Overloaded`]: vip_tree::ServiceError::Overloaded
+//! [`ServiceError::Timeout`]: vip_tree::ServiceError::Timeout
+
+use crate::wire_error;
+use indoor_model::frames::FrameDecoder;
+use indoor_model::frames::{Frame, WireError, WireServiceStats, WireShardStats, NET_MAGIC};
+use indoor_model::{Venue, VenueId};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vip_tree::{IndoorService, ShardConfig};
+
+/// Tuning knobs for the serving loops.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Socket read timeout — the quantum at which idle connection
+    /// threads re-check the stop flag (and replication streams probe
+    /// for a closed peer).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A running server: owns the accept thread, which owns the connection
+/// threads. Dropping (or [`NetServer::stop`]) signals every thread and
+/// joins them — in-flight replies finish, replication streams end with
+/// a clean `ReplEnd`.
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind and serve `service` on `addr` (use port 0 for an ephemeral
+    /// port; [`NetServer::local_addr`] reports the bound one).
+    pub fn bind(service: Arc<IndoorService>, addr: impl ToSocketAddrs) -> io::Result<NetServer> {
+        NetServer::bind_with(service, addr, ServerConfig::default())
+    }
+
+    /// [`NetServer::bind`] with explicit tuning.
+    pub fn bind_with(
+        service: Arc<IndoorService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept = std::thread::spawn(move || accept_loop(listener, service, config, stop2));
+        Ok(NetServer {
+            local_addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signal every serving thread and join them. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<IndoorService>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = service.clone();
+                let stop = stop.clone();
+                conns.push(std::thread::spawn(move || {
+                    // Transport errors mean the peer is gone; there is
+                    // nobody left to report them to.
+                    let _ = serve_conn(&service, stream, config, &stop);
+                }));
+            }
+            Err(e) if transient(&e) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => break,
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Read once into `buf`: `Some(n)` bytes arrived (0 = peer closed),
+/// `None` = timeout quantum elapsed (caller re-checks the stop flag).
+fn read_quantum(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<Option<usize>> {
+    match stream.read(buf) {
+        Ok(n) => Ok(Some(n)),
+        Err(e) if transient(&e) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn serve_conn(
+    service: &IndoorService,
+    mut stream: TcpStream,
+    config: ServerConfig,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.write_all(&NET_MAGIC)?;
+    let mut magic = [0u8; NET_MAGIC.len()];
+    let mut got = 0;
+    while got < magic.len() {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match read_quantum(&mut stream, &mut magic[got..])? {
+            Some(0) => return Ok(()),
+            Some(n) => got += n,
+            None => {}
+        }
+    }
+    if magic != NET_MAGIC {
+        // Not our protocol; close without guessing at a reply format.
+        return Ok(());
+    }
+
+    let mut dec = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut frames: Vec<Frame> = Vec::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match read_quantum(&mut stream, &mut buf)? {
+            Some(0) => return Ok(()),
+            Some(n) => dec.extend(&buf[..n]),
+            None => continue,
+        }
+        loop {
+            match dec.next() {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => break,
+                // Poisoned framing: the byte boundaries are gone, so the
+                // contract is a clean close — the client sees EOF.
+                Err(_) => return Ok(()),
+            }
+        }
+        let drained = std::mem::take(&mut frames);
+        let mut i = 0;
+        while i < drained.len() {
+            if is_query(&drained[i]) {
+                let start = i;
+                while i < drained.len() && is_query(&drained[i]) {
+                    i += 1;
+                }
+                answer_queries(service, &mut stream, &drained[start..i])?;
+                continue;
+            }
+            if let Frame::Replicate { venue, from_lsn } = drained[i] {
+                // The subscription consumes the connection: it becomes a
+                // one-way WAL stream until peer close or server stop.
+                return serve_replication(service, stream, venue, from_lsn, stop);
+            }
+            if !serve_admin(service, &mut stream, &drained[i])? {
+                return Ok(());
+            }
+            i += 1;
+        }
+    }
+}
+
+fn is_query(f: &Frame) -> bool {
+    matches!(f, Frame::Query { .. } | Frame::QueryBatch { .. })
+}
+
+/// Serve a coalesced run of query frames with one `execute_batch` call,
+/// then fan the slot results back out to per-frame replies.
+fn answer_queries(
+    service: &IndoorService,
+    stream: &mut TcpStream,
+    run: &[Frame],
+) -> io::Result<()> {
+    let mut slots: Vec<(VenueId, vip_tree::QueryRequest)> = Vec::new();
+    for f in run {
+        match f {
+            Frame::Query { venue, req, .. } => slots.push((VenueId::from(*venue), req.clone())),
+            Frame::QueryBatch { reqs, .. } => {
+                slots.extend(reqs.iter().map(|(v, r)| (VenueId::from(*v), r.clone())));
+            }
+            _ => unreachable!("answer_queries only receives query frames"),
+        }
+    }
+    let mut results = service
+        .execute_batch(&slots)
+        .into_iter()
+        .map(|r| r.map_err(|e| wire_error(&e)));
+    let mut out = Vec::new();
+    for f in run {
+        match f {
+            Frame::Query { id, .. } => {
+                let result = results.next().expect("one result per slot");
+                out.extend_from_slice(&Frame::Answer { id: *id, result }.encode());
+            }
+            Frame::QueryBatch { id, reqs } => {
+                let results: Vec<_> = results.by_ref().take(reqs.len()).collect();
+                out.extend_from_slice(&Frame::AnswerBatch { id: *id, results }.encode());
+            }
+            _ => unreachable!("answer_queries only receives query frames"),
+        }
+    }
+    stream.write_all(&out)
+}
+
+/// Serve one non-query, non-replication frame. Returns `false` when the
+/// peer violated the protocol and the connection must close.
+fn serve_admin(service: &IndoorService, stream: &mut TcpStream, frame: &Frame) -> io::Result<bool> {
+    let reply = match frame {
+        Frame::Ping { id } => Frame::Pong { id: *id },
+        Frame::UpdateObjects { id, venue, deltas } => mutation_reply(service, *id, *venue, || {
+            service
+                .update_objects(VenueId::from(*venue), deltas)
+                .map(|_| ())
+        }),
+        Frame::UpdateKeywords { id, venue, updates } => {
+            mutation_reply(service, *id, *venue, || {
+                service
+                    .update_keyword_objects(VenueId::from(*venue), updates)
+                    .map(|_| ())
+            })
+        }
+        Frame::AttachObjects { id, venue, objects } => mutation_reply(service, *id, *venue, || {
+            service.attach_objects(VenueId::from(*venue), objects)
+        }),
+        Frame::AddVenue {
+            id,
+            venue_json,
+            config,
+        } => serve_add_venue(service, *id, venue_json, config),
+        Frame::RemoveVenue { id, venue } => match service.remove_venue(VenueId::from(*venue)) {
+            Ok(()) => Frame::Ack { id: *id },
+            Err(e) => Frame::Error {
+                id: *id,
+                err: wire_error(&e),
+            },
+        },
+        Frame::Stats { id } => Frame::StatsReply {
+            id: *id,
+            stats: collect_stats(service),
+        },
+        // Query/QueryBatch/Replicate are routed before this function;
+        // anything else is a server→client frame sent the wrong way.
+        _ => return Ok(false),
+    };
+    stream.write_all(&reply.encode())?;
+    Ok(true)
+}
+
+/// Run a mutation and reply `MutationOk` with the venue's post-apply
+/// version, or the typed error.
+fn mutation_reply(
+    service: &IndoorService,
+    id: u64,
+    venue: u32,
+    op: impl FnOnce() -> Result<(), vip_tree::ServiceError>,
+) -> Frame {
+    match op() {
+        Ok(()) => Frame::MutationOk {
+            id,
+            version: service.version(VenueId::from(venue)).unwrap_or(0),
+        },
+        Err(e) => Frame::Error {
+            id,
+            err: wire_error(&e),
+        },
+    }
+}
+
+fn serve_add_venue(service: &IndoorService, id: u64, venue_json: &[u8], config: &[u8]) -> Frame {
+    let malformed = |detail: String| Frame::Error {
+        id,
+        err: WireError::Malformed { detail },
+    };
+    let venue = match Venue::load_json(venue_json) {
+        Ok(v) => v,
+        Err(e) => return malformed(format!("venue json: {e}")),
+    };
+    let config = match ShardConfig::decode_wire(config) {
+        Ok(c) => c,
+        Err(e) => return malformed(format!("shard config: {e}")),
+    };
+    match service.add_venue(Arc::new(venue), config) {
+        Ok(venue) => Frame::VenueCreated {
+            id,
+            venue: venue.index() as u32,
+        },
+        Err(e) => Frame::Error {
+            id,
+            err: wire_error(&e),
+        },
+    }
+}
+
+fn collect_stats(service: &IndoorService) -> WireServiceStats {
+    let s = service.stats();
+    let shards = service
+        .venues()
+        .into_iter()
+        .filter_map(|v| service.venue_stats(v).ok())
+        .map(|sh| WireShardStats {
+            venue: sh.venue.index() as u32,
+            epoch: sh.epoch,
+            version: sh.version,
+            cached_entries: sh.cached_entries as u64,
+            cache_capacity: sh.cache_capacity as u64,
+            evictions: sh.evictions,
+            in_flight: sh.in_flight as u64,
+            admission_capacity: sh.admission_capacity as u64,
+            shed: sh.shed,
+            admission_timeouts: sh.admission_timeouts,
+            replication_lag: sh.replication_lag,
+            degraded: sh.degraded,
+        })
+        .collect();
+    WireServiceStats {
+        venues: s.venues as u64,
+        queries: s.kinds.iter().map(|k| k.queries).sum(),
+        cache_hits: s.kinds.iter().map(|k| k.cache_hits).sum(),
+        deltas_absorbed: s.deltas_absorbed,
+        shed: s.shed,
+        admission_timeouts: s.admission_timeouts,
+        in_flight: s.in_flight as u64,
+        admission_capacity: s.admission_capacity as u64,
+        degraded_venues: s.degraded_venues as u64,
+        shards,
+    }
+}
+
+/// Serve a `Replicate` subscription: head, on-disk backlog, then live
+/// appends until the peer closes, the venue's taps drop (removal), or
+/// the server stops.
+fn serve_replication(
+    service: &IndoorService,
+    mut stream: TcpStream,
+    venue: u32,
+    from_lsn: u64,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let vid = VenueId::from(venue);
+    let sub = match service.wal_subscribe(vid, from_lsn) {
+        Ok(sub) => sub,
+        Err(e) => {
+            let err = if !service.is_durable() {
+                WireError::NotDurable
+            } else {
+                wire_error(&e)
+            };
+            return stream.write_all(
+                &Frame::ReplEnd {
+                    venue,
+                    err: Some(err),
+                }
+                .encode(),
+            );
+        }
+    };
+    let mut out = Frame::ReplHead {
+        venue,
+        version: sub.version,
+    }
+    .encode();
+    for (lsn, payload) in &sub.backlog {
+        out.extend_from_slice(
+            &Frame::Wal {
+                venue,
+                lsn: *lsn,
+                record: payload.to_vec(),
+            }
+            .encode(),
+        );
+    }
+    stream.write_all(&out)?;
+
+    let mut probe = [0u8; 1];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return stream.write_all(&Frame::ReplEnd { venue, err: None }.encode());
+        }
+        match sub.live.recv_timeout(Duration::from_millis(20)) {
+            Ok((lsn, payload)) => {
+                stream.write_all(
+                    &Frame::Wal {
+                        venue,
+                        lsn,
+                        record: payload.to_vec(),
+                    }
+                    .encode(),
+                )?;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Idle: probe for a silently departed peer so the thread
+                // does not outlive the follower. The protocol is one-way
+                // here, so any byte from the peer is a violation — close.
+                match read_quantum(&mut stream, &mut probe)? {
+                    Some(0) => return Ok(()),
+                    Some(_) => return Ok(()),
+                    None => {}
+                }
+            }
+            // Venue removed: its shard (and every tap sender) is gone.
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                return stream.write_all(&Frame::ReplEnd { venue, err: None }.encode());
+            }
+        }
+    }
+}

@@ -37,5 +37,5 @@ pub use matrix::{
     run_matrix, standard_profiles, standard_world, MatrixOutput, StandardProfile, OBJECTS_PER_VENUE,
 };
 pub use report::{crossover_matrix, render_json, ProfileDigest};
-pub use run::{run_index, run_service, CellMetrics, RunOptions};
+pub use run::{run_index, run_service, run_service_wire, Arrival, CellMetrics, RunOptions};
 pub use zipf::Zipf;

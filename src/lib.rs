@@ -53,6 +53,6 @@ pub mod prelude {
     pub use vip_tree::{
         AdmissionConfig, DeltaReport, IndoorService, IpTree, KindStats, ObjectIndexStats,
         OverloadPolicy, PersistError, QueryEngine, QueryScratch, RecoveryReport, ServiceError,
-        ServiceStats, ShardConfig, ShardStats, SnapshotReport, VipTree, VipTreeConfig,
+        ServiceStats, ShardConfig, ShardStats, SnapshotReport, SyncPolicy, VipTree, VipTreeConfig,
     };
 }

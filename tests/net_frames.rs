@@ -1,0 +1,175 @@
+//! Adversarial property tests for the wire-frame decoder
+//! (`indoor_model::frames`): whatever bytes arrive — clean streams split
+//! at arbitrary packet boundaries, truncated frames, bit-flipped
+//! payloads or headers, oversized length prefixes — the decoder must
+//! never panic, never fabricate a frame, and surface exactly one typed
+//! error after which it stays poisoned so the server can close the
+//! connection cleanly (the contract `crates/net` relies on: framing
+//! errors end connections; service errors ride inside frames).
+
+use indoor_spatial::model::frames::{
+    Frame, FrameDecoder, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+};
+use indoor_spatial::synth::{random_venue, workload};
+use proptest::prelude::*;
+
+/// A representative frame set: scalar control frames, id-carrying
+/// requests with real query payloads, error replies, and replication
+/// stream frames (the id-less kind). Built once — venue synthesis is
+/// the expensive part and every proptest case wants the same pool.
+fn sample_frames() -> &'static [Frame] {
+    static POOL: std::sync::OnceLock<Vec<Frame>> = std::sync::OnceLock::new();
+    POOL.get_or_init(build_frames)
+}
+
+fn build_frames() -> Vec<Frame> {
+    let venue = random_venue(90);
+    let reqs = workload::mixed_requests(&venue, 1, 3, 45.0, "atm", 90);
+    let mut frames = vec![
+        Frame::Ping { id: 7 },
+        Frame::Stats { id: 8 },
+        Frame::Replicate {
+            venue: 3,
+            from_lsn: 12,
+        },
+        Frame::ReplHead {
+            venue: 3,
+            version: 41,
+        },
+        Frame::Wal {
+            venue: 3,
+            lsn: 13,
+            record: vec![0xAB; 57],
+        },
+        Frame::ReplEnd {
+            venue: 3,
+            err: Some(WireError::NotDurable),
+        },
+        Frame::Error {
+            id: 9,
+            err: WireError::Overloaded {
+                venue: 1,
+                in_flight: 8,
+                limit: 8,
+            },
+        },
+        Frame::MutationOk { id: 10, version: 6 },
+    ];
+    for (i, req) in reqs.into_iter().enumerate() {
+        frames.push(Frame::Query {
+            id: 100 + i as u64,
+            venue: 0,
+            req,
+        });
+    }
+    frames
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A clean stream decodes to the same frames regardless of how the
+    /// bytes are split across `extend` calls (TCP owes no respect to
+    /// frame boundaries).
+    #[test]
+    fn arbitrary_packetisation_roundtrips(
+        picks in proptest::collection::vec(0usize..13, 1..8),
+        chunk in 1usize..97,
+    ) {
+        let pool = sample_frames();
+        let sent: Vec<&Frame> = picks.iter().map(|i| &pool[i % pool.len()]).collect();
+        let bytes: Vec<u8> = sent.iter().flat_map(|f| f.encode()).collect();
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for part in bytes.chunks(chunk) {
+            dec.extend(part);
+            while let Some(f) = dec.next().expect("clean stream decodes") {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got.len(), sent.len());
+        for (g, s) in got.iter().zip(&sent) {
+            prop_assert_eq!(g, *s);
+        }
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A truncated frame is *incomplete*, not an error: the decoder
+    /// reports nothing until the rest arrives, then yields the frame.
+    #[test]
+    fn truncation_is_silence_not_error(pick in 0usize..13, cut_seed in 0u64..u64::MAX) {
+        let pool = sample_frames();
+        let frame = &pool[pick % pool.len()];
+        let bytes = frame.encode();
+        // Cut strictly inside the frame (1 ..= len-1).
+        let cut = 1 + (cut_seed as usize) % (bytes.len() - 1);
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes[..cut]);
+        prop_assert_eq!(dec.next().expect("prefix is not an error"), None);
+        prop_assert_eq!(dec.next().expect("still not an error"), None);
+        dec.extend(&bytes[cut..]);
+        prop_assert_eq!(dec.next().expect("completed frame decodes").as_ref(), Some(frame));
+        prop_assert_eq!(dec.next().expect("stream drained"), None);
+    }
+
+    /// Flipping any payload byte trips the CRC: a typed error, never a
+    /// panic, never a phantom frame — and the poison is permanent, so a
+    /// valid frame arriving afterwards is *not* resurrected.
+    #[test]
+    fn payload_corruption_poisons_permanently(
+        pick in 0usize..13,
+        at_seed in 0u64..u64::MAX,
+        flip in 1u8..255,
+    ) {
+        let pool = sample_frames();
+        let frame = &pool[pick % pool.len()];
+        let mut bytes = frame.encode();
+        // Corrupt past the length word: CRC bytes or payload bytes.
+        let lo = 4;
+        let at = lo + (at_seed as usize) % (bytes.len() - lo);
+        bytes[at] ^= flip;
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        prop_assert!(dec.next().is_err(), "corrupt frame must fail CRC");
+        dec.extend(&frame.encode());
+        prop_assert!(dec.next().is_err(), "poison outlives fresh valid bytes");
+    }
+
+    /// A length prefix above the hard ceiling is rejected from the
+    /// header alone — before any payload arrives, so a hostile peer
+    /// cannot make the server allocate 4 GiB.
+    #[test]
+    fn oversized_length_is_rejected_from_the_header(excess in 1u32..1000) {
+        let len = MAX_FRAME_LEN + excess;
+        let mut bytes = Vec::with_capacity(FRAME_HEADER_LEN);
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        prop_assert!(dec.next().is_err(), "oversized header must be refused");
+        prop_assert!(dec.next().is_err(), "and the refusal is sticky");
+    }
+
+    /// Garbage that happens to parse as a *short* frame still cannot
+    /// produce output: a random byte soup either stays silent (looks
+    /// like a long incomplete frame) or errors — it never yields a
+    /// frame. (A fabricated frame needs a CRC32 collision.)
+    #[test]
+    fn random_bytes_never_fabricate_a_frame(
+        noise in proptest::collection::vec(0u8..255, FRAME_HEADER_LEN..200),
+    ) {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&noise);
+        for _ in 0..4 {
+            match dec.next() {
+                Ok(None) => {}
+                Ok(Some(f)) => prop_assert!(false, "decoded a frame from noise: {f:?}"),
+                Err(_) => break,
+            }
+        }
+    }
+}

@@ -649,3 +649,228 @@ fn power_loss_between_snapshot_rename_and_dir_sync_restores_old_state() {
         .unwrap();
     assert_same_answers(&recovered, &reference, id, &f, 41, "rename window");
 }
+
+// ---------------------------------------------------------------------------
+// SyncPolicy: ack-durability under power loss
+// ---------------------------------------------------------------------------
+
+/// Build the fixture's config with an explicit ack-durability policy.
+fn config_with_sync(f: &Fixture, sync: SyncPolicy) -> ShardConfig {
+    ShardConfig { sync, ..f.config() }
+}
+
+/// A reference service fed the first `n` `move_delta` batches, for
+/// byte-identical comparison against a power-crash survivor.
+fn reference_after(f: &Fixture, n: usize) -> (IndoorService, VenueId) {
+    let reference = IndoorService::new();
+    let id = reference.add_venue(f.venue.clone(), f.config()).unwrap();
+    for slot in 0..n {
+        reference.update_objects(id, &move_delta(f, slot)).unwrap();
+    }
+    (reference, id)
+}
+
+/// `SyncPolicy::PerAppend`: every acknowledged mutation is fsynced before
+/// the ack, so power loss immediately after the last ack loses NOTHING —
+/// the machine comes back at exactly the acked version, byte-identical.
+#[test]
+fn per_append_sync_makes_every_acked_write_power_durable() {
+    let dir = PathBuf::from("/sync-per-append");
+    let f = Fixture::new(Arc::new(random_venue(43)), 43);
+    let storage = FaultStorage::new();
+
+    let durable = open_faulted(&storage, &dir).unwrap();
+    let id = durable
+        .add_venue(f.venue.clone(), config_with_sync(&f, SyncPolicy::PerAppend))
+        .unwrap();
+    for slot in 0..4 {
+        durable.update_objects(id, &move_delta(&f, slot)).unwrap();
+    }
+    assert_eq!(durable.version(id), Ok(4));
+
+    // Power dies the instant after the fourth ack. No snapshot was ever
+    // taken: durability rests entirely on the fsynced log.
+    storage.crash(CrashMode::Power);
+    drop(durable);
+
+    let recovered = open_faulted(&storage, &dir).unwrap();
+    assert_eq!(recovered.version(id), Ok(4), "acked writes must survive");
+    let (reference, ref_id) = reference_after(&f, 4);
+    assert_eq!(id, ref_id);
+    assert_same_answers(&recovered, &reference, id, &f, 43, "per-append");
+}
+
+/// `SyncPolicy::Never` (the default): appends are acknowledged from the
+/// page cache, so power loss rolls back to the last explicitly durable
+/// point — here the snapshot — losing the acked-but-unsynced suffix as a
+/// unit. The recovered state is consistent (old), never mixed.
+#[test]
+fn never_sync_power_loss_falls_back_to_last_snapshot() {
+    let dir = PathBuf::from("/sync-never");
+    let f = Fixture::new(Arc::new(random_venue(47)), 47);
+    let storage = FaultStorage::new();
+
+    let durable = open_faulted(&storage, &dir).unwrap();
+    let id = durable
+        .add_venue(f.venue.clone(), config_with_sync(&f, SyncPolicy::Never))
+        .unwrap();
+    durable.update_objects(id, &move_delta(&f, 0)).unwrap();
+    durable.update_objects(id, &move_delta(&f, 1)).unwrap();
+    durable.save_snapshot(&dir).unwrap(); // durable point: version 2
+    durable.update_objects(id, &move_delta(&f, 2)).unwrap();
+    durable.update_objects(id, &move_delta(&f, 3)).unwrap();
+    assert_eq!(durable.version(id), Ok(4));
+
+    storage.crash(CrashMode::Power);
+    drop(durable);
+
+    // v3 and v4 were acked from the page cache only; they evaporate.
+    let recovered = open_faulted(&storage, &dir).unwrap();
+    assert_eq!(recovered.version(id), Ok(2), "falls back to the snapshot");
+    let (reference, _) = reference_after(&f, 2);
+    assert_same_answers(&recovered, &reference, id, &f, 47, "never-sync");
+}
+
+/// `SyncPolicy::EveryN { n }`: the fsync is amortised over n appends, so
+/// power loss is bounded to at most n−1 acknowledged records past the
+/// last sync — and the survivor is a clean prefix, byte-identical to a
+/// reference that stopped at the same version.
+#[test]
+fn every_n_sync_bounds_power_loss_to_n_minus_one_acks() {
+    let dir = PathBuf::from("/sync-every-n");
+    let f = Fixture::new(Arc::new(random_venue(53)), 53);
+    let storage = FaultStorage::new();
+
+    let durable = open_faulted(&storage, &dir).unwrap();
+    let id = durable
+        .add_venue(
+            f.venue.clone(),
+            config_with_sync(&f, SyncPolicy::EveryN { n: 2 }),
+        )
+        .unwrap();
+    // Appends: Create (count 1), v1 (count 2 → fsync), v2 (1), v3 (2 →
+    // fsync), v4 (1), v5 (2 → fsync), v6 (1, volatile).
+    for slot in 0..6 {
+        durable.update_objects(id, &move_delta(&f, slot)).unwrap();
+    }
+    assert_eq!(durable.version(id), Ok(6));
+
+    storage.crash(CrashMode::Power);
+    drop(durable);
+
+    // Exactly one acked record (v6) sat past the last fsync: loss ≤ n−1.
+    let recovered = open_faulted(&storage, &dir).unwrap();
+    assert_eq!(recovered.version(id), Ok(5), "at most n-1 acks lost");
+    let (reference, _) = reference_after(&f, 5);
+    assert_same_answers(&recovered, &reference, id, &f, 53, "every-n");
+}
+
+/// `SyncPolicy::GroupCommit { max_delay: 0 }` degenerates to per-append
+/// fsync (the deadline is always already due), so every ack survives
+/// power loss — the deterministic end of the group-commit spectrum.
+#[test]
+fn group_commit_zero_delay_degenerates_to_per_append() {
+    let dir = PathBuf::from("/sync-group-zero");
+    let f = Fixture::new(Arc::new(random_venue(59)), 59);
+    let storage = FaultStorage::new();
+
+    let durable = open_faulted(&storage, &dir).unwrap();
+    let id = durable
+        .add_venue(
+            f.venue.clone(),
+            config_with_sync(
+                &f,
+                SyncPolicy::GroupCommit {
+                    max_delay: std::time::Duration::ZERO,
+                },
+            ),
+        )
+        .unwrap();
+    for slot in 0..3 {
+        durable.update_objects(id, &move_delta(&f, slot)).unwrap();
+    }
+
+    storage.crash(CrashMode::Power);
+    drop(durable);
+
+    let recovered = open_faulted(&storage, &dir).unwrap();
+    assert_eq!(recovered.version(id), Ok(3));
+    let (reference, _) = reference_after(&f, 3);
+    assert_same_answers(&recovered, &reference, id, &f, 59, "group-commit-0");
+}
+
+/// The policy is part of the persisted shard state: a restart recovered
+/// from the WAL `Create` record (no snapshot) must come back ENFORCING
+/// `PerAppend` — proven behaviourally by a post-restart ack surviving a
+/// power cut, which `Never` (the default a lost policy would decay to)
+/// deterministically fails under `FaultStorage`.
+#[test]
+fn sync_policy_survives_restart_via_wal_create_record() {
+    let dir = PathBuf::from("/sync-restart-wal");
+    let f = Fixture::new(Arc::new(random_venue(61)), 61);
+    let storage = FaultStorage::new();
+
+    let durable = open_faulted(&storage, &dir).unwrap();
+    let id = durable
+        .add_venue(f.venue.clone(), config_with_sync(&f, SyncPolicy::PerAppend))
+        .unwrap();
+    durable.update_objects(id, &move_delta(&f, 0)).unwrap();
+    drop(durable); // clean process exit: page cache survives
+
+    // Restart #1 replays Create + v1 from the log and must re-arm the
+    // policy carried by the Create record.
+    let reopened = open_faulted(&storage, &dir).unwrap();
+    assert_eq!(reopened.version(id), Ok(1));
+    reopened.update_objects(id, &move_delta(&f, 1)).unwrap();
+
+    storage.crash(CrashMode::Power);
+    drop(reopened);
+
+    // v2 was acked after the restart; only a restored PerAppend policy
+    // makes it power-durable.
+    let recovered = open_faulted(&storage, &dir).unwrap();
+    assert_eq!(
+        recovered.version(id),
+        Ok(2),
+        "policy from the WAL Create record must survive restart"
+    );
+    let (reference, _) = reference_after(&f, 2);
+    assert_same_answers(&recovered, &reference, id, &f, 61, "restart-wal");
+}
+
+/// Same property through the snapshot path: the policy rides in the
+/// snapshot's slot state, and a service recovered from snapshot (WAL
+/// rotated, Create record gone) still fsyncs per append.
+#[test]
+fn sync_policy_survives_restart_via_snapshot_state() {
+    let dir = PathBuf::from("/sync-restart-snap");
+    let f = Fixture::new(Arc::new(random_venue(67)), 67);
+    let storage = FaultStorage::new();
+
+    let durable = open_faulted(&storage, &dir).unwrap();
+    let id = durable
+        .add_venue(f.venue.clone(), config_with_sync(&f, SyncPolicy::PerAppend))
+        .unwrap();
+    durable.update_objects(id, &move_delta(&f, 0)).unwrap();
+    let report = durable.save_snapshot(&dir).unwrap();
+    assert!(
+        report.wal_records_dropped > 0,
+        "rotation dropped the prefix"
+    );
+    drop(durable);
+
+    let reopened = open_faulted(&storage, &dir).unwrap();
+    reopened.update_objects(id, &move_delta(&f, 1)).unwrap();
+
+    storage.crash(CrashMode::Power);
+    drop(reopened);
+
+    let recovered = open_faulted(&storage, &dir).unwrap();
+    assert_eq!(
+        recovered.version(id),
+        Ok(2),
+        "policy from the snapshot slot state must survive restart"
+    );
+    let (reference, _) = reference_after(&f, 2);
+    assert_same_answers(&recovered, &reference, id, &f, 67, "restart-snap");
+}
