@@ -34,7 +34,14 @@ use indoor_model::json::{self, Json};
 struct Bench {
     host_cores: usize,
     cells: Vec<gate::Cell>,
+    /// `(cell name, prune_rate)` for every row carrying the stat.
+    prune_rates: Vec<(String, Option<f64>)>,
 }
+
+/// Queries whose rows must carry a strictly positive `prune_rate`: the
+/// slab-layout kNN paths count every branch-and-bound candidate against
+/// the interpolated lower bound, so a zero means the bound layer is dead.
+const PRUNE_GATED_QUERIES: [&str; 2] = ["knn", "layout_knn_slab"];
 
 fn load(path: &str) -> Bench {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -43,33 +50,38 @@ fn load(path: &str) -> Bench {
         .get("host_cores")
         .and_then(Json::as_usize)
         .unwrap_or_else(|| panic!("{path}: missing host_cores"));
-    let cells = doc
+    let mut cells = Vec::new();
+    let mut prune_rates = Vec::new();
+    for row in doc
         .get("results")
         .and_then(Json::as_arr)
         .unwrap_or_else(|| panic!("{path}: missing results array"))
-        .iter()
-        .map(|row| {
-            let dataset = row
-                .get("dataset")
-                .and_then(Json::as_str)
-                .expect("row dataset");
-            let query = row.get("query").and_then(Json::as_str).expect("row query");
-            let threads = row
-                .get("threads")
-                .and_then(Json::as_usize)
-                .expect("row threads");
-            let venues = row.get("venues").and_then(Json::as_usize).unwrap_or(1);
-            let us = row
-                .get("us_per_query")
-                .and_then(Json::as_f64)
-                .expect("row us_per_query");
-            gate::Cell::new(
-                format!("({dataset}, {query}, threads={threads}, venues={venues})"),
-                us,
-            )
-        })
-        .collect();
-    Bench { host_cores, cells }
+    {
+        let dataset = row
+            .get("dataset")
+            .and_then(Json::as_str)
+            .expect("row dataset");
+        let query = row.get("query").and_then(Json::as_str).expect("row query");
+        let threads = row
+            .get("threads")
+            .and_then(Json::as_usize)
+            .expect("row threads");
+        let venues = row.get("venues").and_then(Json::as_usize).unwrap_or(1);
+        let us = row
+            .get("us_per_query")
+            .and_then(Json::as_f64)
+            .expect("row us_per_query");
+        let name = format!("({dataset}, {query}, threads={threads}, venues={venues})");
+        if PRUNE_GATED_QUERIES.contains(&query) {
+            prune_rates.push((name.clone(), row.get("prune_rate").and_then(Json::as_f64)));
+        }
+        cells.push(gate::Cell::new(name, us));
+    }
+    Bench {
+        host_cores,
+        cells,
+        prune_rates,
+    }
 }
 
 fn main() {
@@ -129,12 +141,39 @@ fn main() {
     for line in &out.lines {
         println!("{line}");
     }
+
+    // Lower-bound liveness gate: every kNN cell of the fresh run must
+    // report prune_rate > 0 — hardware-independent, so it hard-fails even
+    // on a host_cores mismatch (a dead bound layer is a code bug, not
+    // measurement noise).
+    let mut prune_failures = 0usize;
+    for (name, pr) in &fresh.prune_rates {
+        match pr {
+            Some(p) if *p > 0.0 => {}
+            Some(p) => {
+                println!(
+                    "FAIL: {name} prune_rate {p} — the lower bound never rejected a candidate"
+                );
+                prune_failures += 1;
+            }
+            None => {
+                println!("FAIL: {name} is missing its prune_rate field");
+                prune_failures += 1;
+            }
+        }
+    }
+
     println!(
-        "checked {} cells against {baseline_path} (threshold {threshold}x): {} failures, {} warnings",
+        "checked {} cells against {baseline_path} (threshold {threshold}x): {} failures, {} warnings, {} prune-rate failures",
         baseline.cells.len(),
         out.failures,
-        out.warnings
+        out.warnings,
+        prune_failures
     );
+    if prune_failures > 0 {
+        eprintln!("perf gate failed: a kNN cell's interpolated lower bound pruned nothing");
+        std::process::exit(1);
+    }
     if out.failures > 0 {
         eprintln!(
             "perf gate failed: stale baseline cell or >{threshold}x median-latency regression on matching hardware"

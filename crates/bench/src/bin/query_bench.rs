@@ -68,6 +68,9 @@ struct Row {
     venues: usize,
     n_queries: usize,
     us_per_query: f64,
+    /// kNN cells only: fraction of branch-and-bound candidates rejected
+    /// by the interpolated lower bound without touching a matrix row.
+    prune_rate: Option<f64>,
 }
 
 /// Median over reps of (batch wall micros / batch size).
@@ -147,6 +150,18 @@ fn main() {
             workload::mixed_requests(&venue, N_QUERIES / 5, KNN_K, RANGE_RADIUS, KEYWORD, 0xA0);
         println!("== {name}: {doors} doors, {N_QUERIES} queries per type");
 
+        // Lower-bound effectiveness over this preset's kNN workload:
+        // counters accumulate across the whole point set, so the rate is
+        // a workload aggregate, not a per-query sample.
+        let prune_rate = {
+            let mut stats = indoor_model::QueryStats::default();
+            for q in &points {
+                std::hint::black_box(tree.knn_with_stats(q, KNN_K, &mut stats));
+            }
+            stats.prune_rate()
+        };
+        println!("   lower-bound prune_rate: {prune_rate:.3}");
+
         for &threads in &THREAD_COUNTS {
             let engine = QueryEngine::for_vip(tree.clone())
                 .with_threads(threads)
@@ -207,8 +222,57 @@ fn main() {
                     venues: 1,
                     n_queries: n,
                     us_per_query: us,
+                    prune_rate: (query == "knn").then_some(prune_rate),
                 });
             }
+        }
+
+        // Layout A/B cells: the same kNN/range/shortest-path workloads at
+        // threads=1 with the implicit slab layout on (`slab`, the default
+        // hot path) vs off (`ptr`, the original pointer walk). Both live
+        // in the trajectory so a layout regression gates like any other
+        // cell, and the pair documents the tentpole's before/after on
+        // every refresh.
+        {
+            let engine = QueryEngine::for_vip(tree.clone()).with_threads(1);
+            std::hint::black_box(engine.batch_knn(&points[..8.min(points.len())], KNN_K));
+            let layout_cells: [(&'static str, &'static str, bool); 6] = [
+                ("layout_knn_slab", "knn", true),
+                ("layout_knn_ptr", "knn", false),
+                ("layout_range_slab", "range", true),
+                ("layout_range_ptr", "range", false),
+                ("layout_path_slab", "path", true),
+                ("layout_path_ptr", "path", false),
+            ];
+            for (query, kind, slab) in layout_cells {
+                tree.set_hot_layout(slab);
+                let us = match kind {
+                    "knn" => median_us(reps, N_QUERIES, || {
+                        std::hint::black_box(engine.batch_knn(&points, KNN_K));
+                    }),
+                    "range" => median_us(reps, N_QUERIES, || {
+                        std::hint::black_box(engine.batch_range(&points, RANGE_RADIUS));
+                    }),
+                    _ => median_us(reps, N_QUERIES, || {
+                        std::hint::black_box(engine.batch_shortest_path(&pairs));
+                    }),
+                };
+                println!(
+                    "   {query:>17} threads=1: {us:9.2} us/query  ({:9.0} q/s)",
+                    1e6 / us
+                );
+                rows.push(Row {
+                    dataset: name.to_string(),
+                    doors,
+                    query,
+                    threads: 1,
+                    venues: 1,
+                    n_queries: N_QUERIES,
+                    us_per_query: us,
+                    prune_rate: (query == "layout_knn_slab").then_some(prune_rate),
+                });
+            }
+            tree.set_hot_layout(true);
         }
     }
 
@@ -275,6 +339,7 @@ fn main() {
             venues: venue_count,
             n_queries: n,
             us_per_query: us,
+            prune_rate: None,
         });
     }
 
@@ -360,6 +425,7 @@ fn main() {
             venues: 2,
             n_queries: DELTAS_PER_BATCH,
             us_per_query: us,
+            prune_rate: None,
         });
     }
 
@@ -456,6 +522,7 @@ fn main() {
             venues: 1,
             n_queries: ATTEMPTS,
             us_per_query: us,
+            prune_rate: None,
         });
     }
 
@@ -555,6 +622,7 @@ fn main() {
                 venues: 1,
                 n_queries: n,
                 us_per_query: us,
+                prune_rate: None,
             });
         }
     }
@@ -569,7 +637,7 @@ fn main() {
     if let Ok(t) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
         let _ = writeln!(json, "  \"generated_unix\": {},", t.as_secs());
     }
-    json.push_str("  \"note\": \"batch results are slot-indexed and bit-identical to the serial loop (tests/concurrent_queries.rs); multi-thread speedup saturates at host_cores; mixed cells run shuffled heterogeneous QueryRequest batches; SVC rows measure IndoorService steady-state serving with a warm version-stamped cache over `venues` shards (venue sets differ per count, so their speedup_vs_serial is fixed at 1.0); churn rows are us per ObjectDelta absorbed by update_objects on one venue while a mixed load hammers a second venue concurrently (qps = updates/sec, speedup fixed at 1.0); persist_save/persist_open are us per whole-service snapshot write / warm restart, persist_replay is us per ObjectDelta of WAL-suffix replay (differenced against a snapshot-only open, floored at 0.01); the admission row is the p99 latency (median over reps) of queries ADMITTED through a shed-policy gate of 8 in-flight while a batch saturator floods the same shard — its qps reads as 1e6/p99, not throughput\",\n");
+    json.push_str("  \"note\": \"batch results are slot-indexed and bit-identical to the serial loop (tests/concurrent_queries.rs); multi-thread speedup saturates at host_cores; mixed cells run shuffled heterogeneous QueryRequest batches; SVC rows measure IndoorService steady-state serving with a warm version-stamped cache over `venues` shards (venue sets differ per count, so their speedup_vs_serial is fixed at 1.0); churn rows are us per ObjectDelta absorbed by update_objects on one venue while a mixed load hammers a second venue concurrently (qps = updates/sec, speedup fixed at 1.0); persist_save/persist_open are us per whole-service snapshot write / warm restart, persist_replay is us per ObjectDelta of WAL-suffix replay (differenced against a snapshot-only open, floored at 0.01); the admission row is the p99 latency (median over reps) of queries ADMITTED through a shed-policy gate of 8 in-flight while a batch saturator floods the same shard — its qps reads as 1e6/p99, not throughput; layout_* cells A/B the implicit slab layout (slab, the default) against the original pointer walk (ptr) at threads=1 — answers are byte-identical across the pair, only layout and walk order differ; prune_rate on kNN cells is the fraction of branch-and-bound candidates rejected by the interpolated lower bound without touching a matrix row\",\n");
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         // SVC rows serve a *different* venue set per venue count, so no
@@ -584,9 +652,13 @@ fn main() {
                 .map(|x| x.us_per_query)
                 .unwrap_or(r.us_per_query)
         };
+        let prune = r
+            .prune_rate
+            .map(|p| format!(", \"prune_rate\": {p:.4}"))
+            .unwrap_or_default();
         let _ = write!(
             json,
-            "    {{\"dataset\": \"{}\", \"doors\": {}, \"query\": \"{}\", \"threads\": {}, \"venues\": {}, \"n_queries\": {}, \"us_per_query\": {:.3}, \"qps\": {:.0}, \"speedup_vs_serial\": {:.3}}}",
+            "    {{\"dataset\": \"{}\", \"doors\": {}, \"query\": \"{}\", \"threads\": {}, \"venues\": {}, \"n_queries\": {}, \"us_per_query\": {:.3}, \"qps\": {:.0}, \"speedup_vs_serial\": {:.3}{}}}",
             r.dataset,
             r.doors,
             r.query,
@@ -596,6 +668,7 @@ fn main() {
             r.us_per_query,
             1e6 / r.us_per_query,
             serial_us / r.us_per_query,
+            prune,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

@@ -120,8 +120,8 @@ pub fn compare(baseline: &[Cell], fresh: &[Cell], cfg: &GateConfig) -> Outcome {
             out.warnings += 1;
             out.lines.push(format!(
                 "WARN: new cell {} not in the baseline — ungated until the refreshed \
-                 baseline is committed",
-                now.key
+                 baseline is committed; {}",
+                now.key, cfg.refresh_hint
             ));
         }
     }
@@ -197,5 +197,8 @@ mod tests {
         let out = compare(&[], &fresh, &cfg(true));
         assert_eq!((out.failures, out.warnings), (0, 1));
         assert!(out.lines[0].contains("ungated"));
+        // The warn line tells the operator *how* to land the baseline —
+        // the same verbatim refresh command the stale-cell failure prints.
+        assert!(out.lines[0].contains("rerun the bench and commit the refreshed JSON"));
     }
 }

@@ -282,6 +282,17 @@ impl IpTree {
             }
         }
 
+        // --- Implicit layout: pack the hot data into SoA slabs and build
+        // the admissible lower-bound tables (DESIGN.md §14). Bound
+        // extraction fans out over the same worker pool; the arena fill is
+        // a serial sequence of row memcpys.
+        let slabs = crate::slabs::Slabs::build(&nodes, &door_leaves, threads);
+
+        // --- Per-leaf door-to-door grid: global distances from leaf
+        // matrices + leaf-local Dijkstra (no extra full-graph passes),
+        // consumed by the own-leaf exact scan (DESIGN.md §14.4).
+        let leaf_grid = crate::leafdist::LeafGrid::build(&venue, &nodes, n_leaves, threads);
+
         Ok(IpTree {
             venue,
             config: config.clone(),
@@ -297,6 +308,9 @@ impl IpTree {
             objects: std::sync::RwLock::new(None),
             objects_update: std::sync::Mutex::new(()),
             objects_gen: std::sync::atomic::AtomicU64::new(0),
+            slabs,
+            leaf_grid,
+            hot_layout: std::sync::atomic::AtomicBool::new(true),
         })
     }
 }

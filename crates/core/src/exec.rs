@@ -95,6 +95,9 @@ pub struct QueryScratch {
     pub(crate) stack: Vec<(NodeIdx, u32)>,
     /// Leaf-scan candidate marks, cleared by epoch.
     pub(crate) marks: EpochMarks,
+    /// Own-leaf scan buffer: distance from `q` to every door of its leaf,
+    /// folded from the leaf door grid (DESIGN.md §14.4).
+    pub(crate) leaf_dq: Vec<f64>,
     /// VIP cross-leaf side buffers: distances/argmin superior doors to the
     /// source- and target-side access doors.
     pub(crate) sd_s: Vec<f64>,

@@ -265,6 +265,7 @@ impl KeywordObjects {
             heap,
             best,
             marks,
+            leaf_dq,
             ..
         } = scratch;
         let asc = &*asc_s;
@@ -285,6 +286,7 @@ impl KeywordObjects {
             tree.root(),
             *step_handles.last().expect("ascent is non-empty"),
         )));
+        let slab = tree.uses_hot_layout();
         while let Some(Reverse((TotalF64(mind), node_idx, handle))) = heap.pop() {
             if mind > dk(best) {
                 break;
@@ -300,6 +302,7 @@ impl KeywordObjects {
                     term,
                     k,
                     marks,
+                    leaf_dq,
                     best,
                 );
                 continue;
@@ -312,6 +315,50 @@ impl KeywordObjects {
                 if let Some(step) = asc.step_for(tree, child) {
                     let h = step_handles[tree.node(step.node).level as usize - 1];
                     heap.push(Reverse((TotalF64(0.0), child, h)));
+                    continue;
+                }
+                if slab {
+                    let (base_rows, base_handle) = if node_on_path {
+                        let sib = tree.child_towards(node_idx, asc.steps()[0].node);
+                        debug_assert!(asc.on_path(tree, sib), "sibling on ascent");
+                        (
+                            tree.slabs.kid_cols_of(sib),
+                            step_handles[tree.node(sib).level as usize - 1],
+                        )
+                    } else {
+                        (tree.slabs.own_cols_of(node_idx), handle)
+                    };
+                    let base_vec = arena.get(base_handle);
+                    // Same admissible lower-bound skips as
+                    // `IpTree::knn_from_ascent` (PL floor, then the exact
+                    // per-row fold) — see there for why they preserve
+                    // answers exactly.
+                    let rowmin = tree.slabs.kid_rowmin_of(child);
+                    let mut base_min = f64::INFINITY;
+                    let mut lb = f64::INFINITY;
+                    for (&b, &r) in base_vec.iter().zip(base_rows) {
+                        if b < base_min {
+                            base_min = b;
+                        }
+                        if b.is_finite() {
+                            let v = b + rowmin[r as usize];
+                            if v < lb {
+                                lb = v;
+                            }
+                        }
+                    }
+                    let bound = dk(best);
+                    if base_min + tree.slabs.kid_lb(child) > bound || lb > bound {
+                        continue;
+                    }
+                    tree.derive_child_vec_slab_into(
+                        node_idx, base_rows, base_vec, child, child_vec,
+                    );
+                    let mind_c = child_vec.iter().copied().fold(f64::INFINITY, f64::min);
+                    if mind_c <= dk(best) {
+                        let h = arena.push(child_vec);
+                        heap.push(Reverse((TotalF64(mind_c), child, h)));
+                    }
                     continue;
                 }
                 let (base_ads, base_handle) = if node_on_path {
@@ -355,6 +402,7 @@ impl KeywordObjects {
         term: TermId,
         k: usize,
         marks: &mut EpochMarks,
+        dq: &mut Vec<f64>,
         best: &mut BinaryHeap<(TotalF64, ObjectId)>,
     ) {
         let bound = if best.len() < k {
@@ -374,7 +422,17 @@ impl KeywordObjects {
                 }
             }
         };
-        tree.scan_leaf(q, &self.objects, leaf, vec, asc, bound, marks, &mut emit);
+        tree.scan_leaf(
+            q,
+            &self.objects,
+            leaf,
+            vec,
+            asc,
+            bound,
+            marks,
+            dq,
+            &mut emit,
+        );
     }
 }
 

@@ -20,7 +20,6 @@ use crate::exec::{EpochMarks, QueryScratch};
 use crate::objects::ObjectIndex;
 use crate::tree::{IpTree, NodeIdx};
 use geometry::TotalF64;
-use indoor_graph::Termination;
 use indoor_model::{IndoorPoint, ObjectId, QueryStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -281,6 +280,7 @@ impl IpTree {
             heap,
             best,
             marks,
+            leaf_dq,
             ..
         } = scratch;
         let asc = &*asc_s;
@@ -313,6 +313,7 @@ impl IpTree {
             self.root(),
             *step_handles.last().expect("ascent is non-empty"),
         )));
+        let slab = self.uses_hot_layout();
 
         while let Some(Reverse((TotalF64(mind), node_idx, handle))) = heap.pop() {
             if mind > dk(best) {
@@ -329,6 +330,7 @@ impl IpTree {
                     asc,
                     dk(best),
                     marks,
+                    leaf_dq,
                     &mut |o, d| consider(best, o, d),
                 );
                 continue;
@@ -342,6 +344,60 @@ impl IpTree {
                     // Child contains q: mindist 0, vector from the ascent.
                     let h = step_handles[self.node(step.node).level as usize - 1];
                     heap.push(Reverse((TotalF64(0.0), child, h)));
+                    continue;
+                }
+                if slab {
+                    // Implicit layout: base rows are precomputed column
+                    // ordinals in this node's slab (inner matrices are
+                    // square, so column ordinals double as row indices).
+                    let (base_rows, base_handle) = if node_on_path {
+                        let sib = self.child_towards(node_idx, asc.steps()[0].node);
+                        debug_assert_ne!(sib, child);
+                        debug_assert!(asc.on_path(self, sib), "sibling on ascent path");
+                        (
+                            self.slabs.kid_cols_of(sib),
+                            step_handles[self.node(sib).level as usize - 1],
+                        )
+                    } else {
+                        (self.slabs.own_cols_of(node_idx), handle)
+                    };
+                    let base_vec = arena.get(base_handle);
+                    // Admissible lower bounds, cheapest first: the PL
+                    // table's O(1) floor `base_min + kid_lb(child)`, then
+                    // the exact per-row fold `min_bi base[bi] +
+                    // rowmin(child)[row(bi)]`. Neither exceeds any derived
+                    // entry (each summand lower-bounds its factor exactly
+                    // and fl(+) is monotone non-decreasing), so a child
+                    // failing either would fail `mind_c <= d_k` too —
+                    // skip it without touching a matrix row.
+                    let rowmin = self.slabs.kid_rowmin_of(child);
+                    let mut base_min = f64::INFINITY;
+                    let mut lb = f64::INFINITY;
+                    for (&b, &r) in base_vec.iter().zip(base_rows) {
+                        if b < base_min {
+                            base_min = b;
+                        }
+                        if b.is_finite() {
+                            let v = b + rowmin[r as usize];
+                            if v < lb {
+                                lb = v;
+                            }
+                        }
+                    }
+                    stats.bound_candidates += 1;
+                    let bound = dk(best);
+                    if base_min + self.slabs.kid_lb(child) > bound || lb > bound {
+                        stats.bound_pruned += 1;
+                        continue;
+                    }
+                    self.derive_child_vec_slab_into(
+                        node_idx, base_rows, base_vec, child, child_vec,
+                    );
+                    let mind_c = child_vec.iter().copied().fold(f64::INFINITY, f64::min);
+                    if mind_c <= dk(best) {
+                        let h = arena.push(child_vec);
+                        heap.push(Reverse((TotalF64(mind_c), child, h)));
+                    }
                     continue;
                 }
                 // Lemma 8/9: derive the child's vector from this node.
@@ -396,6 +452,7 @@ impl IpTree {
             child_vec,
             stack,
             marks,
+            leaf_dq,
             ..
         } = scratch;
         let asc = &*asc_s;
@@ -408,6 +465,7 @@ impl IpTree {
             self.root(),
             *step_handles.last().expect("ascent is non-empty"),
         ));
+        let slab = self.uses_hot_layout();
         while let Some((node_idx, handle)) = stack.pop() {
             stats.nodes_visited += 1;
             let node = self.node(node_idx);
@@ -433,6 +491,7 @@ impl IpTree {
                     asc,
                     radius,
                     marks,
+                    leaf_dq,
                     &mut |o, d| {
                         if d <= radius {
                             out.push((o, d));
@@ -447,6 +506,48 @@ impl IpTree {
                 }
                 if let Some(step) = asc.step_for(self, child) {
                     let h = step_handles[self.node(step.node).level as usize - 1];
+                    stack.push((child, h));
+                    continue;
+                }
+                if slab {
+                    let (base_rows, base_handle) = if contains_q {
+                        let sib = self.child_towards(node_idx, asc.steps()[0].node);
+                        debug_assert!(asc.on_path(self, sib), "sibling on ascent path");
+                        (
+                            self.slabs.kid_cols_of(sib),
+                            step_handles[self.node(sib).level as usize - 1],
+                        )
+                    } else {
+                        (self.slabs.own_cols_of(node_idx), handle)
+                    };
+                    let base_vec = arena.get(base_handle);
+                    // A child whose lower bound already exceeds the radius
+                    // cannot hold an in-range object; skip the derive (the
+                    // PL floor first, then the exact per-row fold — see
+                    // knn_from_ascent for the admissibility argument).
+                    let rowmin = self.slabs.kid_rowmin_of(child);
+                    let mut base_min = f64::INFINITY;
+                    let mut lb = f64::INFINITY;
+                    for (&b, &r) in base_vec.iter().zip(base_rows) {
+                        if b < base_min {
+                            base_min = b;
+                        }
+                        if b.is_finite() {
+                            let v = b + rowmin[r as usize];
+                            if v < lb {
+                                lb = v;
+                            }
+                        }
+                    }
+                    stats.bound_candidates += 1;
+                    if base_min + self.slabs.kid_lb(child) > radius || lb > radius {
+                        stats.bound_pruned += 1;
+                        continue;
+                    }
+                    self.derive_child_vec_slab_into(
+                        node_idx, base_rows, base_vec, child, child_vec,
+                    );
+                    let h = arena.push(child_vec);
                     stack.push((child, h));
                     continue;
                 }
@@ -509,6 +610,39 @@ impl IpTree {
         }
     }
 
+    /// Slab-layout twin of [`IpTree::derive_child_vec_into`]: base rows
+    /// and child columns are precomputed ordinal runs ([`crate::Slabs`]),
+    /// so the double loop streams one cache-aligned row slice per base
+    /// door instead of probing `row_index`/`col_index` per element. The
+    /// output is bit-identical to the pointer variant: the same
+    /// `base + matrix` additions, minimised over the same candidate set.
+    pub(crate) fn derive_child_vec_slab_into(
+        &self,
+        parent: NodeIdx,
+        base_rows: &[u32],
+        base_vec: &[f64],
+        child: NodeIdx,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(base_rows.len(), base_vec.len());
+        let cols = self.slabs.kid_cols_of(child);
+        out.clear();
+        out.resize(cols.len(), f64::INFINITY);
+        for (bi, &r) in base_rows.iter().enumerate() {
+            let b = base_vec[bi];
+            if !b.is_finite() {
+                continue;
+            }
+            let row = self.slabs.row(parent, r as usize);
+            for (o, &c) in out.iter_mut().zip(cols) {
+                let cand = b + row[c as usize];
+                if cand < *o {
+                    *o = cand;
+                }
+            }
+        }
+    }
+
     /// Report candidate objects of one leaf through `emit(obj, exact_dist)`.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn scan_leaf(
@@ -520,6 +654,7 @@ impl IpTree {
         asc: &Ascent,
         bound: f64,
         marks: &mut EpochMarks,
+        dq: &mut Vec<f64>,
         emit: &mut dyn FnMut(ObjectId, f64),
     ) {
         let Some(data) = oi.leaf_data.get(&leaf) else {
@@ -527,15 +662,26 @@ impl IpTree {
         };
         let venue = &*self.venue;
         if asc.on_path(self, leaf) {
-            // q's own leaf: exact distances via one D2D expansion.
+            // q's own leaf: exact distances via the leaf door grid — one
+            // seed × row fold replaces the per-query D2D expansion that
+            // used to dominate kNN/range latency (DESIGN.md §14.4).
             let node = self.node(leaf);
-            let targets: Vec<u32> = node.doors.iter().map(|d| d.0).collect();
-            let mut engine = self.engines.checkout();
-            engine.run(
-                venue.d2d(),
-                &q.door_seeds(venue),
-                Termination::SettleAll(&targets),
-            );
+            let n = node.doors.len();
+            dq.clear();
+            dq.resize(n, f64::INFINITY);
+            for (sd, sdist) in q.door_seeds(venue) {
+                let s = node
+                    .doors
+                    .binary_search(&indoor_model::DoorId(sd))
+                    .expect("query partition door is a leaf door");
+                let trow = self.leaf_grid.row(leaf, s);
+                for (out, &t) in dq.iter_mut().zip(trow) {
+                    let cand = sdist + t;
+                    if cand < *out {
+                        *out = cand;
+                    }
+                }
+            }
             for (slot, oid) in data.objs.iter().enumerate() {
                 if !data.live[slot] {
                     continue; // tombstoned by a delta
@@ -543,11 +689,13 @@ impl IpTree {
                 let o = oi.object(*oid);
                 let mut d = q.direct_distance(venue, o).unwrap_or(f64::INFINITY);
                 for &door in &venue.partition(o.partition).doors {
-                    if let Some(dd) = engine.settled_distance(door.0) {
-                        let cand = dd + o.distance_to_door(venue, door);
-                        if cand < d {
-                            d = cand;
-                        }
+                    let t = node
+                        .doors
+                        .binary_search(&door)
+                        .expect("object partition door is a leaf door");
+                    let cand = dq[t] + o.distance_to_door(venue, door);
+                    if cand < d {
+                        d = cand;
                     }
                 }
                 emit(*oid, d);
@@ -568,6 +716,90 @@ mod tests {
     use indoor_synth::{random_venue, workload};
     use proptest::prelude::*;
     use std::sync::Arc;
+
+    #[test]
+    #[ignore]
+    fn profile_mc_knn_phases() {
+        use std::time::Instant;
+        let venue = Arc::new(indoor_synth::presets::melbourne_central().build());
+        let objects = workload::place_objects(&venue, 200, 0xB0B);
+        let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        tree.attach_objects(&objects);
+        let points = workload::query_points(&venue, 300, 0x9E);
+        for q in &points {
+            std::hint::black_box(tree.knn(q, 5));
+        }
+        let t0 = Instant::now();
+        for q in &points {
+            std::hint::black_box(tree.knn(q, 5));
+        }
+        let total = t0.elapsed();
+        let ip = tree.ip_tree();
+        let mut scratch = ip.scratch.checkout();
+        let t0 = Instant::now();
+        for q in &points {
+            tree.ascend_via_tables_into(q, ip.root(), &mut scratch.asc_s);
+            std::hint::black_box(scratch.asc_s.steps().len());
+        }
+        let asc_t = t0.elapsed();
+        let t0 = Instant::now();
+        for q in &points {
+            tree.ascend_via_tables_into(q, ip.root(), &mut scratch.asc_s);
+            let leaf = scratch.asc_s.steps()[0].node;
+            let node = ip.node(leaf);
+            let targets: Vec<u32> = node.doors.iter().map(|d| d.0).collect();
+            let mut engine = ip.engines.checkout();
+            engine.run(
+                venue.d2d(),
+                &q.door_seeds(&venue),
+                indoor_graph::Termination::SettleAll(&targets),
+            );
+            std::hint::black_box(engine.settled_distance(targets[0]));
+        }
+        let leaf_t = t0.elapsed();
+        let oi = ip.object_index().unwrap();
+        let t0 = Instant::now();
+        for q in &points {
+            tree.ascend_via_tables_into(q, ip.root(), &mut scratch.asc_s);
+            let leaf = scratch.asc_s.steps()[0].node;
+            let Some(data) = oi.leaf_data.get(&leaf) else {
+                continue;
+            };
+            let mut targets: Vec<u32> = Vec::new();
+            for (slot, oid) in data.objs.iter().enumerate() {
+                if !data.live[slot] {
+                    continue;
+                }
+                let o = oi.object(*oid);
+                for &door in &venue.partition(o.partition).doors {
+                    targets.push(door.0);
+                }
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            let mut engine = ip.engines.checkout();
+            engine.run(
+                venue.d2d(),
+                &q.door_seeds(&venue),
+                indoor_graph::Termination::SettleAll(&targets),
+            );
+            std::hint::black_box(targets.len());
+        }
+        let obj_t = t0.elapsed();
+        let t0 = Instant::now();
+        for q in &points {
+            std::hint::black_box(tree.range(q, 150.0));
+        }
+        let range_t = t0.elapsed();
+        eprintln!(
+            "knn total {:.2}us  ascent {:.2}us  ascent+ownleaf-dijkstra {:.2}us  objdoor-dijkstra {:.2}us  range total {:.2}us",
+            total.as_secs_f64() * 1e6 / 300.0,
+            asc_t.as_secs_f64() * 1e6 / 300.0,
+            leaf_t.as_secs_f64() * 1e6 / 300.0,
+            obj_t.as_secs_f64() * 1e6 / 300.0,
+            range_t.as_secs_f64() * 1e6 / 300.0,
+        );
+    }
 
     #[test]
     fn arena_handles_round_trip() {

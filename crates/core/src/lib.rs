@@ -48,6 +48,7 @@ mod exec;
 mod keywords;
 mod knn;
 mod leaf;
+mod leafdist;
 mod matrices;
 mod merge;
 mod objects;
@@ -56,6 +57,7 @@ pub mod persist;
 mod repl;
 mod retry;
 mod service;
+mod slabs;
 mod stats;
 mod tree;
 mod vip;
@@ -73,6 +75,7 @@ pub use service::{
     AdmissionConfig, IndoorService, KindStats, OverloadPolicy, ServiceError, ServiceStats,
     ShardConfig, ShardStats, SyncPolicy, DEFAULT_CACHE_CAPACITY,
 };
+pub use slabs::Slabs;
 pub use stats::TreeStats;
 pub use tree::{BuildError, IpTree, NodeIdx, VipTreeConfig, NO_NODE};
 pub use vip::VipTree;

@@ -154,6 +154,7 @@ impl LeafObjects {
     ) {
         let n = self.objs.len();
         marks.begin(n);
+        let mut marked = 0usize;
         for (ad_idx, &dq) in vec.iter().enumerate() {
             if !dq.is_finite() {
                 continue;
@@ -162,15 +163,24 @@ impl LeafObjects {
                 if dq + self.dist_at(ad_idx, j as usize) > bound {
                     break;
                 }
-                if self.live[j as usize] {
+                if self.live[j as usize] && !marks.is_marked(j as usize) {
                     marks.mark(j as usize);
+                    marked += 1;
                 }
             }
         }
+        // The pass below is slot-ordered so emission order is independent
+        // of which door marked a candidate; stop once every mark is spent
+        // (a bound-rejected bucket costs one head probe per door, no slot
+        // walk).
         for j in 0..n {
+            if marked == 0 {
+                break;
+            }
             if !marks.is_marked(j) {
                 continue;
             }
+            marked -= 1;
             let mut d = f64::INFINITY;
             for (ad_idx, &dq) in vec.iter().enumerate() {
                 let cand = dq + self.dist_at(ad_idx, j);

@@ -212,6 +212,20 @@ pub struct IpTree {
     /// mutation of `objects`, whoever triggers it — the stamp result
     /// caches key object answers by ([`IpTree::objects_generation`]).
     pub(crate) objects_gen: std::sync::atomic::AtomicU64,
+    /// Implicit-layout companion: the node matrices repacked into one
+    /// cache-line-aligned SoA arena plus the admissible lower-bound layer
+    /// (DESIGN.md §14). Built once at construction; values are bit-exact
+    /// copies of the matrices, so either layout answers identically.
+    pub(crate) slabs: crate::slabs::Slabs,
+    /// Per-leaf global door-to-door distance grid (DESIGN.md §14.4):
+    /// turns the own-leaf exact scan from a per-query D2D expansion into
+    /// one seed × row fold. Shared by both layouts, so flipping
+    /// `hot_layout` stays byte-identical.
+    pub(crate) leaf_grid: crate::leafdist::LeafGrid,
+    /// Whether the query kernels walk the slab layout (default) or the
+    /// original pointer-and-binary-search layout. Runtime-flippable so
+    /// benches and equivalence tests compare both on one tree.
+    pub(crate) hot_layout: std::sync::atomic::AtomicBool,
 }
 
 impl IpTree {
@@ -335,9 +349,41 @@ impl IpTree {
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Total bytes of index structure (Fig. 8(b)).
+    /// Switch the query kernels between the implicit slab layout (default,
+    /// `true`) and the original pointer walk. Both layouts answer
+    /// byte-identically — see `tests/layout_equivalence.rs`.
+    pub fn set_hot_layout(&self, slab: bool) {
+        self.hot_layout
+            .store(slab, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether queries currently walk the slab layout.
+    #[inline]
+    pub fn uses_hot_layout(&self) -> bool {
+        self.hot_layout.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The implicit-layout slabs and lower-bound tables (read-only; used
+    /// by the admissibility proptests and the `layout-audit` pass).
+    #[inline]
+    pub fn slabs(&self) -> &crate::slabs::Slabs {
+        &self.slabs
+    }
+
+    /// Re-verify the whole slab arena against the source matrices: every
+    /// row in-bounds and cache-line-aligned, every value bit-identical,
+    /// every bound admissible. Panics on violation.
+    pub fn audit_layout(&self) {
+        self.slabs.audit(&self.nodes);
+        self.leaf_grid.audit(&self.nodes);
+    }
+
+    /// Total bytes of index structure (Fig. 8(b)), including the implicit
+    /// slab layout.
     pub fn size_bytes(&self) -> usize {
         self.nodes.iter().map(Node::size_bytes).sum::<usize>()
+            + self.slabs.size_bytes()
+            + self.leaf_grid.size_bytes()
             + self.leaf_of_partition.len() * 4
             + self.door_leaves.len() * 8
             + self.boundary.len()

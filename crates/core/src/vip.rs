@@ -54,11 +54,81 @@ impl DoorTable {
     }
 }
 
+/// The per-door tables repacked for the hot layout: every door's rows
+/// concatenated into one f64 arena, with the row index sorted by node
+/// index (the build's node arena is level-order, so ancestor walks probe
+/// monotonically increasing entries). Distances are bit-exact copies of
+/// [`DoorTable::dists`]; argmin replay for path recovery stays on the
+/// original tables.
+#[derive(Debug, Default)]
+struct TableSlab {
+    /// Per door: its run in `nodes`/`row_off` (`door_off[d]..door_off[d+1]`).
+    door_off: Vec<u32>,
+    /// Table-row owner nodes, sorted within each door's run.
+    nodes: Vec<NodeIdx>,
+    /// Aligned with `nodes`: the row's offset in `dists` (length = the
+    /// node's access-door count, known to every caller).
+    row_off: Vec<u32>,
+    dists: Vec<f64>,
+}
+
+impl TableSlab {
+    fn build(tables: &[DoorTable]) -> TableSlab {
+        let mut slab = TableSlab {
+            door_off: Vec::with_capacity(tables.len() + 1),
+            ..TableSlab::default()
+        };
+        slab.door_off.push(0);
+        let mut order: Vec<usize> = Vec::new();
+        for table in tables {
+            order.clear();
+            order.extend(0..table.nodes.len());
+            order.sort_unstable_by_key(|&k| table.nodes[k].node);
+            for &k in &order {
+                let tn = &table.nodes[k];
+                let len = match table
+                    .nodes
+                    .iter()
+                    .map(|t| t.offset)
+                    .filter(|&o| o > tn.offset)
+                    .min()
+                {
+                    Some(next) => (next - tn.offset) as usize,
+                    None => table.dists.len() - tn.offset as usize,
+                };
+                slab.nodes.push(tn.node);
+                slab.row_off.push(slab.dists.len() as u32);
+                slab.dists
+                    .extend_from_slice(&table.dists[tn.offset as usize..tn.offset as usize + len]);
+            }
+            slab.door_off.push(slab.nodes.len() as u32);
+        }
+        slab
+    }
+
+    /// Offset of door `d`'s row for `node` in `dists`, if materialised.
+    #[inline]
+    fn row_offset(&self, d: u32, node: NodeIdx) -> Option<usize> {
+        let lo = self.door_off[d as usize] as usize;
+        let hi = self.door_off[d as usize + 1] as usize;
+        let k = self.nodes[lo..hi].binary_search(&node).ok()?;
+        Some(self.row_off[lo + k] as usize)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.door_off.len() * 4
+            + self.nodes.len() * 4
+            + self.row_off.len() * 4
+            + self.dists.len() * 8
+    }
+}
+
 /// The VIP-tree: an [`IpTree`] plus per-door ancestor tables.
 #[derive(Debug)]
 pub struct VipTree {
     ip: IpTree,
     tables: Vec<DoorTable>,
+    slab: TableSlab,
 }
 
 impl VipTree {
@@ -81,7 +151,8 @@ impl VipTree {
             indoor_graph::parallel::par_map(&door_ids, ip.config.threads, |_, &d| {
                 Self::door_table(&ip, d)
             });
-        VipTree { ip, tables }
+        let slab = TableSlab::build(&tables);
+        VipTree { ip, tables, slab }
     }
 
     /// Build the ancestor table of one door (§2.2).
@@ -158,6 +229,12 @@ impl VipTree {
     #[inline]
     pub fn ip_tree(&self) -> &IpTree {
         &self.ip
+    }
+
+    /// Switch the query kernels between the implicit slab layout (default)
+    /// and the original pointer walk — see [`IpTree::set_hot_layout`].
+    pub fn set_hot_layout(&self, slab: bool) {
+        self.ip.set_hot_layout(slab);
     }
 
     #[inline]
@@ -343,6 +420,7 @@ impl VipTree {
         // dist(s, di) for di ∈ AD(Ns) via the superior doors' tables; keep
         // the argmin superior door for path recovery. The side buffers
         // come from the scratch, cleared and refilled per query.
+        let slab_mode = ip.uses_hot_layout();
         let side = |p: &IndoorPoint,
                     n: NodeIdx,
                     ads: &[DoorId],
@@ -353,6 +431,27 @@ impl VipTree {
             dists.resize(ads.len(), f64::INFINITY);
             vias.clear();
             vias.resize(ads.len(), DoorId(0));
+            if slab_mode {
+                // One table-slab row per superior door, swept contiguously
+                // (same candidates and visit order as the pointer scan
+                // below, so same bytes and argmins — see
+                // `ascend_via_tables_into`).
+                for &u in sup {
+                    let Some(off) = self.slab.row_offset(u.0, n) else {
+                        continue;
+                    };
+                    let du = p.distance_to_door(venue, u);
+                    let row = &self.slab.dists[off..off + ads.len()];
+                    for (i, d) in dists.iter_mut().enumerate() {
+                        let cand = du + row[i];
+                        if cand < *d {
+                            *d = cand;
+                            vias[i] = u;
+                        }
+                    }
+                }
+                return;
+            }
             for (i, _) in ads.iter().enumerate() {
                 for &u in sup {
                     let cand = p.distance_to_door(venue, u) + self.table_dist(u, n, i);
@@ -376,21 +475,56 @@ impl VipTree {
         let mut best = f64::INFINITY;
         let mut bi = usize::MAX;
         let mut bj = usize::MAX;
-        for (i, &di) in ads.iter().enumerate() {
-            if !ds[i].is_finite() {
-                continue;
-            }
-            let row = lca_node.matrix.row_index(di).expect("AD in LCA matrix");
-            for (j, &dj) in adt.iter().enumerate() {
-                if !dt[j].is_finite() {
+        if slab_mode {
+            // Envelope early-exit over the LCA slab: a row whose floor
+            // `(ds[i] + env_min) + dt_min` already reaches the incumbent
+            // cannot improve it (floating-point rounding is monotone, so
+            // the floor never exceeds any candidate as computed) and is
+            // skipped without touching the matrix. Skips need `>=`,
+            // updates `<`, so best and both argmins match the pointer
+            // walk exactly.
+            let kid_s = ip.slabs.kid_cols_of(ns);
+            let kid_t = ip.slabs.kid_cols_of(nt);
+            let (env_min, _) = ip.slabs.envelope(lca);
+            let dt_min = dt
+                .iter()
+                .copied()
+                .filter(|d| d.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            for (i, &dsi) in ds.iter().enumerate() {
+                if !dsi.is_finite() || (dsi + env_min) + dt_min >= best {
                     continue;
                 }
-                let col = lca_node.matrix.col_index(dj).expect("AD in LCA matrix");
-                let cand = ds[i] + lca_node.matrix.at(row, col) + dt[j];
-                if cand < best {
-                    best = cand;
-                    bi = i;
-                    bj = j;
+                let row = ip.slabs.row(lca, kid_s[i] as usize);
+                for (j, &dtj) in dt.iter().enumerate() {
+                    if !dtj.is_finite() {
+                        continue;
+                    }
+                    let cand = dsi + row[kid_t[j] as usize] + dtj;
+                    if cand < best {
+                        best = cand;
+                        bi = i;
+                        bj = j;
+                    }
+                }
+            }
+        } else {
+            for (i, &di) in ads.iter().enumerate() {
+                if !ds[i].is_finite() {
+                    continue;
+                }
+                let row = lca_node.matrix.row_index(di).expect("AD in LCA matrix");
+                for (j, &dj) in adt.iter().enumerate() {
+                    if !dt[j].is_finite() {
+                        continue;
+                    }
+                    let col = lca_node.matrix.col_index(dj).expect("AD in LCA matrix");
+                    let cand = ds[i] + lca_node.matrix.at(row, col) + dt[j];
+                    if cand < best {
+                        best = cand;
+                        bi = i;
+                        bj = j;
+                    }
                 }
             }
         }
@@ -422,6 +556,45 @@ impl VipTree {
         let sup = ip.superior_doors(p.partition);
         asc.clear();
         let mut cur = ip.leaf_of(p.partition);
+
+        if ip.uses_hot_layout() {
+            // Slab walk: per chain node, one binary-searched row per
+            // superior door swept contiguously over the access-door
+            // ordinals, with `p`'s distance to the door hoisted out of the
+            // sweep — the pointer walk recomputes it and linear-scans the
+            // table once per (access door, superior door) pair. Superior
+            // doors are visited in the same order, updates are strictly
+            // improving, so the argmin door (`via`) and every f64 match
+            // the pointer walk bit for bit.
+            loop {
+                let node = ip.node(cur);
+                let n_ads = node.access_doors.len();
+                let step = asc.push_step(cur);
+                step.dists.resize(n_ads, f64::INFINITY);
+                step.prov
+                    .resize(n_ads, Provenance::Source { via: DoorId(0) });
+                for &u in sup {
+                    let Some(off) = self.slab.row_offset(u.0, cur) else {
+                        continue;
+                    };
+                    let du = p.distance_to_door(venue, u);
+                    let row = &self.slab.dists[off..off + n_ads];
+                    for (i, d) in step.dists.iter_mut().enumerate() {
+                        let cand = du + row[i];
+                        if cand < *d {
+                            *d = cand;
+                            step.prov[i] = Provenance::Source { via: u };
+                        }
+                    }
+                }
+                if cur == target {
+                    return;
+                }
+                cur = node.parent;
+                debug_assert_ne!(cur, NO_NODE);
+            }
+        }
+
         loop {
             let node = ip.node(cur);
             let step = asc.push_step(cur);
@@ -503,9 +676,37 @@ impl VipTree {
             .range_from_ascent(q, radius, scratch, &mut QueryStats::default())
     }
 
-    /// Total index size: IP-tree plus the door tables (Fig. 8(b)).
+    /// As [`VipTree::knn`], accumulating workload counters (nodes visited,
+    /// lower-bound pruning — the bench's `prune_rate` source).
+    pub fn knn_with_stats(
+        &self,
+        q: &IndoorPoint,
+        k: usize,
+        stats: &mut QueryStats,
+    ) -> Vec<(ObjectId, f64)> {
+        let mut scratch = self.ip.scratch.checkout();
+        self.ascend_via_tables_into(q, self.ip.root(), &mut scratch.asc_s);
+        self.ip.knn_from_ascent(q, k, &mut scratch, stats)
+    }
+
+    /// As [`VipTree::range`], accumulating workload counters.
+    pub fn range_with_stats(
+        &self,
+        q: &IndoorPoint,
+        radius: f64,
+        stats: &mut QueryStats,
+    ) -> Vec<(ObjectId, f64)> {
+        let mut scratch = self.ip.scratch.checkout();
+        self.ascend_via_tables_into(q, self.ip.root(), &mut scratch.asc_s);
+        self.ip.range_from_ascent(q, radius, &mut scratch, stats)
+    }
+
+    /// Total index size: IP-tree plus the door tables and their slab
+    /// repack (Fig. 8(b)).
     pub fn size_bytes(&self) -> usize {
-        self.ip.size_bytes() + self.tables.iter().map(DoorTable::size_bytes).sum::<usize>()
+        self.ip.size_bytes()
+            + self.tables.iter().map(DoorTable::size_bytes).sum::<usize>()
+            + self.slab.size_bytes()
     }
 
     pub fn decompose_fallback_count(&self) -> u64 {

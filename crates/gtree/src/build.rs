@@ -1,9 +1,10 @@
 //! G-tree construction: hierarchy + per-node distance matrices.
 
+use crate::scratch::GScratchPool;
 use graph_partition::Hierarchy;
-use indoor_graph::{DijkstraEngine, Termination, NO_VERTEX};
+use indoor_graph::{DijkstraEngine, EnginePool, Termination, NO_VERTEX};
 use indoor_model::{IndoorPoint, Venue};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 pub(crate) const NO_HOP: u32 = u32::MAX;
 
@@ -90,7 +91,10 @@ pub struct GTree {
     /// Vertex is a border of its own leaf ("global border" — the analogue
     /// of the IP-tree's boundary doors).
     pub(crate) border_flag: Vec<bool>,
-    pub(crate) engine: Mutex<DijkstraEngine>,
+    /// Checkout pool instead of one mutexed engine: concurrent queries
+    /// no longer serialise on leaf expansions.
+    pub(crate) engines: EnginePool,
+    pub(crate) scratch: GScratchPool,
     pub(crate) objects: Option<GObjects>,
     pub(crate) fallbacks: std::sync::atomic::AtomicU64,
 }
@@ -136,12 +140,15 @@ impl GTree {
             ));
         }
 
+        drop(engine);
+        let n_vertices = g.num_vertices();
         GTree {
             venue,
             h,
             matrices,
             border_flag,
-            engine: Mutex::new(engine),
+            engines: EnginePool::new(n_vertices),
+            scratch: GScratchPool::default(),
             objects: None,
             fallbacks: std::sync::atomic::AtomicU64::new(0),
         }

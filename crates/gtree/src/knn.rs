@@ -1,13 +1,12 @@
 //! G-tree kNN / range: best-first traversal with assembled border
 //! distances, mirroring the original paper's kNN algorithm.
 
-use crate::build::GTree;
-use crate::query::GAscent;
+use crate::build::{GMatrix, GTree};
+use crate::scratch::{Candidates, GAscentBuf, GScratch};
 use geometry::TotalF64;
 use indoor_graph::Termination;
 use indoor_model::{IndoorPoint, ObjectId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 impl GTree {
     pub fn knn(&self, q: &IndoorPoint, k: usize) -> Vec<(ObjectId, f64)> {
@@ -27,61 +26,89 @@ impl GTree {
         }
         let venue = &*self.venue;
         let seeds = q.door_seeds(venue);
-        let asc = self.ascend(&seeds);
+        let mut scratch = self.scratch.checkout();
+        let sc = &mut *scratch;
+        self.ascend_into(&seeds, &mut sc.asc_s);
+        let GScratch {
+            asc_s,
+            col_buf,
+            cvec,
+            arena_data,
+            arena_spans,
+            heap,
+            cand,
+            leaf_acc,
+            ..
+        } = sc;
+        let asc = &*asc_s;
 
-        // Candidate upper bounds per object (tightened as leaves emit).
-        let mut cand: HashMap<u32, f64> = HashMap::new();
-        let current_bound = |cand: &HashMap<u32, f64>| -> f64 {
-            match bound {
-                Bound::Range(r) => r,
-                Bound::Knn(k) => {
-                    if cand.len() < k {
-                        f64::INFINITY
-                    } else {
-                        let mut ds: Vec<f64> = cand.values().copied().collect();
-                        ds.sort_by(f64::total_cmp);
-                        ds[k - 1]
-                    }
-                }
-            }
-        };
-
-        // Best-first over nodes: (mindist, node, border-vector).
-        let mut heap: BinaryHeap<Reverse<(TotalF64, u32, usize)>> = BinaryHeap::new();
-        let mut vecs: Vec<Vec<f64>> = Vec::new();
+        // Candidate upper bounds per object (tightened as leaves emit);
+        // the kNN bound is the cached exact k-th best, not a fresh sort
+        // per heap pop.
+        cand.begin();
+        arena_data.clear();
+        arena_spans.clear();
+        heap.clear();
         let root = self.h.root;
-        vecs.push(asc.vecs[&root].dists.clone());
-        heap.push(Reverse((TotalF64(0.0), root, 0)));
+        let rh = GScratch::arena_push(
+            arena_data,
+            arena_spans,
+            &asc.get(root).expect("root is on every chain").dists,
+        );
+        heap.push(Reverse((TotalF64(0.0), root, rh)));
 
         while let Some(Reverse((TotalF64(mind), n, vid))) = heap.pop() {
-            if mind > current_bound(&cand) {
+            let b = match bound {
+                Bound::Range(r) => r,
+                Bound::Knn(k) => cand.kth_bound(k),
+            };
+            if mind > b {
                 break;
             }
             let node = &self.h.nodes[n as usize];
             if node.is_leaf() {
-                self.scan_leaf(q, &asc, n, &vecs[vid], &mut cand);
+                self.scan_leaf(
+                    q,
+                    asc,
+                    n,
+                    GScratch::arena_get(arena_data, arena_spans, vid),
+                    cand,
+                    leaf_acc,
+                );
                 continue;
             }
             for &c in &node.children {
                 if objs.subtree_count[c as usize] == 0 {
                     continue;
                 }
-                let cvec = self.derive_vec(n, c, &asc, &vecs[vid]);
-                let mind_c = if asc.vecs.contains_key(&c) {
+                self.derive_vec_into(
+                    n,
+                    c,
+                    asc,
+                    GScratch::arena_get(arena_data, arena_spans, vid),
+                    col_buf,
+                    cvec,
+                );
+                let mind_c = if asc.contains(c) {
                     0.0 // child holds some of q's doors
                 } else {
                     cvec.iter().copied().fold(f64::INFINITY, f64::min)
                 };
-                if mind_c <= current_bound(&cand) {
-                    vecs.push(cvec);
-                    heap.push(Reverse((TotalF64(mind_c), c, vecs.len() - 1)));
+                let b = match bound {
+                    Bound::Range(r) => r,
+                    Bound::Knn(k) => cand.kth_bound(k),
+                };
+                if mind_c <= b {
+                    let h = GScratch::arena_push(arena_data, arena_spans, cvec);
+                    heap.push(Reverse((TotalF64(mind_c), c, h)));
                 }
             }
         }
 
         let mut out: Vec<(ObjectId, f64)> = cand
-            .into_iter()
-            .map(|(o, d)| (ObjectId(o), d))
+            .map
+            .iter()
+            .map(|(&o, &d)| (ObjectId(o), d))
             .filter(|(_, d)| d.is_finite())
             .collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -108,55 +135,56 @@ impl GTree {
     /// exact for multi-leaf query points, which single-base derivations
     /// (the plain Lemma 8/9 of the VIP-tree, where `q` touches exactly one
     /// leaf) would not.
-    fn derive_vec(&self, parent: u32, child: u32, asc: &GAscent, pvec: &[f64]) -> Vec<f64> {
+    fn derive_vec_into(
+        &self,
+        parent: u32,
+        child: u32,
+        asc: &GAscentBuf,
+        pvec: &[f64],
+        col_buf: &mut Vec<u32>,
+        out: &mut Vec<f64>,
+    ) {
         let m = &self.matrices[parent as usize];
-        let cborders = &self.h.nodes[child as usize].borders;
-        let mut out = vec![f64::INFINITY; cborders.len()];
+        let h = &self.h;
+        let cborders = &h.nodes[child as usize].borders;
+        out.clear();
+        out.resize(cborders.len(), f64::INFINITY);
+        // Hoist the child borders' column ordinals (u32::MAX = absent)
+        // instead of binary-searching per (base, border) pair.
+        col_buf.clear();
+        col_buf.extend(
+            cborders
+                .iter()
+                .map(|&cb| m.col_index(cb).map_or(u32::MAX, |c| c as u32)),
+        );
 
-        let mut bases: Vec<(&[u32], Vec<f64>)> = Vec::new();
-        bases.push((&self.h.nodes[parent as usize].borders, pvec.to_vec()));
-        for &s in &self.h.nodes[parent as usize].children {
+        fold_base(m, &h.nodes[parent as usize].borders, pvec, col_buf, out);
+        for &s in &h.nodes[parent as usize].children {
             if s == child {
                 continue;
             }
-            if let Some(nv) = asc.vecs.get(&s) {
-                bases.push((&self.h.nodes[s as usize].borders, nv.dists.clone()));
-            }
-        }
-
-        for (base_borders, base_vec) in bases {
-            for (bi, &b) in base_borders.iter().enumerate() {
-                if !base_vec[bi].is_finite() {
-                    continue;
-                }
-                let Some(ri) = m.row_index(b) else { continue };
-                for (ci_out, &cb) in cborders.iter().enumerate() {
-                    let Some(ci) = m.col_index(cb) else { continue };
-                    let cand = base_vec[bi] + m.at(ri, ci);
-                    if cand < out[ci_out] {
-                        out[ci_out] = cand;
-                    }
-                }
+            if let Some(nv) = asc.get(s) {
+                fold_base(m, &h.nodes[s as usize].borders, &nv.dists, col_buf, out);
             }
         }
         // Routes starting at q-doors inside `child` itself.
-        if let Some(own) = asc.vecs.get(&child) {
-            for (i, d) in own.dists.iter().enumerate() {
-                if *d < out[i] {
-                    out[i] = *d;
+        if let Some(own) = asc.get(child) {
+            for (o, d) in out.iter_mut().zip(&own.dists) {
+                if *d < *o {
+                    *o = *d;
                 }
             }
         }
-        out
     }
 
     fn scan_leaf(
         &self,
         q: &IndoorPoint,
-        asc: &GAscent,
+        asc: &GAscentBuf,
         leaf: u32,
         vec: &[f64],
-        cand: &mut HashMap<u32, f64>,
+        cand: &mut Candidates,
+        acc: &mut Vec<f64>,
     ) {
         let venue = &*self.venue;
         let objs = self.objects.as_ref().expect("objects attached");
@@ -164,12 +192,12 @@ impl GTree {
             return;
         };
 
-        if asc.leaves.contains(&leaf) {
+        if asc.seeds_leaf(leaf) {
             // q touches this leaf: exact distances via one expansion from
             // q's seeds (global graph, so routes leaving the leaf are
             // covered) plus the same-partition direct candidate.
             let m = &self.matrices[leaf as usize];
-            let mut engine = self.engine.lock().expect("engine poisoned");
+            let mut engine = self.engines.checkout();
             engine.run(
                 venue.d2d(),
                 &q.door_seeds(venue),
@@ -186,32 +214,52 @@ impl GTree {
                         }
                     }
                 }
-                tighten(cand, oid, d);
+                cand.tighten(oid, d);
             }
             return;
         }
 
+        // Border-major accumulation: each table row is walked
+        // contiguously (the old per-object loop strode by `n` through
+        // the whole table).
         let n = table.objs.len();
-        for (j, &oid) in table.objs.iter().enumerate() {
-            let mut d = f64::INFINITY;
-            for (bi, &dq) in vec.iter().enumerate() {
-                if !dq.is_finite() {
-                    continue;
-                }
-                let c = dq + table.dist[bi * n + j];
-                if c < d {
-                    d = c;
+        acc.clear();
+        acc.resize(n, f64::INFINITY);
+        for (bi, &dq) in vec.iter().enumerate() {
+            if !dq.is_finite() {
+                continue;
+            }
+            let row = &table.dist[bi * n..(bi + 1) * n];
+            for (a, &dd) in acc.iter_mut().zip(row) {
+                let c = dq + dd;
+                if c < *a {
+                    *a = c;
                 }
             }
-            tighten(cand, oid, d);
+        }
+        for (j, &oid) in table.objs.iter().enumerate() {
+            cand.tighten(oid, acc[j]);
         }
     }
 }
 
-fn tighten(cand: &mut HashMap<u32, f64>, oid: u32, d: f64) {
-    let e = cand.entry(oid).or_insert(f64::INFINITY);
-    if d < *e {
-        *e = d;
+/// Fold one base (border set + distance vector) into `out` through the
+/// parent matrix: `out[ci] = min(out[ci], base[bi] + M(b, c))`.
+fn fold_base(m: &GMatrix, base_borders: &[u32], base_vec: &[f64], cols: &[u32], out: &mut [f64]) {
+    for (bi, &b) in base_borders.iter().enumerate() {
+        if !base_vec[bi].is_finite() {
+            continue;
+        }
+        let Some(ri) = m.row_index(b) else { continue };
+        for (o, &ci) in out.iter_mut().zip(cols) {
+            if ci == u32::MAX {
+                continue;
+            }
+            let cand = base_vec[bi] + m.at(ri, ci as usize);
+            if cand < *o {
+                *o = cand;
+            }
+        }
     }
 }
 

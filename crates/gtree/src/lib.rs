@@ -19,6 +19,7 @@
 mod build;
 mod knn;
 mod query;
+mod scratch;
 
 pub use build::{GTree, GTreeConfig};
 

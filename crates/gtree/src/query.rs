@@ -1,14 +1,14 @@
 //! G-tree shortest distance / path with multi-leaf indoor endpoints.
 
 use crate::build::GTree;
+use crate::scratch::GAscentBuf;
 use graph_partition::NO_H;
 use indoor_graph::{Termination, NO_VERTEX};
 use indoor_model::{DoorId, IndoorPath, IndoorPoint};
-use std::collections::HashMap;
 
 /// Distances from a seed set to the borders of one hierarchy node, with
 /// provenance for path replay.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct NodeVec {
     /// Aligned with `h.nodes[node].borders`.
     pub dists: Vec<f64>,
@@ -23,79 +23,103 @@ pub(crate) enum Prov {
     Child { node: u32, idx: u32 },
 }
 
-/// The union-of-chains ascent of one endpoint.
-#[derive(Debug)]
-pub(crate) struct GAscent {
-    /// Per hierarchy node on the chains: its border-distance vector.
-    pub vecs: HashMap<u32, NodeVec>,
-    /// Leaves holding at least one seed.
-    pub leaves: Vec<u32>,
+impl Default for Prov {
+    fn default() -> Prov {
+        Prov::Seed { vertex: u32::MAX }
+    }
 }
 
 impl GTree {
     /// Multi-seed ascent: distances from the seed set (a point expanded
     /// through its partition's doors) to the borders of every node on the
-    /// union of leaf→root chains.
-    pub(crate) fn ascend(&self, seeds: &[(u32, f64)]) -> GAscent {
+    /// union of leaf→root chains. Writes into the reused `asc` buffers —
+    /// no per-query allocation once the scratch is warm — and visits
+    /// leaves in sorted order, so the chain walk is deterministic (the
+    /// old hash-map grouping was not).
+    pub(crate) fn ascend_into(&self, seeds: &[(u32, f64)], asc: &mut GAscentBuf) {
         let h = &self.h;
-        let mut by_leaf: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
-        for &(v, d) in seeds {
-            by_leaf
-                .entry(h.leaf_of_vertex[v as usize])
-                .or_default()
-                .push((v, d));
-        }
-        let leaves: Vec<u32> = by_leaf.keys().copied().collect();
+        asc.begin(h.nodes.len());
+        let mut seed_buf = std::mem::take(&mut asc.seed_buf);
+        let mut on_chain = std::mem::take(&mut asc.on_chain);
+        let mut col_buf = std::mem::take(&mut asc.col_buf);
 
-        // Collect the union of chains, processed deepest-first.
-        let mut on_chain: Vec<u32> = Vec::new();
-        for &l in &leaves {
-            for n in h.chain(l) {
-                if !on_chain.contains(&n) {
-                    on_chain.push(n);
+        // Group seeds by leaf (stable sort keeps within-leaf seed order).
+        seed_buf.clear();
+        for &(v, d) in seeds {
+            seed_buf.push((h.leaf_of_vertex[v as usize], v, d));
+        }
+        seed_buf.sort_by_key(|e| e.0);
+        for e in &seed_buf {
+            if asc.leaves.last() != Some(&e.0) {
+                asc.leaves.push(e.0);
+            }
+        }
+
+        // Union of leaf→root chains, processed deepest-first. Once a walk
+        // meets a node already collected, its remaining ancestors are
+        // known to be present (every chain runs to the root).
+        on_chain.clear();
+        for &l in &asc.leaves {
+            let mut cur = l;
+            loop {
+                if on_chain.contains(&cur) {
+                    break;
                 }
+                on_chain.push(cur);
+                let parent = h.nodes[cur as usize].parent;
+                if parent == NO_H {
+                    break;
+                }
+                cur = parent;
             }
         }
         on_chain.sort_by_key(|&n| std::cmp::Reverse(h.nodes[n as usize].depth));
 
-        let mut vecs: HashMap<u32, NodeVec> = HashMap::new();
         for &n in &on_chain {
             let node = &h.nodes[n as usize];
             let m = &self.matrices[n as usize];
             let borders = &node.borders;
-            let mut dists = vec![f64::INFINITY; borders.len()];
-            let mut prov = vec![Prov::Seed { vertex: u32::MAX }; borders.len()];
+            // Column ordinals of the node's own borders, hoisted out of
+            // the per-entry loops (the old code binary-searched per
+            // element).
+            col_buf.clear();
+            col_buf.extend(
+                borders
+                    .iter()
+                    .map(|&b| m.col_index(b).expect("border in own matrix") as u32),
+            );
+            let (map, done, nv) = asc.push_node(n, borders.len());
 
             if node.is_leaf() {
-                let seeds = &by_leaf[&n];
-                for (bi, &b) in borders.iter().enumerate() {
-                    let ci = m.col_index(b).expect("border is a leaf matrix column");
-                    for &(v, d0) in seeds {
-                        let ri = m.row_index(v).expect("seed vertex in its leaf");
-                        let cand = d0 + m.at(ri, ci);
-                        if cand < dists[bi] {
-                            dists[bi] = cand;
-                            prov[bi] = Prov::Seed { vertex: v };
+                let lo = seed_buf.partition_point(|e| e.0 < n);
+                let hi = seed_buf.partition_point(|e| e.0 <= n);
+                for &(_, v, d0) in &seed_buf[lo..hi] {
+                    let ri = m.row_index(v).expect("seed vertex in its leaf");
+                    for (bi, &ci) in col_buf.iter().enumerate() {
+                        let cand = d0 + m.at(ri, ci as usize);
+                        if cand < nv.dists[bi] {
+                            nv.dists[bi] = cand;
+                            nv.prov[bi] = Prov::Seed { vertex: v };
                         }
                     }
                 }
             } else {
                 for &c in &node.children {
-                    let Some(cvec) = vecs.get(&c) else {
+                    let Some(cs) = map.get(c) else {
                         continue; // child not on any seed chain
                     };
+                    let cvec = &done[cs as usize];
                     let cborders = &h.nodes[c as usize].borders;
-                    for (bi, &b) in borders.iter().enumerate() {
-                        let ci = m.col_index(b).expect("own border in inner matrix");
-                        for (xi, &x) in cborders.iter().enumerate() {
-                            if !cvec.dists[xi].is_finite() {
-                                continue;
-                            }
-                            let ri = m.row_index(x).expect("child border in inner matrix");
-                            let cand = cvec.dists[xi] + m.at(ri, ci);
-                            if cand < dists[bi] {
-                                dists[bi] = cand;
-                                prov[bi] = Prov::Child {
+                    for (xi, &x) in cborders.iter().enumerate() {
+                        if !cvec.dists[xi].is_finite() {
+                            continue;
+                        }
+                        let ri = m.row_index(x).expect("child border in inner matrix");
+                        for (bi, &ci) in col_buf.iter().enumerate() {
+                            let cand = cvec.dists[xi] + m.at(ri, ci as usize);
+                            if cand < nv.dists[bi] {
+                                nv.dists[bi] = cand;
+                                nv.prov[bi] = Prov::Child {
                                     node: c,
                                     idx: xi as u32,
                                 };
@@ -104,51 +128,62 @@ impl GTree {
                     }
                 }
             }
-            vecs.insert(n, NodeVec { dists, prov });
         }
 
-        GAscent { vecs, leaves }
+        asc.seed_buf = seed_buf;
+        asc.on_chain = on_chain;
+        asc.col_buf = col_buf;
     }
 
     /// Cross-region distance: combine the two ascents at every common
     /// chain node through that node's matrix. Returns the best value and
-    /// the meeting description for path recovery.
-    pub(crate) fn combine(&self, asc_s: &GAscent, asc_t: &GAscent) -> Option<(f64, Meeting)> {
+    /// the meeting description for path recovery. `col_buf` hoists the
+    /// target-side column ordinals once per (node, child) pair.
+    pub(crate) fn combine(
+        &self,
+        asc_s: &GAscentBuf,
+        asc_t: &GAscentBuf,
+        col_buf: &mut Vec<u32>,
+    ) -> Option<(f64, Meeting)> {
         let h = &self.h;
         let mut best = f64::INFINITY;
         let mut meeting = None;
-        for (&x, _) in asc_s.vecs.iter() {
-            if !asc_t.vecs.contains_key(&x) {
+        for &x in &asc_s.nodes {
+            if !asc_t.contains(x) {
                 continue;
             }
             let m = &self.matrices[x as usize];
             // Children of x on each side (leaves have none: skipped — the
             // shared-leaf case is handled by the caller's Dijkstra).
             let node = &h.nodes[x as usize];
-            for &cs in &node.children {
-                let Some(vs) = asc_s.vecs.get(&cs) else {
+            for &ct in &node.children {
+                let Some(vt) = asc_t.get(ct) else {
                     continue;
                 };
-                for &ct in &node.children {
+                let bt = &h.nodes[ct as usize].borders;
+                col_buf.clear();
+                col_buf.extend(
+                    bt.iter()
+                        .map(|&yv| m.col_index(yv).expect("child border in matrix") as u32),
+                );
+                for &cs in &node.children {
                     if cs == ct {
                         continue;
                     }
-                    let Some(vt) = asc_t.vecs.get(&ct) else {
+                    let Some(vs) = asc_s.get(cs) else {
                         continue;
                     };
                     let bs = &h.nodes[cs as usize].borders;
-                    let bt = &h.nodes[ct as usize].borders;
                     for (xi, &xv) in bs.iter().enumerate() {
                         if !vs.dists[xi].is_finite() {
                             continue;
                         }
                         let ri = m.row_index(xv).expect("child border in matrix");
-                        for (yi, &yv) in bt.iter().enumerate() {
+                        for (yi, &ci) in col_buf.iter().enumerate() {
                             if !vt.dists[yi].is_finite() {
                                 continue;
                             }
-                            let ci = m.col_index(yv).expect("child border in matrix");
-                            let cand = vs.dists[xi] + m.at(ri, ci) + vt.dists[yi];
+                            let cand = vs.dists[xi] + m.at(ri, ci as usize) + vt.dists[yi];
                             if cand < best {
                                 best = cand;
                                 meeting = Some(Meeting {
@@ -174,7 +209,7 @@ impl GTree {
         let direct = s.direct_distance(venue, t);
 
         if self.shares_leaf(&s_seeds, &t_seeds) {
-            let mut engine = self.engine.lock().expect("engine poisoned");
+            let mut engine = self.engines.checkout();
             let via = engine
                 .point_to_point(venue.d2d(), &s_seeds, &t_seeds)
                 .map(|(d, _)| d);
@@ -183,9 +218,13 @@ impl GTree {
                 (a, b) => a.or(b),
             };
         }
-        let asc_s = self.ascend(&s_seeds);
-        let asc_t = self.ascend(&t_seeds);
-        let tree = self.combine(&asc_s, &asc_t).map(|(d, _)| d);
+        let mut scratch = self.scratch.checkout();
+        let sc = &mut *scratch;
+        self.ascend_into(&s_seeds, &mut sc.asc_s);
+        self.ascend_into(&t_seeds, &mut sc.asc_t);
+        let tree = self
+            .combine(&sc.asc_s, &sc.asc_t, &mut sc.col_buf)
+            .map(|(d, _)| d);
         match (direct, tree) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -199,7 +238,7 @@ impl GTree {
         let direct = s.direct_distance(venue, t);
 
         let dijkstra_route = |out_len: &mut f64| -> Option<Vec<DoorId>> {
-            let mut engine = self.engine.lock().expect("engine poisoned");
+            let mut engine = self.engines.checkout();
             let (vd, exit) = engine.point_to_point(venue.d2d(), &s_seeds, &t_seeds)?;
             *out_len = vd;
             let mut seq = Vec::new();
@@ -221,9 +260,11 @@ impl GTree {
             return finish_path(*s, *t, direct, doors.map(|d| (vd, d)));
         }
 
-        let asc_s = self.ascend(&s_seeds);
-        let asc_t = self.ascend(&t_seeds);
-        let Some((best, mt)) = self.combine(&asc_s, &asc_t) else {
+        let mut scratch = self.scratch.checkout();
+        let sc = &mut *scratch;
+        self.ascend_into(&s_seeds, &mut sc.asc_s);
+        self.ascend_into(&t_seeds, &mut sc.asc_t);
+        let Some((best, mt)) = self.combine(&sc.asc_s, &sc.asc_t, &mut sc.col_buf) else {
             return finish_path(*s, *t, direct, None);
         };
         if let Some(d) = direct {
@@ -237,12 +278,12 @@ impl GTree {
         let x = self.h.nodes[mt.cs as usize].borders[mt.xi];
         let y = self.h.nodes[mt.ct as usize].borders[mt.yi];
         let mut seq: Vec<u32> = Vec::new();
-        self.replay_chain(&asc_s, mt.cs, mt.xi, &mut seq);
+        self.replay_chain(&sc.asc_s, mt.cs, mt.xi, &mut seq);
         debug_assert_eq!(seq.last(), Some(&x));
         let mid = self.expand_pair(x, y, Some(mt.node));
         seq.extend_from_slice(&mid[1..]);
         let mut tail: Vec<u32> = Vec::new();
-        self.replay_chain(&asc_t, mt.ct, mt.yi, &mut tail);
+        self.replay_chain(&sc.asc_t, mt.ct, mt.yi, &mut tail);
         tail.reverse();
         debug_assert_eq!(tail.first(), Some(&y));
         seq.extend_from_slice(&tail[1..]);
@@ -263,8 +304,8 @@ impl GTree {
 
     /// Emit the full expanded vertex sequence seed → border `bi` of node
     /// `n` (inclusive) into `out`.
-    fn replay_chain(&self, asc: &GAscent, n: u32, bi: usize, out: &mut Vec<u32>) {
-        let vec = &asc.vecs[&n];
+    fn replay_chain(&self, asc: &GAscentBuf, n: u32, bi: usize, out: &mut Vec<u32>) {
+        let vec = asc.get(n).expect("replayed node on ascent chain");
         let border = self.h.nodes[n as usize].borders[bi];
         match vec.prov[bi] {
             Prov::Seed { vertex } => {
@@ -366,7 +407,7 @@ impl GTree {
     fn dijkstra_expand(&self, a: u32, b: u32) -> Vec<u32> {
         self.fallbacks
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let mut engine = self.engine.lock().expect("engine poisoned");
+        let mut engine = self.engines.checkout();
         engine.run(self.venue.d2d(), &[(a, 0.0)], Termination::SettleAll(&[b]));
         let mut seq = Vec::new();
         let mut cur = b;

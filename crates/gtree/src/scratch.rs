@@ -1,0 +1,309 @@
+//! Reusable per-query state for G-tree queries.
+//!
+//! The first implementation allocated freely on the hot path — a
+//! `HashMap` of freshly `vec![]`-ed border vectors per ascent, cloned
+//! bases per derived child, and a full sort of the candidate set on every
+//! heap pop — which left G-tree several times slower than the IP/VIP
+//! trees per query even where the door-pair counts were comparable. This
+//! module mirrors the `QueryScratch` discipline of the `vip-tree` crate:
+//! every buffer a query needs lives in a [`GScratch`] checked out of a
+//! lock-striped pool, cleared by epoch bump or truncation rather than
+//! reallocation.
+
+use crate::query::{NodeVec, Prov};
+use geometry::TotalF64;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Mutex;
+
+/// Epoch-stamped node → slot map (no per-query clearing of the backing
+/// arrays; `begin` bumps the epoch instead).
+#[derive(Debug, Default)]
+pub(crate) struct SlotMap {
+    stamp: Vec<u32>,
+    slot: Vec<u32>,
+    epoch: u32,
+}
+
+impl SlotMap {
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.slot.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    pub fn set(&mut self, node: u32, slot: u32) {
+        self.stamp[node as usize] = self.epoch;
+        self.slot[node as usize] = slot;
+    }
+
+    #[inline]
+    pub fn get(&self, node: u32) -> Option<u32> {
+        (self.stamp[node as usize] == self.epoch).then(|| self.slot[node as usize])
+    }
+}
+
+/// The union-of-chains ascent of one endpoint, backed by reused buffers:
+/// a dense arena of [`NodeVec`]s addressed through an epoch-stamped
+/// [`SlotMap`] (replacing the old per-query `HashMap<u32, NodeVec>`).
+#[derive(Debug, Default)]
+pub(crate) struct GAscentBuf {
+    /// Chain nodes in processing (deepest-first) order; `vecs[i]` belongs
+    /// to `nodes[i]`.
+    pub nodes: Vec<u32>,
+    pub vecs: Vec<NodeVec>,
+    pub map: SlotMap,
+    /// Leaves holding at least one seed, ascending.
+    pub leaves: Vec<u32>,
+    /// Seed grouping scratch: `(leaf, vertex, dist)` sorted by leaf.
+    pub seed_buf: Vec<(u32, u32, f64)>,
+    /// Chain-union scratch.
+    pub on_chain: Vec<u32>,
+    /// Hoisted per-node column ordinals.
+    pub col_buf: Vec<u32>,
+}
+
+impl GAscentBuf {
+    pub fn begin(&mut self, n_hierarchy_nodes: usize) {
+        self.nodes.clear();
+        self.map.begin(n_hierarchy_nodes);
+        self.leaves.clear();
+    }
+
+    /// Claim the next arena slot for `node`, reusing a previous query's
+    /// buffers when available. Returns the slot map and the
+    /// already-filled prefix alongside the fresh vector (children are
+    /// processed before parents, so every child vector a node needs
+    /// lives in that prefix).
+    pub fn push_node(
+        &mut self,
+        node: u32,
+        n_borders: usize,
+    ) -> (&SlotMap, &[NodeVec], &mut NodeVec) {
+        let idx = self.nodes.len();
+        self.nodes.push(node);
+        self.map.set(node, idx as u32);
+        if self.vecs.len() == idx {
+            self.vecs.push(NodeVec::default());
+        }
+        let (done, rest) = self.vecs.split_at_mut(idx);
+        let nv = &mut rest[0];
+        nv.dists.clear();
+        nv.dists.resize(n_borders, f64::INFINITY);
+        nv.prov.clear();
+        nv.prov.resize(n_borders, Prov::Seed { vertex: u32::MAX });
+        (&self.map, done, nv)
+    }
+
+    #[inline]
+    pub fn get(&self, node: u32) -> Option<&NodeVec> {
+        self.map.get(node).map(|s| &self.vecs[s as usize])
+    }
+
+    #[inline]
+    pub fn contains(&self, node: u32) -> bool {
+        self.map.get(node).is_some()
+    }
+
+    #[inline]
+    pub fn seeds_leaf(&self, leaf: u32) -> bool {
+        self.leaves.binary_search(&leaf).is_ok()
+    }
+}
+
+/// Candidate object set for kNN/range with an exactly-cached k-th-best
+/// bound.
+///
+/// The bound is the k-th smallest upper bound in `map`. Mutations only
+/// tighten values or add entries, so the k-th smallest is monotone
+/// non-increasing — the cached value stays exact unless a mutation
+/// introduces a value strictly below it (then it is recomputed lazily).
+/// A lazy-deletion heap would NOT be correct here: candidates tighten
+/// downward, and a stale (larger) copy of one object surviving in the
+/// heap can report a k-th-best below the true one, breaking the
+/// branch-and-bound's exactness.
+#[derive(Debug, Default)]
+pub(crate) struct Candidates {
+    pub map: HashMap<u32, f64>,
+    vals: Vec<f64>,
+    cached: f64,
+    dirty: bool,
+}
+
+impl Candidates {
+    pub fn begin(&mut self) {
+        self.map.clear();
+        self.cached = f64::INFINITY;
+        self.dirty = true;
+    }
+
+    #[inline]
+    pub fn tighten(&mut self, oid: u32, d: f64) {
+        let e = self.map.entry(oid).or_insert(f64::INFINITY);
+        if d < *e {
+            *e = d;
+            if d < self.cached {
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// The k-th smallest candidate value (∞ while fewer than `k`
+    /// candidates exist). While `map.len() < k` the cache is never
+    /// consulted, and it is recomputed before first use past that point
+    /// (`dirty` starts true and is only cleared here).
+    pub fn kth_bound(&mut self, k: usize) -> f64 {
+        if self.map.len() < k {
+            return f64::INFINITY;
+        }
+        if self.dirty {
+            self.vals.clear();
+            self.vals.extend(self.map.values().copied());
+            let (_, kth, _) = self.vals.select_nth_unstable_by(k - 1, f64::total_cmp);
+            self.cached = *kth;
+            self.dirty = false;
+        }
+        self.cached
+    }
+}
+
+/// Everything one G-tree query needs, reused across queries.
+#[derive(Debug, Default)]
+pub(crate) struct GScratch {
+    pub asc_s: GAscentBuf,
+    pub asc_t: GAscentBuf,
+    /// Hoisted matrix column indices (`u32::MAX` = absent).
+    pub col_buf: Vec<u32>,
+    /// Derived child border vector under construction.
+    pub cvec: Vec<f64>,
+    /// Flat arena of border vectors owned by the kNN/range heap.
+    pub arena_data: Vec<f64>,
+    pub arena_spans: Vec<(u32, u32)>,
+    pub heap: BinaryHeap<Reverse<(TotalF64, u32, u32)>>,
+    pub cand: Candidates,
+    /// Per-object accumulator for border-major leaf table walks.
+    pub leaf_acc: Vec<f64>,
+}
+
+impl GScratch {
+    pub fn arena_push(data: &mut Vec<f64>, spans: &mut Vec<(u32, u32)>, v: &[f64]) -> u32 {
+        let start = data.len() as u32;
+        data.extend_from_slice(v);
+        spans.push((start, v.len() as u32));
+        (spans.len() - 1) as u32
+    }
+
+    pub fn arena_get<'a>(data: &'a [f64], spans: &[(u32, u32)], h: u32) -> &'a [f64] {
+        let (start, len) = spans[h as usize];
+        &data[start as usize..(start + len) as usize]
+    }
+}
+
+/// A mutex-guarded stack of scratches; contention is brief (pop/push).
+#[derive(Debug, Default)]
+pub(crate) struct GScratchPool {
+    slots: Mutex<Vec<GScratch>>,
+}
+
+impl GScratchPool {
+    pub fn checkout(&self) -> PooledGScratch<'_> {
+        let s = self
+            .slots
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledGScratch {
+            pool: self,
+            scratch: Some(s),
+        }
+    }
+}
+
+/// RAII checkout from a [`GScratchPool`]; returns the scratch on drop.
+pub(crate) struct PooledGScratch<'a> {
+    pool: &'a GScratchPool,
+    scratch: Option<GScratch>,
+}
+
+impl std::ops::Deref for PooledGScratch<'_> {
+    type Target = GScratch;
+    fn deref(&self) -> &GScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledGScratch<'_> {
+    fn deref_mut(&mut self) -> &mut GScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledGScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.scratch.take() {
+            self.pool
+                .slots
+                .lock()
+                .expect("scratch pool poisoned")
+                .push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_map_epochs_isolate_queries() {
+        let mut m = SlotMap::default();
+        m.begin(4);
+        m.set(2, 7);
+        assert_eq!(m.get(2), Some(7));
+        assert_eq!(m.get(3), None);
+        m.begin(4);
+        assert_eq!(m.get(2), None, "previous epoch's entries are gone");
+    }
+
+    /// The regression the cached bound must not reintroduce: a candidate
+    /// tightened downward leaves a stale larger value nowhere (unlike a
+    /// lazy-deletion heap), so the k-th bound is always the true one.
+    #[test]
+    fn cached_kth_bound_is_exact_under_tightening() {
+        let mut c = Candidates::default();
+        c.begin();
+        c.tighten(0, 1.2);
+        c.tighten(1, 5.0);
+        assert_eq!(c.kth_bound(3), f64::INFINITY);
+        assert_eq!(c.kth_bound(2), 5.0);
+        // Tighten object 0: 1.2 → 1.0. Bound stays 5.0 (true k-th), not
+        // 1.2 as a stale-copy heap would claim.
+        c.tighten(0, 1.0);
+        assert_eq!(c.kth_bound(2), 5.0);
+        // A genuinely smaller second value moves the bound.
+        c.tighten(2, 0.5);
+        assert_eq!(c.kth_bound(2), 1.0);
+        // Loosening attempts are ignored.
+        c.tighten(2, 9.0);
+        assert_eq!(c.kth_bound(2), 1.0);
+    }
+
+    #[test]
+    fn pool_reuses_scratches() {
+        let pool = GScratchPool::default();
+        {
+            let mut s = pool.checkout();
+            s.cvec.resize(64, 0.0);
+        }
+        let s = pool.checkout();
+        assert!(s.cvec.capacity() >= 64, "buffer came back");
+    }
+}

@@ -1,0 +1,176 @@
+//! Layout-equivalence contract of the implicit slab refactor: flipping
+//! `set_hot_layout` between the SoA slab walk (the default) and the
+//! original pointer walk must be **invisible in the answers** — every
+//! one of the five typed query kinds returns byte-identical responses on
+//! arbitrary venues, at one and four worker threads. The slab paths
+//! reorder memory and loop nests but preserve fold order and tie-breaks
+//! exactly (DESIGN.md §14), so the bar is `to_bits` equality, not
+//! tolerance.
+
+use indoor_spatial::prelude::*;
+use indoor_spatial::synth::{presets, random_venue, workload};
+use indoor_spatial::vip::KeywordObjects;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const K: usize = 3;
+const RADIUS: f64 = 120.0;
+const KEYWORD: &str = "cafe";
+
+fn tree_for(venue: &Arc<Venue>, seed: u64) -> (Arc<VipTree>, Arc<KeywordObjects>) {
+    let objects = workload::place_objects(venue, 16, seed ^ 0x51);
+    let labelled = workload::cycling_labels(&objects, KEYWORD);
+    let tree = VipTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+    tree.attach_objects(&objects);
+    let kw = Arc::new(KeywordObjects::build(tree.ip_tree(), &labelled));
+    (Arc::new(tree), kw)
+}
+
+/// All five request kinds, interleaved so neither layout sees a
+/// homogeneous prefix.
+fn mixed_stream(venue: &Venue, n: usize, seed: u64) -> Vec<QueryRequest> {
+    let mut reqs = Vec::new();
+    for (s, t) in workload::query_pairs(venue, n, seed) {
+        reqs.push(QueryRequest::ShortestDistance { s, t });
+        reqs.push(QueryRequest::ShortestPath { s, t });
+    }
+    for q in workload::query_points(venue, n, seed ^ 0xCD) {
+        reqs.push(QueryRequest::Knn { q, k: K });
+        reqs.push(QueryRequest::Range { q, radius: RADIUS });
+        reqs.push(QueryRequest::KnnKeyword {
+            q,
+            k: K,
+            keyword: KEYWORD.into(),
+        });
+    }
+    reqs
+}
+
+fn assert_bit_identical(slot: usize, got: &QueryResponse, want: &QueryResponse) {
+    let bits = |v: &[(indoor_spatial::model::ObjectId, f64)]| -> Vec<(u32, u64)> {
+        v.iter().map(|(o, d)| (o.0, d.to_bits())).collect()
+    };
+    assert_eq!(got.kind(), want.kind(), "slot {slot}: kind");
+    match (got, want) {
+        (QueryResponse::Knn(a), QueryResponse::Knn(b))
+        | (QueryResponse::Range(a), QueryResponse::Range(b))
+        | (QueryResponse::KnnKeyword(a), QueryResponse::KnnKeyword(b)) => {
+            assert_eq!(bits(a), bits(b), "slot {slot}: objects");
+        }
+        (QueryResponse::ShortestDistance(a), QueryResponse::ShortestDistance(b)) => {
+            assert_eq!(
+                a.map(f64::to_bits),
+                b.map(f64::to_bits),
+                "slot {slot}: distance"
+            );
+        }
+        (QueryResponse::ShortestPath(a), QueryResponse::ShortestPath(b)) => {
+            assert_eq!(
+                a.as_ref().map(|p| &p.doors),
+                b.as_ref().map(|p| &p.doors),
+                "slot {slot}: path doors"
+            );
+            assert_eq!(
+                a.as_ref().map(|p| p.length.to_bits()),
+                b.as_ref().map(|p| p.length.to_bits()),
+                "slot {slot}: path length"
+            );
+        }
+        _ => unreachable!("kinds already matched"),
+    }
+}
+
+fn check_layouts_agree(venue: Arc<Venue>, seed: u64) {
+    let (tree, kw) = tree_for(&venue, seed);
+    let reqs = mixed_stream(&venue, 6, seed ^ 0x2E);
+    for threads in [1usize, 4] {
+        let engine = QueryEngine::for_vip(tree.clone())
+            .with_threads(threads)
+            .with_keywords(kw.clone());
+        tree.set_hot_layout(true);
+        let slab = engine.execute_batch(&reqs);
+        tree.set_hot_layout(false);
+        let ptr = engine.execute_batch(&reqs);
+        tree.set_hot_layout(true);
+        assert_eq!(slab.len(), ptr.len());
+        for (slot, (a, b)) in slab.iter().zip(&ptr).enumerate() {
+            assert_bit_identical(slot, a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Slab and pointer layouts answer identically on arbitrary venues.
+    #[test]
+    fn slab_and_pointer_layouts_answer_bit_identically(seed in 0u64..600) {
+        check_layouts_agree(Arc::new(random_venue(seed)), seed);
+    }
+
+    /// Admissibility of the lower-bound layer on arbitrary venues: the
+    /// interpolated PL bound never exceeds **any** true door-to-door
+    /// matrix entry in its column (so skipping a candidate whose bound
+    /// exceeds the current k-th distance can never drop an answer), and
+    /// the full structural audit — bit-identical slab shadow values,
+    /// cache-line-aligned rows, bracketing envelopes, admissible
+    /// `kid_lb` — holds.
+    #[test]
+    fn interpolated_lower_bound_is_admissible(seed in 0u64..1_000) {
+        let venue = Arc::new(random_venue(seed));
+        let tree = IpTree::build(venue, &VipTreeConfig::default()).unwrap();
+        tree.audit_layout();
+        let slabs = tree.slabs();
+        for n in 0..tree.num_nodes() as u32 {
+            let m = &tree.node(n).matrix;
+            for c in 0..m.cols.len() {
+                let lb = slabs.pl_bound(n, c);
+                for r in 0..m.rows.len() {
+                    prop_assert!(
+                        lb <= m.at(r, c),
+                        "seed {seed}: node {n} col {c} row {r}: bound {lb} > true {}",
+                        m.at(r, c)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The calibrated preset — the geometry the benchmarks gate on.
+#[test]
+fn layouts_agree_on_melbourne_central() {
+    check_layouts_agree(Arc::new(presets::melbourne_central().build()), 0x1A);
+}
+
+/// Guard against the equivalence tests passing trivially: the toggle must
+/// actually switch executed code paths. Only the slab walk consults the
+/// lower-bound layer, so its candidate counter separates the two.
+#[test]
+fn hot_layout_toggle_switches_executed_paths() {
+    use indoor_spatial::model::QueryStats;
+    let venue = Arc::new(presets::melbourne_central().build());
+    let (tree, _kw) = tree_for(&venue, 7);
+    let points = workload::query_points(&venue, 20, 0x3B);
+
+    tree.set_hot_layout(true);
+    let mut slab_stats = QueryStats::default();
+    for q in &points {
+        tree.knn_with_stats(q, 5, &mut slab_stats);
+    }
+    assert!(
+        slab_stats.bound_candidates > 0,
+        "slab path never consulted the lower bound"
+    );
+
+    tree.set_hot_layout(false);
+    let mut ptr_stats = QueryStats::default();
+    for q in &points {
+        tree.knn_with_stats(q, 5, &mut ptr_stats);
+    }
+    tree.set_hot_layout(true);
+    assert_eq!(
+        ptr_stats.bound_candidates, 0,
+        "pointer path must not touch the bound layer"
+    );
+}
