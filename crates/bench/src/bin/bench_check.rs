@@ -36,6 +36,8 @@ struct Bench {
     cells: Vec<gate::Cell>,
     /// `(cell name, prune_rate)` for every row carrying the stat.
     prune_rates: Vec<(String, Option<f64>)>,
+    /// `(dataset, query, us)` for the `telemetry_knn_{on,off}` A/B cells.
+    telemetry: Vec<(String, String, f64)>,
 }
 
 /// Queries whose rows must carry a strictly positive `prune_rate`: the
@@ -52,6 +54,7 @@ fn load(path: &str) -> Bench {
         .unwrap_or_else(|| panic!("{path}: missing host_cores"));
     let mut cells = Vec::new();
     let mut prune_rates = Vec::new();
+    let mut telemetry = Vec::new();
     for row in doc
         .get("results")
         .and_then(Json::as_arr)
@@ -75,12 +78,16 @@ fn load(path: &str) -> Bench {
         if PRUNE_GATED_QUERIES.contains(&query) {
             prune_rates.push((name.clone(), row.get("prune_rate").and_then(Json::as_f64)));
         }
+        if query.starts_with("telemetry_knn_") {
+            telemetry.push((dataset.to_string(), query.to_string(), us));
+        }
         cells.push(gate::Cell::new(name, us));
     }
     Bench {
         host_cores,
         cells,
         prune_rates,
+        telemetry,
     }
 }
 
@@ -88,6 +95,7 @@ fn main() {
     let mut baseline_path = String::from("BENCH_query.json");
     let mut fresh_path = String::new();
     let mut threshold = 2.5f64;
+    let mut telemetry_overhead = 1.10f64;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -100,8 +108,18 @@ fn main() {
                     .parse()
                     .expect("bad threshold")
             }
+            "--telemetry-overhead" => {
+                telemetry_overhead = it
+                    .next()
+                    .expect("missing telemetry overhead")
+                    .parse()
+                    .expect("bad telemetry overhead")
+            }
             "--help" | "-h" => {
-                println!("usage: bench_check --baseline PATH --fresh PATH [--threshold X]");
+                println!(
+                    "usage: bench_check --baseline PATH --fresh PATH [--threshold X] \
+                     [--telemetry-overhead R]"
+                );
                 return;
             }
             other => panic!("unknown argument {other}"),
@@ -163,13 +181,68 @@ fn main() {
         }
     }
 
+    // Telemetry-overhead gate: per dataset, the enabled kNN A/B cell may
+    // cost at most `telemetry_overhead ×` its disabled twin. Both cells
+    // of a pair come from the *same fresh run on the same host*, so this
+    // hard-fails even on a host_cores mismatch — the ratio is the
+    // contract (DESIGN.md §15), not a cross-machine comparison.
+    let mut telemetry_failures = 0usize;
+    let fresh_cell = |dataset: &str, query: &str| -> Option<f64> {
+        fresh
+            .telemetry
+            .iter()
+            .find(|(d, q, _)| d == dataset && q == query)
+            .map(|(_, _, us)| *us)
+    };
+    let datasets: Vec<String> = {
+        let mut d: Vec<String> = fresh.telemetry.iter().map(|(d, _, _)| d.clone()).collect();
+        d.sort();
+        d.dedup();
+        d
+    };
+    if datasets.is_empty() {
+        println!("WARN: fresh run carries no telemetry_knn_on/off cells — overhead ungated");
+    }
+    for dataset in &datasets {
+        match (
+            fresh_cell(dataset, "telemetry_knn_on"),
+            fresh_cell(dataset, "telemetry_knn_off"),
+        ) {
+            (Some(on), Some(off)) if off > 0.0 => {
+                let ratio = on / off;
+                if ratio > telemetry_overhead {
+                    println!(
+                        "FAIL: ({dataset}) telemetry on/off ratio {ratio:.3} exceeds {telemetry_overhead} \
+                         (on {on:.2} us, off {off:.2} us)"
+                    );
+                    telemetry_failures += 1;
+                } else {
+                    println!(
+                        "ok:   ({dataset}) telemetry on/off ratio {ratio:.3} within {telemetry_overhead}"
+                    );
+                }
+            }
+            _ => {
+                println!("FAIL: ({dataset}) telemetry A/B pair incomplete in the fresh run");
+                telemetry_failures += 1;
+            }
+        }
+    }
+
     println!(
-        "checked {} cells against {baseline_path} (threshold {threshold}x): {} failures, {} warnings, {} prune-rate failures",
+        "checked {} cells against {baseline_path} (threshold {threshold}x): {} failures, {} warnings, {} prune-rate failures, {} telemetry-overhead failures",
         baseline.cells.len(),
         out.failures,
         out.warnings,
-        prune_failures
+        prune_failures,
+        telemetry_failures
     );
+    if telemetry_failures > 0 {
+        eprintln!(
+            "perf gate failed: telemetry-enabled serving exceeded {telemetry_overhead}x its disabled cost"
+        );
+        std::process::exit(1);
+    }
     if prune_failures > 0 {
         eprintln!("perf gate failed: a kNN cell's interpolated lower bound pruned nothing");
         std::process::exit(1);

@@ -104,6 +104,11 @@ pub struct QueryScratch {
     pub(crate) sd_t: Vec<f64>,
     pub(crate) via_s: Vec<DoorId>,
     pub(crate) via_t: Vec<DoorId>,
+    /// Per-query span state (phase timings + hot-path counters). Armed by
+    /// [`QueryEngine`]'s dispatch point when the sampling gate is open and
+    /// the engine has a telemetry sink; dormant (one cleared bool) on
+    /// every other path, and compiled out entirely under `telemetry-off`.
+    pub(crate) trace: crate::telemetry::QueryTrace,
 }
 
 impl QueryScratch {
@@ -176,6 +181,46 @@ impl Drop for PooledScratch<'_> {
     }
 }
 
+/// Where an armed [`crate::telemetry::QueryTrace`] folds when the query
+/// finishes: per-phase latency histograms plus lifetime hot-path counters,
+/// shared between the engine (writer) and the service registry (reader).
+/// Engines without a sink (standalone benches, tests) skip arming entirely
+/// and pay one relaxed load per query.
+#[derive(Debug)]
+pub(crate) struct EngineTelemetry {
+    /// Branch-and-bound walk time: total minus leaf-fold minus heap (µs).
+    pub(crate) descent_us: Arc<crate::telemetry::Histogram>,
+    /// Own-leaf door-grid fold time, including first-touch lazy grid
+    /// builds (µs).
+    pub(crate) leaf_fold_us: Arc<crate::telemetry::Histogram>,
+    /// Final k-best drain/sort time (µs).
+    pub(crate) heap_us: Arc<crate::telemetry::Histogram>,
+    pub(crate) nodes_pushed: Arc<crate::telemetry::Counter>,
+    pub(crate) nodes_pruned: Arc<crate::telemetry::Counter>,
+    pub(crate) slab_rows: Arc<crate::telemetry::Counter>,
+    pub(crate) kbest_updates: Arc<crate::telemetry::Counter>,
+    /// Queries that ran with an armed trace (the denominator for the
+    /// per-query counters above).
+    pub(crate) traced_queries: Arc<crate::telemetry::Counter>,
+}
+
+impl EngineTelemetry {
+    /// Fold one finished trace. `total_ns` is wall time of the whole
+    /// dispatch; descent is what's left after the explicitly-timed phases.
+    pub(crate) fn fold(&self, trace: &crate::telemetry::QueryTrace, total_ns: u64) {
+        let timed = trace.leaf_fold_ns + trace.heap_ns;
+        self.descent_us
+            .record(total_ns.saturating_sub(timed) / 1_000);
+        self.leaf_fold_us.record(trace.leaf_fold_ns / 1_000);
+        self.heap_us.record(trace.heap_ns / 1_000);
+        self.nodes_pushed.add(trace.nodes_pushed);
+        self.nodes_pruned.add(trace.nodes_pruned);
+        self.slab_rows.add(trace.slab_rows);
+        self.kbest_updates.add(trace.kbest_updates);
+        self.traced_queries.inc();
+    }
+}
+
 /// Which index a [`QueryEngine`] serves.
 #[derive(Debug, Clone)]
 pub enum TreeHandle {
@@ -237,6 +282,10 @@ pub struct QueryEngine {
     keywords_gen: std::sync::atomic::AtomicU64,
     threads: usize,
     pool: ScratchPool,
+    /// Set once by the serving layer ([`crate::IndoorService`]); engines
+    /// without a sink never arm traces, so the standalone hot path keeps
+    /// exactly one relaxed load of overhead.
+    tel: std::sync::OnceLock<Arc<EngineTelemetry>>,
 }
 
 impl QueryEngine {
@@ -258,7 +307,14 @@ impl QueryEngine {
             keywords_gen: std::sync::atomic::AtomicU64::new(0),
             threads: 0,
             pool: ScratchPool::new(),
+            tel: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach the telemetry sink (first caller wins; later calls are
+    /// no-ops, matching the one-service-owns-one-engine lifecycle).
+    pub(crate) fn set_telemetry(&self, tel: Arc<EngineTelemetry>) {
+        let _ = self.tel.set(tel);
     }
 
     /// Worker threads for `batch_*` calls (0 = all available cores).
@@ -402,7 +458,12 @@ impl QueryEngine {
         keywords: Option<&Arc<KeywordObjects>>,
         req: &QueryRequest,
     ) -> QueryResponse {
-        match req {
+        let tel = self.tel.get();
+        scratch
+            .trace
+            .begin(tel.is_some() && crate::telemetry::should_trace());
+        let t0 = scratch.trace.start();
+        let resp = match req {
             QueryRequest::Knn { q, k } => QueryResponse::Knn(self.knn_one(scratch, q, *k)),
             QueryRequest::Range { q, radius } => {
                 QueryResponse::Range(self.range_one(scratch, q, *radius))
@@ -416,7 +477,11 @@ impl QueryEngine {
             QueryRequest::ShortestPath { s, t } => {
                 QueryResponse::ShortestPath(self.path_one(scratch, s, t))
             }
+        };
+        if let (Some(t0), Some(tel)) = (t0, tel) {
+            tel.fold(&scratch.trace, t0.elapsed().as_nanos() as u64);
         }
+        resp
     }
 
     /// Answer one typed request through the pool.

@@ -266,6 +266,7 @@ impl KeywordObjects {
             best,
             marks,
             leaf_dq,
+            trace,
             ..
         } = scratch;
         let asc = &*asc_s;
@@ -286,6 +287,9 @@ impl KeywordObjects {
             tree.root(),
             *step_handles.last().expect("ascent is non-empty"),
         )));
+        if trace.active() {
+            trace.nodes_pushed += 1;
+        }
         let slab = tree.uses_hot_layout();
         while let Some(Reverse((TotalF64(mind), node_idx, handle))) = heap.pop() {
             if mind > dk(best) {
@@ -303,6 +307,7 @@ impl KeywordObjects {
                     k,
                     marks,
                     leaf_dq,
+                    trace,
                     best,
                 );
                 continue;
@@ -315,6 +320,9 @@ impl KeywordObjects {
                 if let Some(step) = asc.step_for(tree, child) {
                     let h = step_handles[tree.node(step.node).level as usize - 1];
                     heap.push(Reverse((TotalF64(0.0), child, h)));
+                    if trace.active() {
+                        trace.nodes_pushed += 1;
+                    }
                     continue;
                 }
                 if slab {
@@ -349,7 +357,13 @@ impl KeywordObjects {
                     }
                     let bound = dk(best);
                     if base_min + tree.slabs.kid_lb(child) > bound || lb > bound {
+                        if trace.active() {
+                            trace.nodes_pruned += 1;
+                        }
                         continue;
+                    }
+                    if trace.active() {
+                        trace.slab_rows += base_rows.len() as u64;
                     }
                     tree.derive_child_vec_slab_into(
                         node_idx, base_rows, base_vec, child, child_vec,
@@ -358,6 +372,11 @@ impl KeywordObjects {
                     if mind_c <= dk(best) {
                         let h = arena.push(child_vec);
                         heap.push(Reverse((TotalF64(mind_c), child, h)));
+                        if trace.active() {
+                            trace.nodes_pushed += 1;
+                        }
+                    } else if trace.active() {
+                        trace.nodes_pruned += 1;
                     }
                     continue;
                 }
@@ -382,12 +401,19 @@ impl KeywordObjects {
                 if mind_c <= dk(best) {
                     let h = arena.push(child_vec);
                     heap.push(Reverse((TotalF64(mind_c), child, h)));
+                    if trace.active() {
+                        trace.nodes_pushed += 1;
+                    }
+                } else if trace.active() {
+                    trace.nodes_pruned += 1;
                 }
             }
         }
 
+        let th = trace.start();
         let mut out: Vec<(ObjectId, f64)> = best.drain().map(|(TotalF64(d), o)| (o, d)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        trace.stop_heap(th);
         out
     }
 
@@ -403,6 +429,7 @@ impl KeywordObjects {
         k: usize,
         marks: &mut EpochMarks,
         dq: &mut Vec<f64>,
+        trace: &mut crate::telemetry::QueryTrace,
         best: &mut BinaryHeap<(TotalF64, ObjectId)>,
     ) {
         let bound = if best.len() < k {
@@ -410,6 +437,7 @@ impl KeywordObjects {
         } else {
             best.peek().unwrap().0 .0
         };
+        let mut kb = 0u64;
         let mut emit = |o: ObjectId, d: f64| {
             if !self.object_has(o, term) || !d.is_finite() {
                 return;
@@ -420,6 +448,7 @@ impl KeywordObjects {
                 if best.len() > k {
                     best.pop();
                 }
+                kb += 1;
             }
         };
         tree.scan_leaf(
@@ -431,8 +460,12 @@ impl KeywordObjects {
             bound,
             marks,
             dq,
+            trace,
             &mut emit,
         );
+        if trace.active() {
+            trace.kbest_updates += kb;
+        }
     }
 }
 

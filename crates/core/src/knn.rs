@@ -281,6 +281,7 @@ impl IpTree {
             best,
             marks,
             leaf_dq,
+            trace,
             ..
         } = scratch;
         let asc = &*asc_s;
@@ -297,12 +298,16 @@ impl IpTree {
         // pairs, independent of leaf-scan encounter order — which makes
         // answers byte-identical across physically different layouts of
         // the same live object set (delta-maintained vs rebuilt).
+        // Returns whether the candidate entered the k-best set.
         let consider = |best: &mut BinaryHeap<(TotalF64, ObjectId)>, o: ObjectId, d: f64| {
             if d.is_finite() && (best.len() < k || (TotalF64(d), o) < *best.peek().unwrap()) {
                 best.push((TotalF64(d), o));
                 if best.len() > k {
                     best.pop();
                 }
+                true
+            } else {
+                false
             }
         };
 
@@ -313,6 +318,9 @@ impl IpTree {
             self.root(),
             *step_handles.last().expect("ascent is non-empty"),
         )));
+        if trace.active() {
+            trace.nodes_pushed += 1;
+        }
         let slab = self.uses_hot_layout();
 
         while let Some(Reverse((TotalF64(mind), node_idx, handle))) = heap.pop() {
@@ -322,6 +330,7 @@ impl IpTree {
             stats.nodes_visited += 1;
             let node = self.node(node_idx);
             if node.is_leaf() {
+                let mut kb = 0u64;
                 self.scan_leaf(
                     q,
                     oi,
@@ -331,8 +340,16 @@ impl IpTree {
                     dk(best),
                     marks,
                     leaf_dq,
-                    &mut |o, d| consider(best, o, d),
+                    trace,
+                    &mut |o, d| {
+                        if consider(best, o, d) {
+                            kb += 1;
+                        }
+                    },
                 );
+                if trace.active() {
+                    trace.kbest_updates += kb;
+                }
                 continue;
             }
             let node_on_path = asc.on_path(self, node_idx);
@@ -344,6 +361,9 @@ impl IpTree {
                     // Child contains q: mindist 0, vector from the ascent.
                     let h = step_handles[self.node(step.node).level as usize - 1];
                     heap.push(Reverse((TotalF64(0.0), child, h)));
+                    if trace.active() {
+                        trace.nodes_pushed += 1;
+                    }
                     continue;
                 }
                 if slab {
@@ -388,7 +408,13 @@ impl IpTree {
                     let bound = dk(best);
                     if base_min + self.slabs.kid_lb(child) > bound || lb > bound {
                         stats.bound_pruned += 1;
+                        if trace.active() {
+                            trace.nodes_pruned += 1;
+                        }
                         continue;
+                    }
+                    if trace.active() {
+                        trace.slab_rows += base_rows.len() as u64;
                     }
                     self.derive_child_vec_slab_into(
                         node_idx, base_rows, base_vec, child, child_vec,
@@ -397,6 +423,11 @@ impl IpTree {
                     if mind_c <= dk(best) {
                         let h = arena.push(child_vec);
                         heap.push(Reverse((TotalF64(mind_c), child, h)));
+                        if trace.active() {
+                            trace.nodes_pushed += 1;
+                        }
+                    } else if trace.active() {
+                        trace.nodes_pruned += 1;
                     }
                     continue;
                 }
@@ -424,12 +455,19 @@ impl IpTree {
                 if mind_c <= dk(best) {
                     let h = arena.push(child_vec);
                     heap.push(Reverse((TotalF64(mind_c), child, h)));
+                    if trace.active() {
+                        trace.nodes_pushed += 1;
+                    }
+                } else if trace.active() {
+                    trace.nodes_pruned += 1;
                 }
             }
         }
 
+        let th = trace.start();
         let mut out: Vec<(ObjectId, f64)> = best.drain().map(|(TotalF64(d), o)| (o, d)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        trace.stop_heap(th);
         out
     }
 
@@ -453,6 +491,7 @@ impl IpTree {
             stack,
             marks,
             leaf_dq,
+            trace,
             ..
         } = scratch;
         let asc = &*asc_s;
@@ -465,6 +504,9 @@ impl IpTree {
             self.root(),
             *step_handles.last().expect("ascent is non-empty"),
         ));
+        if trace.active() {
+            trace.nodes_pushed += 1;
+        }
         let slab = self.uses_hot_layout();
         while let Some((node_idx, handle)) = stack.pop() {
             stats.nodes_visited += 1;
@@ -483,6 +525,7 @@ impl IpTree {
                 continue;
             }
             if node.is_leaf() {
+                let mut kb = 0u64;
                 self.scan_leaf(
                     q,
                     oi,
@@ -492,12 +535,17 @@ impl IpTree {
                     radius,
                     marks,
                     leaf_dq,
+                    trace,
                     &mut |o, d| {
                         if d <= radius {
                             out.push((o, d));
+                            kb += 1;
                         }
                     },
                 );
+                if trace.active() {
+                    trace.kbest_updates += kb;
+                }
                 continue;
             }
             for &child in &node.children {
@@ -507,6 +555,9 @@ impl IpTree {
                 if let Some(step) = asc.step_for(self, child) {
                     let h = step_handles[self.node(step.node).level as usize - 1];
                     stack.push((child, h));
+                    if trace.active() {
+                        trace.nodes_pushed += 1;
+                    }
                     continue;
                 }
                 if slab {
@@ -542,13 +593,22 @@ impl IpTree {
                     stats.bound_candidates += 1;
                     if base_min + self.slabs.kid_lb(child) > radius || lb > radius {
                         stats.bound_pruned += 1;
+                        if trace.active() {
+                            trace.nodes_pruned += 1;
+                        }
                         continue;
+                    }
+                    if trace.active() {
+                        trace.slab_rows += base_rows.len() as u64;
                     }
                     self.derive_child_vec_slab_into(
                         node_idx, base_rows, base_vec, child, child_vec,
                     );
                     let h = arena.push(child_vec);
                     stack.push((child, h));
+                    if trace.active() {
+                        trace.nodes_pushed += 1;
+                    }
                     continue;
                 }
                 let (base_ads, base_handle) = if contains_q {
@@ -570,9 +630,14 @@ impl IpTree {
                 );
                 let h = arena.push(child_vec);
                 stack.push((child, h));
+                if trace.active() {
+                    trace.nodes_pushed += 1;
+                }
             }
         }
+        let th = trace.start();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        trace.stop_heap(th);
         out
     }
 
@@ -655,6 +720,7 @@ impl IpTree {
         bound: f64,
         marks: &mut EpochMarks,
         dq: &mut Vec<f64>,
+        trace: &mut crate::telemetry::QueryTrace,
         emit: &mut dyn FnMut(ObjectId, f64),
     ) {
         let Some(data) = oi.leaf_data.get(&leaf) else {
@@ -662,10 +728,14 @@ impl IpTree {
         };
         let venue = &*self.venue;
         if asc.on_path(self, leaf) {
+            let t0 = trace.start();
             // q's own leaf: exact distances via the leaf door grid — one
             // seed × row fold replaces the per-query D2D expansion that
-            // used to dominate kNN/range latency (DESIGN.md §14.4).
+            // used to dominate kNN/range latency (DESIGN.md §14.4). The
+            // grid builds lazily on this first touch (counted, and billed
+            // to the leaf-fold phase by the trace above).
             let node = self.node(leaf);
+            self.leaf_grid.ensure(venue, node, leaf);
             let n = node.doors.len();
             dq.clear();
             dq.resize(n, f64::INFINITY);
@@ -700,6 +770,7 @@ impl IpTree {
                 }
                 emit(*oid, d);
             }
+            trace.stop_leaf_fold(t0);
             return;
         }
 

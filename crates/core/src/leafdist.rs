@@ -42,97 +42,136 @@ use crate::tree::{Node, NodeIdx};
 use indoor_graph::parallel::par_map;
 use indoor_graph::{DijkstraEngine, GraphBuilder, Termination};
 use indoor_model::Venue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One leaf's built grid: a 64-byte-row-aligned slab of `n × n` global
+/// door distances (`base` indexes the first aligned element).
+#[derive(Debug)]
+struct LeafSlab {
+    data: Vec<f64>,
+    base: usize,
+}
 
 /// Per-leaf global door-to-door distance slabs (leaves only; inner nodes
 /// keep empty extents).
+///
+/// Grids build **lazily**: construction records only the per-leaf shape
+/// (stride, door count); the `n × n` distance slab of a leaf is computed
+/// by [`LeafGrid::ensure`] on its first own-leaf scan. Queries never
+/// touch leaves nobody's query point lands in, so cold venues skip the
+/// dominant share of grid build work — at the cost of one first-touch
+/// build on the query path (attributed to the leaf-fold phase by the
+/// telemetry trace, and counted by [`LeafGrid::builds`]). Built rows are
+/// bit-identical to an eager build: both call [`leaf_rows`], whose
+/// Dijkstra + detour fold is deterministic per leaf
+/// (`tests/layout_equivalence.rs` pins this).
 #[derive(Debug)]
 pub struct LeafGrid {
-    /// One arena for every leaf grid; `base` indexes the first element
-    /// that sits on a 64-byte boundary.
-    arena: Vec<f64>,
-    base: usize,
-    /// Per node: arena offset (from `base`), row stride (doors rounded up
-    /// to [`ROW_ALIGN`]), and door count. Zero extent for non-leaves.
-    off: Vec<usize>,
+    /// Per node: the built slab, if any. [`OnceLock`] makes first-touch
+    /// builds race-free under `&self` — concurrent scanners of one leaf
+    /// block on a single build.
+    slabs: Vec<OnceLock<LeafSlab>>,
+    /// Per node: row stride (doors rounded up to [`ROW_ALIGN`]) and door
+    /// count. Zero extent for non-leaves.
     stride: Vec<u32>,
     n_doors: Vec<u32>,
+    n_leaves: usize,
+    /// Leaf grids built so far (lazy or forced) — the telemetry counter
+    /// behind `indoor_leaf_grid_builds_total`.
+    builds: AtomicU64,
 }
 
 impl LeafGrid {
-    /// Build the grid for the `n_leaves` leaf nodes at the front of the
-    /// node arena. Per-leaf rows fan out over the worker pool; the arena
-    /// pack is a serial sequence of row memcpys (bit-identical for any
-    /// thread count).
-    pub(crate) fn build(
-        venue: &Venue,
-        nodes: &[Node],
-        n_leaves: usize,
-        threads: usize,
-    ) -> LeafGrid {
-        let leaf_idxs: Vec<u32> = (0..n_leaves as u32).collect();
-        let per_leaf: Vec<Vec<f64>> = par_map(&leaf_idxs, threads, |_, &li| {
-            leaf_rows(venue, &nodes[li as usize])
-        });
-
-        let mut off = Vec::with_capacity(nodes.len());
+    /// Lay out (but do not build) grids for the `n_leaves` leaf nodes at
+    /// the front of the node arena.
+    pub(crate) fn new(nodes: &[Node], n_leaves: usize) -> LeafGrid {
         let mut stride = Vec::with_capacity(nodes.len());
         let mut n_doors = Vec::with_capacity(nodes.len());
-        let mut total = 0usize;
         for (i, node) in nodes.iter().enumerate() {
             let n = if i < n_leaves { node.doors.len() } else { 0 };
-            let s = n.div_ceil(ROW_ALIGN) * ROW_ALIGN;
-            off.push(total);
-            stride.push(s as u32);
+            stride.push((n.div_ceil(ROW_ALIGN) * ROW_ALIGN) as u32);
             n_doors.push(n as u32);
-            total += n * s;
         }
-
-        let mut arena = vec![f64::INFINITY; total + ROW_ALIGN];
-        let base = {
-            let addr = arena.as_ptr() as usize;
-            (64 - addr % 64) % 64 / std::mem::size_of::<f64>()
-        };
-        for (li, rows) in per_leaf.iter().enumerate() {
-            let n = n_doors[li] as usize;
-            let s = stride[li] as usize;
-            let start = base + off[li];
-            for r in 0..n {
-                arena[start + r * s..start + r * s + n].copy_from_slice(&rows[r * n..(r + 1) * n]);
-            }
-        }
-
         LeafGrid {
-            arena,
-            base,
-            off,
+            slabs: (0..nodes.len()).map(|_| OnceLock::new()).collect(),
             stride,
             n_doors,
+            n_leaves,
+            builds: AtomicU64::new(0),
         }
+    }
+
+    /// Build leaf `l`'s grid if it hasn't been built yet (the first-touch
+    /// path of the own-leaf scan). Concurrent callers for one leaf do the
+    /// work once.
+    pub(crate) fn ensure(&self, venue: &Venue, node: &Node, l: NodeIdx) {
+        let i = l as usize;
+        self.slabs[i].get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            let n = self.n_doors[i] as usize;
+            let s = self.stride[i] as usize;
+            let rows = leaf_rows(venue, node);
+            let mut data = vec![f64::INFINITY; n * s + ROW_ALIGN];
+            let base = {
+                let addr = data.as_ptr() as usize;
+                (64 - addr % 64) % 64 / std::mem::size_of::<f64>()
+            };
+            for r in 0..n {
+                data[base + r * s..base + r * s + n].copy_from_slice(&rows[r * n..(r + 1) * n]);
+            }
+            LeafSlab { data, base }
+        });
+    }
+
+    /// Build every leaf grid now, fanned over the worker pool — the eager
+    /// mode audits and layout-equivalence tests compare against.
+    pub(crate) fn force_build(&self, venue: &Venue, nodes: &[Node], threads: usize) {
+        let leaf_idxs: Vec<u32> = (0..self.n_leaves as u32).collect();
+        par_map(&leaf_idxs, threads, |_, &li| {
+            self.ensure(venue, &nodes[li as usize], li);
+        });
+    }
+
+    /// Leaf grids built so far (lazily or via [`LeafGrid::force_build`]).
+    pub(crate) fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
     }
 
     /// Row `s` of leaf `l`'s grid: global distances from the leaf's
     /// door ordinal `s` to every leaf door, in `node.doors` order.
+    /// The leaf's grid must have been built ([`LeafGrid::ensure`]).
     #[inline]
     pub(crate) fn row(&self, l: NodeIdx, s: usize) -> &[f64] {
         let i = l as usize;
         let n = self.n_doors[i] as usize;
         debug_assert!(s < n, "row {s} of leaf {l} with {n} doors");
-        let start = self.base + self.off[i] + s * self.stride[i] as usize;
+        let slab = self.slabs[i]
+            .get()
+            .expect("leaf grid row read before ensure()");
+        let start = slab.base + s * self.stride[i] as usize;
         #[cfg(feature = "layout-audit")]
         {
             assert!(s < n);
             assert_eq!(
-                (self.arena[start..].as_ptr() as usize) % 64,
+                (slab.data[start..].as_ptr() as usize) % 64,
                 0,
                 "leaf {l} grid row {s} misaligned"
             );
         }
-        &self.arena[start..start + n]
+        &slab.data[start..start + n]
     }
 
-    /// Arena footprint in bytes.
+    /// Arena footprint in bytes (built slabs only — lazily deferred grids
+    /// cost nothing until first touch).
     pub(crate) fn size_bytes(&self) -> usize {
-        self.arena.len() * 8 + self.off.len() * 8 + self.stride.len() * 4 + self.n_doors.len() * 4
+        let built: usize = self
+            .slabs
+            .iter()
+            .filter_map(|s| s.get())
+            .map(|s| s.data.len() * 8)
+            .sum();
+        built + self.stride.len() * 4 + self.n_doors.len() * 4
     }
 
     /// Structural + semantic re-verification (test / `layout-audit` use):
@@ -264,6 +303,12 @@ mod tests {
     fn check_grid(seed: u64) {
         let venue = Arc::new(random_venue(seed));
         let tree = IpTree::build(venue.clone(), &VipTreeConfig::default()).unwrap();
+        tree.build_leaf_grid(); // grids are lazy; force them for direct row reads
+        assert_eq!(
+            tree.leaf_grid_builds(),
+            tree.nodes.iter().filter(|n| n.is_leaf()).count() as u64,
+            "forced build counts every leaf once"
+        );
         let mut engine = DijkstraEngine::new(venue.num_doors());
         for (li, node) in tree.nodes.iter().enumerate() {
             if !node.is_leaf() {

@@ -59,6 +59,7 @@ mod retry;
 mod service;
 mod slabs;
 mod stats;
+pub mod telemetry;
 mod tree;
 mod vip;
 

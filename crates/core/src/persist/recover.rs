@@ -359,7 +359,19 @@ impl IndoorService {
             persist_root: Some(dir.to_path_buf()),
             persist_lock: Mutex::new(()),
             _persist_dir_lock: Some(dir_lock),
+            registry: crate::telemetry::Registry::new(),
         };
+        // Recovered shards are live publishes too: re-create their
+        // venue-labelled instruments (counters restart from zero — the
+        // registry is process state, not durable state).
+        {
+            let shards = service.shards.read().expect("shard map lock");
+            for (slot, shard) in shards.iter().enumerate() {
+                if let Some(shard) = shard {
+                    service.wire_telemetry(shard, indoor_model::VenueId::from(slot));
+                }
+            }
+        }
         Ok((service, report))
     }
 

@@ -224,6 +224,7 @@ impl IndoorService {
                 if slot.is_some() {
                     return Err(repl_err(venue, "Create for an already-registered venue"));
                 }
+                self.wire_telemetry(&shard, venue);
                 *slot = Some(shard);
                 Ok(0)
             }
@@ -232,6 +233,8 @@ impl IndoorService {
                 match shards.get_mut(venue.index()) {
                     Some(slot @ Some(_)) => {
                         *slot = None;
+                        self.registry
+                            .remove_labeled("venue", &venue.index().to_string());
                         Ok(LSN_REMOVE)
                     }
                     _ => Err(repl_err(venue, "Remove for an absent venue")),

@@ -490,6 +490,26 @@ pub(crate) struct Serving {
     pub(crate) version: u64,
 }
 
+/// One shard's serving-phase histograms, shared with the service's
+/// telemetry [`crate::telemetry::Registry`] (which exports them). Set
+/// once when the shard is published; every record site guards on the
+/// global sampling gate.
+#[derive(Debug)]
+pub(crate) struct ShardTelemetry {
+    /// Time spent taking an admission permit (µs) — includes blocking
+    /// waits under [`OverloadPolicy::Block`], and the failed attempts of
+    /// shed/timed-out requests.
+    admission_wait_us: Arc<crate::telemetry::Histogram>,
+    /// Result-cache probe time (µs), including the cache-lock wait.
+    cache_probe_us: Arc<crate::telemetry::Histogram>,
+    /// WAL append + fsync time (µs) per the shard's [`SyncPolicy`].
+    wal_append_us: Arc<crate::telemetry::Histogram>,
+    /// End-to-end serving latency per query kind (µs), indexed by
+    /// [`QueryKind::index`]. Batch misses apportion wall time equally,
+    /// matching [`KindStats::latency_ns`].
+    query_latency_us: [Arc<crate::telemetry::Histogram>; QueryKind::COUNT],
+}
+
 /// A shard's admission state: the optional gate plus shed/timeout tallies.
 #[derive(Debug)]
 struct AdmissionControl {
@@ -527,6 +547,9 @@ pub(crate) struct Shard {
     /// the replication stream (0 on a leader). `venue_stats` surfaces
     /// `leader_version - version` as the follower's lag.
     pub(crate) leader_version: AtomicU64,
+    /// Serving-phase histograms, wired once when the shard is published
+    /// into a service (never on bare engine tests — those run untimed).
+    tel: std::sync::OnceLock<Arc<ShardTelemetry>>,
 }
 
 impl Shard {
@@ -562,7 +585,25 @@ impl Shard {
             sync,
             repl_taps: Mutex::new(Vec::new()),
             leader_version: AtomicU64::new(0),
+            tel: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach the shard's serving-phase histograms (first call wins).
+    pub(crate) fn set_telemetry(&self, tel: Arc<ShardTelemetry>) {
+        let _ = self.tel.set(tel);
+    }
+
+    /// The shard's telemetry sink, iff wired **and** the global sampling
+    /// gate is open. Every serving-path timer goes through this, so
+    /// `telemetry::set_sampling(false)` (or the `telemetry-off` feature)
+    /// drops the instrumentation to a load + branch.
+    #[inline]
+    fn tel(&self) -> Option<&ShardTelemetry> {
+        if !crate::telemetry::sampling_enabled() {
+            return None;
+        }
+        self.tel.get().map(|t| t.as_ref())
     }
 
     /// The currently serving engine.
@@ -603,10 +644,15 @@ impl Shard {
         let Some(gate) = &self.admission.gate else {
             return Ok(None);
         };
+        let t0 = self.tel().map(|_| Instant::now());
         let attempt = match self.admission.config.policy {
             OverloadPolicy::Shed => gate.try_admit(weight),
             OverloadPolicy::Block { timeout } => gate.admit_within(weight, timeout),
         };
+        if let (Some(t0), Some(tel)) = (t0, self.tel()) {
+            tel.admission_wait_us
+                .record(t0.elapsed().as_micros() as u64);
+        }
         attempt.map(Some).map_err(|e| match e {
             AdmitError::Overloaded { in_flight, limit } => {
                 self.admission.shed.fetch_add(1, Ordering::Relaxed);
@@ -650,7 +696,12 @@ fn journal_append(
     let Some(wal) = journal.as_mut() else {
         return Ok(());
     };
-    match wal.append(lsn, record) {
+    let t0 = shard.tel().map(|_| Instant::now());
+    let appended = wal.append(lsn, record);
+    if let (Some(t0), Some(tel)) = (t0, shard.tel()) {
+        tel.wal_append_us.record(t0.elapsed().as_micros() as u64);
+    }
+    match appended {
         Ok(()) => {
             // Publish to live replication subscribers. Still under the
             // journal lock (the caller holds it across append + apply),
@@ -834,6 +885,21 @@ pub struct ShardStats {
     pub replication_lag: u64,
     /// Why the shard is read-only, if it is.
     pub degraded: Option<String>,
+    /// The shard's object-index anatomy
+    /// ([`crate::objects::ObjectIndexStats`] folded in): leaf pages built
+    /// over the venue's lifetime.
+    pub object_leaf_builds: u64,
+    /// Object-index leaf pages touched by delta application.
+    pub object_leaf_touches: u64,
+    /// Object-index compaction passes.
+    pub object_compactions: u64,
+    /// Live objects in the index.
+    pub live_objects: usize,
+    /// Allocated object slots (live + tombstoned).
+    pub object_slots: usize,
+    /// Leaf door-grids built so far (lazy: ≤ leaf count until every leaf
+    /// has served an own-leaf scan or an audit forced the rest).
+    pub leaf_grid_builds: u64,
 }
 
 /// Multi-venue query service: routes typed requests to per-venue engine
@@ -899,6 +965,11 @@ pub struct IndoorService {
     /// directory fails instead of interleaving WAL appends. Released
     /// when the handle drops (so a crash never leaves a stale lock).
     pub(crate) _persist_dir_lock: Option<Box<dyn StorageLock>>,
+    /// All named telemetry instruments (DESIGN.md §15). Venue-labelled
+    /// instruments are created when a shard is published
+    /// ([`IndoorService::wire_telemetry`]) and retired with the venue;
+    /// [`IndoorService::metrics_snapshot`] gathers the lot.
+    pub(crate) registry: crate::telemetry::Registry,
 }
 
 impl Default for IndoorService {
@@ -911,6 +982,7 @@ impl Default for IndoorService {
             persist_root: None,
             persist_lock: Mutex::new(()),
             _persist_dir_lock: None,
+            registry: crate::telemetry::Registry::new(),
         }
     }
 }
@@ -919,6 +991,88 @@ impl IndoorService {
     /// An empty service; add venues with [`IndoorService::add_venue`].
     pub fn new() -> IndoorService {
         IndoorService::default()
+    }
+
+    /// Create the venue-labelled instruments for a shard being published
+    /// (DESIGN.md §15 names) and wire them into the shard (serving-phase
+    /// histograms) and its engine (per-query phase timings and hot-path
+    /// counters). Called at every publish site — `add_venue` (both
+    /// paths), recovery, and replicated venue birth — and idempotent per
+    /// venue: the registry get-or-creates by `(name, labels)`, so
+    /// re-publishing re-attaches to the same series.
+    pub(crate) fn wire_telemetry(&self, shard: &Shard, venue: VenueId) {
+        let v = venue.index().to_string();
+        let vl: &[(&str, &str)] = &[("venue", &v)];
+        let reg = &self.registry;
+        let query_latency_us = QueryKind::ALL.map(|kind| {
+            reg.histogram(
+                "indoor_query_latency_us",
+                "End-to-end serving latency by query kind (us)",
+                &[("venue", &v), ("kind", kind.label())],
+            )
+        });
+        shard.set_telemetry(Arc::new(ShardTelemetry {
+            admission_wait_us: reg.histogram(
+                "indoor_admission_wait_us",
+                "Admission permit wait, including shed and timed-out attempts (us)",
+                vl,
+            ),
+            cache_probe_us: reg.histogram(
+                "indoor_cache_probe_us",
+                "Result-cache probe time, including the cache lock wait (us)",
+                vl,
+            ),
+            wal_append_us: reg.histogram(
+                "indoor_wal_append_us",
+                "WAL append + fsync time under the shard's sync policy (us)",
+                vl,
+            ),
+            query_latency_us,
+        }));
+        shard
+            .engine()
+            .set_telemetry(Arc::new(crate::exec::EngineTelemetry {
+                descent_us: reg.histogram(
+                    "indoor_phase_descent_us",
+                    "Per-query tree descent/ascent phase time (us)",
+                    vl,
+                ),
+                leaf_fold_us: reg.histogram(
+                    "indoor_phase_leaf_fold_us",
+                    "Per-query own-leaf door-grid fold phase time (us)",
+                    vl,
+                ),
+                heap_us: reg.histogram(
+                    "indoor_phase_heap_us",
+                    "Per-query result heap drain/sort phase time (us)",
+                    vl,
+                ),
+                nodes_pushed: reg.counter(
+                    "indoor_nodes_pushed_total",
+                    "Branch-and-bound candidates pushed",
+                    vl,
+                ),
+                nodes_pruned: reg.counter(
+                    "indoor_nodes_pruned_total",
+                    "Candidates pruned by the admissible lower bound",
+                    vl,
+                ),
+                slab_rows: reg.counter(
+                    "indoor_slab_rows_total",
+                    "SoA distance-slab rows walked",
+                    vl,
+                ),
+                kbest_updates: reg.counter(
+                    "indoor_kbest_updates_total",
+                    "k-best set insertions during leaf scans",
+                    vl,
+                ),
+                traced_queries: reg.counter(
+                    "indoor_traced_queries_total",
+                    "Queries that ran with tracing sampled on",
+                    vl,
+                ),
+            }));
     }
 
     /// Build a VIP-tree shard for `venue` and register it, returning the
@@ -961,6 +1115,7 @@ impl IndoorService {
         let Some(root) = &self.persist_root else {
             let mut shards = self.shards.write().expect("shard map lock");
             let id = VenueId::from(shards.len());
+            self.wire_telemetry(&shard, id);
             shards.push(Some(shard));
             return Ok(id);
         };
@@ -1012,6 +1167,7 @@ impl IndoorService {
             }
         };
         *shard.journal.lock().expect("journal lock") = Some(wal);
+        self.wire_telemetry(&shard, id);
         self.shards.write().expect("shard map lock")[id.index()] = Some(shard);
         Ok(id)
     }
@@ -1033,14 +1189,22 @@ impl IndoorService {
         journal_append(&shard, &mut journal, venue, LSN_REMOVE, &WalRecord::Remove)?;
         drop(journal);
         let mut shards = self.shards.write().expect("shard map lock");
-        match shards.get_mut(venue.index()) {
+        let unrouted = match shards.get_mut(venue.index()) {
             Some(slot @ Some(_)) => {
                 *slot = None;
                 Ok(())
             }
             // A racing remove_venue of the same id beat us to the slot.
             _ => Err(ServiceError::UnknownVenue(venue)),
+        };
+        drop(shards);
+        if unrouted.is_ok() {
+            // Retire the venue's series so the exposition page stops
+            // carrying a removed venue forever.
+            self.registry
+                .remove_labeled("venue", &venue.index().to_string());
         }
+        unrouted
     }
 
     /// Whether this service journals mutations (it was opened from a
@@ -1280,8 +1444,18 @@ impl IndoorService {
             .lock()
             .expect("cache poisoned")
             .probe(req, stamp);
+        // Probe time measured from `t0` — the stamp capture it includes
+        // is part of the probe path, and reusing the request timestamp
+        // keeps the always-on cost to one clock read plus one record.
+        if let Some(tel) = shard.tel() {
+            tel.cache_probe_us.record(t0.elapsed().as_micros() as u64);
+        }
         if let Some(resp) = hit {
-            self.record(req.kind(), true, t0.elapsed());
+            let elapsed = t0.elapsed();
+            if let Some(tel) = shard.tel() {
+                tel.query_latency_us[req.kind().index()].record(elapsed.as_micros() as u64);
+            }
+            self.record(req.kind(), true, elapsed);
             return Ok(resp);
         }
         let resp = engine.execute(req);
@@ -1290,7 +1464,11 @@ impl IndoorService {
             .lock()
             .expect("cache poisoned")
             .insert(req.clone(), stamp, resp.clone());
-        self.record(req.kind(), false, t0.elapsed());
+        let elapsed = t0.elapsed();
+        if let Some(tel) = shard.tel() {
+            tel.query_latency_us[req.kind().index()].record(elapsed.as_micros() as u64);
+        }
+        self.record(req.kind(), false, elapsed);
         Ok(resp)
     }
 
@@ -1383,11 +1561,19 @@ impl IndoorService {
                 }
             }
         }
+        if let Some(tel) = shard.tel() {
+            // The whole share probes in one cache pass; bill it once.
+            tel.cache_probe_us.record(t0.elapsed().as_micros() as u64);
+        }
         if !hits.is_empty() {
             // Apportion the probe loop's wall time equally over the hits.
             let per_hit = t0.elapsed() / hits.len() as u32;
             for (slot, resp) in hits {
-                self.record(reqs[slot].1.kind(), true, per_hit);
+                let kind = reqs[slot].1.kind();
+                if let Some(tel) = shard.tel() {
+                    tel.query_latency_us[kind.index()].record(per_hit.as_micros() as u64);
+                }
+                self.record(kind, true, per_hit);
                 let _ = tx.send((slot, Ok(resp)));
             }
         }
@@ -1416,6 +1602,9 @@ impl IndoorService {
         let mut cache = shard.cache.lock().expect("cache poisoned");
         for (req, resp) in unique.iter().zip(resps) {
             for &slot in &slots_of[req] {
+                if let Some(tel) = shard.tel() {
+                    tel.query_latency_us[req.kind().index()].record(per_query.as_micros() as u64);
+                }
                 self.record(req.kind(), false, per_query);
                 let _ = tx.send((slot, Ok(resp.clone())));
             }
@@ -1501,6 +1690,12 @@ impl IndoorService {
             Some(gate) => (gate.in_flight(), gate.limit()),
             None => (0, 0),
         };
+        let engine = shard.engine();
+        let ip = engine.tree().ip();
+        let obj = ip
+            .object_index()
+            .map(|idx| idx.index_stats())
+            .unwrap_or_default();
         Ok(ShardStats {
             venue,
             epoch,
@@ -1517,7 +1712,182 @@ impl IndoorService {
                 .load(Ordering::Acquire)
                 .saturating_sub(version),
             degraded: shard.degraded_reason().map(|r| r.to_string()),
+            object_leaf_builds: obj.leaf_builds,
+            object_leaf_touches: obj.leaf_touches,
+            object_compactions: obj.compactions,
+            live_objects: obj.live,
+            object_slots: obj.slots,
+            leaf_grid_builds: ip.leaf_grid_builds(),
         })
+    }
+
+    /// Gather every registered instrument plus the service- and
+    /// per-venue observability values into the wire-facing
+    /// [`indoor_model::metrics::MetricsSnapshot`] (encoded by
+    /// `indoor_model::metrics::encode_text`, served by `NetServer` as a
+    /// `MetricsText` frame). Gauges are appended directly from live
+    /// state — never resident in the registry — so a snapshot always
+    /// reflects this instant and a removed venue leaves no stale series.
+    pub fn metrics_snapshot(&self) -> indoor_model::metrics::MetricsSnapshot {
+        use crate::telemetry::InstrumentSnapshot;
+        use indoor_model::metrics::{MetricValue, Series};
+        let mut series: Vec<Series> = self
+            .registry
+            .gather()
+            .into_iter()
+            .map(|s| Series {
+                name: s.name.to_string(),
+                help: s.help.to_string(),
+                labels: s.labels,
+                value: match s.value {
+                    InstrumentSnapshot::Counter(v) => MetricValue::Counter(v),
+                    InstrumentSnapshot::Gauge(v) => MetricValue::Gauge(v as f64),
+                    InstrumentSnapshot::Histogram(h) => MetricValue::Histogram {
+                        buckets: h.cumulative_buckets(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                    },
+                },
+            })
+            .collect();
+        let mut push =
+            |name: &str, help: &str, labels: Vec<(String, String)>, value: MetricValue| {
+                series.push(Series {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    labels,
+                    value,
+                });
+            };
+        let stats = self.stats();
+        push(
+            "indoor_venues",
+            "Registered venues",
+            vec![],
+            MetricValue::Gauge(stats.venues as f64),
+        );
+        push(
+            "indoor_deltas_absorbed_total",
+            "Object deltas absorbed service-wide",
+            vec![],
+            MetricValue::Counter(stats.deltas_absorbed),
+        );
+        push(
+            "indoor_degraded_venues",
+            "Venues in read-only degraded mode",
+            vec![],
+            MetricValue::Gauge(stats.degraded_venues as f64),
+        );
+        for k in stats.kinds {
+            let kl = vec![("kind".to_string(), k.kind.label().to_string())];
+            push(
+                "indoor_queries_total",
+                "Requests answered, hits and misses alike",
+                kl.clone(),
+                MetricValue::Counter(k.queries),
+            );
+            push(
+                "indoor_cache_hits_total",
+                "Requests answered from the result cache",
+                kl.clone(),
+                MetricValue::Counter(k.cache_hits),
+            );
+            push(
+                "indoor_latency_ns_total",
+                "Cumulative serving wall time (ns)",
+                kl,
+                MetricValue::Counter(k.latency_ns),
+            );
+        }
+        for venue in self.venues() {
+            let Ok(vs) = self.venue_stats(venue) else {
+                continue; // removed mid-walk
+            };
+            let vl = vec![("venue".to_string(), venue.index().to_string())];
+            let gauges: [(&str, &str, f64); 9] = [
+                ("indoor_shard_epoch", "Rebuild epoch", vs.epoch as f64),
+                (
+                    "indoor_shard_version",
+                    "Object-set version (the WAL LSN)",
+                    vs.version as f64,
+                ),
+                (
+                    "indoor_cached_entries",
+                    "Live result-cache entries",
+                    vs.cached_entries as f64,
+                ),
+                (
+                    "indoor_cache_capacity",
+                    "Result-cache capacity",
+                    vs.cache_capacity as f64,
+                ),
+                (
+                    "indoor_in_flight",
+                    "Admitted in-flight query weight",
+                    vs.in_flight as f64,
+                ),
+                (
+                    "indoor_admission_capacity",
+                    "Admission capacity, 0 = unbounded",
+                    vs.admission_capacity as f64,
+                ),
+                (
+                    "indoor_replication_lag",
+                    "Follower applied-LSN gap behind the leader",
+                    vs.replication_lag as f64,
+                ),
+                (
+                    "indoor_degraded",
+                    "1 when the shard is read-only degraded",
+                    if vs.degraded.is_some() { 1.0 } else { 0.0 },
+                ),
+                (
+                    "indoor_live_objects",
+                    "Live objects in the shard's index",
+                    vs.live_objects as f64,
+                ),
+            ];
+            for (name, help, v) in gauges {
+                push(name, help, vl.clone(), MetricValue::Gauge(v));
+            }
+            let counters: [(&str, &str, u64); 6] = [
+                (
+                    "indoor_cache_evictions_total",
+                    "Clock (second-chance) evictions",
+                    vs.evictions,
+                ),
+                (
+                    "indoor_shed_total",
+                    "Requests shed at the admission gate",
+                    vs.shed,
+                ),
+                (
+                    "indoor_admission_timeouts_total",
+                    "Requests timed out waiting at the admission gate",
+                    vs.admission_timeouts,
+                ),
+                (
+                    "indoor_object_leaf_builds_total",
+                    "Object-index leaf pages built",
+                    vs.object_leaf_builds,
+                ),
+                (
+                    "indoor_object_compactions_total",
+                    "Object-index compaction passes",
+                    vs.object_compactions,
+                ),
+                (
+                    "indoor_leaf_grid_builds_total",
+                    "Leaf door-grids built (lazy; bounded by the leaf count)",
+                    vs.leaf_grid_builds,
+                ),
+            ];
+            for (name, help, v) in counters {
+                push(name, help, vl.clone(), MetricValue::Counter(v));
+            }
+        }
+        indoor_model::metrics::MetricsSnapshot { series }
     }
 }
 
@@ -1581,6 +1951,38 @@ mod tests {
         // Unbounded shard: no admission gauges.
         assert_eq!(stats.admission_capacity, 0);
         assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_encodes_clean_and_retires_removed_venues() {
+        let prev = crate::telemetry::set_sampling(true);
+        let (service, id, venue) = service_with_one_venue(27);
+        let q = workload::query_points(&venue, 1, 4)[0];
+        let req = QueryRequest::Knn { q, k: 2 };
+        service.execute(id, &req).unwrap();
+        service.execute(id, &req).unwrap(); // cache hit
+        let text = indoor_model::metrics::encode_text(&service.metrics_snapshot());
+        let errors = indoor_model::metrics::lint_text(&text);
+        assert!(errors.is_empty(), "{errors:?}\n{text}");
+        for needle in [
+            "indoor_query_latency_us_bucket{",
+            "indoor_phase_descent_us",
+            "indoor_traced_queries_total",
+            "indoor_venues 1",
+            "indoor_cache_hits_total{kind=\"knn\"} 1",
+            "indoor_leaf_grid_builds_total",
+            "indoor_live_objects",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // Removing the venue retires every series it labelled.
+        service.remove_venue(id).unwrap();
+        let text = indoor_model::metrics::encode_text(&service.metrics_snapshot());
+        assert!(
+            !text.contains("venue=\""),
+            "stale venue-labelled series:\n{text}"
+        );
+        crate::telemetry::set_sampling(prev);
     }
 
     #[test]

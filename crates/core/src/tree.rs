@@ -370,11 +370,29 @@ impl IpTree {
         &self.slabs
     }
 
+    /// Build every leaf door grid now instead of on first own-leaf scan —
+    /// the eager mode audits and warm-start benches compare the lazy path
+    /// against. Idempotent; already-built leaves are skipped.
+    pub fn build_leaf_grid(&self) {
+        self.leaf_grid
+            .force_build(&self.venue, &self.nodes, self.config.threads);
+    }
+
+    /// Leaf door grids built so far, lazily or via
+    /// [`IpTree::build_leaf_grid`] (the `indoor_leaf_grid_builds_total`
+    /// telemetry counter).
+    pub fn leaf_grid_builds(&self) -> u64 {
+        self.leaf_grid.builds()
+    }
+
     /// Re-verify the whole slab arena against the source matrices: every
     /// row in-bounds and cache-line-aligned, every value bit-identical,
-    /// every bound admissible. Panics on violation.
+    /// every bound admissible. Panics on violation. Forces any
+    /// lazily-deferred leaf grids to build first, so the audit always
+    /// covers the full grid.
     pub fn audit_layout(&self) {
         self.slabs.audit(&self.nodes);
+        self.build_leaf_grid();
         self.leaf_grid.audit(&self.nodes);
     }
 

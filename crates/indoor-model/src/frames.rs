@@ -268,6 +268,18 @@ pub struct WireShardStats {
     /// Applied-LSN gap behind the replication leader (0 on a leader or a
     /// caught-up follower).
     pub replication_lag: u64,
+    /// Object-index leaf pages built over the venue's lifetime.
+    pub object_leaf_builds: u64,
+    /// Object-index leaf pages touched by delta application.
+    pub object_leaf_touches: u64,
+    /// Object-index compaction passes.
+    pub object_compactions: u64,
+    /// Live objects in the shard's index.
+    pub live_objects: u64,
+    /// Allocated object slots (live + tombstoned).
+    pub object_slots: u64,
+    /// Leaf door-grids built so far (lazy; bounded by the leaf count).
+    pub leaf_grid_builds: u64,
     pub degraded: Option<String>,
 }
 
@@ -298,6 +310,12 @@ fn encode_shard_stats(w: &mut WireWriter, s: &WireShardStats) {
     w.put_u64(s.shed);
     w.put_u64(s.admission_timeouts);
     w.put_u64(s.replication_lag);
+    w.put_u64(s.object_leaf_builds);
+    w.put_u64(s.object_leaf_touches);
+    w.put_u64(s.object_compactions);
+    w.put_u64(s.live_objects);
+    w.put_u64(s.object_slots);
+    w.put_u64(s.leaf_grid_builds);
     match &s.degraded {
         Some(reason) => {
             w.put_u8(1);
@@ -320,6 +338,12 @@ fn decode_shard_stats(r: &mut WireReader<'_>) -> Result<WireShardStats, LoadErro
         shed: r.get_u64("shard shed")?,
         admission_timeouts: r.get_u64("shard admission timeouts")?,
         replication_lag: r.get_u64("shard replication lag")?,
+        object_leaf_builds: r.get_u64("shard object leaf builds")?,
+        object_leaf_touches: r.get_u64("shard object leaf touches")?,
+        object_compactions: r.get_u64("shard object compactions")?,
+        live_objects: r.get_u64("shard live objects")?,
+        object_slots: r.get_u64("shard object slots")?,
+        leaf_grid_builds: r.get_u64("shard leaf grid builds")?,
         degraded: match r.get_u8("shard degraded flag")? {
             0 => None,
             1 => Some(r.get_str("shard degraded reason")?.to_string()),
@@ -340,6 +364,7 @@ const TAG_ADD_VENUE: u8 = 0x07;
 const TAG_REMOVE_VENUE: u8 = 0x08;
 const TAG_STATS: u8 = 0x09;
 const TAG_REPLICATE: u8 = 0x0A;
+const TAG_METRICS: u8 = 0x0B;
 const TAG_PONG: u8 = 0x81;
 const TAG_ANSWER: u8 = 0x82;
 const TAG_ANSWER_BATCH: u8 = 0x83;
@@ -351,6 +376,7 @@ const TAG_STATS_REPLY: u8 = 0x88;
 const TAG_WAL: u8 = 0x89;
 const TAG_REPL_HEAD: u8 = 0x8A;
 const TAG_REPL_END: u8 = 0x8B;
+const TAG_METRICS_TEXT: u8 = 0x8C;
 
 /// One protocol message. Request frames (`id`-bearing, tag < 0x80) flow
 /// client→server; reply and replication frames flow back.
@@ -410,6 +436,12 @@ pub enum Frame {
     Stats {
         id: u64,
     },
+    /// Telemetry exposition page; answered by [`Frame::MetricsText`]
+    /// carrying the full Prometheus-style text (see
+    /// [`crate::metrics::encode_text`]).
+    Metrics {
+        id: u64,
+    },
     /// Subscribe this connection to `venue`'s WAL stream starting at
     /// `from_lsn` (0 = from the venue's birth record). The leader replies
     /// [`Frame::ReplHead`], then [`Frame::Wal`] frames in LSN order —
@@ -457,6 +489,13 @@ pub enum Frame {
     StatsReply {
         id: u64,
         stats: WireServiceStats,
+    },
+    /// Reply to [`Frame::Metrics`]: the encoded exposition page. Shipped
+    /// as text, not typed series — scrapers diff/lint the page itself,
+    /// and the format is the compatibility surface (DESIGN.md §15).
+    MetricsText {
+        id: u64,
+        text: String,
     },
     /// One WAL record of a replication stream: `record` is the exact
     /// payload journalled at `lsn` (the core crate's record encoding,
@@ -548,6 +587,10 @@ impl Frame {
                 w.put_u8(TAG_STATS);
                 w.put_u64(*id);
             }
+            Frame::Metrics { id } => {
+                w.put_u8(TAG_METRICS);
+                w.put_u64(*id);
+            }
             Frame::Replicate { venue, from_lsn } => {
                 w.put_u8(TAG_REPLICATE);
                 w.put_u32(*venue);
@@ -605,6 +648,11 @@ impl Frame {
                 for s in &stats.shards {
                     encode_shard_stats(&mut w, s);
                 }
+            }
+            Frame::MetricsText { id, text } => {
+                w.put_u8(TAG_METRICS_TEXT);
+                w.put_u64(*id);
+                w.put_str(text);
             }
             Frame::Wal { venue, lsn, record } => {
                 w.put_u8(TAG_WAL);
@@ -693,6 +741,9 @@ impl Frame {
             TAG_STATS => Frame::Stats {
                 id: r.get_u64("stats id")?,
             },
+            TAG_METRICS => Frame::Metrics {
+                id: r.get_u64("metrics id")?,
+            },
             TAG_REPLICATE => Frame::Replicate {
                 venue: r.get_u32("replicate venue")?,
                 from_lsn: r.get_u64("replicate from_lsn")?,
@@ -760,6 +811,10 @@ impl Frame {
                     },
                 }
             }
+            TAG_METRICS_TEXT => Frame::MetricsText {
+                id: r.get_u64("metrics id")?,
+                text: r.get_str("metrics text")?.to_string(),
+            },
             TAG_WAL => Frame::Wal {
                 venue: r.get_u32("wal venue")?,
                 lsn: r.get_u64("wal lsn")?,
@@ -808,6 +863,7 @@ impl Frame {
             | Frame::AddVenue { id, .. }
             | Frame::RemoveVenue { id, .. }
             | Frame::Stats { id }
+            | Frame::Metrics { id }
             | Frame::Pong { id }
             | Frame::Answer { id, .. }
             | Frame::AnswerBatch { id, .. }
@@ -815,7 +871,8 @@ impl Frame {
             | Frame::VenueCreated { id, .. }
             | Frame::Ack { id }
             | Frame::Error { id, .. }
-            | Frame::StatsReply { id, .. } => Some(*id),
+            | Frame::StatsReply { id, .. }
+            | Frame::MetricsText { id, .. } => Some(*id),
             Frame::Replicate { .. }
             | Frame::Wal { .. }
             | Frame::ReplHead { .. }
@@ -1025,6 +1082,7 @@ mod tests {
             },
             Frame::RemoveVenue { id: 8, venue: 3 },
             Frame::Stats { id: 9 },
+            Frame::Metrics { id: 12 },
             Frame::Replicate {
                 venue: 2,
                 from_lsn: 17,
@@ -1066,16 +1124,25 @@ mod tests {
                             venue: 0,
                             version: 5,
                             replication_lag: 2,
+                            object_leaf_builds: 7,
+                            live_objects: 40,
+                            leaf_grid_builds: 11,
                             ..Default::default()
                         },
                         WireShardStats {
                             venue: 1,
                             degraded: Some("x".into()),
+                            object_slots: 64,
+                            object_compactions: 1,
                             ..Default::default()
                         },
                     ],
                     ..Default::default()
                 },
+            },
+            Frame::MetricsText {
+                id: 12,
+                text: "# TYPE indoor_venues gauge\nindoor_venues 2\n".into(),
             },
             Frame::Wal {
                 venue: 2,

@@ -32,6 +32,7 @@ mod delta;
 pub mod frames;
 mod ids;
 pub mod json;
+pub mod metrics;
 mod path;
 mod point;
 mod query;

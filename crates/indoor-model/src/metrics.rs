@@ -1,0 +1,377 @@
+//! Wire-facing metrics vocabulary: the typed snapshot the service's
+//! telemetry registry exports, its Prometheus-style text encoder, and an
+//! exposition linter.
+//!
+//! The serving core (`vip-tree`) gathers its registry into a
+//! [`MetricsSnapshot`]; `NetServer` answers a `MetricsRequest` frame with
+//! the [`encode_text`] page; scrapers (and the CI `metrics-smoke` step)
+//! run [`lint_text`] over the fetched page to catch duplicate series,
+//! unparseable samples, and non-monotone histogram buckets before anything
+//! downstream trusts them.
+//!
+//! Encoding rules (DESIGN.md §15): families sorted by name; one
+//! `# HELP` / `# TYPE` pair per family; label values escaped (`\\`, `\"`,
+//! `\n`); histograms emit cumulative `_bucket{le="..."}` samples over
+//! occupied buckets plus `le="+Inf"`, then `_sum` and `_count`, with the
+//! exact observed maximum as a companion `<name>_max` gauge family —
+//! quantization never loses the tail.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// One exported value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Point-in-time value.
+    Gauge(f64),
+    /// Log-linear histogram: cumulative `(le, count)` pairs over occupied
+    /// buckets (upper bounds inclusive, strictly increasing), plus total
+    /// count, sum of recorded values, and the exact maximum.
+    Histogram {
+        buckets: Vec<(u64, u64)>,
+        count: u64,
+        sum: u64,
+        max: u64,
+    },
+}
+
+/// One named, labelled series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    pub name: String,
+    pub help: String,
+    /// Sorted `(key, value)` pairs.
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// Everything the service exports at one instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Sorted by `(name, labels)` — the encoder relies on families being
+    /// contiguous.
+    pub series: Vec<Series>,
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a snapshot as a Prometheus-style text page. Output is a pure
+/// function of the snapshot (stable ordering, no timestamps), so golden
+/// tests and diff-based scrape monitors both work.
+pub fn encode_text(snap: &MetricsSnapshot) -> String {
+    let mut series: Vec<&Series> = snap.series.iter().collect();
+    series.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for s in series {
+        if last_family != Some(s.name.as_str()) {
+            let kind = match s.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", s.name, s.help);
+            let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+            last_family = Some(s.name.as_str());
+        }
+        match &s.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels, None), v);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels, None), v);
+            }
+            MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+                max,
+            } => {
+                for (le, cum) in buckets {
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        label_block(&s.labels, Some(("le", &le.to_string()))),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    s.name,
+                    label_block(&s.labels, Some(("le", "+Inf"))),
+                    count
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    s.name,
+                    label_block(&s.labels, None),
+                    sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    s.name,
+                    label_block(&s.labels, None),
+                    count
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_max{} {}",
+                    s.name,
+                    label_block(&s.labels, None),
+                    max
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Check an exposition page for structural defects. Returns every
+/// violation found (empty = clean): duplicate `(name, labels)` series,
+/// samples with unparseable values, samples appearing before any
+/// `# TYPE`, and non-monotone cumulative histogram buckets.
+pub fn lint_text(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut typed: HashSet<String> = HashSet::new();
+    // (series key without le, last cumulative count) for bucket monotony.
+    let mut last_bucket: Option<(String, f64)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(name), Some("counter" | "gauge" | "histogram")) => {
+                    if !typed.insert(name.to_string()) {
+                        errors.push(format!("line {n}: duplicate TYPE for {name}"));
+                    }
+                }
+                _ => errors.push(format!("line {n}: malformed TYPE line")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and comments
+        }
+        // Sample: name[{labels}] value
+        let Some(value_at) = line.rfind(' ') else {
+            errors.push(format!("line {n}: no value on sample line"));
+            continue;
+        };
+        let (key, value) = line.split_at(value_at);
+        let value = value.trim();
+        let parsed: Option<f64> = if value == "+Inf" || value == "NaN" {
+            None
+        } else {
+            value.parse().ok()
+        };
+        let Some(parsed) = parsed else {
+            errors.push(format!("line {n}: unparseable value {value:?}"));
+            continue;
+        };
+        if !seen.insert(key.to_string()) {
+            errors.push(format!("line {n}: duplicate series {key}"));
+        }
+        let family = key
+            .split('{')
+            .next()
+            .unwrap_or(key)
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count")
+            .trim_end_matches("_max");
+        if !typed.contains(key.split('{').next().unwrap_or(key)) && !typed.contains(family) {
+            errors.push(format!("line {n}: sample {key} precedes its TYPE"));
+        }
+        // Histogram bucket monotony: strip le from the key so one series'
+        // buckets share a tracking slot; a new series resets it.
+        if key.contains("_bucket") {
+            let base = key
+                .split("le=\"")
+                .next()
+                .unwrap_or(key)
+                .trim_end_matches([',', '{'])
+                .to_string();
+            match &last_bucket {
+                Some((prev, cum)) if *prev == base => {
+                    if parsed < *cum {
+                        errors.push(format!("line {n}: bucket counts decreased in {base}"));
+                    }
+                    last_bucket = Some((base, parsed));
+                }
+                _ => last_bucket = Some((base, parsed)),
+            }
+        } else {
+            last_bucket = None;
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            series: vec![
+                Series {
+                    name: "indoor_queries_total".into(),
+                    help: "Queries served".into(),
+                    labels: vec![("kind".into(), "knn".into()), ("venue".into(), "0".into())],
+                    value: MetricValue::Counter(42),
+                },
+                Series {
+                    name: "indoor_queries_total".into(),
+                    help: "Queries served".into(),
+                    labels: vec![
+                        ("kind".into(), "range".into()),
+                        ("venue".into(), "0".into()),
+                    ],
+                    value: MetricValue::Counter(7),
+                },
+                Series {
+                    name: "indoor_cached_entries".into(),
+                    help: "Result cache residency".into(),
+                    labels: vec![("venue".into(), "0".into())],
+                    value: MetricValue::Gauge(31.0),
+                },
+                Series {
+                    name: "indoor_query_latency_us".into(),
+                    help: "End-to-end query latency".into(),
+                    labels: vec![("venue".into(), "0".into())],
+                    value: MetricValue::Histogram {
+                        buckets: vec![(7, 3), (95, 10), (1023, 12)],
+                        count: 12,
+                        sum: 1234,
+                        max: 811,
+                    },
+                },
+            ],
+        }
+    }
+
+    /// Golden exposition: byte-for-byte stable so scrape diffs are
+    /// meaningful. Update deliberately if the format changes (and bump
+    /// DESIGN.md §15).
+    #[test]
+    fn encode_text_matches_golden() {
+        let got = encode_text(&sample_snapshot());
+        let want = "\
+# HELP indoor_cached_entries Result cache residency
+# TYPE indoor_cached_entries gauge
+indoor_cached_entries{venue=\"0\"} 31
+# HELP indoor_queries_total Queries served
+# TYPE indoor_queries_total counter
+indoor_queries_total{kind=\"knn\",venue=\"0\"} 42
+indoor_queries_total{kind=\"range\",venue=\"0\"} 7
+# HELP indoor_query_latency_us End-to-end query latency
+# TYPE indoor_query_latency_us histogram
+indoor_query_latency_us_bucket{venue=\"0\",le=\"7\"} 3
+indoor_query_latency_us_bucket{venue=\"0\",le=\"95\"} 10
+indoor_query_latency_us_bucket{venue=\"0\",le=\"1023\"} 12
+indoor_query_latency_us_bucket{venue=\"0\",le=\"+Inf\"} 12
+indoor_query_latency_us_sum{venue=\"0\"} 1234
+indoor_query_latency_us_count{venue=\"0\"} 12
+indoor_query_latency_us_max{venue=\"0\"} 811
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lint_accepts_encoder_output() {
+        let text = encode_text(&sample_snapshot());
+        let errors = lint_text(&text);
+        assert!(errors.is_empty(), "clean page flagged: {errors:?}");
+    }
+
+    #[test]
+    fn lint_catches_duplicates_and_garbage() {
+        let bad = "\
+# TYPE a_total counter
+a_total{v=\"1\"} 3
+a_total{v=\"1\"} 4
+b_total 5
+a_total{v=\"2\"} oops
+";
+        let errors = lint_text(bad);
+        assert!(
+            errors.iter().any(|e| e.contains("duplicate series")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("precedes its TYPE")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("unparseable value")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn lint_catches_nonmonotone_buckets() {
+        let bad = "\
+# TYPE h_us histogram
+h_us_bucket{le=\"10\"} 5
+h_us_bucket{le=\"20\"} 3
+h_us_sum 100
+h_us_count 5
+";
+        let errors = lint_text(bad);
+        assert!(
+            errors.iter().any(|e| e.contains("bucket counts decreased")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let snap = MetricsSnapshot {
+            series: vec![Series {
+                name: "x".into(),
+                help: "h".into(),
+                labels: vec![("venue".into(), "a\"b\\c\nd".into())],
+                value: MetricValue::Counter(1),
+            }],
+        };
+        let text = encode_text(&snap);
+        assert!(text.contains("venue=\"a\\\"b\\\\c\\nd\""), "{text}");
+        assert!(lint_text(&text).is_empty());
+    }
+}

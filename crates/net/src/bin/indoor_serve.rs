@@ -35,6 +35,10 @@ struct Args {
     max_in_flight: usize,
     policy: OverloadPolicy,
     sync: SyncPolicy,
+    /// `--metrics SECS`: dump the telemetry exposition page to stderr
+    /// every SECS seconds (0 = off). The same page a `Metrics` frame
+    /// fetches over the wire.
+    metrics_every: u64,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +52,7 @@ fn parse_args() -> Args {
         max_in_flight: 0,
         policy: OverloadPolicy::Shed,
         sync: SyncPolicy::Never,
+        metrics_every: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -63,6 +68,7 @@ fn parse_args() -> Args {
             "--objects" => args.objects = val().parse().expect("bad --objects"),
             "--seed" => args.seed = val().parse().expect("bad --seed"),
             "--max-in-flight" => args.max_in_flight = val().parse().expect("bad --max-in-flight"),
+            "--metrics" => args.metrics_every = val().parse().expect("bad --metrics"),
             "--policy" => {
                 args.policy = match val().as_str() {
                     "shed" => OverloadPolicy::Shed,
@@ -95,7 +101,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: indoor_serve [--addr A] [--data-dir DIR | --follow LEADER] \
                      [--venues N --objects M --seed S] [--max-in-flight K --policy shed|block] \
-                     [--sync never|per-append|group-commit:MS|every:N]"
+                     [--sync never|per-append|group-commit:MS|every:N] [--metrics SECS]"
                 );
                 std::process::exit(0);
             }
@@ -175,6 +181,27 @@ fn main() {
         }
     }
 
+    // Periodic telemetry dump: the same exposition page a `Metrics`
+    // frame fetches, to stderr so the stdout protocol line stays clean.
+    let mut dumper = None;
+    if args.metrics_every > 0 {
+        let service = service.clone();
+        let stop = stop.clone();
+        let every = Duration::from_secs(args.metrics_every);
+        dumper = Some(std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(every);
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                eprintln!(
+                    "{}",
+                    indoor_model::metrics::encode_text(&service.metrics_snapshot())
+                );
+            }
+        }));
+    }
+
     let mut server = NetServer::bind(service, args.addr.as_str()).expect("bind listener");
     println!("listening on {}", server.local_addr());
 
@@ -188,6 +215,9 @@ fn main() {
     }
     stop.store(true, Ordering::Release);
     for t in tails {
+        let _ = t.join();
+    }
+    if let Some(t) = dumper {
         let _ = t.join();
     }
     server.stop();

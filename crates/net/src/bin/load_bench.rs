@@ -18,8 +18,12 @@
 //! with typed per-request errors while **every connection survives and
 //! every request gets a reply**.
 //!
-//! Each cell reports p50/p99/p999 (µs) and throughput; `net_check`
-//! gates p50 per cell against the committed baseline.
+//! Each cell reports p50/p99/p999/max (µs) and throughput; `net_check`
+//! gates p50 per cell against the committed baseline and sanity-checks
+//! the tail ordering of the open-loop cell. Latencies land in one
+//! lock-free telemetry histogram per cell — every reply is a sample
+//! shared across connection threads without a mutex, and p999/max come
+//! from the full population, not a sorted per-connection vector.
 
 use indoor_model::QueryRequest;
 use indoor_net::{NetClient, NetServer};
@@ -27,6 +31,7 @@ use indoor_synth::{random_venue, workload};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vip_tree::telemetry::{HistSnapshot, Histogram};
 use vip_tree::{AdmissionConfig, IndoorService, OverloadPolicy, RetryPolicy, ShardConfig};
 
 struct Args {
@@ -68,14 +73,12 @@ fn parse_args() -> Args {
 
 #[derive(Debug, Default)]
 struct CellCounts {
-    latencies_us: Vec<f64>,
     answered: u64,
     shed: u64,
 }
 
 impl CellCounts {
     fn merge(&mut self, other: CellCounts) {
-        self.latencies_us.extend(other.latencies_us);
         self.answered += other.answered;
         self.shed += other.shed;
     }
@@ -89,30 +92,26 @@ struct Cell {
     p50_us: f64,
     p99_us: f64,
     p999_us: f64,
+    max_us: f64,
     qps: f64,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
-fn finish(key: String, requests: u64, mut counts: CellCounts, wall: Duration) -> Cell {
-    counts
-        .latencies_us
-        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let s = &counts.latencies_us;
+fn finish(
+    key: String,
+    requests: u64,
+    counts: CellCounts,
+    lat_ns: HistSnapshot,
+    wall: Duration,
+) -> Cell {
     Cell {
         key,
         requests,
         answered: counts.answered,
         shed: counts.shed,
-        p50_us: percentile(s, 0.50),
-        p99_us: percentile(s, 0.99),
-        p999_us: percentile(s, 0.999),
+        p50_us: lat_ns.p50() as f64 / 1e3,
+        p99_us: lat_ns.p99() as f64 / 1e3,
+        p999_us: lat_ns.p999() as f64 / 1e3,
+        max_us: lat_ns.max() as f64 / 1e3,
         qps: counts.answered as f64 / wall.as_secs_f64().max(1e-9),
     }
 }
@@ -124,6 +123,7 @@ fn closed_loop(
     addr: std::net::SocketAddr,
     venue: u32,
     reqs: &[QueryRequest],
+    lat: &Histogram,
     depth: usize,
 ) -> CellCounts {
     let mut client = NetClient::connect(addr)
@@ -145,7 +145,7 @@ fn closed_loop(
         match result {
             Ok(_) => {
                 counts.answered += 1;
-                counts.latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                lat.record(t0.elapsed().as_nanos() as u64);
             }
             Err(e) if e.is_retryable() => counts.shed += 1,
             Err(e) => panic!("non-transient server error: {e}"),
@@ -160,6 +160,7 @@ fn open_loop(
     addr: std::net::SocketAddr,
     venue: u32,
     reqs: &[QueryRequest],
+    lat: &Histogram,
     qps: f64,
 ) -> CellCounts {
     let mut client = NetClient::connect(addr).expect("connect");
@@ -192,7 +193,7 @@ fn open_loop(
                 match result {
                     Ok(_) => {
                         counts.answered += 1;
-                        counts.latencies_us.push(due.elapsed().as_secs_f64() * 1e6);
+                        lat.record(due.elapsed().as_nanos() as u64);
                     }
                     Err(e) if e.is_retryable() => counts.shed += 1,
                     Err(e) => panic!("non-transient server error: {e}"),
@@ -217,19 +218,20 @@ fn run_cell(
     venue: u32,
     reqs: &[QueryRequest],
     conns: usize,
-    mode: impl Fn(std::net::SocketAddr, u32, &[QueryRequest]) -> CellCounts + Sync,
-) -> (CellCounts, Duration) {
+    mode: impl Fn(std::net::SocketAddr, u32, &[QueryRequest], &Histogram) -> CellCounts + Sync,
+) -> (CellCounts, HistSnapshot, Duration) {
     let t0 = Instant::now();
+    let lat = Histogram::new();
     let mut total = CellCounts::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
-            .map(|_| scope.spawn(|| mode(addr, venue, reqs)))
+            .map(|_| scope.spawn(|| mode(addr, venue, reqs, &lat)))
             .collect();
         for h in handles {
             total.merge(h.join().expect("connection thread"));
         }
     });
-    (total, t0.elapsed())
+    (total, lat.snapshot(), t0.elapsed())
 }
 
 /// A loopback server over a fresh volatile service carrying one
@@ -285,14 +287,20 @@ fn main() {
         let addr = server.local_addr();
         for conns in [1usize, 2, 4] {
             for depth in [1usize, 4] {
-                let (counts, wall) = run_cell(addr, venue, reqs, conns, |a, v, r| {
-                    closed_loop(a, v, r, depth)
+                let (counts, lat, wall) = run_cell(addr, venue, reqs, conns, |a, v, r, h| {
+                    closed_loop(a, v, r, h, depth)
                 });
                 let key = format!("(closed, {pname}, c{conns}, d{depth})");
-                let cell = finish(key, (reqs.len() * conns) as u64, counts, wall);
+                let cell = finish(key, (reqs.len() * conns) as u64, counts, lat, wall);
                 println!(
-                    "{:32} p50 {:8.1}us p99 {:8.1}us p999 {:8.1}us {:9.0} q/s shed {}",
-                    cell.key, cell.p50_us, cell.p99_us, cell.p999_us, cell.qps, cell.shed
+                    "{:32} p50 {:8.1}us p99 {:8.1}us p999 {:8.1}us max {:8.1}us {:9.0} q/s shed {}",
+                    cell.key,
+                    cell.p50_us,
+                    cell.p99_us,
+                    cell.p999_us,
+                    cell.max_us,
+                    cell.qps,
+                    cell.shed
                 );
                 cells.push(cell);
             }
@@ -310,16 +318,19 @@ fn main() {
         );
         let addr = server.local_addr();
         let qps = args.qps;
-        let (counts, wall) = run_cell(addr, venue, reqs, 2, |a, v, r| open_loop(a, v, r, qps));
+        let (counts, lat, wall) = run_cell(addr, venue, reqs, 2, |a, v, r, h| {
+            open_loop(a, v, r, h, qps)
+        });
         let cell = finish(
             format!("(open, shed, c2, q{})", qps as u64),
             (reqs.len() * 2) as u64,
             counts,
+            lat,
             wall,
         );
         println!(
-            "{:32} p50 {:8.1}us p99 {:8.1}us p999 {:8.1}us {:9.0} q/s shed {}",
-            cell.key, cell.p50_us, cell.p99_us, cell.p999_us, cell.qps, cell.shed
+            "{:32} p50 {:8.1}us p99 {:8.1}us p999 {:8.1}us max {:8.1}us {:9.0} q/s shed {}",
+            cell.key, cell.p50_us, cell.p99_us, cell.p999_us, cell.max_us, cell.qps, cell.shed
         );
         cells.push(cell);
     }
@@ -336,16 +347,19 @@ fn main() {
             },
         );
         let addr = server.local_addr();
-        let (counts, wall) = run_cell(addr, venue, reqs, 4, |a, v, r| closed_loop(a, v, r, 64));
+        let (counts, lat, wall) = run_cell(addr, venue, reqs, 4, |a, v, r, h| {
+            closed_loop(a, v, r, h, 64)
+        });
         let cell = finish(
             "(flood, shed, c4, d64)".to_string(),
             (reqs.len() * 4) as u64,
             counts,
+            lat,
             wall,
         );
         println!(
-            "{:32} p50 {:8.1}us p99 {:8.1}us p999 {:8.1}us {:9.0} q/s shed {}",
-            cell.key, cell.p50_us, cell.p99_us, cell.p999_us, cell.qps, cell.shed
+            "{:32} p50 {:8.1}us p99 {:8.1}us p999 {:8.1}us max {:8.1}us {:9.0} q/s shed {}",
+            cell.key, cell.p50_us, cell.p99_us, cell.p999_us, cell.max_us, cell.qps, cell.shed
         );
         assert!(
             cell.shed > 0,
@@ -371,7 +385,8 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"key\": \"{}\", \"requests\": {}, \"answered\": {}, \"shed\": {}, \
-             \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"qps\": {:.1}}}{}\n",
+             \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"max_us\": {:.3}, \
+             \"qps\": {:.1}}}{}\n",
             c.key,
             c.requests,
             c.answered,
@@ -379,6 +394,7 @@ fn main() {
             c.p50_us,
             c.p99_us,
             c.p999_us,
+            c.max_us,
             c.qps,
             if i + 1 < cells.len() { "," } else { "" }
         ));

@@ -223,6 +223,18 @@ impl NetClient {
         }
     }
 
+    /// Fetch the server's telemetry exposition page (Prometheus-style
+    /// text; run `indoor_model::metrics::lint_text` over it before
+    /// trusting the series).
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        let id = self.fresh_id();
+        match self.call(Frame::Metrics { id }, id)? {
+            Frame::MetricsText { text, .. } => Ok(text),
+            Frame::Error { err, .. } => Err(NetError::Server(err)),
+            _ => Err(NetError::Unexpected("want MetricsText")),
+        }
+    }
+
     // ---- pipelined interface ----
 
     /// Fire a query without waiting; returns the id its reply will echo.

@@ -305,6 +305,10 @@ fn serve_admin(service: &IndoorService, stream: &mut TcpStream, frame: &Frame) -
             id: *id,
             stats: collect_stats(service),
         },
+        Frame::Metrics { id } => Frame::MetricsText {
+            id: *id,
+            text: indoor_model::metrics::encode_text(&service.metrics_snapshot()),
+        },
         // Query/QueryBatch/Replicate are routed before this function;
         // anything else is a server→client frame sent the wrong way.
         _ => return Ok(false),
@@ -376,6 +380,12 @@ fn collect_stats(service: &IndoorService) -> WireServiceStats {
             shed: sh.shed,
             admission_timeouts: sh.admission_timeouts,
             replication_lag: sh.replication_lag,
+            object_leaf_builds: sh.object_leaf_builds,
+            object_leaf_touches: sh.object_leaf_touches,
+            object_compactions: sh.object_compactions,
+            live_objects: sh.live_objects as u64,
+            object_slots: sh.object_slots as u64,
+            leaf_grid_builds: sh.leaf_grid_builds,
             degraded: sh.degraded,
         })
         .collect();

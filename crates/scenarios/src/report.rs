@@ -65,8 +65,10 @@ pub fn render_json(
             s,
             "    {{\"profile\": \"{}\", \"index\": \"{}\", \"requests\": {}, \"answered\": {}, \
              \"dropped\": {}, \"shed\": {}, \"timeouts\": {}, \"p50_us\": {:.3}, \
-             \"p99_us\": {:.3}, \"qps\": {:.1}, \"cache_hit_rate\": {:.4}, \"deltas\": {}, \
-             \"deltas_per_sec\": {:.1}, \"wall_ms\": {:.2}}}",
+             \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"max_us\": {:.3}, \"qps\": {:.1}, \
+             \"cache_hit_rate\": {:.4}, \"deltas\": {}, \"deltas_per_sec\": {:.1}, \
+             \"wall_ms\": {:.2}, \"phase_descent_us\": {:.3}, \"phase_leaf_fold_us\": {:.3}, \
+             \"phase_heap_us\": {:.3}}}",
             c.profile,
             c.index,
             c.requests,
@@ -76,11 +78,16 @@ pub fn render_json(
             c.timeouts,
             c.p50_us,
             c.p99_us,
+            c.p999_us,
+            c.max_us,
             c.qps,
             c.cache_hit_rate,
             c.deltas,
             c.deltas_per_sec,
-            c.wall_ms
+            c.wall_ms,
+            c.phase_descent_us,
+            c.phase_leaf_fold_us,
+            c.phase_heap_us
         );
         s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -139,21 +146,49 @@ pub fn crossover_matrix(cells: &[CellMetrics]) -> String {
     s.push_str("\nService cells (end-to-end: admission + cache + churn)\n\n");
     let _ = writeln!(
         s,
-        "{:<16} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>11}",
-        "profile", "qps", "p99 us", "shed", "timeout", "dropped", "hit rate", "deltas/s"
+        "{:<16} {:>9} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9} {:>11}",
+        "profile",
+        "qps",
+        "p99 us",
+        "p999 us",
+        "max us",
+        "shed",
+        "timeout",
+        "dropped",
+        "hit rate",
+        "deltas/s"
     );
     for c in cells.iter().filter(|c| c.index == "SVC") {
         let _ = writeln!(
             s,
-            "{:<16} {:>9.0} {:>8.1} {:>8} {:>8} {:>8} {:>8.1}% {:>11.0}",
+            "{:<16} {:>9.0} {:>8.1} {:>9.1} {:>9.1} {:>8} {:>8} {:>8} {:>8.1}% {:>11.0}",
             c.profile,
             c.qps,
             c.p99_us,
+            c.p999_us,
+            c.max_us,
             c.shed,
             c.timeouts,
             c.dropped,
             c.cache_hit_rate * 100.0,
             c.deltas_per_sec
+        );
+    }
+
+    // Phase attribution: where traced queries spent their time, per
+    // service cell — the flash-crowd vs churn-storm comparison the
+    // sampled engine traces exist to answer.
+    s.push_str("\nPhase attribution — mean sampled engine-phase time (us)\n\n");
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>10} {:>10}",
+        "profile", "descent", "leaf fold", "heap"
+    );
+    for c in cells.iter().filter(|c| c.index == "SVC") {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10.2} {:>10.2} {:>10.2}",
+            c.profile, c.phase_descent_us, c.phase_leaf_fold_us, c.phase_heap_us
         );
     }
     s
@@ -175,11 +210,16 @@ mod tests {
             timeouts: 2,
             p50_us: p50,
             p99_us: p50 * 3.0,
+            p999_us: p50 * 9.0,
+            max_us: p50 * 20.0,
             qps: 1000.0,
             cache_hit_rate: 0.25,
             deltas: 5,
             deltas_per_sec: 50.0,
             wall_ms: 10.0,
+            phase_descent_us: 4.5,
+            phase_leaf_fold_us: 1.25,
+            phase_heap_us: 0.5,
         }
     }
 

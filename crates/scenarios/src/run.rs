@@ -17,6 +17,7 @@
 
 use crate::compile::ScenarioWorld;
 use indoor_bench::AnyIndex;
+use indoor_model::metrics::{MetricValue, MetricsSnapshot};
 use indoor_model::OverloadSpec;
 use indoor_model::{
     KeywordSkew, ObjectDelta, QueryRequest, ScenarioEvent, TickEvents, VenueId, WorkloadProfile,
@@ -24,6 +25,7 @@ use indoor_model::{
 use indoor_net::{NetClient, NetError, NetServer};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use vip_tree::telemetry::{HistSnapshot, Histogram};
 use vip_tree::{
     AdmissionConfig, IndoorService, OverloadPolicy, RetryPolicy, ServiceError, ShardConfig,
 };
@@ -129,6 +131,11 @@ pub struct CellMetrics {
     pub timeouts: u64,
     pub p50_us: f64,
     pub p99_us: f64,
+    /// True tail quantile from the latency histogram — every answered
+    /// request is a sample, not a sorted sub-sample.
+    pub p999_us: f64,
+    /// Exact worst answered latency of the run (µs).
+    pub max_us: f64,
     /// Answered queries per wall-clock second.
     pub qps: f64,
     /// Result-cache hit rate over the run (0 for bare indexes).
@@ -137,20 +144,49 @@ pub struct CellMetrics {
     pub deltas: u64,
     pub deltas_per_sec: f64,
     pub wall_ms: f64,
+    /// Mean sampled engine-phase times (µs) attributed by the service's
+    /// query traces: tree descent, own-leaf grid fold, heap drain. Zero
+    /// for bare-index cells (no service, nothing traced).
+    pub phase_descent_us: f64,
+    pub phase_leaf_fold_us: f64,
+    pub phase_heap_us: f64,
 }
 
-fn percentile(sorted_us: &[f64], pct: usize) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
+/// Mean of every `Histogram` series named `name` in the snapshot (µs),
+/// folded across venues. Zero when nothing was recorded.
+fn phase_mean_us(snap: &MetricsSnapshot, name: &str) -> f64 {
+    let (mut sum, mut count) = (0u64, 0u64);
+    for s in snap.series.iter().filter(|s| s.name == name) {
+        if let MetricValue::Histogram {
+            sum: s, count: c, ..
+        } = s.value
+        {
+            sum += s;
+            count += c;
+        }
     }
-    sorted_us[(sorted_us.len() - 1) * pct / 100]
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    }
+}
+
+/// The three engine-phase attribution means of a service run.
+fn phase_attribution(snap: &MetricsSnapshot) -> [f64; 3] {
+    [
+        phase_mean_us(snap, "indoor_phase_descent_us"),
+        phase_mean_us(snap, "indoor_phase_leaf_fold_us"),
+        phase_mean_us(snap, "indoor_phase_heap_us"),
+    ]
 }
 
 #[allow(clippy::too_many_arguments)]
 fn finish(
     profile: &WorkloadProfile,
     index: &str,
-    mut lat_us: Vec<f64>,
+    lat_ns: HistSnapshot,
+    phases: [f64; 3],
     wall: Duration,
     answered: u64,
     dropped: u64,
@@ -159,7 +195,6 @@ fn finish(
     cache_hit_rate: f64,
     deltas: u64,
 ) -> CellMetrics {
-    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let secs = wall.as_secs_f64().max(1e-9);
     CellMetrics {
         profile: profile.name.clone(),
@@ -169,8 +204,10 @@ fn finish(
         dropped,
         shed,
         timeouts,
-        p50_us: percentile(&lat_us, 50),
-        p99_us: percentile(&lat_us, 99),
+        p50_us: lat_ns.p50() as f64 / 1e3,
+        p99_us: lat_ns.p99() as f64 / 1e3,
+        p999_us: lat_ns.p999() as f64 / 1e3,
+        max_us: lat_ns.max() as f64 / 1e3,
         qps: answered as f64 / secs,
         cache_hit_rate,
         deltas,
@@ -180,6 +217,9 @@ fn finish(
             0.0
         },
         wall_ms: wall.as_secs_f64() * 1e3,
+        phase_descent_us: phases[0],
+        phase_leaf_fold_us: phases[1],
+        phase_heap_us: phases[2],
     }
 }
 
@@ -256,7 +296,10 @@ pub fn run_service(
         slot_ids[slot as usize] = Some(register_slot(&service, world, profile, slot, seed));
     }
 
-    let lat = Mutex::new(Vec::<f64>::new());
+    // Latencies land in a lock-free histogram (nanosecond resolution —
+    // bare quantities, scaled to µs at reporting): workers record
+    // concurrently with no mutex and no per-run sample vector.
+    let lat = Histogram::new();
     let answered_dropped = Mutex::new((0u64, 0u64));
     let mut deltas_applied = 0u64;
     let t0 = Instant::now();
@@ -296,7 +339,6 @@ pub fn run_service(
         std::thread::scope(|scope| {
             for part in parts {
                 scope.spawn(move || {
-                    let mut local_lat = Vec::with_capacity(part.len());
                     let (mut ok, mut gone) = (0u64, 0u64);
                     for (due, venue, req) in part {
                         let sched = departure(tick_t0, due);
@@ -311,13 +353,12 @@ pub fn run_service(
                         );
                         match outcome {
                             Ok(_) => {
-                                local_lat.push(sched.elapsed().as_secs_f64() * 1e6);
+                                lat_ref.record(sched.elapsed().as_nanos() as u64);
                                 ok += 1;
                             }
                             Err(_) => gone += 1,
                         }
                     }
-                    lat_ref.lock().unwrap().extend(local_lat);
                     let mut ad = ad_ref.lock().unwrap();
                     ad.0 += ok;
                     ad.1 += gone;
@@ -344,11 +385,13 @@ pub fn run_service(
     let wall = t0.elapsed();
 
     let stats = service.stats();
+    let phases = phase_attribution(&service.metrics_snapshot());
     let (answered, dropped) = *answered_dropped.lock().unwrap();
     finish(
         profile,
         "SVC",
-        lat.into_inner().unwrap(),
+        lat.snapshot(),
+        phases,
         wall,
         answered,
         dropped,
@@ -374,7 +417,7 @@ pub fn run_service_wire(
     opts: &RunOptions,
 ) -> CellMetrics {
     let service = std::sync::Arc::new(IndoorService::new());
-    let server = NetServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let server = NetServer::bind(service.clone(), "127.0.0.1:0").expect("bind loopback");
     let addr = server.local_addr();
     let mut admin = NetClient::connect(addr)
         .expect("admin connection")
@@ -413,7 +456,7 @@ pub fn run_service_wire(
         slot_ids[slot as usize] = Some(register(&mut admin, slot));
     }
 
-    let lat = Mutex::new(Vec::<f64>::new());
+    let lat = Histogram::new();
     let answered_dropped = Mutex::new((0u64, 0u64));
     let t0 = Instant::now();
     for te in stream {
@@ -445,7 +488,6 @@ pub fn run_service_wire(
         std::thread::scope(|scope| {
             for (client, part) in clients.iter_mut().zip(parts) {
                 scope.spawn(move || {
-                    let mut local_lat = Vec::with_capacity(part.len());
                     let (mut ok, mut gone) = (0u64, 0u64);
                     for (due, venue, req) in part {
                         let sched = departure(tick_t0, due);
@@ -453,14 +495,13 @@ pub fn run_service_wire(
                         // under the connection's policy already.
                         match client.query(venue, req) {
                             Ok(_) => {
-                                local_lat.push(sched.elapsed().as_secs_f64() * 1e6);
+                                lat_ref.record(sched.elapsed().as_nanos() as u64);
                                 ok += 1;
                             }
                             Err(NetError::Server(_)) => gone += 1,
                             Err(e) => panic!("wire replay transport failure: {e}"),
                         }
                     }
-                    lat_ref.lock().unwrap().extend(local_lat);
                     let mut ad = ad_ref.lock().unwrap();
                     ad.0 += ok;
                     ad.1 += gone;
@@ -489,6 +530,9 @@ pub fn run_service_wire(
     drop(admin);
     drop(clients);
     drop(server);
+    // Phase attribution reads the in-process handle the loopback server
+    // shares — the same data `NetClient::metrics` would return as text.
+    let phases = phase_attribution(&service.metrics_snapshot());
     let hit_rate = if stats.queries > 0 {
         stats.cache_hits as f64 / stats.queries as f64
     } else {
@@ -498,7 +542,8 @@ pub fn run_service_wire(
     finish(
         profile,
         "WIRE",
-        lat.into_inner().unwrap(),
+        lat.snapshot(),
+        phases,
         wall,
         answered,
         dropped,
@@ -515,20 +560,33 @@ pub fn run_index(
     index: &AnyIndex,
     stream: &[TickEvents],
 ) -> CellMetrics {
-    let mut lat = Vec::new();
+    let lat = Histogram::new();
     let t0 = Instant::now();
     for te in stream {
         for ev in &te.events {
             if let ScenarioEvent::Query { slot: 0, req } = ev {
                 let t = Instant::now();
                 std::hint::black_box(index.answer(req));
-                lat.push(t.elapsed().as_secs_f64() * 1e6);
+                lat.record(t.elapsed().as_nanos() as u64);
             }
         }
     }
     let wall = t0.elapsed();
-    let answered = lat.len() as u64;
-    finish(profile, index.name(), lat, wall, answered, 0, 0, 0, 0.0, 0)
+    let snap = lat.snapshot();
+    let answered = snap.count();
+    finish(
+        profile,
+        index.name(),
+        snap,
+        [0.0; 3],
+        wall,
+        answered,
+        0,
+        0,
+        0,
+        0.0,
+        0,
+    )
 }
 
 #[cfg(test)]

@@ -143,6 +143,48 @@ fn layouts_agree_on_melbourne_central() {
     check_layouts_agree(Arc::new(presets::melbourne_central().build()), 0x1A);
 }
 
+/// Lazy leaf-grid contract: a tree whose door grids build on first
+/// own-leaf touch answers byte-identically to one whose grids were all
+/// force-built up front — across every query kind and both layouts
+/// (`check_layouts_agree` runs the full mixed stream per tree). Also pins
+/// the economics: the lazy tree builds only the touched leaves.
+#[test]
+fn lazy_leaf_grid_answers_match_eager() {
+    let venue = Arc::new(presets::melbourne_central().build());
+    let seed = 0x7C;
+    let (lazy_tree, lazy_kw) = tree_for(&venue, seed);
+    let (eager_tree, eager_kw) = tree_for(&venue, seed);
+    eager_tree.ip_tree().build_leaf_grid();
+    let total_leaves = eager_tree.ip_tree().leaf_grid_builds();
+    assert!(total_leaves > 0, "preset venue has leaves");
+    assert_eq!(
+        lazy_tree.ip_tree().leaf_grid_builds(),
+        0,
+        "no grid builds before the first query"
+    );
+
+    let reqs = mixed_stream(&venue, 6, seed ^ 0x2E);
+    let lazy_engine = QueryEngine::for_vip(lazy_tree.clone()).with_keywords(lazy_kw);
+    let eager_engine = QueryEngine::for_vip(eager_tree.clone()).with_keywords(eager_kw);
+    let lazy = lazy_engine.execute_batch(&reqs);
+    let eager = eager_engine.execute_batch(&reqs);
+    for (slot, (a, b)) in lazy.iter().zip(&eager).enumerate() {
+        assert_bit_identical(slot, a, b);
+    }
+
+    let built = lazy_tree.ip_tree().leaf_grid_builds();
+    assert!(built > 0, "own-leaf scans must have built grids");
+    assert!(
+        built <= total_leaves,
+        "lazy build count bounded by the leaf count"
+    );
+    // Idempotence: forcing the rest builds each remaining leaf once.
+    lazy_tree.ip_tree().build_leaf_grid();
+    assert_eq!(lazy_tree.ip_tree().leaf_grid_builds(), total_leaves);
+    lazy_tree.ip_tree().build_leaf_grid();
+    assert_eq!(lazy_tree.ip_tree().leaf_grid_builds(), total_leaves);
+}
+
 /// Guard against the equivalence tests passing trivially: the toggle must
 /// actually switch executed code paths. Only the slab walk consults the
 /// lower-bound layer, so its candidate counter separates the two.

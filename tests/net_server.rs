@@ -298,6 +298,36 @@ fn follower_catches_up_tails_live_and_survives_leader_death() {
     assert_eq!(tail.version, leader.version(id).unwrap());
     assert_eq!(replica.venue_stats(id).unwrap().replication_lag, 0);
 
+    // The same facts through the telemetry surface: the durable leader
+    // recorded its WAL append latency, and the caught-up replica (whose
+    // shard was created by WAL replay, so wired by the replication
+    // path, not `add_venue`) exports a zero replication-lag gauge.
+    let leader_snap = leader.metrics_snapshot();
+    let wal = leader_snap
+        .series
+        .iter()
+        .find(|s| s.name == "indoor_wal_append_us")
+        .expect("durable leader exports WAL append histogram");
+    let indoor_model::metrics::MetricValue::Histogram { count, max, .. } = wal.value else {
+        panic!("indoor_wal_append_us must be a histogram");
+    };
+    assert!(
+        count >= 7,
+        "Create + 1 pre-follower + 6 tailed appends, got {count}"
+    );
+    assert!(max < 10_000_000, "append latency in µs, not ns: {max}");
+    let replica_snap = replica.metrics_snapshot();
+    let lag = replica_snap
+        .series
+        .iter()
+        .find(|s| s.name == "indoor_replication_lag")
+        .expect("replayed shard exports the lag gauge");
+    assert_eq!(
+        lag.value,
+        indoor_model::metrics::MetricValue::Gauge(0.0),
+        "caught-up replica must export zero lag"
+    );
+
     // The orphaned replica still serves, byte-identical to the leader's
     // final state, on every query kind.
     for req in &reqs {
@@ -387,4 +417,50 @@ fn replication_refusals_are_typed() {
         }
         other => panic!("volatile leader must refuse typed, got {other:?}"),
     }
+}
+
+/// Metrics smoke (the CI gate): the exposition page fetched over a live
+/// server round-trips through the encoder lint clean, and carries both
+/// the registry's venue-labelled histograms and the direct-append
+/// service gauges — after real queries have flowed, so the latency
+/// histograms are non-empty.
+#[test]
+fn metrics_page_fetches_over_the_wire_and_lints_clean() {
+    indoor_spatial::vip::telemetry::set_sampling(true);
+    let (venue, config, reqs) = fixture(97);
+    let service = Arc::new(IndoorService::new());
+    let id = service.add_venue(venue, config).unwrap();
+    let server = NetServer::bind(service, "127.0.0.1:0").unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    for req in &reqs {
+        client.query(id.index() as u32, req).unwrap();
+    }
+    let page = client.metrics().unwrap();
+    let errors = indoor_spatial::model::metrics::lint_text(&page);
+    assert!(errors.is_empty(), "{errors:?}\n{page}");
+    for needle in [
+        "# TYPE indoor_query_latency_us histogram",
+        "indoor_query_latency_us_count{kind=\"knn\",venue=\"0\"}",
+        "indoor_traced_queries_total{venue=\"0\"}",
+        "indoor_venues 1",
+        "indoor_leaf_grid_builds_total{venue=\"0\"}",
+    ] {
+        assert!(page.contains(needle), "missing {needle} in page:\n{page}");
+    }
+    // The latency histograms really recorded: total count over kinds > 0.
+    let counted: u64 = page
+        .lines()
+        .filter(|l| l.starts_with("indoor_query_latency_us_count"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum();
+    assert!(counted > 0, "no query latencies recorded:\n{page}");
+    // Wire-level shard stats carry the folded object-index anatomy.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards.len(), 1);
+    assert!(stats.shards[0].live_objects > 0, "{:?}", stats.shards[0]);
+    assert!(
+        stats.shards[0].leaf_grid_builds > 0,
+        "{:?}",
+        stats.shards[0]
+    );
 }
